@@ -1,0 +1,105 @@
+// Ablation A3: STRATA API design choices.
+//
+//  (1) fuse() τ-equality vs windowed fuse: matching cost and output volume
+//      when sensor clocks are skewed.
+//  (2) partition()/detectEvent() parallelism: per-layer processing rate of
+//      the cell-analysis stages as instances scale (STRATA's low-latency /
+//      high-throughput mechanism, §4).
+#include <chrono>
+#include <cstdio>
+
+#include "strata/usecase.hpp"
+
+using namespace strata;        // NOLINT
+using namespace strata::core;  // NOLINT
+
+namespace {
+
+double MeasureFuse(std::optional<spe::WindowSpec> window, Timestamp skew_us,
+                   int layers) {
+  Strata strata_rt;
+  auto make_source = [&](const char* name, const char* key, Timestamp skew) {
+    auto counter = std::make_shared<int>(0);
+    return strata_rt.AddSource(
+        name, [counter, key, skew, layers]() -> std::optional<spe::Tuple> {
+          if (*counter >= layers) return std::nullopt;
+          spe::Tuple t;
+          t.job = 1;
+          t.layer = (*counter)++;
+          t.event_time = (t.layer + 1) * 1'000'000 + skew;
+          t.payload.Set(key, t.layer);
+          return t;
+        });
+  };
+  auto left = make_source("a", "left", 0);
+  auto right = make_source("b", "right", skew_us);
+  auto fused = strata_rt.Fuse("fuse", left, right, window);
+  std::atomic<int> matched{0};
+  strata_rt.Deliver("sink", fused, [&](const spe::Tuple&) { ++matched; });
+  strata_rt.Deploy();
+  strata_rt.WaitForCompletion();
+  return static_cast<double>(matched.load()) / layers;
+}
+
+double MeasureParallelism(int parallelism) {
+  am::MachineParams machine_params;
+  machine_params.job = am::MakePaperJob(1, 1000);
+  machine_params.layers_limit = 12;
+  machine_params.defects.birth_rate = 0.03;
+
+  UseCaseParams params;
+  params.cell_px = 4;  // fine cells: the parallel stages dominate
+  params.correlate_layers = 10;
+  params.partition_parallelism = parallelism;
+  params.detect_parallelism = parallelism;
+
+  Strata strata_rt;
+  ComputeAndStoreThresholds(&strata_rt, params.machine_id, machine_params.job,
+                            2, params.cell_px)
+      .OrDie();
+  auto machine = std::make_shared<am::MachineSimulator>(machine_params);
+  CollectorPacing pacing;
+  pacing.mode = CollectorPacing::Mode::kReplay;  // unthrottled
+
+  BuildThermalPipeline(&strata_rt, machine, pacing, params, nullptr);
+  const auto t0 = std::chrono::steady_clock::now();
+  strata_rt.Deploy();
+  strata_rt.WaitForCompletion();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return 12.0 / seconds;  // layers per second
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation A3.1: fuse() with and without a time window ==\n");
+  std::printf("%-26s %14s %14s\n", "config", "skew", "match rate");
+  for (const Timestamp skew : {Timestamp{0}, SecondsToMicros(0.5)}) {
+    std::printf("%-26s %11.1f ms %14.2f\n", "tau-equality (no window)",
+                MicrosToMillis(skew), MeasureFuse(std::nullopt, skew, 200));
+    std::printf("%-26s %11.1f ms %14.2f\n", "windowed (WS = 1 s)",
+                MicrosToMillis(skew),
+                MeasureFuse(spe::WindowSpec{SecondsToMicros(1.0),
+                                            SecondsToMicros(1.0)},
+                            skew, 200));
+  }
+  std::printf(
+      "\nExpected: tau-equality drops every pair once clocks skew; the\n"
+      "windowed fuse keeps matching (at the cost of a coarser join).\n\n");
+
+  std::printf("== Ablation A3.2: cell-stage parallelism (2x2 mm cells) ==\n");
+  std::printf("%12s %16s\n", "parallelism", "layers/s");
+  double base = 0.0;
+  for (const int p : {1, 2, 4}) {
+    const double rate = MeasureParallelism(p);
+    if (p == 1) base = rate;
+    std::printf("%12d %16.2f   (%.2fx)\n", p, rate, rate / base);
+  }
+  std::printf(
+      "\nExpected: throughput of the partition/detect stages scales with\n"
+      "instances until the un-parallelized stages (fuse, correlate)\n"
+      "dominate (Amdahl).\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Ablation A4: open-loop vs closed-loop printing.
+//
+// Quantifies the paper's §1 motivation ("a printing process showing signs
+// of defects is re-configured or terminated as soon as possible, saving
+// energy, material, time"): the same defective job printed (a) open loop,
+// (b) with per-specimen laser adjustment, and (c) with adjustment +
+// termination of hopeless jobs. Reported: defect events observed, layers
+// printed (material/energy proxy), and defect events after the first
+// mitigation.
+#include <cstdio>
+#include <limits>
+#include <mutex>
+
+#include "strata/controller.hpp"
+
+using namespace strata;        // NOLINT
+using namespace strata::core;  // NOLINT
+
+namespace {
+
+struct LoopResult {
+  std::size_t layers_printed = 0;
+  std::size_t total_events = 0;
+  std::size_t adjustments = 0;
+  bool terminated = false;
+};
+
+LoopResult RunLoop(bool adjust, bool terminate, int layers) {
+  Strata strata_rt;
+  am::MachineParams machine_params;
+  machine_params.job = am::MakeSmallJob(1, 300, 3);
+  machine_params.layers_limit = layers;
+  machine_params.defects.birth_rate = 0.35;
+  machine_params.defects.mean_intensity_delta = 55.0;
+  machine_params.defects.mean_radius_mm = 2.5;
+
+  UseCaseParams params;
+  params.cell_px = 4;
+  params.correlate_layers = 8;
+  params.min_report_points = 4;
+  ComputeAndStoreThresholds(&strata_rt, params.machine_id, machine_params.job,
+                            3, params.cell_px)
+      .OrDie();
+
+  auto machine = std::make_shared<am::MachineSimulator>(machine_params);
+  std::shared_ptr<FeedbackController> controller;
+  if (adjust || terminate) {
+    ControllerPolicy policy;
+    // Scenario (b): per-specimen adjustment. Scenario (c) models a build
+    // where re-parameterization is NOT available (e.g. the fault is the
+    // powder batch, not the energy input): the controller's only lever is
+    // stopping the job once a specimen's lifetime defect mass crosses a
+    // ceiling.
+    policy.adjust_cluster_points =
+        adjust ? 25 : std::numeric_limits<std::size_t>::max();
+    policy.post_adjust_points = 60;
+    policy.terminate_specimen_fraction = 2.0;
+    policy.hard_terminate_points = terminate ? 400 : 0;
+    controller = std::make_shared<FeedbackController>(machine, policy);
+  }
+
+  LoopResult result;
+  std::mutex mu;
+  std::set<std::int64_t> layers_seen;
+  // Live pacing (compressed 33 ms/layer): feedback acts within the layer
+  // cadence, as on the real machine.
+  BuildThermalPipeline(&strata_rt, machine,
+                       CollectorPacing{.mode = CollectorPacing::Mode::kLive,
+                                       .time_scale = 0.001},
+                       params, [&](const ClusterReport& report) {
+                         {
+                           std::lock_guard lock(mu);
+                           layers_seen.insert(report.layer);
+                           result.total_events += report.window_events;
+                         }
+                         if (controller) controller->OnReport(report);
+                       });
+  strata_rt.Deploy();
+  strata_rt.WaitForCompletion();
+
+  result.layers_printed = layers_seen.size();
+  if (controller) {
+    result.adjustments = controller->stats().adjustments_issued;
+    result.terminated = controller->stats().terminated;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kLayers = 60;
+  std::printf(
+      "== Ablation A4: open-loop vs closed-loop on a defective job ==\n"
+      "3 specimens, %d layers, heavy defect seeding\n\n",
+      kLayers);
+  std::printf("%-24s %10s %12s %12s %12s\n", "mode", "layers", "events",
+              "adjusts", "terminated");
+
+  const LoopResult open = RunLoop(false, false, kLayers);
+  std::printf("%-24s %10zu %12zu %12zu %12s\n", "open loop",
+              open.layers_printed, open.total_events, open.adjustments, "-");
+
+  const LoopResult adjusted = RunLoop(true, false, kLayers);
+  std::printf("%-24s %10zu %12zu %12zu %12s\n", "closed loop (adjust)",
+              adjusted.layers_printed, adjusted.total_events,
+              adjusted.adjustments, "-");
+
+  const LoopResult full = RunLoop(false, true, kLayers);
+  std::printf("%-24s %10zu %12zu %12zu %12s\n",
+              "closed loop (terminate)", full.layers_printed,
+              full.total_events, full.adjustments,
+              full.terminated ? "yes" : "no");
+
+  std::printf(
+      "\nExpected: adjustment cuts total defect events versus open loop;\n"
+      "with termination enabled a hopeless job also stops early, saving\n"
+      "the remaining layers' material and energy.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 5 reproduction: latency boxplots of the Algorithm-1 pipeline for
+// cell edges from 40x40 down to 2x2 pixels (5 mm^2 .. 0.25 mm^2 at the
+// paper's 8 px/mm), live-paced layers, 12-specimen EOS M290 job.
+//
+// Expected shape (paper): latency grows as the cell shrinks (more cells to
+// analyze within and across layers); every configuration stays under the
+// 3 s QoS threshold, up to the 2x2 limit case.
+//
+// Env knobs: STRATA_FIG5_LAYERS (default 24), STRATA_FIG5_PX (default 2000),
+//            STRATA_FIG5_SCALE_MS (live layer gap in ms, default 660).
+#include "figure_common.hpp"
+
+using namespace strata;         // NOLINT
+using namespace strata::bench;  // NOLINT
+
+int main() {
+  const int layers = EnvInt("STRATA_FIG5_LAYERS", 24);
+  const int image_px = EnvInt("STRATA_FIG5_PX", 2000);
+  const int gap_ms = EnvInt("STRATA_FIG5_SCALE_MS", 660);
+
+  std::printf(
+      "== Figure 5: latency vs cell size ==\n"
+      "12 specimens, %dx%d px OT frames, %d layers, layer gap %d ms, L=20\n\n",
+      image_px, image_px, layers, gap_ms);
+  PrintBoxplotHeader();
+
+  // Cell edges at the paper's 2000 px scale; scaled when image_px differs.
+  const int paper_cells[] = {40, 32, 20, 16, 10, 8, 4, 2};
+  for (const int paper_px : paper_cells) {
+    const int cell_px = std::max(1, paper_px * image_px / 2000);
+
+    TrialConfig config;
+    config.machine.job = am::MakePaperJob(1, image_px);
+    config.machine.layers_limit = layers;
+    config.machine.defects.birth_rate = 0.03;
+    config.usecase.cell_px = cell_px;
+    config.usecase.correlate_layers = 20;
+    config.usecase.partition_parallelism = 2;
+    config.usecase.detect_parallelism = 2;
+    config.pacing.mode = core::CollectorPacing::Mode::kLive;
+    // time_scale converts the 33 s simulated layer period into gap_ms.
+    config.pacing.time_scale = gap_ms / 33'000.0;
+
+    const TrialResult result = RunThermalTrial(config);
+    const double mm = paper_px / 8.0;  // paper scale: 8 px/mm
+    char label[64];
+    std::snprintf(label, sizeof(label), "%dx%d (%.2gmm2)", paper_px, paper_px,
+                  mm * mm);
+    PrintBoxplotRow(label, result);
+  }
+  return 0;
+}

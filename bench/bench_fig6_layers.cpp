@@ -1,0 +1,47 @@
+// Figure 6 reproduction: latency boxplots when correlateEvents clusters a
+// growing number of previous layers, L in {5, 10, 20, 40, 60, 80}
+// (0.2 mm .. 3.2 mm of build height at 40 um layers), cell size 10x10.
+//
+// Expected shape (paper): latency grows with L (larger clustering windows),
+// all configurations under the 3 s QoS threshold.
+//
+// Env knobs: STRATA_FIG6_LAYERS (default 96), STRATA_FIG6_PX (default 2000),
+//            STRATA_FIG6_SCALE_MS (default 120).
+#include "figure_common.hpp"
+
+using namespace strata;         // NOLINT
+using namespace strata::bench;  // NOLINT
+
+int main() {
+  const int layers = EnvInt("STRATA_FIG6_LAYERS", 96);
+  const int image_px = EnvInt("STRATA_FIG6_PX", 2000);
+  const int gap_ms = EnvInt("STRATA_FIG6_SCALE_MS", 120);
+
+  std::printf(
+      "== Figure 6: latency vs layers clustered (L) ==\n"
+      "12 specimens, %dx%d px OT frames, %d layers, layer gap %d ms, "
+      "cell 10x10\n\n",
+      image_px, image_px, layers, gap_ms);
+  PrintBoxplotHeader();
+
+  for (const std::int64_t history : {5, 10, 20, 40, 60, 80}) {
+    TrialConfig config;
+    config.machine.job = am::MakePaperJob(1, image_px);
+    config.machine.layers_limit = layers;
+    config.machine.defects.birth_rate = 0.03;
+    config.usecase.cell_px = std::max(1, 10 * image_px / 2000);
+    config.usecase.correlate_layers = history;
+    config.usecase.partition_parallelism = 2;
+    config.usecase.detect_parallelism = 2;
+    config.pacing.mode = core::CollectorPacing::Mode::kLive;
+    config.pacing.time_scale = gap_ms / 33'000.0;
+
+    const TrialResult result = RunThermalTrial(config);
+    char label[64];
+    std::snprintf(label, sizeof(label), "L=%lld (%.1fmm)",
+                  static_cast<long long>(history),
+                  static_cast<double>(history) * 0.04);
+    PrintBoxplotRow(label, result);
+  }
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Figure 7 reproduction: processing throughput (thousands of cells/s) and
+// average latency for an increasing number of OT images/s offered to the
+// Algorithm-1 query, for cell sizes 20x20 and 10x10 (at the paper's 8 px/mm
+// scale).
+//
+// As in the paper, input is replayed as fast as the offered rate allows:
+// frames are pre-generated once and replayed cyclically with monotonically
+// increasing layer numbers, so the pipeline (including both connectors)
+// processes a steady stream.
+//
+// Expected shape (paper): throughput grows linearly with the offered rate
+// until the query's capacity, then flattens while latency turns upward; the
+// 10x10 curve flattens at ~1/4 of the images/s of the 20x20 curve (each
+// 20x20 cell = four 10x10 cells), at a similar cells/s plateau.
+//
+// Env knobs: STRATA_FIG7_PX (default 1000), STRATA_FIG7_FRAMES (default 24),
+//            STRATA_FIG7_MAXRATE (default 256).
+#include <cmath>
+
+#include "figure_common.hpp"
+
+using namespace strata;         // NOLINT
+using namespace strata::bench;  // NOLINT
+using namespace strata::core;   // NOLINT
+
+namespace {
+
+struct FrameCache {
+  am::BuildJobSpec job;
+  std::vector<am::GrayImage> frames;
+  std::vector<Payload> params;
+  Timestamp period = SecondsToMicros(33.0);
+};
+
+FrameCache BuildCache(int image_px, int frame_count) {
+  FrameCache cache;
+  cache.job = am::MakePaperJob(1, image_px);
+  am::MachineParams machine_params;
+  machine_params.job = cache.job;
+  machine_params.defects.birth_rate = 0.03;
+  machine_params.layers_limit = frame_count;
+  am::MachineSimulator machine(machine_params);
+  while (auto layer = machine.NextLayer()) {
+    cache.frames.push_back(std::move(layer->ot_image));
+    cache.params.push_back(std::move(layer->printing_params));
+  }
+  return cache;
+}
+
+/// Replays cached frames cyclically with increasing layer ids at `rate`
+/// images/s (<= 0: unthrottled), `count` images total.
+spe::SourceFn CachedOtSource(const FrameCache* cache, int count, double rate) {
+  auto state = std::make_shared<std::pair<int, Timestamp>>(0, 0);
+  return [cache, count, rate, state]() -> std::optional<spe::Tuple> {
+    if (state->first >= count) return std::nullopt;
+    const int i = state->first++;
+    if (rate > 0) {
+      const Clock& clock = Clock::System();
+      if (state->second == 0) state->second = clock.Now();
+      clock.SleepUntil(state->second +
+                       static_cast<Timestamp>(i * 1e6 / rate));
+    }
+    spe::Tuple t;
+    t.job = 1;
+    t.layer = i;
+    t.event_time = static_cast<Timestamp>(i + 1) * cache->period;
+    t.payload.Set(kOtImageKey,
+                  am::MakeImageValue(
+                      cache->frames[static_cast<std::size_t>(i) %
+                                    cache->frames.size()]));
+    return t;
+  };
+}
+
+spe::SourceFn CachedPpSource(const FrameCache* cache, int count) {
+  auto next = std::make_shared<int>(0);
+  return [cache, count, next]() -> std::optional<spe::Tuple> {
+    if (*next >= count) return std::nullopt;
+    const int i = (*next)++;
+    spe::Tuple t;
+    t.job = 1;
+    t.layer = i;
+    t.event_time = static_cast<Timestamp>(i + 1) * cache->period;
+    t.payload =
+        cache->params[static_cast<std::size_t>(i) % cache->params.size()];
+    return t;
+  };
+}
+
+struct SweepPoint {
+  double offered_rate;
+  double achieved_images_s;
+  double kcells_s;
+  double mean_latency_ms;
+  double p95_latency_ms;
+};
+
+SweepPoint RunReplayTrial(const FrameCache& cache, int cell_px, double rate,
+                          int images) {
+  Strata strata_rt;
+  UseCaseParams params;
+  params.cell_px = cell_px;
+  params.correlate_layers = 20;
+  params.partition_parallelism = 2;
+  params.detect_parallelism = 2;
+  ComputeAndStoreThresholds(&strata_rt, params.machine_id, cache.job,
+                            /*history_layers=*/2, cell_px)
+      .OrDie();
+
+  auto pp = strata_rt.AddSource("pp.m0", CachedPpSource(&cache, images));
+  auto ot = strata_rt.AddSource("ot.m0", CachedOtSource(&cache, images, rate));
+  auto fused = strata_rt.Fuse("fuse.m0", ot, pp);
+  auto specimens = strata_rt.Partition("spec.m0", fused, IsolateSpecimen());
+  auto cells = strata_rt.Partition("cell.m0", specimens, IsolateCell(cell_px),
+                                   params.partition_parallelism);
+  auto events = strata_rt.DetectEvent("label.m0", cells,
+                                      LabelCell(&strata_rt, params.machine_id),
+                                      params.detect_parallelism);
+  auto reports =
+      strata_rt.CorrelateEvents("cluster.m0", events, params.correlate_layers,
+                                DbscanCorrelator(params, cache.job.plate.PxPerMm()));
+  auto* sink = strata_rt.Deliver("expert.m0", reports, nullptr);
+
+  const Timestamp start = Clock::System().Now();
+  strata_rt.Deploy();
+  strata_rt.WaitForCompletion();
+  const double wall = MicrosToSeconds(Clock::System().Now() - start);
+
+  std::uint64_t cells_out = 0;
+  for (const auto& stats : strata_rt.query().Stats()) {
+    if (stats.name.rfind("cell.m0", 0) == 0 &&
+        stats.name.find(".router") == std::string::npos &&
+        stats.name.find(".union") == std::string::npos) {
+      cells_out += stats.tuples_out;
+    }
+  }
+  const Histogram latency = sink->LatencySnapshot();
+  return SweepPoint{rate, images / wall,
+                    static_cast<double>(cells_out) / wall / 1000.0,
+                    MicrosToMillis(static_cast<Timestamp>(latency.mean())),
+                    MicrosToMillis(latency.Quantile(0.95))};
+}
+
+}  // namespace
+
+int main() {
+  const int image_px = EnvInt("STRATA_FIG7_PX", 1000);
+  const int frame_count = EnvInt("STRATA_FIG7_FRAMES", 24);
+  const int max_rate = EnvInt("STRATA_FIG7_MAXRATE", 256);
+
+  std::printf(
+      "== Figure 7: throughput / latency vs offered OT images/s ==\n"
+      "12 specimens, %dx%d px frames replayed cyclically, L=20\n\n",
+      image_px, image_px);
+
+  const FrameCache cache = BuildCache(image_px, frame_count);
+
+  // Cell sizes quoted at the paper's 2000 px (8 px/mm) scale.
+  for (const int paper_cell : {20, 10}) {
+    const int cell_px = std::max(1, paper_cell * image_px / 2000);
+    std::printf("--- cell size %dx%d (paper scale) ---\n", paper_cell,
+                paper_cell);
+    std::printf("%12s %14s %12s %14s %14s\n", "offered/s", "achieved img/s",
+                "kcells/s", "mean lat(ms)", "p95 lat(ms)");
+    for (double rate = 4; rate <= max_rate; rate *= 2) {
+      const int images =
+          std::clamp(static_cast<int>(rate * 4), 48, 256);
+      const SweepPoint point = RunReplayTrial(cache, cell_px, rate, images);
+      std::printf("%12.0f %14.1f %12.1f %14.2f %14.2f\n", point.offered_rate,
+                  point.achieved_images_s, point.kcells_s,
+                  point.mean_latency_ms, point.p95_latency_ms);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

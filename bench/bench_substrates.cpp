@@ -1,0 +1,215 @@
+// Ablation A2: substrate microbenchmarks (google-benchmark).
+//
+// Establishes that each substrate is fast enough for the paper's workload:
+// the KV store (thresholds, at-rest data), the pub/sub broker (connectors
+// moving 1-4 MB OT frames), the SPE operator path (per-tuple overhead that
+// bounds cell throughput), the tuple transport codec, and OT generation.
+#include <benchmark/benchmark.h>
+
+#include "am/machine.hpp"
+#include "common/fs.hpp"
+#include "kvstore/db.hpp"
+#include "pubsub/consumer.hpp"
+#include "pubsub/producer.hpp"
+#include "spe/query.hpp"
+#include "spe/replay_source.hpp"
+#include "strata/transport.hpp"
+
+using namespace strata;  // NOLINT
+
+// ---------------------------------------------------------------- kvstore
+
+static void BM_KvPut(benchmark::State& state) {
+  strata::fs::ScopedTempDir dir("bench-kv");
+  auto db = std::move(kv::DB::Open(dir.path())).value();
+  const std::string value(static_cast<std::size_t>(state.range(0)), 'v');
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->Put("key" + std::to_string(i++ % 10000), value));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KvPut)->Arg(64)->Arg(1024);
+
+static void BM_KvGet(benchmark::State& state) {
+  strata::fs::ScopedTempDir dir("bench-kv");
+  auto db = std::move(kv::DB::Open(dir.path())).value();
+  for (int i = 0; i < 10000; ++i) {
+    db->Put("key" + std::to_string(i), "value" + std::to_string(i)).OrDie();
+  }
+  db->Flush().OrDie();
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->Get("key" + std::to_string(i++ % 10000)));
+  }
+}
+BENCHMARK(BM_KvGet);
+
+static void BM_KvScan(benchmark::State& state) {
+  strata::fs::ScopedTempDir dir("bench-kv");
+  auto db = std::move(kv::DB::Open(dir.path())).value();
+  for (int i = 0; i < 10000; ++i) {
+    db->Put("key" + std::to_string(i), "v").OrDie();
+  }
+  db->Flush().OrDie();
+  for (auto _ : state) {
+    auto it = db->NewIterator();
+    std::size_t n = 0;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_KvScan);
+
+// ----------------------------------------------------------------- pubsub
+
+static void BM_PubSubRoundTrip(benchmark::State& state) {
+  ps::Broker broker;
+  broker.CreateTopic("bench", {.partitions = 1}).OrDie();
+  ps::Producer producer(&broker);
+  auto consumer = std::move(ps::Consumer::Create(&broker, "bench")).value();
+  const std::string value(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    producer.Send("bench", "", value, 0).status().OrDie();
+    auto batch = consumer->Poll(std::chrono::microseconds(1'000'000));
+    benchmark::DoNotOptimize(batch);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PubSubRoundTrip)->Arg(1024)->Arg(1 << 20)->Arg(4 << 20);
+
+// -------------------------------------------------------------------- spe
+
+static void BM_SpePipelineTuples(benchmark::State& state) {
+  // Per-tuple cost through source -> map -> filter -> sink.
+  const auto tuples = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    spe::Query query;
+    auto counter = std::make_shared<std::int64_t>(0);
+    auto src = query.AddSource(
+        "src", [counter, tuples]() -> std::optional<spe::Tuple> {
+          if (*counter >= tuples) return std::nullopt;
+          spe::Tuple t;
+          t.event_time = (*counter)++;
+          t.payload.Set("v", *counter);
+          return t;
+        });
+    auto mapped = query.AddFlatMap("map", src, [](const spe::Tuple& t) {
+      return std::vector<spe::Tuple>{t};
+    });
+    auto filtered =
+        query.AddFilter("filter", mapped, [](const spe::Tuple&) { return true; });
+    query.AddSink("sink", filtered, [](const spe::Tuple&) {});
+    query.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * tuples);
+}
+BENCHMARK(BM_SpePipelineTuples)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+static void BM_SpeAggregateWindows(benchmark::State& state) {
+  const std::int64_t tuples = 100000;
+  for (auto _ : state) {
+    spe::Query query;
+    auto counter = std::make_shared<std::int64_t>(0);
+    auto src = query.AddSource(
+        "src", [counter]() -> std::optional<spe::Tuple> {
+          if (*counter >= tuples) return std::nullopt;
+          spe::Tuple t;
+          t.event_time = (*counter)++;
+          return t;
+        });
+    spe::AggregateSpec spec;
+    spec.window = {1000, 100};
+    spec.init = [] { return std::any(std::int64_t{0}); };
+    spec.add = [](std::any& a, const spe::Tuple&) {
+      ++std::any_cast<std::int64_t&>(a);
+    };
+    spec.result = [](std::any& a, Timestamp, Timestamp) {
+      spe::Tuple t;
+      t.payload.Set("n", std::any_cast<std::int64_t>(a));
+      return std::vector<spe::Tuple>{t};
+    };
+    auto agg = query.AddAggregate("agg", src, std::move(spec));
+    query.AddSink("sink", agg, [](const spe::Tuple&) {});
+    query.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * tuples);
+}
+BENCHMARK(BM_SpeAggregateWindows)->Unit(benchmark::kMillisecond);
+
+// -------------------------------------------------------------- transport
+
+static void BM_TupleCodecScalar(benchmark::State& state) {
+  spe::Tuple t;
+  t.job = 1;
+  t.layer = 2;
+  t.payload.Set("cx_mm", 12.5);
+  t.payload.Set("cy_mm", 14.5);
+  t.payload.Set("mean", 140.0);
+  t.payload.Set("label", std::int64_t{2});
+  for (auto _ : state) {
+    std::string encoded;
+    core::EncodeTuple(t, &encoded).OrDie();
+    auto decoded = core::DecodeTuple(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_TupleCodecScalar);
+
+static void BM_TupleCodecImage(benchmark::State& state) {
+  spe::Tuple t;
+  t.payload.Set(
+      "ot_image",
+      am::MakeImageValue(am::GrayImage(static_cast<int>(state.range(0)),
+                                       static_cast<int>(state.range(0)))));
+  for (auto _ : state) {
+    std::string encoded;
+    core::EncodeTuple(t, &encoded).OrDie();
+    auto decoded = core::DecodeTuple(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * state.range(0));
+}
+BENCHMARK(BM_TupleCodecImage)->Arg(1000)->Arg(2000);
+
+// --------------------------------------------------------------------- am
+
+static void BM_OtGenerateLayer(benchmark::State& state) {
+  am::BuildJobSpec job = am::MakePaperJob(1, static_cast<int>(state.range(0)));
+  am::DefectModelParams defect_params;
+  defect_params.birth_rate = 0.03;
+  am::DefectSeeder seeder(job, defect_params);
+  am::OtImageGenerator generator(job, &seeder);
+  int layer = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.GenerateLayer(layer++ % 100));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * state.range(0));
+}
+BENCHMARK(BM_OtGenerateLayer)->Arg(1000)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+static void BM_CellMeans(benchmark::State& state) {
+  const am::BuildJobSpec job = am::MakePaperJob(1, 2000);
+  am::OtImageGenerator generator(job, nullptr);
+  const am::GrayImage image = generator.GenerateLayer(0);
+  const int cell = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    double sum = 0;
+    for (const auto& s : job.specimens) {
+      const int x0 = job.plate.MmToPx(s.x_mm);
+      const int y0 = job.plate.MmToPx(s.y_mm);
+      const int x1 = job.plate.MmToPx(s.x_mm + s.width_mm);
+      const int y1 = job.plate.MmToPx(s.y_mm + s.length_mm);
+      for (int y = y0; y + cell <= y1; y += cell) {
+        for (int x = x0; x + cell <= x1; x += cell) {
+          sum += image.RegionMean(x, y, cell, cell);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_CellMeans)->Arg(20)->Arg(10)->Arg(2)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

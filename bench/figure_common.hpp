@@ -1,0 +1,97 @@
+// Shared harness for the figure-reproduction benches: runs the Algorithm-1
+// use-case pipeline on a simulated job and reports the sink latency
+// distribution + processing counters.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "strata/usecase.hpp"
+
+namespace strata::bench {
+
+struct TrialResult {
+  Histogram latency;           // per-report end-to-end latency (us)
+  std::size_t reports = 0;     // (layer, specimen) reports delivered
+  std::uint64_t cells = 0;     // cell tuples produced by isolateCell
+  std::uint64_t events = 0;    // defect events emitted by labelCell
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double CellsPerSecond() const {
+    return wall_seconds > 0 ? static_cast<double>(cells) / wall_seconds : 0.0;
+  }
+};
+
+struct TrialConfig {
+  am::MachineParams machine;
+  core::UseCaseParams usecase;
+  core::CollectorPacing pacing;
+  int threshold_history_layers = 3;
+};
+
+inline TrialResult RunThermalTrial(const TrialConfig& config) {
+  core::Strata strata_rt;
+  core::ComputeAndStoreThresholds(&strata_rt, config.usecase.machine_id,
+                                  config.machine.job,
+                                  config.threshold_history_layers,
+                                  config.usecase.cell_px)
+      .OrDie();
+  auto machine = std::make_shared<am::MachineSimulator>(config.machine);
+
+  TrialResult result;
+  std::mutex mu;
+  auto* sink = core::BuildThermalPipeline(
+      &strata_rt, machine, config.pacing, config.usecase,
+      [&](const core::ClusterReport&) {
+        std::lock_guard lock(mu);
+        ++result.reports;
+      });
+
+  const Timestamp start = Clock::System().Now();
+  strata_rt.Deploy();
+  strata_rt.WaitForCompletion();
+  result.wall_seconds = MicrosToSeconds(Clock::System().Now() - start);
+  result.latency = sink->LatencySnapshot();
+
+  const std::string cell_op = "cell." + config.usecase.machine_id;
+  const std::string label_op = "label." + config.usecase.machine_id;
+  for (const auto& stats : strata_rt.query().Stats()) {
+    // Parallel stages split into "<name>[i]" instances; match by prefix.
+    if (stats.name.rfind(cell_op, 0) == 0 && stats.name.find(".router") == std::string::npos &&
+        stats.name.find(".union") == std::string::npos) {
+      result.cells += stats.tuples_out;
+    }
+    if (stats.name.rfind(label_op, 0) == 0 && stats.name.find(".router") == std::string::npos &&
+        stats.name.find(".union") == std::string::npos) {
+      result.events += stats.tuples_out;
+    }
+  }
+  return result;
+}
+
+inline void PrintBoxplotRow(const char* label, const TrialResult& result,
+                            double qos_seconds = 3.0) {
+  const BoxplotStats box = result.latency.Boxplot();
+  std::printf(
+      "%-14s %8llu %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f   %s\n", label,
+      static_cast<unsigned long long>(box.count), MicrosToMillis(box.min),
+      MicrosToMillis(box.p25), MicrosToMillis(box.p50),
+      MicrosToMillis(box.p75), MicrosToMillis(box.p95),
+      MicrosToMillis(box.max),
+      MicrosToSeconds(box.max) <= qos_seconds ? "yes" : "NO");
+}
+
+inline void PrintBoxplotHeader() {
+  std::printf("%-14s %8s %10s %10s %10s %10s %10s %10s   %s\n", "config",
+              "n", "min(ms)", "p25(ms)", "p50(ms)", "p75(ms)", "p95(ms)",
+              "max(ms)", "QoS<=3s");
+}
+
+/// Environment-tunable integer (benches accept scaling without rebuilds).
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+}  // namespace strata::bench

@@ -1,0 +1,62 @@
+// Quickstart: the smallest useful STRATA pipeline.
+//
+// A synthetic per-layer temperature source flows through the Raw Data
+// Connector; detectEvent flags out-of-band layers against a threshold
+// stored in the key-value store; results reach the expert callback.
+//
+//   build/examples/quickstart
+#include <cstdio>
+
+#include "strata/strata.hpp"
+
+using strata::core::Strata;
+using strata::spe::Tuple;
+
+int main() {
+  Strata strata;
+
+  // Data at rest: a threshold computed from "previous jobs".
+  strata.Store("max_temp", "200.0").OrDie();
+
+  // A collector producing one tuple per layer with a synthetic temperature.
+  auto next_layer = std::make_shared<int>(0);
+  auto source = strata.AddSource(
+      "thermo", [next_layer]() -> std::optional<Tuple> {
+        if (*next_layer >= 50) return std::nullopt;
+        Tuple t;
+        t.job = 1;
+        t.layer = (*next_layer)++;
+        t.event_time = (t.layer + 1) * 1'000'000;
+        // Layers 20-24 run hot.
+        t.payload.Set("temp",
+                      180.0 + (t.layer >= 20 && t.layer < 25 ? 40.0 : 0.0));
+        return t;
+      });
+
+  // detectEvent: compare each layer against the stored threshold.
+  const double max_temp = std::stod(strata.Get("max_temp").value());
+  auto events = strata.DetectEvent(
+      "overheat", source,
+      [max_temp](const Tuple& t) -> std::vector<Tuple> {
+        if (t.payload.Get("temp").AsDouble() <= max_temp) return {};
+        Tuple event;
+        event.payload.Set("temp", t.payload.Get("temp"));
+        return {event};
+      });
+
+  // Deliver to the expert.
+  auto* sink = strata.Deliver("expert", events, [](const Tuple& t) {
+    std::printf("layer %3lld OVERHEATED: %.1f C\n",
+                static_cast<long long>(t.layer),
+                t.payload.Get("temp").AsDouble());
+  });
+
+  strata.Deploy();
+  strata.WaitForCompletion();
+
+  const auto latency = sink->LatencySnapshot();
+  std::printf("\ndelivered %llu events, p50 latency %.2f ms\n",
+              static_cast<unsigned long long>(latency.count()),
+              strata::MicrosToMillis(latency.Quantile(0.5)));
+  return 0;
+}

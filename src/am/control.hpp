@@ -1,0 +1,67 @@
+// Machine control interface: the actuation side of the paper's envisioned
+// feedback loop (§1: "a data-driven approach ... eventually enabling
+// feedback loop control"; Figure 1B: the expert may "continue, re-adjust,
+// or terminate an ongoing process").
+//
+// The simulator accepts two commands:
+//  - AdjustSpecimen(specimen): re-parameterize the laser for one specimen
+//    (e.g. adapt power/speed where thermal deviations cluster). Modeled as
+//    defect mitigation: seeded defects of that specimen stop being rendered
+//    from the next layer on (the corrected energy input removes the
+//    deviation source).
+//  - TerminateJob(): stop printing after the current layer, abandoning the
+//    build (the defect is unrecoverable; stop wasting powder and time).
+//
+// Commands are thread-safe: the monitoring pipeline calls them from sink
+// threads while the machine thread prints.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace strata::am {
+
+/// Shared mutable control state between a controller and the machine.
+class ControlState {
+ public:
+  /// Re-parameterize `specimen` starting from the next layer; idempotent.
+  void AdjustSpecimen(std::int64_t specimen, int effective_from_layer) {
+    std::lock_guard lock(mu_);
+    auto [it, inserted] =
+        mitigated_from_.try_emplace(specimen, effective_from_layer);
+    if (!inserted && effective_from_layer < it->second) {
+      it->second = effective_from_layer;
+    }
+  }
+
+  /// Stop the job; layers after the current one are not printed.
+  void TerminateJob() {
+    std::lock_guard lock(mu_);
+    terminated_ = true;
+  }
+
+  [[nodiscard]] bool terminated() const {
+    std::lock_guard lock(mu_);
+    return terminated_;
+  }
+
+  /// True when `specimen`'s laser was re-parameterized at or before `layer`.
+  [[nodiscard]] bool IsMitigated(std::int64_t specimen, int layer) const {
+    std::lock_guard lock(mu_);
+    const auto it = mitigated_from_.find(specimen);
+    return it != mitigated_from_.end() && layer >= it->second;
+  }
+
+  [[nodiscard]] std::size_t adjustments() const {
+    std::lock_guard lock(mu_);
+    return mitigated_from_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::int64_t, int> mitigated_from_;
+  bool terminated_ = false;
+};
+
+}  // namespace strata::am

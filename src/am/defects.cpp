@@ -1,0 +1,72 @@
+#include "am/defects.hpp"
+
+#include <cmath>
+
+namespace strata::am {
+
+double Defect::RadiusAtLayer(int layer) const noexcept {
+  const int dl = layer - center_layer;
+  if (dl < -half_layers || dl > half_layers) return 0.0;
+  if (half_layers == 0) return radius_mm;
+  const double f = static_cast<double>(dl) / static_cast<double>(half_layers);
+  const double scale2 = 1.0 - f * f;  // ellipsoid cross-section
+  return radius_mm * std::sqrt(scale2 > 0 ? scale2 : 0.0);
+}
+
+double DefectSeeder::AngleRisk(double angle_deg, double min_angle_risk) {
+  // Gas flows back->front (along -y). Scanning against the flow (angle 90,
+  // i.e. towards +y) drives spatter onto unprocessed powder: riskiest.
+  // Risk profile: raised cosine centred on 90 degrees.
+  const double rad = (angle_deg - 90.0) * std::acos(-1.0) / 180.0;
+  const double raised = 0.5 * (1.0 + std::cos(rad));  // 1 at 90, 0 at 270
+  return min_angle_risk + (1.0 - min_angle_risk) * raised;
+}
+
+DefectSeeder::DefectSeeder(const BuildJobSpec& job, DefectModelParams params) {
+  Rng rng(params.seed ^ static_cast<std::uint64_t>(job.job_id) * 0x9e3779b9ull);
+  const int total_layers = job.TotalLayers();
+
+  for (const SpecimenSpec& specimen : job.specimens) {
+    Rng spec_rng = rng.Fork();
+    const int specimen_layers = static_cast<int>(
+        specimen.height_mm * 1000.0 / job.layer_thickness_um);
+    const int layers = std::min(total_layers, specimen_layers);
+    for (int layer = 0; layer < layers; ++layer) {
+      const double risk =
+          AngleRisk(job.ScanAngleDeg(layer), params.min_angle_risk);
+      const std::int64_t births =
+          spec_rng.Poisson(params.birth_rate * risk);
+      for (std::int64_t b = 0; b < births; ++b) {
+        Defect defect;
+        defect.type = spec_rng.Bernoulli(params.hot_fraction)
+                          ? DefectType::kHot
+                          : DefectType::kCold;
+        defect.specimen = specimen.id;
+        // Keep the core inside the specimen with a small margin.
+        const double margin = 2.0;
+        defect.center_x_mm = spec_rng.Uniform(specimen.x_mm + margin,
+                                              specimen.x_mm + specimen.width_mm - margin);
+        defect.center_y_mm = spec_rng.Uniform(specimen.y_mm + margin,
+                                              specimen.y_mm + specimen.length_mm - margin);
+        defect.center_layer = layer;
+        defect.radius_mm = std::max(
+            0.3, spec_rng.Normal(params.mean_radius_mm, params.radius_stddev_mm));
+        defect.half_layers = static_cast<int>(
+            std::max<std::int64_t>(1, spec_rng.Poisson(params.mean_half_layers)));
+        defect.intensity_delta =
+            std::max(10.0, spec_rng.Normal(params.mean_intensity_delta, 8.0));
+        defects_.push_back(defect);
+      }
+    }
+  }
+}
+
+std::vector<const Defect*> DefectSeeder::DefectsOnLayer(int layer) const {
+  std::vector<const Defect*> result;
+  for (const Defect& defect : defects_) {
+    if (defect.RadiusAtLayer(layer) > 0.0) result.push_back(&defect);
+  }
+  return result;
+}
+
+}  // namespace strata::am

@@ -1,0 +1,75 @@
+// Stochastic defect model for the synthetic OT images.
+//
+// The paper's physics: scan-orientation-dependent interaction between
+// spatter and the shielding gas flow creates sites where melt-pool thermal
+// energy deviates — too-low (cold: lack of fusion risk) or too-high (hot:
+// keyholing risk) — and such regions are spatially compact and persist
+// across neighbouring layers. We model each defect as an ellipsoid in
+// (x, y, layer) space with a type and an intensity delta; per-layer cross
+// sections are discs whose radius follows the ellipsoid profile. Defect
+// birth rate per layer depends on the stack's scan angle (angles blowing
+// spatter along the gas flow are riskier), reproducing the paper's
+// orientation-dependent defect sites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "am/geometry.hpp"
+#include "common/rng.hpp"
+
+namespace strata::am {
+
+enum class DefectType : std::uint8_t { kCold = 0, kHot = 1 };
+
+struct Defect {
+  DefectType type = DefectType::kCold;
+  std::int64_t specimen = 0;
+  double center_x_mm = 0.0;  // plate coordinates
+  double center_y_mm = 0.0;
+  int center_layer = 0;
+  double radius_mm = 1.0;   // in-plane radius at the central layer
+  int half_layers = 2;      // vertical half-extent in layers
+  double intensity_delta = 30.0;  // gray levels; sign applied by type
+
+  /// In-plane radius of this defect's cross-section on `layer` (0 when the
+  /// layer is outside the defect's vertical extent).
+  [[nodiscard]] double RadiusAtLayer(int layer) const noexcept;
+};
+
+struct DefectModelParams {
+  /// Expected defects born per specimen per layer at the riskiest angle.
+  double birth_rate = 0.02;
+  /// Relative risk floor at the safest angle (0..1).
+  double min_angle_risk = 0.25;
+  double mean_radius_mm = 1.2;
+  double radius_stddev_mm = 0.5;
+  int mean_half_layers = 4;
+  double mean_intensity_delta = 35.0;
+  double hot_fraction = 0.5;  // remaining defects are cold
+  std::uint64_t seed = 1234;
+};
+
+/// Deterministically generates the full defect set of a job up front, so the
+/// ground truth is known to tests and benches.
+class DefectSeeder {
+ public:
+  DefectSeeder(const BuildJobSpec& job, DefectModelParams params);
+
+  [[nodiscard]] const std::vector<Defect>& defects() const noexcept {
+    return defects_;
+  }
+
+  /// Defects intersecting a given layer (for the image generator).
+  [[nodiscard]] std::vector<const Defect*> DefectsOnLayer(int layer) const;
+
+  /// Relative risk (0..1] of the scan angle on this layer: maximal when the
+  /// scan direction pushes spatter against the gas flow.
+  [[nodiscard]] static double AngleRisk(double angle_deg,
+                                        double min_angle_risk);
+
+ private:
+  std::vector<Defect> defects_;
+};
+
+}  // namespace strata::am

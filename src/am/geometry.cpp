@@ -1,0 +1,50 @@
+#include "am/geometry.hpp"
+
+namespace strata::am {
+
+BuildJobSpec MakePaperJob(std::int64_t job_id, int image_px) {
+  BuildJobSpec job;
+  job.job_id = job_id;
+  job.plate.image_px = image_px;
+
+  // 4 columns x 3 rows of 25x50 mm blocks, centred with even margins:
+  // x: 4*25 = 100 mm used, 150 mm of gaps -> 30 mm pitch gap
+  // y: 3*50 = 150 mm used, 100 mm of gaps -> 25 mm pitch gap
+  const double x_gap = (250.0 - 4 * 25.0) / 5.0;
+  const double y_gap = (250.0 - 3 * 50.0) / 4.0;
+  std::int64_t id = 0;
+  for (int row = 0; row < 3; ++row) {
+    for (int col = 0; col < 4; ++col) {
+      SpecimenSpec s;
+      s.id = id++;
+      s.x_mm = x_gap + col * (25.0 + x_gap);
+      s.y_mm = y_gap + row * (50.0 + y_gap);
+      // Three XCT cylinders along the block's long axis (paper §5).
+      for (int c = 0; c < 3; ++c) {
+        s.xct_cylinders.push_back(
+            CylinderSpec{12.5, 12.5 + 12.5 * c, 2.0});
+      }
+      job.specimens.push_back(s);
+    }
+  }
+  return job;
+}
+
+BuildJobSpec MakeSmallJob(std::int64_t job_id, int image_px, int specimens) {
+  BuildJobSpec job;
+  job.job_id = job_id;
+  job.plate.image_px = image_px;
+  job.layer_thickness_um = 40.0;
+  const double gap = 250.0 / (specimens + 1);
+  for (int i = 0; i < specimens; ++i) {
+    SpecimenSpec s;
+    s.id = i;
+    s.x_mm = gap * (i + 1) - 12.5;
+    s.y_mm = 100.0;
+    s.height_mm = 4.0;  // 100 layers at 40 um
+    job.specimens.push_back(s);
+  }
+  return job;
+}
+
+}  // namespace strata::am

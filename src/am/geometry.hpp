@@ -1,0 +1,112 @@
+// Build-plate and job geometry mirroring the paper's evaluation data (§5):
+// an EOS M290-class machine with a 250x250 mm plate imaged at 2000x2000 px,
+// printing 12 blocks of 25 (W) x 50 (L) x 23 (H) mm, each broken into 23
+// one-millimetre stacks whose laser scan orientation rotates relative to the
+// gas flow (back -> front), creating orientation-dependent defect risk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace strata::am {
+
+/// A small cylinder embedded in a specimen for later X-ray Computed
+/// Tomography of the 3D defect distribution (paper §5: "three small
+/// cylinders are defined to later measure the three-dimensional
+/// distribution of process defects"). Coordinates are relative to the
+/// specimen's lower-left corner; cylinders span the full build height.
+struct CylinderSpec {
+  double cx_mm = 0.0;
+  double cy_mm = 0.0;
+  double radius_mm = 2.0;
+};
+
+/// Axis-aligned placement of one specimen on the plate (mm).
+struct SpecimenSpec {
+  std::int64_t id = 0;
+  double x_mm = 0.0;  // lower-left corner
+  double y_mm = 0.0;
+  double width_mm = 25.0;   // along x
+  double length_mm = 50.0;  // along y
+  double height_mm = 23.0;
+  std::vector<CylinderSpec> xct_cylinders;
+
+  [[nodiscard]] bool Contains(double x, double y) const noexcept {
+    return x >= x_mm && x < x_mm + width_mm && y >= y_mm &&
+           y < y_mm + length_mm;
+  }
+
+  /// Index of the XCT cylinder containing plate point (x, y), or -1.
+  [[nodiscard]] int CylinderIndexAt(double x, double y) const noexcept {
+    for (std::size_t i = 0; i < xct_cylinders.size(); ++i) {
+      const CylinderSpec& c = xct_cylinders[i];
+      const double dx = x - (x_mm + c.cx_mm);
+      const double dy = y - (y_mm + c.cy_mm);
+      if (dx * dx + dy * dy <= c.radius_mm * c.radius_mm) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+};
+
+struct PlateSpec {
+  double size_mm = 250.0;  // square plate
+  int image_px = 2000;     // OT image resolution (square)
+
+  [[nodiscard]] double PxPerMm() const noexcept {
+    return static_cast<double>(image_px) / size_mm;
+  }
+  [[nodiscard]] int MmToPx(double mm) const noexcept {
+    return static_cast<int>(mm * PxPerMm());
+  }
+  [[nodiscard]] double PxToMm(double px) const noexcept {
+    return px / PxPerMm();
+  }
+};
+
+struct BuildJobSpec {
+  std::int64_t job_id = 0;
+  PlateSpec plate;
+  std::vector<SpecimenSpec> specimens;
+  double layer_thickness_um = 40.0;
+  /// Stack height: the laser scan orientation changes every stack (paper:
+  /// 23 stacks of 1 mm within each 23 mm block).
+  double stack_height_mm = 1.0;
+  /// Gap between layers while the recoater runs (the QoS budget, §5: ~3 s).
+  double recoat_seconds = 3.0;
+  /// Base scan angles cycle per stack, degrees relative to gas flow.
+  std::vector<double> stack_angles_deg = {0, 45, 90, 135, 180, 225, 270, 315};
+
+  [[nodiscard]] int TotalLayers() const noexcept {
+    double max_height = 0.0;
+    for (const SpecimenSpec& s : specimens) {
+      max_height = max_height > s.height_mm ? max_height : s.height_mm;
+    }
+    return static_cast<int>(max_height * 1000.0 / layer_thickness_um);
+  }
+
+  [[nodiscard]] int LayersPerStack() const noexcept {
+    return static_cast<int>(stack_height_mm * 1000.0 / layer_thickness_um);
+  }
+
+  /// Scan angle used on a given layer (cycles per stack).
+  [[nodiscard]] double ScanAngleDeg(int layer) const noexcept {
+    const int stack = layer / (LayersPerStack() > 0 ? LayersPerStack() : 1);
+    return stack_angles_deg[static_cast<std::size_t>(stack) %
+                            stack_angles_deg.size()];
+  }
+};
+
+/// The paper's evaluation job: 12 specimens of 25x50x23 mm laid out in a
+/// 4 x 3 grid on the 250 mm plate, with `image_px` OT resolution.
+[[nodiscard]] BuildJobSpec MakePaperJob(std::int64_t job_id,
+                                        int image_px = 2000);
+
+/// A reduced job (fewer/smaller specimens, coarser image) for fast tests.
+[[nodiscard]] BuildJobSpec MakeSmallJob(std::int64_t job_id,
+                                        int image_px = 250,
+                                        int specimens = 2);
+
+}  // namespace strata::am

@@ -1,0 +1,73 @@
+#include "am/history.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/codec.hpp"
+
+namespace strata::am {
+
+std::string ThermalThresholds::Serialize() const {
+  std::string out;
+  codec::PutDouble(&out, very_cold);
+  codec::PutDouble(&out, cold);
+  codec::PutDouble(&out, warm);
+  codec::PutDouble(&out, very_warm);
+  return out;
+}
+
+Result<ThermalThresholds> ThermalThresholds::Deserialize(
+    std::string_view data) {
+  ThermalThresholds t;
+  if (!codec::GetDouble(&data, &t.very_cold) ||
+      !codec::GetDouble(&data, &t.cold) || !codec::GetDouble(&data, &t.warm) ||
+      !codec::GetDouble(&data, &t.very_warm) || !data.empty()) {
+    return Status::Corruption("ThermalThresholds: bad encoding");
+  }
+  if (!t.valid()) {
+    return Status::Corruption("ThermalThresholds: unordered cut points");
+  }
+  return t;
+}
+
+ThermalThresholds ComputeThresholdsFromHistory(
+    const OtImageGenerator& generator, int layers, int cell_px,
+    const ThresholdPercentiles& percentiles) {
+  const BuildJobSpec& job = generator.job();
+  std::vector<double> cell_means;
+
+  for (int layer = 0; layer < layers; ++layer) {
+    const GrayImage image = generator.GenerateLayer(layer);
+    for (const SpecimenSpec& specimen : job.specimens) {
+      const int x0 = job.plate.MmToPx(specimen.x_mm);
+      const int y0 = job.plate.MmToPx(specimen.y_mm);
+      const int x1 = job.plate.MmToPx(specimen.x_mm + specimen.width_mm);
+      const int y1 = job.plate.MmToPx(specimen.y_mm + specimen.length_mm);
+      for (int y = y0; y + cell_px <= y1; y += cell_px) {
+        for (int x = x0; x + cell_px <= x1; x += cell_px) {
+          cell_means.push_back(image.RegionMean(x, y, cell_px, cell_px));
+        }
+      }
+    }
+  }
+
+  ThermalThresholds thresholds;
+  if (cell_means.empty()) return thresholds;
+  std::sort(cell_means.begin(), cell_means.end());
+  const auto at = [&](double q) {
+    const auto index = static_cast<std::size_t>(
+        q * static_cast<double>(cell_means.size() - 1));
+    return cell_means[std::min(index, cell_means.size() - 1)];
+  };
+  thresholds.very_cold = at(percentiles.very_cold);
+  thresholds.cold = at(percentiles.cold);
+  thresholds.warm = at(percentiles.warm);
+  thresholds.very_warm = at(percentiles.very_warm);
+  return thresholds;
+}
+
+std::string ThresholdKey(const std::string& machine_id) {
+  return "thresholds/" + machine_id;
+}
+
+}  // namespace strata::am

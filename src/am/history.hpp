@@ -1,0 +1,52 @@
+// Historical-data analysis: thermal-energy thresholds.
+//
+// The paper's detectEvent classifies each cell as very cold / cold / regular
+// / warm / very warm against thresholds "computed based on historical
+// information from previous jobs" and read from the key-value store. This
+// module computes those thresholds from simulated historical layers (the
+// cell-mean intensity distribution of defect-free builds) and provides the
+// serialization used to persist them.
+#pragma once
+
+#include <string>
+
+#include "am/ot_generator.hpp"
+#include "common/status.hpp"
+
+namespace strata::am {
+
+/// Gray-level cut points, ordered: very_cold < cold < warm < very_warm.
+/// Cells below very_cold / above very_warm are the reported events.
+struct ThermalThresholds {
+  double very_cold = 0.0;
+  double cold = 0.0;
+  double warm = 255.0;
+  double very_warm = 255.0;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return very_cold <= cold && cold <= warm && warm <= very_warm;
+  }
+
+  [[nodiscard]] std::string Serialize() const;
+  [[nodiscard]] static Result<ThermalThresholds> Deserialize(
+      std::string_view data);
+};
+
+struct ThresholdPercentiles {
+  double very_cold = 0.005;
+  double cold = 0.05;
+  double warm = 0.95;
+  double very_warm = 0.995;
+};
+
+/// Run `layers` historical layers through the generator, collect the
+/// distribution of cell means (cells of `cell_px` pixels inside specimens),
+/// and cut thresholds at the given percentiles.
+[[nodiscard]] ThermalThresholds ComputeThresholdsFromHistory(
+    const OtImageGenerator& generator, int layers, int cell_px,
+    const ThresholdPercentiles& percentiles = {});
+
+/// Canonical KV-store key under which a machine's thresholds live.
+[[nodiscard]] std::string ThresholdKey(const std::string& machine_id);
+
+}  // namespace strata::am

@@ -1,0 +1,71 @@
+#include "am/machine.hpp"
+
+namespace strata::am {
+
+namespace {
+/// Apply the material's signature before the seeder/generator are built.
+MachineParams WithMaterial(MachineParams params) {
+  ApplyMaterial(params.material, &params.ot, &params.defects);
+  return params;
+}
+}  // namespace
+
+MachineSimulator::MachineSimulator(MachineParams params)
+    : params_(WithMaterial(std::move(params))),
+      seeder_(params_.job, params_.defects),
+      streak_seeder_(params_.streaks.has_value()
+                         ? std::make_unique<StreakSeeder>(params_.job,
+                                                          *params_.streaks)
+                         : nullptr),
+      generator_(params_.job, &seeder_, params_.ot, streak_seeder_.get(),
+                 &control_),
+      total_layers_(params_.layers_limit > 0
+                        ? std::min(params_.layers_limit,
+                                   params_.job.TotalLayers())
+                        : params_.job.TotalLayers()) {}
+
+Timestamp MachineSimulator::LayerPeriodMicros() const noexcept {
+  return SecondsToMicros(params_.layer_melt_seconds +
+                         params_.job.recoat_seconds);
+}
+
+Payload MachineSimulator::PrintingParams(int layer) const {
+  Payload p;
+  p.Set("scan_angle_deg", params_.job.ScanAngleDeg(layer));
+  p.Set("layer_thickness_um", params_.job.layer_thickness_um);
+  p.Set("material", params_.material.name);
+  p.Set("laser_power_w", params_.material.laser_power_w);
+  p.Set("scan_speed_mm_s", params_.material.scan_speed_mm_s);
+  p.Set("hatch_distance_um", params_.material.hatch_distance_um);
+  p.Set("plate_size_mm", params_.job.plate.size_mm);
+  p.Set("image_px", static_cast<std::int64_t>(params_.job.plate.image_px));
+  // Specimen layout: the partition step (isolateSpecimen) reads these to
+  // know which pixels belong to each specimen (paper §5).
+  p.Set("specimen_count",
+        static_cast<std::int64_t>(params_.job.specimens.size()));
+  for (const SpecimenSpec& s : params_.job.specimens) {
+    const std::string prefix = "spec" + std::to_string(s.id) + "_";
+    p.Set(prefix + "x_mm", s.x_mm);
+    p.Set(prefix + "y_mm", s.y_mm);
+    p.Set(prefix + "w_mm", s.width_mm);
+    p.Set(prefix + "l_mm", s.length_mm);
+    p.Set(prefix + "h_mm", s.height_mm);
+  }
+  return p;
+}
+
+std::optional<LayerData> MachineSimulator::NextLayer() {
+  if (control_.terminated()) return std::nullopt;  // job aborted by expert
+  if (next_layer_ >= total_layers_) return std::nullopt;
+  const int layer = next_layer_++;
+
+  LayerData data;
+  data.job = params_.job.job_id;
+  data.layer = layer;
+  data.event_time = static_cast<Timestamp>(layer + 1) * LayerPeriodMicros();
+  data.ot_image = generator_.GenerateLayer(layer);
+  data.printing_params = PrintingParams(layer);
+  return data;
+}
+
+}  // namespace strata::am

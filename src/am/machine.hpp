@@ -1,0 +1,89 @@
+// PBF-LB machine simulator: the EOS M290 substitute.
+//
+// The machine prints a job layer by layer. After each layer melts, the OT
+// sensor emits the layer's long-exposure image and the controller reports
+// the layer's printing parameters; then the recoater spreads the next powder
+// layer (~3 s gap — the pipeline's QoS budget, §5). The simulator exposes a
+// pull API: NextLayer() produces the per-layer data with simulated event
+// times; pacing (live vs replay-as-fast-as-possible) is the caller's choice.
+#pragma once
+
+#include <optional>
+
+#include "am/material.hpp"
+#include "am/ot_generator.hpp"
+#include "common/clock.hpp"
+#include "common/value.hpp"
+
+namespace strata::am {
+
+struct MachineParams {
+  BuildJobSpec job;
+  DefectModelParams defects;
+  OtGeneratorParams ot;
+  /// Powder material: adjusts the OT signature, the defect propensity, and
+  /// the reported laser parameters (defaults to the paper's Ti-6Al-4V).
+  MaterialSpec material;
+  /// Recoater-streak model; nullopt = pristine recoater.
+  std::optional<StreakModelParams> streaks;
+  /// Stop after this many layers (0 = the job's full height).
+  int layers_limit = 0;
+  /// Simulated melt time per layer, seconds (event-time spacing between
+  /// layers is melt + recoat).
+  double layer_melt_seconds = 30.0;
+};
+
+struct LayerData {
+  std::int64_t job = 0;
+  int layer = 0;
+  Timestamp event_time = 0;  // simulated completion time of the layer
+  GrayImage ot_image;
+  Payload printing_params;
+};
+
+class MachineSimulator {
+ public:
+  explicit MachineSimulator(MachineParams params);
+
+  /// Produce the next layer's data; nullopt when the job has finished.
+  [[nodiscard]] std::optional<LayerData> NextLayer();
+
+  /// Restart the same job from layer 0 (for replay experiments).
+  void Reset() { next_layer_ = 0; }
+
+  [[nodiscard]] const BuildJobSpec& job() const noexcept {
+    return params_.job;
+  }
+  [[nodiscard]] const DefectSeeder& seeder() const noexcept { return seeder_; }
+  /// Null when the machine has a pristine recoater.
+  [[nodiscard]] const StreakSeeder* streak_seeder() const noexcept {
+    return streak_seeder_.get();
+  }
+  /// The feedback-control channel (thread-safe): experts/controllers call
+  /// AdjustSpecimen/TerminateJob; the machine honors them from the next
+  /// layer on.
+  [[nodiscard]] ControlState& control() noexcept { return control_; }
+  [[nodiscard]] const ControlState& control() const noexcept {
+    return control_;
+  }
+  /// Layer index the next NextLayer() call will produce.
+  [[nodiscard]] int next_layer() const noexcept { return next_layer_; }
+  [[nodiscard]] int total_layers() const noexcept { return total_layers_; }
+  /// Event-time spacing between consecutive layer completions.
+  [[nodiscard]] Timestamp LayerPeriodMicros() const noexcept;
+
+  /// The printing-parameter payload for a layer (also used standalone by
+  /// the PrintingParameterCollector source).
+  [[nodiscard]] Payload PrintingParams(int layer) const;
+
+ private:
+  MachineParams params_;
+  DefectSeeder seeder_;
+  std::unique_ptr<StreakSeeder> streak_seeder_;
+  ControlState control_;
+  OtImageGenerator generator_;
+  int total_layers_;
+  int next_layer_ = 0;
+};
+
+}  // namespace strata::am

@@ -1,0 +1,58 @@
+#include "am/material.hpp"
+
+namespace strata::am {
+
+MaterialSpec Ti6Al4V() {
+  return MaterialSpec{};  // the defaults: the paper's evaluation material
+}
+
+MaterialSpec Inconel718() {
+  MaterialSpec m;
+  m.name = "IN718";
+  // Nickel superalloy: higher melting point, brighter melt pool, slower
+  // scanning, more conservative hatch.
+  m.base_intensity = 150.0;
+  m.pixel_noise_stddev = 6.5;
+  m.stripe_amplitude = 7.0;
+  m.laser_power_w = 285.0;
+  m.scan_speed_mm_s = 960.0;
+  m.hatch_distance_um = 110.0;
+  m.defect_propensity = 1.3;
+  return m;
+}
+
+MaterialSpec AlSi10Mg() {
+  MaterialSpec m;
+  m.name = "AlSi10Mg";
+  // Aluminium alloy: high reflectivity (dimmer apparent emission), high
+  // thermal conductivity needs more power and speed; spatter-prone.
+  m.base_intensity = 105.0;
+  m.pixel_noise_stddev = 8.0;
+  m.stripe_amplitude = 5.0;
+  m.laser_power_w = 370.0;
+  m.scan_speed_mm_s = 1300.0;
+  m.hatch_distance_um = 190.0;
+  m.defect_propensity = 1.8;
+  return m;
+}
+
+Result<MaterialSpec> MaterialByName(const std::string& name) {
+  if (name == "Ti-6Al-4V") return Ti6Al4V();
+  if (name == "IN718") return Inconel718();
+  if (name == "AlSi10Mg") return AlSi10Mg();
+  return Status::NotFound("unknown material: " + name);
+}
+
+void ApplyMaterial(const MaterialSpec& material, OtGeneratorParams* ot,
+                   DefectModelParams* defects) {
+  if (ot != nullptr) {
+    ot->base_intensity = material.base_intensity;
+    ot->pixel_noise_stddev = material.pixel_noise_stddev;
+    ot->stripe_amplitude = material.stripe_amplitude;
+  }
+  if (defects != nullptr) {
+    defects->birth_rate *= material.defect_propensity;
+  }
+}
+
+}  // namespace strata::am

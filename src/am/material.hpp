@@ -1,0 +1,43 @@
+// Powder material presets (the paper's future work: "accounting for common
+// features of PBF-LB processes, such as e.g. the material used as powder").
+//
+// Different alloys melt with different emissivity, process parameters, and
+// defect propensity; the presets alter the OT signature (base intensity,
+// noise, striping) and the defect model, plus the laser parameters reported
+// in the printing-parameter stream.
+#pragma once
+
+#include <string>
+
+#include "am/defects.hpp"
+#include "am/ot_generator.hpp"
+
+namespace strata::am {
+
+struct MaterialSpec {
+  std::string name = "Ti-6Al-4V";
+  /// Emissivity-driven nominal melt-pool brightness (gray levels).
+  double base_intensity = 128.0;
+  double pixel_noise_stddev = 5.0;
+  double stripe_amplitude = 6.0;
+  /// EOS-style process parameters reported per layer.
+  double laser_power_w = 285.0;
+  double scan_speed_mm_s = 960.0;
+  double hatch_distance_um = 110.0;
+  /// Multiplier on the defect birth rate (spatter propensity).
+  double defect_propensity = 1.0;
+};
+
+/// Built-in presets.
+[[nodiscard]] MaterialSpec Ti6Al4V();
+[[nodiscard]] MaterialSpec Inconel718();
+[[nodiscard]] MaterialSpec AlSi10Mg();
+
+/// NotFound for unknown names ("Ti-6Al-4V", "IN718", "AlSi10Mg").
+[[nodiscard]] Result<MaterialSpec> MaterialByName(const std::string& name);
+
+/// Apply a material to generator and defect parameters.
+void ApplyMaterial(const MaterialSpec& material, OtGeneratorParams* ot,
+                   DefectModelParams* defects);
+
+}  // namespace strata::am

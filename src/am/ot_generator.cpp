@@ -1,0 +1,175 @@
+#include "am/ot_generator.hpp"
+
+#include <cmath>
+
+namespace strata::am {
+
+namespace {
+
+/// Deterministic per-pixel noise: splitmix64-style avalanche of the pixel
+/// coordinates, mapped to an approximately normal value via the sum of two
+/// uniforms (cheap, good enough for image texture).
+double HashNoise(std::uint64_t seed, int x, int y, int layer) {
+  std::uint64_t z = seed;
+  z ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) << 32) |
+       static_cast<std::uint32_t>(y);
+  z += static_cast<std::uint64_t>(layer) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  const double u1 = static_cast<double>(z & 0xffffffffu) / 4294967296.0;
+  const double u2 = static_cast<double>(z >> 32) / 4294967296.0;
+  return (u1 + u2) - 1.0;  // triangular in [-1, 1], stddev ~0.408
+}
+
+std::uint8_t ClampToGray(double v) {
+  if (v <= 0.0) return 0;
+  if (v >= 255.0) return 255;
+  return static_cast<std::uint8_t>(v + 0.5);
+}
+
+}  // namespace
+
+OtImageGenerator::OtImageGenerator(BuildJobSpec job, const DefectSeeder* seeder,
+                                   OtGeneratorParams params,
+                                   const StreakSeeder* streak_seeder,
+                                   const ControlState* control)
+    : job_(std::move(job)),
+      seeder_(seeder),
+      streak_seeder_(streak_seeder),
+      control_(control),
+      params_(params) {}
+
+GrayImage OtImageGenerator::GenerateLayer(int layer) const {
+  const PlateSpec& plate = job_.plate;
+  GrayImage image(plate.image_px, plate.image_px,
+                  static_cast<std::uint8_t>(params_.background_level));
+
+  const double px_per_mm = plate.PxPerMm();
+  const double angle_rad =
+      job_.ScanAngleDeg(layer) * std::acos(-1.0) / 180.0;
+  const double dir_x = std::cos(angle_rad);
+  const double dir_y = std::sin(angle_rad);
+  const double stripe_freq =
+      2.0 * std::acos(-1.0) / (params_.stripe_period_mm * px_per_mm);
+  const double noise_scale = params_.pixel_noise_stddev / 0.408;
+
+  const int max_layers_any = job_.TotalLayers();
+  (void)max_layers_any;
+
+  for (const SpecimenSpec& specimen : job_.specimens) {
+    const int specimen_layers = static_cast<int>(
+        specimen.height_mm * 1000.0 / job_.layer_thickness_um);
+    if (layer >= specimen_layers) continue;  // this block already topped out
+
+    const int x0 = plate.MmToPx(specimen.x_mm);
+    const int y0 = plate.MmToPx(specimen.y_mm);
+    const int x1 = std::min(plate.image_px,
+                            plate.MmToPx(specimen.x_mm + specimen.width_mm));
+    const int y1 = std::min(plate.image_px,
+                            plate.MmToPx(specimen.y_mm + specimen.length_mm));
+
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        // Hatch striping perpendicular to the scan direction.
+        const double along = dir_x * x + dir_y * y;
+        const double stripe =
+            params_.stripe_amplitude * std::sin(along * stripe_freq);
+        const double noise =
+            noise_scale * HashNoise(params_.seed, x, y, layer);
+        image.set(x, y,
+                  ClampToGray(params_.base_intensity + stripe + noise));
+      }
+    }
+
+    // XCT cylinder contours: the contour scan around each embedded cylinder
+    // leaves a slightly brighter ring in the OT frame.
+    for (const CylinderSpec& cylinder : specimen.xct_cylinders) {
+      const double ccx = (specimen.x_mm + cylinder.cx_mm) * px_per_mm;
+      const double ccy = (specimen.y_mm + cylinder.cy_mm) * px_per_mm;
+      const double radius = cylinder.radius_mm * px_per_mm;
+      const double ring_half_width = std::max(0.6, px_per_mm * 0.12);
+      const int bound = static_cast<int>(radius + ring_half_width) + 1;
+      for (int y = std::max(0, static_cast<int>(ccy) - bound);
+           y <= std::min(plate.image_px - 1, static_cast<int>(ccy) + bound);
+           ++y) {
+        for (int x = std::max(0, static_cast<int>(ccx) - bound);
+             x <= std::min(plate.image_px - 1, static_cast<int>(ccx) + bound);
+             ++x) {
+          const double dist = std::hypot(x - ccx, y - ccy);
+          if (std::abs(dist - radius) <= ring_half_width) {
+            image.set(x, y, ClampToGray(image.at(x, y) + 8.0));
+          }
+        }
+      }
+    }
+  }
+
+  // Recoater streaks: bands of reduced powder -> reduced melt emission,
+  // applied wherever a streak band crosses a printing specimen.
+  if (streak_seeder_ != nullptr) {
+    for (const Streak* streak : streak_seeder_->StreaksOnLayer(layer)) {
+      const int band_x0 = std::max(
+          0, plate.MmToPx(streak->x_mm - streak->width_mm / 2));
+      const int band_x1 = std::min(
+          plate.image_px - 1,
+          plate.MmToPx(streak->x_mm + streak->width_mm / 2));
+      for (const SpecimenSpec& specimen : job_.specimens) {
+        const int specimen_layers = static_cast<int>(
+            specimen.height_mm * 1000.0 / job_.layer_thickness_um);
+        if (layer >= specimen_layers) continue;
+        const int x0 = std::max(band_x0, plate.MmToPx(specimen.x_mm));
+        const int x1 = std::min(
+            band_x1,
+            plate.MmToPx(specimen.x_mm + specimen.width_mm) - 1);
+        if (x0 > x1) continue;
+        const int y0 = plate.MmToPx(specimen.y_mm);
+        const int y1 = std::min(
+            plate.image_px,
+            plate.MmToPx(specimen.y_mm + specimen.length_mm));
+        for (int y = y0; y < y1; ++y) {
+          for (int x = x0; x <= x1; ++x) {
+            image.set(x, y,
+                      ClampToGray(image.at(x, y) - streak->intensity_drop));
+          }
+        }
+      }
+    }
+  }
+
+  // Apply defect deltas (smooth radial falloff) on top.
+  if (seeder_ != nullptr) {
+    for (const Defect* defect : seeder_->DefectsOnLayer(layer)) {
+      // Feedback control: a re-parameterized specimen no longer develops
+      // its seeded thermal deviations.
+      if (control_ != nullptr &&
+          control_->IsMitigated(defect->specimen, layer)) {
+        continue;
+      }
+      const double radius_mm = defect->RadiusAtLayer(layer);
+      const double radius_px = radius_mm * px_per_mm;
+      const int cx = plate.MmToPx(defect->center_x_mm);
+      const int cy = plate.MmToPx(defect->center_y_mm);
+      const int r = static_cast<int>(radius_px) + 1;
+      const double sign = defect->type == DefectType::kHot ? 1.0 : -1.0;
+
+      for (int y = std::max(0, cy - r);
+           y <= std::min(plate.image_px - 1, cy + r); ++y) {
+        for (int x = std::max(0, cx - r);
+             x <= std::min(plate.image_px - 1, cx + r); ++x) {
+          const double dx = x - cx;
+          const double dy = y - cy;
+          const double dist2 = dx * dx + dy * dy;
+          if (dist2 > radius_px * radius_px) continue;
+          // Quadratic falloff from full delta at the centre to 0 at radius.
+          const double falloff = 1.0 - dist2 / (radius_px * radius_px);
+          const double delta = sign * defect->intensity_delta * falloff;
+          image.set(x, y, ClampToGray(image.at(x, y) + delta));
+        }
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace strata::am

@@ -1,0 +1,54 @@
+// Synthetic Optical Tomography image generator.
+//
+// Per layer it renders, for every specimen cross-section, a melt-pool
+// intensity field: a base emission level, hatch striping aligned with the
+// stack's scan angle, pixel noise (hash-based, deterministic, and
+// order-independent so layers can be generated in any order), and the
+// intensity deltas of the seeded defects (hot regions brighter, cold regions
+// darker). Pixels outside any specimen stay near zero (no melt emission).
+//
+// What matters for the reproduction is the *shape* of the data: image size,
+// per-specimen pixel footprints, a unimodal intensity distribution inside
+// specimens whose tails are the detectEvent triggers, and spatially compact
+// defect regions correlated across layers for DBSCAN to recover.
+#pragma once
+
+#include <memory>
+
+#include "am/control.hpp"
+#include "am/defects.hpp"
+#include "am/image.hpp"
+#include "am/streaks.hpp"
+
+namespace strata::am {
+
+struct OtGeneratorParams {
+  double base_intensity = 128.0;
+  double pixel_noise_stddev = 5.0;
+  double stripe_amplitude = 6.0;
+  double stripe_period_mm = 2.0;
+  double background_level = 4.0;
+  std::uint64_t seed = 7;
+};
+
+class OtImageGenerator {
+ public:
+  OtImageGenerator(BuildJobSpec job, const DefectSeeder* seeder,
+                   OtGeneratorParams params = {},
+                   const StreakSeeder* streak_seeder = nullptr,
+                   const ControlState* control = nullptr);
+
+  /// Render the OT image of one layer.
+  [[nodiscard]] GrayImage GenerateLayer(int layer) const;
+
+  [[nodiscard]] const BuildJobSpec& job() const noexcept { return job_; }
+
+ private:
+  BuildJobSpec job_;
+  const DefectSeeder* seeder_;          // may be null: defect-free job
+  const StreakSeeder* streak_seeder_;   // may be null: pristine recoater
+  const ControlState* control_;         // may be null: open-loop printing
+  OtGeneratorParams params_;
+};
+
+}  // namespace strata::am

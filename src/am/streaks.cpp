@@ -1,0 +1,36 @@
+#include "am/streaks.hpp"
+
+#include <algorithm>
+
+namespace strata::am {
+
+StreakSeeder::StreakSeeder(const BuildJobSpec& job,
+                           StreakModelParams params) {
+  Rng rng(params.seed ^ static_cast<std::uint64_t>(job.job_id) * 0x51f15eedull);
+  const int layers = job.TotalLayers();
+  for (int layer = 0; layer < layers; ++layer) {
+    const std::int64_t births = rng.Poisson(params.rate_per_layer);
+    for (std::int64_t b = 0; b < births; ++b) {
+      Streak streak;
+      streak.x_mm = rng.Uniform(5.0, job.plate.size_mm - 5.0);
+      streak.width_mm = std::max(0.3, rng.Normal(params.mean_width_mm, 0.2));
+      streak.start_layer = layer;
+      const int span = std::max<int>(
+          1, static_cast<int>(rng.Poisson(params.mean_span_layers)));
+      streak.end_layer = std::min(layers - 1, layer + span - 1);
+      streak.intensity_drop =
+          std::max(10.0, rng.Normal(params.mean_intensity_drop, 5.0));
+      streaks_.push_back(streak);
+    }
+  }
+}
+
+std::vector<const Streak*> StreakSeeder::StreaksOnLayer(int layer) const {
+  std::vector<const Streak*> active;
+  for (const Streak& streak : streaks_) {
+    if (streak.ActiveOnLayer(layer)) active.push_back(&streak);
+  }
+  return active;
+}
+
+}  // namespace strata::am

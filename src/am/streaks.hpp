@@ -1,0 +1,61 @@
+// Recoater-streak defect model (second use-case; the paper's conclusion
+// plans "extending the portfolio of use-cases ... the type of monitored
+// defect").
+//
+// A damaged or contaminated recoater blade drags a groove through the fresh
+// powder bed: a thin line of reduced powder (and hence reduced melt
+// emission) along the blade's travel direction, at a fixed position across
+// the blade, persisting until the blade is cleaned. We model streaks as
+// bands of constant x (the blade travels along y, matching the gas-flow
+// axis) spanning the full plate, alive for a contiguous range of layers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "am/geometry.hpp"
+#include "common/rng.hpp"
+
+namespace strata::am {
+
+struct Streak {
+  double x_mm = 0.0;        // centre of the band across the blade
+  double width_mm = 0.8;    // band width
+  int start_layer = 0;      // first affected layer
+  int end_layer = 0;        // last affected layer (inclusive)
+  double intensity_drop = 25.0;  // gray levels removed inside the band
+
+  [[nodiscard]] bool ActiveOnLayer(int layer) const noexcept {
+    return layer >= start_layer && layer <= end_layer;
+  }
+  [[nodiscard]] bool CoversX(double x) const noexcept {
+    return x >= x_mm - width_mm / 2 && x <= x_mm + width_mm / 2;
+  }
+};
+
+struct StreakModelParams {
+  /// Expected new streaks per layer (blade damage events are rare).
+  double rate_per_layer = 0.005;
+  double mean_width_mm = 0.8;
+  /// Streak persists for a geometric number of layers with this mean
+  /// (until blade cleaning/replacement).
+  int mean_span_layers = 8;
+  double mean_intensity_drop = 25.0;
+  std::uint64_t seed = 5150;
+};
+
+/// Deterministic per-job streak ground truth.
+class StreakSeeder {
+ public:
+  StreakSeeder(const BuildJobSpec& job, StreakModelParams params);
+
+  [[nodiscard]] const std::vector<Streak>& streaks() const noexcept {
+    return streaks_;
+  }
+  [[nodiscard]] std::vector<const Streak*> StreaksOnLayer(int layer) const;
+
+ private:
+  std::vector<Streak> streaks_;
+};
+
+}  // namespace strata::am

@@ -1,0 +1,85 @@
+#include "clustering/dbscan.hpp"
+
+#include <deque>
+
+namespace strata::cluster {
+
+namespace {
+
+/// Shared BFS cluster expansion; `neighbors(i)` returns the eps-neighborhood
+/// of point i (including i).
+template <typename NeighborFn>
+DbscanResult RunDbscan(const std::vector<Point>& points, std::size_t min_pts,
+                       NeighborFn&& neighbors) {
+  DbscanResult result;
+  result.labels.assign(points.size(), kUnclassified);
+
+  int next_cluster = 0;
+  std::deque<std::size_t> frontier;
+
+  for (std::size_t seed = 0; seed < points.size(); ++seed) {
+    if (result.labels[seed] != kUnclassified) continue;
+
+    const std::vector<std::size_t> seed_neighbors = neighbors(seed);
+    if (seed_neighbors.size() < min_pts) {
+      result.labels[seed] = kNoise;  // may be re-labeled as border later
+      continue;
+    }
+
+    // New cluster: BFS from the core point.
+    const int cluster = next_cluster++;
+    result.labels[seed] = cluster;
+    ++result.core_points;
+    frontier.assign(seed_neighbors.begin(), seed_neighbors.end());
+
+    while (!frontier.empty()) {
+      const std::size_t current = frontier.front();
+      frontier.pop_front();
+
+      if (result.labels[current] == kNoise) {
+        result.labels[current] = cluster;  // border point
+        continue;
+      }
+      if (result.labels[current] != kUnclassified) continue;
+      result.labels[current] = cluster;
+
+      const std::vector<std::size_t> current_neighbors = neighbors(current);
+      if (current_neighbors.size() >= min_pts) {
+        ++result.core_points;
+        for (const std::size_t n : current_neighbors) {
+          if (result.labels[n] == kUnclassified || result.labels[n] == kNoise) {
+            frontier.push_back(n);
+          }
+        }
+      }
+    }
+  }
+
+  result.cluster_count = next_cluster;
+  for (const int label : result.labels) {
+    if (label == kNoise) ++result.noise_points;
+  }
+  return result;
+}
+
+}  // namespace
+
+DbscanResult Dbscan(const std::vector<Point>& points,
+                    const DbscanParams& params) {
+  const GridIndex index(points, params.metric);
+  return RunDbscan(points, params.min_pts,
+                   [&index](std::size_t i) { return index.Neighbors(i); });
+}
+
+DbscanResult DbscanBruteForce(const std::vector<Point>& points,
+                              const DbscanParams& params) {
+  return RunDbscan(points, params.min_pts, [&](std::size_t i) {
+    std::vector<std::size_t> neighbors;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (params.metric.Near(points[i], points[j])) neighbors.push_back(j);
+    }
+    return neighbors;
+  });
+}
+
+}  // namespace strata::cluster

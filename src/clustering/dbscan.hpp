@@ -1,0 +1,37 @@
+// DBSCAN (Ester, Kriegel, Sander, Xu — KDD'96), the clustering method the
+// paper's use-case deploys in correlateEvents. Grid-index accelerated, with
+// a brute-force reference implementation used by the property tests.
+//
+// Returned labels: labels[i] >= 0 is a cluster id (dense, starting at 0);
+// kNoise for noise points. Border points are assigned to the first core
+// cluster that reaches them (standard single-pass DBSCAN semantics).
+#pragma once
+
+#include <vector>
+
+#include "clustering/grid_index.hpp"
+#include "clustering/point.hpp"
+
+namespace strata::cluster {
+
+struct DbscanParams {
+  CylinderMetric metric;
+  /// Minimum neighborhood size (including the point itself) for a core point.
+  std::size_t min_pts = 3;
+};
+
+struct DbscanResult {
+  std::vector<int> labels;
+  int cluster_count = 0;
+  std::size_t core_points = 0;
+  std::size_t noise_points = 0;
+};
+
+[[nodiscard]] DbscanResult Dbscan(const std::vector<Point>& points,
+                                  const DbscanParams& params);
+
+/// O(n^2) reference implementation (tests only).
+[[nodiscard]] DbscanResult DbscanBruteForce(const std::vector<Point>& points,
+                                            const DbscanParams& params);
+
+}  // namespace strata::cluster

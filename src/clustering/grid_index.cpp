@@ -1,0 +1,87 @@
+#include "clustering/grid_index.hpp"
+
+#include <cmath>
+
+namespace strata::cluster {
+
+GridIndex::GridIndex(const std::vector<Point>& points, CylinderMetric metric)
+    : points_(points), metric_(metric) {
+  cells_.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    cells_[KeyFor(points[i])].push_back(i);
+  }
+}
+
+GridIndex::CellKey GridIndex::KeyFor(const Point& point) const noexcept {
+  // Cell size = eps_xy in-plane, layer_reach along the layer axis. Guard
+  // against degenerate metrics.
+  const double exy = metric_.eps_xy > 0 ? metric_.eps_xy : 1.0;
+  const double ez =
+      metric_.layer_reach > 0 ? static_cast<double>(metric_.layer_reach) : 1.0;
+  return CellKey{
+      static_cast<std::int64_t>(std::floor(point.x / exy)),
+      static_cast<std::int64_t>(std::floor(point.y / exy)),
+      static_cast<std::int64_t>(std::floor(static_cast<double>(point.layer) / ez)),
+  };
+}
+
+std::vector<std::size_t> GridIndex::Neighbors(std::size_t i) const {
+  return NeighborsOf(points_[i]);
+}
+
+std::vector<std::size_t> GridIndex::NeighborsOf(const Point& probe) const {
+  std::vector<std::size_t> result;
+  const CellKey center = KeyFor(probe);
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      for (std::int64_t dz = -1; dz <= 1; ++dz) {
+        const auto it =
+            cells_.find(CellKey{center.cx + dx, center.cy + dy, center.cz + dz});
+        if (it == cells_.end()) continue;
+        for (const std::size_t j : it->second) {
+          if (metric_.Near(probe, points_[j])) result.push_back(j);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<ClusterSummary> SummarizeClusters(const std::vector<Point>& points,
+                                              const std::vector<int>& labels) {
+  std::vector<ClusterSummary> summaries;
+  std::unordered_map<int, std::size_t> index_of;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const int label = labels[i];
+    if (label < 0) continue;  // noise / unclassified
+    auto [it, inserted] = index_of.try_emplace(label, summaries.size());
+    if (inserted) {
+      ClusterSummary fresh;
+      fresh.cluster_id = label;
+      fresh.min_x = fresh.max_x = points[i].x;
+      fresh.min_y = fresh.max_y = points[i].y;
+      fresh.min_layer = fresh.max_layer = points[i].layer;
+      summaries.push_back(fresh);
+    }
+    ClusterSummary& s = summaries[it->second];
+    s.point_count += 1;
+    s.total_weight += points[i].weight;
+    s.min_x = std::min(s.min_x, points[i].x);
+    s.max_x = std::max(s.max_x, points[i].x);
+    s.min_y = std::min(s.min_y, points[i].y);
+    s.max_y = std::max(s.max_y, points[i].y);
+    s.min_layer = std::min(s.min_layer, points[i].layer);
+    s.max_layer = std::max(s.max_layer, points[i].layer);
+    s.centroid_x += points[i].x;
+    s.centroid_y += points[i].y;
+  }
+  for (ClusterSummary& s : summaries) {
+    if (s.point_count > 0) {
+      s.centroid_x /= static_cast<double>(s.point_count);
+      s.centroid_y /= static_cast<double>(s.point_count);
+    }
+  }
+  return summaries;
+}
+
+}  // namespace strata::cluster

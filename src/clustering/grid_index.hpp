@@ -1,0 +1,47 @@
+// Uniform grid index for fixed-radius neighbor queries under the cylinder
+// metric: cells of size eps_xy in-plane and layer_reach along the build
+// axis, so a query only inspects the 3x3x3 neighborhood of its cell. This
+// gives DBSCAN its expected O(n) behaviour on bounded-density data (the
+// paper cites grid/parallel DBSCAN work [16, 22, 23, 30]).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "clustering/point.hpp"
+
+namespace strata::cluster {
+
+class GridIndex {
+ public:
+  GridIndex(const std::vector<Point>& points, CylinderMetric metric);
+
+  /// Indices of all points within the metric's neighborhood of points[i]
+  /// (including i itself, per the DBSCAN definition).
+  [[nodiscard]] std::vector<std::size_t> Neighbors(std::size_t i) const;
+
+  /// Neighbors of an arbitrary probe point.
+  [[nodiscard]] std::vector<std::size_t> NeighborsOf(const Point& probe) const;
+
+ private:
+  struct CellKey {
+    std::int64_t cx, cy, cz;
+    friend bool operator==(const CellKey&, const CellKey&) = default;
+  };
+  struct CellHash {
+    std::size_t operator()(const CellKey& key) const noexcept {
+      std::size_t h = static_cast<std::size_t>(key.cx) * 0x9e3779b97f4a7c15ull;
+      h ^= static_cast<std::size_t>(key.cy) * 0xc2b2ae3d27d4eb4full + (h << 6);
+      h ^= static_cast<std::size_t>(key.cz) * 0x165667b19e3779f9ull + (h >> 3);
+      return h;
+    }
+  };
+
+  [[nodiscard]] CellKey KeyFor(const Point& point) const noexcept;
+
+  const std::vector<Point>& points_;
+  CylinderMetric metric_;
+  std::unordered_map<CellKey, std::vector<std::size_t>, CellHash> cells_;
+};
+
+}  // namespace strata::cluster

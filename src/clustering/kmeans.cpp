@@ -1,0 +1,120 @@
+#include "clustering/kmeans.hpp"
+
+#include <array>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace strata::cluster {
+
+namespace {
+
+using Vec3 = std::array<double, 3>;
+
+Vec3 Embed(const Point& p, double layer_scale) {
+  return {p.x, p.y, static_cast<double>(p.layer) * layer_scale};
+}
+
+double SquaredDistance(const Vec3& a, const Vec3& b) {
+  const double dx = a[0] - b[0];
+  const double dy = a[1] - b[1];
+  const double dz = a[2] - b[2];
+  return dx * dx + dy * dy + dz * dz;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const std::vector<Point>& points,
+                    const KMeansParams& params) {
+  KMeansResult result;
+  if (points.empty() || params.k < 1) return result;
+  const int k = std::min<int>(params.k, static_cast<int>(points.size()));
+
+  std::vector<Vec3> data;
+  data.reserve(points.size());
+  for (const Point& p : points) data.push_back(Embed(p, params.layer_scale));
+
+  Rng rng(params.seed);
+
+  // k-means++ seeding: first centroid uniform, then proportional to D^2.
+  std::vector<Vec3> centroids;
+  centroids.reserve(static_cast<std::size_t>(k));
+  centroids.push_back(
+      data[static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(data.size()) - 1))]);
+  std::vector<double> min_dist(data.size(),
+                               std::numeric_limits<double>::max());
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      min_dist[i] =
+          std::min(min_dist[i], SquaredDistance(data[i], centroids.back()));
+      total += min_dist[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with centroids; duplicate one.
+      centroids.push_back(centroids.back());
+      continue;
+    }
+    double pick = rng.Uniform(0.0, total);
+    std::size_t chosen = data.size() - 1;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      pick -= min_dist[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(data[chosen]);
+  }
+
+  // Lloyd iterations.
+  result.labels.assign(data.size(), 0);
+  for (result.iterations = 0; result.iterations < params.max_iterations;
+       ++result.iterations) {
+    bool changed = false;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      int best = 0;
+      double best_dist = std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        const double d =
+            SquaredDistance(data[i], centroids[static_cast<std::size_t>(c)]);
+        if (d < best_dist) {
+          best_dist = d;
+          best = c;
+        }
+      }
+      if (result.labels[i] != best) {
+        result.labels[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && result.iterations > 0) break;
+
+    std::vector<Vec3> sums(static_cast<std::size_t>(k), Vec3{0, 0, 0});
+    std::vector<std::size_t> counts(static_cast<std::size_t>(k), 0);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const auto c = static_cast<std::size_t>(result.labels[i]);
+      sums[c][0] += data[i][0];
+      sums[c][1] += data[i][1];
+      sums[c][2] += data[i][2];
+      ++counts[c];
+    }
+    for (int c = 0; c < k; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      if (counts[ci] == 0) continue;  // keep the empty centroid where it is
+      centroids[ci] = {sums[ci][0] / static_cast<double>(counts[ci]),
+                       sums[ci][1] / static_cast<double>(counts[ci]),
+                       sums[ci][2] / static_cast<double>(counts[ci])};
+    }
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    result.inertia += SquaredDistance(
+        data[i], centroids[static_cast<std::size_t>(result.labels[i])]);
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace strata::cluster

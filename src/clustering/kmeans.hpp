@@ -1,0 +1,35 @@
+// k-means with k-means++ seeding: the baseline clustering method from prior
+// defect-detection work (Snell et al. 2020 [29]) that the paper's use-case
+// replaces with DBSCAN. Implemented for the A1 ablation benchmark comparing
+// runtime and cluster-recovery quality.
+//
+// Points are embedded in 3D as (x, y, layer * layer_scale) so the layer axis
+// is commensurable with the in-plane axes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "clustering/point.hpp"
+
+namespace strata::cluster {
+
+struct KMeansParams {
+  int k = 8;
+  int max_iterations = 50;
+  double layer_scale = 1.0;
+  std::uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  std::vector<int> labels;  // every point gets a cluster (no noise concept)
+  std::vector<std::array<double, 3>> centroids;
+  int iterations = 0;
+  double inertia = 0.0;  // sum of squared distances to assigned centroid
+};
+
+[[nodiscard]] KMeansResult KMeans(const std::vector<Point>& points,
+                                  const KMeansParams& params);
+
+}  // namespace strata::cluster

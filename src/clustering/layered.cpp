@@ -1,0 +1,67 @@
+#include "clustering/layered.hpp"
+
+#include <stdexcept>
+
+namespace strata::cluster {
+
+LayeredClusterer::LayeredClusterer(LayeredClusterParams params)
+    : params_(params) {
+  if (params_.eps_xy <= 0 || params_.window_layers < 0 ||
+      params_.layer_reach < 0) {
+    throw std::invalid_argument("LayeredClusterer: invalid parameters");
+  }
+}
+
+void LayeredClusterer::AddLayerEvents(std::int64_t layer,
+                                      std::vector<Point> events) {
+  if (!layers_.empty() && layer < newest_layer_) {
+    throw std::invalid_argument(
+        "LayeredClusterer: layers must arrive in order (got " +
+        std::to_string(layer) + " after " + std::to_string(newest_layer_) +
+        ")");
+  }
+  for (Point& p : events) p.layer = layer;
+  total_points_ += events.size();
+  if (!layers_.empty() && layers_.back().first == layer) {
+    auto& existing = layers_.back().second;
+    existing.insert(existing.end(), events.begin(), events.end());
+  } else {
+    layers_.emplace_back(layer, std::move(events));
+  }
+  newest_layer_ = layer;
+  EvictOldLayers();
+}
+
+void LayeredClusterer::EvictOldLayers() {
+  const std::int64_t horizon = newest_layer_ - params_.window_layers;
+  while (!layers_.empty() && layers_.front().first < horizon) {
+    total_points_ -= layers_.front().second.size();
+    layers_.pop_front();
+  }
+}
+
+LayeredClusterOutput LayeredClusterer::Cluster() const {
+  LayeredClusterOutput output;
+  output.points.reserve(total_points_);
+  for (const auto& [layer, events] : layers_) {
+    output.points.insert(output.points.end(), events.begin(), events.end());
+  }
+  if (output.points.empty()) return output;
+
+  DbscanParams params;
+  params.metric = CylinderMetric{params_.eps_xy, params_.layer_reach};
+  params.min_pts = params_.min_pts;
+  DbscanResult result = Dbscan(output.points, params);
+
+  output.labels = std::move(result.labels);
+  output.noise_points = result.noise_points;
+  for (ClusterSummary& summary :
+       SummarizeClusters(output.points, output.labels)) {
+    if (summary.point_count >= params_.min_report_points) {
+      output.reported.push_back(summary);
+    }
+  }
+  return output;
+}
+
+}  // namespace strata::cluster

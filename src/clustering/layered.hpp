@@ -1,0 +1,68 @@
+// Incremental layer-windowed clustering: the engine behind correlateEvents.
+//
+// correlateEvents aggregates the events of each (layer, specimen) together
+// with the events of the previous L layers (paper Table 1). This class
+// maintains that sliding window of event points per specimen and re-clusters
+// on demand with DBSCAN under the cylinder metric, reporting the clusters
+// that exceed a minimum size (the use-case reports defect regions "bigger
+// than a certain volume").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "clustering/dbscan.hpp"
+
+namespace strata::cluster {
+
+struct LayeredClusterParams {
+  /// In-plane neighborhood radius (mm).
+  double eps_xy = 1.0;
+  /// Layers a cluster may bridge between two member points.
+  std::int64_t layer_reach = 2;
+  /// Core-point threshold.
+  std::size_t min_pts = 3;
+  /// Window depth: cluster over the newest layer plus the previous L layers.
+  std::int64_t window_layers = 20;
+  /// Only clusters with at least this many points are reported.
+  std::size_t min_report_points = 5;
+};
+
+struct LayeredClusterOutput {
+  std::vector<Point> points;        // the clustered window contents
+  std::vector<int> labels;          // parallel to points
+  std::vector<ClusterSummary> reported;  // clusters >= min_report_points
+  std::size_t noise_points = 0;
+};
+
+class LayeredClusterer {
+ public:
+  explicit LayeredClusterer(LayeredClusterParams params);
+
+  /// Add the defect events detected on one layer. Layers must be added in
+  /// non-decreasing order; layers older than (newest - window_layers) are
+  /// evicted.
+  void AddLayerEvents(std::int64_t layer, std::vector<Point> events);
+
+  /// Cluster the current window.
+  [[nodiscard]] LayeredClusterOutput Cluster() const;
+
+  [[nodiscard]] std::size_t window_point_count() const noexcept {
+    return total_points_;
+  }
+  [[nodiscard]] std::int64_t newest_layer() const noexcept {
+    return newest_layer_;
+  }
+
+ private:
+  void EvictOldLayers();
+
+  LayeredClusterParams params_;
+  std::deque<std::pair<std::int64_t, std::vector<Point>>> layers_;
+  std::int64_t newest_layer_ = std::numeric_limits<std::int64_t>::min();
+  std::size_t total_points_ = 0;
+};
+
+}  // namespace strata::cluster

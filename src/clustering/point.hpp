@@ -1,0 +1,63 @@
+// Point types for defect-event clustering. Events produced by detectEvent
+// are cell centroids on a layer: (x, y) in millimetres on the build plate
+// plus the integer layer index (build height). correlateEvents clusters them
+// with a cylindrical neighborhood: close in-plane AND within a bounded layer
+// reach (paper §5: clusters expand through up to L previous layers).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace strata::cluster {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+  std::int64_t layer = 0;
+  /// Optional payload: event weight (e.g. cell energy deviation magnitude).
+  double weight = 1.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Cylindrical proximity: in-plane Euclidean distance <= eps_xy and layer
+/// distance <= layer_reach.
+struct CylinderMetric {
+  double eps_xy = 1.0;
+  std::int64_t layer_reach = 1;
+
+  [[nodiscard]] bool Near(const Point& a, const Point& b) const noexcept {
+    const std::int64_t dl = a.layer - b.layer;
+    if (dl > layer_reach || dl < -layer_reach) return false;
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return dx * dx + dy * dy <= eps_xy * eps_xy;
+  }
+};
+
+/// Cluster label constants.
+constexpr int kNoise = -1;
+constexpr int kUnclassified = -2;
+
+/// Summary of one cluster (used by correlateEvents to report defect regions
+/// "bigger than a certain volume").
+struct ClusterSummary {
+  int cluster_id = 0;
+  std::size_t point_count = 0;
+  double total_weight = 0.0;
+  double min_x = 0.0, max_x = 0.0;
+  double min_y = 0.0, max_y = 0.0;
+  std::int64_t min_layer = 0, max_layer = 0;
+  double centroid_x = 0.0, centroid_y = 0.0;
+
+  [[nodiscard]] std::int64_t layer_span() const noexcept {
+    return max_layer - min_layer + 1;
+  }
+};
+
+/// Compute per-cluster summaries from points + labels (noise excluded).
+[[nodiscard]] std::vector<ClusterSummary> SummarizeClusters(
+    const std::vector<Point>& points, const std::vector<int>& labels);
+
+}  // namespace strata::cluster

@@ -1,0 +1,67 @@
+#include "clustering/quality.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace strata::cluster {
+
+namespace {
+double Choose2(double n) { return n * (n - 1.0) / 2.0; }
+}  // namespace
+
+double AdjustedRandIndex(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("AdjustedRandIndex: size mismatch");
+  }
+  const std::size_t n = a.size();
+  if (n < 2) return 1.0;
+
+  std::map<std::pair<int, int>, std::size_t> contingency;
+  std::map<int, std::size_t> rows;
+  std::map<int, std::size_t> cols;
+  for (std::size_t i = 0; i < n; ++i) {
+    ++contingency[{a[i], b[i]}];
+    ++rows[a[i]];
+    ++cols[b[i]];
+  }
+
+  double sum_ij = 0.0;
+  for (const auto& [key, count] : contingency) {
+    sum_ij += Choose2(static_cast<double>(count));
+  }
+  double sum_a = 0.0;
+  for (const auto& [label, count] : rows) {
+    sum_a += Choose2(static_cast<double>(count));
+  }
+  double sum_b = 0.0;
+  for (const auto& [label, count] : cols) {
+    sum_b += Choose2(static_cast<double>(count));
+  }
+
+  const double total = Choose2(static_cast<double>(n));
+  const double expected = sum_a * sum_b / total;
+  const double max_index = (sum_a + sum_b) / 2.0;
+  if (max_index == expected) return 1.0;  // both trivial partitions
+  return (sum_ij - expected) / (max_index - expected);
+}
+
+double Purity(const std::vector<int>& truth, const std::vector<int>& predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("Purity: size mismatch");
+  }
+  if (truth.empty()) return 1.0;
+
+  std::map<int, std::map<int, std::size_t>> by_cluster;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ++by_cluster[predicted[i]][truth[i]];
+  }
+  std::size_t correct = 0;
+  for (const auto& [cluster, counts] : by_cluster) {
+    std::size_t best = 0;
+    for (const auto& [label, count] : counts) best = std::max(best, count);
+    correct += best;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+}  // namespace strata::cluster

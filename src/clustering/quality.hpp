@@ -1,0 +1,21 @@
+// Clustering quality metrics for the DBSCAN-vs-kmeans ablation: Adjusted
+// Rand Index against a ground-truth labeling (noise treated as its own
+// singleton-ish label unless excluded), plus purity.
+#pragma once
+
+#include <vector>
+
+namespace strata::cluster {
+
+/// Adjusted Rand Index in [-1, 1]; 1 = identical partitions, ~0 = random.
+/// Labelings must be the same length. Negative labels are valid labels
+/// (noise compares as one shared "noise" group).
+[[nodiscard]] double AdjustedRandIndex(const std::vector<int>& a,
+                                       const std::vector<int>& b);
+
+/// Fraction of points whose predicted cluster's majority truth label matches
+/// their own truth label. In [0, 1].
+[[nodiscard]] double Purity(const std::vector<int>& truth,
+                            const std::vector<int>& predicted);
+
+}  // namespace strata::cluster

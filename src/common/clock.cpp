@@ -1,0 +1,10 @@
+#include "common/clock.hpp"
+
+namespace strata {
+
+const Clock& Clock::System() {
+  static const SystemClock clock;
+  return clock;
+}
+
+}  // namespace strata

@@ -1,0 +1,87 @@
+// Time representation and clock abstraction.
+//
+// All timestamps in STRATA are microseconds. Event time (tuple timestamps)
+// and processing time (latency measurement) share the representation but are
+// never mixed implicitly. A Clock interface lets tests and simulators drive
+// time manually.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+namespace strata {
+
+/// Microseconds since an arbitrary epoch.
+using Timestamp = std::int64_t;
+
+constexpr Timestamp kMicrosPerMilli = 1000;
+constexpr Timestamp kMicrosPerSecond = 1000 * 1000;
+
+constexpr Timestamp MillisToMicros(std::int64_t ms) noexcept {
+  return ms * kMicrosPerMilli;
+}
+constexpr Timestamp SecondsToMicros(double s) noexcept {
+  return static_cast<Timestamp>(s * static_cast<double>(kMicrosPerSecond));
+}
+constexpr double MicrosToSeconds(Timestamp us) noexcept {
+  return static_cast<double>(us) / static_cast<double>(kMicrosPerSecond);
+}
+constexpr double MicrosToMillis(Timestamp us) noexcept {
+  return static_cast<double>(us) / static_cast<double>(kMicrosPerMilli);
+}
+
+/// Source of processing time. Virtual so tests can substitute ManualClock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds.
+  [[nodiscard]] virtual Timestamp Now() const = 0;
+  /// Sleep until Now() >= deadline (best effort).
+  virtual void SleepUntil(Timestamp deadline) const = 0;
+
+  /// Process-wide monotonic system clock singleton.
+  static const Clock& System();
+};
+
+/// Monotonic wall clock backed by std::chrono::steady_clock.
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] Timestamp Now() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  void SleepUntil(Timestamp deadline) const override {
+    const Timestamp now = Now();
+    if (deadline > now) {
+      std::this_thread::sleep_for(std::chrono::microseconds(deadline - now));
+    }
+  }
+};
+
+/// Test/simulation clock advanced explicitly. SleepUntil returns immediately
+/// after advancing the clock, so simulated pipelines run at full speed.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(Timestamp start = 0) : now_(start) {}
+
+  [[nodiscard]] Timestamp Now() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+  void SleepUntil(Timestamp deadline) const override {
+    Timestamp cur = now_.load(std::memory_order_acquire);
+    while (cur < deadline &&
+           !now_.compare_exchange_weak(cur, deadline, std::memory_order_acq_rel)) {
+    }
+  }
+  void Advance(Timestamp delta) { now_.fetch_add(delta, std::memory_order_acq_rel); }
+  void Set(Timestamp t) { now_.store(t, std::memory_order_release); }
+
+ private:
+  mutable std::atomic<Timestamp> now_;
+};
+
+}  // namespace strata

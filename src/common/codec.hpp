@@ -1,0 +1,129 @@
+// Little-endian binary encoding primitives (fixed-width and varint), used by
+// the KV store's WAL/SSTable formats, pub/sub segment logs, and the tuple
+// codec. Decode functions consume from a string_view cursor and return false
+// on underflow/overflow instead of throwing, so corruption surfaces as a
+// Status at the call site.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace strata::codec {
+
+inline void PutFixed32(std::string* dst, std::uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, std::uint64_t v) {
+  PutFixed32(dst, static_cast<std::uint32_t>(v & 0xffffffffu));
+  PutFixed32(dst, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline bool GetFixed32(std::string_view* in, std::uint32_t* v) {
+  if (in->size() < 4) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(in->data());
+  *v = static_cast<std::uint32_t>(p[0]) |
+       (static_cast<std::uint32_t>(p[1]) << 8) |
+       (static_cast<std::uint32_t>(p[2]) << 16) |
+       (static_cast<std::uint32_t>(p[3]) << 24);
+  in->remove_prefix(4);
+  return true;
+}
+
+inline bool GetFixed64(std::string_view* in, std::uint64_t* v) {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  if (!GetFixed32(in, &lo) || !GetFixed32(in, &hi)) return false;
+  *v = (static_cast<std::uint64_t>(hi) << 32) | lo;
+  return true;
+}
+
+inline void PutVarint64(std::string* dst, std::uint64_t v) {
+  unsigned char buf[10];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(v | 0x80);
+    v >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<const char*>(buf), static_cast<std::size_t>(n));
+}
+
+inline void PutVarint32(std::string* dst, std::uint32_t v) {
+  PutVarint64(dst, v);
+}
+
+inline bool GetVarint64(std::string_view* in, std::uint64_t* v) {
+  std::uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !in->empty(); shift += 7) {
+    const auto byte = static_cast<unsigned char>(in->front());
+    in->remove_prefix(1);
+    result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+inline bool GetVarint32(std::string_view* in, std::uint32_t* v) {
+  std::uint64_t wide = 0;
+  if (!GetVarint64(in, &wide) || wide > UINT32_MAX) return false;
+  *v = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+/// ZigZag for signed payloads (timestamps can precede the epoch in tests).
+inline std::uint64_t ZigZagEncode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+inline std::int64_t ZigZagDecode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+inline void PutVarint64Signed(std::string* dst, std::int64_t v) {
+  PutVarint64(dst, ZigZagEncode(v));
+}
+inline bool GetVarint64Signed(std::string_view* in, std::int64_t* v) {
+  std::uint64_t raw = 0;
+  if (!GetVarint64(in, &raw)) return false;
+  *v = ZigZagDecode(raw);
+  return true;
+}
+
+inline void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutVarint64(dst, s.size());
+  dst->append(s.data(), s.size());
+}
+
+inline bool GetLengthPrefixed(std::string_view* in, std::string_view* out) {
+  std::uint64_t len = 0;
+  if (!GetVarint64(in, &len) || in->size() < len) return false;
+  *out = in->substr(0, len);
+  in->remove_prefix(len);
+  return true;
+}
+
+inline void PutDouble(std::string* dst, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(dst, bits);
+}
+
+inline bool GetDouble(std::string_view* in, double* v) {
+  std::uint64_t bits = 0;
+  if (!GetFixed64(in, &bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+}  // namespace strata::codec

@@ -1,0 +1,35 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace strata {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82f63b78u;  // reflected CRC-32C
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32c(std::string_view data, std::uint32_t seed) noexcept {
+  std::uint32_t crc = ~seed;
+  for (const char c : data) {
+    crc = kTable[(crc ^ static_cast<unsigned char>(c)) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace strata

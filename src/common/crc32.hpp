@@ -1,0 +1,27 @@
+// CRC-32 (Castagnoli polynomial, software table implementation) used to
+// checksum WAL records, SSTable blocks, and pub/sub segment entries.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace strata {
+
+/// CRC-32C of `data`, optionally chained from a previous crc.
+[[nodiscard]] std::uint32_t Crc32c(std::string_view data,
+                                   std::uint32_t seed = 0) noexcept;
+
+/// Masked CRC (as in LevelDB): protects against CRC-of-CRC patterns when a
+/// checksum is itself stored in checksummed data.
+[[nodiscard]] constexpr std::uint32_t MaskCrc(std::uint32_t crc) noexcept {
+  constexpr std::uint32_t kMaskDelta = 0xa282ead8u;
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+[[nodiscard]] constexpr std::uint32_t UnmaskCrc(std::uint32_t masked) noexcept {
+  constexpr std::uint32_t kMaskDelta = 0xa282ead8u;
+  const std::uint32_t rot = masked - kMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace strata

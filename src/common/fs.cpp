@@ -1,0 +1,66 @@
+#include "common/fs.hpp"
+
+#include <fstream>
+#include <random>
+#include <sstream>
+
+namespace strata::fs {
+
+namespace stdfs = std::filesystem;
+
+Status WriteFile(const stdfs::path& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("open for write failed: " + path.string());
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path.string());
+  return Status::Ok();
+}
+
+Status WriteFileAtomic(const stdfs::path& path, std::string_view contents) {
+  const stdfs::path tmp = path.string() + ".tmp";
+  STRATA_RETURN_IF_ERROR(WriteFile(tmp, contents));
+  std::error_code ec;
+  stdfs::rename(tmp, path, ec);
+  if (ec) return Status::IoError("rename failed: " + ec.message());
+  return Status::Ok();
+}
+
+Result<std::string> ReadFile(const stdfs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("open for read failed: " + path.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path.string());
+  return ss.str();
+}
+
+Status CreateDirs(const stdfs::path& path) {
+  std::error_code ec;
+  stdfs::create_directories(path, ec);
+  if (ec) return Status::IoError("create_directories failed: " + ec.message());
+  return Status::Ok();
+}
+
+ScopedTempDir::ScopedTempDir(const std::string& prefix) {
+  static std::mt19937_64 rng(std::random_device{}());
+  const stdfs::path base = stdfs::temp_directory_path();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    stdfs::path candidate = base / (prefix + "-" + std::to_string(rng()));
+    std::error_code ec;
+    if (stdfs::create_directory(candidate, ec)) {
+      path_ = candidate;
+      return;
+    }
+  }
+  throw std::runtime_error("ScopedTempDir: failed to create temp dir");
+}
+
+ScopedTempDir::~ScopedTempDir() {
+  if (!path_.empty()) {
+    std::error_code ec;
+    stdfs::remove_all(path_, ec);  // best effort
+  }
+}
+
+}  // namespace strata::fs

@@ -1,0 +1,39 @@
+// Small filesystem helpers shared by the KV store and pub/sub persistence:
+// whole-file read/write, atomic replace via rename, scoped temp dirs.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace strata::fs {
+
+[[nodiscard]] Status WriteFile(const std::filesystem::path& path,
+                               std::string_view contents);
+
+/// Write to `<path>.tmp` then rename over `path` (atomic on POSIX).
+[[nodiscard]] Status WriteFileAtomic(const std::filesystem::path& path,
+                                     std::string_view contents);
+
+[[nodiscard]] Result<std::string> ReadFile(const std::filesystem::path& path);
+
+[[nodiscard]] Status CreateDirs(const std::filesystem::path& path);
+
+/// RAII temp directory under the system temp path; removed on destruction.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& prefix = "strata");
+  ~ScopedTempDir();
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace strata::fs

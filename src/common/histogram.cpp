@@ -1,0 +1,122 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace strata {
+
+std::string BoxplotStats::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count << " min=" << min << " p25=" << p25 << " p50=" << p50
+     << " p75=" << p75 << " p95=" << p95 << " max=" << max << " mean=" << mean;
+  return os.str();
+}
+
+Histogram::Histogram()
+    : buckets_(static_cast<std::size_t>(kChunks) * kSubBuckets, 0) {}
+
+int Histogram::BucketIndex(std::int64_t value) noexcept {
+  if (value < 0) value = 0;
+  const auto v = static_cast<std::uint64_t>(value);
+  if (v < 2 * kSubBuckets) {
+    // Linear region [0, 64): one bucket per value pair.
+    return static_cast<int>(v / 2);
+  }
+  const int log2 = 63 - std::countl_zero(v);
+  // chunk c >= 1 covers [kSubBuckets*2^c, kSubBuckets*2^(c+1))
+  const int chunk = log2 - 5;  // 2^6=64 lands in chunk 1
+  const int clamped = std::min(chunk, kChunks - 1);
+  const std::uint64_t base = static_cast<std::uint64_t>(kSubBuckets) << clamped;
+  const std::uint64_t width = base / kSubBuckets;  // 2^clamped
+  std::uint64_t sub = (v - base) / width;
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return clamped * kSubBuckets + static_cast<int>(sub);
+}
+
+std::int64_t Histogram::BucketMidpoint(int index) noexcept {
+  const int chunk = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  if (chunk == 0) return sub * 2 + 1;
+  const std::uint64_t base = static_cast<std::uint64_t>(kSubBuckets) << chunk;
+  const std::uint64_t width = base / kSubBuckets;
+  return static_cast<std::int64_t>(base + width * static_cast<std::uint64_t>(sub) +
+                                   width / 2);
+}
+
+void Histogram::Record(std::int64_t value) noexcept {
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += static_cast<double>(value);
+  ++buckets_[static_cast<std::size_t>(BucketIndex(value))];
+}
+
+void Histogram::Merge(const Histogram& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+void Histogram::Reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+std::int64_t Histogram::min() const noexcept { return count_ ? min_ : 0; }
+
+double Histogram::mean() const noexcept {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::int64_t Histogram::Quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      // Clamp midpoint estimate into the true observed range.
+      return std::clamp(BucketMidpoint(static_cast<int>(i)), min_, max_);
+    }
+  }
+  return max_;
+}
+
+BoxplotStats Histogram::Boxplot() const noexcept {
+  BoxplotStats s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  s.min = min();
+  s.p25 = Quantile(0.25);
+  s.p50 = Quantile(0.50);
+  s.p75 = Quantile(0.75);
+  s.p95 = Quantile(0.95);
+  s.max = max();
+  s.mean = mean();
+  return s;
+}
+
+}  // namespace strata

@@ -1,0 +1,85 @@
+// Log-linear histogram for latency recording (HDR-style bucketing: ~2.4%
+// relative error) plus exact min/max/mean, and the five-number summary used
+// to regenerate the paper's boxplot figures (Figs. 5 and 6).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace strata {
+
+/// Five-number summary + mean/count, the unit the bench harness prints for
+/// each boxplot in the paper.
+struct BoxplotStats {
+  std::int64_t min = 0;
+  std::int64_t p25 = 0;
+  std::int64_t p50 = 0;
+  std::int64_t p75 = 0;
+  std::int64_t p95 = 0;
+  std::int64_t max = 0;
+  double mean = 0.0;
+  std::uint64_t count = 0;
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Not thread-safe; wrap with ConcurrentHistogram for shared recording.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Record a non-negative sample (negative values clamp to 0).
+  void Record(std::int64_t value) noexcept;
+  void Merge(const Histogram& other) noexcept;
+  void Reset() noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::int64_t min() const noexcept;
+  [[nodiscard]] std::int64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Value at quantile q in [0,1], approximated by bucket midpoint.
+  [[nodiscard]] std::int64_t Quantile(double q) const noexcept;
+
+  [[nodiscard]] BoxplotStats Boxplot() const noexcept;
+
+ private:
+  // Buckets: 64 "chunks" of 32 linear sub-buckets; chunk c covers
+  // [2^(c+5), 2^(c+6)) except chunk 0 which is linear [0, 64).
+  static constexpr int kSubBuckets = 32;
+  static constexpr int kChunks = 58;
+
+  static int BucketIndex(std::int64_t value) noexcept;
+  static std::int64_t BucketMidpoint(int index) noexcept;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Mutex-guarded histogram for recording from many operator threads.
+class ConcurrentHistogram {
+ public:
+  void Record(std::int64_t value) noexcept {
+    std::lock_guard lock(mu_);
+    hist_.Record(value);
+  }
+  [[nodiscard]] Histogram Snapshot() const {
+    std::lock_guard lock(mu_);
+    return hist_;
+  }
+  void Reset() {
+    std::lock_guard lock(mu_);
+    hist_.Reset();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+};
+
+}  // namespace strata

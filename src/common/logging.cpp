@@ -1,0 +1,57 @@
+#include "common/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace strata {
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?????";
+  }
+}
+std::mutex g_write_mu;
+}  // namespace
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  std::lock_guard lock(g_write_mu);
+  std::fprintf(stderr, "[%lld.%03lld %s] %s\n",
+               static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000), LevelTag(level),
+               message.c_str());
+}
+
+namespace internal {
+
+LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  os_ << base << ":" << line << " ";
+}
+
+LogLine::~LogLine() { Logger::Instance().Write(level_, os_.str()); }
+
+}  // namespace internal
+
+}  // namespace strata

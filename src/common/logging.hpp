@@ -1,0 +1,65 @@
+// Minimal leveled logger. Thread-safe line-buffered output to stderr; the
+// global level gates cheaply before message formatting.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace strata {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void SetLevel(LogLevel level) noexcept {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] bool Enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+};
+
+namespace internal {
+/// Accumulates one log line and emits it on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace internal
+
+}  // namespace strata
+
+#define STRATA_LOG(level)                                       \
+  if (!::strata::Logger::Instance().Enabled(level)) {           \
+  } else                                                        \
+    ::strata::internal::LogLine(level, __FILE__, __LINE__)
+
+#define LOG_DEBUG STRATA_LOG(::strata::LogLevel::kDebug)
+#define LOG_INFO STRATA_LOG(::strata::LogLevel::kInfo)
+#define LOG_WARN STRATA_LOG(::strata::LogLevel::kWarn)
+#define LOG_ERROR STRATA_LOG(::strata::LogLevel::kError)

@@ -1,0 +1,155 @@
+// Status and Result types used across the STRATA substrates.
+//
+// The storage and transport layers (kvstore, pubsub) report recoverable
+// failures (I/O errors, corruption, not-found) through Status / Result<T>
+// rather than exceptions, so callers on hot paths can branch without
+// unwinding. Programming errors (API misuse, broken invariants) throw.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace strata {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kNotFound,
+  kCorruption,
+  kIoError,
+  kInvalidArgument,
+  kAlreadyExists,
+  kClosed,
+  kTimeout,
+  kResourceExhausted,
+  kUnavailable,
+};
+
+/// Human-readable name of a status code ("Ok", "NotFound", ...).
+const char* StatusCodeName(StatusCode code) noexcept;
+
+/// A cheap, copyable success-or-error value. The common case (Ok) carries
+/// no message and no allocation.
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return Status(); }
+  static Status NotFound(std::string m = "") {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status Closed(std::string m = "closed") {
+    return Status(StatusCode::kClosed, std::move(m));
+  }
+  static Status Timeout(std::string m = "timeout") {
+    return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool IsNotFound() const noexcept {
+    return code_ == StatusCode::kNotFound;
+  }
+  [[nodiscard]] bool IsCorruption() const noexcept {
+    return code_ == StatusCode::kCorruption;
+  }
+  [[nodiscard]] bool IsClosed() const noexcept {
+    return code_ == StatusCode::kClosed;
+  }
+  [[nodiscard]] bool IsTimeout() const noexcept {
+    return code_ == StatusCode::kTimeout;
+  }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  [[nodiscard]] std::string ToString() const;
+
+  /// Throws std::runtime_error if not ok. For call sites where failure is a
+  /// programming error or unrecoverable (tests, examples, setup code).
+  void OrDie() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of T or an error Status. Never holds an Ok status without
+/// a value.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(rep_).ok()) {
+      throw std::logic_error("Result constructed from Ok status without value");
+    }
+  }
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(rep_);
+  }
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(rep_);
+  }
+
+  [[nodiscard]] const T& value() const& {
+    Check();
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T& value() & {
+    Check();
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T&& value() && {
+    Check();
+    return std::get<T>(std::move(rep_));
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+ private:
+  void Check() const {
+    if (!ok()) {
+      throw std::runtime_error("Result::value on error: " +
+                               std::get<Status>(rep_).ToString());
+    }
+  }
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace strata
+
+/// Propagate a non-ok Status from an expression to the caller.
+#define STRATA_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::strata::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (false)

@@ -1,0 +1,92 @@
+#include "kvstore/bloom.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace strata::kv {
+
+std::uint32_t BloomHash(std::string_view key) noexcept {
+  // Murmur-inspired mixing (same family as LevelDB's bloom hash).
+  constexpr std::uint32_t kSeed = 0xbc9f1d34;
+  constexpr std::uint32_t kM = 0xc6a4a793;
+  const std::size_t n = key.size();
+  std::uint32_t h = kSeed ^ (static_cast<std::uint32_t>(n) * kM);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    std::uint32_t w = static_cast<std::uint8_t>(key[i]) |
+                      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(key[i + 1])) << 8) |
+                      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(key[i + 2])) << 16) |
+                      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(key[i + 3])) << 24);
+    h += w;
+    h *= kM;
+    h ^= h >> 16;
+  }
+  switch (n - i) {
+    case 3:
+      h += static_cast<std::uint32_t>(static_cast<std::uint8_t>(key[i + 2])) << 16;
+      [[fallthrough]];
+    case 2:
+      h += static_cast<std::uint32_t>(static_cast<std::uint8_t>(key[i + 1])) << 8;
+      [[fallthrough]];
+    case 1:
+      h += static_cast<std::uint8_t>(key[i]);
+      h *= kM;
+      h ^= h >> 24;
+      break;
+    default:
+      break;
+  }
+  return h;
+}
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
+    : bits_per_key_(std::max(1, bits_per_key)) {
+  // k = bits_per_key * ln 2, clamped to [1, 30].
+  num_probes_ = static_cast<int>(static_cast<double>(bits_per_key_) * 0.69);
+  num_probes_ = std::clamp(num_probes_, 1, 30);
+}
+
+void BloomFilterBuilder::AddKey(std::string_view key) {
+  hashes_.push_back(BloomHash(key));
+}
+
+std::string BloomFilterBuilder::Finish() const {
+  std::size_t bits = hashes_.size() * static_cast<std::size_t>(bits_per_key_);
+  bits = std::max<std::size_t>(bits, 64);
+  const std::size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string filter(bytes, '\0');
+  for (std::uint32_t h : hashes_) {
+    const std::uint32_t delta = (h >> 17) | (h << 15);  // double hashing step
+    for (int probe = 0; probe < num_probes_; ++probe) {
+      const std::size_t bit = h % bits;
+      filter[bit / 8] = static_cast<char>(
+          static_cast<unsigned char>(filter[bit / 8]) | (1u << (bit % 8)));
+      h += delta;
+    }
+  }
+  filter.push_back(static_cast<char>(num_probes_));
+  return filter;
+}
+
+bool BloomFilterMayContain(std::string_view filter,
+                           std::string_view key) noexcept {
+  if (filter.size() < 2) return true;
+  const int num_probes = static_cast<unsigned char>(filter.back());
+  if (num_probes < 1 || num_probes > 30) return true;
+  const std::size_t bits = (filter.size() - 1) * 8;
+
+  std::uint32_t h = BloomHash(key);
+  const std::uint32_t delta = (h >> 17) | (h << 15);
+  for (int probe = 0; probe < num_probes; ++probe) {
+    const std::size_t bit = h % bits;
+    if ((static_cast<unsigned char>(filter[bit / 8]) & (1u << (bit % 8))) == 0) {
+      return false;
+    }
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace strata::kv

@@ -1,0 +1,35 @@
+// Bloom filter for SSTable point-lookup short-circuiting (double-hashing
+// scheme, ~10 bits/key by default → ~1% false positive rate).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace strata::kv {
+
+class BloomFilterBuilder {
+ public:
+  explicit BloomFilterBuilder(int bits_per_key = 10);
+
+  void AddKey(std::string_view key);
+  /// Serialize the filter for the keys added so far (last byte = #probes).
+  [[nodiscard]] std::string Finish() const;
+  [[nodiscard]] std::size_t key_count() const noexcept { return hashes_.size(); }
+
+ private:
+  int bits_per_key_;
+  int num_probes_;
+  std::vector<std::uint32_t> hashes_;
+};
+
+/// Returns true if the key *may* be present, false if definitely absent.
+/// A malformed filter conservatively returns true.
+[[nodiscard]] bool BloomFilterMayContain(std::string_view filter,
+                                         std::string_view key) noexcept;
+
+/// Hash used by the filter (exposed for tests).
+[[nodiscard]] std::uint32_t BloomHash(std::string_view key) noexcept;
+
+}  // namespace strata::kv

@@ -1,0 +1,554 @@
+#include "kvstore/db.hpp"
+
+#include <algorithm>
+
+#include "common/fs.hpp"
+#include "common/logging.hpp"
+
+namespace strata::kv {
+
+namespace {
+constexpr const char* kManifestName = "MANIFEST";
+
+/// Sorted list of "<number>.wal" files in dir.
+std::vector<std::uint64_t> ListWalNumbers(const std::filesystem::path& dir) {
+  std::vector<std::uint64_t> numbers;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() == 12 && name.ends_with(".wal")) {
+      numbers.push_back(std::strtoull(name.c_str(), nullptr, 10));
+    }
+  }
+  std::sort(numbers.begin(), numbers.end());
+  return numbers;
+}
+}  // namespace
+
+// ---------------------------------------------------------------- DbIterator
+
+DbIterator::DbIterator(std::unique_ptr<Iterator> internal,
+                       SequenceNumber snapshot,
+                       std::vector<std::shared_ptr<const void>> pins)
+    : internal_(std::move(internal)),
+      snapshot_(snapshot),
+      pins_(std::move(pins)) {}
+
+void DbIterator::SeekToFirst() {
+  internal_->SeekToFirst();
+  FindNextUserEntry(/*skipping_current_key=*/false);
+}
+
+void DbIterator::Seek(std::string_view user_key) {
+  internal_->Seek(MakeInternalKey(user_key, snapshot_, EntryType::kPut));
+  FindNextUserEntry(/*skipping_current_key=*/false);
+}
+
+void DbIterator::Next() {
+  if (!valid_) return;
+  FindNextUserEntry(/*skipping_current_key=*/true);
+}
+
+void DbIterator::FindNextUserEntry(bool skipping_current_key) {
+  // `key_` holds the last emitted user key when skipping_current_key.
+  valid_ = false;
+  while (internal_->Valid()) {
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(internal_->key(), &parsed)) {
+      internal_->Next();
+      continue;
+    }
+    if (parsed.sequence > snapshot_) {  // newer than our view
+      internal_->Next();
+      continue;
+    }
+    if (skipping_current_key && parsed.user_key == key_) {
+      internal_->Next();
+      continue;
+    }
+    // First visible version of a new user key.
+    if (parsed.type == EntryType::kDelete) {
+      // Hide this key entirely; skip its older versions too.
+      key_.assign(parsed.user_key.data(), parsed.user_key.size());
+      skipping_current_key = true;
+      internal_->Next();
+      continue;
+    }
+    key_.assign(parsed.user_key.data(), parsed.user_key.size());
+    value_.assign(internal_->value().data(), internal_->value().size());
+    valid_ = true;
+    return;
+  }
+}
+
+// ------------------------------------------------------------------------ DB
+
+DB::DB(std::filesystem::path dir, DbOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+Result<std::unique_ptr<DB>> DB::Open(const std::filesystem::path& dir,
+                                     const DbOptions& options) {
+  STRATA_RETURN_IF_ERROR(strata::fs::CreateDirs(dir));
+  std::unique_ptr<DB> db(new DB(dir, options));
+  STRATA_RETURN_IF_ERROR(db->Recover());
+  db->background_ = std::thread([raw = db.get()] { raw->BackgroundLoop(); });
+  return db;
+}
+
+DB::~DB() {
+  {
+    std::unique_lock lock(mu_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  if (background_.joinable()) background_.join();
+  // Persist counters so LastSequence survives a clean close even when the
+  // memtable was empty.
+  std::unique_lock lock(mu_);
+  version_.log_number = wal_number_;
+  if (Status s = version_.Save(FilePath(kManifestName)); !s.ok()) {
+    LOG_WARN << "manifest save on close failed: " << s.ToString();
+  }
+}
+
+Status DB::Recover() {
+  std::unique_lock lock(mu_);
+
+  if (std::filesystem::exists(FilePath(kManifestName))) {
+    auto loaded = VersionState::Load(FilePath(kManifestName));
+    if (!loaded.ok()) return loaded.status();
+    version_ = std::move(loaded).value();
+    for (const FileMeta& meta : version_.files) {
+      auto table = Table::Open(FilePath(TableFileName(meta.file_number)));
+      if (!table.ok()) return table.status();
+      tables_[meta.file_number] = std::move(table).value();
+    }
+  }
+
+  mem_ = std::make_shared<MemTable>();
+
+  // Replay WALs not yet flushed into tables.
+  for (const std::uint64_t number : ListWalNumbers(dir_)) {
+    if (number < version_.log_number) {
+      std::error_code ec;
+      std::filesystem::remove(FilePath(WalFileName(number)), ec);  // stale
+      continue;
+    }
+    STRATA_RETURN_IF_ERROR(ReplayWal(number));
+    version_.next_file_number =
+        std::max(version_.next_file_number, number + 1);
+  }
+
+  // Start a fresh WAL for this incarnation.
+  wal_number_ = version_.next_file_number++;
+  auto wal = WalWriter::Open(FilePath(WalFileName(wal_number_)));
+  if (!wal.ok()) return wal.status();
+  wal_ = std::move(wal).value();
+
+  // Note: recovered memtable entries still have their WAL files on disk
+  // (only removed after flush), so durability is preserved.
+  return Status::Ok();
+}
+
+Status DB::ReplayWal(std::uint64_t number) {
+  auto reader = WalReader::Open(FilePath(WalFileName(number)));
+  if (!reader.ok()) return reader.status();
+
+  std::string payload;
+  while (true) {
+    Status s = reader->ReadRecord(&payload);
+    if (s.IsNotFound()) break;  // EOF or torn tail: stop replay
+    STRATA_RETURN_IF_ERROR(s);
+
+    WriteBatch batch;
+    SequenceNumber first_seq = 0;
+    STRATA_RETURN_IF_ERROR(WriteBatch::Parse(payload, &batch, &first_seq));
+    SequenceNumber seq = first_seq;
+    for (const WriteBatch::Op& op : batch.ops()) {
+      mem_->Add(seq, op.type, op.key, op.value);
+      ++seq;
+    }
+    version_.last_sequence = std::max(version_.last_sequence, seq - 1);
+  }
+  return Status::Ok();
+}
+
+Status DB::Put(std::string_view key, std::string_view value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(batch);
+}
+
+Status DB::Delete(std::string_view key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(batch);
+}
+
+Status DB::Write(const WriteBatch& batch) {
+  if (batch.empty()) return Status::Ok();
+  std::unique_lock lock(mu_);
+  if (background_error_set_) return background_error_;
+  STRATA_RETURN_IF_ERROR(MakeRoomForWrite(lock));
+
+  const SequenceNumber first_seq = version_.last_sequence + 1;
+  STRATA_RETURN_IF_ERROR(wal_->Append(batch.Serialize(first_seq)));
+  if (options_.sync_writes) STRATA_RETURN_IF_ERROR(wal_->Sync());
+
+  SequenceNumber seq = first_seq;
+  for (const WriteBatch::Op& op : batch.ops()) {
+    mem_->Add(seq, op.type, op.key, op.value);
+    if (op.type == EntryType::kPut) {
+      ++stats_.puts;
+    } else {
+      ++stats_.deletes;
+    }
+    ++seq;
+  }
+  version_.last_sequence = seq - 1;
+  return Status::Ok();
+}
+
+Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
+  while (true) {
+    if (background_error_set_) return background_error_;
+    if (mem_->ApproximateBytes() < options_.write_buffer_bytes) {
+      return Status::Ok();
+    }
+    if (imm_ != nullptr) {
+      // A flush is already pending; apply back-pressure.
+      done_cv_.wait(lock);
+      continue;
+    }
+    STRATA_RETURN_IF_ERROR(SwitchMemTable());
+    work_cv_.notify_all();
+    return Status::Ok();
+  }
+}
+
+Status DB::SwitchMemTable() {
+  imm_ = std::move(mem_);
+  mem_ = std::make_shared<MemTable>();
+  const std::uint64_t new_wal = version_.next_file_number++;
+  auto wal = WalWriter::Open(FilePath(WalFileName(new_wal)));
+  if (!wal.ok()) return wal.status();
+  // The old WAL stays on disk until the immutable memtable is flushed.
+  wal_ = std::move(wal).value();
+  wal_number_ = new_wal;
+  return Status::Ok();
+}
+
+Result<std::string> DB::Get(std::string_view key) {
+  SequenceNumber snapshot;
+  {
+    std::unique_lock lock(mu_);
+    snapshot = version_.last_sequence;
+  }
+  return Get(key, snapshot);
+}
+
+Result<std::string> DB::Get(std::string_view key, SequenceNumber snapshot) {
+  std::shared_ptr<MemTable> mem;
+  std::shared_ptr<MemTable> imm;
+  std::vector<std::shared_ptr<Table>> tables;
+  {
+    std::unique_lock lock(mu_);
+    ++stats_.gets;
+    mem = mem_;
+    imm = imm_;
+    tables.reserve(tables_.size());
+    // Newest table first (highest file number).
+    for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+      tables.push_back(it->second);
+    }
+  }
+
+  std::string value;
+  bool deleted = false;
+  if (mem->Get(key, snapshot, &value, &deleted)) {
+    if (deleted) return Status::NotFound();
+    std::unique_lock lock(mu_);
+    ++stats_.get_hits;
+    return value;
+  }
+  if (imm && imm->Get(key, snapshot, &value, &deleted)) {
+    if (deleted) return Status::NotFound();
+    std::unique_lock lock(mu_);
+    ++stats_.get_hits;
+    return value;
+  }
+  for (const auto& table : tables) {
+    Status error;
+    if (table->Get(key, snapshot, &value, &deleted, &error)) {
+      if (!error.ok()) return error;
+      if (deleted) return Status::NotFound();
+      std::unique_lock lock(mu_);
+      ++stats_.get_hits;
+      return value;
+    }
+    if (!error.ok()) return error;
+  }
+  return Status::NotFound();
+}
+
+SequenceNumber DB::GetSnapshot() {
+  std::unique_lock lock(mu_);
+  snapshots_.insert(version_.last_sequence);
+  return version_.last_sequence;
+}
+
+void DB::ReleaseSnapshot(SequenceNumber snapshot) {
+  std::unique_lock lock(mu_);
+  const auto it = snapshots_.find(snapshot);
+  if (it != snapshots_.end()) snapshots_.erase(it);
+}
+
+SequenceNumber DB::SmallestLiveSnapshot() const {
+  return snapshots_.empty() ? version_.last_sequence : *snapshots_.begin();
+}
+
+std::unique_ptr<DbIterator> DB::NewIterator() {
+  SequenceNumber snapshot;
+  {
+    std::unique_lock lock(mu_);
+    snapshot = version_.last_sequence;
+  }
+  return NewIterator(snapshot);
+}
+
+std::unique_ptr<DbIterator> DB::NewIterator(SequenceNumber snapshot) {
+  std::vector<std::unique_ptr<Iterator>> children;
+  std::vector<std::shared_ptr<const void>> pins;
+  {
+    std::unique_lock lock(mu_);
+    children.push_back(mem_->NewIterator());
+    pins.push_back(mem_);
+    if (imm_) {
+      children.push_back(imm_->NewIterator());
+      pins.push_back(imm_);
+    }
+    for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+      children.push_back(it->second->NewIterator());
+      pins.push_back(it->second);
+    }
+  }
+  return std::make_unique<DbIterator>(
+      std::make_unique<MergingIterator>(std::move(children)), snapshot,
+      std::move(pins));
+}
+
+Status DB::Flush() {
+  std::unique_lock lock(mu_);
+  if (mem_->entry_count() == 0 && imm_ == nullptr) return Status::Ok();
+  if (mem_->entry_count() > 0) {
+    while (imm_ != nullptr && !background_error_set_) done_cv_.wait(lock);
+    if (background_error_set_) return background_error_;
+    STRATA_RETURN_IF_ERROR(SwitchMemTable());
+    work_cv_.notify_all();
+  }
+  while (imm_ != nullptr && !background_error_set_) done_cv_.wait(lock);
+  return background_error_set_ ? background_error_ : Status::Ok();
+}
+
+Status DB::CompactAll() {
+  STRATA_RETURN_IF_ERROR(Flush());
+  std::unique_lock lock(mu_);
+  compact_requested_ = true;
+  work_cv_.notify_all();
+  while (compact_requested_ && !background_error_set_) done_cv_.wait(lock);
+  return background_error_set_ ? background_error_ : Status::Ok();
+}
+
+DbStats DB::stats() const {
+  std::unique_lock lock(mu_);
+  DbStats s = stats_;
+  s.live_tables = tables_.size();
+  return s;
+}
+
+SequenceNumber DB::LastSequence() const {
+  std::unique_lock lock(mu_);
+  return version_.last_sequence;
+}
+
+void DB::BackgroundLoop() {
+  std::unique_lock lock(mu_);
+  while (!shutting_down_) {
+    const bool flush_needed = imm_ != nullptr;
+    const bool compact_needed =
+        compact_requested_ ||
+        static_cast<int>(tables_.size()) >= options_.compaction_trigger;
+    if (!flush_needed && !compact_needed) {
+      work_cv_.wait(lock);
+      continue;
+    }
+    lock.unlock();
+    Status s;
+    if (flush_needed) {
+      s = FlushImmutable();
+    } else {
+      s = RunCompaction();
+    }
+    lock.lock();
+    if (!s.ok() && !background_error_set_) {
+      background_error_set_ = true;
+      background_error_ = s;
+      LOG_ERROR << "kvstore background error: " << s.ToString();
+    }
+    done_cv_.notify_all();
+  }
+  // Final flush on shutdown so close is durable without replay cost.
+  if (imm_ != nullptr || mem_->entry_count() > 0) {
+    if (imm_ == nullptr) {
+      if (Status s = SwitchMemTable(); !s.ok()) {
+        LOG_WARN << "shutdown memtable switch failed: " << s.ToString();
+        return;
+      }
+    }
+    lock.unlock();
+    if (Status s = FlushImmutable(); !s.ok()) {
+      LOG_WARN << "shutdown flush failed: " << s.ToString();
+    }
+    lock.lock();
+  }
+}
+
+Status DB::FlushImmutable() {
+  std::shared_ptr<MemTable> imm;
+  std::uint64_t file_number;
+  std::uint64_t current_wal;
+  {
+    std::unique_lock lock(mu_);
+    imm = imm_;
+    if (!imm) return Status::Ok();
+    file_number = version_.next_file_number++;
+    current_wal = wal_number_;
+  }
+
+  TableBuilder builder(options_.block_size);
+  auto it = imm->NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    builder.Add(it->key(), it->value());
+  }
+  FileMeta meta;
+  meta.file_number = file_number;
+  STRATA_RETURN_IF_ERROR(
+      builder.Finish(FilePath(TableFileName(file_number)), &meta));
+  meta.file_number = file_number;
+
+  auto table = Table::Open(FilePath(TableFileName(file_number)));
+  if (!table.ok()) return table.status();
+
+  {
+    std::unique_lock lock(mu_);
+    version_.files.push_back(meta);
+    version_.log_number = current_wal;  // older WALs now redundant
+    STRATA_RETURN_IF_ERROR(version_.Save(FilePath(kManifestName)));
+    tables_[file_number] = std::move(table).value();
+    imm_.reset();
+    ++stats_.flushes;
+  }
+
+  // Delete WALs that are fully covered by flushed tables.
+  for (const std::uint64_t number : ListWalNumbers(dir_)) {
+    if (number < current_wal) {
+      std::error_code ec;
+      std::filesystem::remove(FilePath(WalFileName(number)), ec);
+    }
+  }
+  return Status::Ok();
+}
+
+Status DB::RunCompaction() {
+  std::vector<std::shared_ptr<Table>> inputs;
+  std::vector<std::uint64_t> input_numbers;
+  std::uint64_t file_number;
+  SequenceNumber smallest_snapshot;
+  {
+    std::unique_lock lock(mu_);
+    if (tables_.size() < 2) {
+      compact_requested_ = false;
+      return Status::Ok();
+    }
+    for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+      inputs.push_back(it->second);  // newest first, matching merge priority
+      input_numbers.push_back(it->first);
+    }
+    file_number = version_.next_file_number++;
+    smallest_snapshot = SmallestLiveSnapshot();
+  }
+
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.reserve(inputs.size());
+  for (const auto& table : inputs) children.push_back(table->NewIterator());
+  MergingIterator merged(std::move(children));
+
+  // LevelDB-style version dropping: an entry is obsolete when a newer entry
+  // for the same user key already exists at or below the smallest snapshot.
+  // Tombstones at or below the smallest snapshot are dropped entirely (this
+  // merge produces the bottom of the tree).
+  TableBuilder builder(options_.block_size);
+  std::string current_user_key;
+  bool has_current_user_key = false;
+  SequenceNumber last_seq_for_key = kMaxSequenceNumber;
+
+  for (merged.SeekToFirst(); merged.Valid(); merged.Next()) {
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(merged.key(), &parsed)) {
+      return Status::Corruption("compaction: unparsable internal key");
+    }
+    if (!has_current_user_key || parsed.user_key != current_user_key) {
+      current_user_key.assign(parsed.user_key.data(), parsed.user_key.size());
+      has_current_user_key = true;
+      last_seq_for_key = kMaxSequenceNumber;
+    }
+    bool drop = false;
+    if (last_seq_for_key <= smallest_snapshot) {
+      drop = true;  // hidden by a newer entry visible to every snapshot
+    } else if (parsed.type == EntryType::kDelete &&
+               parsed.sequence <= smallest_snapshot) {
+      drop = true;  // tombstone no longer needed at the bottom
+    }
+    last_seq_for_key = parsed.sequence;
+    if (!drop) builder.Add(merged.key(), merged.value());
+  }
+  STRATA_RETURN_IF_ERROR(merged.status());
+
+  FileMeta meta;
+  meta.file_number = file_number;
+  const bool output_empty = builder.entry_count() == 0;
+  if (!output_empty) {
+    STRATA_RETURN_IF_ERROR(
+        builder.Finish(FilePath(TableFileName(file_number)), &meta));
+    meta.file_number = file_number;
+  }
+
+  std::shared_ptr<Table> table;
+  if (!output_empty) {
+    auto opened = Table::Open(FilePath(TableFileName(file_number)));
+    if (!opened.ok()) return opened.status();
+    table = std::move(opened).value();
+  }
+
+  {
+    std::unique_lock lock(mu_);
+    std::erase_if(version_.files, [&](const FileMeta& f) {
+      return std::find(input_numbers.begin(), input_numbers.end(),
+                       f.file_number) != input_numbers.end();
+    });
+    if (!output_empty) version_.files.push_back(meta);
+    STRATA_RETURN_IF_ERROR(version_.Save(FilePath(kManifestName)));
+    for (const std::uint64_t number : input_numbers) tables_.erase(number);
+    if (!output_empty) tables_[file_number] = table;
+    ++stats_.compactions;
+    compact_requested_ = false;
+  }
+
+  for (const std::uint64_t number : input_numbers) {
+    std::error_code ec;
+    std::filesystem::remove(FilePath(TableFileName(number)), ec);
+  }
+  return Status::Ok();
+}
+
+}  // namespace strata::kv

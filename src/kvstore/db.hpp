@@ -1,0 +1,171 @@
+// The LSM key-value store facade (STRATA's RocksDB substitute).
+//
+// Write path: mutations are grouped into WriteBatches, assigned contiguous
+// sequence numbers under the write mutex, appended to the WAL, then applied
+// to the active memtable. When the memtable exceeds
+// Options::write_buffer_bytes it becomes immutable and a background thread
+// flushes it to an SSTable. When the number of tables reaches
+// Options::compaction_trigger the background thread merges all tables into
+// one, dropping versions hidden below the oldest live snapshot and
+// tombstones not needed by any snapshot (size-tiered full merge).
+//
+// Read path: active memtable → immutable memtable → tables newest-first,
+// with key-range and bloom-filter pruning per table.
+//
+// Crash recovery: load MANIFEST (atomic-rename versioned), reopen live
+// tables, replay WAL files numbered >= manifest.log_number.
+#pragma once
+
+#include <condition_variable>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "kvstore/format.hpp"
+#include "kvstore/iterator.hpp"
+#include "kvstore/memtable.hpp"
+#include "kvstore/sstable.hpp"
+#include "kvstore/version.hpp"
+#include "kvstore/wal.hpp"
+
+namespace strata::kv {
+
+struct DbOptions {
+  /// Memtable size that triggers a flush.
+  std::size_t write_buffer_bytes = 4u << 20;
+  /// Number of live tables that triggers a full merge compaction.
+  int compaction_trigger = 8;
+  /// fsync the WAL on every write (durability vs throughput).
+  bool sync_writes = false;
+  /// SSTable data block size.
+  std::size_t block_size = 4096;
+};
+
+struct DbStats {
+  std::uint64_t puts = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t bloom_skips = 0;
+  std::size_t live_tables = 0;
+};
+
+/// User-facing iterator over (user key, value), visibility applied.
+class DbIterator {
+ public:
+  DbIterator(std::unique_ptr<Iterator> internal, SequenceNumber snapshot,
+             std::vector<std::shared_ptr<const void>> pins);
+
+  [[nodiscard]] bool Valid() const noexcept { return valid_; }
+  void SeekToFirst();
+  void Seek(std::string_view user_key);
+  void Next();
+
+  [[nodiscard]] std::string_view key() const noexcept { return key_; }
+  [[nodiscard]] std::string_view value() const noexcept { return value_; }
+  [[nodiscard]] Status status() const { return internal_->status(); }
+
+ private:
+  /// Move internal_ forward until it rests on the newest visible, non-deleted
+  /// version of a user key not yet emitted.
+  void FindNextUserEntry(bool skipping_current_key);
+
+  std::unique_ptr<Iterator> internal_;
+  SequenceNumber snapshot_;
+  std::vector<std::shared_ptr<const void>> pins_;  // memtables + tables
+  std::string key_;
+  std::string value_;
+  bool valid_ = false;
+};
+
+class DB {
+ public:
+  [[nodiscard]] static Result<std::unique_ptr<DB>> Open(
+      const std::filesystem::path& dir, const DbOptions& options = {});
+
+  ~DB();
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  [[nodiscard]] Status Put(std::string_view key, std::string_view value);
+  [[nodiscard]] Status Delete(std::string_view key);
+  [[nodiscard]] Status Write(const WriteBatch& batch);
+
+  /// NotFound when absent or deleted.
+  [[nodiscard]] Result<std::string> Get(std::string_view key);
+  [[nodiscard]] Result<std::string> Get(std::string_view key,
+                                        SequenceNumber snapshot);
+
+  /// Pin a read view. Must be released to allow garbage collection of old
+  /// versions during compaction.
+  [[nodiscard]] SequenceNumber GetSnapshot();
+  void ReleaseSnapshot(SequenceNumber snapshot);
+
+  [[nodiscard]] std::unique_ptr<DbIterator> NewIterator();
+  [[nodiscard]] std::unique_ptr<DbIterator> NewIterator(
+      SequenceNumber snapshot);
+
+  /// Block until the active memtable is flushed to a table.
+  [[nodiscard]] Status Flush();
+  /// Block until all tables are merged into one.
+  [[nodiscard]] Status CompactAll();
+
+  [[nodiscard]] DbStats stats() const;
+  [[nodiscard]] SequenceNumber LastSequence() const;
+
+ private:
+  explicit DB(std::filesystem::path dir, DbOptions options);
+
+  [[nodiscard]] Status Recover();
+  [[nodiscard]] Status ReplayWal(std::uint64_t number);
+
+  /// REQUIRES mu_. Wait/rotate so the active memtable has room.
+  [[nodiscard]] Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock);
+  /// REQUIRES mu_ held by caller via lock; rotates memtable + WAL.
+  [[nodiscard]] Status SwitchMemTable();
+
+  void BackgroundLoop();
+  [[nodiscard]] Status FlushImmutable();   // called on background thread
+  [[nodiscard]] Status RunCompaction();    // called on background thread
+  [[nodiscard]] SequenceNumber SmallestLiveSnapshot() const;  // REQUIRES mu_
+
+  [[nodiscard]] std::filesystem::path FilePath(const std::string& name) const {
+    return dir_ / name;
+  }
+
+  const std::filesystem::path dir_;
+  const DbOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // signals the background thread
+  std::condition_variable done_cv_;   // signals waiters (flush/compact done)
+
+  std::shared_ptr<MemTable> mem_;
+  std::shared_ptr<MemTable> imm_;  // nullptr when no flush pending
+  std::unique_ptr<WalWriter> wal_;
+  std::uint64_t wal_number_ = 0;
+
+  VersionState version_;
+  /// Open table readers by file_number (mirrors version_.files).
+  std::map<std::uint64_t, std::shared_ptr<Table>> tables_;
+
+  std::multiset<SequenceNumber> snapshots_;
+
+  bool shutting_down_ = false;
+  bool compact_requested_ = false;
+  bool background_error_set_ = false;
+  Status background_error_;
+  std::thread background_;
+
+  DbStats stats_;
+};
+
+}  // namespace strata::kv

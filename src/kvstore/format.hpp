@@ -1,0 +1,97 @@
+// Internal key format of the LSM store (LevelDB/RocksDB family).
+//
+// Every mutation is tagged with a monotonically increasing sequence number
+// and a type (Put or Delete). An *internal key* is
+//
+//   user_key | fixed64( sequence << 8 | type )
+//
+// Internal keys order by (user_key ascending, sequence descending, type
+// descending) so that the newest version of a key sorts first and a point
+// lookup for (key, snapshot_seq) can seek to the first visible entry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/codec.hpp"
+
+namespace strata::kv {
+
+using SequenceNumber = std::uint64_t;
+
+/// Sequence numbers use the low 56 bits of the tag word.
+constexpr SequenceNumber kMaxSequenceNumber = (1ull << 56) - 1;
+
+enum class EntryType : std::uint8_t {
+  kDelete = 0,  // tombstone
+  kPut = 1,
+};
+
+constexpr std::uint64_t PackTag(SequenceNumber seq, EntryType type) noexcept {
+  return (seq << 8) | static_cast<std::uint64_t>(type);
+}
+
+struct ParsedInternalKey {
+  std::string_view user_key;
+  SequenceNumber sequence = 0;
+  EntryType type = EntryType::kPut;
+};
+
+inline void AppendInternalKey(std::string* dst, std::string_view user_key,
+                              SequenceNumber seq, EntryType type) {
+  dst->append(user_key.data(), user_key.size());
+  codec::PutFixed64(dst, PackTag(seq, type));
+}
+
+inline std::string MakeInternalKey(std::string_view user_key,
+                                   SequenceNumber seq, EntryType type) {
+  std::string out;
+  out.reserve(user_key.size() + 8);
+  AppendInternalKey(&out, user_key, seq, type);
+  return out;
+}
+
+/// False when the buffer is too short or the type byte is invalid.
+inline bool ParseInternalKey(std::string_view internal_key,
+                             ParsedInternalKey* out) noexcept {
+  if (internal_key.size() < 8) return false;
+  std::string_view tag_region = internal_key.substr(internal_key.size() - 8);
+  std::uint64_t tag = 0;
+  if (!codec::GetFixed64(&tag_region, &tag)) return false;
+  const auto type_byte = static_cast<std::uint8_t>(tag & 0xff);
+  if (type_byte > static_cast<std::uint8_t>(EntryType::kPut)) return false;
+  out->user_key = internal_key.substr(0, internal_key.size() - 8);
+  out->sequence = tag >> 8;
+  out->type = static_cast<EntryType>(type_byte);
+  return true;
+}
+
+inline std::string_view ExtractUserKey(std::string_view internal_key) noexcept {
+  return internal_key.substr(0, internal_key.size() - 8);
+}
+
+/// Orders internal keys: user key ascending, then tag (sequence|type)
+/// descending, so newer versions come first.
+struct InternalKeyComparator {
+  [[nodiscard]] int Compare(std::string_view a, std::string_view b) const noexcept {
+    const std::string_view ua = ExtractUserKey(a);
+    const std::string_view ub = ExtractUserKey(b);
+    if (const int c = ua.compare(ub); c != 0) return c < 0 ? -1 : 1;
+    std::string_view ta = a.substr(a.size() - 8);
+    std::string_view tb = b.substr(b.size() - 8);
+    std::uint64_t na = 0;
+    std::uint64_t nb = 0;
+    codec::GetFixed64(&ta, &na);
+    codec::GetFixed64(&tb, &nb);
+    if (na > nb) return -1;  // higher sequence sorts first
+    if (na < nb) return 1;
+    return 0;
+  }
+  [[nodiscard]] bool operator()(std::string_view a,
+                                std::string_view b) const noexcept {
+    return Compare(a, b) < 0;
+  }
+};
+
+}  // namespace strata::kv

@@ -1,0 +1,93 @@
+// Iterator abstraction over sorted internal-key/value sequences, plus a
+// k-way merging iterator combining memtables and SSTables into one sorted
+// view (duplicates across children are preserved; the DB layer applies
+// sequence-number visibility and tombstone suppression on top).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "kvstore/format.hpp"
+
+namespace strata::kv {
+
+/// Forward iterator over (internal key, value) pairs in internal-key order.
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  [[nodiscard]] virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  /// Position at the first entry with internal key >= target.
+  virtual void Seek(std::string_view target) = 0;
+  virtual void Next() = 0;
+
+  /// REQUIRES: Valid(). Views remain valid until the next mutation of the
+  /// iterator position.
+  [[nodiscard]] virtual std::string_view key() const = 0;
+  [[nodiscard]] virtual std::string_view value() const = 0;
+
+  /// Non-ok if the underlying source hit corruption/IO problems.
+  [[nodiscard]] virtual Status status() const = 0;
+};
+
+/// Merges N child iterators into one sorted stream (ties broken by child
+/// index, so newer sources should be listed first).
+class MergingIterator final : public Iterator {
+ public:
+  MergingIterator(std::vector<std::unique_ptr<Iterator>> children,
+                  InternalKeyComparator cmp = {})
+      : children_(std::move(children)), cmp_(cmp) {}
+
+  [[nodiscard]] bool Valid() const override { return current_ >= 0; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) child->SeekToFirst();
+    FindSmallest();
+  }
+
+  void Seek(std::string_view target) override {
+    for (auto& child : children_) child->Seek(target);
+    FindSmallest();
+  }
+
+  void Next() override {
+    children_[static_cast<std::size_t>(current_)]->Next();
+    FindSmallest();
+  }
+
+  [[nodiscard]] std::string_view key() const override {
+    return children_[static_cast<std::size_t>(current_)]->key();
+  }
+  [[nodiscard]] std::string_view value() const override {
+    return children_[static_cast<std::size_t>(current_)]->value();
+  }
+
+  [[nodiscard]] Status status() const override {
+    for (const auto& child : children_) {
+      if (Status s = child->status(); !s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+
+ private:
+  void FindSmallest() {
+    current_ = -1;
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (!children_[i]->Valid()) continue;
+      if (current_ < 0 ||
+          cmp_.Compare(children_[i]->key(),
+                       children_[static_cast<std::size_t>(current_)]->key()) < 0) {
+        current_ = static_cast<int>(i);
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<Iterator>> children_;
+  InternalKeyComparator cmp_;
+  int current_ = -1;
+};
+
+}  // namespace strata::kv

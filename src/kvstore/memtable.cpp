@@ -1,0 +1,109 @@
+#include "kvstore/memtable.hpp"
+
+#include "common/codec.hpp"
+
+namespace strata::kv {
+
+namespace {
+
+/// Decode the internal key portion of an encoded entry.
+std::string_view EntryInternalKey(const char* entry) noexcept {
+  std::string_view in(entry, 10);  // varint32 max 5 bytes; safe upper bound
+  std::uint32_t klen = 0;
+  codec::GetVarint32(&in, &klen);
+  return {in.data(), klen};
+}
+
+/// Decode the value portion of an encoded entry.
+std::string_view EntryValue(const char* entry) noexcept {
+  std::string_view in(entry, 10);
+  std::uint32_t klen = 0;
+  codec::GetVarint32(&in, &klen);
+  const char* vstart = in.data() + klen;
+  std::string_view vin(vstart, 10);
+  std::uint32_t vlen = 0;
+  codec::GetVarint32(&vin, &vlen);
+  return {vin.data(), vlen};
+}
+
+}  // namespace
+
+int MemTable::EntryComparator::Compare(const char* a,
+                                       const char* b) const noexcept {
+  return ikcmp.Compare(EntryInternalKey(a), EntryInternalKey(b));
+}
+
+void MemTable::Add(SequenceNumber seq, EntryType type,
+                   std::string_view user_key, std::string_view value) {
+  auto buf = std::make_unique<std::string>();
+  buf->reserve(user_key.size() + value.size() + 24);
+  codec::PutVarint32(buf.get(),
+                     static_cast<std::uint32_t>(user_key.size() + 8));
+  AppendInternalKey(buf.get(), user_key, seq, type);
+  codec::PutVarint32(buf.get(), static_cast<std::uint32_t>(value.size()));
+  buf->append(value.data(), value.size());
+
+  const char* entry = buf->data();
+  arena_.push_back(std::move(buf));
+  list_.Insert(entry);
+  bytes_.fetch_add(arena_.back()->size() + 64, std::memory_order_relaxed);
+}
+
+bool MemTable::Get(std::string_view user_key, SequenceNumber seq,
+                   std::string* found_value, bool* is_deleted) const {
+  const std::string lookup = MakeInternalKey(user_key, seq, EntryType::kPut);
+  std::string lookup_entry;
+  codec::PutVarint32(&lookup_entry, static_cast<std::uint32_t>(lookup.size()));
+  lookup_entry.append(lookup);
+  codec::PutVarint32(&lookup_entry, 0);
+
+  List::Iterator it(&list_);
+  it.Seek(lookup_entry.data());
+  if (!it.Valid()) return false;
+
+  const std::string_view ikey = EntryInternalKey(it.key());
+  ParsedInternalKey parsed;
+  if (!ParseInternalKey(ikey, &parsed)) return false;
+  if (parsed.user_key != user_key) return false;
+
+  if (parsed.type == EntryType::kDelete) {
+    *is_deleted = true;
+    return true;
+  }
+  *is_deleted = false;
+  const std::string_view v = EntryValue(it.key());
+  found_value->assign(v.data(), v.size());
+  return true;
+}
+
+class MemTable::Iter final : public Iterator {
+ public:
+  explicit Iter(const List* list) : it_(list) {}
+
+  [[nodiscard]] bool Valid() const override { return it_.Valid(); }
+  void SeekToFirst() override { it_.SeekToFirst(); }
+  void Seek(std::string_view target) override {
+    std::string entry;
+    codec::PutVarint32(&entry, static_cast<std::uint32_t>(target.size()));
+    entry.append(target);
+    codec::PutVarint32(&entry, 0);
+    it_.Seek(entry.data());
+  }
+  void Next() override { it_.Next(); }
+  [[nodiscard]] std::string_view key() const override {
+    return EntryInternalKey(it_.key());
+  }
+  [[nodiscard]] std::string_view value() const override {
+    return EntryValue(it_.key());
+  }
+  [[nodiscard]] Status status() const override { return Status::Ok(); }
+
+ private:
+  List::Iterator it_;
+};
+
+std::unique_ptr<Iterator> MemTable::NewIterator() const {
+  return std::make_unique<Iter>(&list_);
+}
+
+}  // namespace strata::kv

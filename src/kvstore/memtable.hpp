@@ -1,0 +1,61 @@
+// In-memory write buffer: a skiplist of encoded entries. Each entry packs
+//
+//   varint(internal_key_len) internal_key varint(value_len) value
+//
+// into one contiguous allocation, ordered by InternalKeyComparator.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "kvstore/format.hpp"
+#include "kvstore/iterator.hpp"
+#include "kvstore/skiplist.hpp"
+
+namespace strata::kv {
+
+class MemTable {
+ public:
+  MemTable() = default;
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  /// REQUIRES: external write serialization (DB mutex).
+  void Add(SequenceNumber seq, EntryType type, std::string_view user_key,
+           std::string_view value);
+
+  /// Point lookup at snapshot `seq`. Returns:
+  ///  - true with *found_value filled and *is_deleted=false for a Put,
+  ///  - true with *is_deleted=true for a tombstone,
+  ///  - false when the key has no visible version in this memtable.
+  [[nodiscard]] bool Get(std::string_view user_key, SequenceNumber seq,
+                         std::string* found_value, bool* is_deleted) const;
+
+  [[nodiscard]] std::unique_ptr<Iterator> NewIterator() const;
+
+  [[nodiscard]] std::size_t ApproximateBytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return list_.size();
+  }
+
+ private:
+  struct EntryComparator {
+    InternalKeyComparator ikcmp;
+    [[nodiscard]] int Compare(const char* a, const char* b) const noexcept;
+  };
+
+  using List = SkipList<const char*, EntryComparator>;
+
+  class Iter;
+
+  List list_{EntryComparator{}};
+  std::vector<std::unique_ptr<std::string>> arena_;
+  std::atomic<std::size_t> bytes_{0};
+};
+
+}  // namespace strata::kv

@@ -1,0 +1,173 @@
+// Skiplist with single-writer / concurrent-reader semantics, the memtable
+// index structure (same concurrency contract as LevelDB's): Insert must be
+// externally serialized (the DB write mutex does this); readers may traverse
+// concurrently with inserts without locks because next-pointers are
+// published with release stores and nodes are never removed.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace strata::kv {
+
+template <typename Key, typename Comparator>
+class SkipList {
+ public:
+  explicit SkipList(Comparator cmp = Comparator())
+      : cmp_(cmp), head_(NewNode(Key(), kMaxHeight)), rng_(0x5eed) {
+    max_height_.store(1, std::memory_order_relaxed);
+    for (int i = 0; i < kMaxHeight; ++i) {
+      head_->SetNext(i, nullptr);
+    }
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  ~SkipList() {
+    Node* node = head_;
+    while (node != nullptr) {
+      Node* next = node->Next(0);
+      DeleteNode(node);
+      node = next;
+    }
+  }
+
+  /// REQUIRES: external synchronization among writers; key not already
+  /// present (the memtable guarantees uniqueness via sequence numbers).
+  void Insert(const Key& key) {
+    Node* prev[kMaxHeight];
+    Node* next = FindGreaterOrEqual(key, prev);
+    assert(next == nullptr || !Equal(key, next->key));
+    (void)next;
+
+    const int height = RandomHeight();
+    if (height > GetMaxHeight()) {
+      for (int i = GetMaxHeight(); i < height; ++i) prev[i] = head_;
+      max_height_.store(height, std::memory_order_relaxed);
+    }
+
+    Node* node = NewNode(key, height);
+    for (int i = 0; i < height; ++i) {
+      node->NoBarrierSetNext(i, prev[i]->Next(i));
+      prev[i]->SetNext(i, node);  // release: publishes the node
+    }
+    ++size_;
+  }
+
+  [[nodiscard]] bool Contains(const Key& key) const {
+    const Node* node = FindGreaterOrEqual(key, nullptr);
+    return node != nullptr && Equal(key, node->key);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Forward iterator over the list. Valid concurrently with inserts.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    [[nodiscard]] bool Valid() const noexcept { return node_ != nullptr; }
+    [[nodiscard]] const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+    void Next() {
+      assert(Valid());
+      node_ = node_->Next(0);
+    }
+    void Seek(const Key& target) {
+      node_ = list_->FindGreaterOrEqual(target, nullptr);
+    }
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
+
+   private:
+    const SkipList* list_;
+    const typename SkipList::Node* node_;
+  };
+
+ private:
+  static constexpr int kMaxHeight = 12;
+  static constexpr int kBranching = 4;
+
+  struct Node {
+    explicit Node(const Key& k) : key(k) {}
+    const Key key;
+
+    [[nodiscard]] Node* Next(int level) const {
+      return next_[level].load(std::memory_order_acquire);
+    }
+    void SetNext(int level, Node* node) {
+      next_[level].store(node, std::memory_order_release);
+    }
+    void NoBarrierSetNext(int level, Node* node) {
+      next_[level].store(node, std::memory_order_relaxed);
+    }
+
+    // Over-allocated: next_[height] atomics follow the node in memory.
+    std::atomic<Node*> next_[1];
+  };
+
+  static Node* NewNode(const Key& key, int height) {
+    // One allocation holding the node plus (height-1) extra atomic slots.
+    const std::size_t bytes =
+        sizeof(Node) + sizeof(std::atomic<Node*>) * static_cast<std::size_t>(height - 1);
+    void* mem = ::operator new(bytes);
+    Node* node = new (mem) Node(key);
+    for (int i = 0; i < height; ++i) {
+      new (&node->next_[i]) std::atomic<Node*>(nullptr);
+    }
+    return node;
+  }
+
+  static void DeleteNode(Node* node) {
+    node->~Node();
+    ::operator delete(node);
+  }
+
+  [[nodiscard]] int GetMaxHeight() const {
+    return max_height_.load(std::memory_order_relaxed);
+  }
+
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight &&
+           rng_.UniformInt(0, kBranching - 1) == 0) {
+      ++height;
+    }
+    return height;
+  }
+
+  [[nodiscard]] bool Equal(const Key& a, const Key& b) const {
+    return cmp_.Compare(a, b) == 0;
+  }
+
+  /// First node whose key >= target; fills prev[] when non-null.
+  Node* FindGreaterOrEqual(const Key& target, Node** prev) const {
+    Node* node = head_;
+    int level = GetMaxHeight() - 1;
+    while (true) {
+      Node* next = node->Next(level);
+      if (next != nullptr && cmp_.Compare(next->key, target) < 0) {
+        node = next;
+      } else {
+        if (prev != nullptr) prev[level] = node;
+        if (level == 0) return next;
+        --level;
+      }
+    }
+  }
+
+  Comparator cmp_;
+  Node* head_;
+  std::atomic<int> max_height_;
+  Rng rng_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace strata::kv

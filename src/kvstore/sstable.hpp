@@ -1,0 +1,114 @@
+// Sorted String Table: the immutable on-disk unit of the LSM tree.
+//
+// File layout (offsets from the start):
+//
+//   data block 0 .. data block N-1   entries: lp(ikey) lp(value); each block
+//                                    is followed by fixed32 crc32c
+//   filter block                     bloom filter over user keys
+//   index block                      per data block:
+//                                      lp(last_ikey) fixed64(off) fixed32(sz)
+//   footer (32B): fixed64 filter_off fixed32 filter_sz
+//                 fixed64 index_off  fixed32 index_sz  fixed64 magic
+//
+// Readers load the file once into memory (tables here are MBs, not GBs) and
+// serve point lookups via index binary search + bloom, and scans via an
+// Iterator over blocks.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "kvstore/format.hpp"
+#include "kvstore/iterator.hpp"
+
+namespace strata::kv {
+
+constexpr std::uint64_t kTableMagic = 0x53545241544142ull;  // "STRATATB"
+
+/// Metadata describing a live table file, tracked by the manifest.
+struct FileMeta {
+  std::uint64_t file_number = 0;
+  std::uint64_t file_size = 0;
+  std::string smallest;  // internal key
+  std::string largest;   // internal key
+  std::uint64_t entry_count = 0;
+};
+
+[[nodiscard]] std::string TableFileName(std::uint64_t file_number);
+
+/// Streams sorted (internal key, value) entries into an SSTable file.
+class TableBuilder {
+ public:
+  explicit TableBuilder(std::size_t block_size_bytes = 4096)
+      : block_size_(block_size_bytes) {}
+
+  /// Keys MUST be added in increasing internal-key order.
+  void Add(std::string_view internal_key, std::string_view value);
+
+  /// Finalize and write the file; fills `meta` (except file_number).
+  [[nodiscard]] Status Finish(const std::filesystem::path& path,
+                              FileMeta* meta);
+
+  [[nodiscard]] std::uint64_t entry_count() const noexcept { return count_; }
+  [[nodiscard]] std::size_t PendingBytes() const noexcept {
+    return file_.size() + block_.size();
+  }
+
+ private:
+  void FlushBlock();
+
+  std::size_t block_size_;
+  std::string file_;    // accumulated finished blocks
+  std::string block_;   // current block under construction
+  std::string index_;   // accumulated index entries
+  std::string smallest_;
+  std::string largest_;
+  std::string last_block_key_;
+  std::vector<std::uint32_t> key_hashes_;  // user-key bloom input
+  std::uint64_t count_ = 0;
+  std::uint64_t block_start_ = 0;
+};
+
+/// Read-only view of one SSTable. Always held by shared_ptr (iterators keep
+/// the table alive).
+class Table : public std::enable_shared_from_this<Table> {
+ public:
+  [[nodiscard]] static Result<std::shared_ptr<Table>> Open(
+      const std::filesystem::path& path);
+
+  /// Point lookup semantics mirror MemTable::Get.
+  [[nodiscard]] bool Get(std::string_view user_key, SequenceNumber snapshot,
+                         std::string* value, bool* is_deleted,
+                         Status* error) const;
+
+  [[nodiscard]] std::unique_ptr<Iterator> NewIterator() const;
+
+  [[nodiscard]] std::uint64_t entry_count() const noexcept { return count_; }
+
+ private:
+  class Iter;
+
+  struct IndexEntry {
+    std::string last_key;  // last internal key in the block
+    std::uint64_t offset;
+    std::uint32_t size;
+  };
+
+  Table() = default;
+
+  /// Index of the first block whose last key >= target (== #blocks if none).
+  [[nodiscard]] std::size_t FindBlock(std::string_view target_ikey) const;
+  [[nodiscard]] Status ReadBlock(std::size_t block_index,
+                                 std::string_view* contents) const;
+
+  std::string data_;
+  std::vector<IndexEntry> index_;
+  std::string filter_;
+  std::uint64_t count_ = 0;
+  InternalKeyComparator cmp_;
+};
+
+}  // namespace strata::kv

@@ -1,0 +1,77 @@
+#include "kvstore/version.hpp"
+
+#include <cstdio>
+
+#include "common/codec.hpp"
+#include "common/crc32.hpp"
+#include "common/fs.hpp"
+
+namespace strata::kv {
+
+std::string WalFileName(std::uint64_t number) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%08llu.wal",
+                static_cast<unsigned long long>(number));
+  return buf;
+}
+
+Status VersionState::Save(const std::filesystem::path& manifest_path) const {
+  std::string payload;
+  codec::PutFixed64(&payload, next_file_number);
+  codec::PutFixed64(&payload, last_sequence);
+  codec::PutFixed64(&payload, log_number);
+  codec::PutVarint32(&payload, static_cast<std::uint32_t>(files.size()));
+  for (const FileMeta& f : files) {
+    codec::PutFixed64(&payload, f.file_number);
+    codec::PutFixed64(&payload, f.file_size);
+    codec::PutFixed64(&payload, f.entry_count);
+    codec::PutLengthPrefixed(&payload, f.smallest);
+    codec::PutLengthPrefixed(&payload, f.largest);
+  }
+  std::string out;
+  codec::PutFixed32(&out, MaskCrc(Crc32c(payload)));
+  out.append(payload);
+  return strata::fs::WriteFileAtomic(manifest_path, out);
+}
+
+Result<VersionState> VersionState::Load(
+    const std::filesystem::path& manifest_path) {
+  auto contents = strata::fs::ReadFile(manifest_path);
+  if (!contents.ok()) return contents.status();
+  std::string_view in(contents.value());
+
+  std::uint32_t masked = 0;
+  if (!codec::GetFixed32(&in, &masked)) {
+    return Status::Corruption("manifest too small");
+  }
+  if (Crc32c(in) != UnmaskCrc(masked)) {
+    return Status::Corruption("manifest checksum mismatch");
+  }
+
+  VersionState state;
+  std::uint32_t count = 0;
+  if (!codec::GetFixed64(&in, &state.next_file_number) ||
+      !codec::GetFixed64(&in, &state.last_sequence) ||
+      !codec::GetFixed64(&in, &state.log_number) ||
+      !codec::GetVarint32(&in, &count)) {
+    return Status::Corruption("manifest header truncated");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    FileMeta meta;
+    std::string_view smallest;
+    std::string_view largest;
+    if (!codec::GetFixed64(&in, &meta.file_number) ||
+        !codec::GetFixed64(&in, &meta.file_size) ||
+        !codec::GetFixed64(&in, &meta.entry_count) ||
+        !codec::GetLengthPrefixed(&in, &smallest) ||
+        !codec::GetLengthPrefixed(&in, &largest)) {
+      return Status::Corruption("manifest file entry truncated");
+    }
+    meta.smallest.assign(smallest.data(), smallest.size());
+    meta.largest.assign(largest.data(), largest.size());
+    state.files.push_back(std::move(meta));
+  }
+  return state;
+}
+
+}  // namespace strata::kv

@@ -1,0 +1,30 @@
+// Durable version state of the store: the set of live table files plus the
+// counters needed for recovery. Rewritten atomically (write-temp + rename)
+// on every flush/compaction — simpler than a log-structured manifest and
+// adequate at this scale, while keeping the same crash-safety contract.
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "common/status.hpp"
+#include "kvstore/sstable.hpp"
+
+namespace strata::kv {
+
+struct VersionState {
+  std::uint64_t next_file_number = 1;
+  SequenceNumber last_sequence = 0;
+  /// WAL files numbered below this have been flushed into tables.
+  std::uint64_t log_number = 0;
+  /// Live tables, any order (readers sort newest-first by file_number).
+  std::vector<FileMeta> files;
+
+  [[nodiscard]] Status Save(const std::filesystem::path& manifest_path) const;
+  [[nodiscard]] static Result<VersionState> Load(
+      const std::filesystem::path& manifest_path);
+};
+
+[[nodiscard]] std::string WalFileName(std::uint64_t number);
+
+}  // namespace strata::kv

@@ -1,0 +1,143 @@
+#include "kvstore/wal.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/codec.hpp"
+#include "common/crc32.hpp"
+#include "common/fs.hpp"
+
+namespace strata::kv {
+
+void WriteBatch::Put(std::string_view key, std::string_view value) {
+  ops_.push_back(Op{EntryType::kPut, std::string(key), std::string(value)});
+}
+
+void WriteBatch::Delete(std::string_view key) {
+  ops_.push_back(Op{EntryType::kDelete, std::string(key), {}});
+}
+
+void WriteBatch::Clear() { ops_.clear(); }
+
+std::size_t WriteBatch::ApproximateBytes() const noexcept {
+  std::size_t total = 0;
+  for (const Op& op : ops_) total += op.key.size() + op.value.size() + 16;
+  return total;
+}
+
+std::string WriteBatch::Serialize(SequenceNumber first_sequence) const {
+  std::string out;
+  codec::PutFixed64(&out, first_sequence);
+  codec::PutVarint32(&out, static_cast<std::uint32_t>(ops_.size()));
+  for (const Op& op : ops_) {
+    out.push_back(static_cast<char>(op.type));
+    codec::PutLengthPrefixed(&out, op.key);
+    if (op.type == EntryType::kPut) {
+      codec::PutLengthPrefixed(&out, op.value);
+    }
+  }
+  return out;
+}
+
+Status WriteBatch::Parse(std::string_view data, WriteBatch* out,
+                         SequenceNumber* first_sequence) {
+  out->Clear();
+  std::uint64_t seq = 0;
+  if (!codec::GetFixed64(&data, &seq)) {
+    return Status::Corruption("WriteBatch: missing sequence");
+  }
+  *first_sequence = seq;
+  std::uint32_t count = 0;
+  if (!codec::GetVarint32(&data, &count)) {
+    return Status::Corruption("WriteBatch: missing count");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (data.empty()) return Status::Corruption("WriteBatch: truncated op");
+    const auto type_byte = static_cast<std::uint8_t>(data.front());
+    data.remove_prefix(1);
+    if (type_byte > static_cast<std::uint8_t>(EntryType::kPut)) {
+      return Status::Corruption("WriteBatch: bad op type");
+    }
+    const auto type = static_cast<EntryType>(type_byte);
+    std::string_view key;
+    if (!codec::GetLengthPrefixed(&data, &key)) {
+      return Status::Corruption("WriteBatch: truncated key");
+    }
+    std::string_view value;
+    if (type == EntryType::kPut &&
+        !codec::GetLengthPrefixed(&data, &value)) {
+      return Status::Corruption("WriteBatch: truncated value");
+    }
+    if (type == EntryType::kPut) {
+      out->Put(key, value);
+    } else {
+      out->Delete(key);
+    }
+  }
+  if (!data.empty()) return Status::Corruption("WriteBatch: trailing bytes");
+  return Status::Ok();
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const std::filesystem::path& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IoError("WAL open failed: " + path.string() + ": " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(file, path));
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  std::string header;
+  codec::PutFixed32(&header, MaskCrc(Crc32c(payload)));
+  codec::PutFixed32(&header, static_cast<std::uint32_t>(payload.size()));
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    return Status::IoError("WAL append failed: " + path_.string());
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("WAL flush failed: " + path_.string());
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::Sync() {
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    return Status::IoError("WAL fsync failed: " + path_.string());
+  }
+  return Status::Ok();
+}
+
+Result<WalReader> WalReader::Open(const std::filesystem::path& path) {
+  auto contents = strata::fs::ReadFile(path);
+  if (!contents.ok()) return contents.status();
+  return WalReader(std::move(contents).value());
+}
+
+Status WalReader::ReadRecord(std::string* payload) {
+  if (offset_ >= contents_.size()) return Status::NotFound("WAL EOF");
+  std::string_view in(contents_.data() + offset_, contents_.size() - offset_);
+  std::uint32_t masked_crc = 0;
+  std::uint32_t length = 0;
+  if (!codec::GetFixed32(&in, &masked_crc) ||
+      !codec::GetFixed32(&in, &length) || in.size() < length) {
+    return Status::NotFound("WAL torn tail");  // crash-truncated final record
+  }
+  const std::string_view body = in.substr(0, length);
+  if (Crc32c(body) != UnmaskCrc(masked_crc)) {
+    return Status::NotFound("WAL corrupt record (stopping replay)");
+  }
+  payload->assign(body.data(), body.size());
+  offset_ += 8 + length;
+  return Status::Ok();
+}
+
+}  // namespace strata::kv

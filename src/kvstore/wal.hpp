@@ -1,0 +1,91 @@
+// Write-ahead log. Each record is
+//
+//   masked_crc32c(4) | length(4) | payload(length)
+//
+// appended to a log file and fsync'd according to Options::sync_writes. On
+// recovery the reader replays records until EOF or the first corrupt/partial
+// record (a torn tail from a crash is expected and tolerated).
+//
+// The payload of a record is a serialized WriteBatch:
+//
+//   fixed64 first_sequence | varint32 count |
+//     count * ( type(1) | lp(key) | [lp(value) if Put] )
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "kvstore/format.hpp"
+
+namespace strata::kv {
+
+/// A group of mutations applied atomically and persisted in one WAL record.
+class WriteBatch {
+ public:
+  void Put(std::string_view key, std::string_view value);
+  void Delete(std::string_view key);
+  void Clear();
+
+  [[nodiscard]] std::size_t count() const noexcept { return ops_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ops_.empty(); }
+  [[nodiscard]] std::size_t ApproximateBytes() const noexcept;
+
+  struct Op {
+    EntryType type;
+    std::string key;
+    std::string value;
+  };
+  [[nodiscard]] const std::vector<Op>& ops() const noexcept { return ops_; }
+
+  /// Serialize with the sequence number assigned to the first op.
+  [[nodiscard]] std::string Serialize(SequenceNumber first_sequence) const;
+  /// Parse a serialized batch; fills ops and first_sequence.
+  [[nodiscard]] static Status Parse(std::string_view data, WriteBatch* out,
+                                    SequenceNumber* first_sequence);
+
+ private:
+  std::vector<Op> ops_;
+};
+
+class WalWriter {
+ public:
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  [[nodiscard]] static Result<std::unique_ptr<WalWriter>> Open(
+      const std::filesystem::path& path);
+
+  [[nodiscard]] Status Append(std::string_view payload);
+  [[nodiscard]] Status Sync();
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+
+ private:
+  WalWriter(std::FILE* file, std::filesystem::path path)
+      : file_(file), path_(std::move(path)) {}
+  std::FILE* file_;
+  std::filesystem::path path_;
+};
+
+class WalReader {
+ public:
+  explicit WalReader(std::string contents) : contents_(std::move(contents)) {}
+
+  [[nodiscard]] static Result<WalReader> Open(
+      const std::filesystem::path& path);
+
+  /// Next record payload; NotFound at clean EOF; also NotFound at a torn
+  /// tail (recovery stops there, which is the correct crash semantics).
+  [[nodiscard]] Status ReadRecord(std::string* payload);
+
+ private:
+  std::string contents_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace strata::kv

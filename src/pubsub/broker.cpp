@@ -1,0 +1,302 @@
+#include "pubsub/broker.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/codec.hpp"
+#include "common/crc32.hpp"
+#include "common/fs.hpp"
+#include "common/logging.hpp"
+
+namespace strata::ps {
+
+namespace {
+constexpr const char* kOffsetsFile = "group-offsets";
+
+std::uint32_t KeyHash(const std::string& key) {
+  return Crc32c(key, 0x9e3779b9);
+}
+}  // namespace
+
+Broker::Broker(BrokerOptions options) : options_(std::move(options)) {
+  if (!options_.data_dir.empty()) {
+    if (Status s = strata::fs::CreateDirs(options_.data_dir); !s.ok()) {
+      throw std::runtime_error("Broker: " + s.ToString());
+    }
+    if (Status s = LoadOffsets(); !s.ok() && !s.IsNotFound()) {
+      throw std::runtime_error("Broker: " + s.ToString());
+    }
+  }
+}
+
+Broker::~Broker() { Close(); }
+
+Status Broker::CreateTopic(const std::string& name,
+                           const TopicConfig& config) {
+  if (config.partitions < 1) {
+    return Status::InvalidArgument("topic needs >= 1 partition");
+  }
+  std::lock_guard lock(mu_);
+  if (closed_) return Status::Closed("broker closed");
+  if (auto it = topics_.find(name); it != topics_.end()) {
+    if (it->second.config.partitions == config.partitions) {
+      return Status::Ok();  // idempotent re-create
+    }
+    return Status::AlreadyExists("topic " + name +
+                                 " exists with different partition count");
+  }
+
+  Topic topic;
+  topic.config = config;
+  for (int p = 0; p < config.partitions; ++p) {
+    LogOptions log_options;
+    if (!options_.data_dir.empty()) {
+      log_options.dir =
+          options_.data_dir / (name + "-" + std::to_string(p));
+    }
+    log_options.segment_bytes = options_.segment_bytes;
+    log_options.retention_records = config.retention_records;
+    auto log = PartitionLog::Open(log_options);
+    if (!log.ok()) return log.status();
+    topic.logs.push_back(std::move(log).value());
+  }
+  topics_.emplace(name, std::move(topic));
+  return Status::Ok();
+}
+
+bool Broker::HasTopic(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return topics_.contains(name);
+}
+
+Result<int> Broker::PartitionCount(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = topics_.find(name);
+  if (it == topics_.end()) return Status::NotFound("topic " + name);
+  return it->second.config.partitions;
+}
+
+std::vector<std::string> Broker::ListTopics() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(topics_.size());
+  for (const auto& [name, topic] : topics_) names.push_back(name);
+  return names;
+}
+
+Result<Broker::TopicStats> Broker::GetTopicStats(
+    const std::string& name) const {
+  std::vector<const PartitionLog*> logs;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = topics_.find(name);
+    if (it == topics_.end()) return Status::NotFound("topic " + name);
+    for (const auto& log : it->second.logs) logs.push_back(log.get());
+  }
+  TopicStats stats;
+  stats.partitions = static_cast<int>(logs.size());
+  for (const PartitionLog* log : logs) {
+    const std::int64_t start = log->StartOffset();
+    const std::int64_t end = log->EndOffset();
+    stats.offsets.emplace_back(start, end);
+    stats.total_records += end;
+  }
+  return stats;
+}
+
+Result<std::pair<int, std::int64_t>> Broker::Produce(const std::string& topic,
+                                                     const Record& record) {
+  PartitionLog* log = nullptr;
+  int partition = 0;
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) return Status::Closed("broker closed");
+    const auto it = topics_.find(topic);
+    if (it == topics_.end()) return Status::NotFound("topic " + topic);
+    Topic& t = it->second;
+    const int n = t.config.partitions;
+    partition = record.key.empty()
+                    ? static_cast<int>(t.round_robin++ % static_cast<std::uint64_t>(n))
+                    : static_cast<int>(KeyHash(record.key) % static_cast<std::uint32_t>(n));
+    log = t.logs[static_cast<std::size_t>(partition)].get();
+  }
+  auto offset = log->Append(record);
+  if (!offset.ok()) return offset.status();
+  return std::make_pair(partition, *offset);
+}
+
+Result<PartitionLog*> Broker::GetLog(const std::string& topic,
+                                     int partition) const {
+  std::lock_guard lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::NotFound("topic " + topic);
+  if (partition < 0 || partition >= it->second.config.partitions) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  return it->second.logs[static_cast<std::size_t>(partition)].get();
+}
+
+Result<MemberId> Broker::JoinGroup(const std::string& group,
+                                   const std::string& topic) {
+  std::lock_guard lock(mu_);
+  if (closed_) return Status::Closed("broker closed");
+  if (!topics_.contains(topic)) return Status::NotFound("topic " + topic);
+  Group& g = groups_[group];
+  if (g.members.empty()) {
+    g.topic = topic;
+  } else if (g.topic != topic) {
+    return Status::InvalidArgument("group " + group +
+                                   " already bound to topic " + g.topic);
+  }
+  const MemberId member = next_member_++;
+  g.members.push_back(member);
+  ++g.generation;
+  return member;
+}
+
+void Broker::LeaveGroup(const std::string& group, MemberId member) {
+  std::lock_guard lock(mu_);
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  auto& members = it->second.members;
+  const auto pos = std::find(members.begin(), members.end(), member);
+  if (pos != members.end()) {
+    members.erase(pos);
+    ++it->second.generation;
+  }
+}
+
+std::vector<TopicPartition> Broker::Assignment(
+    const std::string& group, MemberId member,
+    std::uint64_t* generation) const {
+  std::lock_guard lock(mu_);
+  *generation = 0;
+  std::vector<TopicPartition> assigned;
+  const auto git = groups_.find(group);
+  if (git == groups_.end()) return assigned;
+  const Group& g = git->second;
+  *generation = g.generation;
+
+  const auto tit = topics_.find(g.topic);
+  if (tit == topics_.end()) return assigned;
+  const int partitions = tit->second.config.partitions;
+
+  const auto pos = std::find(g.members.begin(), g.members.end(), member);
+  if (pos == g.members.end()) return assigned;
+  const auto member_index =
+      static_cast<int>(std::distance(g.members.begin(), pos));
+  const auto member_count = static_cast<int>(g.members.size());
+
+  for (int p = member_index; p < partitions; p += member_count) {
+    assigned.push_back(TopicPartition{g.topic, p});
+  }
+  return assigned;
+}
+
+Status Broker::CommitOffset(const std::string& group,
+                            const TopicPartition& tp, std::int64_t offset) {
+  std::lock_guard lock(mu_);
+  groups_[group].offsets[tp] = offset;
+  if (!options_.data_dir.empty()) return PersistOffsetsLocked();
+  return Status::Ok();
+}
+
+Result<std::int64_t> Broker::CommittedOffset(const std::string& group,
+                                             const TopicPartition& tp) const {
+  std::lock_guard lock(mu_);
+  const auto git = groups_.find(group);
+  if (git == groups_.end()) return Status::NotFound("group " + group);
+  const auto oit = git->second.offsets.find(tp);
+  if (oit == git->second.offsets.end()) {
+    return Status::NotFound("no committed offset");
+  }
+  return oit->second;
+}
+
+Result<std::int64_t> Broker::ConsumerLag(const std::string& group,
+                                         const TopicPartition& tp) const {
+  const PartitionLog* log = nullptr;
+  std::int64_t committed = -1;
+  {
+    std::lock_guard lock(mu_);
+    const auto tit = topics_.find(tp.topic);
+    if (tit == topics_.end()) return Status::NotFound("topic " + tp.topic);
+    if (tp.partition < 0 || tp.partition >= tit->second.config.partitions) {
+      return Status::InvalidArgument("partition out of range");
+    }
+    log = tit->second.logs[static_cast<std::size_t>(tp.partition)].get();
+    const auto git = groups_.find(group);
+    if (git != groups_.end()) {
+      const auto oit = git->second.offsets.find(tp);
+      if (oit != git->second.offsets.end()) committed = oit->second;
+    }
+  }
+  const std::int64_t baseline =
+      committed >= 0 ? committed : log->StartOffset();
+  return log->EndOffset() - baseline;
+}
+
+Status Broker::PersistOffsetsLocked() const {
+  std::string payload;
+  std::uint32_t total = 0;
+  std::string body;
+  for (const auto& [group, g] : groups_) {
+    for (const auto& [tp, offset] : g.offsets) {
+      codec::PutLengthPrefixed(&body, group);
+      codec::PutLengthPrefixed(&body, tp.topic);
+      codec::PutVarint32(&body, static_cast<std::uint32_t>(tp.partition));
+      codec::PutVarint64Signed(&body, offset);
+      ++total;
+    }
+  }
+  codec::PutVarint32(&payload, total);
+  payload.append(body);
+  std::string out;
+  codec::PutFixed32(&out, MaskCrc(Crc32c(payload)));
+  out.append(payload);
+  return strata::fs::WriteFileAtomic(options_.data_dir / kOffsetsFile, out);
+}
+
+Status Broker::LoadOffsets() {
+  const auto path = options_.data_dir / kOffsetsFile;
+  if (!std::filesystem::exists(path)) return Status::NotFound("no offsets");
+  auto contents = strata::fs::ReadFile(path);
+  if (!contents.ok()) return contents.status();
+  std::string_view in(contents.value());
+
+  std::uint32_t masked = 0;
+  if (!codec::GetFixed32(&in, &masked) || Crc32c(in) != UnmaskCrc(masked)) {
+    return Status::Corruption("group offsets file corrupt");
+  }
+  std::uint32_t total = 0;
+  if (!codec::GetVarint32(&in, &total)) {
+    return Status::Corruption("group offsets header");
+  }
+  for (std::uint32_t i = 0; i < total; ++i) {
+    std::string_view group;
+    std::string_view topic;
+    std::uint32_t partition = 0;
+    std::int64_t offset = 0;
+    if (!codec::GetLengthPrefixed(&in, &group) ||
+        !codec::GetLengthPrefixed(&in, &topic) ||
+        !codec::GetVarint32(&in, &partition) ||
+        !codec::GetVarint64Signed(&in, &offset)) {
+      return Status::Corruption("group offsets entry truncated");
+    }
+    groups_[std::string(group)]
+        .offsets[TopicPartition{std::string(topic),
+                                static_cast<int>(partition)}] = offset;
+  }
+  return Status::Ok();
+}
+
+void Broker::Close() {
+  std::lock_guard lock(mu_);
+  if (closed_) return;
+  closed_ = true;
+  for (auto& [name, topic] : topics_) {
+    for (auto& log : topic.logs) log->Close();
+  }
+}
+
+}  // namespace strata::ps

@@ -1,0 +1,126 @@
+// Embedded pub/sub broker: topics with hash-partitioned append-only logs,
+// consumer groups with round-robin partition assignment and committed
+// offsets. One Broker instance is shared by all producers/consumers in a
+// process (STRATA runs it in-process; the API mirrors a networked broker so
+// a remote implementation could be substituted).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "pubsub/log.hpp"
+
+namespace strata::ps {
+
+struct TopicConfig {
+  int partitions = 1;
+  std::size_t retention_records = 0;  // 0 = unbounded
+};
+
+struct BrokerOptions {
+  /// Empty = fully in-memory; otherwise topic logs and group offsets are
+  /// persisted under this directory.
+  std::filesystem::path data_dir;
+  std::size_t segment_bytes = 8u << 20;
+};
+
+/// Identifies a consumer group member.
+using MemberId = std::uint64_t;
+
+struct TopicPartition {
+  std::string topic;
+  int partition = 0;
+
+  friend auto operator<=>(const TopicPartition&,
+                          const TopicPartition&) = default;
+};
+
+class Broker {
+ public:
+  explicit Broker(BrokerOptions options = {});
+  ~Broker();
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Idempotent when the existing topic has the same partition count.
+  [[nodiscard]] Status CreateTopic(const std::string& name,
+                                   const TopicConfig& config = {});
+  [[nodiscard]] bool HasTopic(const std::string& name) const;
+  [[nodiscard]] Result<int> PartitionCount(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> ListTopics() const;
+
+  struct TopicStats {
+    int partitions = 0;
+    /// Sum of end offsets: total records ever appended.
+    std::int64_t total_records = 0;
+    /// Per-partition [start, end) offsets.
+    std::vector<std::pair<std::int64_t, std::int64_t>> offsets;
+  };
+  [[nodiscard]] Result<TopicStats> GetTopicStats(const std::string& name) const;
+
+  /// Append a record; partition chosen by key hash (or round-robin when the
+  /// key is empty). Returns (partition, offset).
+  [[nodiscard]] Result<std::pair<int, std::int64_t>> Produce(
+      const std::string& topic, const Record& record);
+
+  /// Direct partition access for consumers/tests.
+  [[nodiscard]] Result<PartitionLog*> GetLog(const std::string& topic,
+                                             int partition) const;
+
+  // --- Consumer groups -----------------------------------------------------
+
+  /// Register a member; triggers a rebalance. Returns the member id.
+  [[nodiscard]] Result<MemberId> JoinGroup(const std::string& group,
+                                           const std::string& topic);
+  void LeaveGroup(const std::string& group, MemberId member);
+
+  /// Partitions currently assigned to a member (changes on rebalance).
+  /// The returned generation lets the member detect staleness.
+  [[nodiscard]] std::vector<TopicPartition> Assignment(
+      const std::string& group, MemberId member, std::uint64_t* generation) const;
+
+  [[nodiscard]] Status CommitOffset(const std::string& group,
+                                    const TopicPartition& tp,
+                                    std::int64_t offset);
+
+  /// Records the group has not yet committed in this partition (end offset
+  /// minus committed offset; an uncommitted group lags from the log start).
+  [[nodiscard]] Result<std::int64_t> ConsumerLag(const std::string& group,
+                                                 const TopicPartition& tp) const;
+  /// NotFound when the group never committed for this partition.
+  [[nodiscard]] Result<std::int64_t> CommittedOffset(
+      const std::string& group, const TopicPartition& tp) const;
+
+  /// Close all logs; unblocks any waiting consumers.
+  void Close();
+
+ private:
+  struct Topic {
+    TopicConfig config;
+    std::vector<std::unique_ptr<PartitionLog>> logs;
+    std::uint64_t round_robin = 0;
+  };
+
+  struct Group {
+    std::string topic;
+    std::vector<MemberId> members;  // join order
+    std::uint64_t generation = 0;
+    std::map<TopicPartition, std::int64_t> offsets;
+  };
+
+  [[nodiscard]] Status PersistOffsetsLocked() const;  // REQUIRES mu_
+  [[nodiscard]] Status LoadOffsets();
+
+  BrokerOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Topic> topics_;
+  std::map<std::string, Group> groups_;
+  MemberId next_member_ = 1;
+  bool closed_ = false;
+};
+
+}  // namespace strata::ps

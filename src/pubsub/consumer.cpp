@@ -1,0 +1,117 @@
+#include "pubsub/consumer.hpp"
+
+#include <algorithm>
+
+namespace strata::ps {
+
+Result<std::unique_ptr<Consumer>> Consumer::Create(Broker* broker,
+                                                   const std::string& topic,
+                                                   ConsumerOptions options) {
+  auto member = broker->JoinGroup(options.group, topic);
+  if (!member.ok()) return member.status();
+  std::unique_ptr<Consumer> consumer(
+      new Consumer(broker, topic, std::move(options), *member));
+  consumer->RefreshAssignment();
+  return consumer;
+}
+
+Consumer::~Consumer() { broker_->LeaveGroup(options_.group, member_); }
+
+void Consumer::RefreshAssignment() {
+  std::uint64_t generation = 0;
+  auto assigned = broker_->Assignment(options_.group, member_, &generation);
+  if (generation == generation_ && !assigned_.empty()) return;
+  generation_ = generation;
+  assigned_ = std::move(assigned);
+
+  // (Re-)establish positions for newly assigned partitions.
+  std::map<TopicPartition, std::int64_t> positions;
+  for (const TopicPartition& tp : assigned_) {
+    if (const auto it = positions_.find(tp); it != positions_.end()) {
+      positions[tp] = it->second;  // keep in-flight position
+      continue;
+    }
+    auto committed = broker_->CommittedOffset(options_.group, tp);
+    if (committed.ok()) {
+      positions[tp] = *committed;
+      continue;
+    }
+    auto log = broker_->GetLog(tp.topic, tp.partition);
+    if (!log.ok()) continue;
+    positions[tp] = options_.reset == ConsumerOptions::AutoOffsetReset::kLatest
+                        ? (*log)->EndOffset()
+                        : (*log)->StartOffset();
+  }
+  positions_ = std::move(positions);
+}
+
+Result<std::vector<ConsumedRecord>> Consumer::Poll(
+    std::chrono::microseconds timeout) {
+  RefreshAssignment();
+
+  std::vector<ConsumedRecord> out;
+  auto fetch_available = [&]() -> Status {
+    for (const TopicPartition& tp : assigned_) {
+      if (out.size() >= options_.max_poll_records) break;
+      auto log = broker_->GetLog(tp.topic, tp.partition);
+      if (!log.ok()) return log.status();
+
+      std::int64_t& position = positions_[tp];
+      // Heal positions that fell below the retention horizon.
+      position = std::max(position, (*log)->StartOffset());
+
+      std::vector<Record> records;
+      std::int64_t next = position;
+      STRATA_RETURN_IF_ERROR((*log)->ReadFrom(
+          position, options_.max_poll_records - out.size(), &records, &next));
+      std::int64_t offset = position;
+      for (Record& record : records) {
+        ConsumedRecord consumed;
+        consumed.topic = tp.topic;
+        consumed.partition = tp.partition;
+        consumed.offset = offset++;
+        consumed.key = std::move(record.key);
+        consumed.value = std::move(record.value);
+        consumed.timestamp = record.timestamp;
+        out.push_back(std::move(consumed));
+      }
+      position = next;
+      uncommitted_[tp] = next;
+    }
+    return Status::Ok();
+  };
+
+  STRATA_RETURN_IF_ERROR(fetch_available());
+  if (out.empty() && timeout.count() > 0 && !assigned_.empty()) {
+    // Block on the first assigned partition for new data, then refetch all.
+    auto log = broker_->GetLog(assigned_[0].topic, assigned_[0].partition);
+    if (log.ok()) {
+      (void)(*log)->WaitForData(positions_[assigned_[0]], timeout);
+    }
+    STRATA_RETURN_IF_ERROR(fetch_available());
+  }
+
+  if (options_.auto_commit && !out.empty()) STRATA_RETURN_IF_ERROR(Commit());
+  return out;
+}
+
+Status Consumer::Commit() {
+  for (const auto& [tp, offset] : uncommitted_) {
+    STRATA_RETURN_IF_ERROR(broker_->CommitOffset(options_.group, tp, offset));
+  }
+  uncommitted_.clear();
+  return Status::Ok();
+}
+
+Status Consumer::SeekToEnd() {
+  RefreshAssignment();
+  for (const TopicPartition& tp : assigned_) {
+    auto log = broker_->GetLog(tp.topic, tp.partition);
+    if (!log.ok()) return log.status();
+    positions_[tp] = (*log)->EndOffset();
+    uncommitted_[tp] = positions_[tp];
+  }
+  return Commit();
+}
+
+}  // namespace strata::ps

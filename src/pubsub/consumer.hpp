@@ -1,0 +1,73 @@
+// Poll-based consumer with consumer-group semantics: on construction the
+// consumer joins its group and is assigned a share of the topic's partitions
+// (round-robin by join order). Poll() fetches from assigned partitions,
+// resuming from committed offsets (or the log start for a fresh group).
+// Rebalances are picked up lazily at the next Poll via the assignment
+// generation counter.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pubsub/broker.hpp"
+
+namespace strata::ps {
+
+struct ConsumerOptions {
+  std::string group = "default";
+  /// Start position for partitions with no committed offset.
+  enum class AutoOffsetReset { kEarliest, kLatest } reset =
+      AutoOffsetReset::kEarliest;
+  /// Commit after every Poll automatically.
+  bool auto_commit = true;
+  std::size_t max_poll_records = 256;
+};
+
+class Consumer {
+ public:
+  /// Joins the group; fails if the topic does not exist.
+  [[nodiscard]] static Result<std::unique_ptr<Consumer>> Create(
+      Broker* broker, const std::string& topic, ConsumerOptions options = {});
+
+  ~Consumer();
+  Consumer(const Consumer&) = delete;
+  Consumer& operator=(const Consumer&) = delete;
+
+  /// Fetch available records from assigned partitions, blocking up to
+  /// `timeout` when none are available. An empty result means timeout.
+  [[nodiscard]] Result<std::vector<ConsumedRecord>> Poll(
+      std::chrono::microseconds timeout);
+
+  /// Commit consumed positions (no-op when auto_commit already did).
+  [[nodiscard]] Status Commit();
+
+  /// Force positions of all assigned partitions to the current log end
+  /// (skip backlog).
+  [[nodiscard]] Status SeekToEnd();
+
+  [[nodiscard]] const std::vector<TopicPartition>& assignment() const noexcept {
+    return assigned_;
+  }
+
+ private:
+  Consumer(Broker* broker, std::string topic, ConsumerOptions options,
+           MemberId member)
+      : broker_(broker),
+        topic_(std::move(topic)),
+        options_(std::move(options)),
+        member_(member) {}
+
+  void RefreshAssignment();
+
+  Broker* broker_;
+  std::string topic_;
+  ConsumerOptions options_;
+  MemberId member_;
+  std::uint64_t generation_ = 0;
+  std::vector<TopicPartition> assigned_;
+  std::map<TopicPartition, std::int64_t> positions_;
+  std::map<TopicPartition, std::int64_t> uncommitted_;
+};
+
+}  // namespace strata::ps

@@ -1,0 +1,81 @@
+// Append-only partition log. Records live in memory for serving; when a
+// data directory is configured they are also appended to segment files
+//
+//   <dir>/<topic>-<partition>/<base_offset>.seg
+//
+// where each entry is: masked_crc32c(4) | length(4) | encoded record.
+// Segments roll at segment_bytes. On open, existing segments are replayed to
+// rebuild the in-memory log (same recovery contract as the WAL).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "pubsub/record.hpp"
+
+namespace strata::ps {
+
+struct LogOptions {
+  /// Empty = in-memory only (no persistence).
+  std::filesystem::path dir;
+  std::size_t segment_bytes = 8u << 20;
+  /// Oldest in-memory records are dropped beyond this count (0 = unbounded).
+  /// Retention only trims memory, not segments on disk.
+  std::size_t retention_records = 0;
+};
+
+class PartitionLog {
+ public:
+  [[nodiscard]] static Result<std::unique_ptr<PartitionLog>> Open(
+      const LogOptions& options);
+
+  ~PartitionLog();
+  PartitionLog(const PartitionLog&) = delete;
+  PartitionLog& operator=(const PartitionLog&) = delete;
+
+  /// Append one record; returns its assigned offset.
+  [[nodiscard]] Result<std::int64_t> Append(const Record& record);
+
+  /// Read up to max_records starting at `offset`. Returns immediately with
+  /// whatever is available (possibly empty). Offsets below the retention
+  /// horizon return InvalidArgument.
+  [[nodiscard]] Status ReadFrom(std::int64_t offset, std::size_t max_records,
+                                std::vector<Record>* out,
+                                std::int64_t* next_offset) const;
+
+  /// Block until at least one record at/after `offset` exists, the timeout
+  /// elapses, or the log is closed.
+  [[nodiscard]] bool WaitForData(std::int64_t offset,
+                                 std::chrono::microseconds timeout) const;
+
+  /// Offset that will be assigned to the next append.
+  [[nodiscard]] std::int64_t EndOffset() const;
+  /// Oldest offset still readable from memory.
+  [[nodiscard]] std::int64_t StartOffset() const;
+
+  void Close();
+
+ private:
+  explicit PartitionLog(LogOptions options) : options_(std::move(options)) {}
+
+  [[nodiscard]] Status LoadSegments();
+  [[nodiscard]] Status RollSegmentLocked();  // REQUIRES mu_
+
+  LogOptions options_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable data_cv_;
+  std::deque<Record> records_;      // records_[i] has offset base_ + i
+  std::int64_t base_ = 0;           // offset of records_.front()
+  std::int64_t next_offset_ = 0;
+  bool closed_ = false;
+
+  std::FILE* segment_ = nullptr;    // active segment file (may be null)
+  std::size_t segment_written_ = 0;
+};
+
+}  // namespace strata::ps

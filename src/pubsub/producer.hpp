@@ -1,0 +1,35 @@
+// Thin producer facade over the broker (synchronous acks: every Send is
+// durable in the partition log before returning, matching acks=all).
+#pragma once
+
+#include <string>
+
+#include "pubsub/broker.hpp"
+
+namespace strata::ps {
+
+class Producer {
+ public:
+  explicit Producer(Broker* broker) : broker_(broker) {}
+
+  /// Returns (partition, offset) of the appended record.
+  [[nodiscard]] Result<std::pair<int, std::int64_t>> Send(
+      const std::string& topic, Record record) {
+    return broker_->Produce(topic, record);
+  }
+
+  [[nodiscard]] Result<std::pair<int, std::int64_t>> Send(
+      const std::string& topic, std::string key, std::string value,
+      Timestamp timestamp) {
+    Record record;
+    record.key = std::move(key);
+    record.value = std::move(value);
+    record.timestamp = timestamp;
+    return broker_->Produce(topic, record);
+  }
+
+ private:
+  Broker* broker_;
+};
+
+}  // namespace strata::ps

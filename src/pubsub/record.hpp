@@ -1,0 +1,34 @@
+// Record model of the pub/sub layer (the Kafka substitute used by STRATA's
+// Raw Data Connector and Event Connector).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+
+namespace strata::ps {
+
+/// A produced record before offset assignment.
+struct Record {
+  std::string key;    // empty = no key (round-robin partitioning)
+  std::string value;  // serialized payload
+  Timestamp timestamp = 0;
+};
+
+/// A record as stored/consumed: offset and partition assigned by the broker.
+struct ConsumedRecord {
+  std::string topic;
+  int partition = 0;
+  std::int64_t offset = 0;
+  std::string key;
+  std::string value;
+  Timestamp timestamp = 0;
+};
+
+/// Serialization used for segment persistence.
+void EncodeRecord(const Record& record, std::string* out);
+[[nodiscard]] Status DecodeRecord(std::string_view* in, Record* out);
+
+}  // namespace strata::ps

@@ -1,0 +1,98 @@
+#include "spe/aggregates.hpp"
+
+namespace strata::spe {
+
+namespace internal {
+
+AggregateSpec NumericAggregate(
+    WindowSpec window, KeyFn key, std::string attribute,
+    std::string output_key,
+    std::function<double(const NumericAccumulator&)> finish) {
+  AggregateSpec spec;
+  spec.window = window;
+  spec.key = std::move(key);
+  spec.init = [] { return std::any(NumericAccumulator{}); };
+  spec.add = [attribute = std::move(attribute)](std::any& any_acc,
+                                                const Tuple& t) {
+    const Value* value = t.payload.Find(attribute);
+    if (value == nullptr ||
+        (value->kind() != ValueKind::kDouble &&
+         value->kind() != ValueKind::kInt)) {
+      return;  // skip tuples without the attribute
+    }
+    auto& acc = std::any_cast<NumericAccumulator&>(any_acc);
+    const double v = value->AsDouble();
+    acc.sum += v;
+    acc.min = v < acc.min ? v : acc.min;
+    acc.max = v > acc.max ? v : acc.max;
+    ++acc.count;
+  };
+  spec.result = [output_key = std::move(output_key),
+                 finish = std::move(finish)](std::any& any_acc,
+                                             Timestamp window_start,
+                                             Timestamp window_end) {
+    const auto& acc = std::any_cast<const NumericAccumulator&>(any_acc);
+    Tuple out;
+    out.payload.Set(output_key, acc.count > 0 ? finish(acc) : 0.0);
+    out.payload.Set("count", acc.count);
+    out.payload.Set("window_start", window_start);
+    out.payload.Set("window_end", window_end);
+    return std::vector<Tuple>{out};
+  };
+  return spec;
+}
+
+}  // namespace internal
+
+AggregateSpec SumAggregate(WindowSpec window, std::string attribute,
+                           std::string output_key, KeyFn key) {
+  return internal::NumericAggregate(
+      window, std::move(key), std::move(attribute), std::move(output_key),
+      [](const internal::NumericAccumulator& acc) { return acc.sum; });
+}
+
+AggregateSpec MinAggregate(WindowSpec window, std::string attribute,
+                           std::string output_key, KeyFn key) {
+  return internal::NumericAggregate(
+      window, std::move(key), std::move(attribute), std::move(output_key),
+      [](const internal::NumericAccumulator& acc) { return acc.min; });
+}
+
+AggregateSpec MaxAggregate(WindowSpec window, std::string attribute,
+                           std::string output_key, KeyFn key) {
+  return internal::NumericAggregate(
+      window, std::move(key), std::move(attribute), std::move(output_key),
+      [](const internal::NumericAccumulator& acc) { return acc.max; });
+}
+
+AggregateSpec MeanAggregate(WindowSpec window, std::string attribute,
+                            std::string output_key, KeyFn key) {
+  return internal::NumericAggregate(
+      window, std::move(key), std::move(attribute), std::move(output_key),
+      [](const internal::NumericAccumulator& acc) {
+        return acc.sum / static_cast<double>(acc.count);
+      });
+}
+
+AggregateSpec CountAggregate(WindowSpec window, std::string output_key,
+                             KeyFn key) {
+  AggregateSpec spec;
+  spec.window = window;
+  spec.key = std::move(key);
+  spec.init = [] { return std::any(std::int64_t{0}); };
+  spec.add = [](std::any& acc, const Tuple&) {
+    ++std::any_cast<std::int64_t&>(acc);
+  };
+  spec.result = [output_key = std::move(output_key)](std::any& acc,
+                                                     Timestamp window_start,
+                                                     Timestamp window_end) {
+    Tuple out;
+    out.payload.Set(output_key, std::any_cast<std::int64_t>(acc));
+    out.payload.Set("window_start", window_start);
+    out.payload.Set("window_end", window_end);
+    return std::vector<Tuple>{out};
+  };
+  return spec;
+}
+
+}  // namespace strata::spe

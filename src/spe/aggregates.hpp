@@ -1,0 +1,57 @@
+// Prebuilt AggregateSpec builders for the common window functions the paper
+// names in §2 ("functions such as max, min, or sum"), plus count and mean.
+// Each aggregates one numeric payload sub-attribute over the window and
+// emits a single tuple per (window, group) carrying the result under
+// `output_key` plus the window bounds.
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "spe/functions.hpp"
+
+namespace strata::spe {
+
+namespace internal {
+
+struct NumericAccumulator {
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::int64_t count = 0;
+};
+
+/// Shared scaffolding: fold `attribute` of each tuple into the accumulator,
+/// emit one result via `finish`.
+AggregateSpec NumericAggregate(
+    WindowSpec window, KeyFn key, std::string attribute,
+    std::string output_key,
+    std::function<double(const NumericAccumulator&)> finish);
+
+}  // namespace internal
+
+/// Output tuple payload: {output_key: result, window_start, window_end,
+/// count}. Tuples whose attribute is missing/non-numeric are skipped (and
+/// excluded from count).
+[[nodiscard]] AggregateSpec SumAggregate(WindowSpec window,
+                                         std::string attribute,
+                                         std::string output_key = "sum",
+                                         KeyFn key = nullptr);
+[[nodiscard]] AggregateSpec MinAggregate(WindowSpec window,
+                                         std::string attribute,
+                                         std::string output_key = "min",
+                                         KeyFn key = nullptr);
+[[nodiscard]] AggregateSpec MaxAggregate(WindowSpec window,
+                                         std::string attribute,
+                                         std::string output_key = "max",
+                                         KeyFn key = nullptr);
+[[nodiscard]] AggregateSpec MeanAggregate(WindowSpec window,
+                                          std::string attribute,
+                                          std::string output_key = "mean",
+                                          KeyFn key = nullptr);
+/// Counts all tuples (no attribute needed).
+[[nodiscard]] AggregateSpec CountAggregate(WindowSpec window,
+                                           std::string output_key = "count",
+                                           KeyFn key = nullptr);
+
+}  // namespace strata::spe

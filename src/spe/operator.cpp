@@ -1,0 +1,317 @@
+#include "spe/operator.hpp"
+
+#include <functional>
+
+#include "common/logging.hpp"
+
+namespace strata::spe {
+
+namespace {
+/// Poll interval for multi-input operators alternating between streams.
+constexpr auto kPollInterval = std::chrono::microseconds(1000);
+}  // namespace
+
+// ------------------------------------------------------------------ Source
+
+void Operator::LogUserError(const char* what) {
+  LOG_ERROR << "operator '" << name() << "': user function threw: " << what;
+}
+
+void SourceOperator::Run() {
+  while (!StopRequested()) {
+    auto guarded = Guarded([&] { return fn_(); });
+    if (!guarded.has_value()) break;  // a throwing source ends its stream
+    std::optional<Tuple>& tuple = *guarded;
+    if (!tuple.has_value()) break;
+    if (tuple->stimulus == 0) tuple->stimulus = Now();
+    CountIn();
+    Emit(*tuple);
+  }
+  CloseOutputs();
+}
+
+// ----------------------------------------------------------------- FlatMap
+
+void FlatMapOperator::Run() {
+  while (auto tuple = inputs_[0]->Pop()) {
+    CountIn();
+    auto results = Guarded([&] { return fn_(*tuple); });
+    if (!results.has_value()) continue;  // user error: drop this tuple
+    for (Tuple& out : *results) {
+      if (out.stimulus == 0) out.stimulus = tuple->stimulus;
+      Emit(out);
+    }
+  }
+  CloseOutputs();
+}
+
+// ------------------------------------------------------------------ Filter
+
+void FilterOperator::Run() {
+  while (auto tuple = inputs_[0]->Pop()) {
+    CountIn();
+    const auto keep = Guarded([&] { return fn_(*tuple); });
+    if (keep.value_or(false)) Emit(*tuple);
+  }
+  CloseOutputs();
+}
+
+// ------------------------------------------------------------------ Router
+
+void RouterOperator::Run() {
+  std::hash<std::string> hasher;
+  const std::size_t n = outputs_.size();
+  while (auto tuple = inputs_[0]->Pop()) {
+    CountIn();
+    const auto key = Guarded([&] { return key_(*tuple); });
+    if (!key.has_value()) continue;
+    EmitTo(hasher(*key) % n, std::move(*tuple));
+  }
+  CloseOutputs();
+}
+
+// ------------------------------------------------------------------- Union
+
+void UnionOperator::Run() {
+  std::vector<bool> done(inputs_.size(), false);
+  std::size_t remaining = inputs_.size();
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+      if (done[i]) continue;
+      // Drain whatever is immediately available from this input.
+      while (auto tuple = inputs_[i]->PopFor(std::chrono::microseconds(0))) {
+        CountIn();
+        Emit(std::move(*tuple));
+        progressed = true;
+      }
+      if (inputs_[i]->drained()) {
+        done[i] = true;
+        --remaining;
+        progressed = true;
+      }
+    }
+    if (!progressed && remaining > 0) {
+      // Nothing available anywhere: block briefly on the first live input.
+      for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        if (!done[i]) {
+          if (auto tuple = inputs_[i]->PopFor(kPollInterval)) {
+            CountIn();
+            Emit(std::move(*tuple));
+          }
+          break;
+        }
+      }
+    }
+  }
+  CloseOutputs();
+}
+
+// -------------------------------------------------------------------- Sink
+
+void SinkOperator::Run() {
+  while (auto tuple = inputs_[0]->Pop()) {
+    CountIn();
+    latency_.Record(Now() - tuple->stimulus);
+    if (fn_) {
+      (void)Guarded([&] {
+        fn_(*tuple);
+        return true;
+      });
+    }
+  }
+  if (finish_hook_) finish_hook_();
+  CloseOutputs();  // usually none
+}
+
+// --------------------------------------------------------------- Aggregate
+
+AggregateOperator::AggregateOperator(std::string name, const Clock* clock,
+                                     AggregateSpec spec)
+    : Operator(std::move(name), clock), spec_(std::move(spec)) {
+  if (!spec_.window.valid()) {
+    throw std::invalid_argument("AggregateOperator: invalid window spec");
+  }
+  if (spec_.allowed_lateness < 0) {
+    throw std::invalid_argument("AggregateOperator: negative lateness");
+  }
+  if (!spec_.init || !spec_.add || !spec_.result) {
+    throw std::invalid_argument("AggregateOperator: missing functions");
+  }
+}
+
+void AggregateOperator::CloseWindowsUpTo(Timestamp horizon) {
+  // windows_ is keyed by (start, key): once start + size > horizon we can
+  // stop, because later starts only end later.
+  while (!windows_.empty()) {
+    auto it = windows_.begin();
+    const Timestamp window_start = it->first.first;
+    const Timestamp window_end = window_start + spec_.window.size;
+    if (window_end > horizon) break;
+
+    Window& window = it->second;
+    auto results = Guarded([&] {
+      return spec_.result(window.accumulator, window_start, window_end);
+    });
+    if (results.has_value()) {
+      for (Tuple& out : *results) {
+        if (out.event_time == 0) out.event_time = window_end - 1;
+        out.stimulus = CombineStimulus(out.stimulus, window.max_stimulus);
+        Emit(std::move(out));
+      }
+    }
+    closed_horizon_ = std::max(closed_horizon_, window_end);
+    windows_.erase(it);
+  }
+}
+
+void AggregateOperator::Process(const Tuple& tuple) {
+  CountIn();
+  const Timestamp t = tuple.event_time;
+  // The watermark trails the max event time by the allowed lateness, so
+  // bounded disorder still lands in open windows.
+  CloseWindowsUpTo(t == std::numeric_limits<Timestamp>::min()
+                       ? t
+                       : t - spec_.allowed_lateness);
+
+  const Timestamp ws = spec_.window.size;
+  const Timestamp wa = spec_.window.advance;
+  // Windows [l*wa, l*wa + ws) containing t: (t - ws)/wa < l <= t/wa, l >= 0.
+  std::int64_t l_max = t >= 0 ? t / wa : -1;
+  std::int64_t l_min = 0;
+  if (t - ws >= 0) {
+    l_min = (t - ws) / wa + 1;
+  }
+  const std::string key = spec_.key ? spec_.key(tuple) : std::string();
+
+  bool dropped_somewhere = false;
+  for (std::int64_t l = l_min; l <= l_max; ++l) {
+    const Timestamp window_start = l * wa;
+    const Timestamp window_end = window_start + ws;
+    if (window_end <= closed_horizon_) {
+      dropped_somewhere = true;  // late: this window already closed
+      continue;
+    }
+    auto [it, inserted] =
+        windows_.try_emplace({window_start, key}, Window{});
+    if (inserted) it->second.accumulator = spec_.init();
+    spec_.add(it->second.accumulator, tuple);
+    it->second.max_stimulus =
+        CombineStimulus(it->second.max_stimulus, tuple.stimulus);
+    it->second.max_event_time = std::max(it->second.max_event_time, t);
+  }
+  if (dropped_somewhere) CountLateDrop();
+}
+
+void AggregateOperator::Run() {
+  while (auto tuple = inputs_[0]->Pop()) {
+    (void)Guarded([&] {
+      Process(*tuple);
+      return true;
+    });
+  }
+  // End of stream: flush every open window.
+  CloseWindowsUpTo(std::numeric_limits<Timestamp>::max());
+  CloseOutputs();
+}
+
+// -------------------------------------------------------------------- Join
+
+JoinOperator::JoinOperator(std::string name, const Clock* clock, JoinSpec spec)
+    : Operator(std::move(name), clock), spec_(std::move(spec)), buffers_(2) {
+  if (spec_.window < 0) {
+    throw std::invalid_argument("JoinOperator: negative window");
+  }
+}
+
+void JoinOperator::Evict() {
+  // A buffered tuple on side S can only match future arrivals on the other
+  // side, whose event times are >= max_time_[other] (ordered streams). So a
+  // tuple with τ < max_time_[other] - window is dead.
+  for (int side = 0; side < 2; ++side) {
+    const Timestamp other_max = max_time_[1 - side];
+    if (other_max == std::numeric_limits<Timestamp>::min()) continue;
+    auto& buffer = buffers_[static_cast<std::size_t>(side)];
+    while (!buffer.empty() &&
+           buffer.front().second.event_time < other_max - spec_.window) {
+      buffer.pop_front();
+    }
+  }
+}
+
+void JoinOperator::ProcessFrom(std::size_t side, Tuple tuple) {
+  CountIn();
+  max_time_[side] = std::max(max_time_[side], tuple.event_time);
+
+  const KeyFn& my_key_fn = side == 0 ? spec_.key_left : spec_.key_right;
+  const auto guarded_key =
+      Guarded([&] { return my_key_fn ? my_key_fn(tuple) : std::string(); });
+  if (!guarded_key.has_value()) return;  // key fn threw: drop the tuple
+  const std::string& key = *guarded_key;
+
+  // Probe the opposite buffer.
+  for (const auto& [other_key, other] : buffers_[1 - side]) {
+    if (key != other_key) continue;
+    const Timestamp dt = tuple.event_time - other.event_time;
+    if (dt > spec_.window || dt < -spec_.window) continue;
+    const Tuple& left = side == 0 ? tuple : other;
+    const Tuple& right = side == 0 ? other : tuple;
+    if (spec_.predicate) {
+      const auto match = Guarded([&] { return spec_.predicate(left, right); });
+      if (!match.value_or(false)) continue;
+    }
+
+    Tuple joined;
+    joined.event_time = std::max(left.event_time, right.event_time);
+    joined.job = left.job;
+    joined.layer = left.layer;
+    joined.specimen = left.specimen;
+    joined.portion = left.portion;
+    joined.stimulus = CombineStimulus(left.stimulus, right.stimulus);
+    if (spec_.combine) {
+      auto combined = Guarded([&] { return spec_.combine(left, right); });
+      if (!combined.has_value()) continue;
+      joined.payload = std::move(*combined);
+    } else {
+      joined.payload = left.payload;
+      // Equal duplicate keys (e.g. shared group-by attributes) merge;
+      // conflicting values violate fuse()'s uniqueness assumption -> drop.
+      if (Status s = joined.payload.MergeCompatible(right.payload); !s.ok()) {
+        CountLateDrop();
+        continue;
+      }
+    }
+    Emit(std::move(joined));
+  }
+
+  buffers_[side].emplace_back(key, std::move(tuple));
+  Evict();
+}
+
+void JoinOperator::Run() {
+  bool done[2] = {false, false};
+  while (!done[0] || !done[1]) {
+    bool progressed = false;
+    for (std::size_t side = 0; side < 2; ++side) {
+      if (done[side]) continue;
+      while (auto tuple =
+                 inputs_[side]->PopFor(std::chrono::microseconds(0))) {
+        ProcessFrom(side, std::move(*tuple));
+        progressed = true;
+      }
+      if (inputs_[side]->drained()) {
+        done[side] = true;
+        progressed = true;
+      }
+    }
+    if (!progressed) {
+      const std::size_t side = done[0] ? 1 : 0;
+      if (auto tuple = inputs_[side]->PopFor(kPollInterval)) {
+        ProcessFrom(side, std::move(*tuple));
+      }
+    }
+  }
+  CloseOutputs();
+}
+
+}  // namespace strata::spe

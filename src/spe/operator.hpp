@@ -1,0 +1,265 @@
+// Operator base class and the native operator set (paper §2): stateless
+// Map/FlatMap and Filter; stateful Aggregate (time windows with group-by)
+// and Join (time-bound predicate join); plus Source, Sink, Union, and a
+// hash Router used to parallelize stateless stages.
+//
+// Execution model (Liebre-style scale-up SPE): each operator instance runs
+// on its own thread, pulling from bounded input streams and pushing to
+// bounded output streams; back-pressure is blocking. Event time is assumed
+// non-decreasing per stream (the AM sources are layer-ordered); stateful
+// operators tolerate bounded disorder by closing windows only at watermark
+// `max event time seen` and counting late drops.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/histogram.hpp"
+#include "spe/functions.hpp"
+#include "spe/stream.hpp"
+
+namespace strata::spe {
+
+struct OperatorStats {
+  std::string name;
+  std::uint64_t tuples_in = 0;
+  std::uint64_t tuples_out = 0;
+  std::uint64_t late_drops = 0;
+  /// Tuples dropped because a user function threw (logged, never fatal).
+  std::uint64_t user_errors = 0;
+};
+
+class Operator {
+ public:
+  Operator(std::string name, const Clock* clock)
+      : name_(std::move(name)), clock_(clock) {}
+  virtual ~Operator() = default;
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  /// Body executed on the operator's thread; returns when the operator has
+  /// finished (inputs drained or stop requested) and outputs are closed.
+  virtual void Run() = 0;
+
+  void AddInput(StreamPtr stream) { inputs_.push_back(std::move(stream)); }
+  void AddOutput(StreamPtr stream) { outputs_.push_back(std::move(stream)); }
+
+  [[nodiscard]] const std::vector<StreamPtr>& inputs() const noexcept {
+    return inputs_;
+  }
+  [[nodiscard]] const std::vector<StreamPtr>& outputs() const noexcept {
+    return outputs_;
+  }
+
+  /// Cooperative stop: sources exit their loop; other operators finish
+  /// naturally when their inputs drain.
+  void RequestStop() { stop_requested_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] OperatorStats stats() const {
+    OperatorStats s;
+    s.name = name_;
+    s.tuples_in = in_count_.load(std::memory_order_relaxed);
+    s.tuples_out = out_count_.load(std::memory_order_relaxed);
+    s.late_drops = late_drops_.load(std::memory_order_relaxed);
+    s.user_errors = user_errors_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ protected:
+  [[nodiscard]] bool StopRequested() const {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Push to every output (copies when fanning out). Ok(false-like Closed)
+  /// statuses are swallowed: a closed downstream just discards the tuple.
+  void Emit(const Tuple& tuple) {
+    out_count_.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t i = 0; i + 1 < outputs_.size(); ++i) {
+      (void)outputs_[i]->Push(tuple);
+    }
+    if (!outputs_.empty()) (void)outputs_.back()->Push(tuple);
+  }
+
+  void EmitTo(std::size_t output_index, Tuple tuple) {
+    out_count_.fetch_add(1, std::memory_order_relaxed);
+    (void)outputs_[output_index]->Push(std::move(tuple));
+  }
+
+  void CloseOutputs() {
+    for (const auto& out : outputs_) out->Close();
+  }
+
+  void CountIn() { in_count_.fetch_add(1, std::memory_order_relaxed); }
+  void CountLateDrop() { late_drops_.fetch_add(1, std::memory_order_relaxed); }
+  void CountUserError() {
+    user_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Invoke a user function; on exception, log + count and return nullopt
+  /// (the offending tuple is dropped, the operator keeps running).
+  template <typename F>
+  auto Guarded(F&& fn) -> std::optional<decltype(fn())> {
+    try {
+      return fn();
+    } catch (const std::exception& e) {
+      CountUserError();
+      LogUserError(e.what());
+      return std::nullopt;
+    }
+  }
+
+  [[nodiscard]] Timestamp Now() const { return clock_->Now(); }
+
+  std::vector<StreamPtr> inputs_;
+  std::vector<StreamPtr> outputs_;
+
+ private:
+  void LogUserError(const char* what);
+
+  std::string name_;
+  const Clock* clock_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> in_count_{0};
+  std::atomic<std::uint64_t> out_count_{0};
+  std::atomic<std::uint64_t> late_drops_{0};
+  std::atomic<std::uint64_t> user_errors_{0};
+};
+
+// --------------------------------------------------------------- stateless
+
+class SourceOperator final : public Operator {
+ public:
+  SourceOperator(std::string name, const Clock* clock, SourceFn fn)
+      : Operator(std::move(name), clock), fn_(std::move(fn)) {}
+  void Run() override;
+
+ private:
+  SourceFn fn_;
+};
+
+class FlatMapOperator final : public Operator {
+ public:
+  FlatMapOperator(std::string name, const Clock* clock, FlatMapFn fn)
+      : Operator(std::move(name), clock), fn_(std::move(fn)) {}
+  void Run() override;
+
+ private:
+  FlatMapFn fn_;
+};
+
+class FilterOperator final : public Operator {
+ public:
+  FilterOperator(std::string name, const Clock* clock, FilterFn fn)
+      : Operator(std::move(name), clock), fn_(std::move(fn)) {}
+  void Run() override;
+
+ private:
+  FilterFn fn_;
+};
+
+/// Hash-routes tuples to one of N outputs by key (shard router for parallel
+/// stateless stages; tuples with equal keys go to the same instance).
+class RouterOperator final : public Operator {
+ public:
+  RouterOperator(std::string name, const Clock* clock, KeyFn key)
+      : Operator(std::move(name), clock), key_(std::move(key)) {}
+  void Run() override;
+
+ private:
+  KeyFn key_;
+};
+
+/// Merges N inputs into one output in arrival order.
+class UnionOperator final : public Operator {
+ public:
+  UnionOperator(std::string name, const Clock* clock)
+      : Operator(std::move(name), clock) {}
+  void Run() override;
+};
+
+class SinkOperator final : public Operator {
+ public:
+  SinkOperator(std::string name, const Clock* clock, SinkFn fn)
+      : Operator(std::move(name), clock), fn_(std::move(fn)) {}
+  void Run() override;
+
+  /// Invoked once after the input stream drains, before the operator exits.
+  /// Used by STRATA's connectors to propagate end-of-stream through the
+  /// pub/sub broker. Must be set before Query::Start.
+  void SetFinishHook(std::function<void()> hook) {
+    finish_hook_ = std::move(hook);
+  }
+
+  /// Latency distribution (processing-time now - stimulus) of consumed
+  /// tuples, the paper's end-to-end latency metric.
+  [[nodiscard]] Histogram LatencySnapshot() const {
+    return latency_.Snapshot();
+  }
+  void ResetLatency() { latency_.Reset(); }
+
+ private:
+  SinkFn fn_;
+  std::function<void()> finish_hook_;
+  ConcurrentHistogram latency_;
+};
+
+// ---------------------------------------------------------------- stateful
+
+class AggregateOperator final : public Operator {
+ public:
+  AggregateOperator(std::string name, const Clock* clock, AggregateSpec spec);
+  void Run() override;
+
+ private:
+  struct Window {
+    std::any accumulator;
+    Timestamp max_stimulus = 0;
+    Timestamp max_event_time = 0;
+  };
+
+  /// Close and emit every window with end <= horizon (event time).
+  void CloseWindowsUpTo(Timestamp horizon);
+  void Process(const Tuple& tuple);
+
+  AggregateSpec spec_;
+  // (window_start, key) -> window; ordered by start so closing is a prefix.
+  std::map<std::pair<Timestamp, std::string>, Window> windows_;
+  Timestamp closed_horizon_ = std::numeric_limits<Timestamp>::min();
+};
+
+struct JoinSpec {
+  /// Match when |τ_L - τ_R| <= window (paper §2). 0 = τ equality.
+  Timestamp window = 0;
+  /// Optional group-by: pairs must agree on key to be tested by `predicate`.
+  KeyFn key_left;
+  KeyFn key_right;
+  /// Optional extra predicate (defaults to always-true).
+  JoinPredicate predicate;
+  /// Combines payloads of a matched pair; defaults to disjoint merge (the
+  /// fuse() contract). Pairs whose payloads collide are dropped + counted.
+  JoinCombineFn combine;
+};
+
+class JoinOperator final : public Operator {
+ public:
+  JoinOperator(std::string name, const Clock* clock, JoinSpec spec);
+  void Run() override;
+
+ private:
+  void ProcessFrom(std::size_t side, Tuple tuple);
+  void Evict();
+
+  JoinSpec spec_;
+  std::vector<std::deque<std::pair<std::string, Tuple>>> buffers_;  // [L, R]
+  Timestamp max_time_[2] = {std::numeric_limits<Timestamp>::min(),
+                            std::numeric_limits<Timestamp>::min()};
+};
+
+}  // namespace strata::spe

@@ -1,0 +1,223 @@
+#include "spe/query.hpp"
+
+#include <map>
+
+#include "common/logging.hpp"
+
+namespace strata::spe {
+
+Query::Query(QueryOptions options) : options_(options) {
+  if (options_.queue_capacity == 0) {
+    throw std::invalid_argument("Query: queue_capacity must be > 0");
+  }
+}
+
+Query::~Query() {
+  if (started_ && !joined_) {
+    Stop();
+    Join();
+  }
+}
+
+StreamPtr Query::NewStream(const std::string& name) {
+  auto stream = std::make_shared<Stream>(name, options_.queue_capacity);
+  streams_.push_back(stream);
+  return stream;
+}
+
+void Query::Consume(const StreamPtr& stream) {
+  if (!stream) throw std::invalid_argument("Query: null input stream");
+  if (!consumed_.insert(stream.get()).second) {
+    throw std::logic_error("Query: stream '" + stream->name() +
+                           "' already has a consumer (use AddSplit)");
+  }
+}
+
+template <typename Op, typename... Args>
+Op* Query::NewOperator(Args&&... args) {
+  if (started_) throw std::logic_error("Query: cannot add operators after Start");
+  auto op = std::make_unique<Op>(std::forward<Args>(args)...);
+  Op* raw = op.get();
+  operators_.push_back(std::move(op));
+  return raw;
+}
+
+StreamPtr Query::AddSource(const std::string& name, SourceFn fn) {
+  auto* op = NewOperator<SourceOperator>(name, options_.clock, std::move(fn));
+  StreamPtr out = NewStream(name + ".out");
+  op->AddOutput(out);
+  return out;
+}
+
+StreamPtr Query::AddFlatMap(const std::string& name, StreamPtr in,
+                            FlatMapFn fn, int parallelism, KeyFn shard_key) {
+  if (parallelism < 1) {
+    throw std::invalid_argument("Query: parallelism must be >= 1");
+  }
+  Consume(in);
+  if (parallelism == 1) {
+    auto* op =
+        NewOperator<FlatMapOperator>(name, options_.clock, std::move(fn));
+    op->AddInput(std::move(in));
+    StreamPtr out = NewStream(name + ".out");
+    op->AddOutput(out);
+    return out;
+  }
+
+  if (!shard_key) {
+    throw std::invalid_argument(
+        "Query: parallel FlatMap requires a shard_key");
+  }
+  auto* router = NewOperator<RouterOperator>(name + ".router", options_.clock,
+                                             std::move(shard_key));
+  router->AddInput(std::move(in));
+  auto* merger = NewOperator<UnionOperator>(name + ".union", options_.clock);
+  for (int i = 0; i < parallelism; ++i) {
+    StreamPtr shard_in = NewStream(name + ".shard" + std::to_string(i));
+    router->AddOutput(shard_in);
+    auto* worker = NewOperator<FlatMapOperator>(
+        name + "[" + std::to_string(i) + "]", options_.clock, fn);
+    worker->AddInput(shard_in);
+    consumed_.insert(shard_in.get());
+    StreamPtr shard_out = NewStream(name + ".shard" + std::to_string(i) + ".out");
+    worker->AddOutput(shard_out);
+    merger->AddInput(shard_out);
+    consumed_.insert(shard_out.get());
+  }
+  StreamPtr out = NewStream(name + ".out");
+  merger->AddOutput(out);
+  return out;
+}
+
+StreamPtr Query::AddFilter(const std::string& name, StreamPtr in,
+                           FilterFn fn) {
+  Consume(in);
+  auto* op = NewOperator<FilterOperator>(name, options_.clock, std::move(fn));
+  op->AddInput(std::move(in));
+  StreamPtr out = NewStream(name + ".out");
+  op->AddOutput(out);
+  return out;
+}
+
+StreamPtr Query::AddAggregate(const std::string& name, StreamPtr in,
+                              AggregateSpec spec) {
+  Consume(in);
+  auto* op =
+      NewOperator<AggregateOperator>(name, options_.clock, std::move(spec));
+  op->AddInput(std::move(in));
+  StreamPtr out = NewStream(name + ".out");
+  op->AddOutput(out);
+  return out;
+}
+
+StreamPtr Query::AddJoin(const std::string& name, StreamPtr left,
+                         StreamPtr right, JoinSpec spec) {
+  Consume(left);
+  Consume(right);
+  auto* op = NewOperator<JoinOperator>(name, options_.clock, std::move(spec));
+  op->AddInput(std::move(left));
+  op->AddInput(std::move(right));
+  StreamPtr out = NewStream(name + ".out");
+  op->AddOutput(out);
+  return out;
+}
+
+StreamPtr Query::AddUnion(const std::string& name,
+                          std::vector<StreamPtr> ins) {
+  if (ins.empty()) throw std::invalid_argument("Query: union of nothing");
+  auto* op = NewOperator<UnionOperator>(name, options_.clock);
+  for (StreamPtr& in : ins) {
+    Consume(in);
+    op->AddInput(std::move(in));
+  }
+  StreamPtr out = NewStream(name + ".out");
+  op->AddOutput(out);
+  return out;
+}
+
+std::vector<StreamPtr> Query::AddSplit(const std::string& name, StreamPtr in,
+                                       int n) {
+  if (n < 1) throw std::invalid_argument("Query: split into < 1");
+  Consume(in);
+  // A FlatMap that copies each tuple to all outputs.
+  auto* op = NewOperator<FlatMapOperator>(
+      name, options_.clock,
+      [](const Tuple& t) { return std::vector<Tuple>{t}; });
+  op->AddInput(std::move(in));
+  std::vector<StreamPtr> outs;
+  outs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    StreamPtr out = NewStream(name + ".out" + std::to_string(i));
+    op->AddOutput(out);
+    outs.push_back(out);
+  }
+  return outs;
+}
+
+SinkOperator* Query::AddSink(const std::string& name, StreamPtr in,
+                             SinkFn fn) {
+  Consume(in);
+  auto* op = NewOperator<SinkOperator>(name, options_.clock, std::move(fn));
+  op->AddInput(std::move(in));
+  return op;
+}
+
+void Query::Start() {
+  if (started_) throw std::logic_error("Query: already started");
+  started_ = true;
+  threads_.reserve(operators_.size());
+  for (auto& op : operators_) {
+    threads_.emplace_back([raw = op.get()] { raw->Run(); });
+  }
+}
+
+void Query::Stop() {
+  for (auto& op : operators_) op->RequestStop();
+}
+
+void Query::Join() {
+  if (joined_) return;
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  joined_ = true;
+}
+
+void Query::Run() {
+  Start();
+  Join();
+}
+
+std::string Query::ToDot() const {
+  std::string dot = "digraph query {\n  rankdir=LR;\n  node [shape=box];\n";
+  // Stream -> producer index for edge construction.
+  std::map<const Stream*, std::size_t> producer_of;
+  for (std::size_t i = 0; i < operators_.size(); ++i) {
+    for (const StreamPtr& out : operators_[i]->outputs()) {
+      producer_of[out.get()] = i;
+    }
+  }
+  for (std::size_t i = 0; i < operators_.size(); ++i) {
+    dot += "  op" + std::to_string(i) + " [label=\"" +
+           operators_[i]->name() + "\"];\n";
+  }
+  for (std::size_t i = 0; i < operators_.size(); ++i) {
+    for (const StreamPtr& in : operators_[i]->inputs()) {
+      const auto it = producer_of.find(in.get());
+      if (it == producer_of.end()) continue;  // external stream
+      dot += "  op" + std::to_string(it->second) + " -> op" +
+             std::to_string(i) + " [label=\"" + in->name() + "\"];\n";
+    }
+  }
+  dot += "}\n";
+  return dot;
+}
+
+std::vector<OperatorStats> Query::Stats() const {
+  std::vector<OperatorStats> stats;
+  stats.reserve(operators_.size());
+  for (const auto& op : operators_) stats.push_back(op->stats());
+  return stats;
+}
+
+}  // namespace strata::spe

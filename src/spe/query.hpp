@@ -1,0 +1,104 @@
+// Continuous query: a DAG of operators connected by bounded streams (paper
+// §2). The builder API creates operators and returns the stream handle of
+// each operator's output; every stream has exactly one producer and one
+// consumer (fan-out is explicit via AddSplit, parallelism via the
+// router/union pair built by the `parallelism` argument of AddFlatMap).
+//
+// Lifecycle: build -> Start() -> [Stop()] -> Join(). Sources end the query
+// naturally by returning nullopt; Stop() asks sources to finish early. End
+// of stream cascades: each operator flushes its state, closes its outputs,
+// and exits, so Join() returns once the sinks have consumed everything.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "spe/operator.hpp"
+
+namespace strata::spe {
+
+struct QueryOptions {
+  std::size_t queue_capacity = 1024;
+  const Clock* clock = &Clock::System();
+};
+
+class Query {
+ public:
+  explicit Query(QueryOptions options = {});
+  ~Query();
+  Query(const Query&) = delete;
+  Query& operator=(const Query&) = delete;
+
+  // ----- builders (call before Start) -----
+
+  [[nodiscard]] StreamPtr AddSource(const std::string& name, SourceFn fn);
+
+  /// Map/FlatMap. With parallelism > 1 a hash router shards tuples by
+  /// `shard_key` across `parallelism` instances whose outputs are unioned
+  /// (per-key order preserved; cross-key order not).
+  [[nodiscard]] StreamPtr AddFlatMap(const std::string& name, StreamPtr in,
+                                     FlatMapFn fn, int parallelism = 1,
+                                     KeyFn shard_key = nullptr);
+
+  [[nodiscard]] StreamPtr AddFilter(const std::string& name, StreamPtr in,
+                                    FilterFn fn);
+
+  [[nodiscard]] StreamPtr AddAggregate(const std::string& name, StreamPtr in,
+                                       AggregateSpec spec);
+
+  [[nodiscard]] StreamPtr AddJoin(const std::string& name, StreamPtr left,
+                                  StreamPtr right, JoinSpec spec);
+
+  [[nodiscard]] StreamPtr AddUnion(const std::string& name,
+                                   std::vector<StreamPtr> ins);
+
+  /// Duplicates a stream to `n` consumers (explicit DAG fan-out).
+  [[nodiscard]] std::vector<StreamPtr> AddSplit(const std::string& name,
+                                                StreamPtr in, int n);
+
+  /// Terminal operator. Returns the sink so callers can read its latency
+  /// histogram; the Query keeps ownership.
+  SinkOperator* AddSink(const std::string& name, StreamPtr in, SinkFn fn);
+
+  // ----- lifecycle -----
+
+  void Start();
+  /// Ask sources to finish; pipeline drains and Join() then returns.
+  void Stop();
+  /// Wait until every operator thread exits.
+  void Join();
+  /// Convenience: Start + Join (for finite sources).
+  void Run();
+
+  [[nodiscard]] bool started() const noexcept { return started_; }
+
+  // ----- introspection -----
+
+  [[nodiscard]] std::vector<OperatorStats> Stats() const;
+  [[nodiscard]] std::size_t operator_count() const noexcept {
+    return operators_.size();
+  }
+
+  /// GraphViz rendering of the operator/stream DAG (for docs + debugging).
+  [[nodiscard]] std::string ToDot() const;
+
+ private:
+  StreamPtr NewStream(const std::string& name);
+  void Consume(const StreamPtr& stream);  // enforce single consumer
+  template <typename Op, typename... Args>
+  Op* NewOperator(Args&&... args);
+
+  QueryOptions options_;
+  std::vector<std::unique_ptr<Operator>> operators_;
+  std::vector<StreamPtr> streams_;
+  std::unordered_set<Stream*> consumed_;
+  std::vector<std::thread> threads_;
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace strata::spe

@@ -1,0 +1,70 @@
+// Source helpers for tests and benchmarks.
+//
+// VectorSource emits a prepared tuple list (optionally in a loop).
+// RateControlledSource paces an underlying generator at a fixed offered load
+// (tuples/second) using the query's clock — the workhorse of the Figure 7
+// throughput/latency sweep, where OT images are "replayed as fast as
+// possible" at increasing rates.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "spe/functions.hpp"
+
+namespace strata::spe {
+
+/// SourceFn emitting the given tuples once, in order.
+inline SourceFn VectorSource(std::vector<Tuple> tuples) {
+  auto state = std::make_shared<std::pair<std::vector<Tuple>, std::size_t>>(
+      std::move(tuples), 0);
+  return [state]() -> std::optional<Tuple> {
+    if (state->second >= state->first.size()) return std::nullopt;
+    return state->first[state->second++];
+  };
+}
+
+/// Wraps a generator so that tuples are released at `rate_per_second`. The
+/// generator's own cost counts against the schedule (closed-loop pacing, so
+/// offered load is accurate as long as generation is faster than the rate).
+/// If `max_tuples` > 0 the source ends after that many emissions.
+inline SourceFn RateControlledSource(SourceFn generator, double rate_per_second,
+                                     const Clock* clock,
+                                     std::uint64_t max_tuples = 0) {
+  if (rate_per_second <= 0) {
+    throw std::invalid_argument("RateControlledSource: rate must be > 0");
+  }
+  struct State {
+    SourceFn generator;
+    const Clock* clock;
+    Timestamp gap_us;
+    Timestamp next_release = 0;
+    std::uint64_t emitted = 0;
+    std::uint64_t max_tuples;
+  };
+  auto state = std::make_shared<State>(
+      State{std::move(generator), clock,
+            static_cast<Timestamp>(1e6 / rate_per_second), 0, 0, max_tuples});
+  return [state]() -> std::optional<Tuple> {
+    if (state->max_tuples > 0 && state->emitted >= state->max_tuples) {
+      return std::nullopt;
+    }
+    auto tuple = state->generator();
+    if (!tuple.has_value()) return std::nullopt;
+
+    const Timestamp now = state->clock->Now();
+    if (state->next_release == 0) state->next_release = now;
+    if (now < state->next_release) {
+      state->clock->SleepUntil(state->next_release);
+    }
+    // Schedule relative to the previous slot, not to now: short stalls are
+    // caught up, preserving the offered rate (open-loop within bursts).
+    state->next_release += state->gap_us;
+    ++state->emitted;
+    tuple->stimulus = state->clock->Now();
+    return tuple;
+  };
+}
+
+}  // namespace strata::spe

@@ -1,0 +1,65 @@
+// A stream: the bounded queue connecting two operators, plus flow metrics.
+// Push blocks when the queue is full — back-pressure propagates upstream to
+// the sources, as in Liebre/StreamCloud.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/queue.hpp"
+#include "spe/tuple.hpp"
+
+namespace strata::spe {
+
+class Stream {
+ public:
+  Stream(std::string name, std::size_t capacity)
+      : name_(std::move(name)), queue_(capacity) {}
+
+  [[nodiscard]] Status Push(Tuple tuple) {
+    const Status s = queue_.Push(std::move(tuple));
+    if (s.ok()) pushed_.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+
+  [[nodiscard]] std::optional<Tuple> Pop() {
+    auto t = queue_.Pop();
+    if (t.has_value()) popped_.fetch_add(1, std::memory_order_relaxed);
+    return t;
+  }
+
+  [[nodiscard]] std::optional<Tuple> PopFor(std::chrono::microseconds timeout) {
+    auto t = queue_.PopFor(timeout);
+    if (t.has_value()) popped_.fetch_add(1, std::memory_order_relaxed);
+    return t;
+  }
+
+  void Close() { queue_.Close(); }
+  [[nodiscard]] bool closed() const { return queue_.closed(); }
+  [[nodiscard]] bool drained() const {
+    return queue_.closed() && queue_.size() == 0;
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t pushed() const noexcept {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t popped() const noexcept {
+    return popped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t depth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return queue_.capacity();
+  }
+
+ private:
+  std::string name_;
+  BlockingQueue<Tuple> queue_;
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> popped_{0};
+};
+
+using StreamPtr = std::shared_ptr<Stream>;
+
+}  // namespace strata::spe

@@ -1,0 +1,54 @@
+// SPE tuple model, following the paper's schema (§2): metadata carries the
+// event timestamp τ plus AM-specific identifiers (job, layer, and — after
+// partition() — specimen, portion); the payload carries arbitrary key-value
+// sub-attributes.
+//
+// In addition to event time, each tuple carries a *stimulus* timestamp: the
+// processing-time moment the newest input contributing to this tuple entered
+// the system. The paper's latency metric (§3: "time interval between the
+// output of a result and the time when all the data that led to such a
+// result were made available") is exactly `now - stimulus` at the sink;
+// operators combine stimuli with max when fusing/aggregating tuples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/value.hpp"
+
+namespace strata::spe {
+
+/// Sentinel for unset metadata identifiers.
+constexpr std::int64_t kUnsetId = -1;
+
+struct Tuple {
+  Timestamp event_time = 0;  // τ (event time, microseconds)
+  std::int64_t job = kUnsetId;
+  std::int64_t layer = kUnsetId;
+  std::int64_t specimen = kUnsetId;
+  std::int64_t portion = kUnsetId;
+  Timestamp stimulus = 0;  // processing-time arrival of newest contributor
+  Payload payload;
+
+  [[nodiscard]] std::size_t ApproxBytes() const noexcept {
+    return sizeof(Tuple) + payload.ApproxBytes();
+  }
+
+  [[nodiscard]] std::string ToString() const {
+    std::string out = "<t=" + std::to_string(event_time);
+    out += " job=" + std::to_string(job);
+    out += " layer=" + std::to_string(layer);
+    if (specimen != kUnsetId) out += " spec=" + std::to_string(specimen);
+    if (portion != kUnsetId) out += " portion=" + std::to_string(portion);
+    out += " " + payload.ToString() + ">";
+    return out;
+  }
+};
+
+/// Combine stimulus clocks when an output depends on multiple inputs.
+constexpr Timestamp CombineStimulus(Timestamp a, Timestamp b) noexcept {
+  return a > b ? a : b;
+}
+
+}  // namespace strata::spe

@@ -1,0 +1,73 @@
+// Public types of the STRATA API (paper Table 1).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spe/functions.hpp"
+#include "spe/tuple.hpp"
+
+namespace strata::core {
+
+/// partition(s_in, s_out, F): transforms each input tuple into an arbitrary
+/// number of output tuples whose metadata is copied from the input and
+/// enriched with specimen and portion (which F is expected to set).
+using PartitionFn = std::function<std::vector<spe::Tuple>(const spe::Tuple&)>;
+
+/// detectEvent(s_in, s_out, F): transforms each input tuple into an
+/// arbitrary number of event tuples.
+using DetectFn = std::function<std::vector<spe::Tuple>(const spe::Tuple&)>;
+
+/// The event window handed to a correlateEvents user function when a layer
+/// completes for a specimen: all events of that (job, specimen) for layers
+/// in [layer - L, layer].
+struct EventWindow {
+  std::int64_t job = 0;
+  std::int64_t specimen = 0;
+  std::int64_t layer = 0;  // the just-completed layer
+  std::vector<spe::Tuple> events;
+};
+
+/// correlateEvents(s_in, s_out, L, F): invoked once per completed
+/// (layer, specimen); the returned tuples are emitted with job/specimen/
+/// layer metadata from the window and stimulus = the newest contributor.
+using CorrelateFn = std::function<std::vector<spe::Tuple>(const EventWindow&)>;
+
+// --- Layer-completion markers -----------------------------------------------
+//
+// Pipelines signal "all data of (job, layer, specimen) has been emitted" with
+// marker tuples so that correlateEvents can close a layer as soon as it is
+// fully analyzed (instead of waiting for the next layer's first event).
+// partition/detectEvent user functions must forward markers unchanged;
+// STRATA's built-in use-case functions do.
+
+inline constexpr const char* kLayerMarkerKey = "__layer_complete";
+inline constexpr const char* kEosKey = "__eos";
+
+[[nodiscard]] inline bool IsLayerMarker(const spe::Tuple& t) {
+  return t.payload.Has(kLayerMarkerKey);
+}
+
+[[nodiscard]] inline spe::Tuple MakeLayerMarker(const spe::Tuple& from) {
+  spe::Tuple marker;
+  marker.event_time = from.event_time;
+  marker.job = from.job;
+  marker.layer = from.layer;
+  marker.specimen = from.specimen;
+  marker.stimulus = from.stimulus;
+  marker.payload.Set(kLayerMarkerKey, true);
+  return marker;
+}
+
+/// Forward markers through a user transform: returns true (and appends the
+/// marker to `out`) when the tuple was a marker and needs no processing.
+[[nodiscard]] inline bool ForwardMarker(const spe::Tuple& t,
+                                        std::vector<spe::Tuple>* out) {
+  if (!IsLayerMarker(t)) return false;
+  out->push_back(t);
+  return true;
+}
+
+}  // namespace strata::core

@@ -1,0 +1,79 @@
+#include "strata/collectors.hpp"
+
+namespace strata::core {
+
+namespace {
+
+/// Shared pacing state: releases layer k at start + k * gap (live mode) or
+/// at a fixed offered rate (replay mode).
+class Pacer {
+ public:
+  Pacer(CollectorPacing pacing, Timestamp layer_period)
+      : pacing_(pacing), layer_period_(layer_period) {}
+
+  void WaitForLayer(int layer) {
+    const Clock* clock = pacing_.clock;
+    Timestamp gap = 0;
+    if (pacing_.mode == CollectorPacing::Mode::kLive) {
+      gap = static_cast<Timestamp>(static_cast<double>(layer_period_) *
+                                   pacing_.time_scale);
+    } else if (pacing_.replay_rate > 0) {
+      gap = static_cast<Timestamp>(1e6 / pacing_.replay_rate);
+    } else {
+      return;  // unthrottled replay
+    }
+    if (start_ == 0) start_ = clock->Now();
+    clock->SleepUntil(start_ + static_cast<Timestamp>(layer) * gap);
+  }
+
+ private:
+  CollectorPacing pacing_;
+  Timestamp layer_period_;
+  Timestamp start_ = 0;
+};
+
+}  // namespace
+
+spe::SourceFn OtImageCollector(std::shared_ptr<am::MachineSimulator> machine,
+                               CollectorPacing pacing) {
+  auto pacer =
+      std::make_shared<Pacer>(pacing, machine->LayerPeriodMicros());
+  return [machine, pacer]() -> std::optional<spe::Tuple> {
+    auto layer = machine->NextLayer();
+    if (!layer.has_value()) return std::nullopt;
+    pacer->WaitForLayer(layer->layer);
+
+    spe::Tuple tuple;
+    tuple.event_time = layer->event_time;
+    tuple.job = layer->job;
+    tuple.layer = layer->layer;
+    tuple.payload.Set(kOtImageKey,
+                      am::MakeImageValue(std::move(layer->ot_image)));
+    return tuple;
+  };
+}
+
+spe::SourceFn PrintingParameterCollector(
+    std::shared_ptr<am::MachineSimulator> machine, CollectorPacing pacing) {
+  auto pacer =
+      std::make_shared<Pacer>(pacing, machine->LayerPeriodMicros());
+  auto next_layer = std::make_shared<int>(0);
+  const int total = machine->total_layers();
+  const Timestamp period = machine->LayerPeriodMicros();
+
+  return [machine, pacer, next_layer, total,
+          period]() -> std::optional<spe::Tuple> {
+    if (*next_layer >= total) return std::nullopt;
+    const int layer = (*next_layer)++;
+    pacer->WaitForLayer(layer);
+
+    spe::Tuple tuple;
+    tuple.event_time = static_cast<Timestamp>(layer + 1) * period;
+    tuple.job = machine->job().job_id;
+    tuple.layer = layer;
+    tuple.payload = machine->PrintingParams(layer);
+    return tuple;
+  };
+}
+
+}  // namespace strata::core

@@ -1,0 +1,46 @@
+// Raw Data Collectors (paper §4/§5): data-specific sources gathering the OT
+// sensor frames and the printing parameters of jobs submitted to a PBF-LB
+// machine. Backed by the machine simulator; pacing selects between live
+// operation (one layer per melt+recoat period, optionally time-compressed)
+// and replay (a fixed offered rate of images/s, or as fast as possible) for
+// the throughput experiments.
+#pragma once
+
+#include <memory>
+
+#include "am/machine.hpp"
+#include "spe/functions.hpp"
+
+namespace strata::core {
+
+struct CollectorPacing {
+  enum class Mode {
+    kLive,    ///< follow the machine's layer period (scaled).
+    kReplay,  ///< fixed offered rate, or unlimited when rate <= 0.
+  };
+  Mode mode = Mode::kLive;
+  /// Live: wall seconds per simulated layer period (1.0 = real time;
+  /// 0.01 = 100x compression).
+  double time_scale = 1.0;
+  /// Replay: offered load in layers (images) per second; <= 0 = unthrottled.
+  double replay_rate = 0.0;
+  const Clock* clock = &Clock::System();
+};
+
+/// Payload key under which the OT frame travels.
+inline constexpr const char* kOtImageKey = "ot_image";
+
+/// Emits one tuple per completed layer carrying the OT image:
+///   <τ, job, layer, [ot_image: GrayImage]>
+[[nodiscard]] spe::SourceFn OtImageCollector(
+    std::shared_ptr<am::MachineSimulator> machine, CollectorPacing pacing);
+
+/// Emits one tuple per layer carrying the printing parameters (including
+/// the specimen layout that isolateSpecimen consumes):
+///   <τ, job, layer, [scan_angle_deg: .., specimen_count: .., ...]>
+/// Does not render images, so it can share the job spec with the OT
+/// collector without duplicating generation cost.
+[[nodiscard]] spe::SourceFn PrintingParameterCollector(
+    std::shared_ptr<am::MachineSimulator> machine, CollectorPacing pacing);
+
+}  // namespace strata::core

@@ -1,0 +1,93 @@
+#include "strata/connector.hpp"
+
+#include "common/logging.hpp"
+#include "strata/api.hpp"
+
+namespace strata::core {
+
+namespace {
+constexpr auto kPollTimeout = std::chrono::microseconds(2000);
+}
+
+spe::SinkFn ConnectorPublisher::AsSinkFn() {
+  return [this](const spe::Tuple& tuple) {
+    std::string encoded;
+    if (Status s = EncodeTuple(tuple, &encoded); !s.ok()) {
+      LOG_ERROR << "connector publish encode failed on topic " << topic_
+                << ": " << s.ToString();
+      return;
+    }
+    auto result = producer_.Send(topic_, key_fn_ ? key_fn_(tuple) : "",
+                                 std::move(encoded), tuple.event_time);
+    if (!result.ok() && !result.status().IsClosed()) {
+      LOG_ERROR << "connector publish failed on topic " << topic_ << ": "
+                << result.status().ToString();
+    }
+  };
+}
+
+std::function<void()> ConnectorPublisher::AsFinishHook() {
+  return [this] {
+    spe::Tuple eos;
+    eos.payload.Set(kEosKey, true);
+    std::string encoded;
+    if (Status s = EncodeTuple(eos, &encoded); !s.ok()) return;
+    (void)producer_.Send(topic_, "", std::move(encoded), 0);
+  };
+}
+
+Result<std::shared_ptr<ConnectorSubscriber>> ConnectorSubscriber::Create(
+    ps::Broker* broker, const std::string& topic, const std::string& group) {
+  ps::ConsumerOptions options;
+  options.group = group;
+  options.reset = ps::ConsumerOptions::AutoOffsetReset::kEarliest;
+  auto consumer = ps::Consumer::Create(broker, topic, std::move(options));
+  if (!consumer.ok()) return consumer.status();
+  return std::shared_ptr<ConnectorSubscriber>(
+      new ConnectorSubscriber(std::move(consumer).value()));
+}
+
+spe::SourceFn ConnectorSubscriber::AsSourceFn() {
+  // The returned SourceFn shares `this` via the shared_ptr the caller holds;
+  // Strata keeps subscribers alive for the query's lifetime.
+  return [this]() { return Next(); };
+}
+
+std::optional<spe::Tuple> ConnectorSubscriber::Next() {
+  while (true) {
+    if (!buffered_.empty()) {
+      spe::Tuple tuple = std::move(buffered_.front());
+      buffered_.pop_front();
+      return tuple;
+    }
+    if (stopped_.load(std::memory_order_acquire)) return std::nullopt;
+
+    auto batch = consumer_->Poll(kPollTimeout);
+    if (!batch.ok()) {
+      if (!batch.status().IsClosed()) {
+        LOG_ERROR << "connector poll failed: " << batch.status().ToString();
+      }
+      return std::nullopt;
+    }
+    if (batch->empty()) {
+      // Timeout. If EOS was seen, an empty poll means all partitions are
+      // drained (the EOS record is globally last): end of stream.
+      if (eos_seen_) return std::nullopt;
+      continue;
+    }
+    for (const ps::ConsumedRecord& record : *batch) {
+      auto tuple = DecodeTuple(record.value);
+      if (!tuple.ok()) {
+        LOG_ERROR << "connector decode failed: " << tuple.status().ToString();
+        continue;
+      }
+      if (tuple->payload.Has(kEosKey)) {
+        eos_seen_ = true;
+        continue;  // sentinel is not delivered downstream
+      }
+      buffered_.push_back(std::move(tuple).value());
+    }
+  }
+}
+
+}  // namespace strata::core

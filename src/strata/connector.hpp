@@ -1,0 +1,67 @@
+// Pub/sub connectors bridging the SPE and the broker (the Raw Data
+// Connector and Event Connector modules of Figure 2).
+//
+// Publisher side: a SinkFn that serializes each tuple and produces it to a
+// topic, plus a finish hook that appends an end-of-stream sentinel once the
+// upstream drains (each connector topic has exactly one publisher).
+//
+// Subscriber side: a SourceFn wrapping a consumer-group member. It polls the
+// topic and re-materializes tuples; after the EOS sentinel it drains all
+// assigned partitions and ends the stream. Stop() aborts the poll loop for
+// non-draining shutdown.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <memory>
+
+#include "pubsub/consumer.hpp"
+#include "pubsub/producer.hpp"
+#include "spe/functions.hpp"
+#include "strata/transport.hpp"
+
+namespace strata::core {
+
+/// Key extractor for topic partitioning (per-key order is preserved).
+using PartitionKeyFn = std::function<std::string(const spe::Tuple&)>;
+
+class ConnectorPublisher {
+ public:
+  ConnectorPublisher(ps::Broker* broker, std::string topic,
+                     PartitionKeyFn key_fn)
+      : producer_(broker), topic_(std::move(topic)), key_fn_(std::move(key_fn)) {}
+
+  /// SinkFn publishing each tuple.
+  [[nodiscard]] spe::SinkFn AsSinkFn();
+  /// Finish hook publishing the EOS sentinel.
+  [[nodiscard]] std::function<void()> AsFinishHook();
+
+ private:
+  ps::Producer producer_;
+  std::string topic_;
+  PartitionKeyFn key_fn_;
+};
+
+class ConnectorSubscriber {
+ public:
+  [[nodiscard]] static Result<std::shared_ptr<ConnectorSubscriber>> Create(
+      ps::Broker* broker, const std::string& topic, const std::string& group);
+
+  /// SourceFn yielding tuples until EOS-and-drained or Stop().
+  [[nodiscard]] spe::SourceFn AsSourceFn();
+
+  void Stop() { stopped_.store(true, std::memory_order_release); }
+
+ private:
+  explicit ConnectorSubscriber(std::unique_ptr<ps::Consumer> consumer)
+      : consumer_(std::move(consumer)) {}
+
+  [[nodiscard]] std::optional<spe::Tuple> Next();
+
+  std::unique_ptr<ps::Consumer> consumer_;
+  std::deque<spe::Tuple> buffered_;
+  std::atomic<bool> stopped_{false};
+  bool eos_seen_ = false;
+};
+
+}  // namespace strata::core

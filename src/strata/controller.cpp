@@ -1,0 +1,87 @@
+#include "strata/controller.hpp"
+
+#include "common/logging.hpp"
+
+namespace strata::core {
+
+std::function<void(const ClusterReport&)> FeedbackController::AsDeliverFn() {
+  return [this](const ClusterReport& report) { OnReport(report); };
+}
+
+void FeedbackController::OnReport(const ClusterReport& report) {
+  std::lock_guard lock(mu_);
+  ++stats_.reports_seen;
+  if (stats_.terminated) return;
+
+  SpecimenState& state = specimens_[report.specimen];
+  std::size_t new_points = 0;
+  for (const cluster::ClusterSummary& summary : report.clusters) {
+    new_points += summary.point_count;
+  }
+
+  state.lifetime_points += new_points;
+  if (policy_.hard_terminate_points > 0 &&
+      state.lifetime_points >= policy_.hard_terminate_points) {
+    stats_.terminated = true;
+    stats_.terminate_layer = report.layer;
+    machine_->control().TerminateJob();
+    LOG_WARN << "controller: hard-terminating job at layer " << report.layer
+             << " (specimen " << report.specimen << " reached "
+             << state.lifetime_points << " defect points)";
+    return;
+  }
+
+  if (!state.adjusted) {
+    state.accumulated_points += new_points;
+    if (state.accumulated_points >= policy_.adjust_cluster_points) {
+      state.adjusted = true;
+      ++stats_.adjustments_issued;
+      // Effective from the layer after the one just analyzed: the machine
+      // may already be melting report.layer + 1, but the correction lands
+      // as soon as physically possible.
+      machine_->control().AdjustSpecimen(
+          report.specimen, static_cast<int>(report.layer) + 1);
+      LOG_INFO << "controller: adjusting specimen " << report.specimen
+               << " from layer " << report.layer + 1 << " ("
+               << state.accumulated_points << " defect points)";
+    }
+    return;
+  }
+
+  // Adjusted specimens: watch for defects the correction failed to remove.
+  // Only count events from layers after the adjustment took effect — the
+  // correlate window still contains pre-adjustment history.
+  std::size_t fresh_points = 0;
+  for (const cluster::ClusterSummary& summary : report.clusters) {
+    if (machine_->control().IsMitigated(report.specimen,
+                                        static_cast<int>(summary.min_layer))) {
+      fresh_points += summary.point_count;
+    }
+  }
+  state.points_after_adjust += fresh_points;
+  if (state.points_after_adjust >= policy_.post_adjust_points) {
+    state.still_defective = true;
+  }
+
+  // Termination check.
+  const std::size_t total_specimens = machine_->job().specimens.size();
+  if (total_specimens == 0 || policy_.terminate_specimen_fraction > 1.0) {
+    return;
+  }
+  std::size_t failed = 0;
+  for (const auto& [specimen, s] : specimens_) {
+    if (s.still_defective) ++failed;
+  }
+  if (static_cast<double>(failed) >=
+      policy_.terminate_specimen_fraction *
+          static_cast<double>(total_specimens)) {
+    stats_.terminated = true;
+    stats_.terminate_layer = report.layer;
+    machine_->control().TerminateJob();
+    LOG_WARN << "controller: terminating job at layer " << report.layer
+             << " (" << failed << "/" << total_specimens
+             << " specimens defective after adjustment)";
+  }
+}
+
+}  // namespace strata::core

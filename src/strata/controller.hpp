@@ -1,0 +1,79 @@
+// Feedback-loop controller (paper §1/§3, Figure 1B): the automated "expert
+// script" deciding, from live ClusterReports, whether to continue, adjust,
+// or terminate the printing process. Wire it as (or inside) the deliver
+// callback of a thermal pipeline; it actuates through the machine's
+// ControlState.
+//
+// Policy (conservative defaults):
+//  - A specimen whose reported defect clusters reach `adjust_cluster_points`
+//    accumulated points gets its laser re-parameterized (AdjustSpecimen).
+//  - If `terminate_specimen_fraction` of the job's specimens needed
+//    adjustment and defects keep appearing, the job is terminated: the build
+//    is systematically bad (wrong powder batch / machine fault), continuing
+//    wastes material and energy.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "strata/usecase.hpp"
+
+namespace strata::core {
+
+struct ControllerPolicy {
+  /// Accumulated cluster points within a specimen that trigger adjustment.
+  std::size_t adjust_cluster_points = 20;
+  /// Fraction of specimens adjusted (and still defective) that triggers
+  /// termination. > 1.0 disables termination.
+  double terminate_specimen_fraction = 0.5;
+  /// Points reported for an already-adjusted specimen (i.e. mitigation did
+  /// not help) that mark it "still defective".
+  std::size_t post_adjust_points = 10;
+  /// Hard ceiling: a single specimen accumulating this many defect points
+  /// terminates the job immediately (unrecoverable build — e.g. a bad
+  /// powder batch). 0 = disabled.
+  std::size_t hard_terminate_points = 0;
+};
+
+struct ControllerStats {
+  std::size_t reports_seen = 0;
+  std::size_t adjustments_issued = 0;
+  bool terminated = false;
+  std::int64_t terminate_layer = -1;
+};
+
+class FeedbackController {
+ public:
+  FeedbackController(std::shared_ptr<am::MachineSimulator> machine,
+                     ControllerPolicy policy = {})
+      : machine_(std::move(machine)), policy_(policy) {}
+
+  /// The deliver callback to hand to BuildThermalPipeline.
+  [[nodiscard]] std::function<void(const ClusterReport&)> AsDeliverFn();
+
+  /// Process one report (also callable directly from tests).
+  void OnReport(const ClusterReport& report);
+
+  [[nodiscard]] ControllerStats stats() const {
+    std::lock_guard lock(mu_);
+    return stats_;
+  }
+
+ private:
+  struct SpecimenState {
+    std::size_t lifetime_points = 0;
+    std::size_t accumulated_points = 0;
+    bool adjusted = false;
+    std::size_t points_after_adjust = 0;
+    bool still_defective = false;
+  };
+
+  std::shared_ptr<am::MachineSimulator> machine_;
+  ControllerPolicy policy_;
+  mutable std::mutex mu_;
+  std::map<std::int64_t, SpecimenState> specimens_;
+  ControllerStats stats_;
+};
+
+}  // namespace strata::core

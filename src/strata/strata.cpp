@@ -1,0 +1,267 @@
+#include "strata/strata.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "common/fs.hpp"
+#include "common/logging.hpp"
+
+namespace strata::core {
+
+Strata::Strata(StrataOptions options) : options_(std::move(options)) {
+  if (options_.data_dir.empty()) {
+    temp_dir_ = std::make_unique<strata::fs::ScopedTempDir>("strata");
+    options_.data_dir = temp_dir_->path();
+  }
+  auto db = kv::DB::Open(options_.data_dir / "kv", options_.kv);
+  db.status().OrDie();
+  kv_ = std::move(db).value();
+
+  ps::BrokerOptions broker_options;
+  if (options_.persistent_connectors) {
+    broker_options.data_dir = options_.data_dir / "broker";
+  }
+  broker_ = std::make_unique<ps::Broker>(broker_options);
+  query_ = std::make_unique<spe::Query>(options_.query);
+}
+
+Strata::~Strata() { Shutdown(); }
+
+Status Strata::Store(std::string_view key, std::string_view value) {
+  return kv_->Put(key, value);
+}
+
+Result<std::string> Strata::Get(std::string_view key) { return kv_->Get(key); }
+
+Result<std::vector<std::pair<std::string, std::string>>> Strata::GetByPrefix(
+    std::string_view prefix) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  auto it = kv_->NewIterator();
+  for (it->Seek(prefix); it->Valid(); it->Next()) {
+    const std::string_view key = it->key();
+    if (key.substr(0, prefix.size()) != prefix) break;
+    entries.emplace_back(std::string(key), std::string(it->value()));
+  }
+  STRATA_RETURN_IF_ERROR(it->status());
+  return entries;
+}
+
+spe::StreamPtr Strata::ThroughConnector(const std::string& topic,
+                                        spe::StreamPtr in,
+                                        PartitionKeyFn key_fn) {
+  ps::TopicConfig config;
+  config.partitions = options_.connector_partitions;
+  broker_->CreateTopic(topic, config).OrDie();
+
+  auto publisher = std::make_unique<ConnectorPublisher>(broker_.get(), topic,
+                                                        std::move(key_fn));
+  spe::SinkOperator* sink =
+      query_->AddSink(topic + ".pub", std::move(in), publisher->AsSinkFn());
+  sink->SetFinishHook(publisher->AsFinishHook());
+  publishers_.push_back(std::move(publisher));
+
+  auto subscriber =
+      ConnectorSubscriber::Create(broker_.get(), topic, topic + ".monitor");
+  subscriber.status().OrDie();
+  subscribers_.push_back(*subscriber);
+  return query_->AddSource(topic + ".sub", (*subscriber)->AsSourceFn());
+}
+
+spe::StreamPtr Strata::AddSource(const std::string& name,
+                                 spe::SourceFn collector) {
+  // Raw Data Collector: the source itself...
+  spe::StreamPtr collected = query_->AddSource(name, std::move(collector));
+  // ...then through the Raw Data Connector (keyed by job so each job's data
+  // stays ordered; distinct jobs/machines ride separate partitions).
+  return ThroughConnector("raw." + name, std::move(collected),
+                          [](const spe::Tuple& t) {
+                            return std::to_string(t.job);
+                          });
+}
+
+spe::StreamPtr Strata::Fuse(const std::string& name, spe::StreamPtr s1,
+                            spe::StreamPtr s2,
+                            std::optional<spe::WindowSpec> window,
+                            std::vector<std::string> group_by) {
+  spe::JoinSpec spec;
+  spec.window = window.has_value() ? window->size : 0;
+  auto key_fn = [group_by](const spe::Tuple& t) {
+    std::string key = std::to_string(t.job) + "|" + std::to_string(t.layer);
+    for (const std::string& attr : group_by) {
+      const Value* v = t.payload.Find(attr);
+      key += "|" + (v ? v->ToString() : std::string("<none>"));
+    }
+    return key;
+  };
+  spec.key_left = key_fn;
+  spec.key_right = key_fn;
+  return query_->AddJoin(name, std::move(s1), std::move(s2), std::move(spec));
+}
+
+namespace {
+
+/// Shard key keeping all data of one specimen (and its markers) on the same
+/// parallel instance: job|specimen, falling back to job|layer before
+/// partition() has assigned specimens.
+std::string SpecimenShardKey(const spe::Tuple& t) {
+  if (t.specimen != spe::kUnsetId) {
+    return std::to_string(t.job) + "|" + std::to_string(t.specimen);
+  }
+  return std::to_string(t.job) + "|" + std::to_string(t.layer);
+}
+
+}  // namespace
+
+spe::StreamPtr Strata::Partition(const std::string& name, spe::StreamPtr in,
+                                 PartitionFn fn, int parallelism) {
+  spe::FlatMapFn map_fn;
+  if (fn) {
+    map_fn = [fn](const spe::Tuple& t) {
+      std::vector<spe::Tuple> out = fn(t);
+      for (spe::Tuple& o : out) {
+        // Metadata is copied from the input; F provides specimen/portion.
+        o.event_time = t.event_time;
+        o.job = t.job;
+        o.layer = t.layer;
+        o.stimulus = t.stimulus;
+      }
+      return out;
+    };
+  } else {
+    // Table 1: with no partition function the tuple is processed as a whole
+    // under default specimen/portion values.
+    map_fn = [](const spe::Tuple& t) {
+      spe::Tuple out = t;
+      if (out.specimen == spe::kUnsetId) out.specimen = 0;
+      if (out.portion == spe::kUnsetId) out.portion = 0;
+      return std::vector<spe::Tuple>{out};
+    };
+  }
+  return query_->AddFlatMap(name, std::move(in), std::move(map_fn),
+                            parallelism, SpecimenShardKey);
+}
+
+spe::StreamPtr Strata::DetectEvent(const std::string& name, spe::StreamPtr in,
+                                   DetectFn fn, int parallelism) {
+  if (!fn) throw std::invalid_argument("DetectEvent: null function");
+  spe::FlatMapFn map_fn = [fn](const spe::Tuple& t) {
+    std::vector<spe::Tuple> out = fn(t);
+    for (spe::Tuple& o : out) {
+      // Table 1: event tuples carry the input's τ/job/layer metadata;
+      // specimen/portion default to the input's when F leaves them unset.
+      o.event_time = t.event_time;
+      o.job = t.job;
+      o.layer = t.layer;
+      o.stimulus = t.stimulus;
+      if (o.specimen == spe::kUnsetId) o.specimen = t.specimen;
+      if (o.portion == spe::kUnsetId) o.portion = t.portion;
+    }
+    return out;
+  };
+  return query_->AddFlatMap(name, std::move(in), std::move(map_fn),
+                            parallelism, SpecimenShardKey);
+}
+
+spe::StreamPtr Strata::CorrelateEvents(const std::string& name,
+                                       spe::StreamPtr in,
+                                       std::int64_t history_layers,
+                                       CorrelateFn fn) {
+  if (!fn) throw std::invalid_argument("CorrelateEvents: null function");
+  if (history_layers < 0) {
+    throw std::invalid_argument("CorrelateEvents: negative layer history");
+  }
+
+  // Event Connector: events cross the broker keyed by job|specimen.
+  spe::StreamPtr connected =
+      ThroughConnector("events." + name, std::move(in), EventKey);
+
+  // Event Aggregator: per (job, specimen) state holding the last
+  // `history_layers` + 1 layers of events; a layer marker triggers F.
+  struct State {
+    std::mutex mu;
+    // (job, specimen) -> ordered (layer -> events).
+    std::map<std::pair<std::int64_t, std::int64_t>,
+             std::map<std::int64_t, std::vector<spe::Tuple>>>
+        groups;
+  };
+  auto state = std::make_shared<State>();
+  const std::int64_t window = history_layers;
+
+  spe::FlatMapFn aggregate_fn = [state, window,
+                                 fn](const spe::Tuple& t) -> std::vector<spe::Tuple> {
+    std::lock_guard lock(state->mu);
+    auto& layers = state->groups[{t.job, t.specimen}];
+
+    if (!IsLayerMarker(t)) {
+      layers[t.layer].push_back(t);
+      return {};
+    }
+
+    // Layer complete: build the window [layer - L, layer].
+    EventWindow event_window;
+    event_window.job = t.job;
+    event_window.specimen = t.specimen;
+    event_window.layer = t.layer;
+    Timestamp stimulus = t.stimulus;
+    for (const auto& [layer, events] : layers) {
+      if (layer < t.layer - window || layer > t.layer) continue;
+      for (const spe::Tuple& event : events) {
+        stimulus = spe::CombineStimulus(stimulus, event.stimulus);
+        event_window.events.push_back(event);
+      }
+    }
+
+    std::vector<spe::Tuple> out = fn(event_window);
+    for (spe::Tuple& o : out) {
+      o.event_time = t.event_time;
+      o.job = t.job;
+      o.layer = t.layer;
+      o.specimen = t.specimen;
+      o.stimulus = spe::CombineStimulus(o.stimulus, stimulus);
+    }
+
+    // Evict layers that can no longer appear in a future window.
+    std::erase_if(layers, [&](const auto& entry) {
+      return entry.first < t.layer + 1 - window;
+    });
+    return out;
+  };
+
+  return query_->AddFlatMap(name, std::move(connected),
+                            std::move(aggregate_fn));
+}
+
+spe::SinkOperator* Strata::Deliver(const std::string& name, spe::StreamPtr in,
+                                   spe::SinkFn fn) {
+  return query_->AddSink(name, std::move(in), std::move(fn));
+}
+
+std::vector<spe::StreamPtr> Strata::Split(const std::string& name,
+                                          spe::StreamPtr in, int n) {
+  return query_->AddSplit(name, std::move(in), n);
+}
+
+void Strata::Deploy() {
+  if (deployed_) throw std::logic_error("Strata: already deployed");
+  deployed_ = true;
+  query_->Start();
+}
+
+void Strata::WaitForCompletion() {
+  if (deployed_) query_->Join();
+}
+
+void Strata::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  if (deployed_) {
+    query_->Stop();
+    // Collectors end -> publishers send EOS -> subscribers drain -> the
+    // whole DAG cascades to completion.
+    query_->Join();
+  }
+  for (auto& subscriber : subscribers_) subscriber->Stop();
+  broker_->Close();
+}
+
+}  // namespace strata::core

@@ -1,0 +1,145 @@
+// The STRATA framework facade (paper §4, Figure 2, Table 1).
+//
+// STRATA layers an AM-specific API on three substrates: a stream processing
+// engine (strata::spe) for analysis, a pub/sub broker (strata::ps) for the
+// Raw Data / Event Connectors, and a key-value store (strata::kv) shared by
+// all modules for data at rest.
+//
+// Module mapping:
+//   Raw Data Collector  = SPE Source per addSource()
+//   Raw Data Connector  = one broker topic per source (publisher sink +
+//                         subscriber source around the broker)
+//   Event Monitor       = fuse() (Join), partition() (Map), detectEvent()
+//                         (Map) compositions of native operators
+//   Event Connector     = broker topic carrying detected events
+//   Event Aggregator    = correlateEvents() grouping events per
+//                         (job, specimen) across the last L layers
+//
+// API methods return SPE stream handles, so pipelines from different experts
+// can share intermediate streams (via Split) and deploy multiple detection
+// methods over the same source.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/fs.hpp"
+#include "kvstore/db.hpp"
+#include "pubsub/broker.hpp"
+#include "spe/query.hpp"
+#include "strata/api.hpp"
+#include "strata/connector.hpp"
+
+namespace strata::core {
+
+struct StrataOptions {
+  /// Root directory for the key-value store (and broker persistence when
+  /// persistent_connectors is set). Empty = a scoped temp directory.
+  std::filesystem::path data_dir;
+  /// Persist connector topics to disk (replayable raw-data history).
+  bool persistent_connectors = false;
+  int connector_partitions = 1;
+  kv::DbOptions kv;
+  spe::QueryOptions query;
+};
+
+class Strata {
+ public:
+  explicit Strata(StrataOptions options = {});
+  ~Strata();
+  Strata(const Strata&) = delete;
+  Strata& operator=(const Strata&) = delete;
+
+  // --- Key-Value Store module: store(k,v) / get(k) --------------------------
+
+  [[nodiscard]] Status Store(std::string_view key, std::string_view value);
+  [[nodiscard]] Result<std::string> Get(std::string_view key);
+  /// All at-rest entries whose key starts with `prefix`, in key order
+  /// (e.g. "thresholds/" lists every machine's calibration).
+  [[nodiscard]] Result<std::vector<std::pair<std::string, std::string>>>
+  GetByPrefix(std::string_view prefix);
+
+  // --- Table 1 API -----------------------------------------------------------
+
+  /// addSource(src, s_out): deploys `collector` as an SPE Source whose
+  /// tuples travel through the Raw Data Connector (a dedicated topic) before
+  /// entering the Event Monitor. Returns the monitor-side stream.
+  [[nodiscard]] spe::StreamPtr AddSource(const std::string& name,
+                                         spe::SourceFn collector);
+
+  /// fuse(s1, s2, s_out, [WS, WA], [GB]): joins tuples sharing job and layer
+  /// (plus the payload sub-attributes named in `group_by`). Without a window
+  /// only τ-equal tuples fuse; with one, tuples within WS of each other fuse
+  /// (windowed join). Output payloads concatenate the inputs' payloads; the
+  /// method assumes keys are unique across fused tuples (violations drop).
+  [[nodiscard]] spe::StreamPtr Fuse(
+      const std::string& name, spe::StreamPtr s1, spe::StreamPtr s2,
+      std::optional<spe::WindowSpec> window = std::nullopt,
+      std::vector<std::string> group_by = {});
+
+  /// partition(s_in, s_out, F): splits tuples into independently-processable
+  /// units (specimens, cells); F sets specimen/portion. Null F = identity
+  /// with default specimen/portion, as Table 1 specifies. parallelism > 1
+  /// shards by (job, specimen) after F-application... shard key: the
+  /// *input* tuple's (job, layer, specimen) — see shard_by_specimen.
+  [[nodiscard]] spe::StreamPtr Partition(const std::string& name,
+                                         spe::StreamPtr in, PartitionFn fn,
+                                         int parallelism = 1);
+
+  /// detectEvent(s_in, s_out, F): classifies units and emits event tuples.
+  /// F runs on possibly several threads when parallelism > 1 (sharded by
+  /// job|specimen so markers stay ordered with their events).
+  [[nodiscard]] spe::StreamPtr DetectEvent(const std::string& name,
+                                           spe::StreamPtr in, DetectFn fn,
+                                           int parallelism = 1);
+
+  /// correlateEvents(s_in, s_out, L, F): routes events through the Event
+  /// Connector, groups them per (job, specimen), and invokes F on each layer
+  /// completion with the events of the last L layers (see EventWindow).
+  [[nodiscard]] spe::StreamPtr CorrelateEvents(const std::string& name,
+                                               spe::StreamPtr in,
+                                               std::int64_t history_layers,
+                                               CorrelateFn fn);
+
+  /// Deliver a result stream to the expert. Returns the sink operator whose
+  /// latency histogram implements the paper's latency metric.
+  spe::SinkOperator* Deliver(const std::string& name, spe::StreamPtr in,
+                             spe::SinkFn fn);
+
+  /// Duplicate a stream so several pipelines (possibly from different
+  /// experts) can consume it.
+  [[nodiscard]] std::vector<spe::StreamPtr> Split(const std::string& name,
+                                                  spe::StreamPtr in, int n);
+
+  // --- lifecycle -------------------------------------------------------------
+
+  /// Start all deployed pipelines.
+  void Deploy();
+  /// Block until all pipelines finish naturally (finite collectors).
+  void WaitForCompletion();
+  /// Stop sources, drain pipelines, join all operator threads.
+  void Shutdown();
+
+  [[nodiscard]] kv::DB& kv() noexcept { return *kv_; }
+  [[nodiscard]] ps::Broker& broker() noexcept { return *broker_; }
+  [[nodiscard]] spe::Query& query() noexcept { return *query_; }
+
+ private:
+  [[nodiscard]] spe::StreamPtr ThroughConnector(const std::string& topic,
+                                                spe::StreamPtr in,
+                                                PartitionKeyFn key_fn);
+
+  StrataOptions options_;
+  std::unique_ptr<strata::fs::ScopedTempDir> temp_dir_;  // when data_dir empty
+  std::unique_ptr<kv::DB> kv_;
+  std::unique_ptr<ps::Broker> broker_;
+  std::unique_ptr<spe::Query> query_;
+  std::vector<std::unique_ptr<ConnectorPublisher>> publishers_;
+  std::vector<std::shared_ptr<ConnectorSubscriber>> subscribers_;
+  bool deployed_ = false;
+  bool shut_down_ = false;
+};
+
+}  // namespace strata::core

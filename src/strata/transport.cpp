@@ -1,0 +1,90 @@
+#include "strata/transport.hpp"
+
+#include "common/codec.hpp"
+
+namespace strata::core {
+
+namespace {
+// Payload entry markers.
+constexpr char kScalarMarker = 'S';
+constexpr char kImageMarker = 'I';
+}  // namespace
+
+Status EncodeTuple(const spe::Tuple& tuple, std::string* out) {
+  codec::PutVarint64Signed(out, tuple.event_time);
+  codec::PutVarint64Signed(out, tuple.job);
+  codec::PutVarint64Signed(out, tuple.layer);
+  codec::PutVarint64Signed(out, tuple.specimen);
+  codec::PutVarint64Signed(out, tuple.portion);
+  codec::PutVarint64Signed(out, tuple.stimulus);
+
+  codec::PutVarint64(out, tuple.payload.size());
+  for (const auto& [key, value] : tuple.payload) {
+    codec::PutLengthPrefixed(out, key);
+    if (value.kind() == ValueKind::kOpaque) {
+      const auto image =
+          std::dynamic_pointer_cast<const am::ImageValue>(value.AsOpaqueRef());
+      if (!image) {
+        return Status::InvalidArgument(
+            "EncodeTuple: unsupported opaque payload type under key '" + key +
+            "'");
+      }
+      out->push_back(kImageMarker);
+      codec::PutLengthPrefixed(out, image->image().Serialize());
+    } else {
+      out->push_back(kScalarMarker);
+      STRATA_RETURN_IF_ERROR(EncodeValue(value, out));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<spe::Tuple> DecodeTuple(std::string_view data) {
+  spe::Tuple tuple;
+  std::uint64_t payload_count = 0;
+  if (!codec::GetVarint64Signed(&data, &tuple.event_time) ||
+      !codec::GetVarint64Signed(&data, &tuple.job) ||
+      !codec::GetVarint64Signed(&data, &tuple.layer) ||
+      !codec::GetVarint64Signed(&data, &tuple.specimen) ||
+      !codec::GetVarint64Signed(&data, &tuple.portion) ||
+      !codec::GetVarint64Signed(&data, &tuple.stimulus) ||
+      !codec::GetVarint64(&data, &payload_count)) {
+    return Status::Corruption("DecodeTuple: truncated metadata");
+  }
+
+  for (std::uint64_t i = 0; i < payload_count; ++i) {
+    std::string_view key;
+    if (!codec::GetLengthPrefixed(&data, &key) || data.empty()) {
+      return Status::Corruption("DecodeTuple: truncated payload entry");
+    }
+    const char marker = data.front();
+    data.remove_prefix(1);
+    if (marker == kImageMarker) {
+      std::string_view image_bytes;
+      if (!codec::GetLengthPrefixed(&data, &image_bytes)) {
+        return Status::Corruption("DecodeTuple: truncated image");
+      }
+      auto image = am::GrayImage::Deserialize(image_bytes);
+      if (!image.ok()) return image.status();
+      tuple.payload.Set(key, am::MakeImageValue(std::move(image).value()));
+    } else if (marker == kScalarMarker) {
+      Value value;
+      STRATA_RETURN_IF_ERROR(DecodeValue(&data, &value));
+      tuple.payload.Set(key, std::move(value));
+    } else {
+      return Status::Corruption("DecodeTuple: unknown payload marker");
+    }
+  }
+  if (!data.empty()) return Status::Corruption("DecodeTuple: trailing bytes");
+  return tuple;
+}
+
+std::string RawDataKey(const spe::Tuple& tuple) {
+  return std::to_string(tuple.job) + "|" + std::to_string(tuple.layer);
+}
+
+std::string EventKey(const spe::Tuple& tuple) {
+  return std::to_string(tuple.job) + "|" + std::to_string(tuple.specimen);
+}
+
+}  // namespace strata::core

@@ -1,0 +1,25 @@
+// Tuple <-> pub/sub record codec used by STRATA's connectors (Raw Data
+// Connector, Event Connector). Scalar payload values use the common Value
+// codec; OT images (opaque GrayImage references) are special-cased so raw
+// sensor frames can cross the broker, and are re-wrapped as shared images on
+// the consuming side.
+#pragma once
+
+#include "am/image.hpp"
+#include "common/status.hpp"
+#include "spe/tuple.hpp"
+
+namespace strata::core {
+
+/// Serialize a tuple for transport. Supported payload values: all scalar
+/// kinds plus opaque GrayImage. Other opaque types -> InvalidArgument.
+[[nodiscard]] Status EncodeTuple(const spe::Tuple& tuple, std::string* out);
+
+[[nodiscard]] Result<spe::Tuple> DecodeTuple(std::string_view data);
+
+/// Partitioning key that keeps per-entity ordering through a topic:
+/// job|layer for raw data, job|specimen for events.
+[[nodiscard]] std::string RawDataKey(const spe::Tuple& tuple);
+[[nodiscard]] std::string EventKey(const spe::Tuple& tuple);
+
+}  // namespace strata::core

@@ -1,0 +1,321 @@
+#include "strata/usecase.hpp"
+
+#include <mutex>
+
+#include "common/logging.hpp"
+
+namespace strata::core {
+
+CellLabel ClassifyCell(double mean, const am::ThermalThresholds& t) {
+  if (mean < t.very_cold) return CellLabel::kVeryCold;
+  if (mean < t.cold) return CellLabel::kCold;
+  if (mean > t.very_warm) return CellLabel::kVeryWarm;
+  if (mean > t.warm) return CellLabel::kWarm;
+  return CellLabel::kRegular;
+}
+
+PartitionFn IsolateSpecimen() {
+  return [](const spe::Tuple& t) -> std::vector<spe::Tuple> {
+    std::vector<spe::Tuple> out;
+    if (ForwardMarker(t, &out)) return out;
+
+    const Value* image = t.payload.Find(kOtImageKey);
+    const Value* count = t.payload.Find("specimen_count");
+    if (image == nullptr || count == nullptr) {
+      LOG_WARN << "isolateSpecimen: tuple missing image or layout, dropping";
+      return out;
+    }
+    const double plate_mm = t.payload.Get("plate_size_mm").AsDouble();
+    const auto image_px = t.payload.Get("image_px").AsInt();
+    const double px_per_mm = static_cast<double>(image_px) / plate_mm;
+    const double layer_mm =
+        static_cast<double>(t.layer) *
+        t.payload.Get("layer_thickness_um").AsDouble() / 1000.0;
+
+    for (std::int64_t s = 0; s < count->AsInt(); ++s) {
+      const std::string prefix = "spec" + std::to_string(s) + "_";
+      // Skip specimens that topped out below this layer.
+      if (layer_mm >= t.payload.Get(prefix + "h_mm").AsDouble()) continue;
+
+      spe::Tuple specimen;
+      specimen.specimen = s;
+      specimen.portion = 0;
+      specimen.payload.Set(kOtImageKey, *image);
+      specimen.payload.Set("x_mm", t.payload.Get(prefix + "x_mm").AsDouble());
+      specimen.payload.Set("y_mm", t.payload.Get(prefix + "y_mm").AsDouble());
+      specimen.payload.Set("w_mm", t.payload.Get(prefix + "w_mm").AsDouble());
+      specimen.payload.Set("l_mm", t.payload.Get(prefix + "l_mm").AsDouble());
+      specimen.payload.Set("px_per_mm", px_per_mm);
+      out.push_back(std::move(specimen));
+
+      // Layer-completion marker for this specimen: everything emitted for
+      // (job, layer, specimen) precedes it on the stream.
+      spe::Tuple marker;
+      marker.event_time = t.event_time;
+      marker.job = t.job;
+      marker.layer = t.layer;
+      marker.specimen = s;
+      marker.stimulus = t.stimulus;
+      marker.payload.Set(kLayerMarkerKey, true);
+      out.push_back(std::move(marker));
+    }
+    return out;
+  };
+}
+
+PartitionFn IsolateCell(int cell_px) {
+  if (cell_px < 1) throw std::invalid_argument("IsolateCell: cell_px < 1");
+  return [cell_px](const spe::Tuple& t) -> std::vector<spe::Tuple> {
+    std::vector<spe::Tuple> out;
+    if (ForwardMarker(t, &out)) return out;
+
+    const auto image = t.payload.Get(kOtImageKey).AsOpaque<am::ImageValue>();
+    const double px_per_mm = t.payload.Get("px_per_mm").AsDouble();
+    const int x0 = static_cast<int>(t.payload.Get("x_mm").AsDouble() * px_per_mm);
+    const int y0 = static_cast<int>(t.payload.Get("y_mm").AsDouble() * px_per_mm);
+    const int x1 = x0 + static_cast<int>(t.payload.Get("w_mm").AsDouble() * px_per_mm);
+    const int y1 = y0 + static_cast<int>(t.payload.Get("l_mm").AsDouble() * px_per_mm);
+
+    const am::GrayImage& frame = image->image();
+    std::int64_t portion = 0;
+    for (int y = y0; y + cell_px <= y1; y += cell_px) {
+      for (int x = x0; x + cell_px <= x1; x += cell_px) {
+        spe::Tuple cell;
+        cell.specimen = t.specimen;
+        cell.portion = portion++;
+        cell.payload.Set("mean", frame.RegionMean(x, y, cell_px, cell_px));
+        cell.payload.Set("cx_mm",
+                         (x + cell_px / 2.0) / px_per_mm);
+        cell.payload.Set("cy_mm",
+                         (y + cell_px / 2.0) / px_per_mm);
+        out.push_back(std::move(cell));
+      }
+    }
+    return out;
+  };
+}
+
+DetectFn LabelCell(Strata* strata, std::string machine_id) {
+  // Thresholds are loaded from the KV store once, at first use (the
+  // Aggregate operator instantiated by detectEvent "gets the relevant
+  // thresholds from the key-value store", §5).
+  struct Cache {
+    std::once_flag once;
+    am::ThermalThresholds thresholds;
+  };
+  auto cache = std::make_shared<Cache>();
+
+  return [strata, machine_id = std::move(machine_id),
+          cache](const spe::Tuple& t) -> std::vector<spe::Tuple> {
+    std::vector<spe::Tuple> out;
+    if (ForwardMarker(t, &out)) return out;
+
+    std::call_once(cache->once, [&] {
+      auto stored = strata->Get(am::ThresholdKey(machine_id));
+      stored.status().OrDie();
+      auto decoded = am::ThermalThresholds::Deserialize(*stored);
+      decoded.status().OrDie();
+      cache->thresholds = *decoded;
+    });
+
+    const double mean = t.payload.Get("mean").AsDouble();
+    const CellLabel label = ClassifyCell(mean, cache->thresholds);
+    if (label != CellLabel::kVeryCold && label != CellLabel::kVeryWarm) {
+      return out;  // only the extreme classes become events (§5)
+    }
+
+    spe::Tuple event;
+    event.specimen = t.specimen;
+    event.portion = t.portion;
+    event.payload.Set("cx_mm", t.payload.Get("cx_mm"));
+    event.payload.Set("cy_mm", t.payload.Get("cy_mm"));
+    event.payload.Set("mean", mean);
+    event.payload.Set("label", static_cast<std::int64_t>(label));
+    const double mid = (cache->thresholds.cold + cache->thresholds.warm) / 2.0;
+    event.payload.Set("deviation", mean > mid ? mean - mid : mid - mean);
+    out.push_back(std::move(event));
+    return out;
+  };
+}
+
+am::GrayImage RenderClusterImage(const std::vector<cluster::Point>& points,
+                                 const std::vector<int>& labels,
+                                 const am::SpecimenSpec& specimen,
+                                 double px_per_mm) {
+  const int width =
+      std::max(1, static_cast<int>(specimen.width_mm * px_per_mm));
+  const int height =
+      std::max(1, static_cast<int>(specimen.length_mm * px_per_mm));
+  am::GrayImage image(width, height, 0);
+
+  // Distinct gray bands per cluster; noise dim.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const int label = labels[i];
+    const std::uint8_t shade =
+        label < 0 ? 40
+                  : static_cast<std::uint8_t>(90 + (label * 37) % 160);
+    const int x =
+        static_cast<int>((points[i].x - specimen.x_mm) * px_per_mm);
+    const int y =
+        static_cast<int>((points[i].y - specimen.y_mm) * px_per_mm);
+    const int radius = std::max(1, static_cast<int>(px_per_mm / 2));
+    for (int dy = -radius; dy <= radius; ++dy) {
+      for (int dx = -radius; dx <= radius; ++dx) {
+        const int px = x + dx;
+        const int py = y + dy;
+        if (px >= 0 && px < width && py >= 0 && py < height) {
+          image.set(px, py, shade);
+        }
+      }
+    }
+  }
+  return image;
+}
+
+CorrelateFn DbscanCorrelator(const UseCaseParams& params, double px_per_mm) {
+  const double cell_mm = static_cast<double>(params.cell_px) / px_per_mm;
+  cluster::DbscanParams dbscan;
+  dbscan.metric.eps_xy = params.dbscan_eps_cells * cell_mm;
+  dbscan.metric.layer_reach = params.dbscan_layer_reach;
+  dbscan.min_pts = params.dbscan_min_pts;
+  const std::size_t min_report = params.min_report_points;
+  const bool render = params.render_cluster_images;
+
+  return [dbscan, min_report, render,
+          px_per_mm](const EventWindow& window) -> std::vector<spe::Tuple> {
+    std::vector<cluster::Point> points;
+    points.reserve(window.events.size());
+    double min_x = 0.0;
+    double min_y = 0.0;
+    double max_x = 0.0;
+    double max_y = 0.0;
+    for (const spe::Tuple& event : window.events) {
+      cluster::Point p;
+      p.x = event.payload.Get("cx_mm").AsDouble();
+      p.y = event.payload.Get("cy_mm").AsDouble();
+      p.layer = event.layer;
+      p.weight = event.payload.Get("deviation").AsDouble();
+      if (points.empty() || p.x < min_x) min_x = p.x;
+      if (points.empty() || p.y < min_y) min_y = p.y;
+      if (points.empty() || p.x > max_x) max_x = p.x;
+      if (points.empty() || p.y > max_y) max_y = p.y;
+      points.push_back(p);
+    }
+
+    const cluster::DbscanResult result = cluster::Dbscan(points, dbscan);
+
+    ClusterReport report;
+    report.job = window.job;
+    report.layer = window.layer;
+    report.specimen = window.specimen;
+    report.window_events = points.size();
+    report.noise_events = result.noise_points;
+    for (cluster::ClusterSummary& summary :
+         cluster::SummarizeClusters(points, result.labels)) {
+      if (summary.point_count >= min_report) {
+        report.clusters.push_back(std::move(summary));
+      }
+    }
+    if (render && !points.empty()) {
+      am::SpecimenSpec bounds;
+      bounds.x_mm = min_x - 1.0;
+      bounds.y_mm = min_y - 1.0;
+      bounds.width_mm = (max_x - min_x) + 2.0;
+      bounds.length_mm = (max_y - min_y) + 2.0;
+      report.rendering = std::make_shared<const am::GrayImage>(
+          RenderClusterImage(points, result.labels, bounds, px_per_mm));
+    }
+
+    spe::Tuple out;
+    out.payload.Set("cluster_count",
+                    static_cast<std::int64_t>(report.clusters.size()));
+    out.payload.Set("window_events",
+                    static_cast<std::int64_t>(report.window_events));
+    out.payload.Set("noise_events",
+                    static_cast<std::int64_t>(report.noise_events));
+    out.payload.Set("report", Value(OpaqueRef(std::make_shared<
+                                              const ClusterReportValue>(
+                                 std::move(report)))));
+    return {out};
+  };
+}
+
+spe::SinkOperator* BuildThermalPipeline(
+    Strata* strata, std::shared_ptr<am::MachineSimulator> machine,
+    const CollectorPacing& pacing, const UseCaseParams& params,
+    std::function<void(const ClusterReport&)> deliver) {
+  const std::string& id = params.machine_id;
+  const double px_per_mm = machine->job().plate.PxPerMm();
+
+  // Alg. 1 L1-L2: the two collectors.
+  auto pp = strata->AddSource("pp." + id,
+                              PrintingParameterCollector(machine, pacing));
+  auto ot =
+      strata->AddSource("ot." + id, OtImageCollector(machine, pacing));
+  // L3: fuse on (τ, job, layer).
+  auto fused = strata->Fuse("fuse." + id, ot, pp);
+  // L4: per-specimen isolation.
+  auto specimens = strata->Partition("spec." + id, fused, IsolateSpecimen());
+  // L5: per-cell isolation.
+  auto cells = strata->Partition("cell." + id, specimens,
+                                 IsolateCell(params.cell_px),
+                                 params.partition_parallelism);
+  // L6: thermal classification against KV-store thresholds.
+  auto events = strata->DetectEvent("label." + id, cells,
+                                    LabelCell(strata, id),
+                                    params.detect_parallelism);
+  // L7: DBSCAN across the last L layers.
+  auto reports = strata->CorrelateEvents(
+      "cluster." + id, events, params.correlate_layers,
+      DbscanCorrelator(params, px_per_mm));
+
+  return strata->Deliver("expert." + id, reports,
+                         [deliver = std::move(deliver)](const spe::Tuple& t) {
+                           if (!deliver) return;
+                           const auto value =
+                               t.payload.Get("report")
+                                   .AsOpaque<ClusterReportValue>();
+                           deliver(value->report());
+                         });
+}
+
+std::vector<XctCylinderSummary> SummarizeDefectsPerCylinder(
+    const std::vector<ClusterReport>& reports, const am::BuildJobSpec& job) {
+  std::map<std::pair<std::int64_t, int>, XctCylinderSummary> by_cylinder;
+  for (const ClusterReport& report : reports) {
+    if (report.specimen < 0 ||
+        static_cast<std::size_t>(report.specimen) >= job.specimens.size()) {
+      continue;
+    }
+    const am::SpecimenSpec& specimen =
+        job.specimens[static_cast<std::size_t>(report.specimen)];
+    for (const cluster::ClusterSummary& summary : report.clusters) {
+      const int cylinder =
+          specimen.CylinderIndexAt(summary.centroid_x, summary.centroid_y);
+      if (cylinder < 0) continue;
+      XctCylinderSummary& entry =
+          by_cylinder[{report.specimen, cylinder}];
+      entry.specimen = report.specimen;
+      entry.cylinder = cylinder;
+      entry.cluster_observations += 1;
+      entry.total_weight += summary.total_weight;
+    }
+  }
+  std::vector<XctCylinderSummary> result;
+  result.reserve(by_cylinder.size());
+  for (auto& [key, entry] : by_cylinder) result.push_back(entry);
+  return result;
+}
+
+Status ComputeAndStoreThresholds(Strata* strata, const std::string& machine_id,
+                                 const am::BuildJobSpec& job,
+                                 int history_layers, int cell_px) {
+  // Historical jobs for threshold calibration are defect-free baselines of
+  // the same geometry/material (the nominal melt signature).
+  am::OtImageGenerator generator(job, /*seeder=*/nullptr);
+  const am::ThermalThresholds thresholds = am::ComputeThresholdsFromHistory(
+      generator, history_layers, cell_px);
+  return strata->Store(am::ThresholdKey(machine_id), thresholds.Serialize());
+}
+
+}  // namespace strata::core

@@ -1,0 +1,123 @@
+#include "strata/usecase_streak.hpp"
+
+#include <algorithm>
+
+namespace strata::core {
+
+DetectFn DetectStreakColumns(double column_drop) {
+  return [column_drop](const spe::Tuple& t) -> std::vector<spe::Tuple> {
+    std::vector<spe::Tuple> out;
+    if (ForwardMarker(t, &out)) return out;
+
+    const auto image = t.payload.Get(kOtImageKey).AsOpaque<am::ImageValue>();
+    const double px_per_mm = t.payload.Get("px_per_mm").AsDouble();
+    const int x0 =
+        static_cast<int>(t.payload.Get("x_mm").AsDouble() * px_per_mm);
+    const int y0 =
+        static_cast<int>(t.payload.Get("y_mm").AsDouble() * px_per_mm);
+    const int x1 =
+        x0 + static_cast<int>(t.payload.Get("w_mm").AsDouble() * px_per_mm);
+    const int y1 =
+        y0 + static_cast<int>(t.payload.Get("l_mm").AsDouble() * px_per_mm);
+    const am::GrayImage& frame = image->image();
+    if (x1 <= x0 || y1 <= y0) return out;
+
+    // Column means over the specimen footprint.
+    std::vector<double> column_means;
+    column_means.reserve(static_cast<std::size_t>(x1 - x0));
+    for (int x = x0; x < x1; ++x) {
+      column_means.push_back(frame.RegionMean(x, y0, 1, y1 - y0));
+    }
+    std::vector<double> sorted = column_means;
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    const double median = sorted[sorted.size() / 2];
+
+    for (int x = x0; x < x1; ++x) {
+      const double mean = column_means[static_cast<std::size_t>(x - x0)];
+      if (median - mean < column_drop) continue;
+      spe::Tuple event;
+      event.specimen = t.specimen;
+      event.portion = x - x0;
+      event.payload.Set("cx_mm", (x + 0.5) / px_per_mm);
+      event.payload.Set("col_mean", mean);
+      event.payload.Set("deviation", median - mean);
+      out.push_back(std::move(event));
+    }
+    return out;
+  };
+}
+
+CorrelateFn StreakCorrelator(const StreakUseCaseParams& params) {
+  cluster::DbscanParams dbscan;
+  dbscan.metric.eps_xy = params.eps_x_mm;
+  dbscan.metric.layer_reach = params.dbscan_layer_reach;
+  dbscan.min_pts = params.dbscan_min_pts;
+  const std::int64_t min_span = params.min_span_layers;
+
+  return [dbscan, min_span](const EventWindow& window)
+             -> std::vector<spe::Tuple> {
+    std::vector<cluster::Point> points;
+    points.reserve(window.events.size());
+    for (const spe::Tuple& event : window.events) {
+      cluster::Point p;
+      p.x = event.payload.Get("cx_mm").AsDouble();
+      p.y = 0.0;  // streaks are located by x only
+      p.layer = event.layer;
+      p.weight = event.payload.Get("deviation").AsDouble();
+      points.push_back(p);
+    }
+    const cluster::DbscanResult result = cluster::Dbscan(points, dbscan);
+
+    ClusterReport report;
+    report.job = window.job;
+    report.layer = window.layer;
+    report.specimen = window.specimen;
+    report.window_events = points.size();
+    report.noise_events = result.noise_points;
+    for (cluster::ClusterSummary& summary :
+         cluster::SummarizeClusters(points, result.labels)) {
+      // A streak must persist across layers; single-layer bands are hatch
+      // noise or isolated thermal issues (the thermal pipeline's job).
+      if (summary.layer_span() >= min_span) {
+        report.clusters.push_back(std::move(summary));
+      }
+    }
+    if (report.clusters.empty()) return {};  // nothing confirmed this layer
+
+    spe::Tuple out;
+    out.payload.Set("streaks",
+                    static_cast<std::int64_t>(report.clusters.size()));
+    out.payload.Set("report", Value(OpaqueRef(std::make_shared<
+                                              const ClusterReportValue>(
+                                 std::move(report)))));
+    return {out};
+  };
+}
+
+spe::SinkOperator* BuildStreakPipeline(
+    Strata* strata, std::shared_ptr<am::MachineSimulator> machine,
+    const CollectorPacing& pacing, const StreakUseCaseParams& params,
+    std::function<void(const ClusterReport&)> deliver) {
+  const std::string id = "streak." + params.machine_id;
+
+  auto pp = strata->AddSource("pp." + id,
+                              PrintingParameterCollector(machine, pacing));
+  auto ot = strata->AddSource("ot." + id, OtImageCollector(machine, pacing));
+  auto fused = strata->Fuse("fuse." + id, ot, pp);
+  auto specimens = strata->Partition("spec." + id, fused, IsolateSpecimen());
+  auto events = strata->DetectEvent("col." + id, specimens,
+                                    DetectStreakColumns(params.column_drop));
+  auto reports = strata->CorrelateEvents("cluster." + id, events,
+                                         params.correlate_layers,
+                                         StreakCorrelator(params));
+  return strata->Deliver("expert." + id, reports,
+                         [deliver = std::move(deliver)](const spe::Tuple& t) {
+                           if (!deliver) return;
+                           deliver(t.payload.Get("report")
+                                       .AsOpaque<ClusterReportValue>()
+                                       ->report());
+                         });
+}
+
+}  // namespace strata::core

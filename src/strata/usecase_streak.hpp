@@ -1,0 +1,56 @@
+// Second use-case: recoater-streak detection.
+//
+// A damaged recoater blade drags a groove through the powder bed: a thin,
+// plate-spanning band of reduced melt emission at a fixed x position that
+// persists across layers until the blade is serviced. The pipeline reuses
+// STRATA's Table-1 API:
+//
+//   addSource(pp) + addSource(OT)
+//   fuse(OT, pp)
+//   partition(isolateSpecimen)          -- same per-specimen isolation
+//   detectEvent(detectStreakColumns)    -- per-column mean vs the specimen's
+//                                          median: a column darker by more
+//                                          than `column_drop` gray levels is
+//                                          a streak event
+//   correlateEvents(L, DBSCAN)          -- events cluster tightly in x and
+//                                          persist across layers; reported
+//                                          when spanning >= min layers
+//
+// This demonstrates the paper's claim that new defect analyses are new
+// compositions of the same API, sharing modules with the thermal pipeline.
+#pragma once
+
+#include "strata/usecase.hpp"
+
+namespace strata::core {
+
+struct StreakUseCaseParams {
+  std::string machine_id = "m0";
+  /// Column darker than the specimen median by this many gray levels -> event.
+  double column_drop = 12.0;
+  /// Layers correlateEvents looks back through.
+  std::int64_t correlate_layers = 10;
+  /// DBSCAN radius across x (mm) — streak events align at the same x.
+  double eps_x_mm = 2.0;
+  std::int64_t dbscan_layer_reach = 2;
+  std::size_t dbscan_min_pts = 2;
+  /// A streak is reported once its cluster spans at least this many layers.
+  std::int64_t min_span_layers = 3;
+};
+
+/// detectEvent user function: per specimen frame, one event per column whose
+/// mean intensity sits `column_drop` below the specimen's median column.
+[[nodiscard]] DetectFn DetectStreakColumns(double column_drop);
+
+/// correlateEvents user function: DBSCAN over (x, layer); reports clusters
+/// spanning >= min_span_layers as ClusterReports.
+[[nodiscard]] CorrelateFn StreakCorrelator(const StreakUseCaseParams& params);
+
+/// Assembles the pipeline; `deliver` receives a ClusterReport per confirmed
+/// streak observation (per layer, specimen).
+spe::SinkOperator* BuildStreakPipeline(
+    Strata* strata, std::shared_ptr<am::MachineSimulator> machine,
+    const CollectorPacing& pacing, const StreakUseCaseParams& params,
+    std::function<void(const ClusterReport&)> deliver);
+
+}  // namespace strata::core

@@ -1,0 +1,123 @@
+#include "am/defects.hpp"
+
+#include <gtest/gtest.h>
+
+namespace strata::am {
+namespace {
+
+TEST(Defect, RadiusProfileIsEllipsoidal) {
+  Defect d;
+  d.center_layer = 10;
+  d.radius_mm = 2.0;
+  d.half_layers = 4;
+  EXPECT_DOUBLE_EQ(d.RadiusAtLayer(10), 2.0);  // full at the centre
+  EXPECT_GT(d.RadiusAtLayer(12), 0.0);
+  EXPECT_LT(d.RadiusAtLayer(12), 2.0);
+  EXPECT_DOUBLE_EQ(d.RadiusAtLayer(14), 0.0);  // at the extremity
+  EXPECT_DOUBLE_EQ(d.RadiusAtLayer(15), 0.0);  // outside
+  EXPECT_DOUBLE_EQ(d.RadiusAtLayer(5), 0.0);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(d.RadiusAtLayer(8), d.RadiusAtLayer(12));
+}
+
+TEST(Defect, ZeroHalfLayersSingleLayer) {
+  Defect d;
+  d.center_layer = 3;
+  d.radius_mm = 1.0;
+  d.half_layers = 0;
+  EXPECT_DOUBLE_EQ(d.RadiusAtLayer(3), 1.0);
+  EXPECT_DOUBLE_EQ(d.RadiusAtLayer(4), 0.0);
+}
+
+TEST(AngleRisk, PeaksAgainstGasFlow) {
+  const double floor = 0.25;
+  const double against = DefectSeeder::AngleRisk(90, floor);
+  const double with_flow = DefectSeeder::AngleRisk(270, floor);
+  const double cross = DefectSeeder::AngleRisk(0, floor);
+  EXPECT_DOUBLE_EQ(against, 1.0);
+  EXPECT_NEAR(with_flow, floor, 1e-9);
+  EXPECT_GT(against, cross);
+  EXPECT_GT(cross, with_flow);
+}
+
+TEST(DefectSeeder, DeterministicForSameSeed) {
+  const BuildJobSpec job = MakeSmallJob(1);
+  DefectModelParams params;
+  params.seed = 42;
+  DefectSeeder a(job, params);
+  DefectSeeder b(job, params);
+  ASSERT_EQ(a.defects().size(), b.defects().size());
+  for (std::size_t i = 0; i < a.defects().size(); ++i) {
+    EXPECT_EQ(a.defects()[i].center_layer, b.defects()[i].center_layer);
+    EXPECT_DOUBLE_EQ(a.defects()[i].center_x_mm, b.defects()[i].center_x_mm);
+  }
+}
+
+TEST(DefectSeeder, DifferentJobsDifferentDefects) {
+  DefectModelParams params;
+  DefectSeeder a(MakeSmallJob(1), params);
+  DefectSeeder b(MakeSmallJob(2), params);
+  // Same geometry, different job id -> different defect draw.
+  bool any_difference = a.defects().size() != b.defects().size();
+  for (std::size_t i = 0;
+       !any_difference && i < a.defects().size(); ++i) {
+    any_difference = a.defects()[i].center_x_mm != b.defects()[i].center_x_mm;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(DefectSeeder, DefectsStayInsideTheirSpecimen) {
+  const BuildJobSpec job = MakePaperJob(3, /*image_px=*/500);
+  DefectModelParams params;
+  params.birth_rate = 0.05;
+  DefectSeeder seeder(job, params);
+  ASSERT_FALSE(seeder.defects().empty());
+  for (const Defect& d : seeder.defects()) {
+    const SpecimenSpec& s =
+        job.specimens[static_cast<std::size_t>(d.specimen)];
+    EXPECT_TRUE(s.Contains(d.center_x_mm, d.center_y_mm))
+        << "defect centre outside specimen " << d.specimen;
+    EXPECT_GE(d.center_layer, 0);
+    EXPECT_LT(d.center_layer, job.TotalLayers());
+  }
+}
+
+TEST(DefectSeeder, BirthRateScalesDefectCount) {
+  const BuildJobSpec job = MakeSmallJob(1);
+  DefectModelParams low;
+  low.birth_rate = 0.01;
+  DefectModelParams high;
+  high.birth_rate = 0.2;
+  EXPECT_LT(DefectSeeder(job, low).defects().size(),
+            DefectSeeder(job, high).defects().size());
+}
+
+TEST(DefectSeeder, DefectsOnLayerFiltersCorrectly) {
+  const BuildJobSpec job = MakeSmallJob(1);
+  DefectModelParams params;
+  params.birth_rate = 0.1;
+  DefectSeeder seeder(job, params);
+  for (int layer : {0, 20, 50, 99}) {
+    for (const Defect* d : seeder.DefectsOnLayer(layer)) {
+      EXPECT_GT(d->RadiusAtLayer(layer), 0.0);
+    }
+  }
+}
+
+TEST(DefectSeeder, BothDefectTypesOccur) {
+  const BuildJobSpec job = MakePaperJob(1, 500);
+  DefectModelParams params;
+  params.birth_rate = 0.05;
+  DefectSeeder seeder(job, params);
+  bool hot = false;
+  bool cold = false;
+  for (const Defect& d : seeder.defects()) {
+    hot |= d.type == DefectType::kHot;
+    cold |= d.type == DefectType::kCold;
+  }
+  EXPECT_TRUE(hot);
+  EXPECT_TRUE(cold);
+}
+
+}  // namespace
+}  // namespace strata::am

@@ -1,0 +1,81 @@
+#include "am/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace strata::am {
+namespace {
+
+TEST(PlateSpec, PixelConversion) {
+  PlateSpec plate;  // 250 mm, 2000 px -> 8 px/mm
+  EXPECT_DOUBLE_EQ(plate.PxPerMm(), 8.0);
+  EXPECT_EQ(plate.MmToPx(25.0), 200);
+  EXPECT_DOUBLE_EQ(plate.PxToMm(2000), 250.0);
+}
+
+TEST(SpecimenSpec, Containment) {
+  SpecimenSpec s;
+  s.x_mm = 10;
+  s.y_mm = 20;
+  EXPECT_TRUE(s.Contains(10, 20));
+  EXPECT_TRUE(s.Contains(34.9, 69.9));
+  EXPECT_FALSE(s.Contains(35, 20));   // exclusive upper edge
+  EXPECT_FALSE(s.Contains(10, 70));
+  EXPECT_FALSE(s.Contains(9.9, 20));
+}
+
+TEST(BuildJobSpec, PaperJobMatchesEvaluationSetup) {
+  const BuildJobSpec job = MakePaperJob(1);
+  EXPECT_EQ(job.specimens.size(), 12u);  // 12 blocks (paper §5)
+  EXPECT_EQ(job.plate.image_px, 2000);
+  EXPECT_DOUBLE_EQ(job.plate.size_mm, 250.0);
+
+  // 23 mm at 40 um = 575 layers; 1 mm stacks = 25 layers per stack.
+  EXPECT_EQ(job.TotalLayers(), 575);
+  EXPECT_EQ(job.LayersPerStack(), 25);
+
+  for (const SpecimenSpec& s : job.specimens) {
+    EXPECT_DOUBLE_EQ(s.width_mm, 25.0);
+    EXPECT_DOUBLE_EQ(s.length_mm, 50.0);
+    EXPECT_DOUBLE_EQ(s.height_mm, 23.0);
+    EXPECT_GE(s.x_mm, 0.0);
+    EXPECT_LE(s.x_mm + s.width_mm, 250.0);
+    EXPECT_GE(s.y_mm, 0.0);
+    EXPECT_LE(s.y_mm + s.length_mm, 250.0);
+  }
+}
+
+TEST(BuildJobSpec, PaperJobSpecimensDoNotOverlap) {
+  const BuildJobSpec job = MakePaperJob(1);
+  for (std::size_t i = 0; i < job.specimens.size(); ++i) {
+    for (std::size_t j = i + 1; j < job.specimens.size(); ++j) {
+      const SpecimenSpec& a = job.specimens[i];
+      const SpecimenSpec& b = job.specimens[j];
+      const bool overlap = a.x_mm < b.x_mm + b.width_mm &&
+                           b.x_mm < a.x_mm + a.width_mm &&
+                           a.y_mm < b.y_mm + b.length_mm &&
+                           b.y_mm < a.y_mm + a.length_mm;
+      EXPECT_FALSE(overlap) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(BuildJobSpec, ScanAngleRotatesPerStack) {
+  const BuildJobSpec job = MakePaperJob(1);
+  const int per_stack = job.LayersPerStack();
+  EXPECT_DOUBLE_EQ(job.ScanAngleDeg(0), job.ScanAngleDeg(per_stack - 1));
+  EXPECT_NE(job.ScanAngleDeg(0), job.ScanAngleDeg(per_stack));
+  // Angles cycle through the configured set.
+  const auto n = static_cast<int>(job.stack_angles_deg.size());
+  EXPECT_DOUBLE_EQ(job.ScanAngleDeg(0), job.ScanAngleDeg(per_stack * n));
+}
+
+TEST(BuildJobSpec, SmallJobIsSmall) {
+  const BuildJobSpec job = MakeSmallJob(7, 200, 3);
+  EXPECT_EQ(job.job_id, 7);
+  EXPECT_EQ(job.specimens.size(), 3u);
+  EXPECT_EQ(job.plate.image_px, 200);
+  EXPECT_EQ(job.TotalLayers(), 100);  // 4 mm at 40 um
+}
+
+}  // namespace
+}  // namespace strata::am

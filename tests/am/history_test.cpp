@@ -1,0 +1,72 @@
+#include "am/history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace strata::am {
+namespace {
+
+TEST(ThermalThresholds, SerializeRoundTrip) {
+  ThermalThresholds t{100.5, 110.0, 140.0, 150.25};
+  auto decoded = ThermalThresholds::Deserialize(t.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_DOUBLE_EQ(decoded->very_cold, 100.5);
+  EXPECT_DOUBLE_EQ(decoded->very_warm, 150.25);
+}
+
+TEST(ThermalThresholds, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(ThermalThresholds::Deserialize("short").ok());
+  // Unordered cut points.
+  ThermalThresholds bad{150, 140, 120, 100};
+  EXPECT_FALSE(ThermalThresholds::Deserialize(bad.Serialize()).ok());
+}
+
+TEST(ThermalThresholds, ValidChecksOrdering) {
+  EXPECT_TRUE((ThermalThresholds{1, 2, 3, 4}).valid());
+  EXPECT_TRUE((ThermalThresholds{1, 1, 1, 1}).valid());
+  EXPECT_FALSE((ThermalThresholds{2, 1, 3, 4}).valid());
+}
+
+TEST(ComputeThresholds, BracketsTheBaseIntensity) {
+  const BuildJobSpec job = MakeSmallJob(1, 200, 1);
+  OtGeneratorParams params;  // base 128
+  OtImageGenerator generator(job, nullptr, params);
+  const ThermalThresholds t =
+      ComputeThresholdsFromHistory(generator, /*layers=*/5, /*cell_px=*/10);
+
+  EXPECT_TRUE(t.valid());
+  EXPECT_LT(t.very_cold, params.base_intensity);
+  EXPECT_GT(t.very_warm, params.base_intensity);
+  EXPECT_LT(t.very_cold, t.cold);
+  EXPECT_LT(t.warm, t.very_warm);
+  // Tails must be reasonably tight around the nominal distribution.
+  EXPECT_GT(t.very_cold, params.base_intensity - 30);
+  EXPECT_LT(t.very_warm, params.base_intensity + 30);
+}
+
+TEST(ComputeThresholds, SmallerCellsWiderTails) {
+  // Cell means over fewer pixels have higher variance, so the percentile
+  // cut points sit further from the base intensity.
+  const BuildJobSpec job = MakeSmallJob(1, 200, 1);
+  OtImageGenerator generator(job, nullptr);
+  const ThermalThresholds fine =
+      ComputeThresholdsFromHistory(generator, 3, /*cell_px=*/2);
+  const ThermalThresholds coarse =
+      ComputeThresholdsFromHistory(generator, 3, /*cell_px=*/20);
+  EXPECT_LT(fine.very_cold, coarse.very_cold);
+  EXPECT_GT(fine.very_warm, coarse.very_warm);
+}
+
+TEST(ComputeThresholds, EmptyHistoryYieldsDefault) {
+  const BuildJobSpec job = MakeSmallJob(1, 200, 1);
+  OtImageGenerator generator(job, nullptr);
+  const ThermalThresholds t = ComputeThresholdsFromHistory(generator, 0, 10);
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(ThresholdKey, IncludesMachineId) {
+  EXPECT_EQ(ThresholdKey("m1"), "thresholds/m1");
+  EXPECT_NE(ThresholdKey("m1"), ThresholdKey("m2"));
+}
+
+}  // namespace
+}  // namespace strata::am

@@ -1,0 +1,85 @@
+#include "am/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace strata::am {
+namespace {
+
+MachineParams SmallMachine(int layers = 10) {
+  MachineParams params;
+  params.job = MakeSmallJob(1, 150, 2);
+  params.layers_limit = layers;
+  return params;
+}
+
+TEST(MachineSimulator, ProducesRequestedLayers) {
+  MachineSimulator machine(SmallMachine(5));
+  int count = 0;
+  while (auto layer = machine.NextLayer()) {
+    EXPECT_EQ(layer->layer, count);
+    EXPECT_EQ(layer->job, 1);
+    ++count;
+  }
+  EXPECT_EQ(count, 5);
+  EXPECT_FALSE(machine.NextLayer().has_value());
+}
+
+TEST(MachineSimulator, EventTimesAdvanceByLayerPeriod) {
+  MachineSimulator machine(SmallMachine(3));
+  const Timestamp period = machine.LayerPeriodMicros();
+  EXPECT_EQ(period, SecondsToMicros(33.0));  // 30 s melt + 3 s recoat
+
+  auto l0 = machine.NextLayer();
+  auto l1 = machine.NextLayer();
+  ASSERT_TRUE(l0.has_value() && l1.has_value());
+  EXPECT_EQ(l1->event_time - l0->event_time, period);
+}
+
+TEST(MachineSimulator, ResetReplaysTheSameJob) {
+  MachineSimulator machine(SmallMachine(3));
+  auto first = machine.NextLayer();
+  ASSERT_TRUE(first.has_value());
+  (void)machine.NextLayer();
+  machine.Reset();
+  auto replay = machine.NextLayer();
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(replay->layer, 0);
+  EXPECT_EQ(replay->ot_image, first->ot_image);  // deterministic generation
+}
+
+TEST(MachineSimulator, PrintingParamsCarrySpecimenLayout) {
+  MachineSimulator machine(SmallMachine());
+  const Payload params = machine.PrintingParams(0);
+  EXPECT_EQ(params.Get("specimen_count").AsInt(), 2);
+  EXPECT_TRUE(params.Has("spec0_x_mm"));
+  EXPECT_TRUE(params.Has("spec1_l_mm"));
+  EXPECT_TRUE(params.Has("scan_angle_deg"));
+  EXPECT_TRUE(params.Has("plate_size_mm"));
+  EXPECT_EQ(params.Get("image_px").AsInt(), 150);
+}
+
+TEST(MachineSimulator, ScanAngleMatchesJobSpec) {
+  MachineParams mp = SmallMachine(60);
+  MachineSimulator machine(mp);
+  const int per_stack = mp.job.LayersPerStack();
+  EXPECT_DOUBLE_EQ(machine.PrintingParams(0).Get("scan_angle_deg").AsDouble(),
+                   mp.job.ScanAngleDeg(0));
+  EXPECT_DOUBLE_EQ(
+      machine.PrintingParams(per_stack).Get("scan_angle_deg").AsDouble(),
+      mp.job.ScanAngleDeg(per_stack));
+}
+
+TEST(MachineSimulator, LayersLimitClampsToJobHeight) {
+  MachineParams params = SmallMachine(100'000);
+  MachineSimulator machine(params);
+  EXPECT_EQ(machine.total_layers(), params.job.TotalLayers());
+}
+
+TEST(MachineSimulator, ZeroLimitMeansFullJob) {
+  MachineParams params = SmallMachine(0);
+  MachineSimulator machine(params);
+  EXPECT_EQ(machine.total_layers(), params.job.TotalLayers());
+}
+
+}  // namespace
+}  // namespace strata::am

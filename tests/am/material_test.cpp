@@ -1,0 +1,124 @@
+#include "am/material.hpp"
+
+#include <gtest/gtest.h>
+
+#include "am/machine.hpp"
+
+namespace strata::am {
+namespace {
+
+TEST(Material, PresetsDiffer) {
+  const MaterialSpec ti = Ti6Al4V();
+  const MaterialSpec in718 = Inconel718();
+  const MaterialSpec al = AlSi10Mg();
+  EXPECT_NE(ti.base_intensity, in718.base_intensity);
+  EXPECT_NE(ti.base_intensity, al.base_intensity);
+  EXPECT_GT(al.defect_propensity, ti.defect_propensity);
+  EXPECT_GT(al.laser_power_w, ti.laser_power_w);  // Al needs more power
+}
+
+TEST(Material, LookupByName) {
+  EXPECT_EQ(MaterialByName("Ti-6Al-4V")->name, "Ti-6Al-4V");
+  EXPECT_EQ(MaterialByName("IN718")->name, "IN718");
+  EXPECT_EQ(MaterialByName("AlSi10Mg")->name, "AlSi10Mg");
+  EXPECT_TRUE(MaterialByName("Unobtainium").status().IsNotFound());
+}
+
+TEST(Material, ApplyAdjustsGeneratorAndDefects) {
+  OtGeneratorParams ot;
+  DefectModelParams defects;
+  const double base_rate = defects.birth_rate;
+  ApplyMaterial(AlSi10Mg(), &ot, &defects);
+  EXPECT_DOUBLE_EQ(ot.base_intensity, AlSi10Mg().base_intensity);
+  EXPECT_DOUBLE_EQ(defects.birth_rate, base_rate * AlSi10Mg().defect_propensity);
+}
+
+TEST(Material, ApplyToleratesNulls) {
+  ApplyMaterial(Ti6Al4V(), nullptr, nullptr);  // no crash
+}
+
+TEST(Material, MachineReportsMaterialInPrintingParams) {
+  MachineParams params;
+  params.job = MakeSmallJob(1, 150, 1);
+  params.material = Inconel718();
+  MachineSimulator machine(params);
+  const Payload pp = machine.PrintingParams(0);
+  EXPECT_EQ(pp.Get("material").AsString(), "IN718");
+  EXPECT_DOUBLE_EQ(pp.Get("laser_power_w").AsDouble(),
+                   Inconel718().laser_power_w);
+}
+
+TEST(Material, MaterialChangesOtSignature) {
+  MachineParams ti_params;
+  ti_params.job = MakeSmallJob(1, 200, 1);
+  MachineSimulator ti(ti_params);
+
+  MachineParams al_params = ti_params;
+  al_params.material = AlSi10Mg();
+  MachineSimulator al(al_params);
+
+  const auto ti_layer = ti.NextLayer();
+  const auto al_layer = al.NextLayer();
+  ASSERT_TRUE(ti_layer.has_value() && al_layer.has_value());
+
+  const SpecimenSpec& s = ti_params.job.specimens[0];
+  const int cx = ti_params.job.plate.MmToPx(s.x_mm + s.width_mm / 2);
+  const int cy = ti_params.job.plate.MmToPx(s.y_mm + s.length_mm / 2);
+  const double ti_mean = ti_layer->ot_image.RegionMean(cx - 8, cy - 8, 16, 16);
+  const double al_mean = al_layer->ot_image.RegionMean(cx - 8, cy - 8, 16, 16);
+  // AlSi10Mg renders dimmer (105 vs 128 nominal).
+  EXPECT_LT(al_mean, ti_mean - 10.0);
+}
+
+TEST(XctCylinders, PaperJobHasThreePerBlock) {
+  const BuildJobSpec job = MakePaperJob(1);
+  for (const SpecimenSpec& s : job.specimens) {
+    ASSERT_EQ(s.xct_cylinders.size(), 3u);
+    for (const CylinderSpec& c : s.xct_cylinders) {
+      // Fully inside the block footprint.
+      EXPECT_GE(c.cx_mm - c.radius_mm, 0.0);
+      EXPECT_LE(c.cx_mm + c.radius_mm, s.width_mm);
+      EXPECT_GE(c.cy_mm - c.radius_mm, 0.0);
+      EXPECT_LE(c.cy_mm + c.radius_mm, s.length_mm);
+    }
+  }
+}
+
+TEST(XctCylinders, CylinderIndexAt) {
+  SpecimenSpec s;
+  s.x_mm = 10;
+  s.y_mm = 10;
+  s.xct_cylinders = {{5, 5, 2.0}, {20, 40, 2.0}};
+  EXPECT_EQ(s.CylinderIndexAt(15, 15), 0);      // centre of cylinder 0
+  EXPECT_EQ(s.CylinderIndexAt(16.9, 15), 0);    // just inside radius
+  EXPECT_EQ(s.CylinderIndexAt(17.5, 15), -1);   // outside
+  EXPECT_EQ(s.CylinderIndexAt(30, 50), 1);
+  EXPECT_EQ(s.CylinderIndexAt(0, 0), -1);
+}
+
+TEST(XctCylinders, ContourVisibleInOtFrame) {
+  BuildJobSpec job = MakeSmallJob(1, 500, 1);
+  job.specimens[0].xct_cylinders = {{12.5, 25.0, 4.0}};
+  OtImageGenerator with_cylinder(job, nullptr);
+
+  BuildJobSpec bare = job;
+  bare.specimens[0].xct_cylinders.clear();
+  OtImageGenerator without(bare, nullptr);
+
+  const GrayImage a = with_cylinder.GenerateLayer(0);
+  const GrayImage b = without.GenerateLayer(0);
+  const PlateSpec& plate = job.plate;
+  // Sample a point on the ring (cylinder centre + radius along x).
+  const SpecimenSpec& s = job.specimens[0];
+  const int ring_x = plate.MmToPx(s.x_mm + 12.5 + 4.0);
+  const int ring_y = plate.MmToPx(s.y_mm + 25.0);
+  EXPECT_GT(static_cast<int>(a.at(ring_x, ring_y)),
+            static_cast<int>(b.at(ring_x, ring_y)));
+  // Inside the cylinder (not on the ring) is unchanged.
+  const int in_x = plate.MmToPx(s.x_mm + 12.5);
+  const int in_y = plate.MmToPx(s.y_mm + 25.0);
+  EXPECT_EQ(a.at(in_x, in_y), b.at(in_x, in_y));
+}
+
+}  // namespace
+}  // namespace strata::am

@@ -1,0 +1,136 @@
+#include "am/streaks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "am/ot_generator.hpp"
+
+namespace strata::am {
+namespace {
+
+TEST(Streak, ActivityWindow) {
+  Streak s;
+  s.start_layer = 5;
+  s.end_layer = 8;
+  EXPECT_FALSE(s.ActiveOnLayer(4));
+  EXPECT_TRUE(s.ActiveOnLayer(5));
+  EXPECT_TRUE(s.ActiveOnLayer(8));
+  EXPECT_FALSE(s.ActiveOnLayer(9));
+}
+
+TEST(Streak, CoversBand) {
+  Streak s;
+  s.x_mm = 100.0;
+  s.width_mm = 2.0;
+  EXPECT_TRUE(s.CoversX(100.0));
+  EXPECT_TRUE(s.CoversX(99.0));
+  EXPECT_TRUE(s.CoversX(101.0));
+  EXPECT_FALSE(s.CoversX(98.9));
+  EXPECT_FALSE(s.CoversX(101.1));
+}
+
+TEST(StreakSeeder, DeterministicPerJob) {
+  const BuildJobSpec job = MakeSmallJob(1);
+  StreakModelParams params;
+  params.rate_per_layer = 0.1;
+  StreakSeeder a(job, params);
+  StreakSeeder b(job, params);
+  ASSERT_EQ(a.streaks().size(), b.streaks().size());
+  for (std::size_t i = 0; i < a.streaks().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.streaks()[i].x_mm, b.streaks()[i].x_mm);
+  }
+}
+
+TEST(StreakSeeder, RateScalesCount) {
+  const BuildJobSpec job = MakeSmallJob(1);
+  StreakModelParams low;
+  low.rate_per_layer = 0.01;
+  StreakModelParams high;
+  high.rate_per_layer = 0.3;
+  EXPECT_LT(StreakSeeder(job, low).streaks().size(),
+            StreakSeeder(job, high).streaks().size());
+}
+
+TEST(StreakSeeder, StreaksOnLayerFilter) {
+  const BuildJobSpec job = MakeSmallJob(1);
+  StreakModelParams params;
+  params.rate_per_layer = 0.2;
+  StreakSeeder seeder(job, params);
+  for (int layer : {0, 30, 80}) {
+    for (const Streak* streak : seeder.StreaksOnLayer(layer)) {
+      EXPECT_TRUE(streak->ActiveOnLayer(layer));
+    }
+  }
+}
+
+TEST(StreakSeeder, SpansAreBoundedByJob) {
+  const BuildJobSpec job = MakeSmallJob(1);
+  StreakModelParams params;
+  params.rate_per_layer = 0.2;
+  StreakSeeder seeder(job, params);
+  for (const Streak& streak : seeder.streaks()) {
+    EXPECT_GE(streak.end_layer, streak.start_layer);
+    EXPECT_LT(streak.end_layer, job.TotalLayers());
+    EXPECT_GT(streak.intensity_drop, 0.0);
+    EXPECT_GT(streak.width_mm, 0.0);
+  }
+}
+
+TEST(StreakRendering, DarkensBandInsideSpecimen) {
+  const BuildJobSpec job = MakeSmallJob(1, 500, 1);
+  const SpecimenSpec& s = job.specimens[0];
+
+  // One deterministic streak through the specimen centre, by constructing
+  // the seeder from a high-rate model and picking a streak inside.
+  StreakModelParams params;
+  params.rate_per_layer = 0.5;
+  params.mean_intensity_drop = 30.0;
+  StreakSeeder seeder(job, params);
+  const Streak* inside = nullptr;
+  for (const Streak& streak : seeder.streaks()) {
+    if (streak.x_mm > s.x_mm + 2 && streak.x_mm < s.x_mm + s.width_mm - 2) {
+      inside = &streak;
+      break;
+    }
+  }
+  ASSERT_NE(inside, nullptr) << "no streak crossed the specimen";
+
+  OtImageGenerator with(job, nullptr, {}, &seeder);
+  OtImageGenerator without(job, nullptr, {});
+  const GrayImage a = with.GenerateLayer(inside->start_layer);
+  const GrayImage b = without.GenerateLayer(inside->start_layer);
+
+  const int px = job.plate.MmToPx(inside->x_mm);
+  const int py = job.plate.MmToPx(s.y_mm + s.length_mm / 2);
+  EXPECT_LT(static_cast<int>(a.at(px, py)),
+            static_cast<int>(b.at(px, py)) - 15);
+
+  // Outside the band the frame is untouched.
+  const int far_x = job.plate.MmToPx(inside->x_mm) > job.plate.MmToPx(s.x_mm) + 30
+                        ? job.plate.MmToPx(s.x_mm) + 5
+                        : job.plate.MmToPx(s.x_mm + s.width_mm) - 5;
+  bool far_from_all = true;
+  for (const Streak* streak : seeder.StreaksOnLayer(inside->start_layer)) {
+    if (std::abs(job.plate.PxToMm(far_x) - streak->x_mm) <
+        streak->width_mm + 1) {
+      far_from_all = false;
+    }
+  }
+  if (far_from_all) {
+    EXPECT_EQ(a.at(far_x, py), b.at(far_x, py));
+  }
+}
+
+TEST(StreakRendering, OutsideSpecimenUnchanged) {
+  const BuildJobSpec job = MakeSmallJob(1, 400, 1);
+  StreakModelParams params;
+  params.rate_per_layer = 0.5;
+  StreakSeeder seeder(job, params);
+  OtImageGenerator with(job, nullptr, {}, &seeder);
+  const GrayImage image = with.GenerateLayer(0);
+  // Powder regions (corners) stay at background level even under streaks.
+  EXPECT_LE(image.at(0, 0), 10);
+  EXPECT_LE(image.at(399, 399), 10);
+}
+
+}  // namespace
+}  // namespace strata::am

@@ -1,0 +1,93 @@
+// Property test: grid-indexed DBSCAN must produce the same partition as the
+// O(n^2) brute-force reference on random point sets, across parameter
+// combinations. Labels may differ by renaming, so we compare partitions via
+// a label-mapping bijection check.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "clustering/dbscan.hpp"
+#include "common/rng.hpp"
+
+namespace strata::cluster {
+namespace {
+
+struct Scenario {
+  double eps;
+  std::int64_t reach;
+  std::size_t min_pts;
+  int points;
+  double area;       // points spread over [0, area]^2
+  std::int64_t layers;
+  std::uint64_t seed;
+};
+
+std::string PrintScenario(const ::testing::TestParamInfo<Scenario>& info) {
+  const Scenario& s = info.param;
+  return "eps" + std::to_string(static_cast<int>(s.eps * 10)) + "_r" +
+         std::to_string(s.reach) + "_m" + std::to_string(s.min_pts) + "_n" +
+         std::to_string(s.points) + "_a" +
+         std::to_string(static_cast<int>(s.area)) + "_l" +
+         std::to_string(s.layers) + "_s" + std::to_string(s.seed);
+}
+
+/// True iff the two labelings induce the same partition with identical noise.
+bool SamePartition(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.size() != b.size()) return false;
+  std::map<int, int> a_to_b;
+  std::map<int, int> b_to_a;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] == kNoise) != (b[i] == kNoise)) return false;
+    if (a[i] == kNoise) continue;
+    if (const auto it = a_to_b.find(a[i]); it != a_to_b.end()) {
+      if (it->second != b[i]) return false;
+    } else {
+      a_to_b[a[i]] = b[i];
+    }
+    if (const auto it = b_to_a.find(b[i]); it != b_to_a.end()) {
+      if (it->second != a[i]) return false;
+    } else {
+      b_to_a[b[i]] = a[i];
+    }
+  }
+  return true;
+}
+
+class DbscanPropertyTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(DbscanPropertyTest, GridMatchesBruteForce) {
+  const Scenario& s = GetParam();
+  Rng rng(s.seed);
+  std::vector<Point> points;
+  points.reserve(static_cast<std::size_t>(s.points));
+  for (int i = 0; i < s.points; ++i) {
+    points.push_back(Point{rng.Uniform(0, s.area), rng.Uniform(0, s.area),
+                           rng.UniformInt(0, s.layers - 1), 1.0});
+  }
+
+  const DbscanParams params{CylinderMetric{s.eps, s.reach}, s.min_pts};
+  const DbscanResult fast = Dbscan(points, params);
+  const DbscanResult reference = DbscanBruteForce(points, params);
+
+  EXPECT_EQ(fast.cluster_count, reference.cluster_count);
+  EXPECT_EQ(fast.noise_points, reference.noise_points);
+  EXPECT_EQ(fast.core_points, reference.core_points);
+  EXPECT_TRUE(SamePartition(fast.labels, reference.labels));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DbscanPropertyTest,
+    ::testing::Values(
+        Scenario{1.0, 1, 3, 300, 20, 5, 11},   // dense
+        Scenario{1.0, 1, 3, 300, 100, 5, 12},  // sparse
+        Scenario{2.5, 3, 5, 500, 40, 20, 13},  // thick cylinder
+        Scenario{0.5, 0, 2, 400, 15, 1, 14},   // single layer, pairs suffice
+        Scenario{5.0, 2, 8, 600, 50, 10, 15},  // high min_pts
+        Scenario{1.5, 5, 3, 200, 10, 40, 16},  // tall stacks
+        Scenario{3.0, 1, 4, 1000, 60, 8, 17},  // larger set
+        Scenario{1.0, 1, 3, 1, 10, 1, 18},     // single point
+        Scenario{1.0, 1, 3, 2, 1, 1, 19}),     // pair
+    PrintScenario);
+
+}  // namespace
+}  // namespace strata::cluster

@@ -1,0 +1,149 @@
+#include "clustering/dbscan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace strata::cluster {
+namespace {
+
+DbscanParams Params(double eps, std::int64_t reach, std::size_t min_pts) {
+  return DbscanParams{CylinderMetric{eps, reach}, min_pts};
+}
+
+TEST(Dbscan, EmptyInput) {
+  const auto result = Dbscan({}, Params(1, 1, 3));
+  EXPECT_TRUE(result.labels.empty());
+  EXPECT_EQ(result.cluster_count, 0);
+}
+
+TEST(Dbscan, SingleDenseBlobIsOneCluster) {
+  Rng rng(1);
+  std::vector<Point> points;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back(Point{rng.Normal(0, 0.5), rng.Normal(0, 0.5), 0, 1.0});
+  }
+  const auto result = Dbscan(points, Params(1.0, 0, 3));
+  EXPECT_EQ(result.cluster_count, 1);
+  EXPECT_EQ(result.noise_points, 0u);
+  for (const int label : result.labels) EXPECT_EQ(label, 0);
+}
+
+TEST(Dbscan, TwoSeparatedBlobsAreTwoClusters) {
+  Rng rng(2);
+  std::vector<Point> points;
+  for (int i = 0; i < 40; ++i) {
+    points.push_back(Point{rng.Normal(0, 0.4), rng.Normal(0, 0.4), 0, 1.0});
+  }
+  for (int i = 0; i < 40; ++i) {
+    points.push_back(Point{rng.Normal(20, 0.4), rng.Normal(20, 0.4), 0, 1.0});
+  }
+  const auto result = Dbscan(points, Params(1.2, 0, 3));
+  EXPECT_EQ(result.cluster_count, 2);
+  // Membership must respect the blob split.
+  std::set<int> first_blob;
+  std::set<int> second_blob;
+  for (std::size_t i = 0; i < 40; ++i) first_blob.insert(result.labels[i]);
+  for (std::size_t i = 40; i < 80; ++i) second_blob.insert(result.labels[i]);
+  EXPECT_EQ(first_blob.size(), 1u);
+  EXPECT_EQ(second_blob.size(), 1u);
+  EXPECT_NE(*first_blob.begin(), *second_blob.begin());
+}
+
+TEST(Dbscan, IsolatedPointsAreNoise) {
+  std::vector<Point> points{{0, 0, 0}, {100, 100, 0}, {200, 200, 0}};
+  const auto result = Dbscan(points, Params(1, 0, 2));
+  EXPECT_EQ(result.cluster_count, 0);
+  EXPECT_EQ(result.noise_points, 3u);
+  for (const int label : result.labels) EXPECT_EQ(label, kNoise);
+}
+
+TEST(Dbscan, ChainOfPointsFormsOneArbitraryShapeCluster) {
+  // DBSCAN's hallmark vs k-means: elongated shapes stay one cluster.
+  std::vector<Point> points;
+  for (int i = 0; i < 100; ++i) {
+    points.push_back(Point{static_cast<double>(i) * 0.5, 0, 0, 1.0});
+  }
+  const auto result = Dbscan(points, Params(0.6, 0, 2));
+  EXPECT_EQ(result.cluster_count, 1);
+  EXPECT_EQ(result.noise_points, 0u);
+}
+
+TEST(Dbscan, MinPtsControlsCoreDefinition) {
+  // 3 points within eps of each other: with min_pts=4 everything is noise.
+  std::vector<Point> points{{0, 0, 0}, {0.5, 0, 0}, {0, 0.5, 0}};
+  EXPECT_EQ(Dbscan(points, Params(1, 0, 4)).cluster_count, 0);
+  EXPECT_EQ(Dbscan(points, Params(1, 0, 3)).cluster_count, 1);
+}
+
+TEST(Dbscan, LayerReachConnectsAcrossLayers) {
+  // Same xy position on consecutive layers.
+  std::vector<Point> points;
+  for (int layer = 0; layer < 10; ++layer) {
+    points.push_back(Point{0, 0, layer, 1.0});
+  }
+  // reach=1 connects the whole column transitively.
+  EXPECT_EQ(Dbscan(points, Params(0.5, 1, 2)).cluster_count, 1);
+  // reach=0 means layers never connect: every layer is a singleton -> noise.
+  const auto flat = Dbscan(points, Params(0.5, 0, 2));
+  EXPECT_EQ(flat.cluster_count, 0);
+  EXPECT_EQ(flat.noise_points, 10u);
+}
+
+TEST(Dbscan, LayerGapBreaksCluster) {
+  std::vector<Point> points;
+  for (int layer = 0; layer < 5; ++layer) points.push_back(Point{0, 0, layer});
+  for (int layer = 10; layer < 15; ++layer) points.push_back(Point{0, 0, layer});
+  const auto result = Dbscan(points, Params(0.5, 2, 2));
+  EXPECT_EQ(result.cluster_count, 2);
+}
+
+TEST(Dbscan, BorderPointJoinsFirstReachingCluster) {
+  // A point within eps of a core point but itself not core is a border
+  // point: labeled, not noise.
+  std::vector<Point> points{
+      {0, 0, 0}, {0.3, 0, 0}, {0.6, 0, 0},  // dense core
+      {1.4, 0, 0},                          // border: near the core only
+  };
+  const auto result = Dbscan(points, Params(0.9, 0, 3));
+  EXPECT_EQ(result.cluster_count, 1);
+  EXPECT_EQ(result.labels[3], 0);
+  EXPECT_EQ(result.noise_points, 0u);
+}
+
+TEST(Dbscan, ClusterIdsAreDense) {
+  Rng rng(3);
+  std::vector<Point> points;
+  for (int blob = 0; blob < 5; ++blob) {
+    for (int i = 0; i < 20; ++i) {
+      points.push_back(Point{blob * 50 + rng.Normal(0, 0.5),
+                             rng.Normal(0, 0.5), 0, 1.0});
+    }
+  }
+  const auto result = Dbscan(points, Params(1.5, 0, 3));
+  EXPECT_EQ(result.cluster_count, 5);
+  std::set<int> ids(result.labels.begin(), result.labels.end());
+  for (int c = 0; c < 5; ++c) EXPECT_TRUE(ids.contains(c));
+}
+
+TEST(Dbscan, CoreCountPlusNoiseConsistent) {
+  Rng rng(4);
+  std::vector<Point> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back(
+        Point{rng.Uniform(0, 30), rng.Uniform(0, 30), rng.UniformInt(0, 5)});
+  }
+  const auto result = Dbscan(points, Params(2.0, 1, 4));
+  EXPECT_LE(result.core_points + result.noise_points, points.size());
+  std::size_t noise = 0;
+  for (const int label : result.labels) {
+    EXPECT_NE(label, kUnclassified) << "all points must be classified";
+    if (label == kNoise) ++noise;
+  }
+  EXPECT_EQ(noise, result.noise_points);
+}
+
+}  // namespace
+}  // namespace strata::cluster

@@ -1,0 +1,113 @@
+#include "clustering/grid_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace strata::cluster {
+namespace {
+
+TEST(CylinderMetric, InPlaneRadius) {
+  CylinderMetric m{1.0, 0};
+  EXPECT_TRUE(m.Near({0, 0, 0}, {1.0, 0, 0}));     // exactly eps
+  EXPECT_FALSE(m.Near({0, 0, 0}, {1.001, 0, 0}));  // just outside
+  EXPECT_TRUE(m.Near({0, 0, 0}, {0.7, 0.7, 0}));   // sqrt(0.98) < 1
+  EXPECT_FALSE(m.Near({0, 0, 0}, {0.8, 0.8, 0}));  // sqrt(1.28) > 1
+}
+
+TEST(CylinderMetric, LayerReach) {
+  CylinderMetric m{10.0, 2};
+  EXPECT_TRUE(m.Near({0, 0, 5}, {0, 0, 7}));
+  EXPECT_TRUE(m.Near({0, 0, 5}, {0, 0, 3}));
+  EXPECT_FALSE(m.Near({0, 0, 5}, {0, 0, 8}));
+  EXPECT_FALSE(m.Near({0, 0, 5}, {0, 0, 2}));
+}
+
+TEST(CylinderMetric, IsSymmetric) {
+  CylinderMetric m{2.0, 1};
+  const Point a{1.5, 0.5, 3};
+  const Point b{0.0, 0.0, 4};
+  EXPECT_EQ(m.Near(a, b), m.Near(b, a));
+}
+
+TEST(GridIndex, NeighborsIncludeSelf) {
+  std::vector<Point> points{{0, 0, 0}};
+  GridIndex index(points, CylinderMetric{1.0, 1});
+  const auto neighbors = index.Neighbors(0);
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_EQ(neighbors[0], 0u);
+}
+
+TEST(GridIndex, MatchesBruteForceOnRandomPoints) {
+  Rng rng(7);
+  std::vector<Point> points;
+  for (int i = 0; i < 800; ++i) {
+    points.push_back(Point{rng.Uniform(0, 50), rng.Uniform(0, 50),
+                           rng.UniformInt(0, 30), 1.0});
+  }
+  const CylinderMetric metric{2.5, 3};
+  GridIndex index(points, metric);
+
+  for (std::size_t i = 0; i < points.size(); i += 17) {
+    std::set<std::size_t> expected;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (metric.Near(points[i], points[j])) expected.insert(j);
+    }
+    auto got_vec = index.Neighbors(i);
+    std::set<std::size_t> got(got_vec.begin(), got_vec.end());
+    EXPECT_EQ(got, expected) << "point " << i;
+  }
+}
+
+TEST(GridIndex, NeighborsOfProbeNotInSet) {
+  std::vector<Point> points{{0, 0, 0}, {1, 0, 0}, {10, 10, 0}};
+  GridIndex index(points, CylinderMetric{2.0, 0});
+  const auto neighbors = index.NeighborsOf(Point{0.5, 0, 0});
+  EXPECT_EQ(neighbors.size(), 2u);
+}
+
+TEST(GridIndex, NegativeCoordinates) {
+  std::vector<Point> points{{-5.5, -3.2, -2}, {-5.0, -3.0, -2}, {5, 3, 2}};
+  GridIndex index(points, CylinderMetric{1.0, 1});
+  const auto neighbors = index.Neighbors(0);
+  EXPECT_EQ(neighbors.size(), 2u);
+}
+
+TEST(SummarizeClusters, ComputesBoundsAndCentroids) {
+  std::vector<Point> points{
+      {0, 0, 1, 2.0}, {2, 2, 3, 1.0},   // cluster 0
+      {10, 10, 5, 1.0},                 // cluster 1
+      {50, 50, 9, 1.0},                 // noise
+  };
+  std::vector<int> labels{0, 0, 1, kNoise};
+  const auto summaries = SummarizeClusters(points, labels);
+  ASSERT_EQ(summaries.size(), 2u);
+
+  const auto& c0 = summaries[0];
+  EXPECT_EQ(c0.cluster_id, 0);
+  EXPECT_EQ(c0.point_count, 2u);
+  EXPECT_DOUBLE_EQ(c0.total_weight, 3.0);
+  EXPECT_DOUBLE_EQ(c0.min_x, 0);
+  EXPECT_DOUBLE_EQ(c0.max_x, 2);
+  EXPECT_EQ(c0.min_layer, 1);
+  EXPECT_EQ(c0.max_layer, 3);
+  EXPECT_EQ(c0.layer_span(), 3);
+  EXPECT_DOUBLE_EQ(c0.centroid_x, 1.0);
+  EXPECT_DOUBLE_EQ(c0.centroid_y, 1.0);
+}
+
+TEST(SummarizeClusters, EmptyInput) {
+  EXPECT_TRUE(SummarizeClusters({}, {}).empty());
+}
+
+TEST(SummarizeClusters, AllNoise) {
+  std::vector<Point> points{{0, 0, 0}, {1, 1, 1}};
+  std::vector<int> labels{kNoise, kNoise};
+  EXPECT_TRUE(SummarizeClusters(points, labels).empty());
+}
+
+}  // namespace
+}  // namespace strata::cluster

@@ -1,0 +1,110 @@
+#include "clustering/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace strata::cluster {
+namespace {
+
+std::vector<Point> ThreeBlobs(Rng& rng, int per_blob) {
+  std::vector<Point> points;
+  const double centers[3][2] = {{0, 0}, {30, 0}, {0, 30}};
+  for (const auto& c : centers) {
+    for (int i = 0; i < per_blob; ++i) {
+      points.push_back(
+          Point{c[0] + rng.Normal(0, 1), c[1] + rng.Normal(0, 1), 0, 1.0});
+    }
+  }
+  return points;
+}
+
+TEST(KMeans, EmptyInput) {
+  const auto result = KMeans({}, {.k = 3});
+  EXPECT_TRUE(result.labels.empty());
+  EXPECT_TRUE(result.centroids.empty());
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  Rng rng(5);
+  const auto points = ThreeBlobs(rng, 50);
+  const auto result = KMeans(points, {.k = 3, .max_iterations = 100});
+
+  ASSERT_EQ(result.labels.size(), points.size());
+  // Each blob should map to a single k-means cluster.
+  for (int blob = 0; blob < 3; ++blob) {
+    std::set<int> labels;
+    for (int i = 0; i < 50; ++i) {
+      labels.insert(result.labels[static_cast<std::size_t>(blob * 50 + i)]);
+    }
+    EXPECT_EQ(labels.size(), 1u) << "blob " << blob << " split";
+  }
+}
+
+TEST(KMeans, KClampedToPointCount) {
+  std::vector<Point> points{{0, 0, 0}, {1, 1, 0}};
+  const auto result = KMeans(points, {.k = 10});
+  EXPECT_LE(result.centroids.size(), 2u);
+  for (const int label : result.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, static_cast<int>(result.centroids.size()));
+  }
+}
+
+TEST(KMeans, EveryPointAssigned) {
+  Rng rng(6);
+  const auto points = ThreeBlobs(rng, 30);
+  const auto result = KMeans(points, {.k = 5});
+  EXPECT_EQ(result.labels.size(), points.size());
+  for (const int label : result.labels) {
+    EXPECT_GE(label, 0);  // k-means has no noise concept
+    EXPECT_LT(label, 5);
+  }
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  Rng rng(7);
+  const auto points = ThreeBlobs(rng, 40);
+  const double inertia1 = KMeans(points, {.k = 1, .seed = 1}).inertia;
+  const double inertia3 = KMeans(points, {.k = 3, .seed = 1}).inertia;
+  const double inertia9 = KMeans(points, {.k = 9, .seed = 1}).inertia;
+  EXPECT_GT(inertia1, inertia3);
+  EXPECT_GE(inertia3, inertia9);
+}
+
+TEST(KMeans, DeterministicForFixedSeed) {
+  Rng rng(8);
+  const auto points = ThreeBlobs(rng, 30);
+  const auto a = KMeans(points, {.k = 3, .seed = 99});
+  const auto b = KMeans(points, {.k = 3, .seed = 99});
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, LayerScaleSeparatesLayers) {
+  // Two stacks at the same xy but distant layers: with a large layer scale
+  // they must split into two clusters.
+  std::vector<Point> points;
+  for (int i = 0; i < 20; ++i) points.push_back(Point{0, 0, 0, 1.0});
+  for (int i = 0; i < 20; ++i) points.push_back(Point{0, 0, 100, 1.0});
+  const auto result = KMeans(points, {.k = 2, .layer_scale = 1.0, .seed = 3});
+  std::set<int> low;
+  std::set<int> high;
+  for (int i = 0; i < 20; ++i) low.insert(result.labels[static_cast<std::size_t>(i)]);
+  for (int i = 20; i < 40; ++i) high.insert(result.labels[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(low.size(), 1u);
+  EXPECT_EQ(high.size(), 1u);
+  EXPECT_NE(*low.begin(), *high.begin());
+}
+
+TEST(KMeans, IdenticalPointsHandled) {
+  std::vector<Point> points(10, Point{5, 5, 1, 1.0});
+  const auto result = KMeans(points, {.k = 3});
+  EXPECT_EQ(result.labels.size(), 10u);
+  EXPECT_DOUBLE_EQ(result.inertia, 0.0);
+}
+
+}  // namespace
+}  // namespace strata::cluster

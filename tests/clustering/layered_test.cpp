@@ -1,0 +1,150 @@
+#include "clustering/layered.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace strata::cluster {
+namespace {
+
+LayeredClusterParams SmallParams() {
+  LayeredClusterParams p;
+  p.eps_xy = 1.5;
+  p.layer_reach = 2;
+  p.min_pts = 3;
+  p.window_layers = 5;
+  p.min_report_points = 4;
+  return p;
+}
+
+std::vector<Point> Blob(Rng& rng, double cx, double cy, int n,
+                        double spread = 0.4) {
+  std::vector<Point> points;
+  for (int i = 0; i < n; ++i) {
+    points.push_back(
+        Point{cx + rng.Normal(0, spread), cy + rng.Normal(0, spread), 0, 1.0});
+  }
+  return points;
+}
+
+TEST(LayeredClusterer, EmptyWindowClustersToNothing) {
+  LayeredClusterer clusterer(SmallParams());
+  const auto output = clusterer.Cluster();
+  EXPECT_TRUE(output.points.empty());
+  EXPECT_TRUE(output.reported.empty());
+}
+
+TEST(LayeredClusterer, SingleLayerBlobReported) {
+  Rng rng(1);
+  LayeredClusterer clusterer(SmallParams());
+  clusterer.AddLayerEvents(0, Blob(rng, 5, 5, 10));
+  const auto output = clusterer.Cluster();
+  ASSERT_EQ(output.reported.size(), 1u);
+  EXPECT_EQ(output.reported[0].point_count, 10u);
+}
+
+TEST(LayeredClusterer, SmallClustersNotReported) {
+  Rng rng(2);
+  LayeredClusterParams params = SmallParams();
+  params.min_report_points = 20;
+  LayeredClusterer clusterer(params);
+  clusterer.AddLayerEvents(0, Blob(rng, 5, 5, 10));
+  const auto output = clusterer.Cluster();
+  EXPECT_TRUE(output.reported.empty());
+  // But the points were clustered (not noise).
+  EXPECT_EQ(output.noise_points, 0u);
+}
+
+TEST(LayeredClusterer, ClusterGrowsAcrossLayers) {
+  Rng rng(3);
+  LayeredClusterer clusterer(SmallParams());
+  for (int layer = 0; layer < 4; ++layer) {
+    clusterer.AddLayerEvents(layer, Blob(rng, 10, 10, 5));
+  }
+  const auto output = clusterer.Cluster();
+  ASSERT_EQ(output.reported.size(), 1u);
+  EXPECT_EQ(output.reported[0].point_count, 20u);
+  EXPECT_EQ(output.reported[0].min_layer, 0);
+  EXPECT_EQ(output.reported[0].max_layer, 3);
+  EXPECT_EQ(output.reported[0].layer_span(), 4);
+}
+
+TEST(LayeredClusterer, WindowEvictsOldLayers) {
+  Rng rng(4);
+  LayeredClusterParams params = SmallParams();
+  params.window_layers = 3;
+  LayeredClusterer clusterer(params);
+  for (int layer = 0; layer < 10; ++layer) {
+    clusterer.AddLayerEvents(layer, Blob(rng, 10, 10, 4));
+  }
+  // Only layers 6..9 remain (newest - window .. newest).
+  EXPECT_EQ(clusterer.window_point_count(), 16u);
+  const auto output = clusterer.Cluster();
+  ASSERT_FALSE(output.reported.empty());
+  EXPECT_GE(output.reported[0].min_layer, 6);
+}
+
+TEST(LayeredClusterer, OutOfOrderLayerRejected) {
+  LayeredClusterer clusterer(SmallParams());
+  clusterer.AddLayerEvents(5, {});
+  EXPECT_THROW(clusterer.AddLayerEvents(4, {}), std::invalid_argument);
+}
+
+TEST(LayeredClusterer, SameLayerEventsMerge) {
+  Rng rng(5);
+  LayeredClusterer clusterer(SmallParams());
+  clusterer.AddLayerEvents(0, Blob(rng, 5, 5, 3));
+  clusterer.AddLayerEvents(0, Blob(rng, 5, 5, 3));
+  EXPECT_EQ(clusterer.window_point_count(), 6u);
+  const auto output = clusterer.Cluster();
+  ASSERT_EQ(output.reported.size(), 1u);
+  EXPECT_EQ(output.reported[0].point_count, 6u);
+}
+
+TEST(LayeredClusterer, SeparateRegionsStaySeparate) {
+  Rng rng(6);
+  LayeredClusterer clusterer(SmallParams());
+  for (int layer = 0; layer < 3; ++layer) {
+    auto events = Blob(rng, 5, 5, 4);
+    auto far = Blob(rng, 50, 50, 4);
+    events.insert(events.end(), far.begin(), far.end());
+    clusterer.AddLayerEvents(layer, std::move(events));
+  }
+  const auto output = clusterer.Cluster();
+  EXPECT_EQ(output.reported.size(), 2u);
+}
+
+TEST(LayeredClusterer, LayerReachBridgesGapLayers) {
+  // Events only on even layers; reach=2 still connects them vertically.
+  Rng rng(7);
+  LayeredClusterParams params = SmallParams();
+  params.window_layers = 10;
+  params.layer_reach = 2;
+  LayeredClusterer clusterer(params);
+  for (int layer = 0; layer <= 8; layer += 2) {
+    clusterer.AddLayerEvents(layer, Blob(rng, 5, 5, 3));
+  }
+  const auto output = clusterer.Cluster();
+  ASSERT_EQ(output.reported.size(), 1u);
+  EXPECT_EQ(output.reported[0].layer_span(), 9);
+}
+
+TEST(LayeredClusterer, LabelsParallelToPoints) {
+  Rng rng(8);
+  LayeredClusterer clusterer(SmallParams());
+  clusterer.AddLayerEvents(0, Blob(rng, 5, 5, 8));
+  const auto output = clusterer.Cluster();
+  EXPECT_EQ(output.points.size(), output.labels.size());
+}
+
+TEST(LayeredClusterer, InvalidParamsRejected) {
+  LayeredClusterParams params = SmallParams();
+  params.eps_xy = 0;
+  EXPECT_THROW(LayeredClusterer{params}, std::invalid_argument);
+  params = SmallParams();
+  params.window_layers = -1;
+  EXPECT_THROW(LayeredClusterer{params}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace strata::cluster

@@ -1,0 +1,74 @@
+#include "common/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace strata {
+namespace {
+
+TEST(TimeConversions, RoundNumbers) {
+  EXPECT_EQ(MillisToMicros(1), 1000);
+  EXPECT_EQ(SecondsToMicros(1.0), 1'000'000);
+  EXPECT_EQ(SecondsToMicros(3.0), 3'000'000);
+  EXPECT_DOUBLE_EQ(MicrosToSeconds(2'500'000), 2.5);
+  EXPECT_DOUBLE_EQ(MicrosToMillis(1500), 1.5);
+}
+
+TEST(SystemClock, MonotonicNonDecreasing) {
+  const Clock& clock = Clock::System();
+  Timestamp previous = clock.Now();
+  for (int i = 0; i < 1000; ++i) {
+    const Timestamp now = clock.Now();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+}
+
+TEST(SystemClock, SleepUntilWaits) {
+  const Clock& clock = Clock::System();
+  const Timestamp start = clock.Now();
+  clock.SleepUntil(start + 10'000);  // 10 ms
+  EXPECT_GE(clock.Now() - start, 9'000);
+}
+
+TEST(SystemClock, SleepUntilPastDeadlineReturnsImmediately) {
+  const Clock& clock = Clock::System();
+  const Timestamp start = clock.Now();
+  clock.SleepUntil(start - 1'000'000);
+  EXPECT_LT(clock.Now() - start, 5'000);
+}
+
+TEST(ManualClock, StartsAtGivenTime) {
+  ManualClock clock(12345);
+  EXPECT_EQ(clock.Now(), 12345);
+}
+
+TEST(ManualClock, AdvanceAndSet) {
+  ManualClock clock(100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.Now(), 150);
+  clock.Set(1000);
+  EXPECT_EQ(clock.Now(), 1000);
+}
+
+TEST(ManualClock, SleepUntilJumpsForward) {
+  ManualClock clock(0);
+  clock.SleepUntil(5000);  // returns immediately, advancing virtual time
+  EXPECT_EQ(clock.Now(), 5000);
+  clock.SleepUntil(3000);  // never goes backwards
+  EXPECT_EQ(clock.Now(), 5000);
+}
+
+TEST(ManualClock, ConcurrentSleepersAllAdvance) {
+  ManualClock clock(0);
+  std::vector<std::thread> threads;
+  for (int i = 1; i <= 8; ++i) {
+    threads.emplace_back([&clock, i] { clock.SleepUntil(i * 100); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(clock.Now(), 800);
+}
+
+}  // namespace
+}  // namespace strata

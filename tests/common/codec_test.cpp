@@ -1,0 +1,162 @@
+#include "common/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace strata::codec {
+namespace {
+
+TEST(Codec, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 1);
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed32(&buf, UINT32_MAX);
+  std::string_view in(buf);
+  std::uint32_t v = 0;
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 0xdeadbeef);
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, UINT32_MAX);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(Codec, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789abcdefull);
+  std::string_view in(buf);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(GetFixed64(&in, &v));
+  EXPECT_EQ(v, 0x0123456789abcdefull);
+}
+
+TEST(Codec, Fixed32IsLittleEndian) {
+  std::string buf;
+  PutFixed32(&buf, 0x01020304);
+  EXPECT_EQ(static_cast<unsigned char>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(buf[3]), 0x01);
+}
+
+TEST(Codec, UnderflowReturnsFalse) {
+  std::string_view in("abc");
+  std::uint32_t v32 = 0;
+  std::uint64_t v64 = 0;
+  EXPECT_FALSE(GetFixed32(&in, &v32));
+  EXPECT_FALSE(GetFixed64(&in, &v64));
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, Preserves) {
+  std::string buf;
+  PutVarint64(&buf, GetParam());
+  std::string_view in(buf);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(GetVarint64(&in, &v));
+  EXPECT_EQ(v, GetParam());
+  EXPECT_TRUE(in.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintRoundTrip,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+                      (1ull << 32) - 1, 1ull << 32, (1ull << 56) - 1,
+                      std::numeric_limits<std::uint64_t>::max()));
+
+TEST(Codec, VarintEncodingLength) {
+  std::string buf;
+  PutVarint64(&buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  PutVarint64(&buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.clear();
+  PutVarint64(&buf, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(buf.size(), 10u);
+}
+
+TEST(Codec, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, (1ull << 32));
+  std::string_view in(buf);
+  std::uint32_t v = 0;
+  EXPECT_FALSE(GetVarint32(&in, &v));
+}
+
+TEST(Codec, VarintTruncatedReturnsFalse) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  std::string_view in(buf.data(), 2);
+  std::uint64_t v = 0;
+  EXPECT_FALSE(GetVarint64(&in, &v));
+}
+
+class ZigZagRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ZigZagRoundTrip, Preserves) {
+  std::string buf;
+  PutVarint64Signed(&buf, GetParam());
+  std::string_view in(buf);
+  std::int64_t v = 0;
+  ASSERT_TRUE(GetVarint64Signed(&in, &v));
+  EXPECT_EQ(v, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, ZigZagRoundTrip,
+    ::testing::Values(std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                      std::int64_t{63}, std::int64_t{-64},
+                      std::numeric_limits<std::int64_t>::max(),
+                      std::numeric_limits<std::int64_t>::min()));
+
+TEST(Codec, ZigZagSmallMagnitudesStaySmall) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+}
+
+TEST(Codec, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  std::string_view in(buf);
+  std::string_view s;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &s));
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &s));
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &s));
+  EXPECT_EQ(s.size(), 1000u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(Codec, LengthPrefixedRejectsShortBuffer) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  std::string_view in(buf.data(), buf.size() - 1);
+  std::string_view s;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &s));
+}
+
+TEST(Codec, DoubleRoundTrip) {
+  for (double d : {0.0, -0.0, 1.5, -3.25e300, 2.2250738585072014e-308}) {
+    std::string buf;
+    PutDouble(&buf, d);
+    std::string_view in(buf);
+    double out = 0;
+    ASSERT_TRUE(GetDouble(&in, &out));
+    EXPECT_EQ(std::signbit(out), std::signbit(d));
+    EXPECT_EQ(out, d);
+  }
+}
+
+}  // namespace
+}  // namespace strata::codec

@@ -1,0 +1,45 @@
+#include "common/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace strata {
+namespace {
+
+TEST(Crc32c, KnownVectors) {
+  // Standard CRC-32C test vector: "123456789" -> 0xE3069283.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  // 32 zero bytes -> 0x8A9136AA (RFC 3720 appendix B.4 test vector).
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+}
+
+TEST(Crc32c, EmptyInput) { EXPECT_EQ(Crc32c(""), 0u); }
+
+TEST(Crc32c, DifferentInputsDiffer) {
+  EXPECT_NE(Crc32c("hello"), Crc32c("hellp"));
+  EXPECT_NE(Crc32c("a"), Crc32c("aa"));
+}
+
+TEST(Crc32c, SingleBitFlipDetected) {
+  std::string data(128, 'x');
+  const std::uint32_t base = Crc32c(data);
+  for (std::size_t byte : {0u, 64u, 127u}) {
+    std::string corrupted = data;
+    corrupted[byte] = static_cast<char>(corrupted[byte] ^ 0x01);
+    EXPECT_NE(Crc32c(corrupted), base) << "byte " << byte;
+  }
+}
+
+TEST(Crc32c, MaskUnmaskRoundTrip) {
+  for (std::uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu}) {
+    EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+  }
+}
+
+TEST(Crc32c, MaskChangesValue) {
+  EXPECT_NE(MaskCrc(0x12345678u), 0x12345678u);
+}
+
+}  // namespace
+}  // namespace strata

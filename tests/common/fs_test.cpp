@@ -1,0 +1,68 @@
+#include "common/fs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace strata::fs {
+namespace {
+
+TEST(ScopedTempDir, CreatesAndRemoves) {
+  std::filesystem::path path;
+  {
+    ScopedTempDir dir("fs-test");
+    path = dir.path();
+    EXPECT_TRUE(std::filesystem::is_directory(path));
+    ASSERT_TRUE(WriteFile(path / "file.txt", "data").ok());
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(ScopedTempDir, DistinctPaths) {
+  ScopedTempDir a("fs-test");
+  ScopedTempDir b("fs-test");
+  EXPECT_NE(a.path(), b.path());
+}
+
+TEST(Fs, WriteReadRoundTrip) {
+  ScopedTempDir dir("fs-rw");
+  const auto path = dir.path() / "f.bin";
+  const std::string payload("\x00\x01hello\xff", 8);
+  ASSERT_TRUE(WriteFile(path, payload).ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, payload);
+}
+
+TEST(Fs, ReadMissingFileFails) {
+  ScopedTempDir dir("fs-miss");
+  EXPECT_FALSE(ReadFile(dir.path() / "absent").ok());
+}
+
+TEST(Fs, WriteFileAtomicReplacesExisting) {
+  ScopedTempDir dir("fs-atomic");
+  const auto path = dir.path() / "f";
+  ASSERT_TRUE(WriteFileAtomic(path, "old").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "new").ok());
+  EXPECT_EQ(*ReadFile(path), "new");
+  // No stray temp file left behind.
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
+}
+
+TEST(Fs, CreateDirsIsIdempotent) {
+  ScopedTempDir dir("fs-dirs");
+  const auto nested = dir.path() / "a" / "b" / "c";
+  ASSERT_TRUE(CreateDirs(nested).ok());
+  ASSERT_TRUE(CreateDirs(nested).ok());
+  EXPECT_TRUE(std::filesystem::is_directory(nested));
+}
+
+TEST(Fs, EmptyFile) {
+  ScopedTempDir dir("fs-empty");
+  const auto path = dir.path() / "empty";
+  ASSERT_TRUE(WriteFile(path, "").ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+}
+
+}  // namespace
+}  // namespace strata::fs

@@ -1,0 +1,173 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace strata {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Record(500);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 500);
+  EXPECT_EQ(h.max(), 500);
+  EXPECT_DOUBLE_EQ(h.mean(), 500.0);
+  EXPECT_EQ(h.Quantile(0.5), 500);
+}
+
+TEST(Histogram, NegativeClampsToZero) {
+  Histogram h;
+  h.Record(-100);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, ExactInLinearRegion) {
+  // Values < 64 land in 2-wide buckets; midpoints are odd numbers.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(10);
+  EXPECT_EQ(h.Quantile(0.5), 10);
+}
+
+TEST(Histogram, QuantileRelativeErrorBounded) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::int64_t> dist(1, 10'000'000);
+  Histogram h;
+  std::vector<std::int64_t> samples;
+  samples.reserve(50'000);
+  for (int i = 0; i < 50'000; ++i) {
+    const std::int64_t v = dist(rng);
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.25, 0.5, 0.75, 0.95, 0.99}) {
+    const auto idx = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())) - 1);
+    const double exact = static_cast<double>(samples[idx]);
+    const double approx = static_cast<double>(h.Quantile(q));
+    EXPECT_NEAR(approx / exact, 1.0, 0.05) << "q=" << q;
+  }
+}
+
+TEST(Histogram, MinMaxMeanExact) {
+  Histogram h;
+  std::int64_t sum = 0;
+  for (std::int64_t v : {9, 1, 77, 300, 12'345}) {
+    h.Record(v);
+    sum += v;
+  }
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 12'345);
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(sum) / 5.0);
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<std::int64_t> dist(0, 1'000'000);
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = dist(rng);
+    ((i % 2 == 0) ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  for (double q : {0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_EQ(a.Quantile(q), combined.Quantile(q)) << q;
+  }
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram a;
+  a.Record(42);
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 42);
+
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 42);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, BoxplotOrdering) {
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<std::int64_t> dist(100, 1'000'000);
+  Histogram h;
+  for (int i = 0; i < 5'000; ++i) h.Record(dist(rng));
+  const BoxplotStats s = h.Boxplot();
+  EXPECT_LE(s.min, s.p25);
+  EXPECT_LE(s.p25, s.p50);
+  EXPECT_LE(s.p50, s.p75);
+  EXPECT_LE(s.p75, s.p95);
+  EXPECT_LE(s.p95, s.max);
+  EXPECT_EQ(s.count, 5'000u);
+  EXPECT_GT(s.mean, 0.0);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i * 1000);
+  EXPECT_EQ(h.Quantile(0.0), h.min());
+  EXPECT_EQ(h.Quantile(1.0), h.max());
+  EXPECT_EQ(h.Quantile(-0.5), h.min());  // clamped
+  EXPECT_EQ(h.Quantile(2.0), h.max());   // clamped
+}
+
+TEST(ConcurrentHistogram, ParallelRecording) {
+  ConcurrentHistogram ch;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ch] {
+      for (int i = 0; i < kPerThread; ++i) ch.Record(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const Histogram snap = ch.Snapshot();
+  EXPECT_EQ(snap.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.min(), 0);
+  EXPECT_EQ(snap.max(), kPerThread - 1);
+}
+
+TEST(BoxplotStats, ToStringMentionsAllFields) {
+  Histogram h;
+  h.Record(10);
+  const std::string s = h.Boxplot().ToString();
+  for (const char* field : {"n=", "min=", "p25=", "p50=", "p75=", "max=", "mean="}) {
+    EXPECT_NE(s.find(field), std::string::npos) << field;
+  }
+}
+
+}  // namespace
+}  // namespace strata

@@ -1,0 +1,72 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace strata {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Logger::Instance().SetLevel(LogLevel::kWarn); }
+};
+
+TEST_F(LoggingTest, LevelGatesEnabled) {
+  Logger& logger = Logger::Instance();
+  logger.SetLevel(LogLevel::kWarn);
+  EXPECT_FALSE(logger.Enabled(LogLevel::kDebug));
+  EXPECT_FALSE(logger.Enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.Enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger.Enabled(LogLevel::kError));
+
+  logger.SetLevel(LogLevel::kDebug);
+  EXPECT_TRUE(logger.Enabled(LogLevel::kDebug));
+
+  logger.SetLevel(LogLevel::kOff);
+  EXPECT_FALSE(logger.Enabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  Logger::Instance().SetLevel(LogLevel::kInfo);
+  EXPECT_EQ(Logger::Instance().level(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, DisabledMacroDoesNotEvaluateArguments) {
+  Logger::Instance().SetLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "expensive";
+  };
+  LOG_DEBUG << expensive();
+  LOG_ERROR << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingTest, EnabledMacroEvaluatesAndWrites) {
+  Logger::Instance().SetLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto counted = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  LOG_ERROR << "value " << counted();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, ConcurrentWritesDoNotCrash) {
+  Logger::Instance().SetLevel(LogLevel::kError);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 50; ++i) LOG_ERROR << "thread message " << i;
+    });
+  }
+  for (auto& t : threads) t.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace strata

@@ -1,0 +1,145 @@
+#include "common/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace strata {
+namespace {
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(i).ok());
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BlockingQueue, ZeroCapacityRejected) {
+  EXPECT_THROW(BlockingQueue<int>(0), std::invalid_argument);
+}
+
+TEST(BlockingQueue, TryPushFullReportsExhausted) {
+  BlockingQueue<int> q(2);
+  ASSERT_TRUE(q.TryPush(1).ok());
+  ASSERT_TRUE(q.TryPush(2).ok());
+  EXPECT_EQ(q.TryPush(3).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BlockingQueue, TryPopEmptyReturnsNullopt) {
+  BlockingQueue<int> q(2);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BlockingQueue, CloseUnblocksProducerAndDrainsConsumer) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1).ok());
+
+  std::atomic<bool> producer_released{false};
+  std::thread producer([&] {
+    Status s = q.Push(2);  // blocks: queue full
+    EXPECT_TRUE(s.IsClosed());
+    producer_released = true;
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(producer_released.load());
+  q.Close();
+  producer.join();
+  EXPECT_TRUE(producer_released.load());
+
+  // Consumer still drains the remaining item, then sees closed.
+  auto v = q.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueue, PushAfterCloseFails) {
+  BlockingQueue<int> q(4);
+  q.Close();
+  EXPECT_TRUE(q.Push(1).IsClosed());
+  EXPECT_TRUE(q.TryPush(1).IsClosed());
+}
+
+TEST(BlockingQueue, PopForTimesOut) {
+  BlockingQueue<int> q(4);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.PopFor(std::chrono::microseconds(20000)).has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(15));
+}
+
+TEST(BlockingQueue, PopForReturnsItemPromptly) {
+  BlockingQueue<int> q(4);
+  ASSERT_TRUE(q.Push(7).ok());
+  auto v = q.PopFor(std::chrono::microseconds(1000000));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(BlockingQueue, MpmcStressPreservesAllItems) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+
+  BlockingQueue<int> q(64);
+  std::atomic<long long> sum{0};
+  std::atomic<int> consumed{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i).ok());
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (true) {
+        auto v = q.Pop();
+        if (!v.has_value()) return;
+        sum += *v;
+        ++consumed;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.Close();
+  for (int c = 0; c < kConsumers; ++c) {
+    threads[static_cast<std::size_t>(kProducers + c)].join();
+  }
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), total);
+  long long expect = 0;
+  for (int i = 0; i < total; ++i) expect += i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(BlockingQueue, BackPressureBlocksUntilSpace) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1).ok());
+  std::atomic<bool> pushed{false};
+  std::thread t([&] {
+    ASSERT_TRUE(q.Push(2).ok());
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.Pop().value(), 1);
+  t.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.Pop().value(), 2);
+}
+
+}  // namespace
+}  // namespace strata

@@ -1,0 +1,83 @@
+#include "kvstore/bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace strata::kv {
+namespace {
+
+std::string Key(int i) { return "key-" + std::to_string(i); }
+
+TEST(Bloom, NoFalseNegatives) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 10'000; ++i) builder.AddKey(Key(i));
+  const std::string filter = builder.Finish();
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_TRUE(BloomFilterMayContain(filter, Key(i))) << i;
+  }
+}
+
+TEST(Bloom, FalsePositiveRateReasonable) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 10'000; ++i) builder.AddKey(Key(i));
+  const std::string filter = builder.Finish();
+  int false_positives = 0;
+  constexpr int kProbes = 10'000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (BloomFilterMayContain(filter, "absent-" + std::to_string(i))) {
+      ++false_positives;
+    }
+  }
+  // 10 bits/key -> ~1%; allow generous slack.
+  EXPECT_LT(false_positives, kProbes / 25);
+}
+
+TEST(Bloom, EmptyFilterMatchesNothing) {
+  BloomFilterBuilder builder(10);
+  const std::string filter = builder.Finish();
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (BloomFilterMayContain(filter, Key(i))) ++hits;
+  }
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(Bloom, MalformedFilterIsConservative) {
+  EXPECT_TRUE(BloomFilterMayContain("", "any"));
+  EXPECT_TRUE(BloomFilterMayContain("x", "any"));
+  // Invalid probe count byte.
+  std::string bad(64, '\0');
+  bad.push_back(static_cast<char>(200));
+  EXPECT_TRUE(BloomFilterMayContain(bad, "any"));
+}
+
+TEST(Bloom, SingleKey) {
+  BloomFilterBuilder builder(10);
+  builder.AddKey("only");
+  const std::string filter = builder.Finish();
+  EXPECT_TRUE(BloomFilterMayContain(filter, "only"));
+}
+
+TEST(Bloom, FewerBitsMoreFalsePositives) {
+  const int n = 5000;
+  auto fp_rate = [&](int bits_per_key) {
+    BloomFilterBuilder builder(bits_per_key);
+    for (int i = 0; i < n; ++i) builder.AddKey(Key(i));
+    const std::string filter = builder.Finish();
+    int fp = 0;
+    for (int i = 0; i < n; ++i) {
+      if (BloomFilterMayContain(filter, "no-" + std::to_string(i))) ++fp;
+    }
+    return fp;
+  };
+  EXPECT_GT(fp_rate(2), fp_rate(12));
+}
+
+TEST(Bloom, HashIsDeterministic) {
+  EXPECT_EQ(BloomHash("abc"), BloomHash("abc"));
+  EXPECT_NE(BloomHash("abc"), BloomHash("abd"));
+}
+
+}  // namespace
+}  // namespace strata::kv

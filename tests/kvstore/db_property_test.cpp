@@ -1,0 +1,117 @@
+// Property-based testing of the LSM store against a std::map model under
+// randomized operation sequences, parameterized over store configurations
+// (buffer sizes and compaction triggers) to exercise flush/compaction paths,
+// including periodic reopen (crash-free recovery) mid-sequence.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "common/fs.hpp"
+#include "common/rng.hpp"
+#include "kvstore/db.hpp"
+
+namespace strata::kv {
+namespace {
+
+struct Config {
+  std::size_t write_buffer_bytes;
+  int compaction_trigger;
+  int ops;
+  int key_space;
+  std::uint64_t seed;
+};
+
+std::string PrintConfig(const ::testing::TestParamInfo<Config>& info) {
+  const Config& c = info.param;
+  return "buf" + std::to_string(c.write_buffer_bytes) + "_trig" +
+         std::to_string(c.compaction_trigger) + "_ops" +
+         std::to_string(c.ops) + "_keys" + std::to_string(c.key_space) +
+         "_seed" + std::to_string(c.seed);
+}
+
+class DbModelTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(DbModelTest, MatchesStdMapModel) {
+  const Config& config = GetParam();
+  strata::fs::ScopedTempDir dir("db-prop");
+
+  DbOptions options;
+  options.write_buffer_bytes = config.write_buffer_bytes;
+  options.compaction_trigger = config.compaction_trigger;
+
+  auto db_result = DB::Open(dir.path(), options);
+  ASSERT_TRUE(db_result.ok());
+  auto db = std::move(db_result).value();
+
+  std::map<std::string, std::string> model;
+  Rng rng(config.seed);
+
+  auto check_full_scan = [&] {
+    auto it = db->NewIterator();
+    auto expected = model.begin();
+    for (it->SeekToFirst(); it->Valid(); it->Next(), ++expected) {
+      ASSERT_NE(expected, model.end()) << "db has extra key " << it->key();
+      EXPECT_EQ(it->key(), expected->first);
+      EXPECT_EQ(it->value(), expected->second);
+    }
+    EXPECT_EQ(expected, model.end()) << "db missing keys from " << (expected == model.end() ? "" : expected->first);
+  };
+
+  for (int op = 0; op < config.ops; ++op) {
+    const std::string key =
+        "key" + std::to_string(rng.UniformInt(0, config.key_space - 1));
+    const double dice = rng.Uniform();
+    if (dice < 0.55) {
+      const std::string value = "value-" + std::to_string(op) + "-" +
+                                std::string(rng.UniformInt(0, 100), 'x');
+      ASSERT_TRUE(db->Put(key, value).ok());
+      model[key] = value;
+    } else if (dice < 0.8) {
+      ASSERT_TRUE(db->Delete(key).ok());
+      model.erase(key);
+    } else if (dice < 0.95) {
+      auto got = db->Get(key);
+      auto expected = model.find(key);
+      if (expected == model.end()) {
+        EXPECT_TRUE(got.status().IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(got.ok()) << key << ": " << got.status().ToString();
+        EXPECT_EQ(*got, expected->second);
+      }
+    } else if (dice < 0.98) {
+      ASSERT_TRUE(db->Flush().ok());
+    } else {
+      // Reopen: clean close + recovery must preserve everything.
+      db.reset();
+      auto reopened = DB::Open(dir.path(), options);
+      ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+      db = std::move(reopened).value();
+      check_full_scan();
+    }
+  }
+
+  check_full_scan();
+
+  // Final compaction must not change the observable contents.
+  ASSERT_TRUE(db->CompactAll().ok());
+  check_full_scan();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DbModelTest,
+    ::testing::Values(
+        // Tiny buffer: constant flushing, frequent compactions.
+        Config{1 << 10, 2, 2000, 50, 101},
+        // Small buffer, default trigger.
+        Config{4 << 10, 4, 3000, 200, 202},
+        // Large buffer: everything stays in the memtable.
+        Config{16u << 20, 8, 2000, 100, 303},
+        // Narrow key space: heavy overwrite/delete churn.
+        Config{8 << 10, 3, 4000, 10, 404},
+        // Wide key space: mostly distinct keys.
+        Config{8 << 10, 4, 3000, 5000, 505}),
+    PrintConfig);
+
+}  // namespace
+}  // namespace strata::kv

@@ -1,0 +1,94 @@
+#include "kvstore/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace strata::kv {
+namespace {
+
+TEST(InternalKey, RoundTrip) {
+  const std::string ikey = MakeInternalKey("user-key", 42, EntryType::kPut);
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(ikey, &parsed));
+  EXPECT_EQ(parsed.user_key, "user-key");
+  EXPECT_EQ(parsed.sequence, 42u);
+  EXPECT_EQ(parsed.type, EntryType::kPut);
+}
+
+TEST(InternalKey, TombstoneRoundTrip) {
+  const std::string ikey = MakeInternalKey("k", 7, EntryType::kDelete);
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(ikey, &parsed));
+  EXPECT_EQ(parsed.type, EntryType::kDelete);
+}
+
+TEST(InternalKey, EmptyUserKey) {
+  const std::string ikey = MakeInternalKey("", 1, EntryType::kPut);
+  EXPECT_EQ(ikey.size(), 8u);
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(ikey, &parsed));
+  EXPECT_TRUE(parsed.user_key.empty());
+}
+
+TEST(InternalKey, ParseRejectsShortBuffer) {
+  ParsedInternalKey parsed;
+  EXPECT_FALSE(ParseInternalKey("short", &parsed));
+}
+
+TEST(InternalKey, ParseRejectsBadType) {
+  std::string ikey = MakeInternalKey("k", 1, EntryType::kPut);
+  ikey[ikey.size() - 8] = 0x7f;  // low byte of the tag = type
+  ParsedInternalKey parsed;
+  EXPECT_FALSE(ParseInternalKey(ikey, &parsed));
+}
+
+TEST(InternalKey, MaxSequencePreserved) {
+  const std::string ikey =
+      MakeInternalKey("k", kMaxSequenceNumber, EntryType::kPut);
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(ikey, &parsed));
+  EXPECT_EQ(parsed.sequence, kMaxSequenceNumber);
+}
+
+TEST(InternalKeyComparator, OrdersByUserKeyAscending) {
+  InternalKeyComparator cmp;
+  const std::string a = MakeInternalKey("aaa", 5, EntryType::kPut);
+  const std::string b = MakeInternalKey("bbb", 5, EntryType::kPut);
+  EXPECT_LT(cmp.Compare(a, b), 0);
+  EXPECT_GT(cmp.Compare(b, a), 0);
+}
+
+TEST(InternalKeyComparator, NewerSequenceSortsFirst) {
+  InternalKeyComparator cmp;
+  const std::string newer = MakeInternalKey("k", 10, EntryType::kPut);
+  const std::string older = MakeInternalKey("k", 5, EntryType::kPut);
+  EXPECT_LT(cmp.Compare(newer, older), 0);
+}
+
+TEST(InternalKeyComparator, PutSortsBeforeDeleteAtSameSequence) {
+  // Put (type 1) has the higher tag, so it sorts first (descending tag).
+  InternalKeyComparator cmp;
+  const std::string put = MakeInternalKey("k", 5, EntryType::kPut);
+  const std::string del = MakeInternalKey("k", 5, EntryType::kDelete);
+  EXPECT_LT(cmp.Compare(put, del), 0);
+}
+
+TEST(InternalKeyComparator, EqualKeysCompareZero) {
+  InternalKeyComparator cmp;
+  const std::string a = MakeInternalKey("k", 5, EntryType::kPut);
+  EXPECT_EQ(cmp.Compare(a, a), 0);
+}
+
+TEST(InternalKeyComparator, PrefixKeysOrderCorrectly) {
+  InternalKeyComparator cmp;
+  const std::string shorter = MakeInternalKey("ab", 1, EntryType::kPut);
+  const std::string longer = MakeInternalKey("abc", 99, EntryType::kPut);
+  EXPECT_LT(cmp.Compare(shorter, longer), 0);
+}
+
+TEST(ExtractUserKey, StripsTag) {
+  const std::string ikey = MakeInternalKey("hello", 123, EntryType::kPut);
+  EXPECT_EQ(ExtractUserKey(ikey), "hello");
+}
+
+}  // namespace
+}  // namespace strata::kv

@@ -1,0 +1,114 @@
+#include "kvstore/skiplist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace strata::kv {
+namespace {
+
+struct IntComparator {
+  [[nodiscard]] int Compare(int a, int b) const noexcept {
+    return (a < b) ? -1 : (a > b) ? 1 : 0;
+  }
+};
+
+using IntList = SkipList<int, IntComparator>;
+
+TEST(SkipList, EmptyListHasNoElements) {
+  IntList list;
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_FALSE(list.Contains(1));
+  IntList::Iterator it(&list);
+  it.SeekToFirst();
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(SkipList, InsertAndContains) {
+  IntList list;
+  for (int v : {5, 1, 9, 3, 7}) list.Insert(v);
+  EXPECT_EQ(list.size(), 5u);
+  for (int v : {1, 3, 5, 7, 9}) EXPECT_TRUE(list.Contains(v));
+  for (int v : {0, 2, 4, 6, 8, 10}) EXPECT_FALSE(list.Contains(v));
+}
+
+TEST(SkipList, IterationIsSorted) {
+  IntList list;
+  std::set<int> expected;
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const int v = static_cast<int>(rng.UniformInt(0, 1'000'000));
+    if (expected.insert(v).second) list.Insert(v);
+  }
+  IntList::Iterator it(&list);
+  it.SeekToFirst();
+  for (const int v : expected) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), v);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(SkipList, SeekFindsFirstGreaterOrEqual) {
+  IntList list;
+  for (int v : {10, 20, 30}) list.Insert(v);
+  IntList::Iterator it(&list);
+  it.Seek(15);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 20);
+  it.Seek(20);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 20);
+  it.Seek(31);
+  EXPECT_FALSE(it.Valid());
+  it.Seek(-5);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 10);
+}
+
+TEST(SkipList, SingleWriterConcurrentReaders) {
+  // Readers traverse while a single writer inserts; every reader must see a
+  // sorted sequence containing only inserted values.
+  IntList list;
+  std::atomic<int> inserted{0};
+  std::atomic<bool> done{false};
+
+  std::thread writer([&] {
+    for (int i = 0; i < 20'000; ++i) {
+      list.Insert(i);
+      inserted.store(i + 1, std::memory_order_release);
+    }
+    done = true;
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const int lower_bound = inserted.load(std::memory_order_acquire);
+        IntList::Iterator it(&list);
+        it.SeekToFirst();
+        int prev = -1;
+        int count = 0;
+        while (it.Valid()) {
+          EXPECT_GT(it.key(), prev);  // strictly sorted
+          prev = it.key();
+          ++count;
+          it.Next();
+        }
+        // Everything inserted before we started must be visible.
+        EXPECT_GE(count, lower_bound);
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(list.size(), 20'000u);
+}
+
+}  // namespace
+}  // namespace strata::kv

@@ -1,0 +1,175 @@
+#include "kvstore/wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/fs.hpp"
+
+namespace strata::kv {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  strata::fs::ScopedTempDir dir_{"wal-test"};
+  std::filesystem::path LogPath() const { return dir_.path() / "test.wal"; }
+};
+
+TEST_F(WalTest, AppendAndReadBack) {
+  {
+    auto writer = WalWriter::Open(LogPath());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("record-one").ok());
+    ASSERT_TRUE((*writer)->Append("record-two").ok());
+    ASSERT_TRUE((*writer)->Sync().ok());
+  }
+  auto reader = WalReader::Open(LogPath());
+  ASSERT_TRUE(reader.ok());
+  std::string payload;
+  ASSERT_TRUE(reader->ReadRecord(&payload).ok());
+  EXPECT_EQ(payload, "record-one");
+  ASSERT_TRUE(reader->ReadRecord(&payload).ok());
+  EXPECT_EQ(payload, "record-two");
+  EXPECT_TRUE(reader->ReadRecord(&payload).IsNotFound());
+}
+
+TEST_F(WalTest, EmptyLog) {
+  { ASSERT_TRUE(WalWriter::Open(LogPath()).ok()); }
+  auto reader = WalReader::Open(LogPath());
+  ASSERT_TRUE(reader.ok());
+  std::string payload;
+  EXPECT_TRUE(reader->ReadRecord(&payload).IsNotFound());
+}
+
+TEST_F(WalTest, EmptyPayloadRecord) {
+  {
+    auto writer = WalWriter::Open(LogPath());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("").ok());
+  }
+  auto reader = WalReader::Open(LogPath());
+  ASSERT_TRUE(reader.ok());
+  std::string payload = "sentinel";
+  ASSERT_TRUE(reader->ReadRecord(&payload).ok());
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST_F(WalTest, TornTailStopsReplayCleanly) {
+  {
+    auto writer = WalWriter::Open(LogPath());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("complete").ok());
+    ASSERT_TRUE((*writer)->Append("will-be-torn").ok());
+  }
+  // Truncate mid-record to simulate a crash during the second append.
+  const auto full_size = std::filesystem::file_size(LogPath());
+  std::filesystem::resize_file(LogPath(), full_size - 5);
+
+  auto reader = WalReader::Open(LogPath());
+  ASSERT_TRUE(reader.ok());
+  std::string payload;
+  ASSERT_TRUE(reader->ReadRecord(&payload).ok());
+  EXPECT_EQ(payload, "complete");
+  EXPECT_TRUE(reader->ReadRecord(&payload).IsNotFound());
+}
+
+TEST_F(WalTest, CorruptRecordStopsReplay) {
+  {
+    auto writer = WalWriter::Open(LogPath());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("good").ok());
+    ASSERT_TRUE((*writer)->Append("bad-soon").ok());
+  }
+  // Flip a byte inside the second record's payload.
+  auto contents = strata::fs::ReadFile(LogPath());
+  ASSERT_TRUE(contents.ok());
+  std::string data = std::move(contents).value();
+  data[data.size() - 2] = static_cast<char>(data[data.size() - 2] ^ 0xff);
+  ASSERT_TRUE(strata::fs::WriteFile(LogPath(), data).ok());
+
+  auto reader = WalReader::Open(LogPath());
+  ASSERT_TRUE(reader.ok());
+  std::string payload;
+  ASSERT_TRUE(reader->ReadRecord(&payload).ok());
+  EXPECT_EQ(payload, "good");
+  EXPECT_TRUE(reader->ReadRecord(&payload).IsNotFound());
+}
+
+TEST_F(WalTest, AppendIsDurableAcrossReopen) {
+  {
+    auto writer = WalWriter::Open(LogPath());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("first").ok());
+  }
+  {
+    // Reopen appends, does not truncate.
+    auto writer = WalWriter::Open(LogPath());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("second").ok());
+  }
+  auto reader = WalReader::Open(LogPath());
+  ASSERT_TRUE(reader.ok());
+  std::string payload;
+  ASSERT_TRUE(reader->ReadRecord(&payload).ok());
+  EXPECT_EQ(payload, "first");
+  ASSERT_TRUE(reader->ReadRecord(&payload).ok());
+  EXPECT_EQ(payload, "second");
+}
+
+TEST(WriteBatch, SerializeParseRoundTrip) {
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Delete("b");
+  batch.Put("c", std::string(1000, 'z'));
+
+  const std::string data = batch.Serialize(100);
+  WriteBatch parsed;
+  SequenceNumber first_seq = 0;
+  ASSERT_TRUE(WriteBatch::Parse(data, &parsed, &first_seq).ok());
+  EXPECT_EQ(first_seq, 100u);
+  ASSERT_EQ(parsed.count(), 3u);
+  EXPECT_EQ(parsed.ops()[0].type, EntryType::kPut);
+  EXPECT_EQ(parsed.ops()[0].key, "a");
+  EXPECT_EQ(parsed.ops()[0].value, "1");
+  EXPECT_EQ(parsed.ops()[1].type, EntryType::kDelete);
+  EXPECT_EQ(parsed.ops()[1].key, "b");
+  EXPECT_EQ(parsed.ops()[2].value.size(), 1000u);
+}
+
+TEST(WriteBatch, ParseRejectsTrailingGarbage) {
+  WriteBatch batch;
+  batch.Put("k", "v");
+  std::string data = batch.Serialize(1);
+  data += "extra";
+  WriteBatch parsed;
+  SequenceNumber seq = 0;
+  EXPECT_TRUE(WriteBatch::Parse(data, &parsed, &seq).IsCorruption());
+}
+
+TEST(WriteBatch, ParseRejectsTruncation) {
+  WriteBatch batch;
+  batch.Put("key", "value");
+  batch.Delete("other");
+  const std::string data = batch.Serialize(1);
+  for (std::size_t cut = 1; cut < data.size(); ++cut) {
+    WriteBatch parsed;
+    SequenceNumber seq = 0;
+    EXPECT_FALSE(
+        WriteBatch::Parse(data.substr(0, data.size() - cut), &parsed, &seq)
+            .ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(WriteBatch, ClearResets) {
+  WriteBatch batch;
+  batch.Put("a", "b");
+  EXPECT_FALSE(batch.empty());
+  batch.Clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.count(), 0u);
+}
+
+}  // namespace
+}  // namespace strata::kv

@@ -1,0 +1,199 @@
+#include "pubsub/broker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/fs.hpp"
+#include "pubsub/producer.hpp"
+
+namespace strata::ps {
+namespace {
+
+Record MakeRecord(const std::string& key, const std::string& value) {
+  Record r;
+  r.key = key;
+  r.value = value;
+  return r;
+}
+
+TEST(Broker, CreateTopicIdempotent) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 3}).ok());
+  EXPECT_TRUE(broker.CreateTopic("t", {.partitions = 3}).ok());
+  EXPECT_EQ(broker.CreateTopic("t", {.partitions = 5}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(broker.HasTopic("t"));
+  EXPECT_FALSE(broker.HasTopic("missing"));
+  EXPECT_EQ(*broker.PartitionCount("t"), 3);
+}
+
+TEST(Broker, RejectsInvalidPartitionCount) {
+  Broker broker;
+  EXPECT_EQ(broker.CreateTopic("bad", {.partitions = 0}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Broker, ProduceToMissingTopicFails) {
+  Broker broker;
+  EXPECT_TRUE(broker.Produce("none", MakeRecord("", "x")).status().IsNotFound());
+}
+
+TEST(Broker, KeyedRecordsLandOnStablePartition) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 4}).ok());
+  int first_partition = -1;
+  for (int i = 0; i < 10; ++i) {
+    auto result = broker.Produce("t", MakeRecord("stable-key", "v"));
+    ASSERT_TRUE(result.ok());
+    if (first_partition < 0) first_partition = result->first;
+    EXPECT_EQ(result->first, first_partition);
+  }
+}
+
+TEST(Broker, KeylessRecordsRoundRobin) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 4}).ok());
+  std::set<int> partitions;
+  for (int i = 0; i < 8; ++i) {
+    auto result = broker.Produce("t", MakeRecord("", "v"));
+    ASSERT_TRUE(result.ok());
+    partitions.insert(result->first);
+  }
+  EXPECT_EQ(partitions.size(), 4u);
+}
+
+TEST(Broker, OffsetsArePerPartition) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 2}).ok());
+  std::map<int, std::int64_t> last_offset;
+  for (int i = 0; i < 20; ++i) {
+    auto result = broker.Produce("t", MakeRecord("", "v"));
+    ASSERT_TRUE(result.ok());
+    const auto [partition, offset] = *result;
+    if (last_offset.contains(partition)) {
+      EXPECT_EQ(offset, last_offset[partition] + 1);
+    } else {
+      EXPECT_EQ(offset, 0);
+    }
+    last_offset[partition] = offset;
+  }
+}
+
+TEST(Broker, GetLogBoundsChecked) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 2}).ok());
+  EXPECT_TRUE(broker.GetLog("t", 0).ok());
+  EXPECT_TRUE(broker.GetLog("t", 1).ok());
+  EXPECT_FALSE(broker.GetLog("t", 2).ok());
+  EXPECT_FALSE(broker.GetLog("t", -1).ok());
+  EXPECT_FALSE(broker.GetLog("zzz", 0).ok());
+}
+
+TEST(Broker, GroupAssignmentCoversAllPartitionsOnce) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 6}).ok());
+  auto m1 = broker.JoinGroup("g", "t");
+  auto m2 = broker.JoinGroup("g", "t");
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+
+  std::uint64_t gen1 = 0;
+  std::uint64_t gen2 = 0;
+  auto a1 = broker.Assignment("g", *m1, &gen1);
+  auto a2 = broker.Assignment("g", *m2, &gen2);
+  EXPECT_EQ(gen1, gen2);
+
+  std::set<int> all;
+  for (const auto& tp : a1) all.insert(tp.partition);
+  for (const auto& tp : a2) {
+    EXPECT_FALSE(all.contains(tp.partition)) << "partition assigned twice";
+    all.insert(tp.partition);
+  }
+  EXPECT_EQ(all.size(), 6u);
+  EXPECT_EQ(a1.size(), 3u);
+  EXPECT_EQ(a2.size(), 3u);
+}
+
+TEST(Broker, RebalanceOnLeave) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 4}).ok());
+  auto m1 = broker.JoinGroup("g", "t");
+  auto m2 = broker.JoinGroup("g", "t");
+  ASSERT_TRUE(m1.ok() && m2.ok());
+
+  std::uint64_t gen_before = 0;
+  (void)broker.Assignment("g", *m1, &gen_before);
+
+  broker.LeaveGroup("g", *m2);
+  std::uint64_t gen_after = 0;
+  auto a1 = broker.Assignment("g", *m1, &gen_after);
+  EXPECT_GT(gen_after, gen_before);
+  EXPECT_EQ(a1.size(), 4u);  // survivor owns everything
+}
+
+TEST(Broker, GroupBoundToSingleTopic) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t1", {.partitions = 1}).ok());
+  ASSERT_TRUE(broker.CreateTopic("t2", {.partitions = 1}).ok());
+  ASSERT_TRUE(broker.JoinGroup("g", "t1").ok());
+  EXPECT_EQ(broker.JoinGroup("g", "t2").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Broker, CommitAndFetchOffsets) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 1}).ok());
+  const TopicPartition tp{"t", 0};
+  EXPECT_TRUE(broker.CommittedOffset("g", tp).status().IsNotFound());
+  ASSERT_TRUE(broker.CommitOffset("g", tp, 42).ok());
+  EXPECT_EQ(*broker.CommittedOffset("g", tp), 42);
+  ASSERT_TRUE(broker.CommitOffset("g", tp, 50).ok());
+  EXPECT_EQ(*broker.CommittedOffset("g", tp), 50);
+}
+
+TEST(Broker, PersistentOffsetsSurviveRestart) {
+  strata::fs::ScopedTempDir dir("broker-offsets");
+  BrokerOptions options;
+  options.data_dir = dir.path();
+  const TopicPartition tp{"t", 0};
+  {
+    Broker broker(options);
+    ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 1}).ok());
+    ASSERT_TRUE(broker.CommitOffset("g", tp, 7).ok());
+  }
+  Broker broker(options);
+  EXPECT_EQ(*broker.CommittedOffset("g", tp), 7);
+}
+
+TEST(Broker, PersistentTopicDataSurvivesRestart) {
+  strata::fs::ScopedTempDir dir("broker-data");
+  BrokerOptions options;
+  options.data_dir = dir.path();
+  {
+    Broker broker(options);
+    ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 2}).ok());
+    Producer producer(&broker);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(
+          producer.Send("t", "key" + std::to_string(i), "v", 0).ok());
+    }
+  }
+  Broker broker(options);
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 2}).ok());
+  std::int64_t total = 0;
+  for (int p = 0; p < 2; ++p) {
+    total += (*broker.GetLog("t", p))->EndOffset();
+  }
+  EXPECT_EQ(total, 20);
+}
+
+TEST(Broker, CloseRejectsProduce) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 1}).ok());
+  broker.Close();
+  EXPECT_TRUE(broker.Produce("t", MakeRecord("", "x")).status().IsClosed());
+}
+
+}  // namespace
+}  // namespace strata::ps

@@ -1,0 +1,209 @@
+#include "pubsub/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/fs.hpp"
+
+namespace strata::ps {
+namespace {
+
+Record MakeRecord(const std::string& key, const std::string& value,
+                  Timestamp ts = 0) {
+  Record r;
+  r.key = key;
+  r.value = value;
+  r.timestamp = ts;
+  return r;
+}
+
+TEST(RecordCodec, RoundTrip) {
+  Record r = MakeRecord("key", "value", 123456);
+  std::string buf;
+  EncodeRecord(r, &buf);
+  std::string_view in(buf);
+  Record out;
+  ASSERT_TRUE(DecodeRecord(&in, &out).ok());
+  EXPECT_EQ(out.key, "key");
+  EXPECT_EQ(out.value, "value");
+  EXPECT_EQ(out.timestamp, 123456);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(RecordCodec, RejectsTruncation) {
+  Record r = MakeRecord("key", "value", 1);
+  std::string buf;
+  EncodeRecord(r, &buf);
+  std::string_view in(buf.data(), buf.size() - 1);
+  Record out;
+  EXPECT_FALSE(DecodeRecord(&in, &out).ok());
+}
+
+TEST(PartitionLog, InMemoryAppendRead) {
+  auto log = std::move(PartitionLog::Open({})).value();
+  for (int i = 0; i < 10; ++i) {
+    auto offset = log->Append(MakeRecord("k", std::to_string(i)));
+    ASSERT_TRUE(offset.ok());
+    EXPECT_EQ(*offset, i);
+  }
+  EXPECT_EQ(log->EndOffset(), 10);
+  EXPECT_EQ(log->StartOffset(), 0);
+
+  std::vector<Record> records;
+  std::int64_t next = 0;
+  ASSERT_TRUE(log->ReadFrom(3, 4, &records, &next).ok());
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].value, "3");
+  EXPECT_EQ(records[3].value, "6");
+  EXPECT_EQ(next, 7);
+}
+
+TEST(PartitionLog, ReadPastEndReturnsEmpty) {
+  auto log = std::move(PartitionLog::Open({})).value();
+  ASSERT_TRUE(log->Append(MakeRecord("", "x")).ok());
+  std::vector<Record> records;
+  std::int64_t next = 0;
+  ASSERT_TRUE(log->ReadFrom(1, 10, &records, &next).ok());
+  EXPECT_TRUE(records.empty());
+  EXPECT_EQ(next, 1);
+}
+
+TEST(PartitionLog, RetentionTrimsOldRecords) {
+  LogOptions options;
+  options.retention_records = 5;
+  auto log = std::move(PartitionLog::Open(options)).value();
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(log->Append(MakeRecord("", std::to_string(i))).ok());
+  }
+  EXPECT_EQ(log->StartOffset(), 7);
+  EXPECT_EQ(log->EndOffset(), 12);
+
+  std::vector<Record> records;
+  std::int64_t next = 0;
+  EXPECT_FALSE(log->ReadFrom(3, 10, &records, &next).ok());  // below horizon
+  ASSERT_TRUE(log->ReadFrom(7, 10, &records, &next).ok());
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_EQ(records[0].value, "7");
+}
+
+TEST(PartitionLog, WaitForDataUnblocksOnAppend) {
+  auto log = std::move(PartitionLog::Open({})).value();
+  std::thread appender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ASSERT_TRUE(log->Append(MakeRecord("", "late")).ok());
+  });
+  EXPECT_TRUE(log->WaitForData(0, std::chrono::microseconds(2'000'000)));
+  appender.join();
+}
+
+TEST(PartitionLog, WaitForDataTimesOut) {
+  auto log = std::move(PartitionLog::Open({})).value();
+  EXPECT_FALSE(log->WaitForData(0, std::chrono::microseconds(20'000)));
+}
+
+TEST(PartitionLog, CloseUnblocksWaitersAndRejectsAppends) {
+  auto log = std::move(PartitionLog::Open({})).value();
+  std::thread waiter([&] {
+    // Returns once closed even though no data arrived.
+    (void)log->WaitForData(0, std::chrono::microseconds(5'000'000));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  log->Close();
+  waiter.join();
+  EXPECT_TRUE(log->Append(MakeRecord("", "x")).status().IsClosed());
+}
+
+TEST(PartitionLog, PersistenceReloadsRecords) {
+  strata::fs::ScopedTempDir dir("pslog");
+  LogOptions options;
+  options.dir = dir.path() / "p0";
+  {
+    auto log = std::move(PartitionLog::Open(options)).value();
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(log->Append(MakeRecord("k" + std::to_string(i),
+                                         "v" + std::to_string(i), i))
+                      .ok());
+    }
+  }
+  auto log = std::move(PartitionLog::Open(options)).value();
+  EXPECT_EQ(log->EndOffset(), 100);
+  std::vector<Record> records;
+  std::int64_t next = 0;
+  ASSERT_TRUE(log->ReadFrom(0, 200, &records, &next).ok());
+  ASSERT_EQ(records.size(), 100u);
+  EXPECT_EQ(records[42].key, "k42");
+  EXPECT_EQ(records[42].value, "v42");
+  EXPECT_EQ(records[42].timestamp, 42);
+}
+
+TEST(PartitionLog, PersistenceRollsSegments) {
+  strata::fs::ScopedTempDir dir("pslog-roll");
+  LogOptions options;
+  options.dir = dir.path() / "p0";
+  options.segment_bytes = 256;  // tiny: force many segments
+  {
+    auto log = std::move(PartitionLog::Open(options)).value();
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(log->Append(MakeRecord("", std::string(64, 'x'))).ok());
+    }
+  }
+  int segment_count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(options.dir)) {
+    if (entry.path().extension() == ".seg") ++segment_count;
+  }
+  EXPECT_GT(segment_count, 5);
+
+  auto log = std::move(PartitionLog::Open(options)).value();
+  EXPECT_EQ(log->EndOffset(), 50);
+}
+
+TEST(PartitionLog, PersistenceToleratesTornTail) {
+  strata::fs::ScopedTempDir dir("pslog-torn");
+  LogOptions options;
+  options.dir = dir.path() / "p0";
+  {
+    auto log = std::move(PartitionLog::Open(options)).value();
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(log->Append(MakeRecord("", std::to_string(i))).ok());
+    }
+  }
+  // Truncate the single segment mid-record.
+  std::filesystem::path segment;
+  for (const auto& entry : std::filesystem::directory_iterator(options.dir)) {
+    if (entry.path().extension() == ".seg") segment = entry.path();
+  }
+  ASSERT_FALSE(segment.empty());
+  std::filesystem::resize_file(segment,
+                               std::filesystem::file_size(segment) - 3);
+
+  auto log = std::move(PartitionLog::Open(options)).value();
+  EXPECT_EQ(log->EndOffset(), 9);  // last record dropped, rest intact
+}
+
+TEST(PartitionLog, AppendsContinueAfterReload) {
+  strata::fs::ScopedTempDir dir("pslog-cont");
+  LogOptions options;
+  options.dir = dir.path() / "p0";
+  {
+    auto log = std::move(PartitionLog::Open(options)).value();
+    ASSERT_TRUE(log->Append(MakeRecord("", "before")).ok());
+  }
+  {
+    auto log = std::move(PartitionLog::Open(options)).value();
+    auto offset = log->Append(MakeRecord("", "after"));
+    ASSERT_TRUE(offset.ok());
+    EXPECT_EQ(*offset, 1);
+  }
+  auto log = std::move(PartitionLog::Open(options)).value();
+  EXPECT_EQ(log->EndOffset(), 2);
+  std::vector<Record> records;
+  std::int64_t next = 0;
+  ASSERT_TRUE(log->ReadFrom(0, 10, &records, &next).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].value, "before");
+  EXPECT_EQ(records[1].value, "after");
+}
+
+}  // namespace
+}  // namespace strata::ps

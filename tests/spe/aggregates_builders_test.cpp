@@ -1,0 +1,129 @@
+#include "spe/aggregates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spe/replay_source.hpp"
+#include "spe_test_util.hpp"
+
+namespace strata::spe {
+namespace {
+
+using testutil::Collector;
+using testutil::MakeValueTuple;
+
+std::vector<Tuple> RunAggregate(AggregateSpec spec,
+                                std::vector<Tuple> input) {
+  Query query;
+  auto src = query.AddSource("src", VectorSource(std::move(input)));
+  auto agg = query.AddAggregate("agg", src, std::move(spec));
+  Collector collector;
+  query.AddSink("sink", agg, collector.AsSink());
+  query.Run();
+  return collector.tuples();
+}
+
+std::vector<Tuple> OneWindowValues(std::initializer_list<double> values) {
+  std::vector<Tuple> input;
+  Timestamp t = 0;
+  for (const double v : values) input.push_back(MakeValueTuple(t++, v));
+  return input;
+}
+
+TEST(AggregateBuilders, Sum) {
+  const auto out =
+      RunAggregate(SumAggregate({100, 100}, "value"), OneWindowValues({1, 2, 3.5}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].payload.Get("sum").AsDouble(), 6.5);
+  EXPECT_EQ(out[0].payload.Get("count").AsInt(), 3);
+}
+
+TEST(AggregateBuilders, MinMax) {
+  const auto mn =
+      RunAggregate(MinAggregate({100, 100}, "value"), OneWindowValues({5, -2, 9}));
+  ASSERT_EQ(mn.size(), 1u);
+  EXPECT_DOUBLE_EQ(mn[0].payload.Get("min").AsDouble(), -2.0);
+
+  const auto mx =
+      RunAggregate(MaxAggregate({100, 100}, "value"), OneWindowValues({5, -2, 9}));
+  ASSERT_EQ(mx.size(), 1u);
+  EXPECT_DOUBLE_EQ(mx[0].payload.Get("max").AsDouble(), 9.0);
+}
+
+TEST(AggregateBuilders, Mean) {
+  const auto out = RunAggregate(MeanAggregate({100, 100}, "value"),
+                                OneWindowValues({2, 4, 6}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].payload.Get("mean").AsDouble(), 4.0);
+}
+
+TEST(AggregateBuilders, Count) {
+  const auto out = RunAggregate(CountAggregate({100, 100}),
+                                OneWindowValues({1, 1, 1, 1}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload.Get("count").AsInt(), 4);
+}
+
+TEST(AggregateBuilders, MissingAttributeSkipped) {
+  std::vector<Tuple> input = OneWindowValues({10, 20});
+  Tuple no_value;
+  no_value.event_time = 2;
+  no_value.payload.Set("other", 99.0);
+  input.push_back(no_value);
+
+  const auto out = RunAggregate(SumAggregate({100, 100}, "value"), input);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].payload.Get("sum").AsDouble(), 30.0);
+  EXPECT_EQ(out[0].payload.Get("count").AsInt(), 2);
+}
+
+TEST(AggregateBuilders, IntAttributeAccepted) {
+  std::vector<Tuple> input;
+  Tuple t;
+  t.event_time = 0;
+  t.payload.Set("value", std::int64_t{7});
+  input.push_back(t);
+  const auto out = RunAggregate(SumAggregate({100, 100}, "value"), input);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].payload.Get("sum").AsDouble(), 7.0);
+}
+
+TEST(AggregateBuilders, EmptyWindowOnFlushReportsZero) {
+  // A window that only ever saw attribute-less tuples still emits (count=0).
+  std::vector<Tuple> input;
+  Tuple t;
+  t.event_time = 5;
+  t.payload.Set("other", 1.0);
+  input.push_back(t);
+  const auto out = RunAggregate(MaxAggregate({100, 100}, "value"), input);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].payload.Get("max").AsDouble(), 0.0);
+  EXPECT_EQ(out[0].payload.Get("count").AsInt(), 0);
+}
+
+TEST(AggregateBuilders, GroupByKeySeparates) {
+  std::vector<Tuple> input;
+  for (int i = 0; i < 6; ++i) {
+    Tuple t = MakeValueTuple(i, i % 2 == 0 ? 10.0 : 100.0, /*job=*/i % 2);
+    input.push_back(t);
+  }
+  const auto out = RunAggregate(
+      SumAggregate({100, 100}, "value", "sum",
+                   [](const Tuple& t) { return std::to_string(t.job); }),
+      input);
+  ASSERT_EQ(out.size(), 2u);
+  std::set<double> sums{out[0].payload.Get("sum").AsDouble(),
+                        out[1].payload.Get("sum").AsDouble()};
+  EXPECT_TRUE(sums.contains(30.0));
+  EXPECT_TRUE(sums.contains(300.0));
+}
+
+TEST(AggregateBuilders, SlidingWindowsEachGetResult) {
+  std::vector<Tuple> input;
+  for (int i = 0; i < 20; ++i) input.push_back(MakeValueTuple(i, 1.0));
+  const auto out = RunAggregate(SumAggregate({10, 5}, "value"), input);
+  // Windows [0,10) [5,15) [10,20) [15,25): 4 results after flush.
+  EXPECT_EQ(out.size(), 4u);
+}
+
+}  // namespace
+}  // namespace strata::spe

@@ -1,0 +1,160 @@
+// Failure injection: user functions that throw must never kill an operator
+// thread — the offending tuple is dropped, counted, and the pipeline keeps
+// flowing to completion.
+#include <gtest/gtest.h>
+
+#include "spe/replay_source.hpp"
+#include "spe_test_util.hpp"
+
+namespace strata::spe {
+namespace {
+
+using testutil::Collector;
+using testutil::CountAggregate;
+using testutil::MakeTuple;
+
+std::uint64_t ErrorsOf(const Query& query, const std::string& name) {
+  for (const auto& stats : query.Stats()) {
+    if (stats.name == name) return stats.user_errors;
+  }
+  return 0;
+}
+
+TEST(FaultInjection, ThrowingFlatMapDropsOnlyOffendingTuples) {
+  Query query;
+  std::vector<Tuple> input;
+  for (int i = 0; i < 10; ++i) input.push_back(MakeTuple(i));
+  auto src = query.AddSource("src", VectorSource(input));
+  auto mapped = query.AddFlatMap("boom", src, [](const Tuple& t) {
+    if (t.event_time % 3 == 0) throw std::runtime_error("injected");
+    return std::vector<Tuple>{t};
+  });
+  Collector collector;
+  query.AddSink("sink", mapped, collector.AsSink());
+  query.Run();
+
+  EXPECT_EQ(collector.size(), 6u);  // t=0,3,6,9 dropped
+  EXPECT_EQ(ErrorsOf(query, "boom"), 4u);
+}
+
+TEST(FaultInjection, ThrowingFilterDropsTuple) {
+  Query query;
+  auto src = query.AddSource(
+      "src", VectorSource({MakeTuple(1), MakeTuple(2), MakeTuple(3)}));
+  auto filtered = query.AddFilter("boom", src, [](const Tuple& t) {
+    if (t.event_time == 2) throw std::logic_error("injected");
+    return true;
+  });
+  Collector collector;
+  query.AddSink("sink", filtered, collector.AsSink());
+  query.Run();
+  EXPECT_EQ(collector.size(), 2u);
+  EXPECT_EQ(ErrorsOf(query, "boom"), 1u);
+}
+
+TEST(FaultInjection, ThrowingSourceEndsStreamGracefully) {
+  Query query;
+  auto counter = std::make_shared<int>(0);
+  auto src = query.AddSource("src", [counter]() -> std::optional<Tuple> {
+    if (*counter == 5) throw std::runtime_error("sensor died");
+    return MakeTuple((*counter)++);
+  });
+  Collector collector;
+  query.AddSink("sink", src, collector.AsSink());
+  query.Run();  // must terminate
+  EXPECT_EQ(collector.size(), 5u);
+  EXPECT_EQ(ErrorsOf(query, "src"), 1u);
+}
+
+TEST(FaultInjection, ThrowingSinkKeepsConsuming) {
+  Query query;
+  std::vector<Tuple> input;
+  for (int i = 0; i < 6; ++i) input.push_back(MakeTuple(i));
+  auto src = query.AddSource("src", VectorSource(input));
+  std::atomic<int> delivered{0};
+  auto* sink = query.AddSink("boom", src, [&](const Tuple& t) {
+    if (t.event_time % 2 == 0) throw std::runtime_error("injected");
+    ++delivered;
+  });
+  query.Run();
+  EXPECT_EQ(delivered.load(), 3);
+  EXPECT_EQ(ErrorsOf(query, "boom"), 3u);
+  // Latency is still recorded for every tuple, including the failing ones.
+  EXPECT_EQ(sink->LatencySnapshot().count(), 6u);
+}
+
+TEST(FaultInjection, ThrowingAggregateResultSkipsWindow) {
+  Query query;
+  std::vector<Tuple> input;
+  for (int i = 0; i < 30; ++i) input.push_back(MakeTuple(i));
+  auto src = query.AddSource("src", VectorSource(input));
+  AggregateSpec spec = CountAggregate(10, 10);
+  auto original_result = spec.result;
+  spec.result = [original_result](std::any& acc, Timestamp start,
+                                  Timestamp end) {
+    if (start == 10) throw std::runtime_error("injected");
+    return original_result(acc, start, end);
+  };
+  auto agg = query.AddAggregate("boom", src, std::move(spec));
+  Collector collector;
+  query.AddSink("sink", agg, collector.AsSink());
+  query.Run();
+
+  EXPECT_EQ(collector.size(), 2u);  // windows [0,10) and [20,30)
+  EXPECT_EQ(ErrorsOf(query, "boom"), 1u);
+}
+
+TEST(FaultInjection, ThrowingJoinPredicateTreatedAsNonMatch) {
+  Query query;
+  auto left = query.AddSource("L", VectorSource({MakeTuple(1), MakeTuple(2)}));
+  auto right = query.AddSource("R", VectorSource({MakeTuple(1), MakeTuple(2)}));
+  JoinSpec spec;
+  spec.window = 0;
+  spec.predicate = [](const Tuple& l, const Tuple&) -> bool {
+    if (l.event_time == 1) throw std::runtime_error("injected");
+    return true;
+  };
+  auto joined = query.AddJoin("boom", left, right, spec);
+  Collector collector;
+  query.AddSink("sink", joined, collector.AsSink());
+  query.Run();
+  EXPECT_EQ(collector.size(), 1u);  // only the t=2 pair survives
+  EXPECT_GE(ErrorsOf(query, "boom"), 1u);
+}
+
+TEST(FaultInjection, ThrowingRouterKeyDropsTuple) {
+  Query query;
+  std::vector<Tuple> input;
+  for (int i = 0; i < 10; ++i) input.push_back(MakeTuple(i, 0, i));
+  auto src = query.AddSource("src", VectorSource(input));
+  auto mapped = query.AddFlatMap(
+      "par", src, [](const Tuple& t) { return std::vector<Tuple>{t}; },
+      /*parallelism=*/2, [](const Tuple& t) -> std::string {
+        if (t.layer == 4) throw std::runtime_error("injected");
+        return std::to_string(t.layer);
+      });
+  Collector collector;
+  query.AddSink("sink", mapped, collector.AsSink());
+  query.Run();
+  EXPECT_EQ(collector.size(), 9u);
+  EXPECT_EQ(ErrorsOf(query, "par.router"), 1u);
+}
+
+TEST(FaultInjection, PipelineCompletesDespiteHighErrorRate) {
+  Query query;
+  std::vector<Tuple> input;
+  for (int i = 0; i < 1000; ++i) input.push_back(MakeTuple(i));
+  auto src = query.AddSource("src", VectorSource(input));
+  auto mapped = query.AddFlatMap("half-broken", src, [](const Tuple& t) {
+    if (t.event_time % 2 == 0) throw std::runtime_error("flaky");
+    return std::vector<Tuple>{t};
+  });
+  Collector collector;
+  query.AddSink("sink", mapped, collector.AsSink());
+  query.Run();
+  EXPECT_EQ(collector.size(), 500u);
+  EXPECT_EQ(ErrorsOf(query, "half-broken"), 500u);
+}
+
+}  // namespace
+}  // namespace strata::spe

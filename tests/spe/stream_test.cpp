@@ -1,0 +1,108 @@
+#include "spe/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace strata::spe {
+namespace {
+
+Tuple TupleAt(Timestamp t) {
+  Tuple tuple;
+  tuple.event_time = t;
+  return tuple;
+}
+
+TEST(Stream, PushPopCountsFlow) {
+  Stream stream("s", 8);
+  ASSERT_TRUE(stream.Push(TupleAt(1)).ok());
+  ASSERT_TRUE(stream.Push(TupleAt(2)).ok());
+  EXPECT_EQ(stream.pushed(), 2u);
+  EXPECT_EQ(stream.popped(), 0u);
+  EXPECT_EQ(stream.depth(), 2u);
+
+  auto t = stream.Pop();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->event_time, 1);
+  EXPECT_EQ(stream.popped(), 1u);
+  EXPECT_EQ(stream.depth(), 1u);
+}
+
+TEST(Stream, CapacityReported) {
+  Stream stream("s", 16);
+  EXPECT_EQ(stream.capacity(), 16u);
+  EXPECT_EQ(stream.name(), "s");
+}
+
+TEST(Stream, DrainedSemantics) {
+  Stream stream("s", 4);
+  ASSERT_TRUE(stream.Push(TupleAt(1)).ok());
+  EXPECT_FALSE(stream.closed());
+  EXPECT_FALSE(stream.drained());
+  stream.Close();
+  EXPECT_TRUE(stream.closed());
+  EXPECT_FALSE(stream.drained());  // still holds a tuple
+  EXPECT_TRUE(stream.Pop().has_value());
+  EXPECT_TRUE(stream.drained());
+  EXPECT_FALSE(stream.Pop().has_value());
+}
+
+TEST(Stream, PushAfterCloseFails) {
+  Stream stream("s", 4);
+  stream.Close();
+  EXPECT_TRUE(stream.Push(TupleAt(1)).IsClosed());
+  EXPECT_EQ(stream.pushed(), 0u);  // failed pushes do not count
+}
+
+TEST(Stream, PopForTimesOutOnEmpty) {
+  Stream stream("s", 4);
+  EXPECT_FALSE(stream.PopFor(std::chrono::microseconds(5'000)).has_value());
+}
+
+TEST(Stream, TupleApproxBytesIncludesPayload) {
+  Tuple t;
+  EXPECT_GE(t.ApproxBytes(), sizeof(Tuple));
+  t.payload.Set("key", std::string(1000, 'x'));
+  EXPECT_GT(t.ApproxBytes(), 1000u);
+}
+
+TEST(Stream, TupleToStringMentionsMetadata) {
+  Tuple t;
+  t.event_time = 5;
+  t.job = 2;
+  t.layer = 3;
+  t.specimen = 4;
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("t=5"), std::string::npos);
+  EXPECT_NE(s.find("job=2"), std::string::npos);
+  EXPECT_NE(s.find("layer=3"), std::string::npos);
+  EXPECT_NE(s.find("spec=4"), std::string::npos);
+}
+
+TEST(Stream, CombineStimulusTakesMax) {
+  EXPECT_EQ(CombineStimulus(5, 9), 9);
+  EXPECT_EQ(CombineStimulus(9, 5), 9);
+  EXPECT_EQ(CombineStimulus(0, 0), 0);
+}
+
+TEST(Stream, ConcurrentProducerConsumer) {
+  Stream stream("s", 16);
+  constexpr int kCount = 10'000;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) {
+      ASSERT_TRUE(stream.Push(TupleAt(i)).ok());
+    }
+    stream.Close();
+  });
+  Timestamp expected = 0;
+  while (auto t = stream.Pop()) {
+    EXPECT_EQ(t->event_time, expected++);
+  }
+  producer.join();
+  EXPECT_EQ(expected, kCount);
+  EXPECT_EQ(stream.pushed(), static_cast<std::uint64_t>(kCount));
+  EXPECT_EQ(stream.popped(), static_cast<std::uint64_t>(kCount));
+}
+
+}  // namespace
+}  // namespace strata::spe

@@ -1,0 +1,335 @@
+// Tests of the Strata facade API (Table 1) on synthetic pipelines.
+#include "strata/strata.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+
+namespace strata::core {
+namespace {
+
+spe::SourceFn CountingSource(std::int64_t job, int layers,
+                             const std::string& value_key) {
+  auto next = std::make_shared<int>(0);
+  return [job, layers, value_key, next]() -> std::optional<spe::Tuple> {
+    if (*next >= layers) return std::nullopt;
+    spe::Tuple t;
+    t.layer = (*next)++;
+    t.event_time = (t.layer + 1) * 1000;
+    t.job = job;
+    t.payload.Set(value_key, t.layer * 10);
+    return t;
+  };
+}
+
+class Collector {
+ public:
+  spe::SinkFn AsSink() {
+    return [this](const spe::Tuple& t) {
+      std::lock_guard lock(mu_);
+      tuples_.push_back(t);
+    };
+  }
+  std::vector<spe::Tuple> tuples() const {
+    std::lock_guard lock(mu_);
+    return tuples_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<spe::Tuple> tuples_;
+};
+
+TEST(StrataKv, StoreAndGet) {
+  Strata strata;
+  ASSERT_TRUE(strata.Store("key", "value").ok());
+  auto got = strata.Get("key");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "value");
+  EXPECT_TRUE(strata.Get("missing").status().IsNotFound());
+}
+
+TEST(StrataKv, GetByPrefixListsInOrder) {
+  Strata strata;
+  ASSERT_TRUE(strata.Store("thresholds/m1", "a").ok());
+  ASSERT_TRUE(strata.Store("thresholds/m0", "b").ok());
+  ASSERT_TRUE(strata.Store("other/x", "c").ok());
+  auto entries = strata.GetByPrefix("thresholds/");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].first, "thresholds/m0");
+  EXPECT_EQ((*entries)[1].first, "thresholds/m1");
+  EXPECT_EQ((*entries)[1].second, "a");
+
+  auto none = strata.GetByPrefix("zzz/");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(StrataApi, AddSourceRoutesThroughConnector) {
+  Strata strata;
+  auto stream = strata.AddSource("src", CountingSource(1, 5, "v"));
+  Collector collector;
+  strata.Deliver("sink", stream, collector.AsSink());
+  strata.Deploy();
+  strata.WaitForCompletion();
+
+  const auto tuples = collector.tuples();
+  ASSERT_EQ(tuples.size(), 5u);
+  // The connector topic must exist (Raw Data Connector module).
+  EXPECT_TRUE(strata.broker().HasTopic("raw.src"));
+  // Data actually traveled through the broker.
+  EXPECT_EQ((*strata.broker().GetLog("raw.src", 0))->EndOffset(),
+            6);  // 5 tuples + EOS
+}
+
+TEST(StrataApi, FuseMatchesJobAndLayer) {
+  Strata strata;
+  auto a = strata.AddSource("a", CountingSource(1, 10, "left"));
+  auto b = strata.AddSource("b", CountingSource(1, 10, "right"));
+  auto fused = strata.Fuse("fuse", a, b);
+  Collector collector;
+  strata.Deliver("sink", fused, collector.AsSink());
+  strata.Deploy();
+  strata.WaitForCompletion();
+
+  const auto tuples = collector.tuples();
+  ASSERT_EQ(tuples.size(), 10u);
+  for (const spe::Tuple& t : tuples) {
+    EXPECT_TRUE(t.payload.Has("left"));
+    EXPECT_TRUE(t.payload.Has("right"));
+    EXPECT_EQ(t.payload.Get("left").AsInt(), t.payload.Get("right").AsInt());
+  }
+}
+
+TEST(StrataApi, FuseDoesNotMatchAcrossJobs) {
+  Strata strata;
+  auto a = strata.AddSource("a", CountingSource(1, 5, "left"));
+  auto b = strata.AddSource("b", CountingSource(2, 5, "right"));
+  auto fused = strata.Fuse("fuse", a, b);
+  Collector collector;
+  strata.Deliver("sink", fused, collector.AsSink());
+  strata.Deploy();
+  strata.WaitForCompletion();
+  EXPECT_TRUE(collector.tuples().empty());
+}
+
+TEST(StrataApi, PartitionDefaultSetsSpecimenAndPortion) {
+  Strata strata;
+  auto src = strata.AddSource("src", CountingSource(1, 3, "v"));
+  auto partitioned = strata.Partition("p", src, nullptr);
+  Collector collector;
+  strata.Deliver("sink", partitioned, collector.AsSink());
+  strata.Deploy();
+  strata.WaitForCompletion();
+
+  for (const spe::Tuple& t : collector.tuples()) {
+    EXPECT_EQ(t.specimen, 0);
+    EXPECT_EQ(t.portion, 0);
+  }
+}
+
+TEST(StrataApi, PartitionCopiesMetadataOntoOutputs) {
+  Strata strata;
+  auto src = strata.AddSource("src", CountingSource(1, 3, "v"));
+  auto partitioned = strata.Partition("p", src, [](const spe::Tuple&) {
+    // F returns bare tuples; the framework must fill metadata.
+    std::vector<spe::Tuple> out(2);
+    out[0].specimen = 0;
+    out[1].specimen = 1;
+    return out;
+  });
+  Collector collector;
+  strata.Deliver("sink", partitioned, collector.AsSink());
+  strata.Deploy();
+  strata.WaitForCompletion();
+
+  const auto tuples = collector.tuples();
+  ASSERT_EQ(tuples.size(), 6u);
+  for (const spe::Tuple& t : tuples) {
+    EXPECT_EQ(t.job, 1);
+    EXPECT_GE(t.layer, 0);
+    EXPECT_GT(t.event_time, 0);
+    EXPECT_GT(t.stimulus, 0);
+  }
+}
+
+TEST(StrataApi, DetectEventFiltersAndTransforms) {
+  Strata strata;
+  auto src = strata.AddSource("src", CountingSource(1, 10, "v"));
+  auto events = strata.DetectEvent("d", src, [](const spe::Tuple& t) {
+    std::vector<spe::Tuple> out;
+    if (t.payload.Get("v").AsInt() >= 50) {
+      spe::Tuple event = t;
+      event.payload.Set("event", true);
+      out.push_back(event);
+    }
+    return out;
+  });
+  Collector collector;
+  strata.Deliver("sink", events, collector.AsSink());
+  strata.Deploy();
+  strata.WaitForCompletion();
+  EXPECT_EQ(collector.tuples().size(), 5u);
+}
+
+TEST(StrataApi, CorrelateEventsWindowsAcrossLayers) {
+  // Source emits per layer: 2 events + a marker (specimen 0).
+  Strata strata;
+  constexpr int kLayers = 6;
+  auto next = std::make_shared<int>(0);
+  auto src = strata.AddSource(
+      "src", [next]() -> std::optional<spe::Tuple> {
+        if (*next >= kLayers * 3) return std::nullopt;
+        const int i = (*next)++;
+        const int layer = i / 3;
+        spe::Tuple t;
+        t.job = 1;
+        t.layer = layer;
+        t.specimen = 0;
+        t.event_time = (layer + 1) * 1000;
+        if (i % 3 == 2) {
+          t.payload.Set(kLayerMarkerKey, true);
+        } else {
+          t.payload.Set("event_id", i);
+        }
+        return t;
+      });
+
+  std::vector<std::size_t> window_sizes;
+  std::mutex mu;
+  auto out = strata.CorrelateEvents(
+      "corr", src, /*history_layers=*/2,
+      [&](const EventWindow& window) -> std::vector<spe::Tuple> {
+        std::lock_guard lock(mu);
+        window_sizes.push_back(window.events.size());
+        spe::Tuple t;
+        t.payload.Set("n", static_cast<std::int64_t>(window.events.size()));
+        return {t};
+      });
+  Collector collector;
+  strata.Deliver("sink", out, collector.AsSink());
+  strata.Deploy();
+  strata.WaitForCompletion();
+
+  // One window per layer; events per window: 2 (layer 0), 4 (layer 1),
+  // then 6 for layers >= 2 (the window spans layers [l-2, l]).
+  ASSERT_EQ(window_sizes.size(), static_cast<std::size_t>(kLayers));
+  EXPECT_EQ(window_sizes[0], 2u);
+  EXPECT_EQ(window_sizes[1], 4u);
+  for (std::size_t i = 2; i < window_sizes.size(); ++i) {
+    EXPECT_EQ(window_sizes[i], 6u) << "layer " << i;
+  }
+
+  // Output tuples carry the marker's metadata.
+  const auto tuples = collector.tuples();
+  ASSERT_EQ(tuples.size(), static_cast<std::size_t>(kLayers));
+  for (const spe::Tuple& t : tuples) {
+    EXPECT_EQ(t.job, 1);
+    EXPECT_EQ(t.specimen, 0);
+  }
+}
+
+TEST(StrataApi, CorrelateEventsSeparatesSpecimens) {
+  Strata strata;
+  auto next = std::make_shared<int>(0);
+  // specimen 0 gets 3 events/layer, specimen 1 gets 1; one layer each.
+  auto src = strata.AddSource("src", [next]() -> std::optional<spe::Tuple> {
+    // events: s0 e, s0 e, s0 e, s1 e, s0 marker, s1 marker
+    static constexpr int kTotal = 6;
+    if (*next >= kTotal) return std::nullopt;
+    const int i = (*next)++;
+    spe::Tuple t;
+    t.job = 1;
+    t.layer = 0;
+    t.event_time = 1000;
+    if (i < 3) {
+      t.specimen = 0;
+      t.payload.Set("e", i);
+    } else if (i == 3) {
+      t.specimen = 1;
+      t.payload.Set("e", i);
+    } else {
+      t.specimen = i == 4 ? 0 : 1;
+      t.payload.Set(kLayerMarkerKey, true);
+    }
+    return t;
+  });
+
+  std::map<std::int64_t, std::size_t> events_by_specimen;
+  std::mutex mu;
+  auto out = strata.CorrelateEvents(
+      "corr", src, 0, [&](const EventWindow& w) -> std::vector<spe::Tuple> {
+        std::lock_guard lock(mu);
+        events_by_specimen[w.specimen] = w.events.size();
+        return {};
+      });
+  Collector collector;
+  strata.Deliver("sink", out, collector.AsSink());
+  strata.Deploy();
+  strata.WaitForCompletion();
+
+  EXPECT_EQ(events_by_specimen[0], 3u);
+  EXPECT_EQ(events_by_specimen[1], 1u);
+}
+
+TEST(StrataApi, SplitFeedsTwoPipelines) {
+  Strata strata;
+  auto src = strata.AddSource("src", CountingSource(1, 4, "v"));
+  auto branches = strata.Split("split", src, 2);
+  Collector a;
+  Collector b;
+  strata.Deliver("sink-a", branches[0], a.AsSink());
+  strata.Deliver("sink-b", branches[1], b.AsSink());
+  strata.Deploy();
+  strata.WaitForCompletion();
+  EXPECT_EQ(a.tuples().size(), 4u);
+  EXPECT_EQ(b.tuples().size(), 4u);
+}
+
+TEST(StrataLifecycle, ShutdownStopsInfiniteSource) {
+  Strata strata;
+  std::atomic<std::int64_t> counter{0};
+  auto src = strata.AddSource("inf", [&]() -> std::optional<spe::Tuple> {
+    spe::Tuple t;
+    t.job = 1;
+    t.layer = counter++;
+    t.event_time = t.layer + 1;
+    return t;
+  });
+  std::atomic<int> delivered{0};
+  strata.Deliver("sink", src, [&](const spe::Tuple&) { ++delivered; });
+  strata.Deploy();
+  while (delivered.load() < 10) std::this_thread::yield();
+  strata.Shutdown();  // must not hang
+  EXPECT_GE(delivered.load(), 10);
+}
+
+TEST(StrataLifecycle, DoubleDeployThrows) {
+  Strata strata;
+  auto src = strata.AddSource("s", CountingSource(1, 1, "v"));
+  strata.Deliver("sink", src, [](const spe::Tuple&) {});
+  strata.Deploy();
+  EXPECT_THROW(strata.Deploy(), std::logic_error);
+  strata.WaitForCompletion();
+}
+
+TEST(StrataLifecycle, KvPersistsAcrossInstancesWithSameDir) {
+  strata::fs::ScopedTempDir dir("strata-kv");
+  {
+    StrataOptions options;
+    options.data_dir = dir.path();
+    Strata strata(options);
+    ASSERT_TRUE(strata.Store("persist", "me").ok());
+  }
+  StrataOptions options;
+  options.data_dir = dir.path();
+  Strata strata(options);
+  auto got = strata.Get("persist");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "me");
+}
+
+}  // namespace
+}  // namespace strata::core

@@ -1,0 +1,103 @@
+#include "strata/collectors.hpp"
+
+#include <gtest/gtest.h>
+
+namespace strata::core {
+namespace {
+
+std::shared_ptr<am::MachineSimulator> SmallMachine(int layers = 5) {
+  am::MachineParams params;
+  params.job = am::MakeSmallJob(1, 150, 2);
+  params.layers_limit = layers;
+  return std::make_shared<am::MachineSimulator>(params);
+}
+
+CollectorPacing Unthrottled() {
+  CollectorPacing pacing;
+  pacing.mode = CollectorPacing::Mode::kReplay;
+  pacing.replay_rate = 0.0;
+  return pacing;
+}
+
+TEST(OtImageCollector, EmitsOneTuplePerLayer) {
+  auto machine = SmallMachine(4);
+  auto source = OtImageCollector(machine, Unthrottled());
+  for (int layer = 0; layer < 4; ++layer) {
+    auto tuple = source();
+    ASSERT_TRUE(tuple.has_value()) << layer;
+    EXPECT_EQ(tuple->layer, layer);
+    EXPECT_EQ(tuple->job, 1);
+    EXPECT_GT(tuple->event_time, 0);
+    const auto image = tuple->payload.Get(kOtImageKey).AsOpaque<am::ImageValue>();
+    EXPECT_EQ(image->image().width(), 150);
+  }
+  EXPECT_FALSE(source().has_value());
+}
+
+TEST(PrintingParameterCollector, EmitsLayoutAndParameters) {
+  auto machine = SmallMachine(3);
+  auto source = PrintingParameterCollector(machine, Unthrottled());
+  auto tuple = source();
+  ASSERT_TRUE(tuple.has_value());
+  EXPECT_EQ(tuple->layer, 0);
+  EXPECT_EQ(tuple->payload.Get("specimen_count").AsInt(), 2);
+  EXPECT_TRUE(tuple->payload.Has("scan_angle_deg"));
+  EXPECT_TRUE(tuple->payload.Has("material"));
+  ASSERT_TRUE(source().has_value());
+  ASSERT_TRUE(source().has_value());
+  EXPECT_FALSE(source().has_value());
+}
+
+TEST(Collectors, EventTimesAgreeBetweenOtAndPp) {
+  // fuse() with window=0 requires τ equality: both collectors must stamp
+  // the same event time for the same layer.
+  auto machine = SmallMachine(3);
+  auto ot = OtImageCollector(machine, Unthrottled());
+  auto pp = PrintingParameterCollector(machine, Unthrottled());
+  for (int layer = 0; layer < 3; ++layer) {
+    auto ot_tuple = ot();
+    auto pp_tuple = pp();
+    ASSERT_TRUE(ot_tuple.has_value() && pp_tuple.has_value());
+    EXPECT_EQ(ot_tuple->event_time, pp_tuple->event_time) << layer;
+    EXPECT_EQ(ot_tuple->layer, pp_tuple->layer);
+  }
+}
+
+TEST(Collectors, LivePacingSpacesEmissions) {
+  auto machine = SmallMachine(3);
+  CollectorPacing pacing;
+  pacing.mode = CollectorPacing::Mode::kLive;
+  pacing.time_scale = 0.001;  // 33 ms per layer
+  auto source = OtImageCollector(machine, pacing);
+
+  const Timestamp start = Clock::System().Now();
+  while (source().has_value()) {
+  }
+  const double elapsed_ms = MicrosToMillis(Clock::System().Now() - start);
+  // Layers 0..2 at 33 ms spacing: >= ~60 ms total (layer 0 is immediate).
+  EXPECT_GE(elapsed_ms, 50.0);
+}
+
+TEST(Collectors, ReplayRateThrottles) {
+  auto machine = SmallMachine(5);
+  CollectorPacing pacing;
+  pacing.mode = CollectorPacing::Mode::kReplay;
+  pacing.replay_rate = 100.0;  // 10 ms gaps
+  auto source = OtImageCollector(machine, pacing);
+  const Timestamp start = Clock::System().Now();
+  while (source().has_value()) {
+  }
+  const double elapsed_ms = MicrosToMillis(Clock::System().Now() - start);
+  EXPECT_GE(elapsed_ms, 35.0);  // 4 gaps x 10 ms
+}
+
+TEST(Collectors, TerminatedMachineEndsOtStream) {
+  auto machine = SmallMachine(100);
+  auto source = OtImageCollector(machine, Unthrottled());
+  ASSERT_TRUE(source().has_value());
+  machine->control().TerminateJob();
+  EXPECT_FALSE(source().has_value());
+}
+
+}  // namespace
+}  // namespace strata::core

@@ -1,0 +1,137 @@
+#include "strata/connector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "strata/api.hpp"
+
+namespace strata::core {
+namespace {
+
+spe::Tuple NumberedTuple(int i) {
+  spe::Tuple t;
+  t.event_time = i;
+  t.job = 1;
+  t.layer = i;
+  t.payload.Set("i", i);
+  return t;
+}
+
+class ConnectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(broker_.CreateTopic("conn", {.partitions = 2}).ok());
+  }
+  ps::Broker broker_;
+};
+
+TEST_F(ConnectorTest, PublishThenSubscribeRoundTrip) {
+  ConnectorPublisher publisher(&broker_, "conn",
+                               [](const spe::Tuple& t) { return RawDataKey(t); });
+  auto sink = publisher.AsSinkFn();
+  for (int i = 0; i < 10; ++i) sink(NumberedTuple(i));
+  publisher.AsFinishHook()();  // EOS
+
+  auto subscriber =
+      std::move(ConnectorSubscriber::Create(&broker_, "conn", "g")).value();
+  auto source = subscriber->AsSourceFn();
+
+  std::set<int> seen;
+  while (auto tuple = source()) {
+    seen.insert(static_cast<int>(tuple->payload.Get("i").AsInt()));
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all delivered, then EOS ended the stream
+}
+
+TEST_F(ConnectorTest, PerKeyOrderPreserved) {
+  ConnectorPublisher publisher(&broker_, "conn",
+                               [](const spe::Tuple& t) {
+                                 return std::to_string(t.job);
+                               });
+  auto sink = publisher.AsSinkFn();
+  for (int i = 0; i < 100; ++i) {
+    spe::Tuple t = NumberedTuple(i);
+    t.job = i % 2;
+    sink(t);
+  }
+  publisher.AsFinishHook()();
+
+  auto subscriber =
+      std::move(ConnectorSubscriber::Create(&broker_, "conn", "g")).value();
+  auto source = subscriber->AsSourceFn();
+  std::map<std::int64_t, int> last;
+  while (auto tuple = source()) {
+    const int i = static_cast<int>(tuple->payload.Get("i").AsInt());
+    if (last.contains(tuple->job)) EXPECT_GT(i, last[tuple->job]);
+    last[tuple->job] = i;
+  }
+  EXPECT_EQ(last.size(), 2u);
+}
+
+TEST_F(ConnectorTest, StopEndsStreamWithoutEos) {
+  auto subscriber =
+      std::move(ConnectorSubscriber::Create(&broker_, "conn", "g")).value();
+  auto source = subscriber->AsSourceFn();
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    subscriber->Stop();
+  });
+  EXPECT_FALSE(source().has_value());  // returns once stopped
+  stopper.join();
+}
+
+TEST_F(ConnectorTest, SubscriberBlocksUntilDataArrives) {
+  auto subscriber =
+      std::move(ConnectorSubscriber::Create(&broker_, "conn", "g")).value();
+  auto source = subscriber->AsSourceFn();
+
+  ConnectorPublisher publisher(&broker_, "conn", nullptr);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    publisher.AsSinkFn()(NumberedTuple(7));
+  });
+  auto tuple = source();
+  producer.join();
+  ASSERT_TRUE(tuple.has_value());
+  EXPECT_EQ(tuple->payload.Get("i").AsInt(), 7);
+  subscriber->Stop();
+}
+
+TEST_F(ConnectorTest, ImageTuplesCrossTheConnector) {
+  ConnectorPublisher publisher(&broker_, "conn", nullptr);
+  am::GrayImage image(64, 64, 99);
+  spe::Tuple t = NumberedTuple(0);
+  t.payload.Set("ot_image", am::MakeImageValue(image));
+  publisher.AsSinkFn()(t);
+  publisher.AsFinishHook()();
+
+  auto subscriber =
+      std::move(ConnectorSubscriber::Create(&broker_, "conn", "g")).value();
+  auto source = subscriber->AsSourceFn();
+  auto received = source();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(
+      received->payload.Get("ot_image").AsOpaque<am::ImageValue>()->image(),
+      image);
+  EXPECT_FALSE(source().has_value());
+}
+
+TEST_F(ConnectorTest, TwoGroupsEachSeeAllTuples) {
+  ConnectorPublisher publisher(&broker_, "conn", nullptr);
+  auto sink = publisher.AsSinkFn();
+  for (int i = 0; i < 5; ++i) sink(NumberedTuple(i));
+  publisher.AsFinishHook()();
+
+  for (const char* group : {"g1", "g2"}) {
+    auto subscriber =
+        std::move(ConnectorSubscriber::Create(&broker_, "conn", group)).value();
+    auto source = subscriber->AsSourceFn();
+    int count = 0;
+    while (source().has_value()) ++count;
+    EXPECT_EQ(count, 5) << group;
+  }
+}
+
+}  // namespace
+}  // namespace strata::core

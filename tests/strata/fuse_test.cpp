@@ -1,0 +1,178 @@
+// Focused tests of fuse() semantics (Table 1): τ-equality vs windowed
+// matching, the GB parameter over payload sub-attributes, and the
+// unique-key assumption.
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "strata/strata.hpp"
+
+namespace strata::core {
+namespace {
+
+struct SourceSpec {
+  std::int64_t job = 1;
+  Timestamp skew = 0;
+  std::string value_key = "v";
+  std::string group_attr;   // payload attribute to set (optional)
+  std::int64_t group_mod = 0;
+};
+
+spe::SourceFn LayerSource(SourceSpec spec, int layers) {
+  auto next = std::make_shared<int>(0);
+  return [spec, layers, next]() -> std::optional<spe::Tuple> {
+    if (*next >= layers) return std::nullopt;
+    spe::Tuple t;
+    t.layer = (*next)++;
+    t.event_time = (t.layer + 1) * 1'000'000 + spec.skew;
+    t.job = spec.job;
+    t.payload.Set(spec.value_key, t.layer);
+    if (!spec.group_attr.empty()) {
+      t.payload.Set(spec.group_attr, t.layer % spec.group_mod);
+    }
+    return t;
+  };
+}
+
+class Fused {
+ public:
+  explicit Fused(Strata* strata, SourceSpec left, SourceSpec right,
+                 int layers, std::optional<spe::WindowSpec> window,
+                 std::vector<std::string> group_by = {}) {
+    left.value_key = "left";
+    right.value_key = "right";
+    auto l = strata->AddSource("L", LayerSource(left, layers));
+    auto r = strata->AddSource("R", LayerSource(right, layers));
+    auto fused = strata->Fuse("fuse", l, r, window, std::move(group_by));
+    strata->Deliver("sink", fused, [this](const spe::Tuple& t) {
+      std::lock_guard lock(mu_);
+      tuples_.push_back(t);
+    });
+    strata->Deploy();
+    strata->WaitForCompletion();
+  }
+
+  [[nodiscard]] std::vector<spe::Tuple> tuples() const {
+    std::lock_guard lock(mu_);
+    return tuples_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<spe::Tuple> tuples_;
+};
+
+TEST(Fuse, TauEqualityMatchesAlignedSources) {
+  Strata strata;
+  Fused fused(&strata, {}, {}, 20, std::nullopt);
+  EXPECT_EQ(fused.tuples().size(), 20u);
+}
+
+TEST(Fuse, TauEqualityRejectsSkewedSources) {
+  Strata strata;
+  SourceSpec skewed;
+  skewed.skew = 500;  // 0.5 ms clock skew
+  Fused fused(&strata, {}, skewed, 20, std::nullopt);
+  EXPECT_TRUE(fused.tuples().empty());
+}
+
+TEST(Fuse, WindowedFuseToleratesSkew) {
+  Strata strata;
+  SourceSpec skewed;
+  skewed.skew = 500;
+  Fused fused(&strata, {}, skewed, 20,
+              spe::WindowSpec{/*size=*/10'000, /*advance=*/10'000});
+  EXPECT_EQ(fused.tuples().size(), 20u);
+}
+
+TEST(Fuse, WindowBoundsMatching) {
+  // Skew beyond the window: no matches even with a window.
+  Strata strata;
+  SourceSpec skewed;
+  skewed.skew = 50'000;
+  Fused fused(&strata, {}, skewed, 20,
+              spe::WindowSpec{10'000, 10'000});
+  EXPECT_TRUE(fused.tuples().empty());
+}
+
+TEST(Fuse, FusedPayloadConcatenatesBothSides) {
+  Strata strata;
+  Fused fused(&strata, {}, {}, 5, std::nullopt);
+  for (const spe::Tuple& t : fused.tuples()) {
+    ASSERT_TRUE(t.payload.Has("left"));
+    ASSERT_TRUE(t.payload.Has("right"));
+    EXPECT_EQ(t.payload.Get("left").AsInt(), t.payload.Get("right").AsInt());
+    EXPECT_EQ(t.payload.Get("left").AsInt(), t.layer);
+  }
+}
+
+TEST(Fuse, GroupByAttributeMustAgree) {
+  // Left tagged layer%2, right layer%3: fuse with GB=["tag"] only matches
+  // layers where layer%2 == layer%3 (layers 0,1 mod 6, i.e. 0,1,6,7,...).
+  Strata strata;
+  SourceSpec left;
+  left.group_attr = "tag";
+  left.group_mod = 2;
+  SourceSpec right;
+  right.group_attr = "tag";
+  right.group_mod = 3;
+  Fused fused(&strata, left, right, 12, std::nullopt, {"tag"});
+
+  std::set<std::int64_t> matched_layers;
+  for (const spe::Tuple& t : fused.tuples()) {
+    matched_layers.insert(t.layer);
+  }
+  // The per-layer join key already includes (job, layer); the tag narrows it.
+  EXPECT_EQ(matched_layers,
+            (std::set<std::int64_t>{0, 1, 6, 7}));
+}
+
+TEST(Fuse, GroupByMissingAttributeNeverMatchesTagged) {
+  Strata strata;
+  SourceSpec left;  // no tag attribute
+  SourceSpec right;
+  right.group_attr = "tag";
+  right.group_mod = 2;
+  Fused fused(&strata, left, right, 8, std::nullopt, {"tag"});
+  // "<none>" vs "0"/"1": nothing fuses.
+  EXPECT_TRUE(fused.tuples().empty());
+}
+
+TEST(Fuse, EqualDuplicatePayloadKeysMergeOnce) {
+  Strata strata;
+  SourceSpec left;
+  left.group_attr = "shared";  // both sides carry "shared" with EQUAL values
+  left.group_mod = 2;
+  SourceSpec right;
+  right.group_attr = "shared";
+  right.group_mod = 2;
+  Fused fused(&strata, left, right, 6, std::nullopt);
+  ASSERT_EQ(fused.tuples().size(), 6u);
+  for (const spe::Tuple& t : fused.tuples()) {
+    // The duplicate is deduplicated, not doubled.
+    int shared_count = 0;
+    for (const auto& [k, v] : t.payload) {
+      if (k == "shared") ++shared_count;
+    }
+    EXPECT_EQ(shared_count, 1);
+  }
+}
+
+TEST(Fuse, ConflictingDuplicatePayloadKeysDropPair) {
+  Strata strata;
+  SourceSpec left;
+  left.group_attr = "shared";
+  left.group_mod = 2;  // shared = layer % 2
+  SourceSpec right;
+  right.group_attr = "shared";
+  right.group_mod = 3;  // shared = layer % 3
+  // Layers where layer%2 != layer%3 conflict -> dropped; layers 0,1 (of 6)
+  // agree -> fused.
+  Fused fused(&strata, left, right, 6, std::nullopt);
+  std::set<std::int64_t> matched;
+  for (const spe::Tuple& t : fused.tuples()) matched.insert(t.layer);
+  EXPECT_EQ(matched, (std::set<std::int64_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace strata::core

@@ -1,0 +1,219 @@
+// End-to-end integration: the full Algorithm-1 pipeline over a simulated
+// job, including defect-recovery checks against the seeded ground truth and
+// QoS latency sanity.
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "strata/usecase.hpp"
+
+namespace strata::core {
+namespace {
+
+struct PipelineRun {
+  std::vector<ClusterReport> reports;
+  Histogram latency;
+  std::shared_ptr<am::MachineSimulator> machine;
+};
+
+PipelineRun RunPipeline(Strata* strata, am::MachineParams machine_params,
+                        UseCaseParams params,
+                        CollectorPacing pacing = {
+                            .mode = CollectorPacing::Mode::kReplay,
+                            .replay_rate = 0.0}) {
+  PipelineRun run;
+  ComputeAndStoreThresholds(strata, params.machine_id, machine_params.job,
+                            /*history_layers=*/3, params.cell_px)
+      .OrDie();
+  run.machine = std::make_shared<am::MachineSimulator>(machine_params);
+
+  std::mutex mu;
+  auto* sink = BuildThermalPipeline(
+      strata, run.machine, pacing, params, [&](const ClusterReport& report) {
+        std::lock_guard lock(mu);
+        run.reports.push_back(report);
+      });
+  strata->Deploy();
+  strata->WaitForCompletion();
+  run.latency = sink->LatencySnapshot();
+  return run;
+}
+
+am::MachineParams SmallMachineParams(int layers = 30, double birth_rate = 0.1) {
+  am::MachineParams params;
+  params.job = am::MakeSmallJob(1, /*image_px=*/250, /*specimens=*/2);
+  params.layers_limit = layers;
+  params.defects.birth_rate = birth_rate;
+  params.defects.mean_intensity_delta = 50.0;
+  return params;
+}
+
+TEST(ThermalPipeline, ProducesOneReportPerLayerPerSpecimen) {
+  Strata strata;
+  UseCaseParams params;
+  params.cell_px = 5;
+  params.correlate_layers = 5;
+  auto run = RunPipeline(&strata, SmallMachineParams(20), params);
+
+  // 20 layers x 2 specimens.
+  EXPECT_EQ(run.reports.size(), 40u);
+  std::map<std::int64_t, std::set<std::int64_t>> layers_by_specimen;
+  for (const ClusterReport& report : run.reports) {
+    EXPECT_EQ(report.job, 1);
+    layers_by_specimen[report.specimen].insert(report.layer);
+  }
+  EXPECT_EQ(layers_by_specimen.size(), 2u);
+  EXPECT_EQ(layers_by_specimen[0].size(), 20u);
+  EXPECT_EQ(layers_by_specimen[1].size(), 20u);
+}
+
+TEST(ThermalPipeline, LatencyRecordedPerReport) {
+  Strata strata;
+  UseCaseParams params;
+  params.cell_px = 5;
+  auto run = RunPipeline(&strata, SmallMachineParams(10), params);
+  EXPECT_EQ(run.latency.count(), run.reports.size());
+  EXPECT_GT(run.latency.max(), 0);
+  // Replay on a tiny job must stay far under the 3 s QoS budget.
+  EXPECT_LT(run.latency.max(), SecondsToMicros(3.0));
+}
+
+TEST(ThermalPipeline, RecoversSeededDefectRegions) {
+  Strata strata;
+  // Strong, frequent defects so recovery is unambiguous.
+  am::MachineParams machine_params = SmallMachineParams(40, 0.15);
+  machine_params.defects.mean_intensity_delta = 60.0;
+  machine_params.defects.mean_radius_mm = 3.0;
+
+  UseCaseParams params;
+  params.cell_px = 4;
+  params.correlate_layers = 10;
+  params.dbscan_min_pts = 3;
+  params.min_report_points = 4;
+  auto run = RunPipeline(&strata, machine_params, params);
+
+  // Ground truth: defects overlapping the printed window.
+  const auto& defects = run.machine->seeder().defects();
+  std::size_t truth_defects = 0;
+  for (const auto& defect : defects) {
+    if (defect.center_layer < 40) ++truth_defects;
+  }
+  ASSERT_GT(truth_defects, 0u) << "seeder produced no defects to recover";
+
+  // At least one reported cluster must sit near a seeded defect centre.
+  std::size_t matched = 0;
+  for (const ClusterReport& report : run.reports) {
+    for (const auto& summary : report.clusters) {
+      for (const auto& defect : defects) {
+        const double dx = summary.centroid_x - defect.center_x_mm;
+        const double dy = summary.centroid_y - defect.center_y_mm;
+        if (dx * dx + dy * dy <
+            (defect.radius_mm + 2.0) * (defect.radius_mm + 2.0)) {
+          ++matched;
+        }
+      }
+    }
+  }
+  EXPECT_GT(matched, 0u) << "no reported cluster matched a seeded defect";
+}
+
+TEST(ThermalPipeline, CleanJobReportsFewClusters) {
+  Strata strata;
+  am::MachineParams machine_params = SmallMachineParams(20, /*birth_rate=*/0.0);
+  UseCaseParams params;
+  params.cell_px = 5;
+  params.min_report_points = 6;
+  auto run = RunPipeline(&strata, machine_params, params);
+
+  std::size_t total_clusters = 0;
+  for (const ClusterReport& report : run.reports) {
+    total_clusters += report.clusters.size();
+  }
+  // Threshold tails produce isolated false events, but they should rarely
+  // form reportable clusters on a defect-free build.
+  EXPECT_LE(total_clusters, run.reports.size() / 4);
+}
+
+TEST(ThermalPipeline, ParallelStagesProduceSameReportCount) {
+  UseCaseParams sequential;
+  sequential.cell_px = 5;
+  UseCaseParams parallel = sequential;
+  parallel.partition_parallelism = 3;
+  parallel.detect_parallelism = 3;
+
+  Strata s1;
+  auto run1 = RunPipeline(&s1, SmallMachineParams(15), sequential);
+  Strata s2;
+  auto run2 = RunPipeline(&s2, SmallMachineParams(15), parallel);
+
+  EXPECT_EQ(run1.reports.size(), run2.reports.size());
+
+  // Same per-(layer, specimen) event totals regardless of parallelism.
+  auto window_events = [](const PipelineRun& run) {
+    std::map<std::pair<std::int64_t, std::int64_t>, std::size_t> m;
+    for (const ClusterReport& r : run.reports) {
+      m[{r.layer, r.specimen}] = r.window_events;
+    }
+    return m;
+  };
+  EXPECT_EQ(window_events(run1), window_events(run2));
+}
+
+TEST(ThermalPipeline, LivePacingMeetsQosOnCompressedClock) {
+  Strata strata;
+  UseCaseParams params;
+  params.cell_px = 5;
+  // Live mode compressed 1000x: 33 ms per layer.
+  CollectorPacing pacing;
+  pacing.mode = CollectorPacing::Mode::kLive;
+  pacing.time_scale = 0.001;
+  auto run = RunPipeline(&strata, SmallMachineParams(10), params, pacing);
+  EXPECT_EQ(run.reports.size(), 20u);
+  EXPECT_LT(run.latency.Quantile(0.99), SecondsToMicros(3.0));
+}
+
+TEST(ThermalPipeline, EventConnectorTopicExists) {
+  Strata strata;
+  UseCaseParams params;
+  params.cell_px = 5;
+  params.machine_id = "mX";
+  auto run = RunPipeline(&strata, SmallMachineParams(5), params);
+  EXPECT_TRUE(strata.broker().HasTopic("raw.ot.mX"));
+  EXPECT_TRUE(strata.broker().HasTopic("raw.pp.mX"));
+  EXPECT_TRUE(strata.broker().HasTopic("events.cluster.mX"));
+}
+
+TEST(ThermalPipeline, TwoMachinesRunInParallelPipelines) {
+  Strata strata;
+  std::mutex mu;
+  std::map<std::string, std::size_t> reports_per_machine;
+
+  std::vector<std::shared_ptr<am::MachineSimulator>> machines;
+  for (int m = 0; m < 2; ++m) {
+    UseCaseParams params;
+    params.machine_id = "m" + std::to_string(m);
+    params.cell_px = 5;
+    am::MachineParams machine_params = SmallMachineParams(10);
+    machine_params.job.job_id = m + 1;
+    ComputeAndStoreThresholds(&strata, params.machine_id, machine_params.job,
+                              3, params.cell_px)
+        .OrDie();
+    auto machine = std::make_shared<am::MachineSimulator>(machine_params);
+    machines.push_back(machine);
+    CollectorPacing pacing;
+    pacing.mode = CollectorPacing::Mode::kReplay;
+    BuildThermalPipeline(&strata, machine, pacing, params,
+                         [&, id = params.machine_id](const ClusterReport&) {
+                           std::lock_guard lock(mu);
+                           ++reports_per_machine[id];
+                         });
+  }
+  strata.Deploy();
+  strata.WaitForCompletion();
+
+  EXPECT_EQ(reports_per_machine["m0"], 20u);
+  EXPECT_EQ(reports_per_machine["m1"], 20u);
+}
+
+}  // namespace
+}  // namespace strata::core

@@ -1,0 +1,146 @@
+// Failure injection at the framework level: broken user functions inside
+// Table-1 stages, missing KV data, and connector behavior under forced
+// shutdown must all degrade gracefully.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "strata/usecase.hpp"
+
+namespace strata::core {
+namespace {
+
+spe::SourceFn CountingSource(int layers) {
+  auto next = std::make_shared<int>(0);
+  return [layers, next]() -> std::optional<spe::Tuple> {
+    if (*next >= layers) return std::nullopt;
+    spe::Tuple t;
+    t.job = 1;
+    t.layer = (*next)++;
+    t.event_time = (t.layer + 1) * 1000;
+    t.payload.Set("v", t.layer);
+    return t;
+  };
+}
+
+TEST(StrataFault, ThrowingPartitionFnDropsTuplesOnly) {
+  Strata strata;
+  auto src = strata.AddSource("src", CountingSource(10));
+  auto partitioned =
+      strata.Partition("boom", src, [](const spe::Tuple& t) -> std::vector<spe::Tuple> {
+        if (t.layer % 2 == 0) throw std::runtime_error("injected");
+        return {t};
+      });
+  std::atomic<int> delivered{0};
+  strata.Deliver("sink", partitioned, [&](const spe::Tuple&) { ++delivered; });
+  strata.Deploy();
+  strata.WaitForCompletion();
+  EXPECT_EQ(delivered.load(), 5);
+}
+
+TEST(StrataFault, ThrowingDetectFnDropsTuplesOnly) {
+  Strata strata;
+  auto src = strata.AddSource("src", CountingSource(10));
+  auto events =
+      strata.DetectEvent("boom", src, [](const spe::Tuple& t) -> std::vector<spe::Tuple> {
+        if (t.layer == 3) throw std::logic_error("injected");
+        return {t};
+      });
+  std::atomic<int> delivered{0};
+  strata.Deliver("sink", events, [&](const spe::Tuple&) { ++delivered; });
+  strata.Deploy();
+  strata.WaitForCompletion();
+  EXPECT_EQ(delivered.load(), 9);
+}
+
+TEST(StrataFault, ThrowingCorrelateFnSkipsWindow) {
+  Strata strata;
+  constexpr int kLayers = 4;
+  auto next = std::make_shared<int>(0);
+  auto src = strata.AddSource("src", [next]() -> std::optional<spe::Tuple> {
+    if (*next >= kLayers) return std::nullopt;
+    spe::Tuple t;
+    t.job = 1;
+    t.layer = (*next)++;
+    t.specimen = 0;
+    t.event_time = (t.layer + 1) * 1000;
+    t.payload.Set(kLayerMarkerKey, true);  // marker-only layers
+    return t;
+  });
+  auto out = strata.CorrelateEvents(
+      "boom", src, 1, [](const EventWindow& w) -> std::vector<spe::Tuple> {
+        if (w.layer == 1) throw std::runtime_error("injected");
+        spe::Tuple t;
+        t.payload.Set("ok", true);
+        return {t};
+      });
+  std::atomic<int> delivered{0};
+  strata.Deliver("sink", out, [&](const spe::Tuple&) { ++delivered; });
+  strata.Deploy();
+  strata.WaitForCompletion();
+  EXPECT_EQ(delivered.load(), kLayers - 1);
+}
+
+TEST(StrataFault, LabelCellWithMissingThresholdsDropsCellsNotPipeline) {
+  // In-pipeline: LabelCell's OrDie throws inside the operator; the guard
+  // drops cells but markers still flow, so the pipeline completes with
+  // empty windows instead of hanging or crashing.
+  Strata strata;
+  am::MachineParams machine_params;
+  machine_params.job = am::MakeSmallJob(1, 150, 1);
+  machine_params.layers_limit = 3;
+  auto machine = std::make_shared<am::MachineSimulator>(machine_params);
+
+  UseCaseParams params;
+  params.machine_id = "no-thresholds";
+  params.cell_px = 5;
+  std::atomic<int> reports{0};
+  std::atomic<int> total_events{0};
+  BuildThermalPipeline(&strata, machine,
+                       CollectorPacing{.mode = CollectorPacing::Mode::kReplay},
+                       params, [&](const ClusterReport& report) {
+                         ++reports;
+                         total_events += static_cast<int>(report.window_events);
+                       });
+  strata.Deploy();
+  strata.WaitForCompletion();
+  EXPECT_EQ(reports.load(), 3);       // one per layer (1 specimen)
+  EXPECT_EQ(total_events.load(), 0);  // every cell dropped at labelCell
+}
+
+TEST(StrataFault, ShutdownDuringActivePipelineNeverHangs) {
+  for (int round = 0; round < 3; ++round) {
+    Strata strata;
+    std::atomic<std::int64_t> counter{0};
+    auto src = strata.AddSource("inf", [&]() -> std::optional<spe::Tuple> {
+      spe::Tuple t;
+      t.job = 1;
+      t.layer = counter++;
+      t.event_time = t.layer + 1;
+      t.payload.Set("v", t.layer);
+      return t;
+    });
+    auto part = strata.Partition("p", src, nullptr);
+    std::atomic<int> seen{0};
+    strata.Deliver("sink", part, [&](const spe::Tuple&) { ++seen; });
+    strata.Deploy();
+    while (seen.load() < 50) std::this_thread::yield();
+    strata.Shutdown();
+    SUCCEED();
+  }
+}
+
+TEST(StrataFault, StoreGetAfterShutdownStillWorks) {
+  Strata strata;
+  auto src = strata.AddSource("src", CountingSource(1));
+  strata.Deliver("sink", src, [](const spe::Tuple&) {});
+  strata.Deploy();
+  strata.WaitForCompletion();
+  strata.Shutdown();
+  // The KV store remains usable for post-mortem analysis.
+  ASSERT_TRUE(strata.Store("post", "shutdown").ok());
+  EXPECT_EQ(*strata.Get("post"), "shutdown");
+}
+
+}  // namespace
+}  // namespace strata::core

@@ -1,0 +1,113 @@
+#include "strata/transport.hpp"
+
+#include <gtest/gtest.h>
+
+namespace strata::core {
+namespace {
+
+spe::Tuple FullTuple() {
+  spe::Tuple t;
+  t.event_time = 123456789;
+  t.job = 7;
+  t.layer = 42;
+  t.specimen = 3;
+  t.portion = 9;
+  t.stimulus = 987654;
+  t.payload.Set("double", 3.5);
+  t.payload.Set("int", std::int64_t{-12});
+  t.payload.Set("string", "hello");
+  t.payload.Set("bool", true);
+  return t;
+}
+
+TEST(TupleTransport, ScalarRoundTrip) {
+  const spe::Tuple original = FullTuple();
+  std::string encoded;
+  ASSERT_TRUE(EncodeTuple(original, &encoded).ok());
+  auto decoded = DecodeTuple(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->event_time, original.event_time);
+  EXPECT_EQ(decoded->job, original.job);
+  EXPECT_EQ(decoded->layer, original.layer);
+  EXPECT_EQ(decoded->specimen, original.specimen);
+  EXPECT_EQ(decoded->portion, original.portion);
+  EXPECT_EQ(decoded->stimulus, original.stimulus);
+  EXPECT_EQ(decoded->payload, original.payload);
+}
+
+TEST(TupleTransport, ImagePayloadRoundTrip) {
+  am::GrayImage image(32, 16);
+  image.set(5, 5, 200);
+  spe::Tuple t;
+  t.job = 1;
+  t.layer = 2;
+  t.payload.Set("ot_image", am::MakeImageValue(image));
+  t.payload.Set("angle", 45.0);
+
+  std::string encoded;
+  ASSERT_TRUE(EncodeTuple(t, &encoded).ok());
+  auto decoded = DecodeTuple(encoded);
+  ASSERT_TRUE(decoded.ok());
+  const auto unwrapped =
+      decoded->payload.Get("ot_image").AsOpaque<am::ImageValue>();
+  EXPECT_EQ(unwrapped->image(), image);
+  EXPECT_DOUBLE_EQ(decoded->payload.Get("angle").AsDouble(), 45.0);
+}
+
+TEST(TupleTransport, UnsupportedOpaqueRejected) {
+  class Other final : public OpaqueValue {
+   public:
+    [[nodiscard]] const char* TypeName() const noexcept override { return "x"; }
+    [[nodiscard]] std::size_t ApproxBytes() const noexcept override { return 0; }
+  };
+  spe::Tuple t;
+  t.payload.Set("bad", Value(OpaqueRef(std::make_shared<const Other>())));
+  std::string encoded;
+  EXPECT_EQ(EncodeTuple(t, &encoded).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TupleTransport, UnsetMetadataSurvives) {
+  spe::Tuple t;  // all ids unset (-1)
+  std::string encoded;
+  ASSERT_TRUE(EncodeTuple(t, &encoded).ok());
+  auto decoded = DecodeTuple(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->job, spe::kUnsetId);
+  EXPECT_EQ(decoded->specimen, spe::kUnsetId);
+}
+
+TEST(TupleTransport, DecodeRejectsTruncation) {
+  const spe::Tuple original = FullTuple();
+  std::string encoded;
+  ASSERT_TRUE(EncodeTuple(original, &encoded).ok());
+  for (std::size_t cut = 1; cut <= encoded.size(); cut += 3) {
+    EXPECT_FALSE(
+        DecodeTuple(std::string_view(encoded.data(), encoded.size() - cut))
+            .ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(TupleTransport, DecodeRejectsTrailingBytes) {
+  std::string encoded;
+  ASSERT_TRUE(EncodeTuple(FullTuple(), &encoded).ok());
+  encoded += "junk";
+  EXPECT_FALSE(DecodeTuple(encoded).ok());
+}
+
+TEST(PartitionKeys, RawKeyGroupsByJobAndLayer) {
+  spe::Tuple t;
+  t.job = 3;
+  t.layer = 14;
+  EXPECT_EQ(RawDataKey(t), "3|14");
+}
+
+TEST(PartitionKeys, EventKeyGroupsByJobAndSpecimen) {
+  spe::Tuple t;
+  t.job = 3;
+  t.specimen = 5;
+  EXPECT_EQ(EventKey(t), "3|5");
+}
+
+}  // namespace
+}  // namespace strata::core

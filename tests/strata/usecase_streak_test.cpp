@@ -1,0 +1,230 @@
+// Recoater-streak use-case: unit tests of the detection/correlation
+// functions plus end-to-end recovery of seeded streaks.
+#include "strata/usecase_streak.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+namespace strata::core {
+namespace {
+
+spe::Tuple SpecimenFrameWithStreak(int image_px, double streak_x_rel,
+                                   double drop) {
+  // 1-specimen job; render a frame and darken one column band by hand.
+  const am::BuildJobSpec job = am::MakeSmallJob(1, image_px, 1);
+  am::OtImageGenerator generator(job, nullptr);
+  am::GrayImage frame = generator.GenerateLayer(0);
+
+  const am::SpecimenSpec& s = job.specimens[0];
+  const int band_x = job.plate.MmToPx(s.x_mm + streak_x_rel);
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int dx = 0; dx < 2; ++dx) {
+      const int x = band_x + dx;
+      if (x < frame.width() && frame.at(x, y) > drop) {
+        frame.set(x, y, static_cast<std::uint8_t>(frame.at(x, y) - drop));
+      }
+    }
+  }
+
+  spe::Tuple t;
+  t.job = 1;
+  t.layer = 0;
+  t.specimen = 0;
+  t.event_time = 1000;
+  t.payload.Set(kOtImageKey, am::MakeImageValue(std::move(frame)));
+  t.payload.Set("x_mm", s.x_mm);
+  t.payload.Set("y_mm", s.y_mm);
+  t.payload.Set("w_mm", s.width_mm);
+  t.payload.Set("l_mm", s.length_mm);
+  t.payload.Set("px_per_mm", job.plate.PxPerMm());
+  return t;
+}
+
+TEST(DetectStreakColumns, FindsDarkenedColumns) {
+  const spe::Tuple frame = SpecimenFrameWithStreak(500, 12.0, 30.0);
+  const auto events = DetectStreakColumns(15.0)(frame);
+  ASSERT_FALSE(events.empty());
+  for (const spe::Tuple& event : events) {
+    EXPECT_NEAR(event.payload.Get("cx_mm").AsDouble(),
+                frame.payload.Get("x_mm").AsDouble() + 12.0, 2.0);
+    EXPECT_GT(event.payload.Get("deviation").AsDouble(), 15.0);
+  }
+}
+
+TEST(DetectStreakColumns, CleanFrameNoEvents) {
+  const am::BuildJobSpec job = am::MakeSmallJob(1, 500, 1);
+  am::OtImageGenerator generator(job, nullptr);
+  spe::Tuple t;
+  t.specimen = 0;
+  const am::SpecimenSpec& s = job.specimens[0];
+  t.payload.Set(kOtImageKey, am::MakeImageValue(generator.GenerateLayer(0)));
+  t.payload.Set("x_mm", s.x_mm);
+  t.payload.Set("y_mm", s.y_mm);
+  t.payload.Set("w_mm", s.width_mm);
+  t.payload.Set("l_mm", s.length_mm);
+  t.payload.Set("px_per_mm", job.plate.PxPerMm());
+  EXPECT_TRUE(DetectStreakColumns(15.0)(t).empty());
+}
+
+TEST(DetectStreakColumns, ForwardsMarkers) {
+  spe::Tuple marker;
+  marker.payload.Set(kLayerMarkerKey, true);
+  const auto out = DetectStreakColumns(15.0)(marker);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(IsLayerMarker(out[0]));
+}
+
+TEST(StreakCorrelator, RequiresLayerPersistence) {
+  StreakUseCaseParams params;
+  params.min_span_layers = 3;
+  params.dbscan_min_pts = 2;
+  auto fn = StreakCorrelator(params);
+
+  auto event_at = [](double x, std::int64_t layer) {
+    spe::Tuple e;
+    e.layer = layer;
+    e.payload.Set("cx_mm", x);
+    e.payload.Set("deviation", 20.0);
+    return e;
+  };
+
+  // Same x across 1 layer only: not reported.
+  EventWindow shallow;
+  shallow.layer = 2;
+  shallow.events = {event_at(50.0, 2), event_at(50.5, 2)};
+  EXPECT_TRUE(fn(shallow).empty());
+
+  // Same x across 3 layers: reported.
+  EventWindow deep;
+  deep.layer = 4;
+  for (std::int64_t l = 2; l <= 4; ++l) {
+    deep.events.push_back(event_at(50.0, l));
+    deep.events.push_back(event_at(50.5, l));
+  }
+  const auto out = fn(deep);
+  ASSERT_EQ(out.size(), 1u);
+  const auto report =
+      out[0].payload.Get("report").AsOpaque<ClusterReportValue>();
+  ASSERT_EQ(report->report().clusters.size(), 1u);
+  EXPECT_GE(report->report().clusters[0].layer_span(), 3);
+}
+
+TEST(StreakPipeline, RecoversSeededStreaks) {
+  Strata strata_rt;
+  am::MachineParams machine_params;
+  machine_params.job = am::MakeSmallJob(1, 400, 2);
+  machine_params.layers_limit = 40;
+  machine_params.defects.birth_rate = 0.0;  // isolate the streak signal
+  am::StreakModelParams streaks;
+  streaks.rate_per_layer = 0.15;
+  streaks.mean_span_layers = 8;
+  streaks.mean_intensity_drop = 30.0;
+  machine_params.streaks = streaks;
+
+  auto machine = std::make_shared<am::MachineSimulator>(machine_params);
+  ASSERT_NE(machine->streak_seeder(), nullptr);
+
+  // Ground truth streaks that cross a specimen for >= 3 layers.
+  std::vector<const am::Streak*> detectable;
+  for (const am::Streak& streak : machine->streak_seeder()->streaks()) {
+    if (streak.start_layer >= 38) continue;
+    for (const am::SpecimenSpec& s : machine_params.job.specimens) {
+      if (streak.x_mm > s.x_mm && streak.x_mm < s.x_mm + s.width_mm &&
+          streak.end_layer - streak.start_layer >= 2) {
+        detectable.push_back(&streak);
+      }
+    }
+  }
+  ASSERT_FALSE(detectable.empty()) << "seed produced no detectable streaks";
+
+  StreakUseCaseParams params;
+  params.column_drop = 12.0;
+  params.min_span_layers = 3;
+
+  std::mutex mu;
+  std::vector<ClusterReport> reports;
+  BuildStreakPipeline(&strata_rt, machine,
+                      CollectorPacing{.mode = CollectorPacing::Mode::kReplay},
+                      params, [&](const ClusterReport& report) {
+                        std::lock_guard lock(mu);
+                        reports.push_back(report);
+                      });
+  strata_rt.Deploy();
+  strata_rt.WaitForCompletion();
+
+  ASSERT_FALSE(reports.empty()) << "no streaks reported";
+  // Every reported streak must match a seeded one in x.
+  std::size_t matched = 0;
+  for (const ClusterReport& report : reports) {
+    for (const auto& summary : report.clusters) {
+      for (const am::Streak& truth : machine->streak_seeder()->streaks()) {
+        if (std::abs(summary.centroid_x - truth.x_mm) <
+            truth.width_mm / 2 + 1.5) {
+          ++matched;
+        }
+      }
+    }
+  }
+  EXPECT_GT(matched, 0u);
+}
+
+TEST(StreakPipeline, CleanRecoaterReportsNothing) {
+  Strata strata_rt;
+  am::MachineParams machine_params;
+  machine_params.job = am::MakeSmallJob(1, 400, 1);
+  machine_params.layers_limit = 15;
+  machine_params.defects.birth_rate = 0.0;
+  // no streak model: pristine recoater
+
+  auto machine = std::make_shared<am::MachineSimulator>(machine_params);
+  StreakUseCaseParams params;
+
+  std::atomic<int> reports{0};
+  BuildStreakPipeline(&strata_rt, machine,
+                      CollectorPacing{.mode = CollectorPacing::Mode::kReplay},
+                      params, [&](const ClusterReport&) { ++reports; });
+  strata_rt.Deploy();
+  strata_rt.WaitForCompletion();
+  EXPECT_EQ(reports.load(), 0);
+}
+
+TEST(XctSummary, AttributesClustersToCylinders) {
+  am::BuildJobSpec job = am::MakePaperJob(1, 500);
+  const am::SpecimenSpec& s = job.specimens[0];
+
+  ClusterReport in_cylinder;
+  in_cylinder.specimen = 0;
+  cluster::ClusterSummary hit;
+  hit.centroid_x = s.x_mm + s.xct_cylinders[1].cx_mm;
+  hit.centroid_y = s.y_mm + s.xct_cylinders[1].cy_mm;
+  hit.total_weight = 5.0;
+  in_cylinder.clusters.push_back(hit);
+
+  ClusterReport outside;
+  outside.specimen = 0;
+  cluster::ClusterSummary miss;
+  miss.centroid_x = s.x_mm + 1.0;
+  miss.centroid_y = s.y_mm + 1.0;
+  outside.clusters.push_back(miss);
+
+  const auto summaries =
+      SummarizeDefectsPerCylinder({in_cylinder, outside, in_cylinder}, job);
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].specimen, 0);
+  EXPECT_EQ(summaries[0].cylinder, 1);
+  EXPECT_EQ(summaries[0].cluster_observations, 2u);
+  EXPECT_DOUBLE_EQ(summaries[0].total_weight, 10.0);
+}
+
+TEST(XctSummary, IgnoresInvalidSpecimens) {
+  const am::BuildJobSpec job = am::MakePaperJob(1, 500);
+  ClusterReport bad;
+  bad.specimen = 99;
+  cluster::ClusterSummary c;
+  bad.clusters.push_back(c);
+  EXPECT_TRUE(SummarizeDefectsPerCylinder({bad}, job).empty());
+}
+
+}  // namespace
+}  // namespace strata::core

@@ -1,0 +1,270 @@
+// Unit tests of the Algorithm-1 user functions (isolateSpecimen,
+// isolateCell, labelCell, DBSCAN correlator) in isolation.
+#include "strata/usecase.hpp"
+
+#include <gtest/gtest.h>
+
+namespace strata::core {
+namespace {
+
+TEST(ClassifyCell, FiveClasses) {
+  am::ThermalThresholds t{100, 110, 140, 150};
+  EXPECT_EQ(ClassifyCell(90, t), CellLabel::kVeryCold);
+  EXPECT_EQ(ClassifyCell(105, t), CellLabel::kCold);
+  EXPECT_EQ(ClassifyCell(125, t), CellLabel::kRegular);
+  EXPECT_EQ(ClassifyCell(145, t), CellLabel::kWarm);
+  EXPECT_EQ(ClassifyCell(160, t), CellLabel::kVeryWarm);
+}
+
+TEST(ClassifyCell, BoundariesAreInclusiveToRegular) {
+  am::ThermalThresholds t{100, 110, 140, 150};
+  EXPECT_EQ(ClassifyCell(100, t), CellLabel::kCold);
+  EXPECT_EQ(ClassifyCell(110, t), CellLabel::kRegular);
+  EXPECT_EQ(ClassifyCell(140, t), CellLabel::kRegular);
+  EXPECT_EQ(ClassifyCell(150, t), CellLabel::kWarm);
+}
+
+spe::Tuple FusedLayerTupleOrDie(const am::BuildJobSpec& job, int layer) {
+  am::MachineParams machine_params;
+  machine_params.job = job;
+  am::MachineSimulator machine(machine_params);
+  am::OtImageGenerator generator(job, nullptr);
+  spe::Tuple t;
+  t.event_time = (layer + 1) * 1'000'000;
+  t.job = job.job_id;
+  t.layer = layer;
+  t.stimulus = 42;
+  t.payload.Set(kOtImageKey, am::MakeImageValue(generator.GenerateLayer(layer)));
+  t.payload.MergeDisjoint(machine.PrintingParams(layer)).OrDie();
+  return t;
+}
+
+TEST(IsolateSpecimen, EmitsOneTuplePlusMarkerPerSpecimen) {
+  const am::BuildJobSpec job = am::MakeSmallJob(1, 200, 2);
+  const spe::Tuple fused = FusedLayerTupleOrDie(job, 0);
+  auto fn = IsolateSpecimen();
+  const auto out = fn(fused);
+  ASSERT_EQ(out.size(), 4u);  // 2 specimens x (tuple + marker)
+
+  EXPECT_EQ(out[0].specimen, 0);
+  EXPECT_FALSE(IsLayerMarker(out[0]));
+  EXPECT_TRUE(IsLayerMarker(out[1]));
+  EXPECT_EQ(out[1].specimen, 0);
+  EXPECT_EQ(out[2].specimen, 1);
+  EXPECT_TRUE(IsLayerMarker(out[3]));
+
+  // Specimen tuples carry the frame and geometry.
+  EXPECT_TRUE(out[0].payload.Has(kOtImageKey));
+  EXPECT_TRUE(out[0].payload.Has("x_mm"));
+  EXPECT_TRUE(out[0].payload.Has("px_per_mm"));
+}
+
+TEST(IsolateSpecimen, SkipsToppedOutSpecimens) {
+  am::BuildJobSpec job = am::MakeSmallJob(1, 200, 2);
+  job.specimens[0].height_mm = 1.0;  // 25 layers at 40 um
+  const spe::Tuple fused = FusedLayerTupleOrDie(job, 50);
+  const auto out = IsolateSpecimen()(fused);
+  ASSERT_EQ(out.size(), 2u);  // only the tall specimen + its marker
+  EXPECT_EQ(out[0].specimen, 1);
+}
+
+TEST(IsolateSpecimen, ForwardsMarkersUntouched) {
+  spe::Tuple marker;
+  marker.payload.Set(kLayerMarkerKey, true);
+  const auto out = IsolateSpecimen()(marker);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(IsLayerMarker(out[0]));
+}
+
+TEST(IsolateCell, ProducesExpectedCellGrid) {
+  const am::BuildJobSpec job = am::MakeSmallJob(1, 200, 1);
+  const spe::Tuple fused = FusedLayerTupleOrDie(job, 0);
+  const auto specimens = IsolateSpecimen()(fused);
+  const spe::Tuple& spec_tuple = specimens[0];
+
+  // Specimen 25x50 mm at 0.8 px/mm (200px/250mm) = 20x40 px; cell 10 -> 2x4.
+  const auto cells = IsolateCell(10)(spec_tuple);
+  EXPECT_EQ(cells.size(), 8u);
+  std::set<std::int64_t> portions;
+  for (const spe::Tuple& cell : cells) {
+    EXPECT_TRUE(cell.payload.Has("mean"));
+    EXPECT_TRUE(cell.payload.Has("cx_mm"));
+    EXPECT_GT(cell.payload.Get("mean").AsDouble(), 50.0);  // melt emission
+    portions.insert(cell.portion);
+  }
+  EXPECT_EQ(portions.size(), 8u);  // distinct portion ids
+}
+
+TEST(IsolateCell, CellCountScalesInverseQuadratically) {
+  const am::BuildJobSpec job = am::MakeSmallJob(1, 400, 1);
+  const spe::Tuple fused = FusedLayerTupleOrDie(job, 0);
+  const auto specimens = IsolateSpecimen()(fused);
+  const auto big = IsolateCell(20)(specimens[0]).size();
+  const auto small = IsolateCell(10)(specimens[0]).size();
+  EXPECT_EQ(small, big * 4);
+}
+
+TEST(IsolateCell, RejectsBadCellSize) {
+  EXPECT_THROW(IsolateCell(0), std::invalid_argument);
+}
+
+TEST(LabelCell, ThrowsWhenThresholdsMissing) {
+  Strata strata;
+  auto fn = LabelCell(&strata, "machine-without-thresholds");
+  spe::Tuple cell;
+  cell.payload.Set("mean", 100.0);
+  cell.payload.Set("cx_mm", 1.0);
+  cell.payload.Set("cy_mm", 1.0);
+  EXPECT_THROW(fn(cell), std::runtime_error);
+}
+
+TEST(LabelCell, EmitsOnlyExtremeCells) {
+  Strata strata;
+  am::ThermalThresholds thresholds{100, 110, 140, 150};
+  ASSERT_TRUE(
+      strata.Store(am::ThresholdKey("m"), thresholds.Serialize()).ok());
+  auto fn = LabelCell(&strata, "m");
+
+  auto cell_with_mean = [](double mean) {
+    spe::Tuple t;
+    t.specimen = 2;
+    t.portion = 3;
+    t.payload.Set("mean", mean);
+    t.payload.Set("cx_mm", 5.0);
+    t.payload.Set("cy_mm", 6.0);
+    return t;
+  };
+
+  EXPECT_EQ(fn(cell_with_mean(125)).size(), 0u);  // regular
+  EXPECT_EQ(fn(cell_with_mean(105)).size(), 0u);  // cold but not very
+  EXPECT_EQ(fn(cell_with_mean(145)).size(), 0u);  // warm but not very
+
+  const auto cold_events = fn(cell_with_mean(90));
+  ASSERT_EQ(cold_events.size(), 1u);
+  EXPECT_EQ(cold_events[0].payload.Get("label").AsInt(),
+            static_cast<int>(CellLabel::kVeryCold));
+  EXPECT_EQ(cold_events[0].specimen, 2);
+  EXPECT_GT(cold_events[0].payload.Get("deviation").AsDouble(), 0.0);
+
+  const auto hot_events = fn(cell_with_mean(160));
+  ASSERT_EQ(hot_events.size(), 1u);
+  EXPECT_EQ(hot_events[0].payload.Get("label").AsInt(),
+            static_cast<int>(CellLabel::kVeryWarm));
+}
+
+TEST(LabelCell, ForwardsMarkers) {
+  Strata strata;
+  auto fn = LabelCell(&strata, "m");  // thresholds missing, but markers
+                                      // must pass without touching the KV.
+  spe::Tuple marker;
+  marker.payload.Set(kLayerMarkerKey, true);
+  const auto out = fn(marker);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(IsLayerMarker(out[0]));
+}
+
+TEST(DbscanCorrelator, ClustersWindowEvents) {
+  UseCaseParams params;
+  params.cell_px = 10;
+  params.min_report_points = 3;
+  params.dbscan_min_pts = 2;
+  auto fn = DbscanCorrelator(params, /*px_per_mm=*/8.0);
+
+  EventWindow window;
+  window.job = 1;
+  window.layer = 5;
+  window.specimen = 0;
+  // A tight clump of 4 events + 1 far outlier.
+  for (int i = 0; i < 4; ++i) {
+    spe::Tuple e;
+    e.layer = 5;
+    e.payload.Set("cx_mm", 10.0 + i * 0.5);
+    e.payload.Set("cy_mm", 10.0);
+    e.payload.Set("deviation", 20.0);
+    window.events.push_back(e);
+  }
+  spe::Tuple outlier;
+  outlier.layer = 5;
+  outlier.payload.Set("cx_mm", 100.0);
+  outlier.payload.Set("cy_mm", 100.0);
+  outlier.payload.Set("deviation", 20.0);
+  window.events.push_back(outlier);
+
+  const auto out = fn(window);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload.Get("cluster_count").AsInt(), 1);
+  EXPECT_EQ(out[0].payload.Get("window_events").AsInt(), 5);
+  EXPECT_EQ(out[0].payload.Get("noise_events").AsInt(), 1);
+
+  const auto report =
+      out[0].payload.Get("report").AsOpaque<ClusterReportValue>();
+  ASSERT_EQ(report->report().clusters.size(), 1u);
+  EXPECT_EQ(report->report().clusters[0].point_count, 4u);
+}
+
+TEST(DbscanCorrelator, EmptyWindowStillReports) {
+  UseCaseParams params;
+  auto fn = DbscanCorrelator(params, 8.0);
+  EventWindow window;
+  window.layer = 3;
+  const auto out = fn(window);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload.Get("cluster_count").AsInt(), 0);
+  EXPECT_EQ(out[0].payload.Get("window_events").AsInt(), 0);
+}
+
+TEST(DbscanCorrelator, RenderingProducedWhenEnabled) {
+  UseCaseParams params;
+  params.render_cluster_images = true;
+  params.dbscan_min_pts = 2;
+  auto fn = DbscanCorrelator(params, 8.0);
+  EventWindow window;
+  for (int i = 0; i < 3; ++i) {
+    spe::Tuple e;
+    e.layer = 0;
+    e.payload.Set("cx_mm", 5.0 + i);
+    e.payload.Set("cy_mm", 5.0);
+    e.payload.Set("deviation", 10.0);
+    window.events.push_back(e);
+  }
+  const auto out = fn(window);
+  ASSERT_EQ(out.size(), 1u);
+  const auto report =
+      out[0].payload.Get("report").AsOpaque<ClusterReportValue>();
+  ASSERT_NE(report->report().rendering, nullptr);
+  EXPECT_GT(report->report().rendering->width(), 0);
+}
+
+TEST(RenderClusterImage, PaintsClusterPoints) {
+  std::vector<cluster::Point> points{{5, 5, 0}, {6, 5, 0}, {20, 20, 0}};
+  std::vector<int> labels{0, 0, cluster::kNoise};
+  am::SpecimenSpec bounds;
+  bounds.x_mm = 0;
+  bounds.y_mm = 0;
+  bounds.width_mm = 25;
+  bounds.length_mm = 25;
+  const am::GrayImage image = RenderClusterImage(points, labels, bounds, 4.0);
+  EXPECT_EQ(image.width(), 100);
+  EXPECT_EQ(image.height(), 100);
+  EXPECT_GT(image.at(20, 20), 0);   // cluster point at (5mm,5mm)*4
+  EXPECT_GT(image.at(80, 80), 0);   // noise painted dim
+  EXPECT_LT(image.at(80, 80), 50);
+  EXPECT_EQ(image.at(50, 90), 0);   // empty area
+}
+
+TEST(ComputeAndStoreThresholds, WritesToKvStore) {
+  Strata strata;
+  const am::BuildJobSpec job = am::MakeSmallJob(1, 200, 1);
+  ASSERT_TRUE(
+      ComputeAndStoreThresholds(&strata, "m9", job, /*history_layers=*/3,
+                                /*cell_px=*/10)
+          .ok());
+  auto stored = strata.Get(am::ThresholdKey("m9"));
+  ASSERT_TRUE(stored.ok());
+  auto thresholds = am::ThermalThresholds::Deserialize(*stored);
+  ASSERT_TRUE(thresholds.ok());
+  EXPECT_TRUE(thresholds->valid());
+}
+
+}  // namespace
+}  // namespace strata::core
