@@ -93,7 +93,32 @@ struct SweepPoint {
   double kcells_s;
   double mean_latency_ms;
   double p95_latency_ms;
+  double blocked_ms;  // back-pressure: total producer block time (spe.stream)
 };
+
+/// Per-stage tuples_out from the metrics registry (parallel shards summed,
+/// plumbing operators excluded via the kind label).
+void PrintStageMetrics(const obs::MetricsSnapshot& snap) {
+  struct Stage {
+    const char* op;
+    const char* kind;
+  };
+  constexpr Stage kStages[] = {
+      {"fuse.m0", "join"},       {"spec.m0", "flatmap"},
+      {"cell.m0", "flatmap"},    {"label.m0", "flatmap"},
+      {"cluster.m0", "flatmap"}, {"expert.m0", "sink"},
+  };
+  std::printf("    stage tuples:");
+  for (const Stage& stage : kStages) {
+    // Sinks have no outputs; their traffic is what they consumed.
+    const bool is_sink = std::string_view(stage.kind) == "sink";
+    std::printf(" %s=%.0f", stage.op,
+                snap.Sum(is_sink ? "spe.operator.tuples_in"
+                                 : "spe.operator.tuples_out",
+                         "op", stage.op, {{"kind", stage.kind}}));
+  }
+  std::printf("\n");
+}
 
 SweepPoint RunReplayTrial(const FrameCache& cache, int cell_px, double rate,
                           int images) {
@@ -126,19 +151,21 @@ SweepPoint RunReplayTrial(const FrameCache& cache, int cell_px, double rate,
   strata_rt.WaitForCompletion();
   const double wall = MicrosToSeconds(Clock::System().Now() - start);
 
-  std::uint64_t cells_out = 0;
-  for (const auto& stats : strata_rt.query().Stats()) {
-    if (stats.name.rfind("cell.m0", 0) == 0 &&
-        stats.name.find(".router") == std::string::npos &&
-        stats.name.find(".union") == std::string::npos) {
-      cells_out += stats.tuples_out;
-    }
-  }
+  // Per-stage counts come from the metrics registry: parallel shards of the
+  // cell stage are summed by op-name prefix, with the kind label excluding
+  // the router/union plumbing around them.
+  const obs::MetricsSnapshot snap = strata_rt.MetricsSnapshot();
+  const double cells_out =
+      snap.Sum("spe.operator.tuples_out", "op", "cell.m0", {{"kind", "flatmap"}});
+  const double blocked_us =
+      snap.Sum("spe.stream.blocked_us", "stream", "");
+  PrintStageMetrics(snap);
   const Histogram latency = sink->LatencySnapshot();
   return SweepPoint{rate, images / wall,
-                    static_cast<double>(cells_out) / wall / 1000.0,
+                    cells_out / wall / 1000.0,
                     MicrosToMillis(static_cast<Timestamp>(latency.mean())),
-                    MicrosToMillis(latency.Quantile(0.95))};
+                    MicrosToMillis(latency.Quantile(0.95)),
+                    blocked_us / 1000.0};
 }
 
 }  // namespace
@@ -160,15 +187,17 @@ int main() {
     const int cell_px = std::max(1, paper_cell * image_px / 2000);
     std::printf("--- cell size %dx%d (paper scale) ---\n", paper_cell,
                 paper_cell);
-    std::printf("%12s %14s %12s %14s %14s\n", "offered/s", "achieved img/s",
-                "kcells/s", "mean lat(ms)", "p95 lat(ms)");
+    std::printf("%12s %14s %12s %14s %14s %12s\n", "offered/s",
+                "achieved img/s", "kcells/s", "mean lat(ms)", "p95 lat(ms)",
+                "blocked(ms)");
     for (double rate = 4; rate <= max_rate; rate *= 2) {
       const int images =
           std::clamp(static_cast<int>(rate * 4), 48, 256);
       const SweepPoint point = RunReplayTrial(cache, cell_px, rate, images);
-      std::printf("%12.0f %14.1f %12.1f %14.2f %14.2f\n", point.offered_rate,
-                  point.achieved_images_s, point.kcells_s,
-                  point.mean_latency_ms, point.p95_latency_ms);
+      std::printf("%12.0f %14.1f %12.1f %14.2f %14.2f %12.1f\n",
+                  point.offered_rate, point.achieved_images_s, point.kcells_s,
+                  point.mean_latency_ms, point.p95_latency_ms,
+                  point.blocked_ms);
     }
     std::printf("\n");
   }

@@ -54,19 +54,16 @@ inline TrialResult RunThermalTrial(const TrialConfig& config) {
   result.wall_seconds = MicrosToSeconds(Clock::System().Now() - start);
   result.latency = sink->LatencySnapshot();
 
+  // Per-stage counts from the metrics registry: parallel stages split into
+  // "<name>[i]" instances (summed by op prefix) and the kind label excludes
+  // the router/union plumbing around them.
+  const obs::MetricsSnapshot snap = strata_rt.MetricsSnapshot();
   const std::string cell_op = "cell." + config.usecase.machine_id;
   const std::string label_op = "label." + config.usecase.machine_id;
-  for (const auto& stats : strata_rt.query().Stats()) {
-    // Parallel stages split into "<name>[i]" instances; match by prefix.
-    if (stats.name.rfind(cell_op, 0) == 0 && stats.name.find(".router") == std::string::npos &&
-        stats.name.find(".union") == std::string::npos) {
-      result.cells += stats.tuples_out;
-    }
-    if (stats.name.rfind(label_op, 0) == 0 && stats.name.find(".router") == std::string::npos &&
-        stats.name.find(".union") == std::string::npos) {
-      result.events += stats.tuples_out;
-    }
-  }
+  result.cells = static_cast<std::uint64_t>(
+      snap.Sum("spe.operator.tuples_out", "op", cell_op, {{"kind", "flatmap"}}));
+  result.events = static_cast<std::uint64_t>(
+      snap.Sum("spe.operator.tuples_out", "op", label_op, {{"kind", "flatmap"}}));
   return result;
 }
 

@@ -74,5 +74,17 @@ int main(int argc, char** argv) {
                 MicrosToMillis(latency.Quantile(0.95)),
                 qos_ok ? "yes" : "NO");
   }
+
+  // Shared-substrate view: per-topic volumes and residual consumer lag show
+  // how the one broker served every machine's connectors.
+  const obs::MetricsSnapshot snap = strata_rt.MetricsSnapshot();
+  std::printf("\nbroker: produced=%.0f records across %.0f topics, "
+              "residual lag=%.0f\n",
+              snap.Sum("pubsub.topic.produced", "topic", ""),
+              snap.Value("pubsub.broker.topics").value_or(0.0),
+              snap.Sum("pubsub.group.lag", "group", ""));
+  std::printf("kvstore: %.0f gets (%.0f bloom-skipped table probes)\n",
+              snap.Value("kv.gets").value_or(0.0),
+              snap.Value("kv.bloom_skips").value_or(0.0));
   return 0;
 }

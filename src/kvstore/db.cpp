@@ -96,6 +96,7 @@ Result<std::unique_ptr<DB>> DB::Open(const std::filesystem::path& dir,
 }
 
 DB::~DB() {
+  BindMetrics(nullptr);
   {
     std::unique_lock lock(mu_);
     shutting_down_ = true;
@@ -193,7 +194,10 @@ Status DB::Write(const WriteBatch& batch) {
 
   const SequenceNumber first_seq = version_.last_sequence + 1;
   STRATA_RETURN_IF_ERROR(wal_->Append(batch.Serialize(first_seq)));
-  if (options_.sync_writes) STRATA_RETURN_IF_ERROR(wal_->Sync());
+  if (options_.sync_writes) {
+    STRATA_RETURN_IF_ERROR(wal_->Sync());
+    ++stats_.wal_syncs;
+  }
 
   SequenceNumber seq = first_seq;
   for (const WriteBatch::Op& op : batch.ops()) {
@@ -277,17 +281,35 @@ Result<std::string> DB::Get(std::string_view key, SequenceNumber snapshot) {
     ++stats_.get_hits;
     return value;
   }
+  // Accumulate filter accounting locally and fold it into stats_ once, so
+  // the table walk doesn't bounce on mu_ per table.
+  std::uint64_t bloom_skips = 0;
+  std::uint64_t table_reads = 0;
+  const auto settle = [&](bool hit) {
+    std::unique_lock lock(mu_);
+    stats_.bloom_skips += bloom_skips;
+    stats_.table_reads += table_reads;
+    if (hit) ++stats_.get_hits;
+  };
   for (const auto& table : tables) {
+    if (!table->MayContain(key)) {
+      ++bloom_skips;
+      continue;
+    }
+    ++table_reads;
     Status error;
     if (table->Get(key, snapshot, &value, &deleted, &error)) {
       if (!error.ok()) return error;
-      if (deleted) return Status::NotFound();
-      std::unique_lock lock(mu_);
-      ++stats_.get_hits;
+      if (deleted) {
+        settle(/*hit=*/false);
+        return Status::NotFound();
+      }
+      settle(/*hit=*/true);
       return value;
     }
     if (!error.ok()) return error;
   }
+  settle(/*hit=*/false);
   return Status::NotFound();
 }
 
@@ -363,7 +385,32 @@ DbStats DB::stats() const {
   std::unique_lock lock(mu_);
   DbStats s = stats_;
   s.live_tables = tables_.size();
+  s.memtable_bytes = mem_ ? mem_->ApproximateBytes() : 0;
   return s;
+}
+
+void DB::BindMetrics(obs::MetricsRegistry* registry) {
+  if (metrics_ != nullptr) metrics_->Unregister(metrics_callback_);
+  metrics_ = registry;
+  metrics_callback_ = 0;
+  if (registry == nullptr) return;
+  metrics_callback_ =
+      registry->RegisterCallback([this](obs::MetricsSnapshot* snapshot) {
+        const DbStats s = stats();
+        snapshot->AddCounter("kv.puts", {}, s.puts);
+        snapshot->AddCounter("kv.deletes", {}, s.deletes);
+        snapshot->AddCounter("kv.gets", {}, s.gets);
+        snapshot->AddCounter("kv.get_hits", {}, s.get_hits);
+        snapshot->AddCounter("kv.flushes", {}, s.flushes);
+        snapshot->AddCounter("kv.compactions", {}, s.compactions);
+        snapshot->AddCounter("kv.bloom_skips", {}, s.bloom_skips);
+        snapshot->AddCounter("kv.table_reads", {}, s.table_reads);
+        snapshot->AddCounter("kv.wal_syncs", {}, s.wal_syncs);
+        snapshot->AddGauge("kv.live_tables", {},
+                           static_cast<std::int64_t>(s.live_tables));
+        snapshot->AddGauge("kv.memtable_bytes", {},
+                           static_cast<std::int64_t>(s.memtable_bytes));
+      });
 }
 
 SequenceNumber DB::LastSequence() const {

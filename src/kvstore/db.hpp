@@ -28,6 +28,7 @@
 
 #include "common/status.hpp"
 #include "kvstore/format.hpp"
+#include "obs/metrics.hpp"
 #include "kvstore/iterator.hpp"
 #include "kvstore/memtable.hpp"
 #include "kvstore/sstable.hpp"
@@ -54,8 +55,15 @@ struct DbStats {
   std::uint64_t get_hits = 0;
   std::uint64_t flushes = 0;
   std::uint64_t compactions = 0;
+  /// Table lookups pruned by the bloom filter without touching blocks.
   std::uint64_t bloom_skips = 0;
+  /// Table lookups that got past the bloom filter into block reads.
+  std::uint64_t table_reads = 0;
+  /// WAL fsyncs issued (only grows when DbOptions::sync_writes is set).
+  std::uint64_t wal_syncs = 0;
   std::size_t live_tables = 0;
+  /// Approximate bytes in the active memtable at sampling time.
+  std::size_t memtable_bytes = 0;
 };
 
 /// User-facing iterator over (user key, value), visibility applied.
@@ -121,6 +129,11 @@ class DB {
   [[nodiscard]] DbStats stats() const;
   [[nodiscard]] SequenceNumber LastSequence() const;
 
+  /// Expose kv.* counters/gauges on `registry` (one callback; values come
+  /// from stats()). Rebinding replaces the previous registration; nullptr
+  /// unbinds. Unregistered on destruction — the registry must outlive the DB.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
  private:
   explicit DB(std::filesystem::path dir, DbOptions options);
 
@@ -166,6 +179,9 @@ class DB {
   std::thread background_;
 
   DbStats stats_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::CallbackId metrics_callback_ = 0;
 };
 
 }  // namespace strata::kv

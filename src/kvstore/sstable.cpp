@@ -191,6 +191,10 @@ Status Table::ReadBlock(std::size_t block_index,
   return Status::Ok();
 }
 
+bool Table::MayContain(std::string_view user_key) const {
+  return BloomFilterMayContain(filter_, user_key);
+}
+
 bool Table::Get(std::string_view user_key, SequenceNumber snapshot,
                 std::string* value, bool* is_deleted, Status* error) const {
   *error = Status::Ok();

@@ -84,6 +84,10 @@ class Table : public std::enable_shared_from_this<Table> {
                          std::string* value, bool* is_deleted,
                          Status* error) const;
 
+  /// Bloom-filter pre-check: false means the key is definitely absent and a
+  /// Get would only burn block reads. Lets callers count filter pruning.
+  [[nodiscard]] bool MayContain(std::string_view user_key) const;
+
   [[nodiscard]] std::unique_ptr<Iterator> NewIterator() const;
 
   [[nodiscard]] std::uint64_t entry_count() const noexcept { return count_; }

@@ -1,0 +1,160 @@
+// Process-wide observability: a registry of named counters, gauges, and
+// log-linear histograms (backed by strata::Histogram), plus pull-style
+// snapshot callbacks for values that are cheaper to compute on demand
+// (queue depths, consumer lag, memtable size).
+//
+// Hot-path contract: Counter/Gauge/HistogramMetric handles returned by the
+// registry are stable for the registry's lifetime and safe to use from any
+// thread. Counter::Inc is a single relaxed fetch_add — cheap enough for
+// per-tuple code. Registration (name lookup) takes a mutex and is meant for
+// construction time, not per-tuple paths.
+//
+// Naming scheme (see DESIGN.md): dot-separated `<layer>.<subject>.<metric>`
+// (e.g. "spe.operator.tuples_in", "pubsub.group.lag", "kv.memtable_bytes")
+// with labels for the instance dimension ({op=...}, {topic=..., partition=...}).
+// Exposition formats: human-readable text, Prometheus exposition (dots
+// become underscores), and JSON lines for the bench harness.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace strata::obs {
+
+/// Instance dimension of a metric ({op="cell.m0"}, {topic="raw.ot.m0"}).
+/// Ordered map so equal label sets compare equal and print deterministically.
+using Labels = std::map<std::string, std::string>;
+
+/// Monotonically increasing value. Handle owned by the registry.
+class Counter {
+ public:
+  void Inc(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time value that can move both ways. Handle owned by the registry.
+class Gauge {
+ public:
+  void Set(std::int64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Sub(std::int64_t delta) noexcept {
+    value_.fetch_sub(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log-linear distribution (mutex-guarded strata::Histogram).
+using HistogramMetric = ConcurrentHistogram;
+
+/// One scalar observation in a snapshot.
+struct Sample {
+  enum class Kind { kCounter, kGauge };
+  std::string name;
+  Labels labels;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;
+};
+
+/// One distribution observation in a snapshot.
+struct HistogramSample {
+  std::string name;
+  Labels labels;
+  BoxplotStats stats;
+};
+
+/// Consistent point-in-time view of every registered metric.
+struct MetricsSnapshot {
+  std::vector<Sample> samples;
+  std::vector<HistogramSample> histograms;
+
+  void AddCounter(std::string name, Labels labels, std::uint64_t value);
+  void AddGauge(std::string name, Labels labels, std::int64_t value);
+
+  /// Value of the sample matching (name, labels) exactly.
+  [[nodiscard]] std::optional<double> Value(std::string_view name,
+                                            const Labels& labels = {}) const;
+  /// Sum of samples named `name` whose label `label_key` starts with
+  /// `value_prefix` and whose other labels all match `where` exactly.
+  [[nodiscard]] double Sum(std::string_view name, std::string_view label_key,
+                           std::string_view value_prefix,
+                           const Labels& where = {}) const;
+
+  /// Aligned human-readable dump (one metric per line, sorted).
+  [[nodiscard]] std::string ToText() const;
+  /// Prometheus text exposition format v0.0.4.
+  [[nodiscard]] std::string ToPrometheus() const;
+  /// One JSON object per line (bench harness import format).
+  [[nodiscard]] std::string ToJsonLines() const;
+};
+
+/// Thread-safe registry. Handles are created on first use and live until the
+/// registry is destroyed; re-requesting the same (name, labels) returns the
+/// same handle, so concurrent components share counters safely.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter* GetCounter(const std::string& name,
+                                    const Labels& labels = {});
+  [[nodiscard]] Gauge* GetGauge(const std::string& name,
+                                const Labels& labels = {});
+  [[nodiscard]] HistogramMetric* GetHistogram(const std::string& name,
+                                              const Labels& labels = {});
+
+  /// Pull-style metrics: `fn` is invoked during Snapshot() to append samples
+  /// computed on demand (queue depths, consumer lag, ...). Returns a token
+  /// for Unregister; the caller must unregister before anything the callback
+  /// captures is destroyed.
+  using CallbackId = std::uint64_t;
+  CallbackId RegisterCallback(std::function<void(MetricsSnapshot*)> fn);
+  void Unregister(CallbackId id);
+
+  [[nodiscard]] MetricsSnapshot Snapshot() const;
+
+  /// Process-wide registry for components not wired to a specific one.
+  [[nodiscard]] static MetricsRegistry& Default();
+
+ private:
+  struct Key {
+    std::string name;
+    Labels labels;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  mutable std::mutex mu_;
+  // Node-based containers: handle addresses stay valid across insertions.
+  std::map<Key, Counter> counters_;
+  std::map<Key, Gauge> gauges_;
+  std::map<Key, HistogramMetric> histograms_;
+  std::map<CallbackId, std::function<void(MetricsSnapshot*)>> callbacks_;
+  CallbackId next_callback_ = 1;
+};
+
+}  // namespace strata::obs

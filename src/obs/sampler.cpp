@@ -1,0 +1,39 @@
+#include "obs/sampler.hpp"
+
+namespace strata::obs {
+
+PeriodicSampler::PeriodicSampler(const MetricsRegistry* registry,
+                                 std::chrono::milliseconds period,
+                                 Consumer consumer)
+    : registry_(registry), period_(period), consumer_(std::move(consumer)) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+PeriodicSampler::~PeriodicSampler() { Stop(); }
+
+void PeriodicSampler::Stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopped_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard lock(mu_);
+  stopped_ = true;
+}
+
+void PeriodicSampler::Loop() {
+  std::unique_lock lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, period_, [&] { return stop_; })) break;
+    lock.unlock();
+    consumer_(registry_->Snapshot());
+    lock.lock();
+  }
+  lock.unlock();
+  // Final end-of-run snapshot.
+  consumer_(registry_->Snapshot());
+}
+
+}  // namespace strata::obs

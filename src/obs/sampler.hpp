@@ -1,0 +1,46 @@
+// Periodic metrics sampler: a background thread that snapshots a registry at
+// a fixed period and hands each snapshot to a consumer callback (print a
+// status line, append JSON lines, push to a remote store). The bench harness
+// and examples use this instead of ad-hoc per-run counters.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace strata::obs {
+
+class PeriodicSampler {
+ public:
+  using Consumer = std::function<void(const MetricsSnapshot&)>;
+
+  /// Starts sampling immediately; first snapshot after one period.
+  PeriodicSampler(const MetricsRegistry* registry,
+                  std::chrono::milliseconds period, Consumer consumer);
+  ~PeriodicSampler();
+  PeriodicSampler(const PeriodicSampler&) = delete;
+  PeriodicSampler& operator=(const PeriodicSampler&) = delete;
+
+  /// Stop the thread; delivers one final snapshot before returning so the
+  /// consumer always sees the end-of-run totals. Idempotent.
+  void Stop();
+
+ private:
+  void Loop();
+
+  const MetricsRegistry* registry_;
+  const std::chrono::milliseconds period_;
+  Consumer consumer_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace strata::obs

@@ -29,7 +29,10 @@ Broker::Broker(BrokerOptions options) : options_(std::move(options)) {
   }
 }
 
-Broker::~Broker() { Close(); }
+Broker::~Broker() {
+  BindMetrics(nullptr);
+  Close();
+}
 
 Status Broker::CreateTopic(const std::string& name,
                            const TopicConfig& config) {
@@ -58,7 +61,20 @@ Status Broker::CreateTopic(const std::string& name,
     log_options.retention_records = config.retention_records;
     auto log = PartitionLog::Open(log_options);
     if (!log.ok()) return log.status();
+    // Wake consumers blocked across any of their partitions (WaitForAnyData)
+    // whenever this partition gets data. Installed before the log is shared.
+    log.value()->SetAppendListener([this] {
+      {
+        std::lock_guard dlock(data_mu_);
+        ++data_epoch_;
+      }
+      data_cv_.notify_all();
+    });
     topic.logs.push_back(std::move(log).value());
+  }
+  if (metrics_ != nullptr) {
+    topic.produced =
+        metrics_->GetCounter("pubsub.topic.produced", {{"topic", name}});
   }
   topics_.emplace(name, std::move(topic));
   return Status::Ok();
@@ -107,6 +123,7 @@ Result<Broker::TopicStats> Broker::GetTopicStats(
 Result<std::pair<int, std::int64_t>> Broker::Produce(const std::string& topic,
                                                      const Record& record) {
   PartitionLog* log = nullptr;
+  obs::Counter* produced = nullptr;
   int partition = 0;
   {
     std::lock_guard lock(mu_);
@@ -119,9 +136,11 @@ Result<std::pair<int, std::int64_t>> Broker::Produce(const std::string& topic,
                     ? static_cast<int>(t.round_robin++ % static_cast<std::uint64_t>(n))
                     : static_cast<int>(KeyHash(record.key) % static_cast<std::uint32_t>(n));
     log = t.logs[static_cast<std::size_t>(partition)].get();
+    produced = t.produced;
   }
   auto offset = log->Append(record);
   if (!offset.ok()) return offset.status();
+  if (produced != nullptr) produced->Inc();
   return std::make_pair(partition, *offset);
 }
 
@@ -134,6 +153,109 @@ Result<PartitionLog*> Broker::GetLog(const std::string& topic,
     return Status::InvalidArgument("partition out of range");
   }
   return it->second.logs[static_cast<std::size_t>(partition)].get();
+}
+
+bool Broker::WaitForAnyData(
+    const std::vector<TopicPartition>& partitions,
+    const std::map<TopicPartition, std::int64_t>& positions,
+    std::chrono::microseconds timeout) const {
+  // Resolve the logs to watch once; topics are never removed, so the
+  // pointers stay valid for the broker's lifetime.
+  std::vector<std::pair<const PartitionLog*, std::int64_t>> watch;
+  watch.reserve(partitions.size());
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) return true;
+    for (const TopicPartition& tp : partitions) {
+      const auto tit = topics_.find(tp.topic);
+      if (tit == topics_.end()) continue;
+      if (tp.partition < 0 || tp.partition >= tit->second.config.partitions) {
+        continue;
+      }
+      std::int64_t position = 0;
+      if (const auto pit = positions.find(tp); pit != positions.end()) {
+        position = pit->second;
+      }
+      watch.emplace_back(
+          tit->second.logs[static_cast<std::size_t>(tp.partition)].get(),
+          position);
+    }
+  }
+
+  // Lock order: data_mu_ then mu_ (nobody acquires them in the reverse
+  // order — append listeners and Close() release mu_ first).
+  std::unique_lock lock(data_mu_);
+  return data_cv_.wait_for(lock, timeout, [&] {
+    for (const auto& [log, position] : watch) {
+      if (log->EndOffset() > position) return true;
+    }
+    std::lock_guard broker_lock(mu_);
+    return closed_;
+  });
+}
+
+void Broker::BindMetrics(obs::MetricsRegistry* registry) {
+  obs::MetricsRegistry* previous = nullptr;
+  obs::MetricsRegistry::CallbackId previous_id = 0;
+  {
+    std::lock_guard lock(mu_);
+    previous = metrics_;
+    previous_id = metrics_callback_;
+    metrics_ = registry;
+    metrics_callback_ = 0;
+    for (auto& [name, topic] : topics_) {
+      topic.produced =
+          registry == nullptr
+              ? nullptr
+              : registry->GetCounter("pubsub.topic.produced",
+                                     {{"topic", name}});
+    }
+    if (registry != nullptr) {
+      metrics_callback_ =
+          registry->RegisterCallback([this](obs::MetricsSnapshot* snapshot) {
+            std::lock_guard lock(mu_);
+            AppendMetricsLocked(snapshot);
+          });
+    }
+  }
+  if (previous != nullptr) previous->Unregister(previous_id);
+}
+
+void Broker::AppendMetricsLocked(obs::MetricsSnapshot* snapshot) const {
+  snapshot->AddGauge("pubsub.broker.topics", {},
+                     static_cast<std::int64_t>(topics_.size()));
+  snapshot->AddGauge("pubsub.broker.groups", {},
+                     static_cast<std::int64_t>(groups_.size()));
+  for (const auto& [name, topic] : topics_) {
+    for (int p = 0; p < topic.config.partitions; ++p) {
+      const PartitionLog* log = topic.logs[static_cast<std::size_t>(p)].get();
+      const obs::Labels labels{{"topic", name},
+                               {"partition", std::to_string(p)}};
+      snapshot->AddGauge("pubsub.topic.end_offset", labels, log->EndOffset());
+      snapshot->AddGauge("pubsub.topic.start_offset", labels,
+                         log->StartOffset());
+    }
+  }
+  for (const auto& [group_name, g] : groups_) {
+    const auto tit = topics_.find(g.topic);
+    if (tit == topics_.end()) continue;
+    for (int p = 0; p < tit->second.config.partitions; ++p) {
+      const TopicPartition tp{g.topic, p};
+      const PartitionLog* log =
+          tit->second.logs[static_cast<std::size_t>(p)].get();
+      std::int64_t committed = -1;
+      if (const auto oit = g.offsets.find(tp); oit != g.offsets.end()) {
+        committed = oit->second;
+      }
+      const std::int64_t baseline =
+          committed >= 0 ? committed : log->StartOffset();
+      snapshot->AddGauge("pubsub.group.lag",
+                         {{"group", group_name},
+                          {"topic", g.topic},
+                          {"partition", std::to_string(p)}},
+                         log->EndOffset() - baseline);
+    }
+  }
 }
 
 Result<MemberId> Broker::JoinGroup(const std::string& group,
@@ -291,12 +413,21 @@ Status Broker::LoadOffsets() {
 }
 
 void Broker::Close() {
-  std::lock_guard lock(mu_);
-  if (closed_) return;
-  closed_ = true;
-  for (auto& [name, topic] : topics_) {
-    for (auto& log : topic.logs) log->Close();
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+    for (auto& [name, topic] : topics_) {
+      for (auto& log : topic.logs) log->Close();
+    }
   }
+  // mu_ is released before signalling so WaitForAnyData's predicate (which
+  // acquires mu_ while holding data_mu_) cannot deadlock against us.
+  {
+    std::lock_guard dlock(data_mu_);
+    ++data_epoch_;
+  }
+  data_cv_.notify_all();
 }
 
 }  // namespace strata::ps

@@ -5,6 +5,7 @@
 // a remote implementation could be substituted).
 #pragma once
 
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "obs/metrics.hpp"
 #include "pubsub/log.hpp"
 
 namespace strata::ps {
@@ -71,6 +73,25 @@ class Broker {
   [[nodiscard]] Result<PartitionLog*> GetLog(const std::string& topic,
                                              int partition) const;
 
+  /// Block until any of `partitions` has a record at/after its entry in
+  /// `positions` (missing entries read as 0), the timeout elapses, or the
+  /// broker closes. Returns true when data is available somewhere. Unlike
+  /// PartitionLog::WaitForData this wakes on appends to *any* partition, so
+  /// a consumer never waits out its timeout on one partition while another
+  /// one has data.
+  [[nodiscard]] bool WaitForAnyData(
+      const std::vector<TopicPartition>& partitions,
+      const std::map<TopicPartition, std::int64_t>& positions,
+      std::chrono::microseconds timeout) const;
+
+  /// Expose broker metrics on `registry`: per-topic produce counters
+  /// (pubsub.topic.produced{topic}), per-partition start/end offsets, and
+  /// per-group consumer lag (pubsub.group.lag{group,topic,partition}).
+  /// Rebinding replaces the previous registration; nullptr unbinds. The
+  /// callback is unregistered on destruction, so the registry must outlive
+  /// the broker.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
   // --- Consumer groups -----------------------------------------------------
 
   /// Register a member; triggers a rebalance. Returns the member id.
@@ -103,6 +124,8 @@ class Broker {
     TopicConfig config;
     std::vector<std::unique_ptr<PartitionLog>> logs;
     std::uint64_t round_robin = 0;
+    /// Registry-owned; non-null only while metrics are bound.
+    obs::Counter* produced = nullptr;
   };
 
   struct Group {
@@ -115,12 +138,23 @@ class Broker {
   [[nodiscard]] Status PersistOffsetsLocked() const;  // REQUIRES mu_
   [[nodiscard]] Status LoadOffsets();
 
+  void AppendMetricsLocked(obs::MetricsSnapshot* snapshot) const;  // REQUIRES mu_
+
   BrokerOptions options_;
   mutable std::mutex mu_;
   std::map<std::string, Topic> topics_;
   std::map<std::string, Group> groups_;
   MemberId next_member_ = 1;
   bool closed_ = false;
+
+  /// Broker-wide data arrival signal: every partition log's append listener
+  /// bumps the epoch, waking WaitForAnyData waiters.
+  mutable std::mutex data_mu_;
+  mutable std::condition_variable data_cv_;
+  std::uint64_t data_epoch_ = 0;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::CallbackId metrics_callback_ = 0;
 };
 
 }  // namespace strata::ps

@@ -24,6 +24,16 @@ void Consumer::RefreshAssignment() {
   generation_ = generation;
   assigned_ = std::move(assigned);
 
+  // Drop uncommitted progress for revoked partitions: after a rebalance they
+  // belong to another member, and committing our stale offsets would clobber
+  // the new owner's progress.
+  for (auto it = uncommitted_.begin(); it != uncommitted_.end();) {
+    const bool still_assigned =
+        std::find(assigned_.begin(), assigned_.end(), it->first) !=
+        assigned_.end();
+    it = still_assigned ? std::next(it) : uncommitted_.erase(it);
+  }
+
   // (Re-)establish positions for newly assigned partitions.
   std::map<TopicPartition, std::int64_t> positions;
   for (const TopicPartition& tp : assigned_) {
@@ -83,11 +93,10 @@ Result<std::vector<ConsumedRecord>> Consumer::Poll(
 
   STRATA_RETURN_IF_ERROR(fetch_available());
   if (out.empty() && timeout.count() > 0 && !assigned_.empty()) {
-    // Block on the first assigned partition for new data, then refetch all.
-    auto log = broker_->GetLog(assigned_[0].topic, assigned_[0].partition);
-    if (log.ok()) {
-      (void)(*log)->WaitForData(positions_[assigned_[0]], timeout);
-    }
+    // Block until *any* assigned partition has new data, then refetch all.
+    // Waiting on a single partition's log would sleep through the timeout
+    // while records pile up in the others.
+    (void)broker_->WaitForAnyData(assigned_, positions_, timeout);
     STRATA_RETURN_IF_ERROR(fetch_available());
   }
 

@@ -141,6 +141,7 @@ Result<std::int64_t> PartitionLog::Append(const Record& record) {
   }
   lock.unlock();
   data_cv_.notify_all();
+  if (append_listener_) append_listener_();
   return offset;
 }
 

@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <deque>
 #include <filesystem>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -58,6 +59,13 @@ class PartitionLog {
   /// Oldest offset still readable from memory.
   [[nodiscard]] std::int64_t StartOffset() const;
 
+  /// Invoked after every successful append, outside the log's lock. The
+  /// broker uses this to wake consumers waiting across *all* of their
+  /// assigned partitions. Set before the log is shared between threads.
+  void SetAppendListener(std::function<void()> listener) {
+    append_listener_ = std::move(listener);
+  }
+
   void Close();
 
  private:
@@ -76,6 +84,7 @@ class PartitionLog {
 
   std::FILE* segment_ = nullptr;    // active segment file (may be null)
   std::size_t segment_written_ = 0;
+  std::function<void()> append_listener_;
 };
 
 }  // namespace strata::ps

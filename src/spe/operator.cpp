@@ -25,7 +25,7 @@ void SourceOperator::Run() {
     if (!tuple.has_value()) break;
     if (tuple->stimulus == 0) tuple->stimulus = Now();
     CountIn();
-    Emit(*tuple);
+    Emit(std::move(*tuple));
   }
   CloseOutputs();
 }
@@ -39,7 +39,7 @@ void FlatMapOperator::Run() {
     if (!results.has_value()) continue;  // user error: drop this tuple
     for (Tuple& out : *results) {
       if (out.stimulus == 0) out.stimulus = tuple->stimulus;
-      Emit(out);
+      Emit(std::move(out));
     }
   }
   CloseOutputs();
@@ -51,7 +51,7 @@ void FilterOperator::Run() {
   while (auto tuple = inputs_[0]->Pop()) {
     CountIn();
     const auto keep = Guarded([&] { return fn_(*tuple); });
-    if (keep.value_or(false)) Emit(*tuple);
+    if (keep.value_or(false)) Emit(std::move(*tuple));
   }
   CloseOutputs();
 }

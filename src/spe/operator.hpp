@@ -28,6 +28,9 @@ namespace strata::spe {
 
 struct OperatorStats {
   std::string name;
+  /// Operator class ("source", "flatmap", "router", ...), so consumers can
+  /// separate logical stages from the router/union plumbing around them.
+  std::string kind;
   std::uint64_t tuples_in = 0;
   std::uint64_t tuples_out = 0;
   std::uint64_t late_drops = 0;
@@ -62,9 +65,11 @@ class Operator {
   void RequestStop() { stop_requested_.store(true, std::memory_order_release); }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] virtual const char* kind() const noexcept { return "operator"; }
   [[nodiscard]] OperatorStats stats() const {
     OperatorStats s;
     s.name = name_;
+    s.kind = kind();
     s.tuples_in = in_count_.load(std::memory_order_relaxed);
     s.tuples_out = out_count_.load(std::memory_order_relaxed);
     s.late_drops = late_drops_.load(std::memory_order_relaxed);
@@ -77,14 +82,17 @@ class Operator {
     return stop_requested_.load(std::memory_order_acquire);
   }
 
-  /// Push to every output (copies when fanning out). Ok(false-like Closed)
-  /// statuses are swallowed: a closed downstream just discards the tuple.
-  void Emit(const Tuple& tuple) {
+  /// Push to every output: copies for all but the last output, which takes
+  /// the tuple by move — single-output chains (the common case) never copy
+  /// payloads on the hot path. Ok(false-like Closed) statuses are swallowed:
+  /// a closed downstream just discards the tuple.
+  void Emit(Tuple tuple) {
     out_count_.fetch_add(1, std::memory_order_relaxed);
+    if (outputs_.empty()) return;
     for (std::size_t i = 0; i + 1 < outputs_.size(); ++i) {
       (void)outputs_[i]->Push(tuple);
     }
-    if (!outputs_.empty()) (void)outputs_.back()->Push(tuple);
+    (void)outputs_.back()->Push(std::move(tuple));
   }
 
   void EmitTo(std::size_t output_index, Tuple tuple) {
@@ -136,6 +144,9 @@ class Operator {
 
 class SourceOperator final : public Operator {
  public:
+  [[nodiscard]] const char* kind() const noexcept override {
+    return "source";
+  }
   SourceOperator(std::string name, const Clock* clock, SourceFn fn)
       : Operator(std::move(name), clock), fn_(std::move(fn)) {}
   void Run() override;
@@ -146,6 +157,9 @@ class SourceOperator final : public Operator {
 
 class FlatMapOperator final : public Operator {
  public:
+  [[nodiscard]] const char* kind() const noexcept override {
+    return "flatmap";
+  }
   FlatMapOperator(std::string name, const Clock* clock, FlatMapFn fn)
       : Operator(std::move(name), clock), fn_(std::move(fn)) {}
   void Run() override;
@@ -156,6 +170,9 @@ class FlatMapOperator final : public Operator {
 
 class FilterOperator final : public Operator {
  public:
+  [[nodiscard]] const char* kind() const noexcept override {
+    return "filter";
+  }
   FilterOperator(std::string name, const Clock* clock, FilterFn fn)
       : Operator(std::move(name), clock), fn_(std::move(fn)) {}
   void Run() override;
@@ -168,6 +185,9 @@ class FilterOperator final : public Operator {
 /// stateless stages; tuples with equal keys go to the same instance).
 class RouterOperator final : public Operator {
  public:
+  [[nodiscard]] const char* kind() const noexcept override {
+    return "router";
+  }
   RouterOperator(std::string name, const Clock* clock, KeyFn key)
       : Operator(std::move(name), clock), key_(std::move(key)) {}
   void Run() override;
@@ -179,6 +199,9 @@ class RouterOperator final : public Operator {
 /// Merges N inputs into one output in arrival order.
 class UnionOperator final : public Operator {
  public:
+  [[nodiscard]] const char* kind() const noexcept override {
+    return "union";
+  }
   UnionOperator(std::string name, const Clock* clock)
       : Operator(std::move(name), clock) {}
   void Run() override;
@@ -186,6 +209,9 @@ class UnionOperator final : public Operator {
 
 class SinkOperator final : public Operator {
  public:
+  [[nodiscard]] const char* kind() const noexcept override {
+    return "sink";
+  }
   SinkOperator(std::string name, const Clock* clock, SinkFn fn)
       : Operator(std::move(name), clock), fn_(std::move(fn)) {}
   void Run() override;
@@ -214,6 +240,9 @@ class SinkOperator final : public Operator {
 
 class AggregateOperator final : public Operator {
  public:
+  [[nodiscard]] const char* kind() const noexcept override {
+    return "aggregate";
+  }
   AggregateOperator(std::string name, const Clock* clock, AggregateSpec spec);
   void Run() override;
 
@@ -249,6 +278,9 @@ struct JoinSpec {
 
 class JoinOperator final : public Operator {
  public:
+  [[nodiscard]] const char* kind() const noexcept override {
+    return "join";
+  }
   JoinOperator(std::string name, const Clock* clock, JoinSpec spec);
   void Run() override;
 

@@ -13,6 +13,7 @@ Query::Query(QueryOptions options) : options_(options) {
 }
 
 Query::~Query() {
+  BindMetrics(nullptr);
   if (started_ && !joined_) {
     Stop();
     Join();
@@ -21,6 +22,7 @@ Query::~Query() {
 
 StreamPtr Query::NewStream(const std::string& name) {
   auto stream = std::make_shared<Stream>(name, options_.queue_capacity);
+  std::lock_guard lock(build_mu_);
   streams_.push_back(stream);
   return stream;
 }
@@ -38,6 +40,7 @@ Op* Query::NewOperator(Args&&... args) {
   if (started_) throw std::logic_error("Query: cannot add operators after Start");
   auto op = std::make_unique<Op>(std::forward<Args>(args)...);
   Op* raw = op.get();
+  std::lock_guard lock(build_mu_);
   operators_.push_back(std::move(op));
   return raw;
 }
@@ -214,10 +217,39 @@ std::string Query::ToDot() const {
 }
 
 std::vector<OperatorStats> Query::Stats() const {
+  std::lock_guard lock(build_mu_);
   std::vector<OperatorStats> stats;
   stats.reserve(operators_.size());
   for (const auto& op : operators_) stats.push_back(op->stats());
   return stats;
+}
+
+void Query::BindMetrics(obs::MetricsRegistry* registry) {
+  if (metrics_ != nullptr) metrics_->Unregister(metrics_callback_);
+  metrics_ = registry;
+  if (registry == nullptr) return;
+  metrics_callback_ = registry->RegisterCallback([this](
+                                                     obs::MetricsSnapshot* snap) {
+    std::lock_guard lock(build_mu_);
+    for (const auto& op : operators_) {
+      const OperatorStats s = op->stats();
+      const obs::Labels labels{{"op", s.name}, {"kind", s.kind}};
+      snap->AddCounter("spe.operator.tuples_in", labels, s.tuples_in);
+      snap->AddCounter("spe.operator.tuples_out", labels, s.tuples_out);
+      snap->AddCounter("spe.operator.late_drops", labels, s.late_drops);
+      snap->AddCounter("spe.operator.user_errors", labels, s.user_errors);
+    }
+    for (const StreamPtr& stream : streams_) {
+      const obs::Labels labels{{"stream", stream->name()}};
+      snap->AddGauge("spe.stream.depth", labels,
+                     static_cast<std::int64_t>(stream->depth()));
+      snap->AddGauge("spe.stream.capacity", labels,
+                     static_cast<std::int64_t>(stream->capacity()));
+      snap->AddCounter("spe.stream.pushed", labels, stream->pushed());
+      snap->AddCounter("spe.stream.popped", labels, stream->popped());
+      snap->AddCounter("spe.stream.blocked_us", labels, stream->blocked_us());
+    }
+  });
 }
 
 }  // namespace strata::spe

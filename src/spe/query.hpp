@@ -11,12 +11,14 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "spe/operator.hpp"
 
 namespace strata::spe {
@@ -78,6 +80,13 @@ class Query {
 
   // ----- introspection -----
 
+  /// Expose per-operator counters (spe.operator.*{op,kind}) and per-stream
+  /// gauges (spe.stream.*{stream}) on `registry` via a pull callback.
+  /// Rebinding replaces the previous registration; nullptr unbinds. The
+  /// callback is unregistered automatically on destruction, so the registry
+  /// must outlive the query.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
   [[nodiscard]] std::vector<OperatorStats> Stats() const;
   [[nodiscard]] std::size_t operator_count() const noexcept {
     return operators_.size();
@@ -93,10 +102,15 @@ class Query {
   Op* NewOperator(Args&&... args);
 
   QueryOptions options_;
+  /// Guards operators_/streams_ against concurrent builder calls and the
+  /// metrics snapshot callback (which may run on a sampler thread).
+  mutable std::mutex build_mu_;
   std::vector<std::unique_ptr<Operator>> operators_;
   std::vector<StreamPtr> streams_;
   std::unordered_set<Stream*> consumed_;
   std::vector<std::thread> threads_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::CallbackId metrics_callback_ = 0;
   bool started_ = false;
   bool joined_ = false;
 };

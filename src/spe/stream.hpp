@@ -18,7 +18,12 @@ class Stream {
       : name_(std::move(name)), queue_(capacity) {}
 
   [[nodiscard]] Status Push(Tuple tuple) {
-    const Status s = queue_.Push(std::move(tuple));
+    std::int64_t blocked_us = 0;
+    const Status s = queue_.Push(std::move(tuple), &blocked_us);
+    if (blocked_us > 0) {
+      blocked_us_.fetch_add(static_cast<std::uint64_t>(blocked_us),
+                            std::memory_order_relaxed);
+    }
     if (s.ok()) pushed_.fetch_add(1, std::memory_order_relaxed);
     return s;
   }
@@ -52,12 +57,18 @@ class Stream {
   [[nodiscard]] std::size_t capacity() const noexcept {
     return queue_.capacity();
   }
+  /// Cumulative microseconds producers spent blocked on a full queue
+  /// (the back-pressure signal surfaced by the obs layer).
+  [[nodiscard]] std::uint64_t blocked_us() const noexcept {
+    return blocked_us_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::string name_;
   BlockingQueue<Tuple> queue_;
   std::atomic<std::uint64_t> pushed_{0};
   std::atomic<std::uint64_t> popped_{0};
+  std::atomic<std::uint64_t> blocked_us_{0};
 };
 
 using StreamPtr = std::shared_ptr<Stream>;

@@ -23,9 +23,22 @@ Strata::Strata(StrataOptions options) : options_(std::move(options)) {
   }
   broker_ = std::make_unique<ps::Broker>(broker_options);
   query_ = std::make_unique<spe::Query>(options_.query);
+
+  kv_->BindMetrics(&registry_);
+  broker_->BindMetrics(&registry_);
+  query_->BindMetrics(&registry_);
 }
 
 Strata::~Strata() { Shutdown(); }
+
+void Strata::StartSampler(std::chrono::milliseconds period,
+                          obs::PeriodicSampler::Consumer consumer) {
+  sampler_.reset();  // stop (and final-flush) any previous sampler first
+  sampler_ = std::make_unique<obs::PeriodicSampler>(&registry_, period,
+                                                    std::move(consumer));
+}
+
+void Strata::StopSampler() { sampler_.reset(); }
 
 Status Strata::Store(std::string_view key, std::string_view value) {
   return kv_->Put(key, value);
@@ -254,6 +267,9 @@ void Strata::WaitForCompletion() {
 void Strata::Shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
+  // The sampler snapshots through component callbacks; stop it before the
+  // components it observes start tearing down.
+  StopSampler();
   if (deployed_) {
     query_->Stop();
     // Collectors end -> publishers send EOS -> subscribers drain -> the

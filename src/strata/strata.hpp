@@ -27,6 +27,8 @@
 
 #include "common/fs.hpp"
 #include "kvstore/db.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "pubsub/broker.hpp"
 #include "spe/query.hpp"
 #include "strata/api.hpp"
@@ -126,18 +128,46 @@ class Strata {
   [[nodiscard]] ps::Broker& broker() noexcept { return *broker_; }
   [[nodiscard]] spe::Query& query() noexcept { return *query_; }
 
+  // --- observability ---------------------------------------------------------
+
+  /// Process registry wired to all three substrates plus the SPE query.
+  /// Components register pull callbacks, so snapshots always reflect live
+  /// state — no sampling lag for gauges.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return registry_; }
+
+  /// One consistent snapshot across SPE, broker, and kvstore.
+  [[nodiscard]] obs::MetricsSnapshot MetricsSnapshot() const {
+    return registry_.Snapshot();
+  }
+
+  /// Human-readable dump of MetricsSnapshot() (obs::MetricsSnapshot::ToText).
+  [[nodiscard]] std::string DumpMetrics() const {
+    return MetricsSnapshot().ToText();
+  }
+
+  /// Start a background thread delivering a snapshot to `consumer` every
+  /// `period` (plus one final snapshot on stop). Replaces any running
+  /// sampler; Shutdown() stops it before tearing down the pipelines.
+  void StartSampler(std::chrono::milliseconds period,
+                    obs::PeriodicSampler::Consumer consumer);
+  void StopSampler();
+
  private:
   [[nodiscard]] spe::StreamPtr ThroughConnector(const std::string& topic,
                                                 spe::StreamPtr in,
                                                 PartitionKeyFn key_fn);
 
   StrataOptions options_;
+  /// Declared before the substrates so it is destroyed last — they
+  /// unregister their metric callbacks in their destructors.
+  obs::MetricsRegistry registry_;
   std::unique_ptr<strata::fs::ScopedTempDir> temp_dir_;  // when data_dir empty
   std::unique_ptr<kv::DB> kv_;
   std::unique_ptr<ps::Broker> broker_;
   std::unique_ptr<spe::Query> query_;
   std::vector<std::unique_ptr<ConnectorPublisher>> publishers_;
   std::vector<std::shared_ptr<ConnectorSubscriber>> subscribers_;
+  std::unique_ptr<obs::PeriodicSampler> sampler_;
   bool deployed_ = false;
   bool shut_down_ = false;
 };

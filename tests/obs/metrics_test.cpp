@@ -1,0 +1,192 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/sampler.hpp"
+
+namespace strata::obs {
+namespace {
+
+TEST(MetricsRegistryTest, HandlesAreSharedAndStable) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x.count", {{"op", "a"}});
+  Counter* b = registry.GetCounter("x.count", {{"op", "b"}});
+  EXPECT_NE(a, b);
+  // Same (name, labels) -> same handle, even after other insertions.
+  for (int i = 0; i < 100; ++i) {
+    (void)registry.GetCounter("x.count", {{"op", std::to_string(i)}});
+  }
+  EXPECT_EQ(a, registry.GetCounter("x.count", {{"op", "a"}}));
+
+  a->Inc();
+  a->Inc(4);
+  EXPECT_EQ(a->value(), 5u);
+  EXPECT_EQ(b->value(), 0u);
+}
+
+TEST(MetricsRegistryTest, GaugeMovesBothWays) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("x.depth");
+  g->Set(10);
+  g->Add(5);
+  g->Sub(7);
+  EXPECT_EQ(g->value(), 8);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Value("x.depth"), 8.0);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 20000;
+  Counter* counter = registry.GetCounter("x.count");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) counter->Inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(MetricsRegistryTest, SnapshotWhileWritersRunIsMonotonic) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("x.count");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) counter->Inc();
+  });
+  double last = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const MetricsSnapshot snap = registry.Snapshot();
+    const double value = snap.Value("x.count").value_or(-1.0);
+    EXPECT_GE(value, last);
+    last = value;
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_LE(last, static_cast<double>(counter->value()));
+}
+
+TEST(MetricsRegistryTest, CallbacksAppendPullSamples) {
+  MetricsRegistry registry;
+  int pulls = 0;
+  const auto id = registry.RegisterCallback([&pulls](MetricsSnapshot* snap) {
+    ++pulls;
+    snap->AddGauge("pull.depth", {{"q", "a"}}, 7);
+  });
+  EXPECT_EQ(registry.Snapshot().Value("pull.depth", {{"q", "a"}}), 7.0);
+  EXPECT_EQ(pulls, 1);
+  registry.Unregister(id);
+  EXPECT_FALSE(registry.Snapshot().Value("pull.depth", {{"q", "a"}}).has_value());
+  EXPECT_EQ(pulls, 1);
+}
+
+TEST(MetricsRegistryTest, CallbackMayTouchRegistryWithoutDeadlock) {
+  MetricsRegistry registry;
+  // Component callbacks are documented to run outside the registry lock, so
+  // creating a handle from inside one must not self-deadlock.
+  const auto id = registry.RegisterCallback([&registry](MetricsSnapshot* snap) {
+    registry.GetCounter("made.inside")->Inc();
+    snap->AddCounter("seen", {}, 1);
+  });
+  EXPECT_EQ(registry.Snapshot().Value("seen"), 1.0);
+  registry.Unregister(id);
+}
+
+TEST(MetricsSnapshotTest, SumFiltersByPrefixAndWhere) {
+  MetricsSnapshot snap;
+  snap.AddCounter("t.out", {{"op", "cell.m0[0]"}, {"kind", "flatmap"}}, 10);
+  snap.AddCounter("t.out", {{"op", "cell.m0[1]"}, {"kind", "flatmap"}}, 20);
+  snap.AddCounter("t.out", {{"op", "cell.m0.router"}, {"kind", "router"}}, 99);
+  snap.AddCounter("t.out", {{"op", "cell.m1"}, {"kind", "flatmap"}}, 40);
+  snap.AddCounter("other", {{"op", "cell.m0[0]"}, {"kind", "flatmap"}}, 7);
+
+  EXPECT_EQ(snap.Sum("t.out", "op", "cell.m0", {{"kind", "flatmap"}}), 30.0);
+  EXPECT_EQ(snap.Sum("t.out", "op", "cell.m0"), 129.0);
+  EXPECT_EQ(snap.Sum("t.out", "op", "cell."), 169.0);
+  EXPECT_EQ(snap.Sum("t.out", "op", "nope"), 0.0);
+}
+
+TEST(MetricsSnapshotTest, TextExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.count", {{"op", "x"}})->Inc(3);
+  registry.GetGauge("a.depth")->Set(2);
+  const std::string text = registry.Snapshot().ToText();
+  // Sorted, one metric per line, labels in braces.
+  EXPECT_EQ(text, "a.depth = 2\nb.count{op=x} = 3\n");
+}
+
+TEST(MetricsSnapshotTest, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("spe.op.tuples_in", {{"op", "fu\"se"}})->Inc(3);
+  registry.GetGauge("kv.memtable_bytes")->Set(128);
+  const std::string prom = registry.Snapshot().ToPrometheus();
+  // Dots sanitized, TYPE headers present, label values quoted + escaped.
+  EXPECT_NE(prom.find("# TYPE kv_memtable_bytes gauge\n"), std::string::npos);
+  EXPECT_NE(prom.find("kv_memtable_bytes 128\n"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE spe_op_tuples_in counter\n"), std::string::npos);
+  EXPECT_NE(prom.find("spe_op_tuples_in{op=\"fu\\\"se\"} 3\n"),
+            std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, JsonLinesExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("x.count", {{"op", "a"}})->Inc(2);
+  registry.GetHistogram("x.lat")->Record(10);
+  const std::string json = registry.Snapshot().ToJsonLines();
+  EXPECT_NE(json.find("{\"name\":\"x.count\",\"kind\":\"counter\","
+                      "\"labels\":{\"op\":\"a\"},\"value\":2}\n"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+  // Every line is brace-balanced.
+  std::size_t start = 0;
+  while (start < json.size()) {
+    const std::size_t end = json.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const std::string line = json.substr(start, end - start);
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    start = end + 1;
+  }
+}
+
+TEST(MetricsSnapshotTest, HistogramStats) {
+  MetricsRegistry registry;
+  HistogramMetric* h = registry.GetHistogram("x.lat", {{"op", "sink"}});
+  for (int i = 1; i <= 100; ++i) h->Record(i);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "x.lat");
+  EXPECT_EQ(snap.histograms[0].stats.count, 100u);
+  EXPECT_GT(snap.histograms[0].stats.p95, snap.histograms[0].stats.p50);
+}
+
+TEST(PeriodicSamplerTest, DeliversSnapshotsAndFinalFlush) {
+  MetricsRegistry registry;
+  registry.GetCounter("x.count")->Inc(5);
+  std::atomic<int> deliveries{0};
+  std::atomic<double> last{0.0};
+  PeriodicSampler sampler(&registry, std::chrono::milliseconds(5),
+                          [&](const MetricsSnapshot& snap) {
+                            deliveries.fetch_add(1);
+                            last.store(snap.Value("x.count").value_or(-1.0));
+                          });
+  while (deliveries.load() < 2) std::this_thread::yield();
+  registry.GetCounter("x.count")->Inc(5);
+  const int before_stop = deliveries.load();
+  sampler.Stop();
+  // Stop() always delivers one final snapshot with the end-of-run totals.
+  EXPECT_GT(deliveries.load(), before_stop);
+  EXPECT_EQ(last.load(), 10.0);
+  sampler.Stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace strata::obs

@@ -181,6 +181,103 @@ TEST_F(ConsumerTest, BlockingPollWakesOnProduce) {
   EXPECT_EQ((*batch)[0].value, "wake");
 }
 
+TEST_F(ConsumerTest, BlockingPollWakesOnAnyAssignedPartition) {
+  // Find a key that hashes to partition 1 (the mapping depends only on the
+  // key hash and the partition count, so a scratch topic with the same
+  // partition count probes it without touching "t").
+  ASSERT_TRUE(broker_.CreateTopic("probe", {.partitions = 2}).ok());
+  std::string key_p1;
+  for (int i = 0; i < 64 && key_p1.empty(); ++i) {
+    const std::string key = "key" + std::to_string(i);
+    auto sent = producer_.Send("probe", key, "x", 0);
+    ASSERT_TRUE(sent.ok());
+    if (sent->first == 1) key_p1 = key;
+  }
+  ASSERT_FALSE(key_p1.empty());
+
+  auto consumer = std::move(Consumer::Create(&broker_, "t")).value();
+  (void)consumer->Poll(kShortTimeout);
+  ASSERT_EQ(consumer->assignment().size(), 2u);  // sole member: p0 and p1
+
+  std::thread producer_thread([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Producer producer(&broker_);
+    ASSERT_TRUE(producer.Send("t", key_p1, "wake", 0).ok());
+  });
+  const auto start = std::chrono::steady_clock::now();
+  auto batch = consumer->Poll(kLongTimeout);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  producer_thread.join();
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 1u);
+  EXPECT_EQ((*batch)[0].partition, 1);
+  EXPECT_EQ((*batch)[0].value, "wake");
+  // A consumer waiting only on partition 0's log sleeps through the whole
+  // 2 s timeout here; waking on any assigned partition returns promptly.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1000));
+}
+
+TEST_F(ConsumerTest, RebalanceDropsUncommittedOffsetsOfRevokedPartitions) {
+  // Seed both partitions, tracking how many records each got.
+  int per_partition[2] = {0, 0};
+  int key_index = 0;
+  while (per_partition[0] < 2 || per_partition[1] < 2) {
+    auto sent = producer_.Send("t", "k" + std::to_string(key_index++), "v", 0);
+    ASSERT_TRUE(sent.ok());
+    ++per_partition[sent->first];
+  }
+  const int total = per_partition[0] + per_partition[1];
+
+  // c1 is the sole member: it consumes both partitions without committing.
+  ConsumerOptions manual;
+  manual.group = "g";
+  manual.auto_commit = false;
+  auto c1 = std::move(Consumer::Create(&broker_, "t", manual)).value();
+  int consumed = 0;
+  while (consumed < total) {
+    auto batch = c1->Poll(kLongTimeout);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_FALSE(batch->empty());
+    consumed += static_cast<int>(batch->size());
+  }
+
+  // c2 joins: the rebalance leaves c1 with partition 0 and hands partition 1
+  // to c2. c1 polls once to pick up the new generation.
+  auto c2 = std::move(Consumer::Create(&broker_, "t", {.group = "g"})).value();
+  (void)c1->Poll(kShortTimeout);
+  ASSERT_EQ(c1->assignment().size(), 1u);
+  EXPECT_EQ(c1->assignment()[0].partition, 0);
+
+  // Partition 1 moves on under its new owner: more records arrive and c2
+  // consumes all of them, committing its progress as it goes.
+  int added_p1 = 0;
+  key_index = 1000;
+  while (added_p1 < 3) {
+    auto sent = producer_.Send("t", "n" + std::to_string(key_index++), "v", 0);
+    ASSERT_TRUE(sent.ok());
+    if (sent->first == 1) ++added_p1;
+  }
+  const std::int64_t p1_end = per_partition[1] + added_p1;
+  int c2_consumed = 0;
+  while (c2_consumed < p1_end) {
+    auto batch = c2->Poll(kLongTimeout);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_FALSE(batch->empty());
+    c2_consumed += static_cast<int>(batch->size());
+  }
+  const TopicPartition p1{"t", 1};
+  ASSERT_EQ(std::move(broker_.CommittedOffset("g", p1)).value(), p1_end);
+
+  // c1's late commit must not clobber the new owner's progress with the
+  // stale offset it held from before the rebalance.
+  ASSERT_TRUE(c1->Commit().ok());
+  EXPECT_EQ(std::move(broker_.CommittedOffset("g", p1)).value(), p1_end);
+  // Its own partition's progress still commits normally.
+  EXPECT_EQ(std::move(broker_.CommittedOffset("g", TopicPartition{"t", 0}))
+                .value(),
+            per_partition[0]);
+}
+
 TEST_F(ConsumerTest, SeekToEndSkipsExistingRecords) {
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(producer_.Send("t", "", std::to_string(i), 0).ok());

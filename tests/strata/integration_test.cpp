@@ -78,6 +78,44 @@ TEST(ThermalPipeline, LatencyRecordedPerReport) {
   EXPECT_LT(run.latency.max(), SecondsToMicros(3.0));
 }
 
+TEST(ThermalPipeline, MetricsSnapshotIsConsistentWithPipelineOutput) {
+  Strata strata;
+  UseCaseParams params;
+  params.cell_px = 5;
+  params.correlate_layers = 5;
+  auto run = RunPipeline(&strata, SmallMachineParams(10), params);
+  ASSERT_FALSE(run.reports.empty());
+
+  const obs::MetricsSnapshot snap = strata.MetricsSnapshot();
+
+  // The sink saw exactly one tuple per delivered report, and everything the
+  // upstream correlate stage emitted reached the sink.
+  const double sink_in = snap.Sum("spe.operator.tuples_in", "op", "expert.m0",
+                                  {{"kind", "sink"}});
+  const double correlate_out = snap.Sum("spe.operator.tuples_out", "op",
+                                        "cluster.m0", {{"kind", "flatmap"}});
+  EXPECT_EQ(sink_in, static_cast<double>(run.reports.size()));
+  EXPECT_EQ(sink_in, correlate_out);
+
+  // Both connectors moved data through the broker, and the metrics agree
+  // with the broker's own accounting.
+  const double produced = snap.Sum("pubsub.topic.produced", "topic", "raw.");
+  EXPECT_GT(produced, 0.0);
+  const auto raw_ot = strata.broker().GetTopicStats("raw.ot.m0");
+  ASSERT_TRUE(raw_ot.ok());
+  EXPECT_EQ(snap.Sum("pubsub.topic.end_offset", "topic", "raw.ot.m0"),
+            static_cast<double>(raw_ot->total_records));
+
+  // The threshold lookups hit the kvstore.
+  EXPECT_GT(snap.Value("kv.gets").value_or(0.0), 0.0);
+
+  // And the human-readable dump carries the same numbers.
+  const std::string text = strata.DumpMetrics();
+  EXPECT_NE(text.find("spe.operator.tuples_in{kind=sink,op=expert.m0} = " +
+                      std::to_string(run.reports.size())),
+            std::string::npos);
+}
+
 TEST(ThermalPipeline, RecoversSeededDefectRegions) {
   Strata strata;
   // Strong, frequent defects so recovery is unambiguous.
