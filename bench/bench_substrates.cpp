@@ -4,11 +4,16 @@
 // the KV store (thresholds, at-rest data), the pub/sub broker (connectors
 // moving 1-4 MB OT frames), the SPE operator path (per-tuple overhead that
 // bounds cell throughput), the tuple transport codec, and OT generation.
+// `--network` runs only the networked broker benchmarks (BM_Net*), which
+// put a BrokerServer + TCP loopback between producer and consumer — the
+// embedded BM_PubSub* rows are the baseline to compare against.
 #include <benchmark/benchmark.h>
 
 #include "am/machine.hpp"
 #include "common/fs.hpp"
 #include "kvstore/db.hpp"
+#include "net/remote.hpp"
+#include "net/server.hpp"
 #include "pubsub/consumer.hpp"
 #include "pubsub/producer.hpp"
 #include "spe/query.hpp"
@@ -78,6 +83,57 @@ static void BM_PubSubRoundTrip(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_PubSubRoundTrip)->Arg(1024)->Arg(1 << 20)->Arg(4 << 20);
+
+// ------------------------------------------------------- pubsub over TCP
+
+namespace {
+
+/// Embedded broker behind a BrokerServer on an ephemeral loopback port.
+struct NetBench {
+  NetBench() : server(&broker) {
+    broker.CreateTopic("bench", {.partitions = 1}).OrDie();
+    server.Start().OrDie();
+  }
+  ~NetBench() { server.Stop(); }
+
+  [[nodiscard]] net::RemoteOptions Remote() const {
+    net::RemoteOptions remote;
+    remote.port = server.port();
+    return remote;
+  }
+
+  ps::Broker broker;
+  net::BrokerServer server;
+};
+
+}  // namespace
+
+static void BM_NetProduce(benchmark::State& state) {
+  NetBench net;
+  net::RemoteProducer producer(net.Remote());
+  const std::string value(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    producer.Send("bench", "", value, 0).status().OrDie();
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NetProduce)->Arg(1024)->Arg(1 << 20)->Arg(4 << 20);
+
+static void BM_NetPubSubRoundTrip(benchmark::State& state) {
+  NetBench net;
+  net::RemoteProducer producer(net.Remote());
+  auto consumer =
+      std::move(net::RemoteConsumer::Create(net.Remote(), "bench")).value();
+  const std::string value(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    producer.Send("bench", "", value, 0).status().OrDie();
+    auto batch = consumer->Poll(std::chrono::microseconds(1'000'000));
+    batch.status().OrDie();
+    benchmark::DoNotOptimize(batch);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NetPubSubRoundTrip)->Arg(1024)->Arg(1 << 20)->Arg(4 << 20);
 
 // -------------------------------------------------------------------- spe
 
@@ -212,4 +268,20 @@ static void BM_CellMeans(benchmark::State& state) {
 }
 BENCHMARK(BM_CellMeans)->Arg(20)->Arg(10)->Arg(2)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus the `--network` switch: run only the BM_Net* rows
+// (the TCP-loopback broker path) for a quick embedded-vs-networked compare.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string filter_arg = "--benchmark_filter=BM_Net";
+  for (char*& arg : args) {
+    if (std::string_view(arg) == "--network") arg = filter_arg.data();
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

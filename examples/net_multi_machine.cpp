@@ -1,0 +1,202 @@
+// Networked deployment topology (DESIGN.md "Deployment topologies"): the
+// Algorithm-1 thermal pipeline split into two OS processes joined only by a
+// TCP broker.
+//
+//   parent process: ps::Broker + net::BrokerServer, plus the analysis half
+//                   (ImportSource -> fuse -> partition -> detect ->
+//                    correlate -> deliver)
+//   child process:  the machine-side collector half (ExportSource of the
+//                   printing-parameter and OT-image streams), re-executing
+//                   this binary with --collector
+//
+// The same job also runs fully embedded first; the example then checks the
+// networked deployment delivered the *identical* per-(layer, specimen)
+// cluster reports — the transport must not change the analysis.
+//
+//   build/examples/net_multi_machine [layers]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/server.hpp"
+#include "strata/usecase.hpp"
+
+using namespace strata;        // NOLINT
+using namespace strata::core;  // NOLINT
+
+namespace {
+
+constexpr int kJobId = 7;
+constexpr int kImagePx = 400;
+constexpr int kSpecimens = 3;
+
+am::MachineParams MachineParamsFor(int layers) {
+  am::MachineParams params;
+  params.job = am::MakeSmallJob(kJobId, kImagePx, kSpecimens);
+  params.layers_limit = layers;
+  params.defects.birth_rate = 0.08;
+  params.defects.mean_intensity_delta = 55.0;
+  return params;
+}
+
+UseCaseParams AnalysisParamsFor() {
+  UseCaseParams params;
+  params.machine_id = "net-demo";
+  params.cell_px = 8;
+  params.correlate_layers = 10;
+  return params;
+}
+
+/// (layer, specimen) -> (window events, clusters): the comparison key.
+using Fingerprint =
+    std::map<std::pair<std::int64_t, std::int64_t>,
+             std::pair<std::size_t, std::size_t>>;
+
+Fingerprint FingerprintOf(const std::vector<ClusterReport>& reports) {
+  Fingerprint fp;
+  for (const ClusterReport& r : reports) {
+    fp[{r.layer, r.specimen}] = {r.window_events, r.clusters.size()};
+  }
+  return fp;
+}
+
+/// Child role: the machine-side process. Publishes the raw pp/ot streams to
+/// the broker at `port` and exits when the build ends.
+int RunCollector(std::uint16_t port, int layers) {
+  StrataOptions options;
+  net::RemoteOptions remote;
+  remote.port = port;
+  options.remote_broker = remote;
+  Strata strata_rt(std::move(options));
+
+  auto machine =
+      std::make_shared<am::MachineSimulator>(MachineParamsFor(layers));
+  CollectorPacing pacing;
+  pacing.mode = CollectorPacing::Mode::kReplay;
+  const std::string& id = AnalysisParamsFor().machine_id;
+  strata_rt.ExportSource("pp." + id,
+                         PrintingParameterCollector(machine, pacing));
+  strata_rt.ExportSource("ot." + id, OtImageCollector(machine, pacing));
+  strata_rt.Deploy();
+  strata_rt.WaitForCompletion();
+  std::printf("[collector pid] build finished, %d layers exported\n", layers);
+  return 0;
+}
+
+std::vector<ClusterReport> RunEmbedded(int layers) {
+  Strata strata_rt;
+  const UseCaseParams params = AnalysisParamsFor();
+  const am::MachineParams machine_params = MachineParamsFor(layers);
+  ComputeAndStoreThresholds(&strata_rt, params.machine_id, machine_params.job,
+                            /*history_layers=*/3, params.cell_px)
+      .OrDie();
+  auto machine = std::make_shared<am::MachineSimulator>(machine_params);
+
+  std::vector<ClusterReport> reports;
+  std::mutex mu;
+  CollectorPacing pacing;
+  pacing.mode = CollectorPacing::Mode::kReplay;
+  BuildThermalPipeline(&strata_rt, machine, pacing, params,
+                       [&](const ClusterReport& report) {
+                         std::lock_guard lock(mu);
+                         reports.push_back(report);
+                       });
+  strata_rt.Deploy();
+  strata_rt.WaitForCompletion();
+  return reports;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[1]) == "--collector") {
+    const int port = std::atoi(argv[2]);
+    const int layers = argc > 3 ? std::atoi(argv[3]) : 20;
+    return RunCollector(static_cast<std::uint16_t>(port), layers);
+  }
+  const int layers = argc > 1 ? std::atoi(argv[1]) : 20;
+
+  std::printf("pass 1: embedded deployment (%d layers)...\n", layers);
+  const std::vector<ClusterReport> embedded = RunEmbedded(layers);
+  std::printf("  %zu cluster reports\n", embedded.size());
+
+  std::printf("pass 2: networked deployment (collector process | TCP | "
+              "analysis process)...\n");
+  ps::Broker broker;
+  net::BrokerServer server(&broker);
+  server.Start().OrDie();
+  std::printf("  broker server on %s:%u\n", server.host().c_str(),
+              server.port());
+
+  // The collector half runs as a real child process: this binary, re-executed
+  // in its machine-side role against the broker's port.
+  const std::string command = std::string(argv[0]) + " --collector " +
+                              std::to_string(server.port()) + " " +
+                              std::to_string(layers);
+  int collector_exit = -1;
+  std::thread collector(
+      [&] { collector_exit = std::system(command.c_str()); });
+
+  // The analysis half: imports the raw streams from the broker and runs
+  // Algorithm-1 L3-L7 on them.
+  StrataOptions analysis_options;
+  net::RemoteOptions remote;
+  remote.port = server.port();
+  analysis_options.remote_broker = remote;
+  Strata analysis(std::move(analysis_options));
+  const UseCaseParams params = AnalysisParamsFor();
+  const am::MachineParams machine_params = MachineParamsFor(layers);
+  ComputeAndStoreThresholds(&analysis, params.machine_id, machine_params.job,
+                            /*history_layers=*/3, params.cell_px)
+      .OrDie();
+
+  std::vector<ClusterReport> networked;
+  std::mutex mu;
+  auto* sink = BuildThermalAnalysis(
+      &analysis, analysis.ImportSource("pp." + params.machine_id),
+      analysis.ImportSource("ot." + params.machine_id),
+      machine_params.job.plate.PxPerMm(), params,
+      [&](const ClusterReport& report) {
+        std::lock_guard lock(mu);
+        networked.push_back(report);
+      });
+  analysis.Deploy();
+  analysis.WaitForCompletion();
+  collector.join();
+  server.Stop();
+
+  const Histogram latency = sink->LatencySnapshot();
+  std::printf("  %zu cluster reports, delivery latency p50=%.1f ms "
+              "p95=%.1f ms (collector exit %d)\n",
+              networked.size(), MicrosToMillis(latency.Quantile(0.5)),
+              MicrosToMillis(latency.Quantile(0.95)), collector_exit);
+
+  const Fingerprint a = FingerprintOf(embedded);
+  const Fingerprint b = FingerprintOf(networked);
+  if (a == b) {
+    std::printf("OK: networked reports identical to embedded "
+                "(%zu (layer, specimen) windows)\n",
+                a.size());
+    return 0;
+  }
+  std::printf("MISMATCH: embedded %zu windows vs networked %zu windows\n",
+              a.size(), b.size());
+  for (const auto& [key, value] : a) {
+    auto it = b.find(key);
+    if (it == b.end()) {
+      std::printf("  layer %lld specimen %lld missing from networked run\n",
+                  static_cast<long long>(key.first),
+                  static_cast<long long>(key.second));
+    } else if (it->second != value) {
+      std::printf("  layer %lld specimen %lld: events/clusters %zu/%zu vs "
+                  "%zu/%zu\n",
+                  static_cast<long long>(key.first),
+                  static_cast<long long>(key.second), value.first,
+                  value.second, it->second.first, it->second.second);
+    }
+  }
+  return 1;
+}

@@ -65,6 +65,10 @@ inline bool GetVarint64(std::string_view* in, std::uint64_t* v) {
   for (int shift = 0; shift <= 63 && !in->empty(); shift += 7) {
     const auto byte = static_cast<unsigned char>(in->front());
     in->remove_prefix(1);
+    // The 10th byte holds only bit 63: a continuation bit or payload bits
+    // above it would overflow silently, so corrupt input is rejected rather
+    // than wrapped modulo 2^64.
+    if (shift == 63 && (byte & 0xfe) != 0) return false;
     result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) {
       *v = result;

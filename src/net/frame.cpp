@@ -1,0 +1,44 @@
+#include "net/frame.hpp"
+
+#include "common/codec.hpp"
+#include "common/crc32.hpp"
+
+namespace strata::net {
+
+void EncodeFrame(std::string_view payload, std::string* out) {
+  codec::PutFixed32(out, static_cast<std::uint32_t>(payload.size()));
+  codec::PutFixed32(out, MaskCrc(Crc32c(payload)));
+  out->append(payload.data(), payload.size());
+}
+
+Status WriteFrame(Socket* socket, std::string_view payload, Deadline deadline) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload exceeds kMaxFrameBytes");
+  }
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  EncodeFrame(payload, &frame);
+  return socket->WriteAll(frame, deadline);
+}
+
+Status ReadFrame(Socket* socket, std::string* payload, Deadline deadline) {
+  char header[8];
+  STRATA_RETURN_IF_ERROR(socket->ReadFully(header, sizeof(header), deadline));
+  std::string_view cursor(header, sizeof(header));
+  std::uint32_t length = 0;
+  std::uint32_t masked = 0;
+  codec::GetFixed32(&cursor, &length);
+  codec::GetFixed32(&cursor, &masked);
+  if (length > kMaxFrameBytes) {
+    return Status::Corruption("frame length " + std::to_string(length) +
+                              " exceeds limit (desynchronized stream?)");
+  }
+  payload->resize(length);
+  STRATA_RETURN_IF_ERROR(socket->ReadFully(payload->data(), length, deadline));
+  if (Crc32c(*payload) != UnmaskCrc(masked)) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace strata::net

@@ -1,0 +1,34 @@
+// Wire framing for the broker protocol: every message travels as
+//
+//   length(4, LE) | masked_crc32c(4, LE) | payload(length)
+//
+// The CRC (Castagnoli, masked as in the storage formats) covers the payload,
+// so a flipped bit anywhere surfaces as Status::Corruption instead of a
+// garbage decode. Lengths above kMaxFrameBytes are rejected before any
+// allocation, which also cheaply catches desynchronized streams.
+#pragma once
+
+#include <string>
+
+#include "net/socket.hpp"
+
+namespace strata::net {
+
+/// Upper bound on one frame's payload. Large enough for a 4k x 4k OT frame
+/// tuple with headroom; small enough that a corrupt length cannot OOM us.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Serialize `payload` into a frame appended to `*out`.
+void EncodeFrame(std::string_view payload, std::string* out);
+
+/// Write one frame.
+[[nodiscard]] Status WriteFrame(Socket* socket, std::string_view payload,
+                                Deadline deadline);
+
+/// Read one frame into `*payload`. Corruption on CRC mismatch or an
+/// implausible length; otherwise forwards the socket's status (Unavailable
+/// on peer close, Timeout past the deadline).
+[[nodiscard]] Status ReadFrame(Socket* socket, std::string* payload,
+                               Deadline deadline);
+
+}  // namespace strata::net

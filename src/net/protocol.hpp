@@ -1,0 +1,194 @@
+// Request/response codecs of the broker protocol (one level above frames).
+//
+// Every request payload is `u8 api_key | body`; every response payload is
+// `u8 status_code | status_message | body` with the body present only on Ok.
+// Bodies use the common little-endian codec primitives, and every decoder
+// returns Status::Corruption on truncated or trailing bytes — these bytes
+// cross a network, so nothing here may crash or silently mis-parse.
+//
+// The protocol is strictly request/response per connection (no pipelining);
+// clients that want concurrent outstanding calls open more connections,
+// exactly like the thread-per-connection server expects.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pubsub/broker.hpp"
+#include "pubsub/record.hpp"
+
+namespace strata::net {
+
+enum class ApiKey : std::uint8_t {
+  kCreateTopic = 1,
+  kMetadata = 2,
+  kProduce = 3,
+  kFetch = 4,
+  kJoinGroup = 5,
+  kLeaveGroup = 6,
+  kHeartbeat = 7,
+  kCommitOffset = 8,
+  kOffsetFetch = 9,
+};
+
+/// Human-readable name for metrics labels and diagnostics.
+[[nodiscard]] const char* ApiKeyName(ApiKey api) noexcept;
+
+// --- request bodies ---------------------------------------------------------
+
+struct CreateTopicRequest {
+  std::string topic;
+  ps::TopicConfig config;
+};
+
+struct MetadataRequest {
+  std::string topic;  // empty = all topics
+};
+
+struct ProduceRequest {
+  std::string topic;
+  ps::Record record;
+};
+
+struct FetchRequest {
+  struct Entry {
+    ps::TopicPartition tp;
+    std::int64_t offset = 0;
+    std::uint64_t max_records = 256;
+  };
+  std::vector<Entry> entries;
+  /// Server-side long-poll budget when no entry has data (the server honors
+  /// the broker's data signal and caps this with its own limit).
+  std::uint64_t max_wait_us = 0;
+};
+
+struct GroupRequest {  // JoinGroup (member ignored), LeaveGroup, Heartbeat
+  std::string group;
+  std::string topic;  // JoinGroup only
+  ps::MemberId member = 0;
+};
+
+struct CommitOffsetRequest {
+  std::string group;
+  std::vector<std::pair<ps::TopicPartition, std::int64_t>> offsets;
+};
+
+struct OffsetFetchRequest {
+  std::string group;
+  std::vector<ps::TopicPartition> partitions;
+};
+
+// --- response bodies --------------------------------------------------------
+
+struct TopicMetadata {
+  std::string topic;
+  /// Per-partition [start, end) offsets.
+  std::vector<std::pair<std::int64_t, std::int64_t>> partitions;
+};
+
+struct MetadataResponse {
+  std::vector<TopicMetadata> topics;
+};
+
+struct ProduceResponse {
+  int partition = 0;
+  std::int64_t offset = 0;
+};
+
+struct FetchResponse {
+  struct Entry {
+    ps::TopicPartition tp;
+    std::vector<ps::ConsumedRecord> records;
+    std::int64_t next_offset = 0;
+  };
+  std::vector<Entry> entries;
+  [[nodiscard]] bool empty() const noexcept {
+    for (const Entry& e : entries) {
+      if (!e.records.empty()) return false;
+    }
+    return true;
+  }
+};
+
+struct JoinGroupResponse {
+  ps::MemberId member = 0;
+};
+
+struct HeartbeatResponse {
+  std::uint64_t generation = 0;
+  std::vector<ps::TopicPartition> assignment;
+};
+
+struct OffsetFetchResponse {
+  /// Parallel to the request's partitions; kNone = no committed offset.
+  static constexpr std::int64_t kNone = -1;
+  std::vector<std::int64_t> offsets;
+};
+
+// --- envelope ---------------------------------------------------------------
+
+/// `u8 api_key | body` -> request payload.
+void EncodeRequest(ApiKey api, std::string_view body, std::string* out);
+/// Splits a request payload; Corruption on an empty payload or unknown key.
+[[nodiscard]] Status DecodeRequest(std::string_view payload, ApiKey* api,
+                                   std::string_view* body);
+
+/// `u8 code | message | body` -> response payload.
+void EncodeResponse(const Status& status, std::string_view body,
+                    std::string* out);
+/// On Ok fills `*body`; otherwise returns the transported error Status.
+[[nodiscard]] Status DecodeResponse(std::string_view payload,
+                                    std::string_view* body);
+
+// --- body codecs (encode infallible; decode returns Corruption) -------------
+
+void EncodeCreateTopic(const CreateTopicRequest& req, std::string* out);
+[[nodiscard]] Status DecodeCreateTopic(std::string_view in,
+                                       CreateTopicRequest* out);
+
+void EncodeMetadataRequest(const MetadataRequest& req, std::string* out);
+[[nodiscard]] Status DecodeMetadataRequest(std::string_view in,
+                                           MetadataRequest* out);
+void EncodeMetadataResponse(const MetadataResponse& resp, std::string* out);
+[[nodiscard]] Status DecodeMetadataResponse(std::string_view in,
+                                            MetadataResponse* out);
+
+void EncodeProduceRequest(const ProduceRequest& req, std::string* out);
+[[nodiscard]] Status DecodeProduceRequest(std::string_view in,
+                                          ProduceRequest* out);
+void EncodeProduceResponse(const ProduceResponse& resp, std::string* out);
+[[nodiscard]] Status DecodeProduceResponse(std::string_view in,
+                                           ProduceResponse* out);
+
+void EncodeFetchRequest(const FetchRequest& req, std::string* out);
+[[nodiscard]] Status DecodeFetchRequest(std::string_view in, FetchRequest* out);
+void EncodeFetchResponse(const FetchResponse& resp, std::string* out);
+[[nodiscard]] Status DecodeFetchResponse(std::string_view in,
+                                         FetchResponse* out);
+
+void EncodeGroupRequest(const GroupRequest& req, std::string* out);
+[[nodiscard]] Status DecodeGroupRequest(std::string_view in, GroupRequest* out);
+
+void EncodeJoinGroupResponse(const JoinGroupResponse& resp, std::string* out);
+[[nodiscard]] Status DecodeJoinGroupResponse(std::string_view in,
+                                             JoinGroupResponse* out);
+
+void EncodeHeartbeatResponse(const HeartbeatResponse& resp, std::string* out);
+[[nodiscard]] Status DecodeHeartbeatResponse(std::string_view in,
+                                             HeartbeatResponse* out);
+
+void EncodeCommitOffsetRequest(const CommitOffsetRequest& req,
+                               std::string* out);
+[[nodiscard]] Status DecodeCommitOffsetRequest(std::string_view in,
+                                               CommitOffsetRequest* out);
+
+void EncodeOffsetFetchRequest(const OffsetFetchRequest& req, std::string* out);
+[[nodiscard]] Status DecodeOffsetFetchRequest(std::string_view in,
+                                              OffsetFetchRequest* out);
+void EncodeOffsetFetchResponse(const OffsetFetchResponse& resp,
+                               std::string* out);
+[[nodiscard]] Status DecodeOffsetFetchResponse(std::string_view in,
+                                               OffsetFetchResponse* out);
+
+}  // namespace strata::net

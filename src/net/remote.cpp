@@ -1,0 +1,403 @@
+#include "net/remote.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "net/frame.hpp"
+
+namespace strata::net {
+
+namespace {
+
+/// Ceiling on one Fetch long-poll slice. Poll() loops slices up to its own
+/// deadline, re-heartbeating between them so rebalances are noticed even
+/// while blocked on an idle topic.
+constexpr std::chrono::microseconds kFetchSlice{200'000};
+
+bool IsTransportError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kIoError:
+    case StatusCode::kTimeout:
+    case StatusCode::kCorruption:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+// --- ClientConnection -------------------------------------------------------
+
+ClientConnection::ClientConnection(RemoteOptions options)
+    : options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    retries_ = options_.metrics->GetCounter("net.client.retries");
+    reconnects_ = options_.metrics->GetCounter("net.client.connects");
+  }
+}
+
+Status ClientConnection::EnsureConnected() {
+  if (socket_.valid()) return Status::Ok();
+  auto socket =
+      Socket::Connect(options_.host, options_.port, After(options_.connect_timeout));
+  if (!socket.ok()) return socket.status();
+  socket_ = std::move(*socket);
+  if (reconnects_ != nullptr) reconnects_->Inc();
+  return Status::Ok();
+}
+
+Status ClientConnection::RoundTrip(ApiKey api, std::string_view body,
+                                   std::string* response_body,
+                                   std::chrono::microseconds extra_wait) {
+  scratch_.clear();
+  EncodeRequest(api, body, &scratch_);
+  const Deadline deadline = After(options_.request_timeout + extra_wait);
+  STRATA_RETURN_IF_ERROR(WriteFrame(&socket_, scratch_, deadline));
+
+  std::string payload;
+  STRATA_RETURN_IF_ERROR(ReadFrame(&socket_, &payload, deadline));
+
+  std::string_view out;
+  Status app = DecodeResponse(payload, &out);
+  // The application error already crossed the wire intact; make sure the
+  // retry loop treats it as final even if its code overlaps a transport one.
+  if (!app.ok()) return Status(app.code(), "server: " + app.message());
+  response_body->assign(out.data(), out.size());
+  return Status::Ok();
+}
+
+Status ClientConnection::Call(ApiKey api, std::string_view body,
+                              std::string* response_body,
+                              std::chrono::microseconds extra_wait,
+                              bool retry) {
+  auto backoff = options_.backoff_initial;
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      if (!retry) break;
+      if (retries_ != nullptr) retries_->Inc();
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, options_.backoff_max);
+    }
+    last = EnsureConnected();
+    if (!last.ok()) continue;  // connect failures are always retryable
+
+    last = RoundTrip(api, body, response_body, extra_wait);
+    if (last.ok()) return last;
+    if (!IsTransportError(last) ||
+        (!last.message().empty() && last.message().rfind("server: ", 0) == 0)) {
+      return last;  // application error from the server: never retry
+    }
+    // Transport fault: the stream cannot be trusted (a timeout may have left
+    // half a frame in flight). Reconnect on the next attempt.
+    socket_.Close();
+    LOG_DEBUG << "net: " << ApiKeyName(api)
+              << " transport error, will retry: " << last.ToString();
+  }
+  return last;
+}
+
+// --- RemoteProducer ---------------------------------------------------------
+
+Result<std::pair<int, std::int64_t>> RemoteProducer::Send(
+    const std::string& topic, ps::Record record) {
+  ProduceRequest req;
+  req.topic = topic;
+  req.record = std::move(record);
+  std::string body;
+  EncodeProduceRequest(req, &body);
+  std::string response;
+  STRATA_RETURN_IF_ERROR(
+      connection_.Call(ApiKey::kProduce, body, &response));
+  ProduceResponse resp;
+  STRATA_RETURN_IF_ERROR(DecodeProduceResponse(response, &resp));
+  return std::pair<int, std::int64_t>{resp.partition, resp.offset};
+}
+
+// --- RemoteConsumer ---------------------------------------------------------
+
+Result<std::unique_ptr<RemoteConsumer>> RemoteConsumer::Create(
+    RemoteOptions remote, const std::string& topic,
+    ps::ConsumerOptions options) {
+  std::unique_ptr<RemoteConsumer> consumer(
+      new RemoteConsumer(std::move(remote), topic, std::move(options)));
+
+  GroupRequest join;
+  join.group = consumer->options_.group;
+  join.topic = topic;
+  std::string body;
+  EncodeGroupRequest(join, &body);
+  std::string response;
+  STRATA_RETURN_IF_ERROR(
+      consumer->connection_.Call(ApiKey::kJoinGroup, body, &response));
+  JoinGroupResponse joined;
+  STRATA_RETURN_IF_ERROR(DecodeJoinGroupResponse(response, &joined));
+  consumer->member_ = joined.member;
+  consumer->joined_ = true;
+
+  STRATA_RETURN_IF_ERROR(consumer->RefreshAssignment());
+  return consumer;
+}
+
+RemoteConsumer::~RemoteConsumer() {
+  if (!joined_) return;
+  GroupRequest leave;
+  leave.group = options_.group;
+  leave.member = member_;
+  std::string body;
+  EncodeGroupRequest(leave, &body);
+  std::string response;
+  // Best effort, no retry: if the connection is gone the server's session
+  // tracking already leaves the group for us.
+  (void)connection_.Call(ApiKey::kLeaveGroup, body, &response,
+                         std::chrono::microseconds{}, /*retry=*/false);
+}
+
+Status RemoteConsumer::RefreshAssignment() {
+  GroupRequest heartbeat;
+  heartbeat.group = options_.group;
+  heartbeat.member = member_;
+  std::string body;
+  EncodeGroupRequest(heartbeat, &body);
+  std::string response;
+  STRATA_RETURN_IF_ERROR(
+      connection_.Call(ApiKey::kHeartbeat, body, &response));
+  HeartbeatResponse resp;
+  STRATA_RETURN_IF_ERROR(DecodeHeartbeatResponse(response, &resp));
+
+  if (resp.generation == generation_ && !assigned_.empty()) {
+    return Status::Ok();
+  }
+  generation_ = resp.generation;
+  assigned_ = std::move(resp.assignment);
+
+  // Mirror the embedded consumer: drop uncommitted progress for revoked
+  // partitions so we never clobber the new owner's committed offsets.
+  for (auto it = uncommitted_.begin(); it != uncommitted_.end();) {
+    const bool still_assigned =
+        std::find(assigned_.begin(), assigned_.end(), it->first) !=
+        assigned_.end();
+    it = still_assigned ? std::next(it) : uncommitted_.erase(it);
+  }
+
+  // Keep in-flight positions of retained partitions; resolve fresh ones from
+  // the committed offset, falling back to the reset policy against topic
+  // metadata.
+  std::map<ps::TopicPartition, std::int64_t> positions;
+  std::vector<ps::TopicPartition> fresh;
+  for (const ps::TopicPartition& tp : assigned_) {
+    if (const auto it = positions_.find(tp); it != positions_.end()) {
+      positions[tp] = it->second;
+    } else {
+      fresh.push_back(tp);
+    }
+  }
+
+  if (!fresh.empty()) {
+    OffsetFetchRequest req;
+    req.group = options_.group;
+    req.partitions = fresh;
+    body.clear();
+    EncodeOffsetFetchRequest(req, &body);
+    STRATA_RETURN_IF_ERROR(
+        connection_.Call(ApiKey::kOffsetFetch, body, &response));
+    OffsetFetchResponse offsets;
+    STRATA_RETURN_IF_ERROR(DecodeOffsetFetchResponse(response, &offsets));
+    if (offsets.offsets.size() != fresh.size()) {
+      return Status::Corruption("offset_fetch: response size mismatch");
+    }
+
+    MetadataResponse metadata;
+    bool have_metadata = false;
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      if (offsets.offsets[i] != OffsetFetchResponse::kNone) {
+        positions[fresh[i]] = offsets.offsets[i];
+        continue;
+      }
+      if (!have_metadata) {
+        MetadataRequest meta_req;
+        meta_req.topic = topic_;
+        body.clear();
+        EncodeMetadataRequest(meta_req, &body);
+        STRATA_RETURN_IF_ERROR(
+            connection_.Call(ApiKey::kMetadata, body, &response));
+        STRATA_RETURN_IF_ERROR(DecodeMetadataResponse(response, &metadata));
+        have_metadata = true;
+      }
+      if (metadata.topics.empty() ||
+          static_cast<std::size_t>(fresh[i].partition) >=
+              metadata.topics.front().partitions.size()) {
+        return Status::Corruption("metadata: missing partition " +
+                                  std::to_string(fresh[i].partition));
+      }
+      const auto& [start, end] =
+          metadata.topics.front().partitions[fresh[i].partition];
+      positions[fresh[i]] =
+          options_.reset == ps::ConsumerOptions::AutoOffsetReset::kLatest
+              ? end
+              : start;
+    }
+  }
+  positions_ = std::move(positions);
+  return Status::Ok();
+}
+
+Result<std::vector<ps::ConsumedRecord>> RemoteConsumer::Poll(
+    std::chrono::microseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  STRATA_RETURN_IF_ERROR(RefreshAssignment());
+
+  std::vector<ps::ConsumedRecord> out;
+  while (true) {
+    if (assigned_.empty()) {
+      // Nothing assigned (mid-rebalance, or more members than partitions):
+      // wait out a slice rather than hammering the server with heartbeats.
+      const auto now = std::chrono::steady_clock::now();
+      if (timeout.count() == 0 || now >= deadline) break;
+      std::this_thread::sleep_for(std::min(
+          std::chrono::duration_cast<std::chrono::microseconds>(deadline - now),
+          kFetchSlice));
+    } else {
+      FetchRequest req;
+      req.entries.reserve(assigned_.size());
+      for (const ps::TopicPartition& tp : assigned_) {
+        FetchRequest::Entry entry;
+        entry.tp = tp;
+        entry.offset = positions_[tp];
+        entry.max_records = options_.max_poll_records;
+        req.entries.push_back(std::move(entry));
+      }
+      const auto now = std::chrono::steady_clock::now();
+      const auto remaining =
+          now < deadline
+              ? std::chrono::duration_cast<std::chrono::microseconds>(
+                    deadline - now)
+              : std::chrono::microseconds{};
+      const auto wait = std::min(remaining, kFetchSlice);
+      req.max_wait_us = static_cast<std::uint64_t>(wait.count());
+
+      std::string body;
+      EncodeFetchRequest(req, &body);
+      std::string response;
+      STRATA_RETURN_IF_ERROR(connection_.Call(
+          ApiKey::kFetch, body, &response, wait + std::chrono::seconds(1)));
+      FetchResponse resp;
+      STRATA_RETURN_IF_ERROR(DecodeFetchResponse(response, &resp));
+
+      for (FetchResponse::Entry& entry : resp.entries) {
+        // The server may have answered for a partition we no longer own
+        // (rebalance raced the fetch); discard those records unseen.
+        if (std::find(assigned_.begin(), assigned_.end(), entry.tp) ==
+            assigned_.end()) {
+          continue;
+        }
+        const std::size_t room = options_.max_poll_records > out.size()
+                                     ? options_.max_poll_records - out.size()
+                                     : 0;
+        const std::size_t take = std::min(entry.records.size(), room);
+        for (std::size_t i = 0; i < take; ++i) {
+          out.push_back(std::move(entry.records[i]));
+        }
+        const std::int64_t next = take == entry.records.size()
+                                      ? entry.next_offset
+                                      : entry.records[take].offset;
+        positions_[entry.tp] = next;
+        uncommitted_[entry.tp] = next;
+      }
+    }
+    if (!out.empty()) break;
+    if (timeout.count() == 0) break;  // probe: empty Ok batch
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    // Between long-poll slices, pick up any rebalance that happened while we
+    // were parked on an idle partition set.
+    STRATA_RETURN_IF_ERROR(RefreshAssignment());
+  }
+
+  if (options_.auto_commit && !out.empty()) STRATA_RETURN_IF_ERROR(Commit());
+  if (out.empty() && timeout.count() > 0) {
+    return Status::Timeout("Poll: no data before deadline");
+  }
+  return out;
+}
+
+Status RemoteConsumer::Commit() {
+  if (uncommitted_.empty()) return Status::Ok();
+  CommitOffsetRequest req;
+  req.group = options_.group;
+  req.offsets.assign(uncommitted_.begin(), uncommitted_.end());
+  std::string body;
+  EncodeCommitOffsetRequest(req, &body);
+  std::string response;
+  // Committing the same offsets twice is idempotent, so retry is safe.
+  STRATA_RETURN_IF_ERROR(
+      connection_.Call(ApiKey::kCommitOffset, body, &response));
+  uncommitted_.clear();
+  return Status::Ok();
+}
+
+Status RemoteConsumer::SeekToEnd() {
+  STRATA_RETURN_IF_ERROR(RefreshAssignment());
+  MetadataRequest req;
+  req.topic = topic_;
+  std::string body;
+  EncodeMetadataRequest(req, &body);
+  std::string response;
+  STRATA_RETURN_IF_ERROR(connection_.Call(ApiKey::kMetadata, body, &response));
+  MetadataResponse metadata;
+  STRATA_RETURN_IF_ERROR(DecodeMetadataResponse(response, &metadata));
+  if (metadata.topics.empty()) {
+    return Status::NotFound("SeekToEnd: topic " + topic_);
+  }
+  const auto& partitions = metadata.topics.front().partitions;
+  for (const ps::TopicPartition& tp : assigned_) {
+    if (static_cast<std::size_t>(tp.partition) >= partitions.size()) {
+      return Status::Corruption("metadata: missing partition " +
+                                std::to_string(tp.partition));
+    }
+    positions_[tp] = partitions[tp.partition].second;
+    uncommitted_[tp] = positions_[tp];
+  }
+  return Commit();
+}
+
+// --- RemoteBroker -----------------------------------------------------------
+
+Status RemoteBroker::CreateTopic(const std::string& name,
+                                 const ps::TopicConfig& config) {
+  CreateTopicRequest req;
+  req.topic = name;
+  req.config = config;
+  std::string body;
+  EncodeCreateTopic(req, &body);
+  std::string response;
+  return control_.Call(ApiKey::kCreateTopic, body, &response);
+}
+
+Result<std::unique_ptr<ps::ProducerClient>> RemoteBroker::NewProducer() {
+  return std::unique_ptr<ps::ProducerClient>(
+      std::make_unique<RemoteProducer>(options_));
+}
+
+Result<std::unique_ptr<ps::ConsumerClient>> RemoteBroker::NewConsumer(
+    const std::string& topic, ps::ConsumerOptions options) {
+  auto consumer = RemoteConsumer::Create(options_, topic, std::move(options));
+  if (!consumer.ok()) return consumer.status();
+  return std::unique_ptr<ps::ConsumerClient>(std::move(*consumer));
+}
+
+Result<MetadataResponse> RemoteBroker::Metadata(const std::string& topic) {
+  MetadataRequest req;
+  req.topic = topic;
+  std::string body;
+  EncodeMetadataRequest(req, &body);
+  std::string response;
+  STRATA_RETURN_IF_ERROR(control_.Call(ApiKey::kMetadata, body, &response));
+  MetadataResponse resp;
+  STRATA_RETURN_IF_ERROR(DecodeMetadataResponse(response, &resp));
+  return resp;
+}
+
+}  // namespace strata::net

@@ -1,0 +1,107 @@
+// BrokerServer: exposes an embedded ps::Broker over TCP.
+//
+// Thread-per-connection: the accept loop spawns one handler thread per
+// client, which reads framed requests (see net/frame.hpp, net/protocol.hpp)
+// and dispatches them onto the broker. The protocol is strictly
+// request/response, so a handler thread is either blocked reading the next
+// request or executing one — Stop() shuts every connection socket down,
+// which unblocks the readers, and long-poll Fetches wait on the broker's
+// data signal in short slices so they notice the stop flag promptly.
+//
+// Consumer-group sessions are tied to the connection: every (group, member)
+// joined through a connection is left automatically when that connection
+// drops, so a crashed remote consumer triggers a rebalance instead of
+// holding its partitions forever.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "pubsub/broker.hpp"
+
+namespace strata::net {
+
+struct BrokerServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; the chosen one is available via port().
+  std::uint16_t port = 0;
+  /// Cap on the server-side long-poll budget a Fetch may request.
+  std::chrono::microseconds max_fetch_wait = std::chrono::seconds(5);
+  /// Deadline for writing one response back to a client.
+  std::chrono::microseconds write_timeout = std::chrono::seconds(30);
+  /// Optional registry for net.server.* metrics (connections gauge, request
+  /// counters by api, bytes in/out, request latency histograms).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class BrokerServer {
+ public:
+  /// Serves `broker`, which must outlive the server and stay open while the
+  /// server runs (Stop the server before closing the broker).
+  explicit BrokerServer(ps::Broker* broker, BrokerServerOptions options = {});
+  ~BrokerServer();
+  BrokerServer(const BrokerServer&) = delete;
+  BrokerServer& operator=(const BrokerServer&) = delete;
+
+  /// Bind, listen, and start the accept loop.
+  [[nodiscard]] Status Start();
+
+  /// Stop accepting, shut down every connection, join all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// Port actually bound (resolves an ephemeral bind). Valid after Start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const std::string& host() const noexcept {
+    return options_.host;
+  }
+
+ private:
+  struct Connection {
+    explicit Connection(Socket s) : socket(std::move(s)) {}
+    Socket socket;
+    std::thread thread;
+    /// Groups joined through this connection; auto-left on disconnect.
+    std::vector<std::pair<std::string, ps::MemberId>> memberships;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+  /// Decode, dispatch, and encode one request. The returned status is the
+  /// *transport* outcome; application errors travel inside the response.
+  [[nodiscard]] Status HandleRequest(Connection* conn,
+                                     std::string_view payload,
+                                     std::string* response);
+
+  [[nodiscard]] Status HandleFetch(std::string_view body, std::string* out);
+
+  void ReapFinishedLocked();  // REQUIRES mu_
+
+  ps::Broker* broker_;
+  BrokerServerOptions options_;
+  ListenSocket listener_;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  // Metrics handles (null when no registry was given).
+  obs::Gauge* connections_gauge_ = nullptr;
+  obs::Counter* bytes_in_ = nullptr;
+  obs::Counter* bytes_out_ = nullptr;
+};
+
+}  // namespace strata::net

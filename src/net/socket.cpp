@@ -1,0 +1,264 @@
+#include "net/socket.hpp"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace strata::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+/// Wait for `events` on fd until the deadline. Ok = ready, Timeout = not.
+Status PollFor(int fd, short events, Deadline deadline) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline != kNoDeadline) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return Status::Timeout("socket deadline exceeded");
+      const auto remaining =
+          std::chrono::ceil<std::chrono::milliseconds>(deadline - now);
+      timeout_ms = static_cast<int>(
+          std::min<std::int64_t>(remaining.count(), 60'000));
+    }
+    struct pollfd pfd = {};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return Status::Ok();  // readiness (or error, surfaced by I/O)
+    if (rc == 0) {
+      if (deadline == kNoDeadline) continue;  // spurious cap expiry
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return Status::Timeout("socket deadline exceeded");
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::Connect(const std::string& host, std::uint16_t port,
+                               Deadline deadline) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* addrs = nullptr;
+  const std::string service = std::to_string(port);
+  if (const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &addrs);
+      rc != 0) {
+    return Status::Unavailable("getaddrinfo(" + host + "): " +
+                               ::gai_strerror(rc));
+  }
+
+  Status last = Status::Unavailable("no address for " + host);
+  for (struct addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    Socket sock(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!sock.valid()) {
+      last = Errno("socket");
+      continue;
+    }
+    if (Status s = SetNonBlocking(sock.fd()); !s.ok()) {
+      last = s;
+      continue;
+    }
+    if (::connect(sock.fd(), ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(addrs);
+      return sock;
+    }
+    if (errno != EINPROGRESS) {
+      last = Status::Unavailable("connect(" + host + ":" + service +
+                                 "): " + std::strerror(errno));
+      continue;
+    }
+    if (Status s = PollFor(sock.fd(), POLLOUT, deadline); !s.ok()) {
+      last = s;
+      continue;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      last = Errno("getsockopt(SO_ERROR)");
+      continue;
+    }
+    if (err != 0) {
+      last = Status::Unavailable("connect(" + host + ":" + service +
+                                 "): " + std::strerror(err));
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::freeaddrinfo(addrs);
+    return sock;
+  }
+  ::freeaddrinfo(addrs);
+  return last;
+}
+
+Status Socket::ReadFully(void* buf, std::size_t n, Deadline deadline) {
+  auto* out = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(fd_, out + got, n - got, 0);
+    if (rc > 0) {
+      got += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) return Status::Unavailable("connection closed by peer");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      STRATA_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline));
+      continue;
+    }
+    return Errno("recv");
+  }
+  return Status::Ok();
+}
+
+Status Socket::WriteAll(std::string_view data, Deadline deadline) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t rc =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      STRATA_RETURN_IF_ERROR(PollFor(fd_, POLLOUT, deadline));
+      continue;
+    }
+    if (rc < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return Status::Unavailable("connection closed by peer");
+    }
+    return Errno("send");
+  }
+  return Status::Ok();
+}
+
+void Socket::Shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<ListenSocket> ListenSocket::Listen(const std::string& host,
+                                          std::uint16_t port, int backlog) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* addrs = nullptr;
+  const std::string service = std::to_string(port);
+  if (const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                                   service.c_str(), &hints, &addrs);
+      rc != 0) {
+    return Status::Unavailable("getaddrinfo(" + host + "): " +
+                               ::gai_strerror(rc));
+  }
+
+  Status last = Status::Unavailable("no bindable address for " + host);
+  for (struct addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (Status s = SetNonBlocking(fd); !s.ok()) {
+      ::close(fd);
+      last = s;
+      continue;
+    }
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) < 0 ||
+        ::listen(fd, backlog) < 0) {
+      last = Errno("bind/listen " + host + ":" + service);
+      ::close(fd);
+      continue;
+    }
+    // Recover the actual port for ephemeral binds.
+    struct sockaddr_storage bound = {};
+    socklen_t len = sizeof(bound);
+    std::uint16_t actual = port;
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) ==
+        0) {
+      if (bound.ss_family == AF_INET) {
+        actual = ntohs(reinterpret_cast<struct sockaddr_in*>(&bound)->sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        actual =
+            ntohs(reinterpret_cast<struct sockaddr_in6*>(&bound)->sin6_port);
+      }
+    }
+    ::freeaddrinfo(addrs);
+    ListenSocket listener;
+    listener.fd_ = fd;
+    listener.port_ = actual;
+    return listener;
+  }
+  ::freeaddrinfo(addrs);
+  return last;
+}
+
+Result<Socket> ListenSocket::Accept(Deadline deadline) {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      Socket sock(fd);
+      if (Status s = SetNonBlocking(fd); !s.ok()) return s;
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      STRATA_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline));
+      continue;
+    }
+    return Errno("accept");
+  }
+}
+
+void ListenSocket::Close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace strata::net

@@ -119,6 +119,13 @@ class Broker {
   /// Close all logs; unblocks any waiting consumers.
   void Close();
 
+  /// True once Close() ran (consumers use this to turn a wait wake-up into
+  /// Status::Closed instead of spinning).
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
  private:
   struct Topic {
     TopicConfig config;

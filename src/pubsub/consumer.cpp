@@ -57,6 +57,10 @@ void Consumer::RefreshAssignment() {
 
 Result<std::vector<ConsumedRecord>> Consumer::Poll(
     std::chrono::microseconds timeout) {
+  // Deadline on the monotonic clock: wall-clock jumps must not stretch or
+  // shrink a long-poll (RemoteConsumer turns this timeout into its retry
+  // cadence, so the distinction matters).
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
   RefreshAssignment();
 
   std::vector<ConsumedRecord> out;
@@ -92,15 +96,28 @@ Result<std::vector<ConsumedRecord>> Consumer::Poll(
   };
 
   STRATA_RETURN_IF_ERROR(fetch_available());
-  if (out.empty() && timeout.count() > 0 && !assigned_.empty()) {
+  while (out.empty() && !assigned_.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
     // Block until *any* assigned partition has new data, then refetch all.
     // Waiting on a single partition's log would sleep through the timeout
     // while records pile up in the others.
-    (void)broker_->WaitForAnyData(assigned_, positions_, timeout);
+    (void)broker_->WaitForAnyData(
+        assigned_, positions_,
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now));
+    if (broker_->closed()) return Status::Closed("broker closed");
+    RefreshAssignment();  // a rebalance may have happened while we slept
     STRATA_RETURN_IF_ERROR(fetch_available());
   }
 
   if (options_.auto_commit && !out.empty()) STRATA_RETURN_IF_ERROR(Commit());
+  if (out.empty() && timeout.count() > 0) {
+    // Deadline exceeded is not the same observation as "no data": a
+    // zero-timeout probe legitimately returns an empty Ok batch, but a
+    // blocking poll that saw nothing for its whole window reports Timeout so
+    // retry loops and remote fetches can act on it.
+    return Status::Timeout("Poll: no data before deadline");
+  }
   return out;
 }
 

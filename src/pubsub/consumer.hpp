@@ -11,42 +11,43 @@
 #include <vector>
 
 #include "pubsub/broker.hpp"
+#include "pubsub/client.hpp"
 
 namespace strata::ps {
 
-struct ConsumerOptions {
-  std::string group = "default";
-  /// Start position for partitions with no committed offset.
-  enum class AutoOffsetReset { kEarliest, kLatest } reset =
-      AutoOffsetReset::kEarliest;
-  /// Commit after every Poll automatically.
-  bool auto_commit = true;
-  std::size_t max_poll_records = 256;
-};
+// ConsumerOptions lives in pubsub/client.hpp: it is part of the
+// transport-neutral client surface shared with net::RemoteConsumer.
 
-class Consumer {
+class Consumer final : public ConsumerClient {
  public:
   /// Joins the group; fails if the topic does not exist.
   [[nodiscard]] static Result<std::unique_ptr<Consumer>> Create(
       Broker* broker, const std::string& topic, ConsumerOptions options = {});
 
-  ~Consumer();
+  ~Consumer() override;
   Consumer(const Consumer&) = delete;
   Consumer& operator=(const Consumer&) = delete;
 
   /// Fetch available records from assigned partitions, blocking up to
-  /// `timeout` when none are available. An empty result means timeout.
+  /// `timeout` (measured on the monotonic clock) when none are available.
+  /// A non-zero timeout that fully elapses with no data returns
+  /// Status::Timeout — distinct from an Ok empty batch, which only a
+  /// zero-timeout probe produces — and a broker shutdown while blocked
+  /// returns Status::Closed, so long-polling callers (e.g. a networked
+  /// fetch) can tell a retryable deadline from a drained partition or a
+  /// dead broker.
   [[nodiscard]] Result<std::vector<ConsumedRecord>> Poll(
-      std::chrono::microseconds timeout);
+      std::chrono::microseconds timeout) override;
 
   /// Commit consumed positions (no-op when auto_commit already did).
-  [[nodiscard]] Status Commit();
+  [[nodiscard]] Status Commit() override;
 
   /// Force positions of all assigned partitions to the current log end
   /// (skip backlog).
-  [[nodiscard]] Status SeekToEnd();
+  [[nodiscard]] Status SeekToEnd() override;
 
-  [[nodiscard]] const std::vector<TopicPartition>& assignment() const noexcept {
+  [[nodiscard]] const std::vector<TopicPartition>& assignment()
+      const noexcept override {
     return assigned_;
   }
 

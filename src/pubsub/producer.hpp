@@ -5,26 +5,19 @@
 #include <string>
 
 #include "pubsub/broker.hpp"
+#include "pubsub/client.hpp"
 
 namespace strata::ps {
 
-class Producer {
+class Producer final : public ProducerClient {
  public:
   explicit Producer(Broker* broker) : broker_(broker) {}
 
+  using ProducerClient::Send;
+
   /// Returns (partition, offset) of the appended record.
   [[nodiscard]] Result<std::pair<int, std::int64_t>> Send(
-      const std::string& topic, Record record) {
-    return broker_->Produce(topic, record);
-  }
-
-  [[nodiscard]] Result<std::pair<int, std::int64_t>> Send(
-      const std::string& topic, std::string key, std::string value,
-      Timestamp timestamp) {
-    Record record;
-    record.key = std::move(key);
-    record.value = std::move(value);
-    record.timestamp = timestamp;
+      const std::string& topic, Record record) override {
     return broker_->Produce(topic, record);
   }
 

@@ -17,8 +17,8 @@ spe::SinkFn ConnectorPublisher::AsSinkFn() {
                 << ": " << s.ToString();
       return;
     }
-    auto result = producer_.Send(topic_, key_fn_ ? key_fn_(tuple) : "",
-                                 std::move(encoded), tuple.event_time);
+    auto result = producer_->Send(topic_, key_fn_ ? key_fn_(tuple) : "",
+                                  std::move(encoded), tuple.event_time);
     if (!result.ok() && !result.status().IsClosed()) {
       LOG_ERROR << "connector publish failed on topic " << topic_ << ": "
                 << result.status().ToString();
@@ -32,19 +32,26 @@ std::function<void()> ConnectorPublisher::AsFinishHook() {
     eos.payload.Set(kEosKey, true);
     std::string encoded;
     if (Status s = EncodeTuple(eos, &encoded); !s.ok()) return;
-    (void)producer_.Send(topic_, "", std::move(encoded), 0);
+    (void)producer_->Send(topic_, "", std::move(encoded), 0);
   };
 }
 
 Result<std::shared_ptr<ConnectorSubscriber>> ConnectorSubscriber::Create(
-    ps::Broker* broker, const std::string& topic, const std::string& group) {
+    ps::BrokerClient* client, const std::string& topic,
+    const std::string& group) {
   ps::ConsumerOptions options;
   options.group = group;
   options.reset = ps::ConsumerOptions::AutoOffsetReset::kEarliest;
-  auto consumer = ps::Consumer::Create(broker, topic, std::move(options));
+  auto consumer = client->NewConsumer(topic, std::move(options));
   if (!consumer.ok()) return consumer.status();
   return std::shared_ptr<ConnectorSubscriber>(
       new ConnectorSubscriber(std::move(consumer).value()));
+}
+
+Result<std::shared_ptr<ConnectorSubscriber>> ConnectorSubscriber::Create(
+    ps::Broker* broker, const std::string& topic, const std::string& group) {
+  ps::EmbeddedBrokerClient client(broker);
+  return Create(&client, topic, group);
 }
 
 spe::SourceFn ConnectorSubscriber::AsSourceFn() {
@@ -64,14 +71,19 @@ std::optional<spe::Tuple> ConnectorSubscriber::Next() {
 
     auto batch = consumer_->Poll(kPollTimeout);
     if (!batch.ok()) {
+      if (batch.status().IsTimeout()) {
+        // Nothing arrived inside the poll window. If EOS was seen, an empty
+        // window means all partitions are drained (the EOS record is
+        // globally last): end of stream.
+        if (eos_seen_) return std::nullopt;
+        continue;
+      }
       if (!batch.status().IsClosed()) {
         LOG_ERROR << "connector poll failed: " << batch.status().ToString();
       }
       return std::nullopt;
     }
     if (batch->empty()) {
-      // Timeout. If EOS was seen, an empty poll means all partitions are
-      // drained (the EOS record is globally last): end of stream.
       if (eos_seen_) return std::nullopt;
       continue;
     }

@@ -15,6 +15,7 @@
 #include <deque>
 #include <memory>
 
+#include "pubsub/client.hpp"
 #include "pubsub/consumer.hpp"
 #include "pubsub/producer.hpp"
 #include "spe/functions.hpp"
@@ -27,9 +28,18 @@ using PartitionKeyFn = std::function<std::string(const spe::Tuple&)>;
 
 class ConnectorPublisher {
  public:
+  /// Transport-neutral: `producer` may be embedded or remote.
+  ConnectorPublisher(std::unique_ptr<ps::ProducerClient> producer,
+                     std::string topic, PartitionKeyFn key_fn)
+      : producer_(std::move(producer)),
+        topic_(std::move(topic)),
+        key_fn_(std::move(key_fn)) {}
+
+  /// Convenience for the embedded broker.
   ConnectorPublisher(ps::Broker* broker, std::string topic,
                      PartitionKeyFn key_fn)
-      : producer_(broker), topic_(std::move(topic)), key_fn_(std::move(key_fn)) {}
+      : ConnectorPublisher(std::make_unique<ps::Producer>(broker),
+                           std::move(topic), std::move(key_fn)) {}
 
   /// SinkFn publishing each tuple.
   [[nodiscard]] spe::SinkFn AsSinkFn();
@@ -37,13 +47,19 @@ class ConnectorPublisher {
   [[nodiscard]] std::function<void()> AsFinishHook();
 
  private:
-  ps::Producer producer_;
+  std::unique_ptr<ps::ProducerClient> producer_;
   std::string topic_;
   PartitionKeyFn key_fn_;
 };
 
 class ConnectorSubscriber {
  public:
+  /// Transport-neutral: `client` may be the embedded broker or a remote one.
+  [[nodiscard]] static Result<std::shared_ptr<ConnectorSubscriber>> Create(
+      ps::BrokerClient* client, const std::string& topic,
+      const std::string& group);
+
+  /// Convenience for the embedded broker.
   [[nodiscard]] static Result<std::shared_ptr<ConnectorSubscriber>> Create(
       ps::Broker* broker, const std::string& topic, const std::string& group);
 
@@ -53,12 +69,12 @@ class ConnectorSubscriber {
   void Stop() { stopped_.store(true, std::memory_order_release); }
 
  private:
-  explicit ConnectorSubscriber(std::unique_ptr<ps::Consumer> consumer)
+  explicit ConnectorSubscriber(std::unique_ptr<ps::ConsumerClient> consumer)
       : consumer_(std::move(consumer)) {}
 
   [[nodiscard]] std::optional<spe::Tuple> Next();
 
-  std::unique_ptr<ps::Consumer> consumer_;
+  std::unique_ptr<ps::ConsumerClient> consumer_;
   std::deque<spe::Tuple> buffered_;
   std::atomic<bool> stopped_{false};
   bool eos_seen_ = false;

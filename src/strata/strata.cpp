@@ -22,6 +22,13 @@ Strata::Strata(StrataOptions options) : options_(std::move(options)) {
     broker_options.data_dir = options_.data_dir / "broker";
   }
   broker_ = std::make_unique<ps::Broker>(broker_options);
+  if (options_.remote_broker.has_value()) {
+    net::RemoteOptions remote = *options_.remote_broker;
+    if (remote.metrics == nullptr) remote.metrics = &registry_;
+    client_ = std::make_unique<net::RemoteBroker>(std::move(remote));
+  } else {
+    client_ = std::make_unique<ps::EmbeddedBrokerClient>(broker_.get());
+  }
   query_ = std::make_unique<spe::Query>(options_.query);
 
   kv_->BindMetrics(&registry_);
@@ -59,25 +66,40 @@ Result<std::vector<std::pair<std::string, std::string>>> Strata::GetByPrefix(
   return entries;
 }
 
-spe::StreamPtr Strata::ThroughConnector(const std::string& topic,
-                                        spe::StreamPtr in,
-                                        PartitionKeyFn key_fn) {
+spe::SinkOperator* Strata::PublishTo(const std::string& topic,
+                                     spe::StreamPtr in, PartitionKeyFn key_fn) {
   ps::TopicConfig config;
   config.partitions = options_.connector_partitions;
-  broker_->CreateTopic(topic, config).OrDie();
+  client_->CreateTopic(topic, config).OrDie();
 
-  auto publisher = std::make_unique<ConnectorPublisher>(broker_.get(), topic,
-                                                        std::move(key_fn));
+  auto producer = client_->NewProducer();
+  producer.status().OrDie();
+  auto publisher = std::make_unique<ConnectorPublisher>(
+      std::move(*producer), topic, std::move(key_fn));
   spe::SinkOperator* sink =
       query_->AddSink(topic + ".pub", std::move(in), publisher->AsSinkFn());
   sink->SetFinishHook(publisher->AsFinishHook());
   publishers_.push_back(std::move(publisher));
+  return sink;
+}
+
+spe::StreamPtr Strata::SubscribeTo(const std::string& topic) {
+  ps::TopicConfig config;
+  config.partitions = options_.connector_partitions;
+  client_->CreateTopic(topic, config).OrDie();  // idempotent
 
   auto subscriber =
-      ConnectorSubscriber::Create(broker_.get(), topic, topic + ".monitor");
+      ConnectorSubscriber::Create(client_.get(), topic, topic + ".monitor");
   subscriber.status().OrDie();
   subscribers_.push_back(*subscriber);
   return query_->AddSource(topic + ".sub", (*subscriber)->AsSourceFn());
+}
+
+spe::StreamPtr Strata::ThroughConnector(const std::string& topic,
+                                        spe::StreamPtr in,
+                                        PartitionKeyFn key_fn) {
+  PublishTo(topic, std::move(in), std::move(key_fn));
+  return SubscribeTo(topic);
 }
 
 spe::StreamPtr Strata::AddSource(const std::string& name,
@@ -90,6 +112,17 @@ spe::StreamPtr Strata::AddSource(const std::string& name,
                           [](const spe::Tuple& t) {
                             return std::to_string(t.job);
                           });
+}
+
+spe::SinkOperator* Strata::ExportSource(const std::string& name,
+                                        spe::SourceFn collector) {
+  spe::StreamPtr collected = query_->AddSource(name, std::move(collector));
+  return PublishTo("raw." + name, std::move(collected),
+                   [](const spe::Tuple& t) { return std::to_string(t.job); });
+}
+
+spe::StreamPtr Strata::ImportSource(const std::string& name) {
+  return SubscribeTo("raw." + name);
 }
 
 spe::StreamPtr Strata::Fuse(const std::string& name, spe::StreamPtr s1,

@@ -27,9 +27,11 @@
 
 #include "common/fs.hpp"
 #include "kvstore/db.hpp"
+#include "net/remote.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "pubsub/broker.hpp"
+#include "pubsub/client.hpp"
 #include "spe/query.hpp"
 #include "strata/api.hpp"
 #include "strata/connector.hpp"
@@ -43,6 +45,11 @@ struct StrataOptions {
   /// Persist connector topics to disk (replayable raw-data history).
   bool persistent_connectors = false;
   int connector_partitions = 1;
+  /// When set, connectors speak to a net::BrokerServer at this address
+  /// instead of the in-process broker — the same pipeline code runs
+  /// embedded or networked (deployment topologies, DESIGN.md). The local
+  /// broker still exists but carries no connector traffic.
+  std::optional<net::RemoteOptions> remote_broker;
   kv::DbOptions kv;
   spe::QueryOptions query;
 };
@@ -70,6 +77,19 @@ class Strata {
   /// entering the Event Monitor. Returns the monitor-side stream.
   [[nodiscard]] spe::StreamPtr AddSource(const std::string& name,
                                          spe::SourceFn collector);
+
+  /// Publisher half of addSource for process-split deployments: deploys
+  /// `collector` and publishes its tuples to the Raw Data Connector topic
+  /// without subscribing. A different process (typically with the same
+  /// remote_broker config) picks the stream up via ImportSource(name).
+  spe::SinkOperator* ExportSource(const std::string& name,
+                                  spe::SourceFn collector);
+
+  /// Subscriber half of addSource: joins the Raw Data Connector topic that
+  /// an ExportSource(name) elsewhere publishes and returns the monitor-side
+  /// stream. The topic is created if it does not exist yet, so start order
+  /// between the exporting and importing processes does not matter.
+  [[nodiscard]] spe::StreamPtr ImportSource(const std::string& name);
 
   /// fuse(s1, s2, s_out, [WS, WA], [GB]): joins tuples sharing job and layer
   /// (plus the payload sub-attributes named in `group_by`). Without a window
@@ -126,6 +146,8 @@ class Strata {
 
   [[nodiscard]] kv::DB& kv() noexcept { return *kv_; }
   [[nodiscard]] ps::Broker& broker() noexcept { return *broker_; }
+  /// Transport the connectors actually use (embedded or remote).
+  [[nodiscard]] ps::BrokerClient& broker_client() noexcept { return *client_; }
   [[nodiscard]] spe::Query& query() noexcept { return *query_; }
 
   // --- observability ---------------------------------------------------------
@@ -156,6 +178,12 @@ class Strata {
   [[nodiscard]] spe::StreamPtr ThroughConnector(const std::string& topic,
                                                 spe::StreamPtr in,
                                                 PartitionKeyFn key_fn);
+  /// Create `topic` on the connector transport (idempotent) and attach a
+  /// publishing sink for `in`, returning that sink.
+  spe::SinkOperator* PublishTo(const std::string& topic, spe::StreamPtr in,
+                               PartitionKeyFn key_fn);
+  /// Subscribe to `topic` (created if missing) and return its source stream.
+  [[nodiscard]] spe::StreamPtr SubscribeTo(const std::string& topic);
 
   StrataOptions options_;
   /// Declared before the substrates so it is destroyed last — they
@@ -164,6 +192,9 @@ class Strata {
   std::unique_ptr<strata::fs::ScopedTempDir> temp_dir_;  // when data_dir empty
   std::unique_ptr<kv::DB> kv_;
   std::unique_ptr<ps::Broker> broker_;
+  /// Connector transport: EmbeddedBrokerClient over broker_, or a
+  /// net::RemoteBroker when options_.remote_broker is set.
+  std::unique_ptr<ps::BrokerClient> client_;
   std::unique_ptr<spe::Query> query_;
   std::vector<std::unique_ptr<ConnectorPublisher>> publishers_;
   std::vector<std::shared_ptr<ConnectorSubscriber>> subscribers_;

@@ -1,6 +1,7 @@
 #include "strata/transport.hpp"
 
 #include "common/codec.hpp"
+#include "common/crc32.hpp"
 
 namespace strata::core {
 
@@ -11,6 +12,12 @@ constexpr char kImageMarker = 'I';
 }  // namespace
 
 Status EncodeTuple(const spe::Tuple& tuple, std::string* out) {
+  // The body is followed by a masked CRC-32C trailer. Structural checks
+  // alone cannot catch a bit flip inside a fixed-width field (a double's
+  // mantissa, an image pixel), and tuples cross process and network
+  // boundaries — any mutation must decode to a Status, never to silently
+  // different data.
+  const std::size_t start = out->size();
   codec::PutVarint64Signed(out, tuple.event_time);
   codec::PutVarint64Signed(out, tuple.job);
   codec::PutVarint64Signed(out, tuple.layer);
@@ -36,10 +43,24 @@ Status EncodeTuple(const spe::Tuple& tuple, std::string* out) {
       STRATA_RETURN_IF_ERROR(EncodeValue(value, out));
     }
   }
+  const std::uint32_t crc =
+      Crc32c(std::string_view(*out).substr(start));
+  codec::PutFixed32(out, MaskCrc(crc));
   return Status::Ok();
 }
 
 Result<spe::Tuple> DecodeTuple(std::string_view data) {
+  if (data.size() < 4) {
+    return Status::Corruption("DecodeTuple: missing checksum trailer");
+  }
+  std::string_view trailer = data.substr(data.size() - 4);
+  std::uint32_t masked = 0;
+  (void)codec::GetFixed32(&trailer, &masked);
+  data.remove_suffix(4);
+  if (UnmaskCrc(masked) != Crc32c(data)) {
+    return Status::Corruption("DecodeTuple: checksum mismatch");
+  }
+
   spe::Tuple tuple;
   std::uint64_t payload_count = 0;
   if (!codec::GetVarint64Signed(&data, &tuple.event_time) ||

@@ -240,18 +240,11 @@ CorrelateFn DbscanCorrelator(const UseCaseParams& params, double px_per_mm) {
   };
 }
 
-spe::SinkOperator* BuildThermalPipeline(
-    Strata* strata, std::shared_ptr<am::MachineSimulator> machine,
-    const CollectorPacing& pacing, const UseCaseParams& params,
+spe::SinkOperator* BuildThermalAnalysis(
+    Strata* strata, spe::StreamPtr pp, spe::StreamPtr ot, double px_per_mm,
+    const UseCaseParams& params,
     std::function<void(const ClusterReport&)> deliver) {
   const std::string& id = params.machine_id;
-  const double px_per_mm = machine->job().plate.PxPerMm();
-
-  // Alg. 1 L1-L2: the two collectors.
-  auto pp = strata->AddSource("pp." + id,
-                              PrintingParameterCollector(machine, pacing));
-  auto ot =
-      strata->AddSource("ot." + id, OtImageCollector(machine, pacing));
   // L3: fuse on (τ, job, layer).
   auto fused = strata->Fuse("fuse." + id, ot, pp);
   // L4: per-specimen isolation.
@@ -277,6 +270,21 @@ spe::SinkOperator* BuildThermalPipeline(
                                    .AsOpaque<ClusterReportValue>();
                            deliver(value->report());
                          });
+}
+
+spe::SinkOperator* BuildThermalPipeline(
+    Strata* strata, std::shared_ptr<am::MachineSimulator> machine,
+    const CollectorPacing& pacing, const UseCaseParams& params,
+    std::function<void(const ClusterReport&)> deliver) {
+  const std::string& id = params.machine_id;
+  const double px_per_mm = machine->job().plate.PxPerMm();
+
+  // Alg. 1 L1-L2: the two collectors.
+  auto pp = strata->AddSource("pp." + id,
+                              PrintingParameterCollector(machine, pacing));
+  auto ot = strata->AddSource("ot." + id, OtImageCollector(machine, pacing));
+  return BuildThermalAnalysis(strata, std::move(pp), std::move(ot), px_per_mm,
+                              params, std::move(deliver));
 }
 
 std::vector<XctCylinderSummary> SummarizeDefectsPerCylinder(

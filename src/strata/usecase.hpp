@@ -115,6 +115,17 @@ class ClusterReportValue final : public OpaqueValue {
 
 // ---- Pipeline assembly ------------------------------------------------------
 
+/// Builds the analysis half of Algorithm 1 (L3-L7: fuse, partition, detect,
+/// correlate, deliver) on pre-existing pp/ot streams. Use directly when the
+/// collectors run in a different process and the streams arrive through
+/// Strata::ImportSource over a networked broker; BuildThermalPipeline wraps
+/// it for the single-process case. `px_per_mm` is the OT camera resolution
+/// (machine->job().plate.PxPerMm() when the machine is at hand).
+spe::SinkOperator* BuildThermalAnalysis(
+    Strata* strata, spe::StreamPtr pp, spe::StreamPtr ot, double px_per_mm,
+    const UseCaseParams& params,
+    std::function<void(const ClusterReport&)> deliver);
+
 /// Builds the full Algorithm-1 pipeline on `strata` for one machine.
 /// `deliver` receives each ClusterReport. Returns the expert-facing sink
 /// (whose latency histogram is the paper's reported metric).

@@ -1,0 +1,180 @@
+// End-to-end deployment-topology tests: the Algorithm-1 thermal pipeline
+// running against a BrokerServer over TCP loopback must behave exactly like
+// the embedded deployment — same code path in STRATA, different transport —
+// including when the pipeline is split into a collector process half and an
+// analysis half joined only by the networked connectors.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+
+#include "net/server.hpp"
+#include "strata/usecase.hpp"
+
+namespace strata::core {
+namespace {
+
+struct PipelineRun {
+  std::vector<ClusterReport> reports;
+};
+
+/// Per-(layer, specimen) window event counts: the determinism fingerprint
+/// (the machine simulator is seeded, so equal inputs give equal events).
+std::map<std::pair<std::int64_t, std::int64_t>, std::size_t> Fingerprint(
+    const PipelineRun& run) {
+  std::map<std::pair<std::int64_t, std::int64_t>, std::size_t> m;
+  for (const ClusterReport& r : run.reports) {
+    m[{r.layer, r.specimen}] = r.window_events;
+  }
+  return m;
+}
+
+am::MachineParams SmallMachineParams(int layers) {
+  am::MachineParams params;
+  params.job = am::MakeSmallJob(1, /*image_px=*/250, /*specimens=*/2);
+  params.layers_limit = layers;
+  params.defects.birth_rate = 0.1;
+  params.defects.mean_intensity_delta = 50.0;
+  return params;
+}
+
+UseCaseParams SmallUseCaseParams() {
+  UseCaseParams params;
+  params.cell_px = 5;
+  params.correlate_layers = 5;
+  return params;
+}
+
+PipelineRun RunPipeline(StrataOptions options, int layers) {
+  Strata strata(std::move(options));
+  const UseCaseParams params = SmallUseCaseParams();
+  const am::MachineParams machine_params = SmallMachineParams(layers);
+  ComputeAndStoreThresholds(&strata, params.machine_id, machine_params.job,
+                            /*history_layers=*/3, params.cell_px)
+      .OrDie();
+  auto machine = std::make_shared<am::MachineSimulator>(machine_params);
+
+  PipelineRun run;
+  std::mutex mu;
+  CollectorPacing pacing;
+  pacing.mode = CollectorPacing::Mode::kReplay;
+  BuildThermalPipeline(&strata, machine, pacing, params,
+                       [&](const ClusterReport& report) {
+                         std::lock_guard lock(mu);
+                         run.reports.push_back(report);
+                       });
+  strata.Deploy();
+  strata.WaitForCompletion();
+  return run;
+}
+
+TEST(RemotePipeline, MatchesEmbeddedDeployment) {
+  constexpr int kLayers = 10;
+  const PipelineRun embedded = RunPipeline({}, kLayers);
+  ASSERT_EQ(embedded.reports.size(), 2u * kLayers);
+
+  ps::Broker shared_broker;
+  net::BrokerServer server(&shared_broker);
+  ASSERT_TRUE(server.Start().ok());
+  StrataOptions networked;
+  net::RemoteOptions remote;
+  remote.port = server.port();
+  networked.remote_broker = remote;
+  const PipelineRun over_tcp = RunPipeline(std::move(networked), kLayers);
+  server.Stop();
+
+  EXPECT_EQ(over_tcp.reports.size(), embedded.reports.size());
+  EXPECT_EQ(Fingerprint(over_tcp), Fingerprint(embedded));
+
+  // The connector traffic really went over the wire: the server's broker
+  // holds the raw-data topics, not the pipeline's in-process one.
+  EXPECT_TRUE(shared_broker.HasTopic("raw.ot.m0"));
+  EXPECT_TRUE(shared_broker.HasTopic("raw.pp.m0"));
+  EXPECT_TRUE(shared_broker.HasTopic("events.cluster.m0"));
+}
+
+TEST(RemotePipeline, CollectorAndAnalysisSplitAcrossProcesses) {
+  constexpr int kLayers = 10;
+  const PipelineRun embedded = RunPipeline({}, kLayers);
+
+  ps::Broker shared_broker;
+  net::BrokerServer server(&shared_broker);
+  ASSERT_TRUE(server.Start().ok());
+  net::RemoteOptions remote;
+  remote.port = server.port();
+
+  const UseCaseParams params = SmallUseCaseParams();
+  const am::MachineParams machine_params = SmallMachineParams(kLayers);
+  const std::string& id = params.machine_id;
+
+  // "Process" 1: the machine-side collector, publishing the raw streams.
+  StrataOptions collector_options;
+  collector_options.remote_broker = remote;
+  Strata collector(std::move(collector_options));
+  auto machine = std::make_shared<am::MachineSimulator>(machine_params);
+  CollectorPacing pacing;
+  pacing.mode = CollectorPacing::Mode::kReplay;
+  collector.ExportSource("pp." + id,
+                         PrintingParameterCollector(machine, pacing));
+  collector.ExportSource("ot." + id, OtImageCollector(machine, pacing));
+
+  // "Process" 2: the analysis side, importing them over TCP.
+  StrataOptions analysis_options;
+  analysis_options.remote_broker = remote;
+  Strata analysis(std::move(analysis_options));
+  ComputeAndStoreThresholds(&analysis, id, machine_params.job,
+                            /*history_layers=*/3, params.cell_px)
+      .OrDie();
+  PipelineRun run;
+  std::mutex mu;
+  BuildThermalAnalysis(&analysis, analysis.ImportSource("pp." + id),
+                       analysis.ImportSource("ot." + id),
+                       machine->job().plate.PxPerMm(), params,
+                       [&](const ClusterReport& report) {
+                         std::lock_guard lock(mu);
+                         run.reports.push_back(report);
+                       });
+
+  // Start the analysis first: topics are created idempotently on both
+  // sides, so the subscriber can come up before any data exists.
+  analysis.Deploy();
+  collector.Deploy();
+  collector.WaitForCompletion();
+  analysis.WaitForCompletion();
+  server.Stop();
+
+  EXPECT_EQ(run.reports.size(), embedded.reports.size());
+  EXPECT_EQ(Fingerprint(run), Fingerprint(embedded));
+}
+
+TEST(RemotePipeline, ClientMetricsAreWiredIntoTheRegistry) {
+  ps::Broker shared_broker;
+  net::BrokerServer server(&shared_broker);
+  ASSERT_TRUE(server.Start().ok());
+
+  StrataOptions options;
+  net::RemoteOptions remote;
+  remote.port = server.port();
+  options.remote_broker = remote;
+  Strata strata(std::move(options));
+  auto stream =
+      strata.AddSource("probe", [emitted = false]() mutable
+                       -> std::optional<spe::Tuple> {
+        if (emitted) return std::nullopt;
+        emitted = true;
+        spe::Tuple t;
+        t.job = 1;
+        t.layer = 0;
+        return t;
+      });
+  strata.Deliver("sink", std::move(stream), [](const spe::Tuple&) {});
+  strata.Deploy();
+  strata.WaitForCompletion();
+
+  const auto snapshot = strata.MetricsSnapshot();
+  EXPECT_GT(snapshot.Value("net.client.connects").value_or(0), 0.0);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace strata::core

@@ -45,8 +45,29 @@ TEST_F(ConsumerTest, ConsumesProducedRecords) {
 TEST_F(ConsumerTest, PollTimesOutWhenIdle) {
   auto consumer = std::move(Consumer::Create(&broker_, "t")).value();
   auto batch = consumer->Poll(kShortTimeout);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsTimeout());
+}
+
+TEST_F(ConsumerTest, ZeroTimeoutProbeReturnsEmptyOkBatch) {
+  auto consumer = std::move(Consumer::Create(&broker_, "t")).value();
+  // A probe is not a deadline: nothing available is an empty Ok batch, not
+  // Status::Timeout.
+  auto batch = consumer->Poll(std::chrono::microseconds{0});
   ASSERT_TRUE(batch.ok());
   EXPECT_TRUE(batch->empty());
+}
+
+TEST_F(ConsumerTest, PollSurfacesClosedWhenBrokerShutsDownMidWait) {
+  auto consumer = std::move(Consumer::Create(&broker_, "t")).value();
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    broker_.Close();
+  });
+  auto batch = consumer->Poll(kLongTimeout);
+  closer.join();
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsClosed());
 }
 
 TEST_F(ConsumerTest, CreateFailsForMissingTopic) {
@@ -83,13 +104,13 @@ TEST_F(ConsumerTest, GroupResumesFromCommittedOffset) {
       consumed += batch->size();
     }
   }
-  // Same group: nothing left.
+  // Same group: nothing left, so the poll window times out.
   {
     auto consumer =
         std::move(Consumer::Create(&broker_, "t", {.group = "g"})).value();
     auto batch = consumer->Poll(kShortTimeout);
-    ASSERT_TRUE(batch.ok());
-    EXPECT_TRUE(batch->empty());
+    ASSERT_FALSE(batch.ok());
+    EXPECT_TRUE(batch.status().IsTimeout());
   }
   // Fresh group with earliest reset: sees everything again.
   {
@@ -135,8 +156,8 @@ TEST_F(ConsumerTest, LatestResetSkipsBacklog) {
   options.reset = ConsumerOptions::AutoOffsetReset::kLatest;
   auto consumer = std::move(Consumer::Create(&broker_, "t", options)).value();
   auto batch = consumer->Poll(kShortTimeout);
-  ASSERT_TRUE(batch.ok());
-  EXPECT_TRUE(batch->empty());
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsTimeout());
 
   ASSERT_TRUE(producer_.Send("t", "", "new", 0).ok());
   // Poll until the new record arrives (it may be on either partition; the
@@ -144,7 +165,10 @@ TEST_F(ConsumerTest, LatestResetSkipsBacklog) {
   std::vector<ConsumedRecord> got;
   for (int attempt = 0; attempt < 50 && got.empty(); ++attempt) {
     auto polled = consumer->Poll(kShortTimeout);
-    ASSERT_TRUE(polled.ok());
+    if (!polled.ok()) {
+      ASSERT_TRUE(polled.status().IsTimeout()) << polled.status().ToString();
+      continue;
+    }
     got = std::move(*polled);
   }
   ASSERT_EQ(got.size(), 1u);
@@ -286,8 +310,75 @@ TEST_F(ConsumerTest, SeekToEndSkipsExistingRecords) {
       std::move(Consumer::Create(&broker_, "t", {.group = "seek"})).value();
   ASSERT_TRUE(consumer->SeekToEnd().ok());
   auto batch = consumer->Poll(kShortTimeout);
-  ASSERT_TRUE(batch.ok());
-  EXPECT_TRUE(batch->empty());
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsTimeout());
+}
+
+TEST_F(ConsumerTest, RebalanceUnderLoadLosesNoRecords) {
+  // A producer keeps sending while a second member joins mid-stream (forcing
+  // a rebalance the first member picks up inside Poll's RefreshAssignment).
+  // Every record must still be consumed, and the group's committed offsets
+  // must land exactly at the partition ends — no lost records, no commit
+  // clobbering the new owner's progress.
+  constexpr int kCount = 4000;
+  std::thread producer_thread([&] {
+    for (int i = 0; i < kCount; ++i) {
+      ASSERT_TRUE(producer_
+                      .Send("t", "k" + std::to_string(i % 64),
+                            std::to_string(i), i)
+                      .ok());
+      if (i % 400 == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+
+  std::mutex mu;
+  std::set<std::string> values;  // distinct payloads: coverage check
+  std::atomic<bool> stop{false};
+  auto drain = [&](Consumer* consumer) {
+    while (!stop.load()) {
+      auto batch = consumer->Poll(std::chrono::microseconds(20'000));
+      if (!batch.ok()) {
+        if (batch.status().IsTimeout()) continue;
+        break;
+      }
+      std::lock_guard lock(mu);
+      for (const auto& record : *batch) values.insert(record.value);
+      if (values.size() == static_cast<std::size_t>(kCount)) stop.store(true);
+    }
+  };
+
+  auto c1 = std::move(Consumer::Create(&broker_, "t", {.group = "g"})).value();
+  std::thread t1([&] { drain(c1.get()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  auto c2 = std::move(Consumer::Create(&broker_, "t", {.group = "g"})).value();
+  std::thread t2([&] { drain(c2.get()); });
+
+  producer_thread.join();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!stop.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  t1.join();
+  t2.join();
+
+  EXPECT_EQ(values.size(), static_cast<std::size_t>(kCount))
+      << "records lost across the rebalance";
+
+  // Both members' auto-commits (plus a final explicit one) must leave the
+  // group's committed offsets exactly at the partition ends.
+  ASSERT_TRUE(c1->Commit().ok());
+  ASSERT_TRUE(c2->Commit().ok());
+  for (int partition = 0; partition < 2; ++partition) {
+    const TopicPartition tp{"t", partition};
+    auto log = std::move(broker_.GetLog("t", partition)).value();
+    auto committed = broker_.CommittedOffset("g", tp);
+    ASSERT_TRUE(committed.ok()) << "partition " << partition;
+    EXPECT_EQ(*committed, log->EndOffset()) << "partition " << partition;
+  }
 }
 
 TEST_F(ConsumerTest, EndToEndThroughputManyRecords) {
@@ -302,8 +393,7 @@ TEST_F(ConsumerTest, EndToEndThroughputManyRecords) {
   std::size_t consumed = 0;
   while (consumed < kCount) {
     auto batch = consumer->Poll(kLongTimeout);
-    ASSERT_TRUE(batch.ok());
-    if (batch->empty()) break;  // premature timeout = failure below
+    if (!batch.ok()) break;  // premature timeout = failure below
     consumed += batch->size();
   }
   producer_thread.join();

@@ -95,6 +95,61 @@ TEST(TupleTransport, DecodeRejectsTrailingBytes) {
   EXPECT_FALSE(DecodeTuple(encoded).ok());
 }
 
+// Property: any single-bit flip in an encoded tuple decodes to a Status
+// error, never to a crash or a silently different tuple (the CRC trailer
+// catches flips the structural checks cannot, e.g. inside a double).
+TEST(TupleTransport, AnySingleBitFlipIsRejected) {
+  spe::Tuple t = FullTuple();
+  am::GrayImage image(8, 8);
+  image.set(2, 3, 77);
+  t.payload.Set("ot_image", am::MakeImageValue(image));
+  std::string encoded;
+  ASSERT_TRUE(EncodeTuple(t, &encoded).ok());
+
+  for (std::size_t byte = 0; byte < encoded.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = encoded;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      auto decoded = DecodeTuple(mutated);
+      EXPECT_FALSE(decoded.ok())
+          << "bit " << bit << " of byte " << byte << " flipped undetected";
+    }
+  }
+}
+
+// Property: random multi-byte mutations (splices, overwrites, duplications)
+// also surface as Status errors. Deterministic LCG, no seed flakiness.
+TEST(TupleTransport, RandomMutationsAreRejected) {
+  std::string encoded;
+  ASSERT_TRUE(EncodeTuple(FullTuple(), &encoded).ok());
+
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next = [&rng]() {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return rng >> 33;
+  };
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = encoded;
+    const int kind = static_cast<int>(next() % 3);
+    const std::size_t pos = next() % mutated.size();
+    switch (kind) {
+      case 0:  // overwrite a byte
+        mutated[pos] = static_cast<char>(next() & 0xff);
+        break;
+      case 1:  // delete a byte
+        mutated.erase(pos, 1);
+        break;
+      default:  // insert a byte
+        mutated.insert(pos, 1, static_cast<char>(next() & 0xff));
+        break;
+    }
+    if (mutated == encoded) continue;  // overwrite happened to be identical
+    auto decoded = DecodeTuple(mutated);
+    EXPECT_FALSE(decoded.ok()) << "round " << round << " kind " << kind
+                               << " pos " << pos << " slipped through";
+  }
+}
+
 TEST(PartitionKeys, RawKeyGroupsByJobAndLayer) {
   spe::Tuple t;
   t.job = 3;
