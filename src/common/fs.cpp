@@ -1,5 +1,10 @@
 #include "common/fs.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <random>
 #include <sstream>
@@ -39,6 +44,21 @@ Status CreateDirs(const stdfs::path& path) {
   std::error_code ec;
   stdfs::create_directories(path, ec);
   if (ec) return Status::IoError("create_directories failed: " + ec.message());
+  return Status::Ok();
+}
+
+Status SyncDir(const stdfs::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("open dir for fsync failed: " + path.string() +
+                           ": " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("fsync dir failed: " + path.string() + ": " +
+                           std::strerror(errno));
+  }
   return Status::Ok();
 }
 

@@ -20,6 +20,10 @@ namespace strata::fs {
 
 [[nodiscard]] Status CreateDirs(const std::filesystem::path& path);
 
+/// fsync a directory so entries created/renamed inside it survive a power
+/// loss (file data durability is separate: fsync the file itself).
+[[nodiscard]] Status SyncDir(const std::filesystem::path& path);
+
 /// RAII temp directory under the system temp path; removed on destruction.
 class ScopedTempDir {
  public:

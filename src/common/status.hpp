@@ -74,6 +74,12 @@ class Status {
   [[nodiscard]] bool IsCorruption() const noexcept {
     return code_ == StatusCode::kCorruption;
   }
+  [[nodiscard]] bool IsIoError() const noexcept {
+    return code_ == StatusCode::kIoError;
+  }
+  [[nodiscard]] bool IsUnavailable() const noexcept {
+    return code_ == StatusCode::kUnavailable;
+  }
   [[nodiscard]] bool IsClosed() const noexcept {
     return code_ == StatusCode::kClosed;
   }

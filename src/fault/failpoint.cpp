@@ -1,0 +1,340 @@
+#include "fault/failpoint.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/fs.hpp"
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+
+namespace strata::fault {
+
+namespace {
+
+struct SiteState {
+  std::optional<Action> action;  // nullopt = disarmed, counters retained
+  std::uint64_t hits = 0;        // evaluations while armed
+  std::uint64_t triggers = 0;    // actions actually fired
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState, std::less<>> sites;
+  std::mt19937_64 rng{0x5374726174614621ull};  // "StrataF!"
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::MetricsRegistry::CallbackId metrics_callback = 0;
+};
+
+/// Count of armed sites; the hot-path gate. Leaked-on-exit singletons so
+/// failpoints are usable from static destructors.
+std::atomic<int>& ActiveCount() {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+Registry& GetRegistry() {
+  static auto* registry = new Registry();
+  return *registry;
+}
+
+Status ParseOneSpec(std::string_view entry) {
+  const std::size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint spec: missing '=' in '" +
+                                   std::string(entry) + "'");
+  }
+  std::string site(entry.substr(0, eq));
+  std::string_view rest = entry.substr(eq + 1);
+
+  Action action;
+  // Split off :max_hits then @probability (rightmost markers; the action
+  // token itself never contains ':' or '@').
+  if (const std::size_t colon = rest.rfind(':');
+      colon != std::string_view::npos) {
+    const std::string_view hits = rest.substr(colon + 1);
+    std::int64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(hits.data(), hits.data() + hits.size(), value);
+    if (ec != std::errc{} || ptr != hits.data() + hits.size() || value < 0) {
+      return Status::InvalidArgument("failpoint spec: bad max_hits in '" +
+                                     std::string(entry) + "'");
+    }
+    action.max_hits = value;
+    rest = rest.substr(0, colon);
+  }
+  if (const std::size_t at = rest.rfind('@'); at != std::string_view::npos) {
+    const std::string prob(rest.substr(at + 1));
+    char* end = nullptr;
+    action.probability = std::strtod(prob.c_str(), &end);
+    if (end != prob.c_str() + prob.size() || action.probability < 0.0 ||
+        action.probability > 1.0) {
+      return Status::InvalidArgument("failpoint spec: bad probability in '" +
+                                     std::string(entry) + "'");
+    }
+    rest = rest.substr(0, at);
+  }
+
+  std::string_view name = rest;
+  if (const std::size_t paren = rest.find('(');
+      paren != std::string_view::npos) {
+    if (rest.back() != ')') {
+      return Status::InvalidArgument("failpoint spec: unbalanced '(' in '" +
+                                     std::string(entry) + "'");
+    }
+    name = rest.substr(0, paren);
+    const std::string_view arg =
+        rest.substr(paren + 1, rest.size() - paren - 2);
+    const auto [ptr, ec] =
+        std::from_chars(arg.data(), arg.data() + arg.size(), action.arg);
+    if (ec != std::errc{} || ptr != arg.data() + arg.size() ||
+        action.arg < 0) {
+      return Status::InvalidArgument("failpoint spec: bad argument in '" +
+                                     std::string(entry) + "'");
+    }
+  }
+
+  if (name == "error") {
+    action.kind = ActionKind::kError;
+  } else if (name == "delay") {
+    action.kind = ActionKind::kDelay;
+  } else if (name == "torn-write") {
+    action.kind = ActionKind::kTornWrite;
+  } else if (name == "disconnect") {
+    action.kind = ActionKind::kDisconnect;
+  } else if (name == "crash") {
+    action.kind = ActionKind::kCrash;
+  } else {
+    return Status::InvalidArgument("failpoint spec: unknown action '" +
+                                   std::string(name) + "'");
+  }
+  Activate(std::move(site), action);
+  return Status::Ok();
+}
+
+/// Install STRATA_FAILPOINTS / STRATA_FAILPOINTS_SEED before main runs, so
+/// env-armed sites are live for the whole process without any per-call cost.
+const bool g_env_installed = [] {
+  if (const char* seed = std::getenv("STRATA_FAILPOINTS_SEED");
+      seed != nullptr) {
+    SeedRng(std::strtoull(seed, nullptr, 10));
+  }
+  if (const char* spec = std::getenv("STRATA_FAILPOINTS"); spec != nullptr) {
+    if (Status s = ActivateFromSpec(spec); !s.ok()) {
+      LOG_ERROR << "STRATA_FAILPOINTS ignored: " << s.ToString();
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+const char* ActionKindName(ActionKind kind) noexcept {
+  switch (kind) {
+    case ActionKind::kError:
+      return "error";
+    case ActionKind::kDelay:
+      return "delay";
+    case ActionKind::kTornWrite:
+      return "torn-write";
+    case ActionKind::kDisconnect:
+      return "disconnect";
+    case ActionKind::kCrash:
+      return "crash";
+  }
+  return "unknown";
+}
+
+bool AnyActive() noexcept {
+  return ActiveCount().load(std::memory_order_relaxed) != 0;
+}
+
+void Activate(std::string site, Action action) {
+  Registry& registry = GetRegistry();
+  std::lock_guard lock(registry.mu);
+  SiteState& state = registry.sites[std::move(site)];
+  if (!state.action.has_value()) {
+    ActiveCount().fetch_add(1, std::memory_order_relaxed);
+  }
+  state.action = action;
+}
+
+bool Deactivate(std::string_view site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard lock(registry.mu);
+  const auto it = registry.sites.find(site);
+  if (it == registry.sites.end() || !it->second.action.has_value()) {
+    return false;
+  }
+  it->second.action.reset();
+  ActiveCount().fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void DeactivateAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard lock(registry.mu);
+  for (auto& [site, state] : registry.sites) {
+    if (state.action.has_value()) {
+      state.action.reset();
+      ActiveCount().fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+Status ActivateFromSpec(std::string_view spec) {
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find_first_of(";,", begin);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = spec.substr(begin, end - begin);
+    if (!entry.empty()) STRATA_RETURN_IF_ERROR(ParseOneSpec(entry));
+    begin = end + 1;
+  }
+  return Status::Ok();
+}
+
+void SeedRng(std::uint64_t seed) {
+  Registry& registry = GetRegistry();
+  std::lock_guard lock(registry.mu);
+  registry.rng.seed(seed);
+}
+
+std::optional<Fired> Hit(std::string_view site) {
+  Registry& registry = GetRegistry();
+  Fired fired{};
+  {
+    std::lock_guard lock(registry.mu);
+    const auto it = registry.sites.find(site);
+    if (it == registry.sites.end() || !it->second.action.has_value()) {
+      return std::nullopt;
+    }
+    SiteState& state = it->second;
+    ++state.hits;
+    Action& action = *state.action;
+    if (action.max_hits == 0) return std::nullopt;  // budget exhausted
+    if (action.probability < 1.0) {
+      std::uniform_real_distribution<double> uniform(0.0, 1.0);
+      if (uniform(registry.rng) >= action.probability) return std::nullopt;
+    }
+    if (action.max_hits > 0) --action.max_hits;
+    ++state.triggers;
+    fired = Fired{action.kind, action.arg};
+  }
+  // Execute process-level actions outside the registry lock.
+  if (fired.kind == ActionKind::kCrash) {
+    // _Exit: no atexit handlers, no stream flushing, no leak checker — the
+    // closest in-process emulation of SIGKILL for crash-recovery tests.
+    std::_Exit(134);
+  }
+  if (fired.kind == ActionKind::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fired.arg));
+  }
+  return fired;
+}
+
+Status Evaluate(std::string_view site) {
+  const auto fired = Hit(site);
+  if (!fired.has_value()) return Status::Ok();
+  switch (fired->kind) {
+    case ActionKind::kDisconnect:
+      return Status::Unavailable("failpoint " + std::string(site) +
+                                 ": disconnect");
+    case ActionKind::kError:
+    case ActionKind::kTornWrite:  // no byte stream here: plain failure
+      return Status::IoError("failpoint " + std::string(site) + ": error");
+    case ActionKind::kDelay:
+    case ActionKind::kCrash:  // executed inside Hit
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+Status InjectWrite(std::string_view site, std::size_t* len) {
+  const auto fired = Hit(site);
+  if (!fired.has_value()) return Status::Ok();
+  switch (fired->kind) {
+    case ActionKind::kTornWrite:
+      *len = std::min(*len, static_cast<std::size_t>(fired->arg));
+      return Status::IoError("failpoint " + std::string(site) +
+                             ": torn write after " + std::to_string(*len) +
+                             " bytes");
+    case ActionKind::kError:
+      *len = 0;
+      return Status::IoError("failpoint " + std::string(site) + ": error");
+    case ActionKind::kDisconnect:
+      *len = 0;
+      return Status::Unavailable("failpoint " + std::string(site) +
+                                 ": disconnect");
+    case ActionKind::kDelay:
+    case ActionKind::kCrash:
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+Status WriteFileAtomic(const std::filesystem::path& path,
+                       std::string_view contents, std::string_view write_site,
+                       std::string_view rename_site) {
+  std::size_t len = contents.size();
+  Status injected = Status::Ok();
+  if (AnyActive()) injected = InjectWrite(write_site, &len);
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  STRATA_RETURN_IF_ERROR(strata::fs::WriteFile(tmp, contents.substr(0, len)));
+  if (!injected.ok()) return injected;  // tmp holds the torn image; no rename
+  STRATA_FAILPOINT(rename_site);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Status::IoError("rename failed: " + ec.message());
+  return Status::Ok();
+}
+
+std::uint64_t TriggerCount(std::string_view site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard lock(registry.mu);
+  const auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.triggers;
+}
+
+std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> Counters() {
+  Registry& registry = GetRegistry();
+  std::lock_guard lock(registry.mu);
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> out;
+  for (const auto& [site, state] : registry.sites) {
+    out.emplace(site, std::pair{state.hits, state.triggers});
+  }
+  return out;
+}
+
+void BindMetrics(obs::MetricsRegistry* registry) {
+  Registry& fault_registry = GetRegistry();
+  // Talk to the obs registry outside fault_registry.mu: snapshot callbacks
+  // take that mutex (via Counters), so holding it across Register/Unregister
+  // would order the locks both ways.
+  obs::MetricsRegistry::CallbackId id = 0;
+  if (registry != nullptr) {
+    id = registry->RegisterCallback([](obs::MetricsSnapshot* snapshot) {
+      for (const auto& [site, counts] : Counters()) {
+        const obs::Labels labels{{"site", site}};
+        snapshot->AddCounter("fault.site.hits", labels, counts.first);
+        snapshot->AddCounter("fault.site.triggered", labels, counts.second);
+      }
+    });
+  }
+  obs::MetricsRegistry* previous = nullptr;
+  obs::MetricsRegistry::CallbackId previous_id = 0;
+  {
+    std::lock_guard lock(fault_registry.mu);
+    previous = fault_registry.metrics;
+    previous_id = fault_registry.metrics_callback;
+    fault_registry.metrics = registry;
+    fault_registry.metrics_callback = id;
+  }
+  if (previous != nullptr) previous->Unregister(previous_id);
+}
+
+}  // namespace strata::fault

@@ -1,0 +1,140 @@
+// Deterministic failpoint framework (strata::fault).
+//
+// A failpoint is a named site in a risky code path (WAL append, segment
+// roll, socket send, ...) where a test — or an operator chasing a bug in
+// production — can inject a failure without touching the code around it.
+// Sites are compiled in unconditionally; when no failpoint is armed the
+// whole check is one relaxed atomic load, so hot paths pay (sub-)nanosecond
+// cost (< 2% on bench_substrates, by contract).
+//
+// Actions:
+//   error          the site returns Status::IoError
+//   delay(ms)      the site sleeps, then proceeds normally
+//   torn-write(n)  write sites persist only the first n bytes, then fail
+//                  (emulates a crash mid-write; recovery must CRC-reject it)
+//   disconnect     the site returns Status::Unavailable (transport paths)
+//   crash          the process exits immediately (std::_Exit — no atexit,
+//                  no flushing: the closest in-process stand-in for kill -9)
+//
+// Activation is programmatic (Activate/Deactivate) or via the environment:
+//
+//   STRATA_FAILPOINTS="site=action[@probability][:max_hits];site2=..."
+//   STRATA_FAILPOINTS="wal.append=crash@0.01;segment.append=torn-write(5)@0.2:3"
+//   STRATA_FAILPOINTS_SEED=42   # probability draws are deterministic per seed
+//
+// Entries are separated by ';' or ','. `probability` defaults to 1.0;
+// `max_hits` bounds how many times the action fires (unlimited by default).
+// The env spec is installed once at process start.
+//
+// Every armed-site evaluation counts a hit; every fired action counts a
+// trigger. Counts survive Deactivate and are exported through strata::obs
+// (`fault.site.hits{site=...}` / `fault.site.triggered{site=...}`) once
+// BindMetrics is called — the Strata facade does this for its registry.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace strata::obs {
+class MetricsRegistry;
+}  // namespace strata::obs
+
+namespace strata::fault {
+
+enum class ActionKind : std::uint8_t {
+  kError,
+  kDelay,
+  kTornWrite,
+  kDisconnect,
+  kCrash,
+};
+
+/// Human-readable action name ("error", "torn-write", ...).
+[[nodiscard]] const char* ActionKindName(ActionKind kind) noexcept;
+
+struct Action {
+  ActionKind kind = ActionKind::kError;
+  /// delay: milliseconds; torn-write: bytes that reach the file.
+  std::int64_t arg = 0;
+  /// Chance each hit fires, drawn from the deterministic process RNG.
+  double probability = 1.0;
+  /// Fire at most this many times; -1 = unlimited.
+  std::int64_t max_hits = -1;
+};
+
+/// The action a Hit() actually fired (probability and max_hits applied).
+struct Fired {
+  ActionKind kind;
+  std::int64_t arg;
+};
+
+/// Fast inactive check: one relaxed atomic load. Use to guard slow paths.
+[[nodiscard]] bool AnyActive() noexcept;
+
+/// Arm `site` with `action`, replacing any existing arming.
+void Activate(std::string site, Action action);
+
+/// Disarm `site`. Returns false when it was not armed. Counters persist.
+bool Deactivate(std::string_view site);
+
+/// Disarm every site (tests call this in teardown). Counters persist.
+void DeactivateAll();
+
+/// Arm sites from one env-style spec string (syntax above).
+[[nodiscard]] Status ActivateFromSpec(std::string_view spec);
+
+/// Re-seed the deterministic RNG used for probability draws.
+void SeedRng(std::uint64_t seed);
+
+/// Evaluate `site`: apply probability and max_hits, bump counters, and
+/// return the action to perform — or nullopt when nothing fires. kDelay and
+/// kCrash are executed here (sleep / _Exit); the other kinds are returned
+/// for the caller to interpret.
+std::optional<Fired> Hit(std::string_view site);
+
+/// Generic site evaluation: kError -> IoError, kDisconnect -> Unavailable,
+/// kTornWrite (meaningless outside a write site) -> IoError. Ok otherwise.
+[[nodiscard]] Status Evaluate(std::string_view site);
+
+/// Write-site evaluation. On kTornWrite, *len is clamped to the injected
+/// byte count and an IoError is returned: the caller must still perform the
+/// (now partial) write, then propagate the error. On kError/kDisconnect,
+/// *len is zeroed (nothing reaches the file). Ok = no fault.
+[[nodiscard]] Status InjectWrite(std::string_view site, std::size_t* len);
+
+/// fs::WriteFileAtomic with failpoints on both risky steps: `write_site`
+/// (torn-write-capable, applies to the tmp file) and `rename_site`.
+[[nodiscard]] Status WriteFileAtomic(const std::filesystem::path& path,
+                                     std::string_view contents,
+                                     std::string_view write_site,
+                                     std::string_view rename_site);
+
+/// Times `site` fired since process start (survives Deactivate).
+[[nodiscard]] std::uint64_t TriggerCount(std::string_view site);
+
+/// All per-site (hits, triggers) counters, for tests and debugging.
+[[nodiscard]] std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+Counters();
+
+/// Export per-site counters on `registry` as a pull callback. Rebinding
+/// replaces the previous registration; nullptr unbinds. The registry must
+/// outlive the binding.
+void BindMetrics(obs::MetricsRegistry* registry);
+
+}  // namespace strata::fault
+
+/// Evaluate a failpoint site; propagate an injected error to the caller.
+/// Near-zero cost when no failpoint is armed (one relaxed atomic load).
+#define STRATA_FAILPOINT(site)                                       \
+  do {                                                               \
+    if (::strata::fault::AnyActive()) {                              \
+      ::strata::Status _fp_status = ::strata::fault::Evaluate(site); \
+      if (!_fp_status.ok()) return _fp_status;                       \
+    }                                                                \
+  } while (false)

@@ -159,6 +159,19 @@ Status DB::ReplayWal(std::uint64_t number) {
   while (true) {
     Status s = reader->ReadRecord(&payload);
     if (s.IsNotFound()) break;  // EOF or torn tail: stop replay
+    if (s.IsCorruption()) {
+      // A fully-present record failed its CRC mid-log. Everything after it
+      // is unparseable, so the choice is refuse-open (strict) or truncate
+      // the log here — loudly, since acknowledged data may be lost.
+      if (options_.strict_wal_recovery) {
+        return Status::Corruption("WAL " + WalFileName(number) + ": " +
+                                  s.message() + " (strict_wal_recovery)");
+      }
+      LOG_WARN << "kvstore recovery: dropping tail of " << WalFileName(number)
+               << ": " << s.ToString();
+      ++stats_.wal_corruptions;
+      break;
+    }
     STRATA_RETURN_IF_ERROR(s);
 
     WriteBatch batch;
@@ -406,6 +419,7 @@ void DB::BindMetrics(obs::MetricsRegistry* registry) {
         snapshot->AddCounter("kv.bloom_skips", {}, s.bloom_skips);
         snapshot->AddCounter("kv.table_reads", {}, s.table_reads);
         snapshot->AddCounter("kv.wal_syncs", {}, s.wal_syncs);
+        snapshot->AddCounter("kv.wal_corruptions", {}, s.wal_corruptions);
         snapshot->AddGauge("kv.live_tables", {},
                            static_cast<std::int64_t>(s.live_tables));
         snapshot->AddGauge("kv.memtable_bytes", {},
@@ -416,6 +430,11 @@ void DB::BindMetrics(obs::MetricsRegistry* registry) {
 SequenceNumber DB::LastSequence() const {
   std::unique_lock lock(mu_);
   return version_.last_sequence;
+}
+
+Status DB::BackgroundError() const {
+  std::unique_lock lock(mu_);
+  return background_error_set_ ? background_error_ : Status::Ok();
 }
 
 void DB::BackgroundLoop() {

@@ -46,6 +46,10 @@ struct DbOptions {
   bool sync_writes = false;
   /// SSTable data block size.
   std::size_t block_size = 4096;
+  /// Refuse to open when a WAL record fails its CRC mid-log (true), instead
+  /// of the default warn-and-truncate recovery. A torn tail (record running
+  /// past EOF) is always tolerated — that is the normal crash artifact.
+  bool strict_wal_recovery = false;
 };
 
 struct DbStats {
@@ -61,6 +65,9 @@ struct DbStats {
   std::uint64_t table_reads = 0;
   /// WAL fsyncs issued (only grows when DbOptions::sync_writes is set).
   std::uint64_t wal_syncs = 0;
+  /// Mid-log WAL corruption events tolerated during recovery (each one
+  /// truncated the damaged log at the corrupt record).
+  std::uint64_t wal_corruptions = 0;
   std::size_t live_tables = 0;
   /// Approximate bytes in the active memtable at sampling time.
   std::size_t memtable_bytes = 0;
@@ -128,6 +135,11 @@ class DB {
 
   [[nodiscard]] DbStats stats() const;
   [[nodiscard]] SequenceNumber LastSequence() const;
+
+  /// Sticky error from the background flush/compaction thread (Ok when
+  /// healthy). Once set, writes fail with it until the DB is reopened;
+  /// Strata::Health() surfaces it.
+  [[nodiscard]] Status BackgroundError() const;
 
   /// Expose kv.* counters/gauges on `registry` (one callback; values come
   /// from stats()). Rebinding replaces the previous registration; nullptr

@@ -5,6 +5,7 @@
 #include "common/codec.hpp"
 #include "common/crc32.hpp"
 #include "common/fs.hpp"
+#include "fault/failpoint.hpp"
 #include "kvstore/bloom.hpp"
 
 namespace strata::kv {
@@ -84,7 +85,8 @@ Status TableBuilder::Finish(const std::filesystem::path& path,
   codec::PutFixed32(&file_, static_cast<std::uint32_t>(index_.size()));
   codec::PutFixed64(&file_, kTableMagic);
 
-  STRATA_RETURN_IF_ERROR(strata::fs::WriteFileAtomic(path, file_));
+  STRATA_RETURN_IF_ERROR(
+      fault::WriteFileAtomic(path, file_, "sstable.write", "sstable.rename"));
 
   meta->file_size = file_.size();
   meta->smallest = smallest_;

@@ -5,6 +5,7 @@
 #include "common/codec.hpp"
 #include "common/crc32.hpp"
 #include "common/fs.hpp"
+#include "fault/failpoint.hpp"
 
 namespace strata::kv {
 
@@ -31,7 +32,8 @@ Status VersionState::Save(const std::filesystem::path& manifest_path) const {
   std::string out;
   codec::PutFixed32(&out, MaskCrc(Crc32c(payload)));
   out.append(payload);
-  return strata::fs::WriteFileAtomic(manifest_path, out);
+  return fault::WriteFileAtomic(manifest_path, out, "version.rewrite",
+                                "version.rename");
 }
 
 Result<VersionState> VersionState::Load(

@@ -8,6 +8,7 @@
 #include "common/codec.hpp"
 #include "common/crc32.hpp"
 #include "common/fs.hpp"
+#include "fault/failpoint.hpp"
 
 namespace strata::kv {
 
@@ -95,21 +96,30 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(
 }
 
 Status WalWriter::Append(std::string_view payload) {
-  std::string header;
-  codec::PutFixed32(&header, MaskCrc(Crc32c(payload)));
-  codec::PutFixed32(&header, static_cast<std::uint32_t>(payload.size()));
-  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
-      std::fwrite(payload.data(), 1, payload.size(), file_) !=
-          payload.size()) {
+  std::string framed;
+  framed.reserve(8 + payload.size());
+  codec::PutFixed32(&framed, MaskCrc(Crc32c(payload)));
+  codec::PutFixed32(&framed, static_cast<std::uint32_t>(payload.size()));
+  framed.append(payload);
+
+  // Failpoint "wal.append": error drops the record, torn-write(n) persists
+  // only the first n bytes — either way the injected error is returned after
+  // the (partial) bytes are flushed, so recovery sees a real torn tail.
+  std::size_t limit = framed.size();
+  Status injected = Status::Ok();
+  if (fault::AnyActive()) injected = fault::InjectWrite("wal.append", &limit);
+
+  if (std::fwrite(framed.data(), 1, limit, file_) != limit) {
     return Status::IoError("WAL append failed: " + path_.string());
   }
   if (std::fflush(file_) != 0) {
     return Status::IoError("WAL flush failed: " + path_.string());
   }
-  return Status::Ok();
+  return injected;
 }
 
 Status WalWriter::Sync() {
+  STRATA_FAILPOINT("wal.sync");
   if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
     return Status::IoError("WAL fsync failed: " + path_.string());
   }
@@ -129,11 +139,18 @@ Status WalReader::ReadRecord(std::string* payload) {
   std::uint32_t length = 0;
   if (!codec::GetFixed32(&in, &masked_crc) ||
       !codec::GetFixed32(&in, &length) || in.size() < length) {
-    return Status::NotFound("WAL torn tail");  // crash-truncated final record
+    // The record extends past EOF: only a crash mid-append produces this, so
+    // it is the expected torn tail, not corruption.
+    return Status::NotFound("WAL torn tail");
   }
   const std::string_view body = in.substr(0, length);
   if (Crc32c(body) != UnmaskCrc(masked_crc)) {
-    return Status::NotFound("WAL corrupt record (stopping replay)");
+    // The full record is on disk but its checksum fails: bit rot or a torn
+    // overwrite. Unlike a torn tail this may hide acknowledged data, so it
+    // surfaces as Corruption and the caller decides (warn-and-truncate by
+    // default, refuse with DbOptions::strict_wal_recovery).
+    return Status::Corruption("WAL corrupt record at offset " +
+                              std::to_string(offset_));
   }
   payload->assign(body.data(), body.size());
   offset_ += 8 + length;

@@ -79,8 +79,11 @@ class WalReader {
   [[nodiscard]] static Result<WalReader> Open(
       const std::filesystem::path& path);
 
-  /// Next record payload; NotFound at clean EOF; also NotFound at a torn
-  /// tail (recovery stops there, which is the correct crash semantics).
+  /// Next record payload. NotFound at clean EOF and at a torn tail (a record
+  /// running past EOF — the expected crash artifact; recovery stops there).
+  /// Corruption when a fully-present record fails its CRC: that can hide
+  /// acknowledged data, so it is reported distinctly rather than silently
+  /// ending replay.
   [[nodiscard]] Status ReadRecord(std::string* payload);
 
  private:

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/logging.hpp"
+#include "fault/failpoint.hpp"
 #include "net/frame.hpp"
 
 namespace strata::net {
@@ -120,6 +121,13 @@ void BrokerServer::ServeConnection(Connection* conn) {
 
     response.clear();
     Status handled = HandleRequest(conn, request, &response);
+    // Failpoint "net.server.dispatch": sever the connection after the request
+    // was applied but before the response goes out — the crash window that
+    // makes produce at-least-once (the client retries an applied request).
+    if (fault::AnyActive() && !fault::Evaluate("net.server.dispatch").ok()) {
+      LOG_WARN << "net: dropping connection at net.server.dispatch failpoint";
+      break;
+    }
     Status written = Status::Ok();
     if (!response.empty()) {  // empty = the request envelope didn't decode
       written = WriteFrame(&conn->socket, response,

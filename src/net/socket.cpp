@@ -11,6 +11,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "fault/failpoint.hpp"
+
 namespace strata::net {
 
 namespace {
@@ -125,6 +127,7 @@ Result<Socket> Socket::Connect(const std::string& host, std::uint16_t port,
 }
 
 Status Socket::ReadFully(void* buf, std::size_t n, Deadline deadline) {
+  STRATA_FAILPOINT("net.recv");
   auto* out = static_cast<char*>(buf);
   std::size_t got = 0;
   while (got < n) {
@@ -145,6 +148,15 @@ Status Socket::ReadFully(void* buf, std::size_t n, Deadline deadline) {
 }
 
 Status Socket::WriteAll(std::string_view data, Deadline deadline) {
+  // Failpoint "net.send": error sends nothing, torn-write(n) pushes only the
+  // first n bytes before failing — the peer sees a truncated frame, the
+  // caller sees the injected error.
+  Status injected = Status::Ok();
+  if (fault::AnyActive()) {
+    std::size_t limit = data.size();
+    injected = fault::InjectWrite("net.send", &limit);
+    data = data.substr(0, limit);
+  }
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t rc =
@@ -163,7 +175,7 @@ Status Socket::WriteAll(std::string_view data, Deadline deadline) {
     }
     return Errno("send");
   }
-  return Status::Ok();
+  return injected;
 }
 
 void Socket::Shutdown() noexcept {
@@ -236,6 +248,7 @@ Result<ListenSocket> ListenSocket::Listen(const std::string& host,
 }
 
 Result<Socket> ListenSocket::Accept(Deadline deadline) {
+  STRATA_FAILPOINT("net.accept");
   for (;;) {
     const int fd = ::accept(fd_, nullptr, nullptr);
     if (fd >= 0) {

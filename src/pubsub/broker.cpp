@@ -7,6 +7,7 @@
 #include "common/crc32.hpp"
 #include "common/fs.hpp"
 #include "common/logging.hpp"
+#include "fault/failpoint.hpp"
 
 namespace strata::ps {
 
@@ -59,6 +60,9 @@ Status Broker::CreateTopic(const std::string& name,
     }
     log_options.segment_bytes = options_.segment_bytes;
     log_options.retention_records = config.retention_records;
+    log_options.sync_each_append = options_.sync_each_append;
+    log_options.sync_on_roll = options_.sync_on_roll;
+    log_options.disk_failure_policy = options_.disk_failure_policy;
     auto log = PartitionLog::Open(log_options);
     if (!log.ok()) return log.status();
     // Wake consumers blocked across any of their partitions (WaitForAnyData)
@@ -116,6 +120,25 @@ Result<Broker::TopicStats> Broker::GetTopicStats(
     const std::int64_t end = log->EndOffset();
     stats.offsets.emplace_back(start, end);
     stats.total_records += end;
+  }
+  return stats;
+}
+
+Broker::BrokerStats Broker::Stats() const {
+  std::vector<const PartitionLog*> logs;
+  BrokerStats stats;
+  {
+    std::lock_guard lock(mu_);
+    stats.topics = topics_.size();
+    stats.groups = groups_.size();
+    for (const auto& [name, topic] : topics_) {
+      for (const auto& log : topic.logs) logs.push_back(log.get());
+    }
+  }
+  for (const PartitionLog* log : logs) {
+    stats.disk_append_errors += log->disk_errors();
+    stats.storage_degraded = stats.storage_degraded || log->degraded();
+    stats.fail_stopped = stats.fail_stopped || log->fail_stopped();
   }
   return stats;
 }
@@ -226,6 +249,19 @@ void Broker::AppendMetricsLocked(obs::MetricsSnapshot* snapshot) const {
                      static_cast<std::int64_t>(topics_.size()));
   snapshot->AddGauge("pubsub.broker.groups", {},
                      static_cast<std::int64_t>(groups_.size()));
+  std::uint64_t disk_errors = 0;
+  bool degraded = false;
+  bool fail_stopped = false;
+  for (const auto& [name, topic] : topics_) {
+    for (const auto& log : topic.logs) {
+      disk_errors += log->disk_errors();
+      degraded = degraded || log->degraded();
+      fail_stopped = fail_stopped || log->fail_stopped();
+    }
+  }
+  snapshot->AddCounter("pubsub.broker.disk_errors", {}, disk_errors);
+  snapshot->AddGauge("pubsub.broker.storage_degraded", {}, degraded ? 1 : 0);
+  snapshot->AddGauge("pubsub.broker.fail_stopped", {}, fail_stopped ? 1 : 0);
   for (const auto& [name, topic] : topics_) {
     for (int p = 0; p < topic.config.partitions; ++p) {
       const PartitionLog* log = topic.logs[static_cast<std::size_t>(p)].get();
@@ -376,7 +412,8 @@ Status Broker::PersistOffsetsLocked() const {
   std::string out;
   codec::PutFixed32(&out, MaskCrc(Crc32c(payload)));
   out.append(payload);
-  return strata::fs::WriteFileAtomic(options_.data_dir / kOffsetsFile, out);
+  return fault::WriteFileAtomic(options_.data_dir / kOffsetsFile, out,
+                                "offsets.write", "offsets.rename");
 }
 
 Status Broker::LoadOffsets() {

@@ -28,6 +28,14 @@ struct BrokerOptions {
   /// persisted under this directory.
   std::filesystem::path data_dir;
   std::size_t segment_bytes = 8u << 20;
+  /// fsync every segment append (see LogOptions::sync_each_append).
+  bool sync_each_append = false;
+  /// fsync segments on roll/close (see LogOptions::sync_on_roll).
+  bool sync_on_roll = true;
+  /// What partition logs do when the disk stops accepting appends:
+  /// fail-stop (sticky produce errors) or degrade to memory-only serving
+  /// with a sticky health flag. Surfaced via Stats() and Strata::Health().
+  DiskFailurePolicy disk_failure_policy = DiskFailurePolicy::kFailStop;
 };
 
 /// Identifies a consumer group member.
@@ -63,6 +71,20 @@ class Broker {
     std::vector<std::pair<std::int64_t, std::int64_t>> offsets;
   };
   [[nodiscard]] Result<TopicStats> GetTopicStats(const std::string& name) const;
+
+  /// Broker-wide health/storage summary (sticky flags aggregate across all
+  /// partition logs; they never clear until the broker is recreated).
+  struct BrokerStats {
+    std::size_t topics = 0;
+    std::size_t groups = 0;
+    /// Segment append/roll/sync failures across all partition logs.
+    std::uint64_t disk_append_errors = 0;
+    /// Some partition degraded to memory-only (DiskFailurePolicy::kDegrade).
+    bool storage_degraded = false;
+    /// Some partition fail-stopped (DiskFailurePolicy::kFailStop).
+    bool fail_stopped = false;
+  };
+  [[nodiscard]] BrokerStats Stats() const;
 
   /// Append a record; partition chosen by key hash (or round-robin when the
   /// key is empty). Returns (partition, offset).

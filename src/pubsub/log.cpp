@@ -1,5 +1,7 @@
 #include "pubsub/log.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
@@ -7,6 +9,8 @@
 #include "common/codec.hpp"
 #include "common/crc32.hpp"
 #include "common/fs.hpp"
+#include "common/logging.hpp"
+#include "fault/failpoint.hpp"
 
 namespace strata::ps {
 
@@ -64,26 +68,61 @@ Status PartitionLog::LoadSegments() {
   }
   std::sort(segments.begin(), segments.end());
 
-  for (const auto& path : segments) {
+  for (std::size_t seg_index = 0; seg_index < segments.size(); ++seg_index) {
+    const auto& path = segments[seg_index];
+    STRATA_FAILPOINT("segment.replay");
     auto contents = strata::fs::ReadFile(path);
     if (!contents.ok()) return contents.status();
     std::string_view in(contents.value());
+    const std::size_t total = in.size();
+    bool damaged = false;
     while (!in.empty()) {
       std::uint32_t masked = 0;
       std::uint32_t length = 0;
-      if (!codec::GetFixed32(&in, &masked) ||
-          !codec::GetFixed32(&in, &length) || in.size() < length) {
-        break;  // torn tail: stop replaying this (final) segment
+      std::string_view at = in;
+      if (!codec::GetFixed32(&at, &masked) ||
+          !codec::GetFixed32(&at, &length) || at.size() < length) {
+        damaged = true;  // torn tail: record runs past EOF
+        break;
       }
-      const std::string_view body = in.substr(0, length);
-      if (Crc32c(body) != UnmaskCrc(masked)) break;
-      in.remove_prefix(length);
+      const std::string_view body = at.substr(0, length);
+      if (Crc32c(body) != UnmaskCrc(masked)) {
+        damaged = true;  // CRC failure: treat like the WAL's torn tail
+        break;
+      }
+      in = at.substr(length);
 
       Record record;
       std::string_view cursor = body;
       STRATA_RETURN_IF_ERROR(DecodeRecord(&cursor, &record));
       records_.push_back(std::move(record));
       ++next_offset_;
+    }
+    if (damaged) {
+      // Physically truncate to the valid prefix (same contract as the
+      // kvstore WAL), so a future replay never resurrects torn bytes, and
+      // stop — anything in later segments was appended after the damage and
+      // would be renumbered if replayed.
+      const std::size_t valid = total - in.size();
+      LOG_WARN << "pubsub recovery: truncating torn tail of " << path.string()
+               << " at byte " << valid;
+      std::error_code trunc_ec;
+      std::filesystem::resize_file(path, valid, trunc_ec);
+      if (trunc_ec) {
+        return Status::IoError("segment truncate failed: " + path.string() +
+                               ": " + trunc_ec.message());
+      }
+      // Later segments (rare: damage before the final segment) would be
+      // renumbered if replayed past the cut; drop them rather than serve
+      // records under the wrong offsets.
+      for (std::size_t later = seg_index + 1; later < segments.size();
+           ++later) {
+        LOG_WARN << "pubsub recovery: removing post-damage segment "
+                 << segments[later].string();
+        std::error_code rm_ec;
+        std::filesystem::remove(segments[later], rm_ec);
+      }
+      break;
     }
   }
   if (options_.retention_records > 0) {
@@ -96,7 +135,14 @@ Status PartitionLog::LoadSegments() {
 }
 
 Status PartitionLog::RollSegmentLocked() {
+  STRATA_FAILPOINT("segment.roll");
   if (segment_ != nullptr) {
+    if (options_.sync_on_roll && ::fsync(::fileno(segment_)) != 0) {
+      std::fclose(segment_);
+      segment_ = nullptr;
+      return Status::IoError("segment fsync on roll failed: " +
+                             std::string(std::strerror(errno)));
+    }
     std::fclose(segment_);
     segment_ = nullptr;
   }
@@ -107,29 +153,78 @@ Status PartitionLog::RollSegmentLocked() {
                            std::strerror(errno));
   }
   segment_written_ = 0;
+  // Make the new directory entry durable so a crash cannot lose the whole
+  // segment file while keeping records acked against it.
+  STRATA_RETURN_IF_ERROR(strata::fs::SyncDir(options_.dir));
   return Status::Ok();
+}
+
+Status PartitionLog::AppendToSegmentLocked(const Record& record) {
+  if (segment_ == nullptr || segment_written_ >= options_.segment_bytes) {
+    STRATA_RETURN_IF_ERROR(RollSegmentLocked());
+  }
+  std::string body;
+  EncodeRecord(record, &body);
+  std::string framed;
+  codec::PutFixed32(&framed, MaskCrc(Crc32c(body)));
+  codec::PutFixed32(&framed, static_cast<std::uint32_t>(body.size()));
+  framed.append(body);
+
+  // Failpoint "segment.append": error drops the frame, torn-write(n)
+  // persists only the first n bytes; the injected error is returned after
+  // the partial bytes land so recovery sees a genuine torn tail.
+  std::size_t limit = framed.size();
+  Status injected = Status::Ok();
+  if (fault::AnyActive()) {
+    injected = fault::InjectWrite("segment.append", &limit);
+  }
+  if (std::fwrite(framed.data(), 1, limit, segment_) != limit ||
+      std::fflush(segment_) != 0) {
+    return Status::IoError("segment append failed");
+  }
+  if (injected.ok() && options_.sync_each_append) {
+    STRATA_FAILPOINT("segment.sync");
+    if (::fsync(::fileno(segment_)) != 0) {
+      return Status::IoError("segment fsync failed: " +
+                             std::string(std::strerror(errno)));
+    }
+  }
+  segment_written_ += limit;
+  return injected;
+}
+
+Status PartitionLog::HandleDiskErrorLocked(Status error) {
+  ++disk_errors_;
+  if (options_.disk_failure_policy == DiskFailurePolicy::kDegrade) {
+    if (!degraded_) {
+      LOG_WARN << "pubsub log degrading to memory-only after disk error: "
+               << error.ToString();
+      degraded_ = true;
+      if (segment_ != nullptr) {
+        std::fclose(segment_);
+        segment_ = nullptr;
+      }
+    }
+    return Status::Ok();
+  }
+  if (!fail_stopped_) {
+    LOG_ERROR << "pubsub log fail-stop after disk error: " << error.ToString();
+    fail_stopped_ = true;
+    fail_stop_error_ = error;
+  }
+  return error;
 }
 
 Result<std::int64_t> PartitionLog::Append(const Record& record) {
   std::unique_lock lock(mu_);
   if (closed_) return Status::Closed("log closed");
+  if (fail_stopped_) return fail_stop_error_;
 
-  if (!options_.dir.empty()) {
-    if (segment_ == nullptr || segment_written_ >= options_.segment_bytes) {
-      STRATA_RETURN_IF_ERROR(RollSegmentLocked());
+  if (!options_.dir.empty() && !degraded_) {
+    Status disk = AppendToSegmentLocked(record);
+    if (!disk.ok()) {
+      STRATA_RETURN_IF_ERROR(HandleDiskErrorLocked(std::move(disk)));
     }
-    std::string body;
-    EncodeRecord(record, &body);
-    std::string framed;
-    codec::PutFixed32(&framed, MaskCrc(Crc32c(body)));
-    codec::PutFixed32(&framed, static_cast<std::uint32_t>(body.size()));
-    framed.append(body);
-    if (std::fwrite(framed.data(), 1, framed.size(), segment_) !=
-            framed.size() ||
-        std::fflush(segment_) != 0) {
-      return Status::IoError("segment append failed");
-    }
-    segment_written_ += framed.size();
   }
 
   const std::int64_t offset = next_offset_++;
@@ -181,11 +276,29 @@ std::int64_t PartitionLog::StartOffset() const {
   return base_;
 }
 
+bool PartitionLog::degraded() const {
+  std::lock_guard lock(mu_);
+  return degraded_;
+}
+
+bool PartitionLog::fail_stopped() const {
+  std::lock_guard lock(mu_);
+  return fail_stopped_;
+}
+
+std::uint64_t PartitionLog::disk_errors() const {
+  std::lock_guard lock(mu_);
+  return disk_errors_;
+}
+
 void PartitionLog::Close() {
   {
     std::lock_guard lock(mu_);
     closed_ = true;
-    if (segment_ != nullptr) std::fflush(segment_);
+    if (segment_ != nullptr) {
+      std::fflush(segment_);
+      if (options_.sync_on_roll) ::fsync(::fileno(segment_));
+    }
   }
   data_cv_.notify_all();
 }

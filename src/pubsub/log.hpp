@@ -21,6 +21,16 @@
 
 namespace strata::ps {
 
+/// What a persistent log does when the disk stops accepting appends.
+enum class DiskFailurePolicy {
+  /// Sticky error: every subsequent append fails until the log is reopened.
+  /// Nothing is silently acknowledged that the disk did not take.
+  kFailStop,
+  /// Keep serving and accepting appends from memory only; a sticky
+  /// `degraded` flag is raised so operators can see durability was lost.
+  kDegrade,
+};
+
 struct LogOptions {
   /// Empty = in-memory only (no persistence).
   std::filesystem::path dir;
@@ -28,6 +38,14 @@ struct LogOptions {
   /// Oldest in-memory records are dropped beyond this count (0 = unbounded).
   /// Retention only trims memory, not segments on disk.
   std::size_t retention_records = 0;
+  /// fsync the segment after every append (durability vs throughput) —
+  /// mirrors kvstore DbOptions::sync_writes.
+  bool sync_each_append = false;
+  /// fsync a full segment before rolling to the next one, and the open
+  /// segment on Close(). Bounds data-at-risk to the active segment.
+  bool sync_on_roll = true;
+  /// Applies only when `dir` is set; see DiskFailurePolicy.
+  DiskFailurePolicy disk_failure_policy = DiskFailurePolicy::kFailStop;
 };
 
 class PartitionLog {
@@ -59,6 +77,15 @@ class PartitionLog {
   /// Oldest offset still readable from memory.
   [[nodiscard]] std::int64_t StartOffset() const;
 
+  /// Sticky: the log hit a disk failure under DiskFailurePolicy::kDegrade and
+  /// now serves from memory only.
+  [[nodiscard]] bool degraded() const;
+  /// Sticky: the log hit a disk failure under DiskFailurePolicy::kFailStop
+  /// and refuses further appends.
+  [[nodiscard]] bool fail_stopped() const;
+  /// Segment append/roll/sync failures observed (counts in both policies).
+  [[nodiscard]] std::uint64_t disk_errors() const;
+
   /// Invoked after every successful append, outside the log's lock. The
   /// broker uses this to wake consumers waiting across *all* of their
   /// assigned partitions. Set before the log is shared between threads.
@@ -73,6 +100,13 @@ class PartitionLog {
 
   [[nodiscard]] Status LoadSegments();
   [[nodiscard]] Status RollSegmentLocked();  // REQUIRES mu_
+  /// REQUIRES mu_. Frame `record` and append it to the active segment,
+  /// rolling/syncing per options. Any failure is a disk error.
+  [[nodiscard]] Status AppendToSegmentLocked(const Record& record);
+  /// REQUIRES mu_. Record a disk failure and apply the configured policy.
+  /// Returns Ok when degrading (append proceeds in memory), the error when
+  /// fail-stopping.
+  [[nodiscard]] Status HandleDiskErrorLocked(Status error);
 
   LogOptions options_;
   mutable std::mutex mu_;
@@ -84,6 +118,10 @@ class PartitionLog {
 
   std::FILE* segment_ = nullptr;    // active segment file (may be null)
   std::size_t segment_written_ = 0;
+  bool degraded_ = false;           // sticky (kDegrade)
+  bool fail_stopped_ = false;       // sticky (kFailStop)
+  Status fail_stop_error_ = Status::Ok();
+  std::uint64_t disk_errors_ = 0;
   std::function<void()> append_listener_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/fs.hpp"
 #include "common/logging.hpp"
+#include "fault/failpoint.hpp"
 
 namespace strata::core {
 
@@ -34,9 +35,33 @@ Strata::Strata(StrataOptions options) : options_(std::move(options)) {
   kv_->BindMetrics(&registry_);
   broker_->BindMetrics(&registry_);
   query_->BindMetrics(&registry_);
+  fault::BindMetrics(&registry_);
 }
 
-Strata::~Strata() { Shutdown(); }
+Strata::~Strata() {
+  Shutdown();
+  // The fault registry is process-global; detach it before registry_ dies.
+  fault::BindMetrics(nullptr);
+}
+
+Strata::HealthReport Strata::Health() const {
+  HealthReport report;
+  if (Status kv_error = kv_->BackgroundError(); !kv_error.ok()) {
+    report.kv_ok = false;
+    report.detail += "kv: " + kv_error.ToString();
+  }
+  const ps::Broker::BrokerStats broker_stats = broker_->Stats();
+  if (broker_stats.fail_stopped || broker_stats.storage_degraded) {
+    report.broker_storage_ok = false;
+    if (!report.detail.empty()) report.detail += "; ";
+    report.detail += broker_stats.fail_stopped
+                         ? "broker: partition log fail-stopped"
+                         : "broker: storage degraded to memory-only";
+    report.detail += " (" + std::to_string(broker_stats.disk_append_errors) +
+                     " disk errors)";
+  }
+  return report;
+}
 
 void Strata::StartSampler(std::chrono::milliseconds period,
                           obs::PeriodicSampler::Consumer consumer) {

@@ -150,6 +150,23 @@ class Strata {
   [[nodiscard]] ps::BrokerClient& broker_client() noexcept { return *client_; }
   [[nodiscard]] spe::Query& query() noexcept { return *query_; }
 
+  // --- health ----------------------------------------------------------------
+
+  /// Point-in-time durability health across the substrates. Both flags are
+  /// sticky once tripped (a kvstore background error or a broker partition
+  /// log that degraded / fail-stopped after disk failures) and only clear by
+  /// recreating the instance.
+  struct HealthReport {
+    bool kv_ok = true;
+    bool broker_storage_ok = true;
+    /// Empty when healthy; otherwise a human-readable reason per failure.
+    std::string detail;
+    [[nodiscard]] bool ok() const noexcept {
+      return kv_ok && broker_storage_ok;
+    }
+  };
+  [[nodiscard]] HealthReport Health() const;
+
   // --- observability ---------------------------------------------------------
 
   /// Process registry wired to all three substrates plus the SPE query.

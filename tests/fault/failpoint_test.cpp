@@ -1,0 +1,166 @@
+// strata::fault framework semantics: arming, budgets, probability
+// determinism, env-spec parsing, write injection, and counters.
+#include <gtest/gtest.h>
+
+#include "common/fs.hpp"
+#include "fault/failpoint.hpp"
+#include "obs/metrics.hpp"
+
+namespace strata::fault {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { DeactivateAll(); }
+};
+
+Status GuardedSite(const char* site) {
+  STRATA_FAILPOINT(site);
+  return Status::Ok();
+}
+
+TEST_F(FailpointTest, InactiveByDefault) {
+  EXPECT_FALSE(AnyActive());
+  EXPECT_TRUE(GuardedSite("test.nothing").ok());
+}
+
+TEST_F(FailpointTest, ActivateAndDeactivate) {
+  Activate("test.err", Action{ActionKind::kError});
+  EXPECT_TRUE(AnyActive());
+  EXPECT_TRUE(GuardedSite("test.err").IsIoError());
+  EXPECT_TRUE(GuardedSite("test.other").ok());  // only the armed site fires
+
+  EXPECT_TRUE(Deactivate("test.err"));
+  EXPECT_FALSE(Deactivate("test.err"));  // already disarmed
+  EXPECT_FALSE(AnyActive());
+  EXPECT_TRUE(GuardedSite("test.err").ok());
+}
+
+TEST_F(FailpointTest, DisconnectMapsToUnavailable) {
+  Activate("test.disc", Action{ActionKind::kDisconnect});
+  EXPECT_TRUE(GuardedSite("test.disc").IsUnavailable());
+}
+
+TEST_F(FailpointTest, MaxHitsBudget) {
+  Action action{ActionKind::kError};
+  action.max_hits = 2;
+  Activate("test.budget", action);
+  EXPECT_FALSE(GuardedSite("test.budget").ok());
+  EXPECT_FALSE(GuardedSite("test.budget").ok());
+  EXPECT_TRUE(GuardedSite("test.budget").ok());  // budget exhausted
+  EXPECT_TRUE(GuardedSite("test.budget").ok());
+  EXPECT_EQ(TriggerCount("test.budget"), 2u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicPerSeed) {
+  auto run = [] {
+    SeedRng(1234);
+    Action action{ActionKind::kError};
+    action.probability = 0.5;
+    Activate("test.prob", action);
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern.push_back(GuardedSite("test.prob").ok() ? '.' : 'X');
+    }
+    DeactivateAll();
+    return pattern;
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
+  // Sanity: 0.5 should both fire and pass at least once in 64 draws.
+  EXPECT_NE(first.find('X'), std::string::npos);
+  EXPECT_NE(first.find('.'), std::string::npos);
+}
+
+TEST_F(FailpointTest, CountersTrackHitsAndTriggers) {
+  Action action{ActionKind::kError};
+  action.max_hits = 1;
+  Activate("test.count", action);
+  (void)GuardedSite("test.count");  // trigger
+  (void)GuardedSite("test.count");  // hit only (budget spent)
+  const auto counters = Counters();
+  const auto it = counters.find("test.count");
+  ASSERT_NE(it, counters.end());
+  EXPECT_EQ(it->second.first, 2u);   // hits
+  EXPECT_EQ(it->second.second, 1u);  // triggers
+
+  // Counters survive deactivation.
+  DeactivateAll();
+  EXPECT_EQ(TriggerCount("test.count"), 1u);
+}
+
+TEST_F(FailpointTest, SpecParsesActionProbabilityAndBudget) {
+  ASSERT_TRUE(
+      ActivateFromSpec("test.a=error;test.b=torn-write(5)@1.0:2,test.c=delay(1)")
+          .ok());
+  EXPECT_TRUE(GuardedSite("test.a").IsIoError());
+
+  std::size_t len = 100;
+  EXPECT_TRUE(InjectWrite("test.b", &len).IsIoError());
+  EXPECT_EQ(len, 5u);
+  len = 100;
+  EXPECT_FALSE(InjectWrite("test.b", &len).ok());
+  len = 100;
+  EXPECT_TRUE(InjectWrite("test.b", &len).ok());  // budget of 2 spent
+  EXPECT_EQ(len, 100u);
+
+  EXPECT_TRUE(GuardedSite("test.c").ok());  // delay proceeds normally
+}
+
+TEST_F(FailpointTest, SpecRejectsMalformedEntries) {
+  EXPECT_FALSE(ActivateFromSpec("no-equals").ok());
+  EXPECT_FALSE(ActivateFromSpec("site=unknown-action").ok());
+  EXPECT_FALSE(ActivateFromSpec("site=error@1.5").ok());
+  EXPECT_FALSE(ActivateFromSpec("site=error:-1").ok());
+  EXPECT_FALSE(ActivateFromSpec("site=torn-write(x)").ok());
+  EXPECT_FALSE(ActivateFromSpec("=error").ok());
+}
+
+TEST_F(FailpointTest, InjectWriteZeroesLengthOnPlainError) {
+  Activate("test.werr", Action{ActionKind::kError});
+  std::size_t len = 64;
+  EXPECT_TRUE(InjectWrite("test.werr", &len).IsIoError());
+  EXPECT_EQ(len, 0u);
+}
+
+TEST_F(FailpointTest, WriteFileAtomicTornWriteLeavesTargetUntouched) {
+  strata::fs::ScopedTempDir dir("fp-atomic");
+  const auto path = dir.path() / "file";
+  ASSERT_TRUE(WriteFileAtomic(path, "original", "t.write", "t.rename").ok());
+
+  Action torn{ActionKind::kTornWrite};
+  torn.arg = 3;
+  Activate("t.write", torn);
+  EXPECT_FALSE(WriteFileAtomic(path, "replacement", "t.write", "t.rename").ok());
+  DeactivateAll();
+
+  // The torn image went to the tmp file; the target still holds the old data.
+  EXPECT_EQ(std::move(strata::fs::ReadFile(path)).value(), "original");
+}
+
+TEST_F(FailpointTest, WriteFileAtomicRenameFailureKeepsOldContents) {
+  strata::fs::ScopedTempDir dir("fp-atomic");
+  const auto path = dir.path() / "file";
+  ASSERT_TRUE(WriteFileAtomic(path, "original", "t.write", "t.rename").ok());
+
+  Activate("t.rename", Action{ActionKind::kError});
+  EXPECT_FALSE(WriteFileAtomic(path, "replacement", "t.write", "t.rename").ok());
+  DeactivateAll();
+  EXPECT_EQ(std::move(strata::fs::ReadFile(path)).value(), "original");
+}
+
+TEST_F(FailpointTest, MetricsExportPerSiteCounters) {
+  obs::MetricsRegistry registry;
+  BindMetrics(&registry);
+  Activate("test.metric", Action{ActionKind::kError});
+  (void)GuardedSite("test.metric");
+  const auto snapshot = registry.Snapshot();
+  const std::string text = snapshot.ToText();
+  EXPECT_NE(text.find("fault.site.hits"), std::string::npos) << text;
+  EXPECT_NE(text.find("site=test.metric"), std::string::npos) << text;
+  BindMetrics(nullptr);
+}
+
+}  // namespace
+}  // namespace strata::fault

@@ -104,6 +104,91 @@ TEST_F(DbFaultTest, TornWalTailLosesOnlyLastRecord) {
   EXPECT_TRUE((*reopened)->Get("durable").ok());
 }
 
+/// Write 10 keys, then hard-kill: snapshot the directory while the DB is
+/// live (a clean close would flush the memtable and supersede the WAL) and
+/// flip one byte ~25% into the live WAL of the snapshot. The result is a
+/// crash image whose log has a fully-present record failing its CRC.
+std::filesystem::path MakeCorruptWalImage(const std::filesystem::path& base) {
+  const auto image = base / "db";
+  strata::fs::ScopedTempDir live("db-live");
+  auto db = std::move(DB::Open(live.path())).value();
+  for (int i = 0; i < 10; ++i) {
+    db->Put("key" + std::to_string(i), "value" + std::to_string(i)).OrDie();
+  }
+  std::filesystem::copy(live.path(), image,
+                        std::filesystem::copy_options::recursive);
+  std::filesystem::path wal;
+  for (const auto& entry : std::filesystem::directory_iterator(image)) {
+    if (entry.path().extension() == ".wal" &&
+        std::filesystem::file_size(entry.path()) > 40) {
+      wal = entry.path();
+    }
+  }
+  if (wal.empty()) return {};
+  auto contents = std::move(strata::fs::ReadFile(wal)).value();
+  // Flip a byte near the end: it lands in the LAST record's payload (each
+  // record's payload is > 15 bytes), so the record is fully present but
+  // fails its CRC — Corruption, never mistakable for a torn tail.
+  const std::size_t at = contents.size() - 15;
+  contents[at] = static_cast<char>(contents[at] ^ 0xff);
+  strata::fs::WriteFile(wal, contents).OrDie();
+  return image;
+}
+
+TEST_F(DbFaultTest, MidLogWalCorruptionWarnsAndTruncatesByDefault) {
+  // Unlike a torn tail, a fully-present record failing its CRC is real
+  // corruption and may hide acknowledged data — but the default policy
+  // recovers what it can: truncate at the damage, count it, warn.
+  const auto image = MakeCorruptWalImage(dir_.path());
+  ASSERT_FALSE(image.empty());
+
+  auto reopened = DB::Open(image);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_GE((*reopened)->stats().wal_corruptions, 1u);
+  // Keys before the corrupted record survive; later ones are gone.
+  EXPECT_TRUE((*reopened)->Get("key0").ok());
+  EXPECT_FALSE((*reopened)->Get("key9").ok());
+}
+
+TEST_F(DbFaultTest, StrictWalRecoveryRefusesMidLogCorruption) {
+  const auto image = MakeCorruptWalImage(dir_.path());
+  ASSERT_FALSE(image.empty());
+
+  DbOptions strict;
+  strict.strict_wal_recovery = true;
+  auto reopened = DB::Open(image, strict);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption());
+}
+
+TEST_F(DbFaultTest, StrictWalRecoveryStillToleratesTornTail) {
+  // A torn tail is the normal crash artifact, not corruption: strict mode
+  // must accept it.
+  strata::fs::ScopedTempDir torn_base("db-strict-torn");
+  const auto image = torn_base.path() / "db";
+  {
+    strata::fs::ScopedTempDir live("db-torn-live");
+    auto db = std::move(DB::Open(live.path())).value();
+    db->Put("durable", "yes").OrDie();
+    db->Put("torn", "maybe").OrDie();
+    std::filesystem::copy(live.path(), image,
+                          std::filesystem::copy_options::recursive);
+    for (const auto& entry : std::filesystem::directory_iterator(image)) {
+      if (entry.path().extension() == ".wal" &&
+          std::filesystem::file_size(entry.path()) > 4) {
+        std::filesystem::resize_file(
+            entry.path(), std::filesystem::file_size(entry.path()) - 3);
+      }
+    }
+  }
+  DbOptions strict;
+  strict.strict_wal_recovery = true;
+  auto torn_open = DB::Open(image, strict);
+  ASSERT_TRUE(torn_open.ok()) << torn_open.status().ToString();
+  EXPECT_TRUE((*torn_open)->Get("durable").ok());
+  EXPECT_EQ((*torn_open)->stats().wal_corruptions, 0u);
+}
+
 TEST_F(DbFaultTest, StaleWalFromOldIncarnationIgnored) {
   PopulateAndClose();
   // Drop a bogus ancient WAL below the manifest's log number.

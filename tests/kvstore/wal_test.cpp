@@ -93,7 +93,9 @@ TEST_F(WalTest, CorruptRecordStopsReplay) {
   std::string payload;
   ASSERT_TRUE(reader->ReadRecord(&payload).ok());
   EXPECT_EQ(payload, "good");
-  EXPECT_TRUE(reader->ReadRecord(&payload).IsNotFound());
+  // A fully-present record failing its CRC is corruption — distinct from
+  // the NotFound a torn tail produces (see TornTailStopsReplayCleanly).
+  EXPECT_TRUE(reader->ReadRecord(&payload).IsCorruption());
 }
 
 TEST_F(WalTest, AppendIsDurableAcrossReopen) {

@@ -5,6 +5,7 @@
 
 #include <atomic>
 
+#include "fault/failpoint.hpp"
 #include "strata/usecase.hpp"
 
 namespace strata::core {
@@ -128,6 +129,45 @@ TEST(StrataFault, ShutdownDuringActivePipelineNeverHangs) {
     strata.Shutdown();
     SUCCEED();
   }
+}
+
+TEST(StrataFault, HealthReportsCleanWhenNothingFailed) {
+  Strata strata;
+  const Strata::HealthReport health = strata.Health();
+  EXPECT_TRUE(health.ok());
+  EXPECT_TRUE(health.kv_ok);
+  EXPECT_TRUE(health.broker_storage_ok);
+  EXPECT_TRUE(health.detail.empty());
+}
+
+TEST(StrataFault, HealthSurfacesBrokerStorageDegradation) {
+  strata::fs::ScopedTempDir dir("strata-health");
+  StrataOptions options;
+  options.data_dir = dir.path();
+  options.persistent_connectors = true;
+  Strata strata(options);
+
+  ASSERT_TRUE(
+      strata.broker().CreateTopic("events", ps::TopicConfig{1}).ok());
+  fault::Activate("segment.append",
+                  fault::Action{fault::ActionKind::kError, 0, 1.0, 1});
+  ps::Record record;
+  record.value = "x";
+  // Default policy is fail-stop: the produce fails and the flag sticks.
+  EXPECT_FALSE(strata.broker().Produce("events", record).ok());
+  fault::DeactivateAll();
+
+  const Strata::HealthReport health = strata.Health();
+  EXPECT_FALSE(health.ok());
+  EXPECT_TRUE(health.kv_ok);
+  EXPECT_FALSE(health.broker_storage_ok);
+  EXPECT_NE(health.detail.find("fail-stopped"), std::string::npos)
+      << health.detail;
+
+  // The failpoint counters surface through the facade's registry.
+  const std::string metrics = strata.DumpMetrics();
+  EXPECT_NE(metrics.find("fault.site.triggered"), std::string::npos);
+  EXPECT_NE(metrics.find("pubsub.broker.fail_stopped"), std::string::npos);
 }
 
 TEST(StrataFault, StoreGetAfterShutdownStillWorks) {
