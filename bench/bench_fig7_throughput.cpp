@@ -17,6 +17,7 @@
 //            STRATA_FIG7_MAXRATE (default 256).
 #include <cmath>
 
+#include "bench_json.hpp"
 #include "figure_common.hpp"
 
 using namespace strata;         // NOLINT
@@ -93,6 +94,7 @@ struct SweepPoint {
   double kcells_s;
   double mean_latency_ms;
   double p95_latency_ms;
+  double p99_latency_ms;  // tail guard for the batching linger
   double blocked_ms;  // back-pressure: total producer block time (spe.stream)
 };
 
@@ -165,6 +167,7 @@ SweepPoint RunReplayTrial(const FrameCache& cache, int cell_px, double rate,
                     cells_out / wall / 1000.0,
                     MicrosToMillis(static_cast<Timestamp>(latency.mean())),
                     MicrosToMillis(latency.Quantile(0.95)),
+                    MicrosToMillis(latency.Quantile(0.99)),
                     blocked_us / 1000.0};
 }
 
@@ -181,23 +184,35 @@ int main() {
       image_px, image_px);
 
   const FrameCache cache = BuildCache(image_px, frame_count);
+  JsonLinesWriter out("STRATA_BENCH_JSON", "BENCH_SPE.json");
 
   // Cell sizes quoted at the paper's 2000 px (8 px/mm) scale.
   for (const int paper_cell : {20, 10}) {
     const int cell_px = std::max(1, paper_cell * image_px / 2000);
     std::printf("--- cell size %dx%d (paper scale) ---\n", paper_cell,
                 paper_cell);
-    std::printf("%12s %14s %12s %14s %14s %12s\n", "offered/s",
+    std::printf("%12s %14s %12s %14s %14s %14s %12s\n", "offered/s",
                 "achieved img/s", "kcells/s", "mean lat(ms)", "p95 lat(ms)",
-                "blocked(ms)");
+                "p99 lat(ms)", "blocked(ms)");
     for (double rate = 4; rate <= max_rate; rate *= 2) {
       const int images =
           std::clamp(static_cast<int>(rate * 4), 48, 256);
       const SweepPoint point = RunReplayTrial(cache, cell_px, rate, images);
-      std::printf("%12.0f %14.1f %12.1f %14.2f %14.2f %12.1f\n",
+      std::printf("%12.0f %14.1f %12.1f %14.2f %14.2f %14.2f %12.1f\n",
                   point.offered_rate, point.achieved_images_s, point.kcells_s,
                   point.mean_latency_ms, point.p95_latency_ms,
-                  point.blocked_ms);
+                  point.p99_latency_ms, point.blocked_ms);
+      out.Line(JsonObject()
+                   .Str("bench", "bench_fig7_throughput")
+                   .Int("paper_cell", paper_cell)
+                   .Int("image_px", image_px)
+                   .Num("offered_rate", point.offered_rate)
+                   .Num("achieved_images_s", point.achieved_images_s)
+                   .Num("kcells_s", point.kcells_s)
+                   .Num("mean_latency_ms", point.mean_latency_ms)
+                   .Num("p95_latency_ms", point.p95_latency_ms)
+                   .Num("p99_latency_ms", point.p99_latency_ms)
+                   .Num("blocked_ms", point.blocked_ms));
     }
     std::printf("\n");
   }

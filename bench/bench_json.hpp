@@ -1,0 +1,88 @@
+// Minimal JSON-lines emitter for machine-readable bench output (BENCH_SPE
+// .json and friends): one flat object per line, no dependencies, append
+// mode so several benches can share one artifact file. The target path
+// comes from an env var (CI points every bench at the same artifact);
+// construction with a null/empty fallback and unset env disables output.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace strata::bench {
+
+/// Builds one flat JSON object; keys are emitted in call order.
+class JsonObject {
+ public:
+  JsonObject& Str(const char* key, const std::string& value) {
+    Key(key);
+    buf_ += '"';
+    for (const char c : value) {
+      if (c == '"' || c == '\\') buf_ += '\\';
+      buf_ += c;
+    }
+    buf_ += '"';
+    return *this;
+  }
+
+  JsonObject& Num(const char* key, double value) {
+    char tmp[64];
+    std::snprintf(tmp, sizeof(tmp), "%.6g", value);
+    Key(key);
+    buf_ += tmp;
+    return *this;
+  }
+
+  JsonObject& Int(const char* key, long long value) {
+    Key(key);
+    buf_ += std::to_string(value);
+    return *this;
+  }
+
+  [[nodiscard]] std::string Finish() const { return buf_ + "}"; }
+
+ private:
+  void Key(const char* key) {
+    buf_ += buf_.size() == 1 ? "\"" : ",\"";
+    buf_ += key;
+    buf_ += "\":";
+  }
+
+  std::string buf_ = "{";
+};
+
+/// Appends JSON lines to the file named by `env_var` (falling back to
+/// `fallback_path`); silently inert when neither resolves or open fails.
+class JsonLinesWriter {
+ public:
+  JsonLinesWriter(const char* env_var, const char* fallback_path) {
+    const char* path = env_var != nullptr ? std::getenv(env_var) : nullptr;
+    if (path == nullptr || *path == '\0') path = fallback_path;
+    if (path != nullptr && *path != '\0') {
+      file_ = std::fopen(path, "a");
+      path_ = path;
+    }
+  }
+  ~JsonLinesWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  JsonLinesWriter(const JsonLinesWriter&) = delete;
+  JsonLinesWriter& operator=(const JsonLinesWriter&) = delete;
+
+  void Line(const JsonObject& object) {
+    if (file_ == nullptr) return;
+    const std::string json = object.Finish();
+    std::fputs(json.c_str(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] bool enabled() const noexcept { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace strata::bench

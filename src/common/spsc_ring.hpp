@@ -1,0 +1,288 @@
+// Bounded single-producer/single-consumer ring buffer: the low-contention
+// fast path of the SPE data plane. The hot path is wait-free (one relaxed
+// load, one seq_cst store, one seq_cst flag load per operation; no mutex);
+// a mutex/condvar pair is used only to park whichever side runs dry, with a
+// Dekker-style handshake (seq_cst index store then waiting-flag load on one
+// side, waiting-flag store then index load on the other) so wake-ups are
+// never lost.
+//
+// Semantics mirror BlockingQueue: Push blocks when full (back-pressure, with
+// blocked_us accounting), Pop blocks when empty, Close releases all waiters,
+// and consumers drain remaining items after Close. One caveat is inherent to
+// the lock-free design: Close() must not race with a concurrent Push on
+// another thread, or an in-flight item can be missed by a consumer that has
+// already observed closed-and-empty. The SPE satisfies this structurally —
+// a stream's single producer operator is the one that closes it.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace strata {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(capacity),
+        mask_(RoundUpPow2(capacity) - 1),
+        slots_(mask_ + 1) {
+    if (capacity_ == 0) {
+      throw std::invalid_argument("SpscRing capacity must be > 0");
+    }
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Blocks until space is available or the ring is closed. Time spent
+  /// blocked (back-pressure) is added to `*blocked_us` when provided.
+  Status Push(T item, std::int64_t* blocked_us = nullptr) {
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::Closed("ring closed");
+    }
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity_) {
+        if (!WaitForSpace(blocked_us)) return Status::Closed("ring closed");
+        head_cache_ = head_.load(std::memory_order_acquire);
+      }
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_seq_cst);
+    WakeConsumerIfWaiting();
+    return Status::Ok();
+  }
+
+  /// Pushes every item of `batch` in order, blocking for space as needed
+  /// (one index publish + one wake check per contiguous chunk, not per
+  /// item). On close mid-way, `*delivered` reports how many made it.
+  Status PushAll(std::vector<T>* batch, std::size_t* delivered = nullptr,
+                 std::int64_t* blocked_us = nullptr) {
+    std::size_t done = 0;
+    while (done < batch->size()) {
+      if (closed_.load(std::memory_order_acquire)) break;
+      const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+      if (tail - head_cache_ >= capacity_) {
+        head_cache_ = head_.load(std::memory_order_acquire);
+        if (tail - head_cache_ >= capacity_) {
+          if (!WaitForSpace(blocked_us)) break;  // closed while waiting
+          head_cache_ = head_.load(std::memory_order_acquire);
+        }
+      }
+      const std::size_t room =
+          capacity_ - static_cast<std::size_t>(tail - head_cache_);
+      const std::size_t n = std::min(room, batch->size() - done);
+      for (std::size_t i = 0; i < n; ++i) {
+        slots_[(tail + i) & mask_] = std::move((*batch)[done + i]);
+      }
+      tail_.store(tail + n, std::memory_order_seq_cst);
+      done += n;
+      WakeConsumerIfWaiting();
+    }
+    if (delivered != nullptr) *delivered = done;
+    return done == batch->size() ? Status::Ok()
+                                 : Status::Closed("ring closed");
+  }
+
+  /// Blocks until an item arrives; nullopt once closed AND drained.
+  std::optional<T> Pop() {
+    while (true) {
+      if (auto item = TryPop()) return item;
+      if (DrainedLocked()) return std::nullopt;
+      WaitForItems(std::nullopt);
+    }
+  }
+
+  /// Pop with a timeout; nullopt on timeout or closed-and-drained.
+  std::optional<T> PopFor(std::chrono::microseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (true) {
+      if (auto item = TryPop()) return item;
+      if (DrainedLocked()) return std::nullopt;
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return std::nullopt;
+      WaitForItems(std::chrono::duration_cast<std::chrono::microseconds>(
+          deadline - now));
+    }
+  }
+
+  std::optional<T> TryPop() {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return std::nullopt;
+    }
+    T item = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_seq_cst);
+    WakeProducerIfWaiting();
+    return item;
+  }
+
+  /// Drains up to `max_items` of what is available into `out` (append);
+  /// blocks until at least one item or closed-and-drained (returns false).
+  bool PopAll(std::vector<T>* out, std::size_t max_items = kNoLimit) {
+    while (true) {
+      if (TryPopAll(out, max_items) > 0) return true;
+      if (DrainedLocked()) return false;
+      WaitForItems(std::nullopt);
+    }
+  }
+
+  /// PopAll with a timeout; false on timeout or closed-and-drained.
+  bool PopAllFor(std::chrono::microseconds timeout, std::vector<T>* out,
+                 std::size_t max_items = kNoLimit) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (true) {
+      if (TryPopAll(out, max_items) > 0) return true;
+      if (DrainedLocked()) return false;
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return false;
+      WaitForItems(std::chrono::duration_cast<std::chrono::microseconds>(
+          deadline - now));
+    }
+  }
+
+  /// Non-blocking drain; returns the number of items appended to `out`.
+  std::size_t TryPopAll(std::vector<T>* out, std::size_t max_items = kNoLimit) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    tail_cache_ = tail_.load(std::memory_order_acquire);
+    if (head == tail_cache_) return 0;
+    const std::size_t n = std::min(
+        static_cast<std::size_t>(tail_cache_ - head), max_items);
+    out->reserve(out->size() + n);
+    for (std::uint64_t i = head; i != head + n; ++i) {
+      out->push_back(std::move(slots_[i & mask_]));
+    }
+    head_.store(head + n, std::memory_order_seq_cst);
+    WakeProducerIfWaiting();
+    return n;
+  }
+
+  /// Close the ring: producers fail immediately; consumers drain remaining
+  /// items and then receive nullopt. Must not race with Push (see header).
+  void Close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_.store(true, std::memory_order_seq_cst);
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  static constexpr std::size_t kNoLimit =
+      std::numeric_limits<std::size_t>::max();
+
+ private:
+  static std::size_t RoundUpPow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  /// Closed-and-drained check that cannot miss a pre-close publish: the
+  /// closed load is ordered before a fresh tail reload.
+  bool DrainedLocked() {
+    if (!closed_.load(std::memory_order_seq_cst)) return false;
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    tail_cache_ = tail_.load(std::memory_order_seq_cst);
+    return head == tail_cache_;
+  }
+
+  /// Producer parking. Returns false when the ring closed while waiting.
+  bool WaitForSpace(std::int64_t* blocked_us) {
+    const auto wait_start = std::chrono::steady_clock::now();
+    {
+      std::unique_lock lock(mu_);
+      producer_waiting_.store(true, std::memory_order_seq_cst);
+      not_full_.wait(lock, [&] {
+        if (closed_.load(std::memory_order_acquire)) return true;
+        const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        return tail - head_.load(std::memory_order_seq_cst) < capacity_;
+      });
+      producer_waiting_.store(false, std::memory_order_relaxed);
+    }
+    if (blocked_us != nullptr) {
+      *blocked_us += std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - wait_start)
+                         .count();
+    }
+    return !closed_.load(std::memory_order_acquire);
+  }
+
+  /// Consumer parking; wakes on data, close, or timeout.
+  void WaitForItems(std::optional<std::chrono::microseconds> timeout) {
+    std::unique_lock lock(mu_);
+    consumer_waiting_.store(true, std::memory_order_seq_cst);
+    auto ready = [&] {
+      if (closed_.load(std::memory_order_acquire)) return true;
+      const std::uint64_t head = head_.load(std::memory_order_relaxed);
+      return tail_.load(std::memory_order_seq_cst) != head;
+    };
+    if (timeout.has_value()) {
+      not_empty_.wait_for(lock, *timeout, ready);
+    } else {
+      not_empty_.wait(lock, ready);
+    }
+    consumer_waiting_.store(false, std::memory_order_relaxed);
+  }
+
+  void WakeConsumerIfWaiting() {
+    if (consumer_waiting_.load(std::memory_order_seq_cst)) {
+      {
+        std::lock_guard lock(mu_);
+      }
+      not_empty_.notify_one();
+    }
+  }
+
+  void WakeProducerIfWaiting() {
+    if (producer_waiting_.load(std::memory_order_seq_cst)) {
+      {
+        std::lock_guard lock(mu_);
+      }
+      not_full_.notify_one();
+    }
+  }
+
+  const std::size_t capacity_;  ///< logical capacity (back-pressure bound)
+  const std::size_t mask_;      ///< pow2 slot-array mask
+  std::vector<T> slots_;
+
+  // Indices are monotonically increasing; size = tail - head.
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer side
+  alignas(64) std::uint64_t tail_cache_ = 0;        // consumer-local
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer side
+  alignas(64) std::uint64_t head_cache_ = 0;        // producer-local
+
+  // Slow path: parking for whichever side runs dry.
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> producer_waiting_{false};
+  std::atomic<bool> consumer_waiting_{false};
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+};
+
+}  // namespace strata

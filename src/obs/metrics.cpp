@@ -98,6 +98,12 @@ void MetricsSnapshot::AddGauge(std::string name, Labels labels,
                            Sample::Kind::kGauge, static_cast<double>(value)});
 }
 
+void MetricsSnapshot::AddHistogram(std::string name, Labels labels,
+                                   BoxplotStats stats) {
+  histograms.push_back(
+      HistogramSample{std::move(name), std::move(labels), stats});
+}
+
 std::optional<double> MetricsSnapshot::Value(std::string_view name,
                                              const Labels& labels) const {
   for (const Sample& s : samples) {

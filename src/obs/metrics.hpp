@@ -94,6 +94,10 @@ struct MetricsSnapshot {
 
   void AddCounter(std::string name, Labels labels, std::uint64_t value);
   void AddGauge(std::string name, Labels labels, std::int64_t value);
+  /// Append a distribution computed on demand by a pull callback (e.g. a
+  /// stream's batch-size histogram); rendered by every exporter alongside
+  /// registry-owned histograms.
+  void AddHistogram(std::string name, Labels labels, BoxplotStats stats);
 
   /// Value of the sample matching (name, labels) exactly.
   [[nodiscard]] std::optional<double> Value(std::string_view name,

@@ -1,0 +1,37 @@
+// Micro-batching for the SPE data plane.
+//
+// A TupleBatch — a small vector of tuples — is the unit moved through
+// streams: operators drain whatever is queued in one call, emit through
+// per-output buffers, and pay one queue synchronization per batch instead of
+// per tuple. Batches are a transport amortization only; tuple order, event
+// time semantics, back-pressure, and per-tuple operator counts are exactly
+// those of the per-tuple plane (scale-up SPE batching à la arXiv:2211.13461).
+//
+// A plain std::vector is deliberate: a batch crosses a queue hop as three
+// pointers, so batching never copies payloads, and the vector's heap block
+// is recycled by the emit buffers between flushes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spe/tuple.hpp"
+
+namespace strata::spe {
+
+using TupleBatch = std::vector<Tuple>;
+
+/// Knobs governing when an operator's emit buffer flushes downstream.
+/// Defaults keep latency flat at low rates (slow sources flush per tuple —
+/// see Operator::MaybeFlush) while saturated stages amortize `batch_size`
+/// tuples per stream hop.
+struct BatchPolicy {
+  /// Flush an output buffer once it holds this many tuples. 1 disables
+  /// batching (per-tuple pushes, the pre-batch behavior).
+  std::size_t batch_size = 64;
+  /// Flush a non-empty buffer once its oldest tuple has waited this long
+  /// (query-clock microseconds), bounding the latency cost of batching.
+  std::int64_t linger_us = 200;
+};
+
+}  // namespace strata::spe

@@ -7,12 +7,19 @@
 #include <string>
 #include <vector>
 
+#include "spe/batch.hpp"
 #include "spe/tuple.hpp"
 
 namespace strata::spe {
 
 /// Produces the next tuple, blocking as needed; nullopt = end of stream.
 using SourceFn = std::function<std::optional<Tuple>()>;
+
+/// Batch variant: produces whatever is ready as one batch (possibly empty —
+/// the source just polls again), blocking as needed; nullopt = end of
+/// stream. Preferred for ingest paths that already receive data in chunks
+/// (e.g. broker polls), so the data plane keeps the upstream batching.
+using BatchSourceFn = std::function<std::optional<TupleBatch>()>;
 
 /// 1 input -> N outputs (N may be 0). The Map/FlatMap operator.
 using FlatMapFn = std::function<std::vector<Tuple>(const Tuple&)>;

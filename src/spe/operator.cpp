@@ -18,41 +18,100 @@ void Operator::LogUserError(const char* what) {
 }
 
 void SourceOperator::Run() {
+  if (batch_fn_) {
+    RunBatchLoop();
+  } else {
+    RunTupleLoop();
+  }
+  CloseOutputs();
+}
+
+void SourceOperator::RunTupleLoop() {
+  // A source cannot flush while blocked inside fn_, so the flush policy
+  // keys off the arrival gap: a source slower than the linger flushes every
+  // tuple immediately (no added latency at low rates); a fast source buffers
+  // up to batch_size / linger_us like any other operator.
+  Timestamp last_arrival = 0;
   while (!StopRequested()) {
     auto guarded = Guarded([&] { return fn_(); });
     if (!guarded.has_value()) break;  // a throwing source ends its stream
     std::optional<Tuple>& tuple = *guarded;
     if (!tuple.has_value()) break;
-    if (tuple->stimulus == 0) tuple->stimulus = Now();
+    const Timestamp now = Now();
+    if (tuple->stimulus == 0) tuple->stimulus = now;
     CountIn();
-    Emit(std::move(*tuple));
+    if (!Emit(std::move(*tuple))) break;  // every consumer is gone
+    const bool slow_source =
+        last_arrival == 0 || now - last_arrival >= linger_us();
+    last_arrival = now;
+    if (slow_source) {
+      FlushEmit();
+    } else {
+      MaybeFlush(/*input_idle=*/false);  // linger-bounded buffering
+    }
   }
-  CloseOutputs();
+}
+
+void SourceOperator::RunBatchLoop() {
+  // Each batch the function hands over (e.g. one broker poll) is emitted
+  // and flushed as a unit: upstream batch boundaries are natural flush
+  // points.
+  while (!StopRequested()) {
+    auto guarded = Guarded([&] { return batch_fn_(); });
+    if (!guarded.has_value()) break;
+    std::optional<TupleBatch>& batch = *guarded;
+    if (!batch.has_value()) break;
+    const Timestamp now = Now();
+    bool open = true;
+    for (Tuple& tuple : *batch) {
+      if (tuple.stimulus == 0) tuple.stimulus = now;
+      CountIn();
+      if (!(open = Emit(std::move(tuple)))) break;
+    }
+    if (!open) break;
+    FlushEmit();
+  }
 }
 
 // ----------------------------------------------------------------- FlatMap
 
 void FlatMapOperator::Run() {
-  while (auto tuple = inputs_[0]->Pop()) {
-    CountIn();
-    auto results = Guarded([&] { return fn_(*tuple); });
-    if (!results.has_value()) continue;  // user error: drop this tuple
-    for (Tuple& out : *results) {
-      if (out.stimulus == 0) out.stimulus = tuple->stimulus;
-      Emit(std::move(out));
+  bool open = true;
+  while (open) {
+    auto batch = inputs_[0]->PopBatch(batch_size());
+    if (!batch.has_value()) break;  // input closed and drained
+    CountIn(batch->size());
+    for (Tuple& tuple : *batch) {
+      auto results = Guarded([&] { return fn_(tuple); });
+      if (!results.has_value()) continue;  // user error: drop this tuple
+      for (Tuple& out : *results) {
+        if (out.stimulus == 0) out.stimulus = tuple.stimulus;
+        if (!(open = Emit(std::move(out)))) break;
+      }
+      if (!open) break;
     }
+    if (open) MaybeFlush(inputs_[0]->depth() == 0);
   }
+  if (!open) CloseInputs();  // early exit: downstream consumers are gone
   CloseOutputs();
 }
 
 // ------------------------------------------------------------------ Filter
 
 void FilterOperator::Run() {
-  while (auto tuple = inputs_[0]->Pop()) {
-    CountIn();
-    const auto keep = Guarded([&] { return fn_(*tuple); });
-    if (keep.value_or(false)) Emit(std::move(*tuple));
+  bool open = true;
+  while (open) {
+    auto batch = inputs_[0]->PopBatch(batch_size());
+    if (!batch.has_value()) break;
+    CountIn(batch->size());
+    for (Tuple& tuple : *batch) {
+      const auto keep = Guarded([&] { return fn_(tuple); });
+      if (!keep.value_or(false)) continue;
+      if (!(open = Emit(std::move(tuple)))) break;
+    }
+    if (open) MaybeFlush(inputs_[0]->depth() == 0);
   }
+  if (!open) CloseInputs();
   CloseOutputs();
 }
 
@@ -61,12 +120,19 @@ void FilterOperator::Run() {
 void RouterOperator::Run() {
   std::hash<std::string> hasher;
   const std::size_t n = outputs_.size();
-  while (auto tuple = inputs_[0]->Pop()) {
-    CountIn();
-    const auto key = Guarded([&] { return key_(*tuple); });
-    if (!key.has_value()) continue;
-    EmitTo(hasher(*key) % n, std::move(*tuple));
+  bool open = true;
+  while (open) {
+    auto batch = inputs_[0]->PopBatch(batch_size());
+    if (!batch.has_value()) break;
+    CountIn(batch->size());
+    for (Tuple& tuple : *batch) {
+      const auto key = Guarded([&] { return key_(tuple); });
+      if (!key.has_value()) continue;
+      if (!(open = EmitTo(hasher(*key) % n, std::move(tuple)))) break;
+    }
+    if (open) MaybeFlush(inputs_[0]->depth() == 0);
   }
+  if (!open) CloseInputs();
   CloseOutputs();
 }
 
@@ -75,15 +141,19 @@ void RouterOperator::Run() {
 void UnionOperator::Run() {
   std::vector<bool> done(inputs_.size(), false);
   std::size_t remaining = inputs_.size();
-  while (remaining > 0) {
+  bool open = true;
+  while (remaining > 0 && open) {
     bool progressed = false;
-    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    for (std::size_t i = 0; i < inputs_.size() && open; ++i) {
       if (done[i]) continue;
       // Drain whatever is immediately available from this input.
-      while (auto tuple = inputs_[i]->PopFor(std::chrono::microseconds(0))) {
-        CountIn();
-        Emit(std::move(*tuple));
+      while (auto batch = inputs_[i]->TryPopBatch(batch_size())) {
+        CountIn(batch->size());
+        for (Tuple& tuple : *batch) {
+          if (!(open = Emit(std::move(tuple)))) break;
+        }
         progressed = true;
+        if (!open) break;
       }
       if (inputs_[i]->drained()) {
         done[i] = true;
@@ -91,33 +161,45 @@ void UnionOperator::Run() {
         progressed = true;
       }
     }
-    if (!progressed && remaining > 0) {
-      // Nothing available anywhere: block briefly on the first live input.
+    if (!open) break;
+    if (progressed) {
+      MaybeFlush(/*input_idle=*/false);
+      continue;
+    }
+    if (remaining > 0) {
+      // Nothing available anywhere: flush what we buffered (don't sit on
+      // tuples while parked), then block briefly on the first live input.
+      FlushEmit();
       for (std::size_t i = 0; i < inputs_.size(); ++i) {
         if (!done[i]) {
-          if (auto tuple = inputs_[i]->PopFor(kPollInterval)) {
-            CountIn();
-            Emit(std::move(*tuple));
+          if (auto batch = inputs_[i]->PopBatchFor(kPollInterval, batch_size())) {
+            CountIn(batch->size());
+            for (Tuple& tuple : *batch) {
+              if (!(open = Emit(std::move(tuple)))) break;
+            }
           }
           break;
         }
       }
     }
   }
+  if (!open) CloseInputs();
   CloseOutputs();
 }
 
 // -------------------------------------------------------------------- Sink
 
 void SinkOperator::Run() {
-  while (auto tuple = inputs_[0]->Pop()) {
-    CountIn();
-    latency_.Record(Now() - tuple->stimulus);
-    if (fn_) {
-      (void)Guarded([&] {
-        fn_(*tuple);
-        return true;
-      });
+  while (auto batch = inputs_[0]->PopBatch(batch_size())) {
+    CountIn(batch->size());
+    for (Tuple& tuple : *batch) {
+      latency_.Record(Now() - tuple.stimulus);
+      if (fn_) {
+        (void)Guarded([&] {
+          fn_(tuple);
+          return true;
+        });
+      }
     }
   }
   if (finish_hook_) finish_hook_();
@@ -157,7 +239,7 @@ void AggregateOperator::CloseWindowsUpTo(Timestamp horizon) {
       for (Tuple& out : *results) {
         if (out.event_time == 0) out.event_time = window_end - 1;
         out.stimulus = CombineStimulus(out.stimulus, window.max_stimulus);
-        Emit(std::move(out));
+        (void)Emit(std::move(out));  // closed downstream counted as discarded
       }
     }
     closed_horizon_ = std::max(closed_horizon_, window_end);
@@ -166,7 +248,6 @@ void AggregateOperator::CloseWindowsUpTo(Timestamp horizon) {
 }
 
 void AggregateOperator::Process(const Tuple& tuple) {
-  CountIn();
   const Timestamp t = tuple.event_time;
   // The watermark trails the max event time by the allowed lateness, so
   // bounded disorder still lands in open windows.
@@ -204,14 +285,29 @@ void AggregateOperator::Process(const Tuple& tuple) {
 }
 
 void AggregateOperator::Run() {
-  while (auto tuple = inputs_[0]->Pop()) {
-    (void)Guarded([&] {
-      Process(*tuple);
-      return true;
-    });
+  bool open = true;
+  while (open) {
+    auto batch = inputs_[0]->PopBatch(batch_size());
+    if (!batch.has_value()) break;
+    CountIn(batch->size());
+    for (const Tuple& tuple : *batch) {
+      (void)Guarded([&] {
+        Process(tuple);
+        return true;
+      });
+    }
+    if (AllOutputsClosed()) {
+      open = false;
+      break;
+    }
+    MaybeFlush(inputs_[0]->depth() == 0);
   }
-  // End of stream: flush every open window.
-  CloseWindowsUpTo(std::numeric_limits<Timestamp>::max());
+  if (open) {
+    // End of stream: flush every open window.
+    CloseWindowsUpTo(std::numeric_limits<Timestamp>::max());
+  } else {
+    CloseInputs();  // nobody downstream: skip the final flush
+  }
   CloseOutputs();
 }
 
@@ -240,7 +336,6 @@ void JoinOperator::Evict() {
 }
 
 void JoinOperator::ProcessFrom(std::size_t side, Tuple tuple) {
-  CountIn();
   max_time_[side] = std::max(max_time_[side], tuple.event_time);
 
   const KeyFn& my_key_fn = side == 0 ? spec_.key_left : spec_.key_right;
@@ -281,7 +376,7 @@ void JoinOperator::ProcessFrom(std::size_t side, Tuple tuple) {
         continue;
       }
     }
-    Emit(std::move(joined));
+    (void)Emit(std::move(joined));
   }
 
   buffers_[side].emplace_back(key, std::move(tuple));
@@ -290,27 +385,41 @@ void JoinOperator::ProcessFrom(std::size_t side, Tuple tuple) {
 
 void JoinOperator::Run() {
   bool done[2] = {false, false};
-  while (!done[0] || !done[1]) {
+  bool open = true;
+  while ((!done[0] || !done[1]) && open) {
     bool progressed = false;
-    for (std::size_t side = 0; side < 2; ++side) {
+    for (std::size_t side = 0; side < 2 && open; ++side) {
       if (done[side]) continue;
-      while (auto tuple =
-                 inputs_[side]->PopFor(std::chrono::microseconds(0))) {
-        ProcessFrom(side, std::move(*tuple));
+      while (auto batch = inputs_[side]->TryPopBatch(batch_size())) {
+        CountIn(batch->size());
+        for (Tuple& tuple : *batch) ProcessFrom(side, std::move(tuple));
         progressed = true;
+        if (AllOutputsClosed()) {
+          open = false;
+          break;
+        }
       }
       if (inputs_[side]->drained()) {
         done[side] = true;
         progressed = true;
       }
     }
-    if (!progressed) {
-      const std::size_t side = done[0] ? 1 : 0;
-      if (auto tuple = inputs_[side]->PopFor(kPollInterval)) {
-        ProcessFrom(side, std::move(*tuple));
-      }
+    if (!open) break;
+    if (progressed) {
+      MaybeFlush(/*input_idle=*/false);
+      continue;
+    }
+    // Neither side had data: flush buffered output, then block briefly on
+    // whichever side is still live.
+    FlushEmit();
+    const std::size_t side = done[0] ? 1 : 0;
+    if (auto batch = inputs_[side]->PopBatchFor(kPollInterval, batch_size())) {
+      CountIn(batch->size());
+      for (Tuple& tuple : *batch) ProcessFrom(side, std::move(tuple));
+      if (AllOutputsClosed()) open = false;
     }
   }
+  if (!open) CloseInputs();
   CloseOutputs();
 }
 

@@ -9,8 +9,15 @@
 // non-decreasing per stream (the AM sources are layer-ordered); stateful
 // operators tolerate bounded disorder by closing windows only at watermark
 // `max event time seen` and counting late drops.
+//
+// Data plane: operators consume whole drained batches (Stream::PopBatch)
+// and emit through per-output buffers that flush on batch-size, linger
+// expiry, or input idleness — one queue synchronization per batch instead of
+// per tuple. Emit reports when every downstream has closed so loops (and
+// sources in particular) can exit early instead of producing into the void.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <deque>
 #include <limits>
@@ -21,6 +28,7 @@
 
 #include "common/clock.hpp"
 #include "common/histogram.hpp"
+#include "spe/batch.hpp"
 #include "spe/functions.hpp"
 #include "spe/stream.hpp"
 
@@ -36,6 +44,9 @@ struct OperatorStats {
   std::uint64_t late_drops = 0;
   /// Tuples dropped because a user function threw (logged, never fatal).
   std::uint64_t user_errors = 0;
+  /// Tuple-output pairs dropped because the downstream stream had closed
+  /// (its consumer exited before this operator finished).
+  std::uint64_t discarded = 0;
 };
 
 class Operator {
@@ -64,6 +75,15 @@ class Operator {
   /// naturally when their inputs drain.
   void RequestStop() { stop_requested_.store(true, std::memory_order_release); }
 
+  /// Sets the data-plane granularity: batch_size is both the emit-buffer
+  /// flush threshold and the consumer-side drain cap, so `batch_size = 1`
+  /// reproduces the per-tuple plane exactly. Called by Query::Start before
+  /// the operator thread spawns; the default is per-tuple.
+  void ConfigureBatching(const BatchPolicy& policy) {
+    batch_size_ = policy.batch_size == 0 ? 1 : policy.batch_size;
+    linger_us_ = policy.linger_us;
+  }
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] virtual const char* kind() const noexcept { return "operator"; }
   [[nodiscard]] OperatorStats stats() const {
@@ -74,6 +94,7 @@ class Operator {
     s.tuples_out = out_count_.load(std::memory_order_relaxed);
     s.late_drops = late_drops_.load(std::memory_order_relaxed);
     s.user_errors = user_errors_.load(std::memory_order_relaxed);
+    s.discarded = discarded_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -82,32 +103,107 @@ class Operator {
     return stop_requested_.load(std::memory_order_acquire);
   }
 
-  /// Push to every output: copies for all but the last output, which takes
-  /// the tuple by move — single-output chains (the common case) never copy
-  /// payloads on the hot path. Ok(false-like Closed) statuses are swallowed:
-  /// a closed downstream just discards the tuple.
-  void Emit(Tuple tuple) {
+  /// Buffered push to every output: copies for all but the last open output,
+  /// which takes the tuple by move — single-output chains (the common case)
+  /// never copy payloads. Buffers flush downstream at batch_size (see also
+  /// MaybeFlush/FlushEmit). Returns false once ALL outputs have closed, so
+  /// operator loops can exit early instead of emitting into the void;
+  /// tuples bound for a closed output are counted as discarded.
+  bool Emit(Tuple tuple) {
     out_count_.fetch_add(1, std::memory_order_relaxed);
-    if (outputs_.empty()) return;
-    for (std::size_t i = 0; i + 1 < outputs_.size(); ++i) {
-      (void)outputs_[i]->Push(tuple);
+    if (outputs_.empty()) return true;
+    EnsureEmitState();
+    if (open_outputs_ == 0) {
+      CountDiscarded(1);
+      return false;
     }
-    (void)outputs_.back()->Push(std::move(tuple));
+    std::size_t last_open = 0;
+    for (std::size_t i = outputs_.size(); i-- > 0;) {
+      if (!output_closed_[i]) {
+        last_open = i;
+        break;
+      }
+    }
+    for (std::size_t i = 0; i < outputs_.size(); ++i) {
+      if (output_closed_[i]) {
+        CountDiscarded(1);  // tuple-output pair lost to a closed downstream
+      } else if (i == last_open) {
+        Buffer(i, std::move(tuple));  // later indices are all closed
+      } else {
+        Buffer(i, tuple);
+      }
+    }
+    return open_outputs_ > 0;
   }
 
-  void EmitTo(std::size_t output_index, Tuple tuple) {
+  /// Buffered push to one output (Router). Returns false once ALL outputs
+  /// have closed; a tuple routed to a closed output is just discarded.
+  bool EmitTo(std::size_t output_index, Tuple tuple) {
     out_count_.fetch_add(1, std::memory_order_relaxed);
-    (void)outputs_[output_index]->Push(std::move(tuple));
+    EnsureEmitState();
+    if (output_closed_[output_index]) {
+      CountDiscarded(1);
+      return open_outputs_ > 0;
+    }
+    Buffer(output_index, std::move(tuple));
+    return open_outputs_ > 0;
   }
 
+  /// Pushes every buffered tuple downstream now.
+  void FlushEmit() {
+    if (!emit_ready_) return;
+    for (std::size_t i = 0; i < emit_buffers_.size(); ++i) FlushOutput(i);
+  }
+
+  /// Batch-boundary flush policy: flush everything when the input went idle
+  /// (a batch boundary follows each burst, so batching adds no latency at
+  /// low rates), otherwise flush only buffers whose oldest tuple has waited
+  /// at least linger_us (bounding latency under saturation).
+  void MaybeFlush(bool input_idle) {
+    if (!emit_ready_) return;
+    if (input_idle) {
+      FlushEmit();
+      return;
+    }
+    const Timestamp now = Now();
+    for (std::size_t i = 0; i < emit_buffers_.size(); ++i) {
+      if (!emit_buffers_[i].empty() &&
+          now - buffered_since_[i] >= linger_us_) {
+        FlushOutput(i);
+      }
+    }
+  }
+
+  /// True once every output stream has been observed closed (only ever true
+  /// for operators that have outputs). Detection is flush-driven, so this is
+  /// the early-exit signal, not an instantaneous property.
+  [[nodiscard]] bool AllOutputsClosed() const {
+    return emit_ready_ && !outputs_.empty() && open_outputs_ == 0;
+  }
+
+  /// Close all input streams: used on early exit so upstream producers see
+  /// Closed instead of blocking on back-pressure forever.
+  void CloseInputs() {
+    for (const auto& in : inputs_) in->Close();
+  }
+
+  /// Flushes any buffered tuples, then closes every output (close-then-drain:
+  /// downstream consumers still drain what was flushed).
   void CloseOutputs() {
+    FlushEmit();
     for (const auto& out : outputs_) out->Close();
   }
 
   void CountIn() { in_count_.fetch_add(1, std::memory_order_relaxed); }
+  void CountIn(std::size_t n) {
+    in_count_.fetch_add(n, std::memory_order_relaxed);
+  }
   void CountLateDrop() { late_drops_.fetch_add(1, std::memory_order_relaxed); }
   void CountUserError() {
     user_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountDiscarded(std::size_t n) {
+    discarded_.fetch_add(n, std::memory_order_relaxed);
   }
 
   /// Invoke a user function; on exception, log + count and return nullopt
@@ -124,12 +220,54 @@ class Operator {
   }
 
   [[nodiscard]] Timestamp Now() const { return clock_->Now(); }
+  [[nodiscard]] std::size_t batch_size() const noexcept { return batch_size_; }
+  [[nodiscard]] std::int64_t linger_us() const noexcept { return linger_us_; }
 
   std::vector<StreamPtr> inputs_;
   std::vector<StreamPtr> outputs_;
 
  private:
   void LogUserError(const char* what);
+
+  void EnsureEmitState() {
+    if (emit_ready_) return;
+    emit_buffers_.resize(outputs_.size());
+    buffered_since_.assign(outputs_.size(), 0);
+    output_closed_.assign(outputs_.size(), 0);
+    // Effective flush threshold per output: clamped to half the downstream
+    // capacity so emit buffering never adds more than ~half a queue of
+    // in-flight slack on top of the configured back-pressure bound.
+    flush_at_.resize(outputs_.size());
+    for (std::size_t i = 0; i < outputs_.size(); ++i) {
+      flush_at_[i] = std::max<std::size_t>(
+          1, std::min(batch_size_, outputs_[i]->capacity() / 2));
+    }
+    open_outputs_ = outputs_.size();
+    emit_ready_ = true;
+  }
+
+  void Buffer(std::size_t i, Tuple tuple) {
+    TupleBatch& buf = emit_buffers_[i];
+    if (buf.empty()) buffered_since_[i] = Now();
+    buf.push_back(std::move(tuple));
+    if (buf.size() >= flush_at_[i]) FlushOutput(i);
+  }
+
+  void FlushOutput(std::size_t i) {
+    TupleBatch& buf = emit_buffers_[i];
+    if (buf.empty()) return;
+    const std::size_t total = buf.size();
+    std::size_t delivered = 0;
+    const Status s = outputs_[i]->PushBatch(&buf, &delivered);
+    buf.clear();  // delivered tuples were moved out; recycle the capacity
+    if (!s.ok()) {
+      CountDiscarded(total - delivered);
+      if (!output_closed_[i]) {
+        output_closed_[i] = 1;
+        --open_outputs_;
+      }
+    }
+  }
 
   std::string name_;
   const Clock* clock_;
@@ -138,6 +276,17 @@ class Operator {
   std::atomic<std::uint64_t> out_count_{0};
   std::atomic<std::uint64_t> late_drops_{0};
   std::atomic<std::uint64_t> user_errors_{0};
+  std::atomic<std::uint64_t> discarded_{0};
+
+  // Emit-buffer state; touched only by the operator's own thread.
+  std::size_t batch_size_ = 1;  ///< 1 = flush per tuple (pre-batch behavior)
+  std::int64_t linger_us_ = 0;
+  bool emit_ready_ = false;
+  std::vector<std::size_t> flush_at_;  ///< per-output flush threshold
+  std::vector<TupleBatch> emit_buffers_;
+  std::vector<Timestamp> buffered_since_;  ///< Now() when buffer became non-empty
+  std::vector<char> output_closed_;        ///< sticky per-output closed flags
+  std::size_t open_outputs_ = 0;
 };
 
 // --------------------------------------------------------------- stateless
@@ -149,10 +298,18 @@ class SourceOperator final : public Operator {
   }
   SourceOperator(std::string name, const Clock* clock, SourceFn fn)
       : Operator(std::move(name), clock), fn_(std::move(fn)) {}
+  /// Batch variant: the function hands over whole batches (e.g. everything
+  /// one broker poll returned), which are emitted and flushed as a unit.
+  SourceOperator(std::string name, const Clock* clock, BatchSourceFn fn)
+      : Operator(std::move(name), clock), batch_fn_(std::move(fn)) {}
   void Run() override;
 
  private:
+  void RunTupleLoop();
+  void RunBatchLoop();
+
   SourceFn fn_;
+  BatchSourceFn batch_fn_;
 };
 
 class FlatMapOperator final : public Operator {

@@ -1,6 +1,7 @@
 #include "spe/query.hpp"
 
 #include <map>
+#include <string_view>
 
 #include "common/logging.hpp"
 
@@ -46,6 +47,13 @@ Op* Query::NewOperator(Args&&... args) {
 }
 
 StreamPtr Query::AddSource(const std::string& name, SourceFn fn) {
+  auto* op = NewOperator<SourceOperator>(name, options_.clock, std::move(fn));
+  StreamPtr out = NewStream(name + ".out");
+  op->AddOutput(out);
+  return out;
+}
+
+StreamPtr Query::AddBatchSource(const std::string& name, BatchSourceFn fn) {
   auto* op = NewOperator<SourceOperator>(name, options_.clock, std::move(fn));
   StreamPtr out = NewStream(name + ".out");
   op->AddOutput(out);
@@ -168,9 +176,43 @@ SinkOperator* Query::AddSink(const std::string& name, StreamPtr in,
 void Query::Start() {
   if (started_) throw std::logic_error("Query: already started");
   started_ = true;
+  const BatchPolicy policy{options_.batch_size, options_.batch_linger_us};
+  for (auto& op : operators_) op->ConfigureBatching(policy);
+  if (options_.enable_spsc) EnableSpscFastPaths();
   threads_.reserve(operators_.size());
   for (auto& op : operators_) {
     threads_.emplace_back([raw = op.get()] { raw->Run(); });
+  }
+}
+
+void Query::EnableSpscFastPaths() {
+  // A stream is SPSC-eligible when exactly one registered operator produces
+  // into it and exactly one consumes from it, and neither endpoint is
+  // router/union plumbing (those stay on the MPMC queue). Streams pushed or
+  // popped from outside the query have an unregistered endpoint and never
+  // qualify. Runs single-threaded before operator threads spawn.
+  std::map<const Stream*, std::pair<int, int>> endpoint_count;  // {prod, cons}
+  std::map<const Stream*, bool> plumbing;
+  for (const auto& op : operators_) {
+    const std::string_view kind = op->kind();
+    const bool is_plumbing = kind == "router" || kind == "union";
+    for (const StreamPtr& out : op->outputs()) {
+      ++endpoint_count[out.get()].first;
+      if (is_plumbing) plumbing[out.get()] = true;
+    }
+    for (const StreamPtr& in : op->inputs()) {
+      ++endpoint_count[in.get()].second;
+      if (is_plumbing) plumbing[in.get()] = true;
+    }
+  }
+  std::lock_guard lock(build_mu_);
+  for (const StreamPtr& stream : streams_) {
+    const auto it = endpoint_count.find(stream.get());
+    if (it == endpoint_count.end()) continue;  // never wired up
+    if (it->second.first == 1 && it->second.second == 1 &&
+        !plumbing[stream.get()]) {
+      (void)stream->TryEnableSpsc();
+    }
   }
 }
 
@@ -238,6 +280,7 @@ void Query::BindMetrics(obs::MetricsRegistry* registry) {
       snap->AddCounter("spe.operator.tuples_out", labels, s.tuples_out);
       snap->AddCounter("spe.operator.late_drops", labels, s.late_drops);
       snap->AddCounter("spe.operator.user_errors", labels, s.user_errors);
+      snap->AddCounter("spe.operator.discarded", labels, s.discarded);
     }
     for (const StreamPtr& stream : streams_) {
       const obs::Labels labels{{"stream", stream->name()}};
@@ -248,6 +291,12 @@ void Query::BindMetrics(obs::MetricsRegistry* registry) {
       snap->AddCounter("spe.stream.pushed", labels, stream->pushed());
       snap->AddCounter("spe.stream.popped", labels, stream->popped());
       snap->AddCounter("spe.stream.blocked_us", labels, stream->blocked_us());
+      snap->AddCounter("spe.stream.discarded", labels, stream->discarded());
+      const Histogram batch_sizes = stream->BatchSizeSnapshot();
+      if (batch_sizes.count() > 0) {
+        snap->AddHistogram("spe.stream.batch_size", labels,
+                           batch_sizes.Boxplot());
+      }
     }
   });
 }

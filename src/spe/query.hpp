@@ -26,6 +26,16 @@ namespace strata::spe {
 struct QueryOptions {
   std::size_t queue_capacity = 1024;
   const Clock* clock = &Clock::System();
+  /// Emit-buffer flush threshold per output (tuples). 1 = per-tuple pushes
+  /// (the pre-batch data plane); larger values amortize queue
+  /// synchronization at high rates. See BatchPolicy.
+  std::size_t batch_size = BatchPolicy{}.batch_size;
+  /// Upper bound (µs, query clock) a tuple may wait in an emit buffer.
+  /// Idle-triggered flushes keep latency flat at low rates regardless.
+  std::int64_t batch_linger_us = BatchPolicy{}.linger_us;
+  /// Allow Start() to switch 1-producer/1-consumer streams to the lock-free
+  /// SPSC ring (Router/Union endpoints always keep the MPMC queue).
+  bool enable_spsc = true;
 };
 
 class Query {
@@ -38,6 +48,11 @@ class Query {
   // ----- builders (call before Start) -----
 
   [[nodiscard]] StreamPtr AddSource(const std::string& name, SourceFn fn);
+
+  /// Source whose function yields whole batches (e.g. one broker poll);
+  /// each yielded batch is emitted and flushed downstream as a unit.
+  [[nodiscard]] StreamPtr AddBatchSource(const std::string& name,
+                                         BatchSourceFn fn);
 
   /// Map/FlatMap. With parallelism > 1 a hash router shards tuples by
   /// `shard_key` across `parallelism` instances whose outputs are unioned
@@ -98,6 +113,9 @@ class Query {
  private:
   StreamPtr NewStream(const std::string& name);
   void Consume(const StreamPtr& stream);  // enforce single consumer
+  /// Switch eligible streams (one producer op, one consumer op, no
+  /// router/union endpoint) to the lock-free SPSC transport.
+  void EnableSpscFastPaths();
   template <typename Op, typename... Args>
   Op* NewOperator(Args&&... args);
 

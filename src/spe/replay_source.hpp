@@ -7,6 +7,7 @@
 // possible" at increasing rates.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -22,6 +23,27 @@ inline SourceFn VectorSource(std::vector<Tuple> tuples) {
   return [state]() -> std::optional<Tuple> {
     if (state->second >= state->first.size()) return std::nullopt;
     return state->first[state->second++];
+  };
+}
+
+/// BatchSourceFn emitting the given tuples once, in chunks of `chunk` —
+/// each chunk crosses the data plane as one batch (for replay benchmarks
+/// that model pre-batched ingest).
+inline BatchSourceFn VectorBatchSource(std::vector<Tuple> tuples,
+                                       std::size_t chunk = 64) {
+  if (chunk == 0) {
+    throw std::invalid_argument("VectorBatchSource: chunk must be > 0");
+  }
+  auto state = std::make_shared<std::pair<std::vector<Tuple>, std::size_t>>(
+      std::move(tuples), 0);
+  return [state, chunk]() -> std::optional<TupleBatch> {
+    auto& [tuples_ref, next] = *state;
+    if (next >= tuples_ref.size()) return std::nullopt;
+    const std::size_t n = std::min(chunk, tuples_ref.size() - next);
+    TupleBatch batch(std::make_move_iterator(tuples_ref.begin() + next),
+                     std::make_move_iterator(tuples_ref.begin() + next + n));
+    next += n;
+    return batch;
   };
 }
 

@@ -60,14 +60,13 @@ spe::SourceFn ConnectorSubscriber::AsSourceFn() {
   return [this]() { return Next(); };
 }
 
-std::optional<spe::Tuple> ConnectorSubscriber::Next() {
-  while (true) {
-    if (!buffered_.empty()) {
-      spe::Tuple tuple = std::move(buffered_.front());
-      buffered_.pop_front();
-      return tuple;
-    }
-    if (stopped_.load(std::memory_order_acquire)) return std::nullopt;
+spe::BatchSourceFn ConnectorSubscriber::AsBatchSourceFn() {
+  return [this]() { return NextBatch(); };
+}
+
+bool ConnectorSubscriber::FillBuffer() {
+  while (buffered_.empty()) {
+    if (stopped_.load(std::memory_order_acquire)) return false;
 
     auto batch = consumer_->Poll(kPollTimeout);
     if (!batch.ok()) {
@@ -75,16 +74,16 @@ std::optional<spe::Tuple> ConnectorSubscriber::Next() {
         // Nothing arrived inside the poll window. If EOS was seen, an empty
         // window means all partitions are drained (the EOS record is
         // globally last): end of stream.
-        if (eos_seen_) return std::nullopt;
+        if (eos_seen_) return false;
         continue;
       }
       if (!batch.status().IsClosed()) {
         LOG_ERROR << "connector poll failed: " << batch.status().ToString();
       }
-      return std::nullopt;
+      return false;
     }
     if (batch->empty()) {
-      if (eos_seen_) return std::nullopt;
+      if (eos_seen_) return false;
       continue;
     }
     for (const ps::ConsumedRecord& record : *batch) {
@@ -100,6 +99,22 @@ std::optional<spe::Tuple> ConnectorSubscriber::Next() {
       buffered_.push_back(std::move(tuple).value());
     }
   }
+  return true;
+}
+
+std::optional<spe::Tuple> ConnectorSubscriber::Next() {
+  if (!FillBuffer()) return std::nullopt;
+  spe::Tuple tuple = std::move(buffered_.front());
+  buffered_.pop_front();
+  return tuple;
+}
+
+std::optional<spe::TupleBatch> ConnectorSubscriber::NextBatch() {
+  if (!FillBuffer()) return std::nullopt;
+  spe::TupleBatch out(std::make_move_iterator(buffered_.begin()),
+                      std::make_move_iterator(buffered_.end()));
+  buffered_.clear();
+  return out;
 }
 
 }  // namespace strata::core

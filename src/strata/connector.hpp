@@ -66,13 +66,21 @@ class ConnectorSubscriber {
   /// SourceFn yielding tuples until EOS-and-drained or Stop().
   [[nodiscard]] spe::SourceFn AsSourceFn();
 
+  /// BatchSourceFn yielding everything one broker poll returned as a single
+  /// batch — the SPE emits and flushes it as a unit, so broker poll
+  /// boundaries become data-plane batch boundaries (no per-tuple handoff).
+  [[nodiscard]] spe::BatchSourceFn AsBatchSourceFn();
+
   void Stop() { stopped_.store(true, std::memory_order_release); }
 
  private:
   explicit ConnectorSubscriber(std::unique_ptr<ps::ConsumerClient> consumer)
       : consumer_(std::move(consumer)) {}
 
+  /// Polls until `buffered_` is non-empty; false at end of stream.
+  [[nodiscard]] bool FillBuffer();
   [[nodiscard]] std::optional<spe::Tuple> Next();
+  [[nodiscard]] std::optional<spe::TupleBatch> NextBatch();
 
   std::unique_ptr<ps::ConsumerClient> consumer_;
   std::deque<spe::Tuple> buffered_;

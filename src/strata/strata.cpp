@@ -117,7 +117,9 @@ spe::StreamPtr Strata::SubscribeTo(const std::string& topic) {
       ConnectorSubscriber::Create(client_.get(), topic, topic + ".monitor");
   subscriber.status().OrDie();
   subscribers_.push_back(*subscriber);
-  return query_->AddSource(topic + ".sub", (*subscriber)->AsSourceFn());
+  // Batch source: each broker poll enters the SPE as one data-plane batch.
+  return query_->AddBatchSource(topic + ".sub",
+                                (*subscriber)->AsBatchSourceFn());
 }
 
 spe::StreamPtr Strata::ThroughConnector(const std::string& topic,

@@ -125,6 +125,86 @@ TEST(BlockingQueue, MpmcStressPreservesAllItems) {
   EXPECT_EQ(sum.load(), expect);
 }
 
+TEST(BlockingQueue, PushAllPopAllRoundtrip) {
+  BlockingQueue<int> q(8);
+  std::vector<int> batch{1, 2, 3, 4, 5};
+  std::size_t delivered = 0;
+  ASSERT_TRUE(q.PushAll(&batch, &delivered).ok());
+  EXPECT_EQ(delivered, 5u);
+  std::vector<int> out;
+  EXPECT_TRUE(q.PopAll(&out));
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(BlockingQueue, PopAllRespectsMaxItems) {
+  BlockingQueue<int> q(8);
+  std::vector<int> batch{1, 2, 3, 4, 5};
+  ASSERT_TRUE(q.PushAll(&batch).ok());
+  std::vector<int> out;
+  EXPECT_TRUE(q.PopAll(&out, /*max_items=*/2));
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.TryPopAll(&out, /*max_items=*/2), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BlockingQueue, PushAllLargerThanCapacityDeliversPiecewise) {
+  BlockingQueue<int> q(4);
+  std::vector<int> batch(64);
+  std::iota(batch.begin(), batch.end(), 0);
+
+  std::thread producer([&] {
+    std::size_t delivered = 0;
+    std::int64_t blocked_us = 0;
+    ASSERT_TRUE(q.PushAll(&batch, &delivered, &blocked_us).ok());
+    EXPECT_EQ(delivered, 64u);
+    EXPECT_GT(blocked_us, 0);  // had to wait for the consumer at least once
+    q.Close();
+  });
+
+  std::vector<int> out;
+  std::vector<int> chunk;
+  while (q.PopAll(&chunk)) {
+    out.insert(out.end(), chunk.begin(), chunk.end());
+    chunk.clear();
+  }
+  producer.join();
+  ASSERT_EQ(out.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+TEST(BlockingQueue, PushAllIntoClosedReportsDelivered) {
+  BlockingQueue<int> q(8);
+  q.Close();
+  std::vector<int> batch{1, 2, 3};
+  std::size_t delivered = 99;
+  EXPECT_TRUE(q.PushAll(&batch, &delivered).IsClosed());
+  EXPECT_EQ(delivered, 0u);
+}
+
+TEST(BlockingQueue, CloseMidPushAllReportsPartialDelivery) {
+  BlockingQueue<int> q(2);
+  std::vector<int> batch{1, 2, 3, 4};
+  std::size_t delivered = 0;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.Close();  // producer is parked with 2 of 4 delivered
+  });
+  EXPECT_TRUE(q.PushAll(&batch, &delivered).IsClosed());
+  closer.join();
+  EXPECT_EQ(delivered, 2u);
+  std::vector<int> out;
+  EXPECT_TRUE(q.PopAll(&out));  // close-then-drain: delivered items survive
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(BlockingQueue, PopAllForTimesOutEmpty) {
+  BlockingQueue<int> q(4);
+  std::vector<int> out;
+  EXPECT_FALSE(q.PopAllFor(std::chrono::microseconds(5'000), &out));
+  EXPECT_TRUE(out.empty());
+}
+
 TEST(BlockingQueue, BackPressureBlocksUntilSpace) {
   BlockingQueue<int> q(1);
   ASSERT_TRUE(q.Push(1).ok());

@@ -1,0 +1,208 @@
+#include "common/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace strata {
+namespace {
+
+TEST(SpscRing, FifoOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ring.Push(i).ok());
+  EXPECT_EQ(ring.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto v = ring.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(SpscRing, ZeroCapacityRejected) {
+  EXPECT_THROW(SpscRing<int>(0), std::invalid_argument);
+}
+
+TEST(SpscRing, NonPowerOfTwoCapacityIsExact) {
+  // The slot array rounds up to a power of two, but back-pressure must
+  // honor the logical capacity exactly.
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 5u);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ring.Push(i).ok());
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(ring.Push(5).ok());  // blocks: ring full at 5
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(ring.Pop().value(), 0);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  for (int i = 1; i <= 5; ++i) EXPECT_EQ(ring.Pop().value(), i);
+}
+
+TEST(SpscRing, PushAfterCloseFails) {
+  SpscRing<int> ring(4);
+  ring.Close();
+  EXPECT_TRUE(ring.Push(1).IsClosed());
+  EXPECT_TRUE(ring.closed());
+}
+
+TEST(SpscRing, TryPopEmptyReturnsNullopt) {
+  SpscRing<int> ring(4);
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRing, PopForTimesOut) {
+  SpscRing<int> ring(4);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ring.PopFor(std::chrono::microseconds(20000)).has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(15));
+}
+
+TEST(SpscRing, CloseUnblocksProducerAndDrainsConsumer) {
+  SpscRing<int> ring(1);
+  ASSERT_TRUE(ring.Push(1).ok());
+
+  std::atomic<bool> producer_released{false};
+  std::thread producer([&] {
+    Status s = ring.Push(2);  // blocks: ring full
+    EXPECT_TRUE(s.IsClosed());
+    producer_released = true;
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(producer_released.load());
+  ring.Close();
+  producer.join();
+  EXPECT_TRUE(producer_released.load());
+
+  // Consumer still drains the item published before close.
+  auto v = ring.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+  EXPECT_FALSE(ring.Pop().has_value());
+}
+
+TEST(SpscRing, CloseUnblocksEmptyConsumer) {
+  SpscRing<int> ring(4);
+  std::thread consumer([&] { EXPECT_FALSE(ring.Pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ring.Close();
+  consumer.join();
+}
+
+TEST(SpscRing, BackPressureAccumulatesBlockedTime) {
+  SpscRing<int> ring(1);
+  ASSERT_TRUE(ring.Push(1).ok());
+  std::int64_t blocked_us = 0;
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_TRUE(ring.Pop().has_value());
+  });
+  ASSERT_TRUE(ring.Push(2, &blocked_us).ok());  // blocks until the pop
+  consumer.join();
+  EXPECT_GE(blocked_us, 20'000);
+  EXPECT_EQ(ring.Pop().value(), 2);
+}
+
+TEST(SpscRing, PushAllPopAllRoundtrip) {
+  SpscRing<int> ring(8);
+  std::vector<int> batch{1, 2, 3, 4, 5};
+  std::size_t delivered = 0;
+  ASSERT_TRUE(ring.PushAll(&batch, &delivered).ok());
+  EXPECT_EQ(delivered, 5u);
+  std::vector<int> out;
+  EXPECT_TRUE(ring.PopAll(&out));
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(SpscRing, PushAllLargerThanCapacityDeliversPiecewise) {
+  SpscRing<int> ring(4);
+  std::vector<int> batch(64);
+  for (int i = 0; i < 64; ++i) batch[static_cast<std::size_t>(i)] = i;
+
+  std::thread producer([&] {
+    std::size_t delivered = 0;
+    std::int64_t blocked_us = 0;
+    ASSERT_TRUE(ring.PushAll(&batch, &delivered, &blocked_us).ok());
+    EXPECT_EQ(delivered, 64u);
+    EXPECT_GT(blocked_us, 0);  // had to wait for the consumer at least once
+    ring.Close();
+  });
+
+  std::vector<int> out;
+  std::vector<int> chunk;
+  while (ring.PopAll(&chunk)) {
+    out.insert(out.end(), chunk.begin(), chunk.end());
+    chunk.clear();
+  }
+  producer.join();
+  ASSERT_EQ(out.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SpscRing, PushAllIntoClosedReportsDelivered) {
+  SpscRing<int> ring(8);
+  ring.Close();
+  std::vector<int> batch{1, 2, 3};
+  std::size_t delivered = 99;
+  EXPECT_TRUE(ring.PushAll(&batch, &delivered).IsClosed());
+  EXPECT_EQ(delivered, 0u);
+}
+
+TEST(SpscRing, PopAllForTimesOutEmpty) {
+  SpscRing<int> ring(4);
+  std::vector<int> out;
+  EXPECT_FALSE(ring.PopAllFor(std::chrono::microseconds(5'000), &out));
+  EXPECT_TRUE(out.empty());
+}
+
+// Seeded randomized 1P1C stress: interleave single-item and batch APIs on
+// both sides; the consumer must observe the exact produced sequence.
+TEST(SpscRing, RandomizedStressPreservesSequence) {
+  constexpr int kTotal = 50'000;
+  SpscRing<int> ring(16);
+
+  std::thread producer([&] {
+    Rng rng(42);
+    int next = 0;
+    while (next < kTotal) {
+      if (rng.UniformInt(0, 1) == 0) {
+        ASSERT_TRUE(ring.Push(next++).ok());
+      } else {
+        const int n = static_cast<int>(
+            rng.UniformInt(1, 40));  // batches may exceed capacity
+        std::vector<int> batch;
+        for (int i = 0; i < n && next < kTotal; ++i) batch.push_back(next++);
+        ASSERT_TRUE(ring.PushAll(&batch).ok());
+      }
+    }
+    ring.Close();
+  });
+
+  Rng rng(7);
+  int expected = 0;
+  while (true) {
+    if (rng.UniformInt(0, 1) == 0) {
+      auto v = ring.Pop();
+      if (!v.has_value()) break;
+      ASSERT_EQ(*v, expected++);
+    } else {
+      std::vector<int> out;
+      if (!ring.PopAll(&out)) break;
+      for (const int v : out) ASSERT_EQ(v, expected++);
+    }
+  }
+  producer.join();
+  EXPECT_EQ(expected, kTotal);
+}
+
+}  // namespace
+}  // namespace strata

@@ -1,0 +1,199 @@
+// Batched data-plane semantics: flush-on-close delivery, linger-bounded
+// buffering, back-pressure accounting through the batch APIs, and the
+// all-outputs-closed early exit with discarded-tuple accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "spe/query.hpp"
+#include "spe/replay_source.hpp"
+
+namespace strata::spe {
+namespace {
+
+Tuple MakeTuple(Timestamp t) {
+  Tuple tuple;
+  tuple.event_time = t;
+  return tuple;
+}
+
+// A finite fast source with batch_size larger than the whole input and an
+// effectively-infinite linger: nothing can flush on size or time, so every
+// tuple the sink sees was delivered by the close-then-drain flush.
+TEST(BatchPlane, FlushOnCloseDeliversBufferedTuples) {
+  QueryOptions options;
+  options.batch_size = 1000;
+  options.batch_linger_us = 10'000'000;
+  Query query(options);
+
+  std::atomic<int> produced{0};
+  auto src = query.AddSource("src", [&]() -> std::optional<Tuple> {
+    if (produced >= 100) return std::nullopt;
+    return MakeTuple(produced++);
+  });
+  std::vector<Timestamp> seen;
+  query.AddSink("sink", src, [&](const Tuple& t) {
+    seen.push_back(t.event_time);
+  });
+  query.Run();
+
+  ASSERT_EQ(seen.size(), 100u);
+  for (Timestamp t = 0; t < 100; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], t);
+  }
+}
+
+TEST(BatchPlane, BatchSourceFlushesEachUpstreamBatch) {
+  QueryOptions options;
+  options.batch_size = 1000;
+  options.batch_linger_us = 10'000'000;
+  Query query(options);
+
+  std::vector<Tuple> input;
+  for (Timestamp t = 0; t < 100; ++t) input.push_back(MakeTuple(t));
+  auto src = query.AddBatchSource("src", VectorBatchSource(input, 7));
+  std::vector<Timestamp> seen;
+  query.AddSink("sink", src, [&](const Tuple& t) {
+    seen.push_back(t.event_time);
+  });
+  query.Run();
+
+  ASSERT_EQ(seen.size(), 100u);
+  for (Timestamp t = 0; t < 100; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], t);
+  }
+}
+
+// A source steadily faster than the linger never reaches batch_size=1000,
+// yet the sink must receive tuples while the query is live: the linger
+// flush bounds how long a tuple can sit in an emit buffer.
+TEST(BatchPlane, LingerFlushDeliversWhileRunning) {
+  QueryOptions options;
+  options.batch_size = 1000;
+  options.batch_linger_us = 2'000;
+  Query query(options);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> produced{0};
+  auto src = query.AddSource("src", [&]() -> std::optional<Tuple> {
+    if (done.load()) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    return MakeTuple(produced++);
+  });
+  std::atomic<int> consumed{0};
+  query.AddSink("sink", src, [&](const Tuple&) { ++consumed; });
+  query.Start();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (consumed.load() < 50 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(consumed.load(), 50);  // flushed by linger, not by size/close
+  done = true;
+  query.Join();
+  EXPECT_EQ(consumed.load(), produced.load());
+}
+
+// Back-pressure through PushBatch: a slow sink behind a tiny queue must
+// block the source, and the blocked time must surface on the stream.
+TEST(BatchPlane, BatchedPushAccumulatesBlockedTime) {
+  QueryOptions options;
+  options.queue_capacity = 4;
+  options.batch_size = 16;
+  Query query(options);
+
+  std::atomic<int> produced{0};
+  auto src = query.AddSource("src", [&]() -> std::optional<Tuple> {
+    if (produced >= 300) return std::nullopt;
+    return MakeTuple(produced++);
+  });
+  query.AddSink("sink", src, [&](const Tuple&) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  });
+  query.Run();
+  EXPECT_GT(src->blocked_us(), 0u);
+  EXPECT_EQ(src->pushed(), 300u);
+  EXPECT_EQ(src->popped(), 300u);
+}
+
+// Even with batching, a fast source cannot run unboundedly ahead of a slow
+// sink: the run-ahead is capped by the queue capacity plus batch-sized
+// emit/drain buffers.
+TEST(BatchPlane, RunAheadBoundedUnderBatching) {
+  QueryOptions options;
+  options.queue_capacity = 8;
+  options.batch_size = 8;
+  Query query(options);
+
+  std::atomic<std::int64_t> produced{0};
+  auto src = query.AddSource("src", [&]() -> std::optional<Tuple> {
+    if (produced >= 500) return std::nullopt;
+    return MakeTuple(produced++);
+  });
+  std::atomic<std::int64_t> consumed{0};
+  query.AddSink("sink", src, [&](const Tuple&) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    ++consumed;
+  });
+  query.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_LE(produced.load(),
+            consumed.load() + 8 /*queue*/ + 2 * 8 /*emit+drain*/ + 4);
+  query.Join();
+  EXPECT_EQ(consumed.load(), 500);
+}
+
+// A source whose only output closed underneath it must notice at the first
+// flush, count the lost tuples, and exit instead of producing forever.
+TEST(BatchPlane, SourceExitsEarlyWhenOutputClosed) {
+  auto out = std::make_shared<Stream>("out", 4);
+  out->Close();
+
+  std::atomic<int> produced{0};
+  SourceOperator source("src", &Clock::System(),
+                        SourceFn([&]() -> std::optional<Tuple> {
+                          return MakeTuple(produced++);  // endless
+                        }));
+  source.AddOutput(out);
+  source.Run();  // must return: Emit reports all outputs closed
+
+  EXPECT_GE(produced.load(), 1);
+  EXPECT_LE(produced.load(), 4);  // noticed at the first flush
+  EXPECT_GE(source.stats().discarded, 1u);
+}
+
+// A mid-pipeline operator whose consumer is gone must close its own inputs
+// on the way out, releasing any producer blocked on back-pressure.
+TEST(BatchPlane, OperatorEarlyExitReleasesBlockedProducer) {
+  auto in = std::make_shared<Stream>("in", 4);
+  auto out = std::make_shared<Stream>("out", 4);
+  out->Close();  // downstream consumer already gone
+
+  FlatMapOperator op("fm", &Clock::System(),
+                     FlatMapFn([](const Tuple& t) {
+                       return std::vector<Tuple>{t};
+                     }));
+  op.AddInput(in);
+  op.AddOutput(out);
+
+  std::atomic<int> pushed{0};
+  std::thread producer([&] {
+    for (Timestamp t = 0;; ++t) {
+      if (!in->Push(MakeTuple(t)).ok()) break;  // released by CloseInputs
+      ++pushed;
+    }
+  });
+
+  op.Run();  // must return and close `in`
+  producer.join();
+  EXPECT_TRUE(in->closed());
+  EXPECT_GE(op.stats().discarded, 1u);
+}
+
+}  // namespace
+}  // namespace strata::spe

@@ -96,6 +96,10 @@ TEST(QueryValidation, ZeroCapacityRejected) {
 TEST(QueryBackPressure, SlowSinkThrottlesFastSource) {
   QueryOptions options;
   options.queue_capacity = 4;
+  // Pin the per-tuple plane: batching widens the run-ahead bound to
+  // capacity + batch-sized emit/drain buffers (covered by the batch-plane
+  // tests); this test asserts the strict per-tuple bound.
+  options.batch_size = 1;
   Query query(options);
   std::atomic<std::int64_t> produced{0};
   auto src = query.AddSource("fast-src", [&]() -> std::optional<Tuple> {

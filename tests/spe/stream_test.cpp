@@ -4,6 +4,8 @@
 
 #include <thread>
 
+#include "common/rng.hpp"
+
 namespace strata::spe {
 namespace {
 
@@ -84,6 +86,127 @@ TEST(Stream, CombineStimulusTakesMax) {
   EXPECT_EQ(CombineStimulus(9, 5), 9);
   EXPECT_EQ(CombineStimulus(0, 0), 0);
 }
+
+TEST(Stream, BatchApiCountsFlowPerTuple) {
+  Stream stream("s", 8);
+  TupleBatch batch;
+  for (Timestamp t = 1; t <= 5; ++t) batch.push_back(TupleAt(t));
+  std::size_t delivered = 0;
+  ASSERT_TRUE(stream.PushBatch(&batch, &delivered).ok());
+  EXPECT_EQ(delivered, 5u);
+  EXPECT_EQ(stream.pushed(), 5u);
+  EXPECT_EQ(stream.depth(), 5u);
+
+  auto out = stream.PopBatch();
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), 5u);
+  for (Timestamp t = 1; t <= 5; ++t) {
+    EXPECT_EQ((*out)[static_cast<std::size_t>(t - 1)].event_time, t);
+  }
+  EXPECT_EQ(stream.popped(), 5u);
+
+  // The consumer-side drain size feeds the batch-size histogram.
+  const Histogram sizes = stream.BatchSizeSnapshot();
+  EXPECT_EQ(sizes.count(), 1u);
+  EXPECT_EQ(sizes.max(), 5);
+}
+
+TEST(Stream, PopBatchRespectsMaxTuples) {
+  Stream stream("s", 8);
+  TupleBatch batch;
+  for (Timestamp t = 1; t <= 6; ++t) batch.push_back(TupleAt(t));
+  ASSERT_TRUE(stream.PushBatch(&batch).ok());
+  auto out = stream.PopBatch(/*max_tuples=*/4);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->size(), 4u);
+  EXPECT_EQ(stream.depth(), 2u);
+}
+
+TEST(Stream, PushBatchIntoClosedCountsDiscarded) {
+  Stream stream("s", 4);
+  stream.Close();
+  TupleBatch batch;
+  for (Timestamp t = 1; t <= 3; ++t) batch.push_back(TupleAt(t));
+  std::size_t delivered = 99;
+  EXPECT_TRUE(stream.PushBatch(&batch, &delivered).IsClosed());
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(stream.pushed(), 0u);
+  EXPECT_EQ(stream.discarded(), 3u);
+  EXPECT_TRUE(stream.Push(TupleAt(9)).IsClosed());
+  EXPECT_EQ(stream.discarded(), 4u);
+}
+
+TEST(Stream, TryEnableSpscOnlyBeforeTraffic) {
+  Stream stream("s", 8);
+  ASSERT_TRUE(stream.Push(TupleAt(1)).ok());
+  EXPECT_FALSE(stream.TryEnableSpsc());  // already pushed to
+  EXPECT_FALSE(stream.spsc());
+
+  Stream fresh("f", 8);
+  EXPECT_TRUE(fresh.TryEnableSpsc());
+  EXPECT_TRUE(fresh.spsc());
+  EXPECT_TRUE(fresh.TryEnableSpsc());  // idempotent
+
+  Stream closed("c", 8);
+  closed.Close();
+  EXPECT_FALSE(closed.TryEnableSpsc());
+}
+
+// Drives the same seeded 1P1C workload through both transports: sequences,
+// counters, and close-then-drain behavior must be indistinguishable.
+class StreamTransportEquivalence : public ::testing::TestWithParam<bool> {};
+
+TEST_P(StreamTransportEquivalence, SeededStressSameObservableBehavior) {
+  constexpr int kTotal = 20'000;
+  Stream stream("s", 16);
+  if (GetParam()) ASSERT_TRUE(stream.TryEnableSpsc());
+  ASSERT_EQ(stream.spsc(), GetParam());
+
+  std::thread producer([&] {
+    Rng rng(42);
+    int next = 0;
+    while (next < kTotal) {
+      if (rng.UniformInt(0, 1) == 0) {
+        ASSERT_TRUE(stream.Push(TupleAt(next++)).ok());
+      } else {
+        const int n = static_cast<int>(rng.UniformInt(1, 40));
+        TupleBatch batch;
+        for (int i = 0; i < n && next < kTotal; ++i) {
+          batch.push_back(TupleAt(next++));
+        }
+        ASSERT_TRUE(stream.PushBatch(&batch).ok());
+      }
+    }
+    stream.Close();
+  });
+
+  Rng rng(7);
+  Timestamp expected = 0;
+  while (true) {
+    if (rng.UniformInt(0, 1) == 0) {
+      auto t = stream.Pop();
+      if (!t.has_value()) break;
+      ASSERT_EQ(t->event_time, expected++);
+    } else {
+      auto batch = stream.PopBatch(static_cast<std::size_t>(
+          rng.UniformInt(1, 64)));
+      if (!batch.has_value()) break;
+      for (const Tuple& t : *batch) ASSERT_EQ(t.event_time, expected++);
+    }
+  }
+  producer.join();
+  EXPECT_EQ(expected, kTotal);
+  EXPECT_EQ(stream.pushed(), static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(stream.popped(), static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(stream.discarded(), 0u);
+  EXPECT_TRUE(stream.drained());
+}
+
+INSTANTIATE_TEST_SUITE_P(MpmcAndSpsc, StreamTransportEquivalence,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Spsc" : "Mpmc";
+                         });
 
 TEST(Stream, ConcurrentProducerConsumer) {
   Stream stream("s", 16);
