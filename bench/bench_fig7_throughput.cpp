@@ -15,10 +15,16 @@
 //
 // Env knobs: STRATA_FIG7_PX (default 1000), STRATA_FIG7_FRAMES (default 24),
 //            STRATA_FIG7_MAXRATE (default 256).
+//
+// `--trace-out <file>` additionally runs one traced trial after the sweep
+// (sampling 1/16) and writes a Chrome trace-event JSON for Perfetto, plus a
+// per-stage latency breakdown appended to the bench artifact.
 #include <cmath>
+#include <cstring>
 
 #include "bench_json.hpp"
 #include "figure_common.hpp"
+#include "obs/trace.hpp"
 
 using namespace strata;         // NOLINT
 using namespace strata::bench;  // NOLINT
@@ -171,9 +177,68 @@ SweepPoint RunReplayTrial(const FrameCache& cache, int cell_px, double rate,
                     blocked_us / 1000.0};
 }
 
+/// One trial with sampling at 1/16: exports the spans as a Chrome trace for
+/// Perfetto and appends the per-stage latency breakdown to the artifact.
+/// Runs after the sweep so tracing overhead never touches the headline
+/// numbers.
+void RunTracedTrial(const FrameCache& cache, int image_px,
+                    const char* trace_path, JsonLinesWriter* out) {
+  const int cell_px = std::max(1, 20 * image_px / 2000);
+  obs::Tracer& tracer = obs::Tracer::Instance();
+  tracer.Configure(16);
+  tracer.Clear();
+  std::printf("--- traced trial (cell 20x20, rate 32, sample 1/16) ---\n");
+  const SweepPoint point =
+      RunReplayTrial(cache, cell_px, /*rate=*/32, /*images=*/128);
+  const std::vector<obs::Span> spans = tracer.CollectSpans();
+  tracer.Configure(0);
+  tracer.Clear();
+  std::printf("    achieved %.1f img/s, %.1f kcells/s, %zu spans\n",
+              point.achieved_images_s, point.kcells_s, spans.size());
+
+  if (std::FILE* f = std::fopen(trace_path, "w"); f != nullptr) {
+    const std::string json = obs::Tracer::ToChromeTrace(spans);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("    chrome trace -> %s (load in Perfetto)\n", trace_path);
+  } else {
+    std::printf("    cannot open %s for writing\n", trace_path);
+  }
+
+  std::printf("%28s %8s %10s %10s %10s %10s %12s\n", "stage", "spans",
+              "exec p50", "exec p95", "exec p99", "queue p50", "total(ms)");
+  for (const obs::StageStats& stage : obs::Tracer::Summarize(spans)) {
+    const std::string label = stage.category + "/" + stage.name;
+    std::printf("%28s %8llu %8lldus %8lldus %8lldus %8lldus %12.1f\n",
+                label.c_str(),
+                static_cast<unsigned long long>(stage.count),
+                static_cast<long long>(stage.exec_p50_us),
+                static_cast<long long>(stage.exec_p95_us),
+                static_cast<long long>(stage.exec_p99_us),
+                static_cast<long long>(stage.queue_p50_us),
+                stage.total_exec_us / 1000.0);
+    out->Line(JsonObject()
+                  .Str("bench", "bench_fig7_throughput")
+                  .Str("kind", "stage_breakdown")
+                  .Str("category", stage.category)
+                  .Str("stage", stage.name)
+                  .Int("spans", static_cast<long long>(stage.count))
+                  .Int("exec_p50_us", stage.exec_p50_us)
+                  .Int("exec_p95_us", stage.exec_p95_us)
+                  .Int("exec_p99_us", stage.exec_p99_us)
+                  .Int("queue_p50_us", stage.queue_p50_us)
+                  .Int("queue_p95_us", stage.queue_p95_us)
+                  .Int("total_exec_us", stage.total_exec_us));
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* trace_out = nullptr;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[i + 1];
+  }
   const int image_px = EnvInt("STRATA_FIG7_PX", 1000);
   const int frame_count = EnvInt("STRATA_FIG7_FRAMES", 24);
   const int max_rate = EnvInt("STRATA_FIG7_MAXRATE", 256);
@@ -216,5 +281,7 @@ int main() {
     }
     std::printf("\n");
   }
+
+  if (trace_out != nullptr) RunTracedTrial(cache, image_px, trace_out, &out);
   return 0;
 }

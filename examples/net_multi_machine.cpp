@@ -14,14 +14,23 @@
 // cluster reports — the transport must not change the analysis.
 //
 //   build/examples/net_multi_machine [layers]
+//
+// Tracing: with STRATA_TRACE_SAMPLE=1 STRATA_TRACE_OUT=/tmp/strata_trace
+// each process writes its sampled spans to <out>.<role>.json (Chrome
+// trace-event format; merge the traceEvents arrays to see one build across
+// both processes), and the analysis side prints how many layers — SPE
+// operators, pub/sub connectors, net frames, KV store — the deepest trace
+// crossed. The child inherits the env, so one command traces both halves.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "strata/usecase.hpp"
 
 using namespace strata;        // NOLINT
@@ -63,6 +72,55 @@ Fingerprint FingerprintOf(const std::vector<ClusterReport>& reports) {
   return fp;
 }
 
+/// When STRATA_TRACE_OUT is set, dumps this process's sampled spans to
+/// `<out>.<role>.json` as a Chrome trace and returns them for summarising.
+std::vector<obs::Span> DumpTrace(const char* role) {
+  const char* base = std::getenv("STRATA_TRACE_OUT");
+  if (base == nullptr || *base == '\0') return {};
+  const std::vector<obs::Span> spans = obs::Tracer::Instance().CollectSpans();
+  const std::string path = std::string(base) + "." + role + ".json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w"); f != nullptr) {
+    const std::string json = obs::Tracer::ToChromeTrace(spans);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("[%s] %zu spans -> %s\n", role, spans.size(), path.c_str());
+  }
+  return spans;
+}
+
+/// Per-trace layer coverage: which of spe / pubsub / net / kv a trace id
+/// produced spans in. The analysis process hosts the broker server, so its
+/// spans alone cover all four layers for traces born at the collector.
+void PrintTraceDepth(const std::vector<obs::Span>& spans) {
+  std::map<std::uint64_t, std::set<std::string>> layers_by_trace;
+  for (const obs::Span& span : spans) {
+    std::string layer = span.category;
+    if (const std::size_t dot = layer.find('.'); dot != std::string::npos) {
+      layer.resize(dot);
+    }
+    layers_by_trace[span.trace_id].insert(std::move(layer));
+  }
+  std::size_t deepest = 0;
+  std::uint64_t deepest_id = 0;
+  std::size_t full_depth = 0;
+  for (const auto& [trace_id, layers] : layers_by_trace) {
+    if (layers.size() > deepest) {
+      deepest = layers.size();
+      deepest_id = trace_id;
+    }
+    if (layers.size() >= 4) ++full_depth;
+  }
+  if (deepest_id == 0) return;
+  std::string joined;
+  for (const std::string& layer : layers_by_trace[deepest_id]) {
+    joined += (joined.empty() ? "" : ", ") + layer;
+  }
+  std::printf("[analysis] deepest trace %llx crossed %zu layers (%s); "
+              "%zu traces crossed >= 4\n",
+              static_cast<unsigned long long>(deepest_id), deepest,
+              joined.c_str(), full_depth);
+}
+
 /// Child role: the machine-side process. Publishes the raw pp/ot streams to
 /// the broker at `port` and exits when the build ends.
 int RunCollector(std::uint16_t port, int layers) {
@@ -82,6 +140,7 @@ int RunCollector(std::uint16_t port, int layers) {
   strata_rt.ExportSource("ot." + id, OtImageCollector(machine, pacing));
   strata_rt.Deploy();
   strata_rt.WaitForCompletion();
+  DumpTrace("collector");
   std::printf("[collector pid] build finished, %d layers exported\n", layers);
   return 0;
 }
@@ -160,6 +219,14 @@ int main(int argc, char** argv) {
       analysis.ImportSource("ot." + params.machine_id),
       machine_params.job.plate.PxPerMm(), params,
       [&](const ClusterReport& report) {
+        // Persist every window verdict: the expert's record of the build,
+        // and the hop that takes a sampled trace into the KV layer.
+        analysis
+            .Store("report/" + std::to_string(report.layer) + "/" +
+                       std::to_string(report.specimen),
+                   std::to_string(report.clusters.size()) + " clusters, " +
+                       std::to_string(report.window_events) + " events")
+            .OrDie();
         std::lock_guard lock(mu);
         networked.push_back(report);
       });
@@ -167,6 +234,7 @@ int main(int argc, char** argv) {
   analysis.WaitForCompletion();
   collector.join();
   server.Stop();
+  PrintTraceDepth(DumpTrace("analysis"));
 
   const Histogram latency = sink->LatencySnapshot();
   std::printf("  %zu cluster reports, delivery latency p50=%.1f ms "

@@ -5,14 +5,35 @@
 // stored in the key-value store; results reach the expert callback.
 //
 //   build/examples/quickstart
+//
+// Env knobs (useful for scraping the admin endpoint while it runs):
+//   STRATA_ADMIN_ADDR=127.0.0.1:9464   serve /metrics, /healthz, /tracez
+//   STRATA_QUICKSTART_LAYERS=50        build length
+//   STRATA_QUICKSTART_PERIOD_MS=0     per-layer pacing (0 = as fast as
+//                                      possible; set ~100 to keep the
+//                                      pipeline alive long enough to curl)
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "strata/strata.hpp"
 
 using strata::core::Strata;
 using strata::spe::Tuple;
 
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' ? std::atoi(value) : fallback;
+}
+
+}  // namespace
+
 int main() {
+  const int layers = EnvInt("STRATA_QUICKSTART_LAYERS", 50);
+  const int period_ms = EnvInt("STRATA_QUICKSTART_PERIOD_MS", 0);
   Strata strata;
 
   // Data at rest: a threshold computed from "previous jobs".
@@ -21,8 +42,11 @@ int main() {
   // A collector producing one tuple per layer with a synthetic temperature.
   auto next_layer = std::make_shared<int>(0);
   auto source = strata.AddSource(
-      "thermo", [next_layer]() -> std::optional<Tuple> {
-        if (*next_layer >= 50) return std::nullopt;
+      "thermo", [next_layer, layers, period_ms]() -> std::optional<Tuple> {
+        if (*next_layer >= layers) return std::nullopt;
+        if (period_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(period_ms));
+        }
         Tuple t;
         t.job = 1;
         t.layer = (*next_layer)++;
@@ -52,6 +76,10 @@ int main() {
   });
 
   strata.Deploy();
+  if (const std::string admin = strata.admin_addr(); !admin.empty()) {
+    std::printf("admin endpoint: http://%s  (/metrics /healthz /tracez /varz)\n",
+                admin.c_str());
+  }
   strata.WaitForCompletion();
 
   const auto latency = sink->LatencySnapshot();

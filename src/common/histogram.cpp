@@ -105,6 +105,25 @@ std::int64_t Histogram::Quantile(double q) const noexcept {
   return max_;
 }
 
+std::vector<std::uint64_t> Histogram::CumulativeBuckets(
+    const std::vector<std::int64_t>& bounds) const {
+  std::vector<std::uint64_t> out(bounds.size(), 0);
+  // Bucket midpoints ascend with the index, so one walk fills every bound.
+  std::size_t b = 0;
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const std::int64_t midpoint = BucketMidpoint(static_cast<int>(i));
+    while (b < bounds.size() && bounds[b] < midpoint) {
+      out[b++] = running;
+    }
+    if (b == bounds.size()) break;
+    running += buckets_[i];
+  }
+  while (b < bounds.size()) out[b++] = running;
+  return out;
+}
+
 BoxplotStats Histogram::Boxplot() const noexcept {
   BoxplotStats s;
   s.count = count_;

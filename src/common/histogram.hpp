@@ -39,6 +39,15 @@ class Histogram {
   [[nodiscard]] std::int64_t min() const noexcept;
   [[nodiscard]] std::int64_t max() const noexcept { return max_; }
   [[nodiscard]] double mean() const noexcept;
+  /// Total of all recorded samples (exact, not bucket-approximated).
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Cumulative counts for Prometheus exposition: out[i] = number of samples
+  /// whose bucket midpoint is <= bounds[i]. `bounds` must be ascending; the
+  /// result is then monotone non-decreasing, and samples beyond the last
+  /// bound appear only in the implicit +Inf bucket (== count()).
+  [[nodiscard]] std::vector<std::uint64_t> CumulativeBuckets(
+      const std::vector<std::int64_t>& bounds) const;
 
   /// Value at quantile q in [0,1], approximated by bucket midpoint.
   [[nodiscard]] std::int64_t Quantile(double q) const noexcept;

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "common/trace_context.hpp"
+
 namespace strata {
 
 Logger& Logger::Instance() {
@@ -30,6 +32,11 @@ std::mutex g_write_mu;
 }  // namespace
 
 void Logger::Write(LogLevel level, const std::string& message) {
+  if (level == LogLevel::kWarn) {
+    warnings_.fetch_add(1, std::memory_order_relaxed);
+  } else if (level == LogLevel::kError) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
   const auto now = std::chrono::system_clock::now().time_since_epoch();
   const auto ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
@@ -43,6 +50,11 @@ void Logger::Write(LogLevel level, const std::string& message) {
 namespace internal {
 
 LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
+  // Lines logged under an active sampled span carry its trace id, so log
+  // output greps straight to the matching spans in /tracez.
+  if (const TraceContext& trace = ThreadTraceSlot(); trace.trace_id != 0) {
+    os_ << "trace=" << std::hex << trace.trace_id << std::dec << " ";
+  }
   const char* base = file;
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;

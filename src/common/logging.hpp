@@ -1,8 +1,13 @@
 // Minimal leveled logger. Thread-safe line-buffered output to stderr; the
 // global level gates cheaply before message formatting.
+//
+// Lines written from a thread with an active sampled trace span are prefixed
+// `trace=<hex id>`, so `grep trace=<id>` correlates log output with the spans
+// of the same pipeline batch in /tracez or an exported Chrome trace.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -26,10 +31,29 @@ class Logger {
 
   void Write(LogLevel level, const std::string& message);
 
+  /// Process-lifetime counts of warn/error lines actually written (level
+  /// gating applied). Exported as obs.log.warnings / obs.log.errors.
+  [[nodiscard]] std::uint64_t warning_count() const noexcept {
+    return warnings_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t error_count() const noexcept {
+    return errors_.load(std::memory_order_relaxed);
+  }
+
  private:
   Logger() = default;
   std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+  std::atomic<std::uint64_t> warnings_{0};
+  std::atomic<std::uint64_t> errors_{0};
 };
+
+/// Shorthands for the metrics callback in the Strata facade.
+[[nodiscard]] inline std::uint64_t LogWarningCount() noexcept {
+  return Logger::Instance().warning_count();
+}
+[[nodiscard]] inline std::uint64_t LogErrorCount() noexcept {
+  return Logger::Instance().error_count();
+}
 
 namespace internal {
 /// Accumulates one log line and emits it on destruction.

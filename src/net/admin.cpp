@@ -1,0 +1,231 @@
+#include "net/admin.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "common/logging.hpp"
+#include "fault/failpoint.hpp"
+
+namespace strata::net {
+
+namespace {
+
+/// Cap on one request head (line + headers): nothing an admin client sends
+/// legitimately comes close, and it bounds memory against garbage peers.
+constexpr std::size_t kMaxHeadBytes = 8 * 1024;
+
+/// A peer that connects must deliver its request promptly; this is an admin
+/// endpoint, not a long-poll API.
+constexpr std::chrono::seconds kReadTimeout{5};
+constexpr std::chrono::seconds kWriteTimeout{5};
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+void SerializeResponse(const AdminServer::Response& response,
+                       std::string* out) {
+  out->append("HTTP/1.0 ");
+  out->append(std::to_string(response.status));
+  out->append(" ");
+  out->append(StatusText(response.status));
+  out->append("\r\nContent-Type: ");
+  out->append(response.content_type);
+  out->append("\r\nContent-Length: ");
+  out->append(std::to_string(response.body.size()));
+  out->append("\r\nConnection: close\r\n\r\n");
+  out->append(response.body);
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminOptions options)
+    : options_(std::move(options)) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::Route(std::string path, Handler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+Status AdminServer::Start() {
+  if (started_) return Status::InvalidArgument("admin server already started");
+  auto listener = ListenSocket::Listen(options_.host, options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  started_ = true;
+  stopping_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  LOG_INFO << "net: admin server listening on http://" << options_.host << ":"
+           << port_;
+  return Status::Ok();
+}
+
+void AdminServer::Stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard lock(mu_);
+    connections.swap(connections_);
+  }
+  for (auto& conn : connections) {
+    conn->socket.Shutdown();  // unblocks a handler parked in ReadFully
+  }
+  for (auto& conn : connections) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  started_ = false;
+}
+
+void AdminServer::ReapFinishedLocked() {
+  std::erase_if(connections_, [](const std::unique_ptr<Connection>& conn) {
+    if (!conn->done.load(std::memory_order_acquire)) return false;
+    if (conn->thread.joinable()) conn->thread.join();
+    return true;
+  });
+}
+
+void AdminServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto accepted = listener_.Accept(After(std::chrono::milliseconds(200)));
+    if (!accepted.ok()) {
+      if (accepted.status().IsTimeout()) continue;
+      if (!stopping_.load(std::memory_order_relaxed)) {
+        LOG_ERROR << "net: admin accept failed: "
+                  << accepted.status().ToString();
+      }
+      return;
+    }
+    // Failpoint "net.admin.accept": refuse the connection. The data plane
+    // must shrug — scrapers retry, pipelines never notice.
+    if (fault::AnyActive() && !fault::Evaluate("net.admin.accept").ok()) {
+      continue;  // Socket destructor closes the accepted fd
+    }
+    auto conn = std::make_unique<Connection>(std::move(*accepted));
+    Connection* raw = conn.get();
+    {
+      std::lock_guard lock(mu_);
+      ReapFinishedLocked();
+      connections_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+  }
+}
+
+Status AdminServer::ReadRequestHead(Socket* socket, std::string* head) {
+  // Byte-at-a-time until the blank line: trivially correct, and admin
+  // request heads are ~100 bytes — throughput is not a goal here.
+  const Deadline deadline = After(kReadTimeout);
+  char c = 0;
+  while (head->size() < kMaxHeadBytes) {
+    STRATA_RETURN_IF_ERROR(socket->ReadFully(&c, 1, deadline));
+    head->push_back(c);
+    if (head->size() >= 4 && head->compare(head->size() - 4, 4, "\r\n\r\n") == 0) {
+      return Status::Ok();
+    }
+    // Tolerate bare-\n clients (nc, hand-typed requests).
+    if (head->size() >= 2 && head->compare(head->size() - 2, 2, "\n\n") == 0) {
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument("request head exceeds " +
+                                 std::to_string(kMaxHeadBytes) + " bytes");
+}
+
+AdminServer::Response AdminServer::Dispatch(std::string_view method,
+                                            std::string_view target) {
+  if (method != "GET") {
+    return Response{405, "text/plain; charset=utf-8",
+                    "only GET is supported\n"};
+  }
+  std::string_view path = target;
+  std::string_view query;
+  if (const std::size_t q = target.find('?'); q != std::string_view::npos) {
+    path = target.substr(0, q);
+    query = target.substr(q + 1);
+  }
+  const auto it = routes_.find(std::string(path));
+  if (it == routes_.end()) {
+    std::string body = "not found. routes:\n";
+    for (const auto& [route, handler] : routes_) {
+      body += "  " + route + "\n";
+    }
+    return Response{404, "text/plain; charset=utf-8", std::move(body)};
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics
+        ->GetCounter("net.admin.requests", {{"path", std::string(path)}})
+        ->Inc();
+  }
+  try {
+    return it->second(query);
+  } catch (const std::exception& e) {
+    LOG_ERROR << "net: admin handler " << path << " threw: " << e.what();
+    return Response{500, "text/plain; charset=utf-8",
+                    std::string("handler error: ") + e.what() + "\n"};
+  }
+}
+
+void AdminServer::ServeConnection(Connection* conn) {
+  std::string head;
+  Response response;
+  if (Status read = ReadRequestHead(&conn->socket, &head); !read.ok()) {
+    response = Response{400, "text/plain; charset=utf-8",
+                        "bad request: " + read.ToString() + "\n"};
+  } else {
+    // Request line: METHOD SP TARGET SP VERSION. Headers are ignored.
+    const std::size_t line_end = head.find_first_of("\r\n");
+    std::string_view line(head.data(), line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos ||
+        line.substr(sp2 + 1).rfind("HTTP/", 0) != 0) {
+      response = Response{400, "text/plain; charset=utf-8",
+                          "malformed request line\n"};
+    } else {
+      response = Dispatch(line.substr(0, sp1),
+                          line.substr(sp1 + 1, sp2 - sp1 - 1));
+    }
+  }
+
+  std::string wire;
+  SerializeResponse(response, &wire);
+  // Failpoint "net.admin.write": die between reading the request and
+  // answering it — the worst-behaved admin endpoint a client can meet.
+  if (fault::AnyActive() && !fault::Evaluate("net.admin.write").ok()) {
+    LOG_WARN << "net: dropping admin connection at net.admin.write failpoint";
+  } else if (Status written =
+                 conn->socket.WriteAll(wire, After(kWriteTimeout));
+             !written.ok() && !stopping_.load(std::memory_order_relaxed)) {
+    LOG_DEBUG << "net: admin response write failed: " << written.ToString();
+  }
+  // Shutdown, not Close: Stop() may call Shutdown() on this socket from
+  // another thread concurrently, and shutdown(2) only reads the fd while
+  // Close() would recycle it under Stop's feet. The fd itself is released
+  // by the Connection destructor after its thread is joined (reap or Stop).
+  conn->socket.Shutdown();
+  conn->done.store(true, std::memory_order_release);
+}
+
+}  // namespace strata::net

@@ -5,23 +5,51 @@
 
 namespace strata::net {
 
+namespace {
+constexpr std::size_t kTraceBlockBytes = 16;  // trace id + parent span, LE
+}  // namespace
+
 void EncodeFrame(std::string_view payload, std::string* out) {
   codec::PutFixed32(out, static_cast<std::uint32_t>(payload.size()));
   codec::PutFixed32(out, MaskCrc(Crc32c(payload)));
   out->append(payload.data(), payload.size());
 }
 
-Status WriteFrame(Socket* socket, std::string_view payload, Deadline deadline) {
+void EncodeFrame(std::string_view payload, const TraceContext& trace,
+                 std::string* out) {
+  if (!trace.sampled()) {
+    EncodeFrame(payload, out);
+    return;
+  }
+  codec::PutFixed32(out,
+                    static_cast<std::uint32_t>(payload.size()) | kFrameTraceFlag);
+  std::string block;
+  block.reserve(kTraceBlockBytes);
+  codec::PutFixed64(&block, trace.trace_id);
+  codec::PutFixed64(&block, trace.parent_span);
+  codec::PutFixed32(out, MaskCrc(Crc32c(payload, Crc32c(block))));
+  out->append(block);
+  out->append(payload.data(), payload.size());
+}
+
+Status WriteFrame(Socket* socket, std::string_view payload, Deadline deadline,
+                  const TraceContext* trace) {
   if (payload.size() > kMaxFrameBytes) {
     return Status::InvalidArgument("frame payload exceeds kMaxFrameBytes");
   }
   std::string frame;
-  frame.reserve(8 + payload.size());
-  EncodeFrame(payload, &frame);
+  frame.reserve(8 + kTraceBlockBytes + payload.size());
+  if (trace != nullptr) {
+    EncodeFrame(payload, *trace, &frame);
+  } else {
+    EncodeFrame(payload, &frame);
+  }
   return socket->WriteAll(frame, deadline);
 }
 
-Status ReadFrame(Socket* socket, std::string* payload, Deadline deadline) {
+Status ReadFrame(Socket* socket, std::string* payload, Deadline deadline,
+                 TraceContext* trace) {
+  if (trace != nullptr) *trace = TraceContext{};
   char header[8];
   STRATA_RETURN_IF_ERROR(socket->ReadFully(header, sizeof(header), deadline));
   std::string_view cursor(header, sizeof(header));
@@ -29,13 +57,30 @@ Status ReadFrame(Socket* socket, std::string* payload, Deadline deadline) {
   std::uint32_t masked = 0;
   codec::GetFixed32(&cursor, &length);
   codec::GetFixed32(&cursor, &masked);
+  const bool traced = (length & kFrameTraceFlag) != 0;
+  length &= ~kFrameTraceFlag;
   if (length > kMaxFrameBytes) {
     return Status::Corruption("frame length " + std::to_string(length) +
                               " exceeds limit (desynchronized stream?)");
   }
+  std::uint32_t crc = 0;
+  if (traced) {
+    char block[kTraceBlockBytes];
+    STRATA_RETURN_IF_ERROR(socket->ReadFully(block, sizeof(block), deadline));
+    crc = Crc32c(std::string_view(block, sizeof(block)));
+    std::string_view block_cursor(block, sizeof(block));
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent_span = 0;
+    codec::GetFixed64(&block_cursor, &trace_id);
+    codec::GetFixed64(&block_cursor, &parent_span);
+    if (trace != nullptr) {
+      trace->trace_id = trace_id;
+      trace->parent_span = parent_span;
+    }
+  }
   payload->resize(length);
   STRATA_RETURN_IF_ERROR(socket->ReadFully(payload->data(), length, deadline));
-  if (Crc32c(*payload) != UnmaskCrc(masked)) {
+  if (Crc32c(*payload, crc) != UnmaskCrc(masked)) {
     return Status::Corruption("frame checksum mismatch");
   }
   return Status::Ok();

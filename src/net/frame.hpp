@@ -1,15 +1,24 @@
 // Wire framing for the broker protocol: every message travels as
 //
-//   length(4, LE) | masked_crc32c(4, LE) | payload(length)
+//   length(4, LE) | masked_crc32c(4, LE) | [trace(16)] | payload
 //
-// The CRC (Castagnoli, masked as in the storage formats) covers the payload,
-// so a flipped bit anywhere surfaces as Status::Corruption instead of a
-// garbage decode. Lengths above kMaxFrameBytes are rejected before any
-// allocation, which also cheaply catches desynchronized streams.
+// The low 31 bits of the length word are the payload size; the top bit
+// (kFrameTraceFlag, protocol v2) marks a fixed 16-byte trace-context block
+// (trace id + parent span id, LE) between the header and the payload. The
+// CRC (Castagnoli, masked as in the storage formats) covers the trace block
+// and the payload, so a flipped bit anywhere surfaces as Status::Corruption
+// instead of a garbage decode. Lengths above kMaxFrameBytes are rejected
+// before any allocation, which also cheaply catches desynchronized streams.
+//
+// Interop: a v1 peer reading a flagged frame sees an implausible length and
+// drops the connection, so writers only set the flag after Hello negotiation
+// (see protocol.hpp) confirms the peer speaks v2. Readers here accept both
+// forms unconditionally.
 #pragma once
 
 #include <string>
 
+#include "common/trace_context.hpp"
 #include "net/socket.hpp"
 
 namespace strata::net {
@@ -18,17 +27,30 @@ namespace strata::net {
 /// tuple with headroom; small enough that a corrupt length cannot OOM us.
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
-/// Serialize `payload` into a frame appended to `*out`.
+/// Length-word bit marking the optional trace-context block (v2 frames).
+inline constexpr std::uint32_t kFrameTraceFlag = 0x80000000u;
+
+/// Serialize `payload` into a v1 frame appended to `*out`.
 void EncodeFrame(std::string_view payload, std::string* out);
 
-/// Write one frame.
+/// Serialize a frame appended to `*out`; emits the v2 trace block iff
+/// `trace.sampled()`. Only use toward peers that negotiated v2.
+void EncodeFrame(std::string_view payload, const TraceContext& trace,
+                 std::string* out);
+
+/// Write one frame. When `trace` is non-null and sampled, the frame carries
+/// the v2 trace block — the caller is responsible for having negotiated v2.
 [[nodiscard]] Status WriteFrame(Socket* socket, std::string_view payload,
-                                Deadline deadline);
+                                Deadline deadline,
+                                const TraceContext* trace = nullptr);
 
 /// Read one frame into `*payload`. Corruption on CRC mismatch or an
 /// implausible length; otherwise forwards the socket's status (Unavailable
-/// on peer close, Timeout past the deadline).
+/// on peer close, Timeout past the deadline). A v2 trace block, when
+/// present, is stored into `*trace` (ignored when `trace` is null); callers
+/// get a zero context otherwise.
 [[nodiscard]] Status ReadFrame(Socket* socket, std::string* payload,
-                               Deadline deadline);
+                               Deadline deadline,
+                               TraceContext* trace = nullptr);
 
 }  // namespace strata::net

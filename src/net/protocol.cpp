@@ -60,6 +60,8 @@ const char* ApiKeyName(ApiKey api) noexcept {
       return "commit_offset";
     case ApiKey::kOffsetFetch:
       return "offset_fetch";
+    case ApiKey::kHello:
+      return "hello";
   }
   return "unknown";
 }
@@ -76,7 +78,7 @@ Status DecodeRequest(std::string_view payload, ApiKey* api,
   if (payload.empty()) return Truncated("request");
   const auto key = static_cast<std::uint8_t>(payload.front());
   if (key < static_cast<std::uint8_t>(ApiKey::kCreateTopic) ||
-      key > static_cast<std::uint8_t>(ApiKey::kOffsetFetch)) {
+      key > static_cast<std::uint8_t>(ApiKey::kHello)) {
     return Status::Corruption("protocol: unknown api key " +
                               std::to_string(key));
   }
@@ -419,6 +421,28 @@ Status DecodeOffsetFetchResponse(std::string_view in,
       return Truncated("offset_fetch offset");
     }
     out->offsets.push_back(offset);
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeHelloRequest(const HelloRequest& req, std::string* out) {
+  codec::PutVarint32(out, req.max_version);
+}
+
+Status DecodeHelloRequest(std::string_view in, HelloRequest* out) {
+  if (!codec::GetVarint32(&in, &out->max_version) || out->max_version == 0) {
+    return Truncated("hello request");
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeHelloResponse(const HelloResponse& resp, std::string* out) {
+  codec::PutVarint32(out, resp.version);
+}
+
+Status DecodeHelloResponse(std::string_view in, HelloResponse* out) {
+  if (!codec::GetVarint32(&in, &out->version) || out->version == 0) {
+    return Truncated("hello response");
   }
   return ExpectDrained(in);
 }

@@ -30,7 +30,12 @@ enum class ApiKey : std::uint8_t {
   kHeartbeat = 7,
   kCommitOffset = 8,
   kOffsetFetch = 9,
+  kHello = 10,
 };
+
+/// Highest protocol version this build speaks. v1: original framing.
+/// v2: frames may carry the optional trace-context block (frame.hpp).
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Human-readable name for metrics labels and diagnostics.
 [[nodiscard]] const char* ApiKeyName(ApiKey api) noexcept;
@@ -79,6 +84,14 @@ struct OffsetFetchRequest {
   std::vector<ps::TopicPartition> partitions;
 };
 
+/// Version negotiation, sent once per connection before other requests. A
+/// pre-v2 server does not know the api key and severs the connection without
+/// a response; clients treat that as "peer speaks v1" and reconnect (see
+/// ClientConnection::EnsureConnected).
+struct HelloRequest {
+  std::uint32_t max_version = kProtocolVersion;
+};
+
 // --- response bodies --------------------------------------------------------
 
 struct TopicMetadata {
@@ -124,6 +137,11 @@ struct OffsetFetchResponse {
   /// Parallel to the request's partitions; kNone = no committed offset.
   static constexpr std::int64_t kNone = -1;
   std::vector<std::int64_t> offsets;
+};
+
+struct HelloResponse {
+  /// min(request.max_version, kProtocolVersion): the version both ends speak.
+  std::uint32_t version = 1;
 };
 
 // --- envelope ---------------------------------------------------------------
@@ -190,5 +208,12 @@ void EncodeOffsetFetchResponse(const OffsetFetchResponse& resp,
                                std::string* out);
 [[nodiscard]] Status DecodeOffsetFetchResponse(std::string_view in,
                                                OffsetFetchResponse* out);
+
+void EncodeHelloRequest(const HelloRequest& req, std::string* out);
+[[nodiscard]] Status DecodeHelloRequest(std::string_view in,
+                                        HelloRequest* out);
+void EncodeHelloResponse(const HelloResponse& resp, std::string* out);
+[[nodiscard]] Status DecodeHelloResponse(std::string_view in,
+                                         HelloResponse* out);
 
 }  // namespace strata::net

@@ -4,7 +4,9 @@
 #include <thread>
 
 #include "common/logging.hpp"
+#include "common/trace_context.hpp"
 #include "net/frame.hpp"
+#include "obs/trace.hpp"
 
 namespace strata::net {
 
@@ -45,7 +47,38 @@ Status ClientConnection::EnsureConnected() {
       Socket::Connect(options_.host, options_.port, After(options_.connect_timeout));
   if (!socket.ok()) return socket.status();
   socket_ = std::move(*socket);
+  server_version_ = 1;
   if (reconnects_ != nullptr) reconnects_->Inc();
+  return Negotiate();
+}
+
+Status ClientConnection::Negotiate() {
+  if (assume_v1_ || kProtocolVersion < 2) return Status::Ok();
+  std::string body;
+  EncodeHelloRequest(HelloRequest{}, &body);
+  scratch_.clear();
+  EncodeRequest(ApiKey::kHello, body, &scratch_);
+  const Deadline deadline = After(options_.request_timeout);
+  Status status = WriteFrame(&socket_, scratch_, deadline);
+  std::string payload;
+  if (status.ok()) status = ReadFrame(&socket_, &payload, deadline);
+  if (!status.ok()) {
+    // A pre-v2 server severs the connection on the unknown api key instead
+    // of responding. Remember that and reconnect plain-v1; do not surface
+    // the probe failure — the caller's request is about to retry anyway.
+    assume_v1_ = true;
+    socket_.Close();
+    LOG_DEBUG << "net: hello severed (" << status.ToString()
+              << "), assuming v1 peer";
+    return EnsureConnected();
+  }
+  std::string_view response_body;
+  const Status app = DecodeResponse(payload, &response_body);
+  HelloResponse resp;
+  if (app.ok() && DecodeHelloResponse(response_body, &resp).ok()) {
+    server_version_ = std::min(resp.version, kProtocolVersion);
+  }
+  // An application error leaves the connection usable at v1.
   return Status::Ok();
 }
 
@@ -55,7 +88,15 @@ Status ClientConnection::RoundTrip(ApiKey api, std::string_view body,
   scratch_.clear();
   EncodeRequest(api, body, &scratch_);
   const Deadline deadline = After(options_.request_timeout + extra_wait);
-  STRATA_RETURN_IF_ERROR(WriteFrame(&socket_, scratch_, deadline));
+  // Tag the frame with the caller's active span (if any) so the server's
+  // dispatch span joins the same trace. Only v2+ peers understand the flag.
+  const TraceContext* trace = nullptr;
+  TraceContext slot;
+  if (server_version_ >= 2 && obs::TracingEnabled()) {
+    slot = ThreadTraceSlot();
+    if (slot.sampled()) trace = &slot;
+  }
+  STRATA_RETURN_IF_ERROR(WriteFrame(&socket_, scratch_, deadline, trace));
 
   std::string payload;
   STRATA_RETURN_IF_ERROR(ReadFrame(&socket_, &payload, deadline));

@@ -66,10 +66,19 @@ class ClientConnection {
   [[nodiscard]] Status RoundTrip(ApiKey api, std::string_view body,
                                  std::string* response_body,
                                  std::chrono::microseconds extra_wait);
+  /// Sends Hello once per connection to learn the peer's protocol version.
+  /// A pre-v2 server severs the connection instead of answering; that is
+  /// remembered in assume_v1_ so reconnects never pay the probe again.
+  [[nodiscard]] Status Negotiate();
 
   RemoteOptions options_;
   Socket socket_;
   std::string scratch_;
+  /// Version negotiated for the *current* connection (1 until Hello runs).
+  /// Trace-flagged frames are only sent when this is >= 2.
+  std::uint32_t server_version_ = 1;
+  /// Set when the peer severed a Hello: it predates version negotiation.
+  bool assume_v1_ = false;
   obs::Counter* retries_ = nullptr;
   obs::Counter* reconnects_ = nullptr;
 };

@@ -6,6 +6,7 @@
 #include "common/logging.hpp"
 #include "fault/failpoint.hpp"
 #include "net/frame.hpp"
+#include "obs/trace.hpp"
 
 namespace strata::net {
 
@@ -107,7 +108,8 @@ void BrokerServer::ServeConnection(Connection* conn) {
   while (!stopping_.load(std::memory_order_relaxed)) {
     // Block without a deadline: Stop() shuts the socket down to wake us, and
     // an idle client costs nothing but this parked thread.
-    Status read = ReadFrame(&conn->socket, &request, kNoDeadline);
+    TraceContext frame_trace;
+    Status read = ReadFrame(&conn->socket, &request, kNoDeadline, &frame_trace);
     if (!read.ok()) {
       if (read.IsCorruption()) {
         // A corrupt frame may have desynchronized the stream; drop the
@@ -120,7 +122,16 @@ void BrokerServer::ServeConnection(Connection* conn) {
     if (bytes_in_ != nullptr) bytes_in_->Inc(request.size() + 8);
 
     response.clear();
-    Status handled = HandleRequest(conn, request, &response);
+    Status handled;
+    {
+      // Server-side hop of a traced request: dur covers dispatch; the client
+      // frame span is the parent.
+      obs::SpanScope span;
+      if (frame_trace.sampled() && obs::TracingEnabled()) {
+        span = obs::SpanScope("server.dispatch", "net", frame_trace);
+      }
+      handled = HandleRequest(conn, request, &response);
+    }
     // Failpoint "net.server.dispatch": sever the connection after the request
     // was applied but before the response goes out — the crash window that
     // makes produce at-least-once (the client retries an applied request).
@@ -130,8 +141,13 @@ void BrokerServer::ServeConnection(Connection* conn) {
     }
     Status written = Status::Ok();
     if (!response.empty()) {  // empty = the request envelope didn't decode
+      // Echo the request's trace onto the response frame for v2 peers, so
+      // the reply leg is attributable to the same trace.
+      const TraceContext* response_trace =
+          conn->peer_version >= 2 && frame_trace.sampled() ? &frame_trace
+                                                           : nullptr;
       written = WriteFrame(&conn->socket, response,
-                           After(options_.write_timeout));
+                           After(options_.write_timeout), response_trace);
       if (written.ok() && bytes_out_ != nullptr) {
         bytes_out_->Inc(response.size() + 8);
       }
@@ -283,6 +299,15 @@ Status BrokerServer::HandleRequest(Connection* conn, std::string_view payload,
           }
         }
         if (status.ok()) EncodeOffsetFetchResponse(resp, &out);
+      }
+      break;
+    }
+    case ApiKey::kHello: {
+      HelloRequest req;
+      status = DecodeHelloRequest(body, &req);
+      if (status.ok()) {
+        conn->peer_version = std::min(req.max_version, kProtocolVersion);
+        EncodeHelloResponse(HelloResponse{conn->peer_version}, &out);
       }
       break;
     }

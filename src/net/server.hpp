@@ -72,6 +72,9 @@ class BrokerServer {
     std::thread thread;
     /// Groups joined through this connection; auto-left on disconnect.
     std::vector<std::pair<std::string, ps::MemberId>> memberships;
+    /// Negotiated protocol version (1 until the client sends Hello). The
+    /// server writes trace-flagged frames only to v2+ peers.
+    std::uint32_t peer_version = 1;
     std::atomic<bool> done{false};
   };
 

@@ -69,6 +69,14 @@ std::string JsonEscape(const std::string& in) {
   return out;
 }
 
+/// `le` bounds used for registry-owned histograms, microsecond-scaled (the
+/// repo's histograms record latencies in µs). ~2 buckets per decade keeps
+/// the exposition small while the log-linear source stays far finer.
+const std::vector<std::int64_t> kPrometheusBucketBounds = {
+    10,      25,      50,      100,       250,       500,       1'000,
+    2'500,   5'000,   10'000,  25'000,    50'000,    100'000,   250'000,
+    500'000, 1'000'000, 2'500'000, 5'000'000, 10'000'000};
+
 std::string FormatValue(double value) {
   // Counters/gauges are integral in practice; print them without decimals.
   if (value == std::floor(value) && std::abs(value) < 1e15) {
@@ -184,6 +192,27 @@ std::string MetricsSnapshot::ToPrometheus() const {
   }
   for (const HistogramSample& h : histograms) {
     const std::string prom = PromName(h.name);
+    if (!h.buckets.empty()) {
+      // Full exposition: cumulative `le` buckets ending in the implicit
+      // +Inf bucket, which by contract equals _count.
+      out += "# TYPE " + prom + " histogram\n";
+      for (const auto& [bound, cumulative] : h.buckets) {
+        Labels labels = h.labels;
+        labels["le"] = FormatValue(static_cast<double>(bound));
+        out += prom + "_bucket" + PromLabels(labels) + " " +
+               FormatValue(static_cast<double>(cumulative)) + "\n";
+      }
+      Labels inf_labels = h.labels;
+      inf_labels["le"] = "+Inf";
+      out += prom + "_bucket" + PromLabels(inf_labels) + " " +
+             FormatValue(static_cast<double>(h.stats.count)) + "\n";
+      out += prom + "_sum" + PromLabels(h.labels) + " " + FormatValue(h.sum) +
+             "\n";
+      out += prom + "_count" + PromLabels(h.labels) + " " +
+             FormatValue(static_cast<double>(h.stats.count)) + "\n";
+      continue;
+    }
+    // Boxplot-only source (pull callback): quantile summary fallback.
     out += "# TYPE " + prom + " summary\n";
     for (const auto& [q, v] :
          {std::pair<const char*, std::int64_t>{"0.5", h.stats.p50},
@@ -282,8 +311,16 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
       snapshot.AddGauge(key.name, key.labels, gauge.value());
     }
     for (const auto& [key, hist] : histograms_) {
-      snapshot.histograms.push_back(
-          HistogramSample{key.name, key.labels, hist.Snapshot().Boxplot()});
+      const Histogram h = hist.Snapshot();
+      HistogramSample sample{key.name, key.labels, h.Boxplot()};
+      const std::vector<std::uint64_t> cumulative =
+          h.CumulativeBuckets(kPrometheusBucketBounds);
+      sample.buckets.reserve(cumulative.size());
+      for (std::size_t i = 0; i < cumulative.size(); ++i) {
+        sample.buckets.emplace_back(kPrometheusBucketBounds[i], cumulative[i]);
+      }
+      sample.sum = h.sum();
+      snapshot.histograms.push_back(std::move(sample));
     }
     callbacks.reserve(callbacks_.size());
     for (const auto& [id, fn] : callbacks_) callbacks.push_back(fn);

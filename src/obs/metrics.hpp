@@ -85,6 +85,12 @@ struct HistogramSample {
   std::string name;
   Labels labels;
   BoxplotStats stats;
+  /// Cumulative Prometheus buckets: (le bound, samples <= bound), bounds
+  /// ascending. Filled for registry-owned histograms; left empty by pull
+  /// callbacks that only supply a BoxplotStats — those render as a summary.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> buckets;
+  /// Exact sum of recorded samples (`_sum`); 0 when buckets is empty.
+  double sum = 0.0;
 };
 
 /// Consistent point-in-time view of every registered metric.

@@ -3,12 +3,69 @@
 #include <functional>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace strata::spe {
 
 namespace {
 /// Poll interval for multi-input operators alternating between streams.
 constexpr auto kPollInterval = std::chrono::microseconds(1000);
+
+/// Span covering one drained batch: active iff tracing is on and the batch
+/// carries a sampled tuple (the batch's trace is its first sampled tuple's
+/// context — see tuple.hpp). Inactive scopes are free apart from the gate's
+/// single relaxed load + branch.
+obs::SpanScope BatchSpan(const char* category, const std::string& name,
+                         const TupleBatch& batch) {
+  if (!obs::TracingEnabled()) return {};
+  for (const Tuple& tuple : batch) {
+    if (tuple.trace.sampled()) {
+      return obs::SpanScope(name.c_str(), category, tuple.trace, batch.size());
+    }
+  }
+  return {};
+}
+
+/// Source-side tracing for a handed-over batch: continues the trace already
+/// carried by a sampled tuple (e.g. decoded by a connector from the broker),
+/// otherwise makes a fresh per-batch sampling decision. `t0` is when the
+/// source function was entered, so the span covers the poll/produce call.
+void TraceSourceBatch(const std::string& name, std::int64_t t0,
+                      TupleBatch* batch) {
+  obs::Tracer& tracer = obs::Tracer::Instance();
+  const Tuple* carried = nullptr;
+  for (const Tuple& tuple : *batch) {
+    if (tuple.trace.sampled()) {
+      carried = &tuple;
+      break;
+    }
+  }
+  TraceContext parent;
+  if (carried != nullptr) {
+    parent = carried->trace;
+  } else {
+    parent = tracer.MaybeStartTrace();
+    if (!parent.sampled()) return;
+  }
+  obs::Span span;
+  span.trace_id = parent.trace_id;
+  span.span_id = tracer.NewSpanId();
+  span.parent_span = parent.parent_span;
+  span.start_us = t0;
+  span.dur_us = obs::TraceNowUs() - t0;
+  span.batch = batch->size();
+  span.SetName(name.c_str());
+  span.SetCategory("spe.source");
+  tracer.Record(span);
+  const TraceContext emit{parent.trace_id, span.span_id};
+  for (Tuple& tuple : *batch) {
+    // A fresh decision covers the whole batch; a carried trace re-stamps only
+    // its own tuples (other concurrently-sampled traces keep their identity).
+    if (carried == nullptr || tuple.trace.trace_id == parent.trace_id) {
+      tuple.trace = emit;
+    }
+  }
+}
 }  // namespace
 
 // ------------------------------------------------------------------ Source
@@ -33,6 +90,8 @@ void SourceOperator::RunTupleLoop() {
   // up to batch_size / linger_us like any other operator.
   Timestamp last_arrival = 0;
   while (!StopRequested()) {
+    const std::int64_t trace_t0 =
+        obs::TracingEnabled() ? obs::TraceNowUs() : 0;
     auto guarded = Guarded([&] { return fn_(); });
     if (!guarded.has_value()) break;  // a throwing source ends its stream
     std::optional<Tuple>& tuple = *guarded;
@@ -40,6 +99,21 @@ void SourceOperator::RunTupleLoop() {
     const Timestamp now = Now();
     if (tuple->stimulus == 0) tuple->stimulus = now;
     CountIn();
+    if (trace_t0 != 0) {
+      obs::Tracer& tracer = obs::Tracer::Instance();
+      if (TraceContext ctx = tracer.MaybeStartTrace(); ctx.sampled()) {
+        obs::Span span;
+        span.trace_id = ctx.trace_id;
+        span.span_id = tracer.NewSpanId();
+        span.start_us = trace_t0;
+        span.dur_us = obs::TraceNowUs() - trace_t0;
+        span.batch = 1;
+        span.SetName(name().c_str());
+        span.SetCategory("spe.source");
+        tracer.Record(span);
+        tuple->trace = TraceContext{ctx.trace_id, span.span_id};
+      }
+    }
     if (!Emit(std::move(*tuple))) break;  // every consumer is gone
     const bool slow_source =
         last_arrival == 0 || now - last_arrival >= linger_us();
@@ -57,10 +131,13 @@ void SourceOperator::RunBatchLoop() {
   // and flushed as a unit: upstream batch boundaries are natural flush
   // points.
   while (!StopRequested()) {
+    const std::int64_t trace_t0 =
+        obs::TracingEnabled() ? obs::TraceNowUs() : 0;
     auto guarded = Guarded([&] { return batch_fn_(); });
     if (!guarded.has_value()) break;
     std::optional<TupleBatch>& batch = *guarded;
     if (!batch.has_value()) break;
+    if (trace_t0 != 0) TraceSourceBatch(name(), trace_t0, &*batch);
     const Timestamp now = Now();
     bool open = true;
     for (Tuple& tuple : *batch) {
@@ -81,11 +158,13 @@ void FlatMapOperator::Run() {
     auto batch = inputs_[0]->PopBatch(batch_size());
     if (!batch.has_value()) break;  // input closed and drained
     CountIn(batch->size());
+    obs::SpanScope span = BatchSpan("spe.flatmap", name(), *batch);
     for (Tuple& tuple : *batch) {
       auto results = Guarded([&] { return fn_(tuple); });
       if (!results.has_value()) continue;  // user error: drop this tuple
       for (Tuple& out : *results) {
         if (out.stimulus == 0) out.stimulus = tuple.stimulus;
+        if (span.active()) out.trace = span.EmitContext();
         if (!(open = Emit(std::move(out)))) break;
       }
       if (!open) break;
@@ -104,9 +183,11 @@ void FilterOperator::Run() {
     auto batch = inputs_[0]->PopBatch(batch_size());
     if (!batch.has_value()) break;
     CountIn(batch->size());
+    obs::SpanScope span = BatchSpan("spe.filter", name(), *batch);
     for (Tuple& tuple : *batch) {
       const auto keep = Guarded([&] { return fn_(tuple); });
       if (!keep.value_or(false)) continue;
+      if (span.active()) tuple.trace = span.EmitContext();
       if (!(open = Emit(std::move(tuple)))) break;
     }
     if (open) MaybeFlush(inputs_[0]->depth() == 0);
@@ -125,9 +206,11 @@ void RouterOperator::Run() {
     auto batch = inputs_[0]->PopBatch(batch_size());
     if (!batch.has_value()) break;
     CountIn(batch->size());
+    obs::SpanScope span = BatchSpan("spe.router", name(), *batch);
     for (Tuple& tuple : *batch) {
       const auto key = Guarded([&] { return key_(tuple); });
       if (!key.has_value()) continue;
+      if (span.active()) tuple.trace = span.EmitContext();
       if (!(open = EmitTo(hasher(*key) % n, std::move(tuple)))) break;
     }
     if (open) MaybeFlush(inputs_[0]->depth() == 0);
@@ -149,7 +232,9 @@ void UnionOperator::Run() {
       // Drain whatever is immediately available from this input.
       while (auto batch = inputs_[i]->TryPopBatch(batch_size())) {
         CountIn(batch->size());
+        obs::SpanScope span = BatchSpan("spe.union", name(), *batch);
         for (Tuple& tuple : *batch) {
+          if (span.active()) tuple.trace = span.EmitContext();
           if (!(open = Emit(std::move(tuple)))) break;
         }
         progressed = true;
@@ -174,7 +259,9 @@ void UnionOperator::Run() {
         if (!done[i]) {
           if (auto batch = inputs_[i]->PopBatchFor(kPollInterval, batch_size())) {
             CountIn(batch->size());
+            obs::SpanScope span = BatchSpan("spe.union", name(), *batch);
             for (Tuple& tuple : *batch) {
+              if (span.active()) tuple.trace = span.EmitContext();
               if (!(open = Emit(std::move(tuple)))) break;
             }
           }
@@ -192,6 +279,9 @@ void UnionOperator::Run() {
 void SinkOperator::Run() {
   while (auto batch = inputs_[0]->PopBatch(batch_size())) {
     CountIn(batch->size());
+    // While the scope is live the thread's trace slot points at it, so kv
+    // store() calls and log lines inside fn_ attach to this trace.
+    obs::SpanScope span = BatchSpan("spe.sink", name(), *batch);
     for (Tuple& tuple : *batch) {
       latency_.Record(Now() - tuple.stimulus);
       if (fn_) {
@@ -239,6 +329,12 @@ void AggregateOperator::CloseWindowsUpTo(Timestamp horizon) {
       for (Tuple& out : *results) {
         if (out.event_time == 0) out.event_time = window_end - 1;
         out.stimulus = CombineStimulus(out.stimulus, window.max_stimulus);
+        if (window.trace.sampled()) {
+          // The window keeps the first sampled contributor's identity; the
+          // emitted result continues that trace (window residency shows up
+          // as the next hop's queue wait).
+          out.trace = window.trace;
+        }
         (void)Emit(std::move(out));  // closed downstream counted as discarded
       }
     }
@@ -276,6 +372,9 @@ void AggregateOperator::Process(const Tuple& tuple) {
     auto [it, inserted] =
         windows_.try_emplace({window_start, key}, Window{});
     if (inserted) it->second.accumulator = spec_.init();
+    if (tuple.trace.sampled() && !it->second.trace.sampled()) {
+      it->second.trace = tuple.trace;
+    }
     spec_.add(it->second.accumulator, tuple);
     it->second.max_stimulus =
         CombineStimulus(it->second.max_stimulus, tuple.stimulus);
@@ -290,6 +389,7 @@ void AggregateOperator::Run() {
     auto batch = inputs_[0]->PopBatch(batch_size());
     if (!batch.has_value()) break;
     CountIn(batch->size());
+    obs::SpanScope span = BatchSpan("spe.aggregate", name(), *batch);
     for (const Tuple& tuple : *batch) {
       (void)Guarded([&] {
         Process(tuple);
@@ -376,6 +476,15 @@ void JoinOperator::ProcessFrom(std::size_t side, Tuple tuple) {
         continue;
       }
     }
+    joined.trace = left.trace.sampled() ? left.trace : right.trace;
+    if (joined.trace.sampled()) {
+      // Parent the joined tuple under the active batch span when it belongs
+      // to the same trace (the buffered side may carry an older context).
+      const TraceContext& current = ThreadTraceSlot();
+      if (current.trace_id == joined.trace.trace_id) {
+        joined.trace.parent_span = current.parent_span;
+      }
+    }
     (void)Emit(std::move(joined));
   }
 
@@ -392,6 +501,7 @@ void JoinOperator::Run() {
       if (done[side]) continue;
       while (auto batch = inputs_[side]->TryPopBatch(batch_size())) {
         CountIn(batch->size());
+        obs::SpanScope span = BatchSpan("spe.join", name(), *batch);
         for (Tuple& tuple : *batch) ProcessFrom(side, std::move(tuple));
         progressed = true;
         if (AllOutputsClosed()) {
@@ -415,6 +525,7 @@ void JoinOperator::Run() {
     const std::size_t side = done[0] ? 1 : 0;
     if (auto batch = inputs_[side]->PopBatchFor(kPollInterval, batch_size())) {
       CountIn(batch->size());
+      obs::SpanScope span = BatchSpan("spe.join", name(), *batch);
       for (Tuple& tuple : *batch) ProcessFrom(side, std::move(tuple));
       if (AllOutputsClosed()) open = false;
     }

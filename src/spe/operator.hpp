@@ -408,6 +408,8 @@ class AggregateOperator final : public Operator {
     std::any accumulator;
     Timestamp max_stimulus = 0;
     Timestamp max_event_time = 0;
+    /// First sampled contributor's context; emitted results continue it.
+    TraceContext trace;
   };
 
   /// Close and emit every window with end <= horizon (event time).

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/clock.hpp"
+#include "common/trace_context.hpp"
 #include "common/value.hpp"
 
 namespace strata::spe {
@@ -29,6 +30,11 @@ struct Tuple {
   std::int64_t specimen = kUnsetId;
   std::int64_t portion = kUnsetId;
   Timestamp stimulus = 0;  // processing-time arrival of newest contributor
+  // Sampled-trace identity (zero = unsampled, the overwhelmingly common
+  // case). Trace context rides on the tuple — not the batch — because
+  // batches are re-formed at every queue hop while tuples survive them; a
+  // batch's trace is the context of its first sampled tuple (obs/trace.hpp).
+  TraceContext trace;
   Payload payload;
 
   [[nodiscard]] std::size_t ApproxBytes() const noexcept {

@@ -1,6 +1,7 @@
 #include "strata/connector.hpp"
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 #include "strata/api.hpp"
 
 namespace strata::core {
@@ -16,6 +17,18 @@ spe::SinkFn ConnectorPublisher::AsSinkFn() {
       LOG_ERROR << "connector publish encode failed on topic " << topic_
                 << ": " << s.ToString();
       return;
+    }
+    // Produce-hop span for sampled tuples; while live it also sets the
+    // thread's trace slot, so a remote producer tags the wire frame with the
+    // same trace. Parent under the enclosing sink span when there is one.
+    obs::SpanScope span;
+    if (tuple.trace.sampled() && obs::TracingEnabled()) {
+      TraceContext parent = tuple.trace;
+      if (const TraceContext& current = ThreadTraceSlot();
+          current.trace_id == parent.trace_id) {
+        parent.parent_span = current.parent_span;
+      }
+      span = obs::SpanScope(topic_.c_str(), "pubsub.produce", parent, 1);
     }
     auto result = producer_->Send(topic_, key_fn_ ? key_fn_(tuple) : "",
                                   std::move(encoded), tuple.event_time);
@@ -45,7 +58,7 @@ Result<std::shared_ptr<ConnectorSubscriber>> ConnectorSubscriber::Create(
   auto consumer = client->NewConsumer(topic, std::move(options));
   if (!consumer.ok()) return consumer.status();
   return std::shared_ptr<ConnectorSubscriber>(
-      new ConnectorSubscriber(std::move(consumer).value()));
+      new ConnectorSubscriber(std::move(consumer).value(), topic));
 }
 
 Result<std::shared_ptr<ConnectorSubscriber>> ConnectorSubscriber::Create(
@@ -68,6 +81,8 @@ bool ConnectorSubscriber::FillBuffer() {
   while (buffered_.empty()) {
     if (stopped_.load(std::memory_order_acquire)) return false;
 
+    const std::int64_t poll_t0 =
+        obs::TracingEnabled() ? obs::TraceNowUs() : 0;
     auto batch = consumer_->Poll(kPollTimeout);
     if (!batch.ok()) {
       if (batch.status().IsTimeout()) {
@@ -86,6 +101,7 @@ bool ConnectorSubscriber::FillBuffer() {
       if (eos_seen_) return false;
       continue;
     }
+    TraceContext sampled;  // first sampled tuple this poll delivered
     for (const ps::ConsumedRecord& record : *batch) {
       auto tuple = DecodeTuple(record.value);
       if (!tuple.ok()) {
@@ -96,7 +112,26 @@ bool ConnectorSubscriber::FillBuffer() {
         eos_seen_ = true;
         continue;  // sentinel is not delivered downstream
       }
+      if (!sampled.sampled() && tuple->trace.sampled()) {
+        sampled = tuple->trace;
+      }
       buffered_.push_back(std::move(tuple).value());
+    }
+    if (poll_t0 != 0 && sampled.sampled()) {
+      // Fetch-hop span: dur covers the poll. Broker + wire transit time is
+      // derived at collection from the gap to the producer-side parent span
+      // (zero when the producer ran in another process).
+      obs::Tracer& tracer = obs::Tracer::Instance();
+      obs::Span span;
+      span.trace_id = sampled.trace_id;
+      span.span_id = tracer.NewSpanId();
+      span.parent_span = sampled.parent_span;
+      span.start_us = poll_t0;
+      span.dur_us = obs::TraceNowUs() - poll_t0;
+      span.batch = batch->size();
+      span.SetName(topic_.c_str());
+      span.SetCategory("pubsub.fetch");
+      tracer.Record(span);
     }
   }
   return true;

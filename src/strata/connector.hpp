@@ -74,8 +74,9 @@ class ConnectorSubscriber {
   void Stop() { stopped_.store(true, std::memory_order_release); }
 
  private:
-  explicit ConnectorSubscriber(std::unique_ptr<ps::ConsumerClient> consumer)
-      : consumer_(std::move(consumer)) {}
+  ConnectorSubscriber(std::unique_ptr<ps::ConsumerClient> consumer,
+                      std::string topic)
+      : consumer_(std::move(consumer)), topic_(std::move(topic)) {}
 
   /// Polls until `buffered_` is non-empty; false at end of stream.
   [[nodiscard]] bool FillBuffer();
@@ -83,6 +84,7 @@ class ConnectorSubscriber {
   [[nodiscard]] std::optional<spe::TupleBatch> NextBatch();
 
   std::unique_ptr<ps::ConsumerClient> consumer_;
+  std::string topic_;  ///< span naming only
   std::deque<spe::Tuple> buffered_;
   std::atomic<bool> stopped_{false};
   bool eos_seen_ = false;

@@ -1,11 +1,14 @@
 #include "strata/strata.hpp"
 
+#include <cstdlib>
 #include <map>
 #include <mutex>
 
 #include "common/fs.hpp"
 #include "common/logging.hpp"
+#include "common/trace_context.hpp"
 #include "fault/failpoint.hpp"
+#include "obs/trace.hpp"
 
 namespace strata::core {
 
@@ -36,12 +39,31 @@ Strata::Strata(StrataOptions options) : options_(std::move(options)) {
   broker_->BindMetrics(&registry_);
   query_->BindMetrics(&registry_);
   fault::BindMetrics(&registry_);
+  obs::Tracer::Instance().BindMetrics(&registry_);
+  registry_.RegisterCallback([](obs::MetricsSnapshot* snapshot) {
+    snapshot->AddCounter("obs.log.warnings", {}, LogWarningCount());
+    snapshot->AddCounter("obs.log.errors", {}, LogErrorCount());
+  });
+
+  if (options_.trace_sample_every != 0) {
+    obs::Tracer::Instance().Configure(options_.trace_sample_every);
+  }
+  obs::Tracer::Instance().ConfigureFromEnv();  // the env knob wins
+
+  std::string admin_addr = options_.admin_addr;
+  if (const char* env = std::getenv("STRATA_ADMIN_ADDR");
+      env != nullptr && *env != '\0') {
+    admin_addr = env;
+  }
+  if (!admin_addr.empty()) StartAdminServer(admin_addr);
 }
 
 Strata::~Strata() {
   Shutdown();
-  // The fault registry is process-global; detach it before registry_ dies.
+  // The fault registry and the tracer are process-global; detach them before
+  // registry_ dies.
   fault::BindMetrics(nullptr);
+  obs::Tracer::Instance().BindMetrics(nullptr);
 }
 
 Strata::HealthReport Strata::Health() const {
@@ -72,7 +94,112 @@ void Strata::StartSampler(std::chrono::milliseconds period,
 
 void Strata::StopSampler() { sampler_.reset(); }
 
+namespace {
+
+void JsonEscapeTo(std::string_view in, std::string* out) {
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void Strata::StartAdminServer(const std::string& addr) {
+  net::AdminOptions options;
+  options.metrics = &registry_;
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    LOG_ERROR << "strata: admin_addr '" << addr
+              << "' is not host:port; admin endpoint disabled";
+    return;
+  }
+  options.host = addr.substr(0, colon);
+  const long port = std::strtol(addr.c_str() + colon + 1, nullptr, 10);
+  options.port = static_cast<std::uint16_t>(port);
+
+  admin_ = std::make_unique<net::AdminServer>(options);
+  admin_->Route("/metrics", [this](std::string_view) {
+    net::AdminServer::Response response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = registry_.Snapshot().ToPrometheus();
+    return response;
+  });
+  admin_->Route("/healthz", [this](std::string_view) {
+    const HealthReport health = Health();
+    net::AdminServer::Response response;
+    response.status = health.ok() ? 200 : 503;
+    response.content_type = "application/json";
+    response.body = std::string("{\"status\":\"") +
+                    (health.ok() ? "ok" : "degraded") + "\",\"kv_ok\":" +
+                    (health.kv_ok ? "true" : "false") +
+                    ",\"broker_storage_ok\":" +
+                    (health.broker_storage_ok ? "true" : "false") +
+                    ",\"detail\":\"";
+    JsonEscapeTo(health.detail, &response.body);
+    response.body += "\"}\n";
+    return response;
+  });
+  admin_->Route("/varz", [this](std::string_view) {
+    net::AdminServer::Response response;
+    response.content_type = "application/json";
+    response.body = registry_.Snapshot().ToJsonLines();
+    return response;
+  });
+  admin_->Route("/tracez", [](std::string_view query) {
+    const std::vector<obs::Span> spans = obs::Tracer::Instance().CollectSpans();
+    net::AdminServer::Response response;
+    if (query.find("chrome=1") != std::string_view::npos) {
+      // Save-as trace.json, load in Perfetto / chrome://tracing.
+      response.content_type = "application/json";
+      response.body = obs::Tracer::ToChromeTrace(spans);
+    } else {
+      response.body = obs::Tracer::ToTracezText(spans);
+    }
+    return response;
+  });
+
+  if (Status started = admin_->Start(); !started.ok()) {
+    // The admin plane is an observer: failing to bind it must never take
+    // the pipeline down.
+    LOG_ERROR << "strata: admin endpoint failed to start on " << addr << ": "
+              << started.ToString();
+    admin_.reset();
+  }
+}
+
+std::string Strata::admin_addr() const {
+  if (admin_ == nullptr) return {};
+  return admin_->host() + ":" + std::to_string(admin_->port());
+}
+
 Status Strata::Store(std::string_view key, std::string_view value) {
+  // Attach the write to the caller's active span (a sink storing detection
+  // results, a correlation callback persisting reports, ...) so traces show
+  // where pipeline time goes once tuples leave the SPE.
+  obs::SpanScope span;
+  if (obs::TracingEnabled()) {
+    if (const TraceContext& slot = ThreadTraceSlot(); slot.sampled()) {
+      span = obs::SpanScope("kv.store", "kv", slot);
+    }
+  }
   return kv_->Put(key, value);
 }
 
@@ -327,8 +454,9 @@ void Strata::WaitForCompletion() {
 void Strata::Shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
-  // The sampler snapshots through component callbacks; stop it before the
-  // components it observes start tearing down.
+  // The admin endpoint and sampler observe the components through callbacks;
+  // stop both before the components they observe start tearing down.
+  if (admin_ != nullptr) admin_->Stop();
   StopSampler();
   if (deployed_) {
     query_->Stop();

@@ -27,6 +27,7 @@
 
 #include "common/fs.hpp"
 #include "kvstore/db.hpp"
+#include "net/admin.hpp"
 #include "net/remote.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
@@ -50,6 +51,15 @@ struct StrataOptions {
   /// embedded or networked (deployment topologies, DESIGN.md). The local
   /// broker still exists but carries no connector traffic.
   std::optional<net::RemoteOptions> remote_broker;
+  /// "host:port" for the embedded HTTP admin endpoint (/metrics, /healthz,
+  /// /varz, /tracez). Empty = disabled; the STRATA_ADMIN_ADDR environment
+  /// variable overrides (and enables) it. Port 0 binds an ephemeral port —
+  /// the resolved address is available via admin_addr().
+  std::string admin_addr;
+  /// Pipeline tracing: start a sampled trace every N source batches per
+  /// source thread; 0 = disabled. STRATA_TRACE_SAMPLE overrides. Spans land
+  /// in the process-wide obs::Tracer and are served at /tracez.
+  std::uint32_t trace_sample_every = 0;
   kv::DbOptions kv;
   spe::QueryOptions query;
 };
@@ -191,7 +201,12 @@ class Strata {
                     obs::PeriodicSampler::Consumer consumer);
   void StopSampler();
 
+  /// "host:port" the admin endpoint actually bound (resolving an ephemeral
+  /// port), or empty when the endpoint is disabled or failed to start.
+  [[nodiscard]] std::string admin_addr() const;
+
  private:
+  void StartAdminServer(const std::string& addr);
   [[nodiscard]] spe::StreamPtr ThroughConnector(const std::string& topic,
                                                 spe::StreamPtr in,
                                                 PartitionKeyFn key_fn);
@@ -216,6 +231,7 @@ class Strata {
   std::vector<std::unique_ptr<ConnectorPublisher>> publishers_;
   std::vector<std::shared_ptr<ConnectorSubscriber>> subscribers_;
   std::unique_ptr<obs::PeriodicSampler> sampler_;
+  std::unique_ptr<net::AdminServer> admin_;
   bool deployed_ = false;
   bool shut_down_ = false;
 };

@@ -9,6 +9,10 @@ namespace {
 // Payload entry markers.
 constexpr char kScalarMarker = 'S';
 constexpr char kImageMarker = 'I';
+// Optional trailing trace-context field (present only for sampled tuples, so
+// the unsampled common case pays zero bytes). Decoders accept either form;
+// tuples encoded by older builds simply have no trace.
+constexpr char kTraceMarker = 'T';
 }  // namespace
 
 Status EncodeTuple(const spe::Tuple& tuple, std::string* out) {
@@ -42,6 +46,11 @@ Status EncodeTuple(const spe::Tuple& tuple, std::string* out) {
       out->push_back(kScalarMarker);
       STRATA_RETURN_IF_ERROR(EncodeValue(value, out));
     }
+  }
+  if (tuple.trace.sampled()) {
+    out->push_back(kTraceMarker);
+    codec::PutFixed64(out, tuple.trace.trace_id);
+    codec::PutFixed64(out, tuple.trace.parent_span);
   }
   const std::uint32_t crc =
       Crc32c(std::string_view(*out).substr(start));
@@ -94,6 +103,13 @@ Result<spe::Tuple> DecodeTuple(std::string_view data) {
       tuple.payload.Set(key, std::move(value));
     } else {
       return Status::Corruption("DecodeTuple: unknown payload marker");
+    }
+  }
+  if (!data.empty() && data.front() == kTraceMarker) {
+    data.remove_prefix(1);
+    if (!codec::GetFixed64(&data, &tuple.trace.trace_id) ||
+        !codec::GetFixed64(&data, &tuple.trace.parent_span)) {
+      return Status::Corruption("DecodeTuple: truncated trace context");
     }
   }
   if (!data.empty()) return Status::Corruption("DecodeTuple: trailing bytes");

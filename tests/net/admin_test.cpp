@@ -1,0 +1,166 @@
+#include "net/admin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace strata::net {
+namespace {
+
+constexpr auto kTestDeadline = std::chrono::seconds(5);
+
+/// One raw HTTP exchange against the admin endpoint: connect, send
+/// `request` verbatim, read until the server closes (HTTP/1.0 style).
+std::string Exchange(const AdminServer& server, const std::string& request) {
+  auto socket =
+      Socket::Connect(server.host(), server.port(), After(kTestDeadline));
+  socket.status().OrDie();
+  socket->WriteAll(request, After(kTestDeadline)).OrDie();
+  std::string response;
+  char buf[1024];
+  // ReadFully returns Unavailable on orderly close; accumulate byte-wise
+  // chunks until then.
+  while (true) {
+    Status read = socket->ReadFully(buf, 1, After(kTestDeadline));
+    if (!read.ok()) break;
+    response.push_back(buf[0]);
+  }
+  return response;
+}
+
+std::string Get(const AdminServer& server, const std::string& path) {
+  return Exchange(server, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+TEST(AdminServerTest, ServesRegisteredRoute) {
+  AdminServer server;
+  server.Route("/metrics", [](std::string_view) {
+    return AdminServer::Response{200, "text/plain; version=0.0.4",
+                                 "up 1\n"};
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string response = Get(server, "/metrics");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4\r\n"),
+            std::string::npos);
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\nup 1\n"), std::string::npos);
+  server.Stop();
+}
+
+TEST(AdminServerTest, QueryStringReachesHandler) {
+  AdminServer server;
+  server.Route("/tracez", [](std::string_view query) {
+    return AdminServer::Response{200, "text/plain",
+                                 "query=[" + std::string(query) + "]"};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_NE(Get(server, "/tracez?chrome=1").find("query=[chrome=1]"),
+            std::string::npos);
+  EXPECT_NE(Get(server, "/tracez").find("query=[]"), std::string::npos);
+  server.Stop();
+}
+
+TEST(AdminServerTest, UnknownPathIs404ListingRoutes) {
+  AdminServer server;
+  server.Route("/healthz", [](std::string_view) {
+    return AdminServer::Response{};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = Get(server, "/nope");
+  EXPECT_NE(response.find("HTTP/1.0 404 Not Found\r\n"), std::string::npos);
+  EXPECT_NE(response.find("/healthz"), std::string::npos);
+  server.Stop();
+}
+
+TEST(AdminServerTest, NonGetMethodRejected) {
+  AdminServer server;
+  server.Route("/metrics", [](std::string_view) {
+    return AdminServer::Response{};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response =
+      Exchange(server, "POST /metrics HTTP/1.0\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 405 Method Not Allowed\r\n"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(AdminServerTest, GarbageRequestGets400NotACrash) {
+  AdminServer server;
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = Exchange(server, "no spaces here\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 400 Bad Request\r\n"), std::string::npos);
+  server.Stop();
+}
+
+TEST(AdminServerTest, OversizedHeadIsRejected) {
+  AdminServer server;
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response =
+      Exchange(server, "GET /" + std::string(10'000, 'a') + " HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 400 Bad Request\r\n"), std::string::npos);
+  server.Stop();
+}
+
+TEST(AdminServerTest, HandlerExceptionBecomes500) {
+  AdminServer server;
+  server.Route("/boom", [](std::string_view) -> AdminServer::Response {
+    throw std::runtime_error("handler exploded");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = Get(server, "/boom");
+  EXPECT_NE(response.find("HTTP/1.0 500 Internal Server Error\r\n"),
+            std::string::npos);
+  EXPECT_NE(response.find("handler exploded"), std::string::npos);
+  server.Stop();
+}
+
+TEST(AdminServerTest, ConcurrentScrapesAllSucceed) {
+  obs::MetricsRegistry registry;
+  AdminOptions options;
+  options.metrics = &registry;
+  AdminServer server(options);
+  server.Route("/metrics", [](std::string_view) {
+    return AdminServer::Response{200, "text/plain", "metric_total 1\n"};
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::vector<std::string> responses(kClients);
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back(
+        [&, i] { responses[i] = Get(server, "/metrics"); });
+  }
+  for (std::thread& t : clients) t.join();
+  for (const std::string& response : responses) {
+    EXPECT_NE(response.find("metric_total 1"), std::string::npos);
+  }
+  const auto requests = registry.Snapshot().Value(
+      "net.admin.requests", {{"path", "/metrics"}});
+  ASSERT_TRUE(requests.has_value());
+  EXPECT_EQ(*requests, static_cast<double>(kClients));
+  server.Stop();
+}
+
+TEST(AdminServerTest, StopWithClientMidRequestDoesNotHang) {
+  AdminServer server;
+  ASSERT_TRUE(server.Start().ok());
+  // Connect and send half a request, then stop the server under it.
+  auto socket =
+      Socket::Connect(server.host(), server.port(), After(kTestDeadline));
+  socket.status().OrDie();
+  socket->WriteAll("GET /metr", After(kTestDeadline)).OrDie();
+  server.Stop();  // must join the handler despite the unfinished request
+  server.Stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace strata::net

@@ -35,10 +35,13 @@ TEST_F(AtLeastOnceTest, RetryAfterDroppedAckDuplicatesRecord) {
   remote.backoff_initial = 5ms;
   remote.metrics = &registry;
   RemoteBroker client(remote);
-  // Create the topic before arming: only the produce should hit the window.
+  // Create the topic and prime the producer's own connection before arming:
+  // the first Send would otherwise connect and negotiate (Hello), and the
+  // failpoint's single hit must land on the produce, not the handshake.
   ASSERT_TRUE(client.CreateTopic("events", {.partitions = 1}).ok());
   auto producer = client.NewProducer();
   ASSERT_TRUE(producer.ok());
+  ASSERT_TRUE((*producer)->Send("events", "k", "prime", 1).ok());
 
   // Sever the connection after the next request is applied, before its
   // response is written — the crash window that makes produce at-least-once.
@@ -51,13 +54,13 @@ TEST_F(AtLeastOnceTest, RetryAfterDroppedAckDuplicatesRecord) {
   // The client saw one successful Send; the broker holds the record twice.
   auto log = broker.GetLog("events", 0);
   ASSERT_TRUE(log.ok());
-  EXPECT_EQ((*log)->EndOffset(), 2);
+  EXPECT_EQ((*log)->EndOffset(), 3);
   std::vector<ps::Record> records;
   std::int64_t next = 0;
   ASSERT_TRUE((*log)->ReadFrom(0, 10, &records, &next).ok());
-  ASSERT_EQ(records.size(), 2u);
-  EXPECT_EQ(records[0].value, "once?");
+  ASSERT_EQ(records.size(), 3u);
   EXPECT_EQ(records[1].value, "once?");
+  EXPECT_EQ(records[2].value, "once?");
 
   // The retry is observable: net.client.retries counted at least one.
   bool counted = false;

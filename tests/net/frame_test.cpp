@@ -136,6 +136,88 @@ TEST(Frame, ShutdownUnblocksPendingRead) {
   EXPECT_FALSE(read.ok());
 }
 
+// --- trace-context block (protocol v2) ---------------------------------------
+
+TEST(Frame, TracedFrameRoundTripsContext) {
+  SocketPair pair = MakePair();
+  TraceContext trace;
+  trace.trace_id = 0x1122334455667788ull;
+  trace.parent_span = 0x99aabbccddeeff00ull;
+  ASSERT_TRUE(
+      WriteFrame(&pair.client, "traced payload", After(kTestDeadline), &trace)
+          .ok());
+
+  std::string received;
+  TraceContext decoded;
+  decoded.trace_id = 1;  // must be overwritten, not merely left alone
+  ASSERT_TRUE(
+      ReadFrame(&pair.server, &received, After(kTestDeadline), &decoded).ok());
+  EXPECT_EQ(received, "traced payload");
+  EXPECT_EQ(decoded.trace_id, trace.trace_id);
+  EXPECT_EQ(decoded.parent_span, trace.parent_span);
+}
+
+TEST(Frame, TracedFrameReadableWithoutTraceSink) {
+  // A reader that does not care about traces still gets the payload: the
+  // trace block is consumed and the chained CRC still verifies.
+  SocketPair pair = MakePair();
+  TraceContext trace;
+  trace.trace_id = 42;
+  ASSERT_TRUE(
+      WriteFrame(&pair.client, "payload", After(kTestDeadline), &trace).ok());
+  std::string received;
+  ASSERT_TRUE(ReadFrame(&pair.server, &received, After(kTestDeadline)).ok());
+  EXPECT_EQ(received, "payload");
+}
+
+TEST(Frame, UntracedFrameZeroesTraceSink) {
+  SocketPair pair = MakePair();
+  ASSERT_TRUE(WriteFrame(&pair.client, "plain", After(kTestDeadline)).ok());
+  std::string received;
+  TraceContext decoded;
+  decoded.trace_id = 7;  // stale state from a previous traced frame
+  ASSERT_TRUE(
+      ReadFrame(&pair.server, &received, After(kTestDeadline), &decoded).ok());
+  EXPECT_EQ(decoded.trace_id, 0u);
+  EXPECT_FALSE(decoded.sampled());
+}
+
+TEST(Frame, UnsampledContextFallsBackToPlainFrame) {
+  // An unsampled context must not spend 16 bytes per frame: the encoder
+  // emits the v1 form, byte-identical to an untraced encode.
+  TraceContext unsampled;
+  std::string traced_encode;
+  EncodeFrame("body", unsampled, &traced_encode);
+  std::string plain_encode;
+  EncodeFrame("body", &plain_encode);
+  EXPECT_EQ(traced_encode, plain_encode);
+}
+
+TEST(Frame, EveryTraceBlockBitFlipIsCorruption) {
+  TraceContext trace;
+  trace.trace_id = 0xdeadbeef;
+  trace.parent_span = 0xfeedface;
+  std::string frame;
+  EncodeFrame("guarded by chained crc", trace, &frame);
+
+  // The 16-byte trace block sits between the 8-byte header and the payload;
+  // its bits are covered by the frame CRC just like payload bits.
+  for (std::size_t byte = 8; byte < 24; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      SocketPair pair = MakePair();
+      std::string mutated = frame;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      ASSERT_TRUE(pair.client.WriteAll(mutated, After(kTestDeadline)).ok());
+      std::string received;
+      TraceContext decoded;
+      Status read =
+          ReadFrame(&pair.server, &received, After(kTestDeadline), &decoded);
+      EXPECT_TRUE(read.IsCorruption())
+          << "byte " << byte << " bit " << bit << ": " << read.ToString();
+    }
+  }
+}
+
 // --- protocol envelope + body codecs ----------------------------------------
 
 TEST(Protocol, RequestEnvelopeRoundTrip) {
@@ -201,6 +283,25 @@ TEST(Protocol, FetchRoundTrip) {
   EXPECT_EQ(decoded_resp.entries[0].records[0].timestamp, -5);
   EXPECT_EQ(decoded_resp.entries[0].records[0].value, "v");
   EXPECT_FALSE(decoded_resp.empty());
+}
+
+TEST(Protocol, HelloRoundTripAndVersionFloor) {
+  std::string body;
+  EncodeHelloRequest(HelloRequest{kProtocolVersion}, &body);
+  HelloRequest req;
+  ASSERT_TRUE(DecodeHelloRequest(body, &req).ok());
+  EXPECT_EQ(req.max_version, kProtocolVersion);
+
+  body.clear();
+  EncodeHelloResponse(HelloResponse{2}, &body);
+  HelloResponse resp;
+  ASSERT_TRUE(DecodeHelloResponse(body, &resp).ok());
+  EXPECT_EQ(resp.version, 2u);
+
+  // Version 0 does not exist on any wire; reject rather than misbehave.
+  body.clear();
+  EncodeHelloRequest(HelloRequest{0}, &body);
+  EXPECT_FALSE(DecodeHelloRequest(body, &req).ok());
 }
 
 TEST(Protocol, TruncatedBodiesAlwaysError) {

@@ -5,10 +5,13 @@
 // analysis half joined only by the networked connectors.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <mutex>
+#include <set>
 
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "strata/usecase.hpp"
 
 namespace strata::core {
@@ -145,6 +148,84 @@ TEST(RemotePipeline, CollectorAndAnalysisSplitAcrossProcesses) {
 
   EXPECT_EQ(run.reports.size(), embedded.reports.size());
   EXPECT_EQ(Fingerprint(run), Fingerprint(embedded));
+}
+
+TEST(RemotePipeline, TraceCrossesEveryLayerOverTcp) {
+  // Sampling at 1/1, a trace born at the collector's source must resurface
+  // in spans from every layer it crosses: the SPE operators on both sides,
+  // the pub/sub connectors, the TCP server dispatch, and the KV store the
+  // sink persists into. All components share this process, so the singleton
+  // tracer sees the union.
+  obs::Tracer& tracer = obs::Tracer::Instance();
+  tracer.Configure(1);
+  tracer.Clear();
+
+  ps::Broker shared_broker;
+  net::BrokerServer server(&shared_broker);
+  ASSERT_TRUE(server.Start().ok());
+  net::RemoteOptions remote;
+  remote.port = server.port();
+
+  // Machine half: export a short finite stream over TCP.
+  StrataOptions collector_options;
+  collector_options.remote_broker = remote;
+  Strata collector(std::move(collector_options));
+  auto next = std::make_shared<int>(0);
+  collector.ExportSource("trace.probe",
+                         [next]() -> std::optional<spe::Tuple> {
+                           if (*next >= 8) return std::nullopt;
+                           spe::Tuple t;
+                           t.job = 1;
+                           t.layer = (*next)++;
+                           return t;
+                         });
+
+  // Analysis half: import it and persist every tuple, so the kv layer sees
+  // the trace the sink is running under.
+  StrataOptions analysis_options;
+  analysis_options.remote_broker = remote;
+  Strata analysis(std::move(analysis_options));
+  std::atomic<int> delivered{0};
+  analysis.Deliver("persist", analysis.ImportSource("trace.probe"),
+                   [&](const spe::Tuple& t) {
+                     analysis
+                         .Store("trace/" + std::to_string(t.layer), "seen")
+                         .OrDie();
+                     ++delivered;
+                   });
+
+  analysis.Deploy();
+  collector.Deploy();
+  collector.WaitForCompletion();
+  analysis.WaitForCompletion();
+  server.Stop();
+
+  const std::vector<obs::Span> spans = tracer.CollectSpans();
+  tracer.Configure(0);
+  tracer.Clear();
+  EXPECT_EQ(delivered.load(), 8);
+
+  // Bucket categories into layers per trace id.
+  std::map<std::uint64_t, std::set<std::string>> layers_by_trace;
+  for (const obs::Span& span : spans) {
+    const std::string category = span.category;
+    std::string layer = category;
+    if (const std::size_t dot = category.find('.');
+        dot != std::string::npos) {
+      layer = category.substr(0, dot);
+    }
+    layers_by_trace[span.trace_id].insert(layer);
+  }
+  int full_depth = 0;
+  for (const auto& [trace_id, layers] : layers_by_trace) {
+    if (layers.count("spe") && layers.count("pubsub") && layers.count("net") &&
+        layers.count("kv")) {
+      ++full_depth;
+    }
+  }
+  EXPECT_GT(full_depth, 0)
+      << "no single trace produced spans in all four layers; spans seen: "
+      << spans.size();
 }
 
 TEST(RemotePipeline, ClientMetricsAreWiredIntoTheRegistry) {

@@ -157,6 +157,75 @@ TEST(MetricsSnapshotTest, JsonLinesExposition) {
   }
 }
 
+TEST(MetricsSnapshotTest, PrometheusHistogramExposition) {
+  MetricsRegistry registry;
+  HistogramMetric* h = registry.GetHistogram("net.lat", {{"api", "pro\"duce"}});
+  h->Record(5);      // <= 10
+  h->Record(80);     // <= 100
+  h->Record(90'000); // <= 100000
+  const std::string prom = registry.Snapshot().ToPrometheus();
+
+  EXPECT_NE(prom.find("# TYPE net_lat histogram\n"), std::string::npos);
+  // Cumulative buckets: le=10 holds 1 sample, le=100 holds 2, the largest
+  // finite bound and +Inf hold all 3, and +Inf always equals _count.
+  EXPECT_NE(prom.find("net_lat_bucket{api=\"pro\\\"duce\",le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("net_lat_bucket{api=\"pro\\\"duce\",le=\"100\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("net_lat_bucket{api=\"pro\\\"duce\",le=\"10000000\"} 3\n"),
+      std::string::npos);
+  EXPECT_NE(prom.find("net_lat_bucket{api=\"pro\\\"duce\",le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("net_lat_count{api=\"pro\\\"duce\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("net_lat_sum{api=\"pro\\\"duce\"} 90085\n"),
+            std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, PrometheusHistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  HistogramMetric* h = registry.GetHistogram("x.lat");
+  for (int i = 0; i < 1000; ++i) h->Record(i * 37 % 5000);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& buckets = snap.histograms[0].buckets;
+  ASSERT_FALSE(buckets.empty());
+  std::uint64_t previous = 0;
+  for (const auto& [bound, cumulative] : buckets) {
+    EXPECT_GE(cumulative, previous) << "non-monotone at le=" << bound;
+    previous = cumulative;
+  }
+  // Every sample fits under the largest finite bound here, so the last
+  // cumulative bucket already equals the implicit +Inf bucket.
+  EXPECT_EQ(buckets.back().second, snap.histograms[0].stats.count);
+  EXPECT_EQ(snap.histograms[0].sum,
+            static_cast<double>([&] {
+              std::int64_t total = 0;
+              for (int i = 0; i < 1000; ++i) total += i * 37 % 5000;
+              return total;
+            }()));
+}
+
+TEST(MetricsSnapshotTest, PullCallbackHistogramFallsBackToSummary) {
+  MetricsRegistry registry;
+  registry.RegisterCallback([](MetricsSnapshot* snap) {
+    BoxplotStats stats;
+    stats.count = 4;
+    stats.p50 = 10;
+    stats.p75 = 20;
+    stats.p95 = 30;
+    stats.mean = 15.0;
+    snap->AddHistogram("pull.lat", {}, stats);
+  });
+  const std::string prom = registry.Snapshot().ToPrometheus();
+  // No bucket data -> quantile summary, never a fabricated histogram.
+  EXPECT_NE(prom.find("# TYPE pull_lat summary\n"), std::string::npos);
+  EXPECT_NE(prom.find("pull_lat{quantile=\"0.5\"} 10\n"), std::string::npos);
+  EXPECT_EQ(prom.find("pull_lat_bucket"), std::string::npos);
+  EXPECT_NE(prom.find("pull_lat_count 4\n"), std::string::npos);
+}
+
 TEST(MetricsSnapshotTest, HistogramStats) {
   MetricsRegistry registry;
   HistogramMetric* h = registry.GetHistogram("x.lat", {{"op", "sink"}});

@@ -1,0 +1,94 @@
+#include "obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace strata::obs {
+namespace {
+
+TEST(PeriodicSamplerTest, StopDeliversFinalSnapshot) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.events");
+
+  std::mutex mu;
+  std::vector<double> seen;
+  PeriodicSampler sampler(&registry, std::chrono::milliseconds(10'000),
+                          [&](const MetricsSnapshot& snapshot) {
+                            std::lock_guard lock(mu);
+                            seen.push_back(
+                                snapshot.Value("test.events").value_or(-1));
+                          });
+
+  // The period is far longer than the test: any snapshot we observe must be
+  // the final flush from Stop(), proving end-of-run totals always arrive.
+  counter->Inc(42);
+  sampler.Stop();
+
+  std::lock_guard lock(mu);
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.back(), 42.0);
+}
+
+TEST(PeriodicSamplerTest, StopIsIdempotent) {
+  MetricsRegistry registry;
+  std::atomic<int> snapshots{0};
+  PeriodicSampler sampler(&registry, std::chrono::milliseconds(10'000),
+                          [&](const MetricsSnapshot&) { ++snapshots; });
+  sampler.Stop();
+  const int after_first_stop = snapshots.load();
+  sampler.Stop();
+  sampler.Stop();
+  // The final snapshot is delivered exactly once, not once per Stop call.
+  EXPECT_EQ(snapshots.load(), after_first_stop);
+  EXPECT_EQ(after_first_stop, 1);
+}
+
+TEST(PeriodicSamplerTest, NoSnapshotAfterStopReturns) {
+  MetricsRegistry registry;
+  std::atomic<int> snapshots{0};
+  auto sampler = std::make_unique<PeriodicSampler>(
+      &registry, std::chrono::milliseconds(1),
+      [&](const MetricsSnapshot&) { ++snapshots; });
+
+  // Let a few periodic snapshots land, then stop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sampler->Stop();
+  const int at_stop = snapshots.load();
+  EXPECT_GE(at_stop, 1);
+
+  // Once Stop has returned, the consumer must never run again — a consumer
+  // referencing stack state would otherwise race its own teardown.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(snapshots.load(), at_stop);
+  sampler.reset();
+  EXPECT_EQ(snapshots.load(), at_stop);
+}
+
+TEST(PeriodicSamplerTest, PeriodicSnapshotsObserveLiveValues) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test.depth");
+  gauge->Add(7);
+
+  std::mutex mu;
+  std::vector<double> seen;
+  PeriodicSampler sampler(&registry, std::chrono::milliseconds(2),
+                          [&](const MetricsSnapshot& snapshot) {
+                            std::lock_guard lock(mu);
+                            seen.push_back(
+                                snapshot.Value("test.depth").value_or(-1));
+                          });
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  sampler.Stop();
+
+  std::lock_guard lock(mu);
+  ASSERT_GE(seen.size(), 2u);
+  for (const double v : seen) EXPECT_EQ(v, 7.0);
+}
+
+}  // namespace
+}  // namespace strata::obs
