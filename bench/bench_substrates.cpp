@@ -8,8 +8,14 @@
 // put a BrokerServer + TCP loopback between producer and consumer — the
 // embedded BM_PubSub* rows are the baseline to compare against.
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
+
+#include <atomic>
+#include <thread>
 
 #include "am/machine.hpp"
+#include "bench_json.hpp"
+#include "net/frame.hpp"
 #include "common/fs.hpp"
 #include "kvstore/db.hpp"
 #include "net/remote.hpp"
@@ -134,6 +140,115 @@ static void BM_NetPubSubRoundTrip(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_NetPubSubRoundTrip)->Arg(1024)->Arg(1 << 20)->Arg(4 << 20);
+
+// Many-connections scenario for the epoll reactor: `clients` idle
+// long-polling connections sit parked on a quiet topic (costing the server
+// fds and parked-fetch state, not threads) while producer threads and one
+// remote consumer push records through a busy topic. Args are
+// (clients, broker shards); the shards=1 vs shards=8 rows in BENCH_SPE.json
+// are the before/after for the sharded data plane.
+static void BM_NetManyClients(benchmark::State& state) {
+  const int kClients = static_cast<int>(state.range(0));
+  const int kShards = static_cast<int>(state.range(1));
+  constexpr int kProducerThreads = 8;
+  constexpr int kRecordsPerIteration = 4000;
+
+  ps::BrokerOptions broker_options;
+  broker_options.shards = static_cast<std::size_t>(kShards);
+  ps::Broker broker(broker_options);
+  broker.CreateTopic("bench", {.partitions = 16}).OrDie();
+  broker.CreateTopic("idle", {.partitions = 1}).OrDie();
+
+  net::BrokerServerOptions server_options;
+  server_options.event_loop_workers = 4;
+  server_options.max_fetch_wait = std::chrono::seconds(120);
+  net::BrokerServer server(&broker, server_options);
+  server.Start().OrDie();
+
+  // Park the idle fleet: one uncorrelated long-poll Fetch per connection on
+  // the never-produced-to topic. Nothing ever answers them; they exist to
+  // make the server hold ~kClients parked fetches while serving the load.
+  net::FetchRequest idle_fetch;
+  idle_fetch.entries.push_back({.tp = {"idle", 0}, .offset = 0});
+  idle_fetch.max_wait_us = 120'000'000;
+  std::string body;
+  net::EncodeFetchRequest(idle_fetch, &body);
+  std::string park_payload;
+  net::EncodeRequest(net::ApiKey::kFetch, body, &park_payload);
+  std::vector<net::Socket> idle;
+  idle.reserve(static_cast<std::size_t>(kClients));
+  for (int i = 0; i < kClients; ++i) {
+    auto socket = net::Socket::Connect("127.0.0.1", server.port(),
+                                       net::After(std::chrono::seconds(10)));
+    socket.status().OrDie();
+    net::WriteFrame(&*socket, park_payload,
+                    net::After(std::chrono::seconds(10)))
+        .OrDie();
+    idle.push_back(std::move(*socket));
+  }
+
+  net::RemoteOptions remote;
+  remote.port = server.port();
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> produced{0};
+  std::vector<std::thread> producers;
+  const std::string value(1024, 'x');
+  for (int t = 0; t < kProducerThreads; ++t) {
+    producers.emplace_back([&] {
+      net::RemoteProducer producer(remote);
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (producer.Send("bench", "", value, 0).ok()) {
+          produced.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  auto consumer =
+      std::move(net::RemoteConsumer::Create(remote, "bench")).value();
+  std::int64_t fetched = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    std::int64_t in_iteration = 0;
+    while (in_iteration < kRecordsPerIteration) {
+      auto batch = consumer->Poll(std::chrono::microseconds(1'000'000));
+      if (!batch.ok()) continue;  // Timeout between produce bursts
+      in_iteration += static_cast<std::int64_t>(batch->size());
+    }
+    fetched += in_iteration;
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  stop.store(true);
+  for (auto& t : producers) t.join();
+
+  const double produce_per_sec =
+      static_cast<double>(produced.load()) / seconds;
+  const double fetch_per_sec = static_cast<double>(fetched) / seconds;
+  state.counters["clients"] = kClients;
+  state.counters["shards"] = kShards;
+  state.counters["produce_per_sec"] = produce_per_sec;
+  state.counters["fetch_per_sec"] = fetch_per_sec;
+  state.SetItemsProcessed(fetched);
+
+  strata::bench::JsonLinesWriter out("STRATA_BENCH_JSON", "BENCH_SPE.json");
+  out.Line(strata::bench::JsonObject()
+               .Str("bench", "bench_substrates")
+               .Str("scenario", "net_many_clients")
+               .Int("clients", kClients)
+               .Int("shards", kShards)
+               .Int("event_loop_workers", 4)
+               .Int("producer_threads", kProducerThreads)
+               .Num("produce_per_sec", produce_per_sec)
+               .Num("fetch_per_sec", fetch_per_sec)
+               .Num("seconds", seconds));
+}
+BENCHMARK(BM_NetManyClients)
+    ->Args({1024, 1})
+    ->Args({1024, 8})
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
 
 // -------------------------------------------------------------------- spe
 
@@ -271,6 +386,15 @@ BENCHMARK(BM_CellMeans)->Arg(20)->Arg(10)->Arg(2)->Unit(benchmark::kMillisecond)
 // BENCHMARK_MAIN plus the `--network` switch: run only the BM_Net* rows
 // (the TCP-loopback broker path) for a quick embedded-vs-networked compare.
 int main(int argc, char** argv) {
+  // The many-clients scenario holds >2k sockets in one process (both ends
+  // of every connection); lift the soft fd limit to the hard one up front.
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) == 0 &&
+      limit.rlim_cur < limit.rlim_max) {
+    limit.rlim_cur = limit.rlim_max;
+    (void)::setrlimit(RLIMIT_NOFILE, &limit);
+  }
+
   std::vector<char*> args(argv, argv + argc);
   std::string filter_arg = "--benchmark_filter=BM_Net";
   for (char*& arg : args) {

@@ -5,83 +5,119 @@
 
 namespace strata::net {
 
-namespace {
-constexpr std::size_t kTraceBlockBytes = 16;  // trace id + parent span, LE
-}  // namespace
-
 void EncodeFrame(std::string_view payload, std::string* out) {
-  codec::PutFixed32(out, static_cast<std::uint32_t>(payload.size()));
-  codec::PutFixed32(out, MaskCrc(Crc32c(payload)));
-  out->append(payload.data(), payload.size());
+  EncodeFrameEx(payload, nullptr, nullptr, out);
 }
 
 void EncodeFrame(std::string_view payload, const TraceContext& trace,
                  std::string* out) {
-  if (!trace.sampled()) {
-    EncodeFrame(payload, out);
-    return;
+  EncodeFrameEx(payload, &trace, nullptr, out);
+}
+
+void EncodeFrameEx(std::string_view payload, const TraceContext* trace,
+                   const std::uint64_t* correlation, std::string* out) {
+  const bool traced = trace != nullptr && trace->sampled();
+  std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  if (traced) length |= kFrameTraceFlag;
+  if (correlation != nullptr) length |= kFrameCorrelFlag;
+  codec::PutFixed32(out, length);
+
+  std::string blocks;
+  blocks.reserve(kTraceBlockBytes + kCorrelBlockBytes);
+  if (traced) {
+    codec::PutFixed64(&blocks, trace->trace_id);
+    codec::PutFixed64(&blocks, trace->parent_span);
   }
-  codec::PutFixed32(out,
-                    static_cast<std::uint32_t>(payload.size()) | kFrameTraceFlag);
-  std::string block;
-  block.reserve(kTraceBlockBytes);
-  codec::PutFixed64(&block, trace.trace_id);
-  codec::PutFixed64(&block, trace.parent_span);
-  codec::PutFixed32(out, MaskCrc(Crc32c(payload, Crc32c(block))));
-  out->append(block);
+  if (correlation != nullptr) codec::PutFixed64(&blocks, *correlation);
+  codec::PutFixed32(out, MaskCrc(Crc32c(payload, Crc32c(blocks))));
+  out->append(blocks);
   out->append(payload.data(), payload.size());
 }
 
 Status WriteFrame(Socket* socket, std::string_view payload, Deadline deadline,
-                  const TraceContext* trace) {
+                  const TraceContext* trace, const std::uint64_t* correlation) {
   if (payload.size() > kMaxFrameBytes) {
     return Status::InvalidArgument("frame payload exceeds kMaxFrameBytes");
   }
   std::string frame;
-  frame.reserve(8 + kTraceBlockBytes + payload.size());
-  if (trace != nullptr) {
-    EncodeFrame(payload, *trace, &frame);
-  } else {
-    EncodeFrame(payload, &frame);
-  }
+  frame.reserve(kFrameHeaderBytes + kTraceBlockBytes + kCorrelBlockBytes +
+                payload.size());
+  EncodeFrameEx(payload, trace, correlation, &frame);
   return socket->WriteAll(frame, deadline);
 }
 
-Status ReadFrame(Socket* socket, std::string* payload, Deadline deadline,
-                 TraceContext* trace) {
-  if (trace != nullptr) *trace = TraceContext{};
-  char header[8];
-  STRATA_RETURN_IF_ERROR(socket->ReadFully(header, sizeof(header), deadline));
-  std::string_view cursor(header, sizeof(header));
+Status ParseFrameHeader(std::string_view header, FrameHeader* out) {
+  std::string_view cursor(header);
   std::uint32_t length = 0;
-  std::uint32_t masked = 0;
   codec::GetFixed32(&cursor, &length);
-  codec::GetFixed32(&cursor, &masked);
-  const bool traced = (length & kFrameTraceFlag) != 0;
-  length &= ~kFrameTraceFlag;
-  if (length > kMaxFrameBytes) {
-    return Status::Corruption("frame length " + std::to_string(length) +
+  codec::GetFixed32(&cursor, &out->masked_crc);
+  out->traced = (length & kFrameTraceFlag) != 0;
+  out->correlated = (length & kFrameCorrelFlag) != 0;
+  out->payload_len = length & ~(kFrameTraceFlag | kFrameCorrelFlag);
+  if (out->payload_len > kMaxFrameBytes) {
+    return Status::Corruption("frame length " +
+                              std::to_string(out->payload_len) +
                               " exceeds limit (desynchronized stream?)");
   }
-  std::uint32_t crc = 0;
-  if (traced) {
-    char block[kTraceBlockBytes];
-    STRATA_RETURN_IF_ERROR(socket->ReadFully(block, sizeof(block), deadline));
-    crc = Crc32c(std::string_view(block, sizeof(block)));
-    std::string_view block_cursor(block, sizeof(block));
+  return Status::Ok();
+}
+
+Status ParseFrameRest(const FrameHeader& header, std::string_view rest,
+                      TraceContext* trace,
+                      std::optional<std::uint64_t>* correlation,
+                      std::string_view* payload) {
+  if (trace != nullptr) *trace = TraceContext{};
+  if (correlation != nullptr) correlation->reset();
+  const std::size_t block_bytes = header.rest_bytes() - header.payload_len;
+  std::string_view blocks = rest.substr(0, block_bytes);
+  const std::uint32_t blocks_crc = Crc32c(blocks);
+  if (header.traced) {
     std::uint64_t trace_id = 0;
     std::uint64_t parent_span = 0;
-    codec::GetFixed64(&block_cursor, &trace_id);
-    codec::GetFixed64(&block_cursor, &parent_span);
+    codec::GetFixed64(&blocks, &trace_id);
+    codec::GetFixed64(&blocks, &parent_span);
     if (trace != nullptr) {
       trace->trace_id = trace_id;
       trace->parent_span = parent_span;
     }
   }
-  payload->resize(length);
-  STRATA_RETURN_IF_ERROR(socket->ReadFully(payload->data(), length, deadline));
-  if (Crc32c(*payload, crc) != UnmaskCrc(masked)) {
+  if (header.correlated) {
+    std::uint64_t id = 0;
+    codec::GetFixed64(&blocks, &id);
+    if (correlation != nullptr) *correlation = id;
+  }
+  std::string_view body = rest.substr(block_bytes);
+  if (Crc32c(body, blocks_crc) != UnmaskCrc(header.masked_crc)) {
     return Status::Corruption("frame checksum mismatch");
+  }
+  *payload = body;
+  return Status::Ok();
+}
+
+Status ReadFrame(Socket* socket, std::string* payload, Deadline deadline,
+                 TraceContext* trace,
+                 std::optional<std::uint64_t>* correlation) {
+  if (trace != nullptr) *trace = TraceContext{};
+  if (correlation != nullptr) correlation->reset();
+  char header_bytes[kFrameHeaderBytes];
+  STRATA_RETURN_IF_ERROR(
+      socket->ReadFully(header_bytes, sizeof(header_bytes), deadline));
+  FrameHeader header;
+  STRATA_RETURN_IF_ERROR(ParseFrameHeader(
+      std::string_view(header_bytes, sizeof(header_bytes)), &header));
+  std::string rest;
+  rest.resize(header.rest_bytes());
+  STRATA_RETURN_IF_ERROR(
+      socket->ReadFully(rest.data(), rest.size(), deadline));
+  std::string_view body;
+  STRATA_RETURN_IF_ERROR(
+      ParseFrameRest(header, rest, trace, correlation, &body));
+  // The payload is the tail of `rest`; move when it is the whole string,
+  // assign otherwise.
+  if (body.size() == rest.size()) {
+    *payload = std::move(rest);
+  } else {
+    payload->assign(body.data(), body.size());
   }
   return Status::Ok();
 }

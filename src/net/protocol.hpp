@@ -35,7 +35,9 @@ enum class ApiKey : std::uint8_t {
 
 /// Highest protocol version this build speaks. v1: original framing.
 /// v2: frames may carry the optional trace-context block (frame.hpp).
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// v3: frames may carry the optional correlation-id block, enabling request
+/// pipelining with out-of-order responses on one connection (frame.hpp).
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 /// Human-readable name for metrics labels and diagnostics.
 [[nodiscard]] const char* ApiKeyName(ApiKey api) noexcept;

@@ -1,0 +1,199 @@
+#include "net/reactor.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace strata::net {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+}
+
+EventLoop::~EventLoop() {
+  Stop();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EventLoop::Start() {
+  if (started_) return Status::InvalidArgument("event loop already started");
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    return Status::IoError("epoll_create1/eventfd failed");
+  }
+  // The wake handler just drains the eventfd counter; tasks are picked up
+  // by the loop body after handlers run.
+  STRATA_RETURN_IF_ERROR(AddFd(wake_fd_, EPOLLIN, [this](std::uint32_t) {
+    std::uint64_t count = 0;
+    while (::read(wake_fd_, &count, sizeof(count)) > 0) {
+    }
+  }));
+  started_ = true;
+  stopping_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mu_);
+    accepting_tasks_ = true;
+  }
+  thread_ = std::thread([this] { Run(); });
+  return Status::Ok();
+}
+
+void EventLoop::Stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard lock(mu_);
+    accepting_tasks_ = false;
+  }
+  const std::uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+  if (thread_.joinable()) thread_.join();
+  DelFd(wake_fd_);
+  started_ = false;
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    if (!accepting_tasks_) return;  // stopped: drop
+    tasks_.push_back(std::move(task));
+  }
+  const std::uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::PostAndWait(std::function<void()> task) {
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  auto latch = std::make_shared<Latch>();
+  bool accepted = false;
+  {
+    std::lock_guard lock(mu_);
+    if (accepting_tasks_) {
+      tasks_.push_back([task = std::move(task), latch] {
+        task();
+        std::lock_guard latch_lock(latch->mu);
+        latch->done = true;
+        latch->cv.notify_one();
+      });
+      accepted = true;
+    }
+  }
+  if (!accepted) {
+    // Loop not running (never started, or stopped): run inline — the caller
+    // is the only thread touching loop-owned state in that case.
+    task();
+    return;
+  }
+  const std::uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+  // An accepted task always runs: either in the loop body or in the final
+  // drain after the loop exits, so this wait cannot hang.
+  std::unique_lock lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->done; });
+}
+
+Status EventLoop::AddFd(int fd, std::uint32_t events, IoHandler handler) {
+  struct epoll_event ev = {};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return Status::IoError(std::string("epoll_ctl(ADD): ") +
+                           std::strerror(errno));
+  }
+  handlers_[fd] = std::make_shared<IoHandler>(std::move(handler));
+  return Status::Ok();
+}
+
+Status EventLoop::ModFd(int fd, std::uint32_t events) {
+  struct epoll_event ev = {};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return Status::IoError(std::string("epoll_ctl(MOD): ") +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void EventLoop::DelFd(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+std::uint64_t EventLoop::AddTimer(Deadline when, std::function<void()> task) {
+  const std::uint64_t id = next_timer_++;
+  timers_.emplace(std::make_pair(when, id), std::move(task));
+  timer_deadlines_.emplace(id, when);
+  return id;
+}
+
+void EventLoop::CancelTimer(std::uint64_t id) {
+  auto it = timer_deadlines_.find(id);
+  if (it == timer_deadlines_.end()) return;
+  timers_.erase(std::make_pair(it->second, id));
+  timer_deadlines_.erase(it);
+}
+
+int EventLoop::NextTimeoutMs() const {
+  if (timers_.empty()) return -1;
+  const Deadline next = timers_.begin()->first.first;
+  const auto now = std::chrono::steady_clock::now();
+  if (next <= now) return 0;
+  const auto ms = std::chrono::ceil<std::chrono::milliseconds>(next - now);
+  return static_cast<int>(std::min<std::int64_t>(ms.count(), 60'000));
+}
+
+void EventLoop::RunTasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard lock(mu_);
+    tasks.swap(tasks_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::RunDueTimers() {
+  const auto now = std::chrono::steady_clock::now();
+  while (!timers_.empty() && timers_.begin()->first.first <= now) {
+    auto node = timers_.extract(timers_.begin());
+    timer_deadlines_.erase(node.key().second);
+    node.mapped()();
+  }
+}
+
+void EventLoop::Run() {
+  constexpr int kMaxEvents = 64;
+  struct epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, NextTimeoutMs());
+    if (n < 0 && errno != EINTR) {
+      LOG_ERROR << "net: epoll_wait failed: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      auto it = handlers_.find(events[i].data.fd);
+      if (it == handlers_.end()) continue;  // removed by an earlier handler
+      // Copy the shared_ptr: the handler may DelFd itself mid-call.
+      std::shared_ptr<IoHandler> handler = it->second;
+      (*handler)(events[i].events);
+    }
+    RunTasks();
+    RunDueTimers();
+  }
+  // Drain tasks queued before the stop flag landed (PostAndWait latches).
+  RunTasks();
+}
+
+}  // namespace strata::net

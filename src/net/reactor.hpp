@@ -1,0 +1,96 @@
+// A minimal epoll event loop: one thread multiplexing many non-blocking
+// file descriptors, plus a cross-thread task queue (Post) and monotonic
+// timers. The BrokerServer runs a small pool of these — each connection is
+// pinned to one loop, so all of a connection's state is touched by exactly
+// one thread and needs no locks.
+//
+// Threading contract:
+//   - Post / PostAndWait are safe from any thread (an eventfd wakes the
+//     loop). After Stop(), Post drops the task instead of running it.
+//   - AddFd / ModFd / DelFd / AddTimer / CancelTimer must be called on the
+//     loop thread (or before Start, while nothing else runs).
+//   - Handlers and tasks run on the loop thread; a handler may remove its
+//     own fd (even itself) mid-call.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/socket.hpp"
+
+namespace strata::net {
+
+class EventLoop {
+ public:
+  /// Called with the ready epoll event mask (EPOLLIN/EPOLLOUT/EPOLLHUP/...).
+  using IoHandler = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Spawn the loop thread. InvalidArgument when already started; IoError
+  /// when the epoll/eventfd plumbing failed at construction.
+  [[nodiscard]] Status Start();
+
+  /// Ask the loop to exit, wake it, and join the thread. Pending Post()ed
+  /// tasks are drained once after the loop exits (fd handlers no longer
+  /// run). Idempotent.
+  void Stop();
+
+  /// Queue `task` to run on the loop thread (any thread). After Stop() the
+  /// task is dropped — callers must not rely on it running.
+  void Post(std::function<void()> task);
+
+  /// Post `task` and block until it ran. Runs inline when the loop is not
+  /// running (single-threaded shutdown paths) — never call from the loop
+  /// thread itself, which would deadlock.
+  void PostAndWait(std::function<void()> task);
+
+  /// Register `fd` for `events` (level-triggered). Loop thread only.
+  [[nodiscard]] Status AddFd(int fd, std::uint32_t events, IoHandler handler);
+  [[nodiscard]] Status ModFd(int fd, std::uint32_t events);
+  void DelFd(int fd);
+
+  /// One-shot timer at absolute monotonic `when`. Loop thread only.
+  std::uint64_t AddTimer(Deadline when, std::function<void()> task);
+  void CancelTimer(std::uint64_t id);
+
+  [[nodiscard]] bool InLoopThread() const noexcept {
+    return thread_.get_id() == std::this_thread::get_id();
+  }
+
+ private:
+  void Run();
+  void RunTasks();
+  void RunDueTimers();
+  [[nodiscard]] int NextTimeoutMs() const;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::mutex mu_;  // guards tasks_ and accepting_tasks_
+  std::vector<std::function<void()>> tasks_;
+  bool accepting_tasks_ = false;  // true only between Start() and Stop()
+
+  // Loop-thread only. Handlers are held by shared_ptr so a handler that
+  // removes its own fd mid-call stays alive until it returns.
+  std::unordered_map<int, std::shared_ptr<IoHandler>> handlers_;
+  std::uint64_t next_timer_ = 1;
+  std::map<std::pair<Deadline, std::uint64_t>, std::function<void()>> timers_;
+  std::unordered_map<std::uint64_t, Deadline> timer_deadlines_;
+};
+
+}  // namespace strata::net

@@ -39,6 +39,36 @@ ClientConnection::ClientConnection(RemoteOptions options)
     retries_ = options_.metrics->GetCounter("net.client.retries");
     reconnects_ = options_.metrics->GetCounter("net.client.connects");
   }
+  // Seed from the object address and the clock: cheap entropy that differs
+  // across the very clients that would otherwise retry in lockstep.
+  rng_state_ = static_cast<std::uint64_t>(
+                   std::chrono::steady_clock::now().time_since_epoch().count()) ^
+               (reinterpret_cast<std::uintptr_t>(this) * 0x9e3779b97f4a7c15ull);
+  if (rng_state_ == 0) rng_state_ = 0x9e3779b97f4a7c15ull;
+}
+
+std::chrono::microseconds ClientConnection::NextBackoff() {
+  // xorshift64*: tiny, stateful, good enough for jitter.
+  rng_state_ ^= rng_state_ >> 12;
+  rng_state_ ^= rng_state_ << 25;
+  rng_state_ ^= rng_state_ >> 27;
+  const std::uint64_t r = rng_state_ * 0x2545f4914f6cdd1dull;
+
+  const std::int64_t lo = std::max<std::int64_t>(1, options_.backoff_initial.count());
+  const std::int64_t hi = std::max(lo + 1, prev_backoff_.count() * 3);
+  std::chrono::microseconds next{
+      lo + static_cast<std::int64_t>(r % static_cast<std::uint64_t>(hi - lo))};
+  next = std::min(next, options_.backoff_max);
+  prev_backoff_ = next;
+  return next;
+}
+
+void ClientConnection::Cancel() {
+  {
+    std::lock_guard lock(cancel_mu_);
+    cancelled_ = true;
+  }
+  cancel_cv_.notify_all();
 }
 
 Status ClientConnection::EnsureConnected() {
@@ -114,14 +144,23 @@ Status ClientConnection::Call(ApiKey api, std::string_view body,
                               std::string* response_body,
                               std::chrono::microseconds extra_wait,
                               bool retry) {
-  auto backoff = options_.backoff_initial;
+  {
+    std::lock_guard lock(cancel_mu_);
+    if (cancelled_) return Status::Closed("client connection cancelled");
+  }
+  prev_backoff_ = options_.backoff_initial;  // each Call restarts the ladder
   Status last = Status::Ok();
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) {
       if (!retry) break;
       if (retries_ != nullptr) retries_->Inc();
-      std::this_thread::sleep_for(backoff);
-      backoff = std::min(backoff * 2, options_.backoff_max);
+      // Decorrelated-jitter sleep, abortable by Cancel(): a closing client
+      // must not sit out the full backoff before noticing.
+      const auto backoff = NextBackoff();
+      std::unique_lock lock(cancel_mu_);
+      if (cancel_cv_.wait_for(lock, backoff, [this] { return cancelled_; })) {
+        return Status::Closed("client connection cancelled");
+      }
     }
     last = EnsureConnected();
     if (!last.ok()) continue;  // connect failures are always retryable

@@ -4,19 +4,23 @@
 // interfaces as the embedded transport, so STRATA pipelines switch between
 // in-process and networked brokers without code changes.
 //
-// Each producer and consumer owns its own connection: a consumer's long-poll
-// Fetch would otherwise block every producer sharing the socket (the
-// protocol has no pipelining). Connections reconnect transparently with
-// bounded exponential backoff; a request that exhausts its retries surfaces
-// the last transport error as a clean Status. Produce retries after a
-// connection drop may duplicate a record (at-least-once) — the ack may have
-// been lost, not the write.
+// Each producer and consumer owns its own connection: this client speaks
+// strict request/response (it does not use the protocol's v3 correlation-id
+// pipelining), so a consumer's long-poll Fetch would otherwise block every
+// producer sharing the socket. Connections reconnect transparently with
+// decorrelated-jitter backoff — randomized per connection so a fleet severed
+// by one broker restart fans back in instead of reconnecting in lockstep —
+// and a request that exhausts its retries surfaces the last transport error
+// as a clean Status. Produce retries after a connection drop may duplicate a
+// record (at-least-once) — the ack may have been lost, not the write.
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -49,10 +53,11 @@ class ClientConnection {
  public:
   explicit ClientConnection(RemoteOptions options);
 
-  /// Round-trip one request. Reconnects and retries (bounded exponential
-  /// backoff) on transport errors when `idempotent` allows it; application
-  /// errors from the server are returned as-is without retry.
-  /// `extra_wait` widens the read deadline for server-side long-polls.
+  /// Round-trip one request. Reconnects and retries (decorrelated-jitter
+  /// backoff, capped at backoff_max) on transport errors when `retry`
+  /// allows it; application errors from the server are returned as-is
+  /// without retry. `extra_wait` widens the read deadline for server-side
+  /// long-polls.
   [[nodiscard]] Status Call(ApiKey api, std::string_view body,
                             std::string* response_body,
                             std::chrono::microseconds extra_wait = {},
@@ -61,8 +66,18 @@ class ClientConnection {
   /// Drop the connection; the next Call reconnects.
   void Disconnect() noexcept { socket_.Close(); }
 
+  /// Abort an in-progress retry backoff sleep and make every subsequent
+  /// Call fail fast with Status::Closed. The one thread-safe entry point on
+  /// this otherwise single-owner class: a closing client must not sit out a
+  /// full backoff (up to backoff_max) before noticing it was asked to stop.
+  /// An attempt already blocked on the socket still runs to its deadline.
+  void Cancel();
+
  private:
   [[nodiscard]] Status EnsureConnected();
+  /// Next retry sleep: uniform in [backoff_initial, 3 * previous), capped
+  /// at backoff_max (decorrelated jitter).
+  [[nodiscard]] std::chrono::microseconds NextBackoff();
   [[nodiscard]] Status RoundTrip(ApiKey api, std::string_view body,
                                  std::string* response_body,
                                  std::chrono::microseconds extra_wait);
@@ -81,6 +96,17 @@ class ClientConnection {
   bool assume_v1_ = false;
   obs::Counter* retries_ = nullptr;
   obs::Counter* reconnects_ = nullptr;
+
+  /// Backoff state. The PRNG is seeded per connection so concurrently
+  /// retrying clients spread out instead of thundering back together.
+  std::uint64_t rng_state_;
+  std::chrono::microseconds prev_backoff_{0};
+
+  /// Cancellation latch: cancelled_ is guarded by cancel_mu_; the cv wakes
+  /// a retry sleep early.
+  std::mutex cancel_mu_;
+  std::condition_variable cancel_cv_;
+  bool cancelled_ = false;
 };
 
 class RemoteProducer final : public ps::ProducerClient {

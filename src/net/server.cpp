@@ -1,36 +1,34 @@
 #include "net/server.hpp"
 
+#include <sys/epoll.h>
+
 #include <algorithm>
-#include <chrono>
 
 #include "common/logging.hpp"
-#include "fault/failpoint.hpp"
-#include "net/frame.hpp"
-#include "obs/trace.hpp"
+#include "net/server_conn.hpp"
 
 namespace strata::net {
 
-namespace {
-
-/// Slice long waits so handler threads notice the stop flag promptly.
-constexpr std::chrono::microseconds kWaitSlice{50'000};
-
-/// Microseconds on the monotonic clock, for latency histograms.
-std::int64_t NowUs() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
-
 BrokerServer::BrokerServer(ps::Broker* broker, BrokerServerOptions options)
-    : broker_(broker), options_(std::move(options)) {
+    : broker_(broker),
+      options_(std::move(options)),
+      ctx_(std::make_unique<ServerContext>()) {
+  ctx_->broker = broker_;
+  ctx_->options = &options_;
+  ctx_->stopping = &stopping_;
+  ctx_->metrics = options_.metrics;
   if (options_.metrics != nullptr) {
-    connections_gauge_ = options_.metrics->GetGauge("net.server.connections");
-    bytes_in_ = options_.metrics->GetCounter("net.server.bytes_in");
-    bytes_out_ = options_.metrics->GetCounter("net.server.bytes_out");
+    ctx_->connections_gauge =
+        options_.metrics->GetGauge("net.server.connections");
+    ctx_->bytes_in = options_.metrics->GetCounter("net.server.bytes_in");
+    ctx_->bytes_out = options_.metrics->GetCounter("net.server.bytes_out");
+    ctx_->fetch_wakeups =
+        options_.metrics->GetCounter("net.server.fetch_wakeups");
   }
+  ctx_->on_closed = [this](ServerConnection* conn) {
+    std::lock_guard lock(conns_mu_);
+    conns_.erase(conn);
+  };
 }
 
 BrokerServer::~BrokerServer() { Stop(); }
@@ -41,355 +39,107 @@ Status BrokerServer::Start() {
   if (!listener.ok()) return listener.status();
   listener_ = std::move(*listener);
   port_ = listener_.port();
-  started_ = true;
   stopping_.store(false, std::memory_order_relaxed);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+
+  const std::size_t workers = std::max<std::size_t>(1, options_.event_loop_workers);
+  loops_.clear();
+  next_loop_ = 0;
+  for (std::size_t i = 0; i < workers; ++i) {
+    auto loop = std::make_unique<EventLoop>();
+    if (Status s = loop->Start(); !s.ok()) {
+      for (auto& started : loops_) started->Stop();
+      loops_.clear();
+      listener_.Close();
+      return s;
+    }
+    loops_.push_back(std::move(loop));
+  }
+
+  Status armed = Status::Ok();
+  loops_[0]->PostAndWait([this, &armed] {
+    armed = loops_[0]->AddFd(listener_.fd(), EPOLLIN,
+                             [this](std::uint32_t) { OnAcceptReady(); });
+  });
+  if (!armed.ok()) {
+    for (auto& loop : loops_) loop->Stop();
+    loops_.clear();
+    listener_.Close();
+    return armed;
+  }
+
+  started_ = true;
   LOG_INFO << "net: broker server listening on " << options_.host << ":"
-           << port_;
+           << port_ << " (" << workers << " event loops)";
   return Status::Ok();
+}
+
+void BrokerServer::OnAcceptReady() {
+  for (;;) {
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    // An already-expired deadline makes Accept non-blocking: it tries
+    // accept(2) once (running the net.accept failpoint) and reports Timeout
+    // when nothing is pending.
+    auto accepted = listener_.Accept(std::chrono::steady_clock::now());
+    if (!accepted.ok()) {
+      if (accepted.status().IsTimeout()) return;  // listener drained
+      if (!stopping_.load(std::memory_order_relaxed)) {
+        LOG_ERROR << "net: accept failed: " << accepted.status().ToString();
+      }
+      // Hard accept error: stop accepting (connections keep being served).
+      loops_[0]->DelFd(listener_.fd());
+      return;
+    }
+    EventLoop* loop = loops_[next_loop_++ % loops_.size()].get();
+    auto conn =
+        std::make_shared<ServerConnection>(ctx_.get(), loop, std::move(*accepted));
+    {
+      std::lock_guard lock(conns_mu_);
+      conns_.emplace(conn.get(), conn);
+    }
+    loop->Post([this, conn] {
+      if (stopping_.load(std::memory_order_relaxed)) {
+        conn->Close();
+        return;
+      }
+      if (Status s = conn->Register(); !s.ok()) {
+        LOG_WARN << "net: failed to register connection: " << s.ToString();
+        conn->Close();
+      }
+    });
+  }
 }
 
 void BrokerServer::Stop() {
   if (!started_) return;
-  stopping_.store(true, std::memory_order_relaxed);
-  // The accept loop re-checks stopping_ every accept slice, so joining first
-  // (instead of closing the listener under it) keeps the fd single-owner.
-  if (accept_thread_.joinable()) accept_thread_.join();
+  stopping_.store(true, std::memory_order_release);
+
+  // Disarm the accept handler before closing the listener fd: the barrier
+  // also orders after any in-flight OnAcceptReady, so every adoption was
+  // posted by the time it returns.
+  loops_[0]->PostAndWait([this] { loops_[0]->DelFd(listener_.fd()); });
   listener_.Close();
 
-  std::vector<std::unique_ptr<Connection>> connections;
+  // Close every connection on its own loop; severed sockets promptly fail
+  // any client blocked in a long-poll.
+  std::vector<std::shared_ptr<ServerConnection>> snapshot;
   {
-    std::lock_guard lock(mu_);
-    connections.swap(connections_);
+    std::lock_guard lock(conns_mu_);
+    snapshot.reserve(conns_.size());
+    for (const auto& [raw, shared] : conns_) snapshot.push_back(shared);
   }
-  for (auto& conn : connections) {
-    conn->socket.Shutdown();  // unblocks the handler's ReadFully
+  for (const auto& conn : snapshot) {
+    conn->loop()->Post([conn] { conn->Close(); });
   }
-  for (auto& conn : connections) {
-    if (conn->thread.joinable()) conn->thread.join();
+  // Barrier: the close tasks queued above have run once this returns.
+  for (auto& loop : loops_) loop->PostAndWait([] {});
+  for (auto& loop : loops_) loop->Stop();
+  snapshot.clear();
+  {
+    std::lock_guard lock(conns_mu_);
+    conns_.clear();
   }
+  loops_.clear();
   started_ = false;
-}
-
-void BrokerServer::ReapFinishedLocked() {
-  std::erase_if(connections_, [](const std::unique_ptr<Connection>& conn) {
-    if (!conn->done.load(std::memory_order_acquire)) return false;
-    if (conn->thread.joinable()) conn->thread.join();
-    return true;
-  });
-}
-
-void BrokerServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    auto accepted = listener_.Accept(After(std::chrono::milliseconds(200)));
-    if (!accepted.ok()) {
-      if (accepted.status().IsTimeout()) continue;
-      // Listener closed (Stop) or hard error: either way the loop is done.
-      if (!stopping_.load(std::memory_order_relaxed)) {
-        LOG_ERROR << "net: accept failed: " << accepted.status().ToString();
-      }
-      return;
-    }
-    auto conn = std::make_unique<Connection>(std::move(*accepted));
-    Connection* raw = conn.get();
-    {
-      std::lock_guard lock(mu_);
-      ReapFinishedLocked();
-      connections_.push_back(std::move(conn));
-    }
-    if (connections_gauge_ != nullptr) connections_gauge_->Add(1);
-    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
-  }
-}
-
-void BrokerServer::ServeConnection(Connection* conn) {
-  std::string request;
-  std::string response;
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    // Block without a deadline: Stop() shuts the socket down to wake us, and
-    // an idle client costs nothing but this parked thread.
-    TraceContext frame_trace;
-    Status read = ReadFrame(&conn->socket, &request, kNoDeadline, &frame_trace);
-    if (!read.ok()) {
-      if (read.IsCorruption()) {
-        // A corrupt frame may have desynchronized the stream; drop the
-        // connection rather than misparse everything after it.
-        LOG_WARN << "net: dropping connection after corrupt frame: "
-                 << read.message();
-      }
-      break;
-    }
-    if (bytes_in_ != nullptr) bytes_in_->Inc(request.size() + 8);
-
-    response.clear();
-    Status handled;
-    {
-      // Server-side hop of a traced request: dur covers dispatch; the client
-      // frame span is the parent.
-      obs::SpanScope span;
-      if (frame_trace.sampled() && obs::TracingEnabled()) {
-        span = obs::SpanScope("server.dispatch", "net", frame_trace);
-      }
-      handled = HandleRequest(conn, request, &response);
-    }
-    // Failpoint "net.server.dispatch": sever the connection after the request
-    // was applied but before the response goes out — the crash window that
-    // makes produce at-least-once (the client retries an applied request).
-    if (fault::AnyActive() && !fault::Evaluate("net.server.dispatch").ok()) {
-      LOG_WARN << "net: dropping connection at net.server.dispatch failpoint";
-      break;
-    }
-    Status written = Status::Ok();
-    if (!response.empty()) {  // empty = the request envelope didn't decode
-      // Echo the request's trace onto the response frame for v2 peers, so
-      // the reply leg is attributable to the same trace.
-      const TraceContext* response_trace =
-          conn->peer_version >= 2 && frame_trace.sampled() ? &frame_trace
-                                                           : nullptr;
-      written = WriteFrame(&conn->socket, response,
-                           After(options_.write_timeout), response_trace);
-      if (written.ok() && bytes_out_ != nullptr) {
-        bytes_out_->Inc(response.size() + 8);
-      }
-    }
-    if (!handled.ok()) {
-      // The error response (if any) went out above; now sever — a corrupt
-      // body means the next frame boundary cannot be trusted.
-      LOG_WARN << "net: dropping connection: " << handled.ToString();
-      break;
-    }
-    if (!written.ok()) break;
-  }
-
-  // The connection is the group session: a dead client must release its
-  // partitions so the remaining members rebalance instead of stalling.
-  for (const auto& [group, member] : conn->memberships) {
-    broker_->LeaveGroup(group, member);
-  }
-  // Shutdown (not Close) so the peer sees FIN now, while the fd itself stays
-  // valid for a concurrent Stop(): the Connection's destructor — which runs
-  // strictly after this thread is joined — performs the actual close.
-  conn->socket.Shutdown();
-  if (connections_gauge_ != nullptr) connections_gauge_->Sub(1);
-  conn->done.store(true, std::memory_order_release);
-}
-
-Status BrokerServer::HandleRequest(Connection* conn, std::string_view payload,
-                                   std::string* response) {
-  ApiKey api{};
-  std::string_view body;
-  Status decoded = DecodeRequest(payload, &api, &body);
-  if (!decoded.ok()) return decoded;  // cannot even answer: drop connection
-
-  obs::Counter* requests = nullptr;
-  obs::HistogramMetric* latency = nullptr;
-  if (options_.metrics != nullptr) {
-    const obs::Labels labels{{"api", ApiKeyName(api)}};
-    requests = options_.metrics->GetCounter("net.server.requests", labels);
-    latency =
-        options_.metrics->GetHistogram("net.server.request_latency_us", labels);
-  }
-  const std::int64_t start_us = NowUs();
-
-  Status status = Status::Ok();
-  std::string out;
-  switch (api) {
-    case ApiKey::kCreateTopic: {
-      CreateTopicRequest req;
-      status = DecodeCreateTopic(body, &req);
-      if (status.ok()) status = broker_->CreateTopic(req.topic, req.config);
-      break;
-    }
-    case ApiKey::kMetadata: {
-      MetadataRequest req;
-      status = DecodeMetadataRequest(body, &req);
-      if (status.ok()) {
-        MetadataResponse resp;
-        std::vector<std::string> topics;
-        if (req.topic.empty()) {
-          topics = broker_->ListTopics();
-        } else {
-          topics.push_back(req.topic);
-        }
-        for (const std::string& topic : topics) {
-          auto stats = broker_->GetTopicStats(topic);
-          if (!stats.ok()) {
-            status = stats.status();
-            break;
-          }
-          resp.topics.push_back(TopicMetadata{topic, stats->offsets});
-        }
-        if (status.ok()) EncodeMetadataResponse(resp, &out);
-      }
-      break;
-    }
-    case ApiKey::kProduce: {
-      ProduceRequest req;
-      status = DecodeProduceRequest(body, &req);
-      if (status.ok()) {
-        auto appended = broker_->Produce(req.topic, req.record);
-        status = appended.status();
-        if (status.ok()) {
-          EncodeProduceResponse(
-              ProduceResponse{appended->first, appended->second}, &out);
-        }
-      }
-      break;
-    }
-    case ApiKey::kFetch:
-      status = HandleFetch(body, &out);
-      break;
-    case ApiKey::kJoinGroup: {
-      GroupRequest req;
-      status = DecodeGroupRequest(body, &req);
-      if (status.ok()) {
-        auto member = broker_->JoinGroup(req.group, req.topic);
-        status = member.status();
-        if (status.ok()) {
-          conn->memberships.emplace_back(req.group, *member);
-          EncodeJoinGroupResponse(JoinGroupResponse{*member}, &out);
-        }
-      }
-      break;
-    }
-    case ApiKey::kLeaveGroup: {
-      GroupRequest req;
-      status = DecodeGroupRequest(body, &req);
-      if (status.ok()) {
-        broker_->LeaveGroup(req.group, req.member);
-        std::erase(conn->memberships, std::pair{req.group, req.member});
-      }
-      break;
-    }
-    case ApiKey::kHeartbeat: {
-      GroupRequest req;
-      status = DecodeGroupRequest(body, &req);
-      if (status.ok()) {
-        HeartbeatResponse resp;
-        resp.assignment =
-            broker_->Assignment(req.group, req.member, &resp.generation);
-        EncodeHeartbeatResponse(resp, &out);
-      }
-      break;
-    }
-    case ApiKey::kCommitOffset: {
-      CommitOffsetRequest req;
-      status = DecodeCommitOffsetRequest(body, &req);
-      for (const auto& [tp, offset] : req.offsets) {
-        if (!status.ok()) break;
-        status = broker_->CommitOffset(req.group, tp, offset);
-      }
-      break;
-    }
-    case ApiKey::kOffsetFetch: {
-      OffsetFetchRequest req;
-      status = DecodeOffsetFetchRequest(body, &req);
-      if (status.ok()) {
-        OffsetFetchResponse resp;
-        resp.offsets.reserve(req.partitions.size());
-        for (const ps::TopicPartition& tp : req.partitions) {
-          auto committed = broker_->CommittedOffset(req.group, tp);
-          if (committed.ok()) {
-            resp.offsets.push_back(*committed);
-          } else if (committed.status().IsNotFound()) {
-            resp.offsets.push_back(OffsetFetchResponse::kNone);
-          } else {
-            status = committed.status();
-            break;
-          }
-        }
-        if (status.ok()) EncodeOffsetFetchResponse(resp, &out);
-      }
-      break;
-    }
-    case ApiKey::kHello: {
-      HelloRequest req;
-      status = DecodeHelloRequest(body, &req);
-      if (status.ok()) {
-        conn->peer_version = std::min(req.max_version, kProtocolVersion);
-        EncodeHelloResponse(HelloResponse{conn->peer_version}, &out);
-      }
-      break;
-    }
-  }
-
-  if (requests != nullptr) requests->Inc();
-  if (latency != nullptr) latency->Record(NowUs() - start_us);
-
-  // A malformed body means the client and server disagree about the protocol
-  // (or the frame CRC missed something): answer with the error once, then
-  // sever — the next frame boundary cannot be trusted.
-  EncodeResponse(status, out, response);
-  return status.IsCorruption() ? status : Status::Ok();
-}
-
-Status BrokerServer::HandleFetch(std::string_view body, std::string* out) {
-  FetchRequest req;
-  STRATA_RETURN_IF_ERROR(DecodeFetchRequest(body, &req));
-
-  const auto wait_budget = std::min(
-      std::chrono::microseconds(static_cast<std::int64_t>(req.max_wait_us)),
-      options_.max_fetch_wait);
-  const Deadline deadline = After(wait_budget);
-
-  std::vector<ps::TopicPartition> partitions;
-  std::map<ps::TopicPartition, std::int64_t> positions;
-  partitions.reserve(req.entries.size());
-  for (const FetchRequest::Entry& entry : req.entries) {
-    partitions.push_back(entry.tp);
-    positions[entry.tp] = entry.offset;
-  }
-
-  FetchResponse resp;
-  auto fetch_once = [&]() -> Status {
-    resp.entries.clear();
-    for (const FetchRequest::Entry& entry : req.entries) {
-      auto log = broker_->GetLog(entry.tp.topic, entry.tp.partition);
-      if (!log.ok()) return log.status();
-      FetchResponse::Entry result;
-      result.tp = entry.tp;
-      // Heal offsets that fell below the retention horizon, exactly like the
-      // embedded consumer does.
-      std::int64_t offset = std::max(entry.offset, (*log)->StartOffset());
-      std::vector<ps::Record> records;
-      std::int64_t next = offset;
-      STRATA_RETURN_IF_ERROR((*log)->ReadFrom(
-          offset, static_cast<std::size_t>(entry.max_records), &records,
-          &next));
-      result.records.reserve(records.size());
-      for (ps::Record& record : records) {
-        ps::ConsumedRecord consumed;
-        consumed.topic = entry.tp.topic;
-        consumed.partition = entry.tp.partition;
-        consumed.offset = offset++;
-        consumed.key = std::move(record.key);
-        consumed.value = std::move(record.value);
-        consumed.timestamp = record.timestamp;
-        result.records.push_back(std::move(consumed));
-      }
-      result.next_offset = next;
-      resp.entries.push_back(std::move(result));
-    }
-    return Status::Ok();
-  };
-
-  STRATA_RETURN_IF_ERROR(fetch_once());
-  // Long-poll: park on the broker's data signal in short slices so Stop()
-  // and broker Close() are noticed within one slice.
-  while (resp.empty() && !req.entries.empty() &&
-         !stopping_.load(std::memory_order_relaxed)) {
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) break;
-    const auto remaining =
-        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now);
-    (void)broker_->WaitForAnyData(partitions, positions,
-                                  std::min(remaining, kWaitSlice));
-    if (broker_->closed()) return Status::Closed("broker closed");
-    STRATA_RETURN_IF_ERROR(fetch_once());
-  }
-
-  EncodeFetchResponse(resp, out);
-  return Status::Ok();
 }
 
 }  // namespace strata::net

@@ -1,12 +1,18 @@
 // BrokerServer: exposes an embedded ps::Broker over TCP.
 //
-// Thread-per-connection: the accept loop spawns one handler thread per
-// client, which reads framed requests (see net/frame.hpp, net/protocol.hpp)
-// and dispatches them onto the broker. The protocol is strictly
-// request/response, so a handler thread is either blocked reading the next
-// request or executing one — Stop() shuts every connection socket down,
-// which unblocks the readers, and long-poll Fetches wait on the broker's
-// data signal in short slices so they notice the stop flag promptly.
+// Epoll reactor front-end: a small pool of event-loop workers
+// (net/reactor.hpp), each owning a set of non-blocking connections
+// (net/server_conn.hpp). The accept handler lives on the first loop and
+// deals new connections round-robin across the pool; from then on all of a
+// connection's I/O, dispatch, and long-poll parking happen on its loop
+// thread. No thread ever blocks per-connection: long-poll Fetches park on
+// the broker's per-shard waiter lists and are resumed by the reactor when
+// data arrives (see ps::Broker::AddDataWaiter), so thousands of idle
+// long-polling consumers cost a few fds each, not a thread.
+//
+// Requests may be pipelined: a v3 client tags frames with correlation ids
+// and receives completions out of order; v1/v2 clients get strict
+// request-order responses (see server_conn.hpp for the ordering rules).
 //
 // Consumer-group sessions are tied to the connection: every (group, member)
 // joined through a connection is left automatically when that connection
@@ -15,20 +21,23 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <utility>
+#include <unordered_map>
 #include <vector>
 
-#include "net/protocol.hpp"
+#include "net/reactor.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
 #include "pubsub/broker.hpp"
 
 namespace strata::net {
+
+struct ServerContext;
+class ServerConnection;
 
 struct BrokerServerOptions {
   std::string host = "127.0.0.1";
@@ -36,11 +45,18 @@ struct BrokerServerOptions {
   std::uint16_t port = 0;
   /// Cap on the server-side long-poll budget a Fetch may request.
   std::chrono::microseconds max_fetch_wait = std::chrono::seconds(5);
-  /// Deadline for writing one response back to a client.
+  /// A connection whose outbound buffer makes no progress for this long
+  /// (client alive but not reading) is dropped.
   std::chrono::microseconds write_timeout = std::chrono::seconds(30);
   /// Optional registry for net.server.* metrics (connections gauge, request
-  /// counters by api, bytes in/out, request latency histograms).
+  /// counters by api, bytes in/out, request latency histograms, parked
+  /// fetch wake-ups).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Epoll event-loop workers serving connections; each connection is
+  /// pinned to one loop for its lifetime. Clamped to >= 1. Pair with
+  /// ps::BrokerOptions::shards — loops scale the front-end, shards scale
+  /// the data plane behind it.
+  std::size_t event_loop_workers = 2;
 };
 
 class BrokerServer {
@@ -52,10 +68,10 @@ class BrokerServer {
   BrokerServer(const BrokerServer&) = delete;
   BrokerServer& operator=(const BrokerServer&) = delete;
 
-  /// Bind, listen, and start the accept loop.
+  /// Bind, listen, start the event-loop pool, and arm the accept handler.
   [[nodiscard]] Status Start();
 
-  /// Stop accepting, shut down every connection, join all threads.
+  /// Stop accepting, close every connection, stop and join all loops.
   /// Idempotent.
   void Stop();
 
@@ -66,45 +82,26 @@ class BrokerServer {
   }
 
  private:
-  struct Connection {
-    explicit Connection(Socket s) : socket(std::move(s)) {}
-    Socket socket;
-    std::thread thread;
-    /// Groups joined through this connection; auto-left on disconnect.
-    std::vector<std::pair<std::string, ps::MemberId>> memberships;
-    /// Negotiated protocol version (1 until the client sends Hello). The
-    /// server writes trace-flagged frames only to v2+ peers.
-    std::uint32_t peer_version = 1;
-    std::atomic<bool> done{false};
-  };
-
-  void AcceptLoop();
-  void ServeConnection(Connection* conn);
-  /// Decode, dispatch, and encode one request. The returned status is the
-  /// *transport* outcome; application errors travel inside the response.
-  [[nodiscard]] Status HandleRequest(Connection* conn,
-                                     std::string_view payload,
-                                     std::string* response);
-
-  [[nodiscard]] Status HandleFetch(std::string_view body, std::string* out);
-
-  void ReapFinishedLocked();  // REQUIRES mu_
+  /// Accept handler, run on loops_[0]: drains the listener and deals
+  /// connections round-robin across the pool.
+  void OnAcceptReady();
 
   ps::Broker* broker_;
   BrokerServerOptions options_;
+  std::unique_ptr<ServerContext> ctx_;
   ListenSocket listener_;
   std::uint16_t port_ = 0;
-  std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
   bool started_ = false;
 
-  std::mutex mu_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::size_t next_loop_ = 0;  // touched only by the accept handler
 
-  // Metrics handles (null when no registry was given).
-  obs::Gauge* connections_gauge_ = nullptr;
-  obs::Counter* bytes_in_ = nullptr;
-  obs::Counter* bytes_out_ = nullptr;
+  /// Connection registry: inserted by the accept handler, erased (on the
+  /// connection's loop thread) via ServerContext::on_closed.
+  std::mutex conns_mu_;
+  std::unordered_map<ServerConnection*, std::shared_ptr<ServerConnection>>
+      conns_;
 };
 
 }  // namespace strata::net

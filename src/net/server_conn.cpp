@@ -1,0 +1,678 @@
+#include "net/server_conn.hpp"
+
+#include <sys/epoll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "common/logging.hpp"
+#include "fault/failpoint.hpp"
+#include "net/frame.hpp"
+#include "net/server.hpp"
+#include "obs/trace.hpp"
+
+namespace strata::net {
+
+namespace {
+
+/// Per-event read cap: level-triggered epoll re-notifies leftover data, so
+/// bounding one event's work keeps one chatty client from starving the
+/// loop's other connections.
+constexpr std::size_t kReadChunk = 64 * 1024;
+constexpr int kReadChunksPerEvent = 4;
+
+/// Microseconds on the monotonic clock, for latency histograms.
+std::int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One non-blocking fetch pass over the request's partitions. Offsets below
+/// the retention horizon are healed upward, exactly like the embedded
+/// consumer does; `*healed` records the healed position per partition so
+/// the caller parks its wait on offsets the log can actually reach — a wait
+/// keyed on the raw client offset would see "data available" forever on a
+/// trimmed partition and spin out its whole budget.
+Status FetchOnce(ps::Broker* broker, const FetchRequest& req,
+                 FetchResponse* resp,
+                 std::map<ps::TopicPartition, std::int64_t>* healed) {
+  resp->entries.clear();
+  for (const FetchRequest::Entry& entry : req.entries) {
+    auto log = broker->GetLog(entry.tp.topic, entry.tp.partition);
+    if (!log.ok()) return log.status();
+    FetchResponse::Entry result;
+    result.tp = entry.tp;
+    std::int64_t offset = std::max(entry.offset, (*log)->StartOffset());
+    (*healed)[entry.tp] = offset;
+    std::vector<ps::Record> records;
+    std::int64_t next = offset;
+    STRATA_RETURN_IF_ERROR((*log)->ReadFrom(
+        offset, static_cast<std::size_t>(entry.max_records), &records, &next));
+    result.records.reserve(records.size());
+    for (ps::Record& record : records) {
+      ps::ConsumedRecord consumed;
+      consumed.topic = entry.tp.topic;
+      consumed.partition = entry.tp.partition;
+      consumed.offset = offset++;
+      consumed.key = std::move(record.key);
+      consumed.value = std::move(record.value);
+      consumed.timestamp = record.timestamp;
+      result.records.push_back(std::move(consumed));
+    }
+    result.next_offset = next;
+    resp->entries.push_back(std::move(result));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+ServerConnection::ServerConnection(ServerContext* ctx, EventLoop* loop,
+                                   Socket socket)
+    : ctx_(ctx),
+      loop_(loop),
+      socket_(std::move(socket)),
+      wake_(std::make_shared<WakeTarget>()) {}
+
+ServerConnection::~ServerConnection() = default;
+
+Status ServerConnection::Register() {
+  STRATA_RETURN_IF_ERROR(loop_->AddFd(
+      socket_.fd(), EPOLLIN, [this](std::uint32_t ev) { OnIoEvent(ev); }));
+  registered_ = true;
+  {
+    std::lock_guard lock(wake_->mu);
+    wake_->loop = loop_;
+  }
+  wake_->conn = this;
+  if (ctx_->connections_gauge != nullptr) ctx_->connections_gauge->Add(1);
+  return Status::Ok();
+}
+
+void ServerConnection::Close() {
+  if (closed_) return;
+  closed_ = true;
+  {
+    std::lock_guard lock(wake_->mu);
+    wake_->loop = nullptr;
+  }
+  wake_->conn = nullptr;
+  for (ParkedFetch& parked : parked_) {
+    for (const auto& [shard, id] : parked.waiters) {
+      ctx_->broker->RemoveDataWaiter(shard, id);
+    }
+    if (parked.timer_id != 0) loop_->CancelTimer(parked.timer_id);
+  }
+  parked_.clear();
+  if (write_stall_timer_ != 0) {
+    loop_->CancelTimer(write_stall_timer_);
+    write_stall_timer_ = 0;
+  }
+  if (registered_) {
+    loop_->DelFd(socket_.fd());
+    if (ctx_->connections_gauge != nullptr) ctx_->connections_gauge->Sub(1);
+  }
+  // The connection is the group session: a dead client must release its
+  // partitions so the remaining members rebalance instead of stalling.
+  for (const auto& [group, member] : memberships_) {
+    ctx_->broker->LeaveGroup(group, member);
+  }
+  memberships_.clear();
+  socket_.Shutdown();
+  socket_.Close();
+  auto on_closed = ctx_->on_closed;
+  if (on_closed) on_closed(this);  // may destroy *this; touch nothing after
+}
+
+void ServerConnection::ScheduleClose() {
+  auto wake = wake_;
+  loop_->Post([wake] {
+    if (wake->conn != nullptr) wake->conn->Close();
+  });
+}
+
+void ServerConnection::OnIoEvent(std::uint32_t events) {
+  auto guard = wake_;
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    Close();
+    return;
+  }
+  if ((events & EPOLLIN) != 0) {
+    OnReadable();
+    if (guard->conn == nullptr) return;  // closed during read/dispatch
+  }
+  if ((events & EPOLLOUT) != 0) OnWritable();
+}
+
+void ServerConnection::OnReadable() {
+  if (severing_) return;
+  char chunk[kReadChunk];
+  for (int i = 0; i < kReadChunksPerEvent; ++i) {
+    auto n = socket_.ReadSome(chunk, sizeof(chunk));
+    if (!n.ok()) {
+      // Orderly close, reset, or an injected net.recv fault: either way
+      // this connection is done.
+      Close();
+      return;
+    }
+    if (*n == 0) break;  // drained
+    rbuf_.append(chunk, *n);
+    if (*n < sizeof(chunk)) break;
+  }
+  ProcessBuffer();
+}
+
+void ServerConnection::ProcessBuffer() {
+  auto guard = wake_;
+  while (!severing_) {
+    const std::size_t avail = rbuf_.size() - rpos_;
+    if (avail < kFrameHeaderBytes) break;
+    FrameHeader header;
+    Status parsed = ParseFrameHeader(
+        std::string_view(rbuf_).substr(rpos_, kFrameHeaderBytes), &header);
+    if (!parsed.ok()) {
+      // A corrupt length desynchronizes the stream; nothing after it can be
+      // trusted, so drop the connection without answering.
+      LOG_WARN << "net: dropping connection after corrupt frame: "
+               << parsed.message();
+      Close();
+      return;
+    }
+    if (avail < kFrameHeaderBytes + header.rest_bytes()) break;
+    TraceContext trace;
+    std::optional<std::uint64_t> correlation;
+    std::string_view payload;
+    parsed = ParseFrameRest(
+        header,
+        std::string_view(rbuf_).substr(rpos_ + kFrameHeaderBytes,
+                                       header.rest_bytes()),
+        &trace, &correlation, &payload);
+    if (!parsed.ok()) {
+      LOG_WARN << "net: dropping connection after corrupt frame: "
+               << parsed.message();
+      Close();
+      return;
+    }
+    rpos_ += kFrameHeaderBytes + header.rest_bytes();
+    DispatchFrame(payload, trace, correlation);
+    if (guard->conn == nullptr) return;  // closed during dispatch
+  }
+  if (rpos_ > 0) {
+    rbuf_.erase(0, rpos_);
+    rpos_ = 0;
+  }
+}
+
+void ServerConnection::DispatchFrame(
+    std::string_view payload, const TraceContext& trace,
+    const std::optional<std::uint64_t>& correlation) {
+  if (ctx_->bytes_in != nullptr) {
+    ctx_->bytes_in->Inc(payload.size() + kFrameHeaderBytes);
+  }
+  // Uncorrelated responses must go out in arrival order; reserve the slot
+  // before dispatch so a parked fetch holds its place in the queue.
+  std::shared_ptr<Slot> slot;
+  if (!correlation.has_value()) {
+    slot = std::make_shared<Slot>();
+    slots_.push_back(slot);
+  }
+  std::string response;
+  bool parked = false;
+  Status handled;
+  {
+    // Server-side hop of a traced request: dur covers dispatch; the client
+    // frame span is the parent.
+    obs::SpanScope span;
+    if (trace.sampled() && obs::TracingEnabled()) {
+      span = obs::SpanScope("server.dispatch", "net", trace);
+    }
+    handled =
+        HandleRequest(payload, trace, correlation, slot, &response, &parked);
+  }
+  // Failpoint "net.server.dispatch": sever the connection after the request
+  // was applied but before the response goes out — the crash window that
+  // makes produce at-least-once (the client retries an applied request).
+  if (fault::AnyActive() && !fault::Evaluate("net.server.dispatch").ok()) {
+    LOG_WARN << "net: dropping connection at net.server.dispatch failpoint";
+    Close();
+    return;
+  }
+  if (parked) return;  // response queued later, slot (if any) held
+  if (!response.empty()) {
+    QueueResponse(response, trace, correlation, slot);
+  } else if (slot != nullptr) {
+    // The request envelope didn't decode: nothing to answer, but the slot
+    // must not block the queue.
+    slot->done = true;
+    FlushSlots();
+  }
+  if (!handled.ok()) {
+    // The error response (if any) is queued above; now sever — a corrupt
+    // body means the next frame boundary cannot be trusted.
+    LOG_WARN << "net: dropping connection: " << handled.ToString();
+    Sever();
+  }
+}
+
+Status ServerConnection::HandleRequest(
+    std::string_view payload, const TraceContext& trace,
+    const std::optional<std::uint64_t>& correlation,
+    const std::shared_ptr<Slot>& slot, std::string* response, bool* parked) {
+  ApiKey api{};
+  std::string_view body;
+  Status decoded = DecodeRequest(payload, &api, &body);
+  if (!decoded.ok()) return decoded;  // cannot even answer: drop connection
+
+  ps::Broker* broker = ctx_->broker;
+  obs::Counter* requests = nullptr;
+  obs::HistogramMetric* latency = nullptr;
+  if (ctx_->metrics != nullptr) {
+    const obs::Labels labels{{"api", ApiKeyName(api)}};
+    requests = ctx_->metrics->GetCounter("net.server.requests", labels);
+    latency =
+        ctx_->metrics->GetHistogram("net.server.request_latency_us", labels);
+  }
+  const std::int64_t start_us = NowUs();
+
+  Status status = Status::Ok();
+  std::string out;
+  switch (api) {
+    case ApiKey::kCreateTopic: {
+      CreateTopicRequest req;
+      status = DecodeCreateTopic(body, &req);
+      if (status.ok()) status = broker->CreateTopic(req.topic, req.config);
+      break;
+    }
+    case ApiKey::kMetadata: {
+      MetadataRequest req;
+      status = DecodeMetadataRequest(body, &req);
+      if (status.ok()) {
+        MetadataResponse resp;
+        std::vector<std::string> topics;
+        if (req.topic.empty()) {
+          topics = broker->ListTopics();
+        } else {
+          topics.push_back(req.topic);
+        }
+        for (const std::string& topic : topics) {
+          auto stats = broker->GetTopicStats(topic);
+          if (!stats.ok()) {
+            status = stats.status();
+            break;
+          }
+          resp.topics.push_back(TopicMetadata{topic, stats->offsets});
+        }
+        if (status.ok()) EncodeMetadataResponse(resp, &out);
+      }
+      break;
+    }
+    case ApiKey::kProduce: {
+      ProduceRequest req;
+      status = DecodeProduceRequest(body, &req);
+      if (status.ok()) {
+        auto appended = broker->Produce(req.topic, req.record);
+        status = appended.status();
+        if (status.ok()) {
+          EncodeProduceResponse(
+              ProduceResponse{appended->first, appended->second}, &out);
+        }
+      }
+      break;
+    }
+    case ApiKey::kFetch: {
+      status = HandleFetch(body, trace, correlation, slot, &out, parked);
+      if (*parked) {
+        // The response is queued when the park resolves; count the request
+        // now (latency histograms cover only non-parked requests).
+        if (requests != nullptr) requests->Inc();
+        return Status::Ok();
+      }
+      break;
+    }
+    case ApiKey::kJoinGroup: {
+      GroupRequest req;
+      status = DecodeGroupRequest(body, &req);
+      if (status.ok()) {
+        auto member = broker->JoinGroup(req.group, req.topic);
+        status = member.status();
+        if (status.ok()) {
+          memberships_.emplace_back(req.group, *member);
+          EncodeJoinGroupResponse(JoinGroupResponse{*member}, &out);
+        }
+      }
+      break;
+    }
+    case ApiKey::kLeaveGroup: {
+      GroupRequest req;
+      status = DecodeGroupRequest(body, &req);
+      if (status.ok()) {
+        broker->LeaveGroup(req.group, req.member);
+        std::erase(memberships_, std::pair{req.group, req.member});
+      }
+      break;
+    }
+    case ApiKey::kHeartbeat: {
+      GroupRequest req;
+      status = DecodeGroupRequest(body, &req);
+      if (status.ok()) {
+        HeartbeatResponse resp;
+        resp.assignment =
+            broker->Assignment(req.group, req.member, &resp.generation);
+        EncodeHeartbeatResponse(resp, &out);
+      }
+      break;
+    }
+    case ApiKey::kCommitOffset: {
+      CommitOffsetRequest req;
+      status = DecodeCommitOffsetRequest(body, &req);
+      for (const auto& [tp, offset] : req.offsets) {
+        if (!status.ok()) break;
+        status = broker->CommitOffset(req.group, tp, offset);
+      }
+      break;
+    }
+    case ApiKey::kOffsetFetch: {
+      OffsetFetchRequest req;
+      status = DecodeOffsetFetchRequest(body, &req);
+      if (status.ok()) {
+        OffsetFetchResponse resp;
+        resp.offsets.reserve(req.partitions.size());
+        for (const ps::TopicPartition& tp : req.partitions) {
+          auto committed = broker->CommittedOffset(req.group, tp);
+          if (committed.ok()) {
+            resp.offsets.push_back(*committed);
+          } else if (committed.status().IsNotFound()) {
+            resp.offsets.push_back(OffsetFetchResponse::kNone);
+          } else {
+            status = committed.status();
+            break;
+          }
+        }
+        if (status.ok()) EncodeOffsetFetchResponse(resp, &out);
+      }
+      break;
+    }
+    case ApiKey::kHello: {
+      HelloRequest req;
+      status = DecodeHelloRequest(body, &req);
+      if (status.ok()) {
+        peer_version_ = std::min(req.max_version, kProtocolVersion);
+        EncodeHelloResponse(HelloResponse{peer_version_}, &out);
+      }
+      break;
+    }
+  }
+
+  if (requests != nullptr) requests->Inc();
+  if (latency != nullptr) latency->Record(NowUs() - start_us);
+
+  // A malformed body means the client and server disagree about the protocol
+  // (or the frame CRC missed something): answer with the error once, then
+  // sever — the next frame boundary cannot be trusted.
+  EncodeResponse(status, out, response);
+  return status.IsCorruption() ? status : Status::Ok();
+}
+
+Status ServerConnection::HandleFetch(
+    std::string_view body, const TraceContext& trace,
+    const std::optional<std::uint64_t>& correlation,
+    const std::shared_ptr<Slot>& slot, std::string* out, bool* parked) {
+  FetchRequest req;
+  STRATA_RETURN_IF_ERROR(DecodeFetchRequest(body, &req));
+
+  const auto wait_budget = std::min(
+      std::chrono::microseconds(static_cast<std::int64_t>(req.max_wait_us)),
+      ctx_->options->max_fetch_wait);
+
+  ps::Broker* broker = ctx_->broker;
+  FetchResponse resp;
+  std::map<ps::TopicPartition, std::int64_t> healed;
+  STRATA_RETURN_IF_ERROR(FetchOnce(broker, req, &resp, &healed));
+  const bool stopping = ctx_->stopping->load(std::memory_order_relaxed);
+  if (!resp.empty() || req.entries.empty() ||
+      wait_budget <= std::chrono::microseconds::zero() || stopping ||
+      broker->closed()) {
+    EncodeFetchResponse(resp, out);
+    return Status::Ok();
+  }
+
+  // Park: register one waiter per involved shard, whose wake-up posts a
+  // retry onto this loop; a timer bounds the wait at the deadline.
+  ParkedFetch parked_fetch;
+  parked_fetch.id = next_parked_id_++;
+  parked_fetch.req = std::move(req);
+  parked_fetch.deadline = After(wait_budget);
+  parked_fetch.trace = trace;
+  parked_fetch.correlation = correlation;
+  parked_fetch.slot = slot;
+  parked_.push_back(std::move(parked_fetch));
+  auto it = std::prev(parked_.end());
+
+  std::set<std::size_t> shards;
+  for (const FetchRequest::Entry& entry : it->req.entries) {
+    shards.insert(broker->ShardOf(entry.tp.topic, entry.tp.partition));
+  }
+  auto wake = wake_;
+  for (std::size_t shard : shards) {
+    const ps::Broker::WaiterId id = broker->AddDataWaiter(shard, [wake] {
+      // Any thread. Collapse bursts: one retry covers every append that
+      // landed before it runs.
+      if (wake->retry_pending.exchange(true, std::memory_order_acq_rel)) {
+        return;
+      }
+      std::lock_guard lock(wake->mu);
+      if (wake->loop == nullptr) return;  // connection closed
+      wake->loop->Post([wake] {
+        wake->retry_pending.store(false, std::memory_order_release);
+        if (wake->conn != nullptr) wake->conn->RetryParkedFetches();
+      });
+    });
+    it->waiters.emplace_back(shard, id);
+  }
+
+  // Recheck after registering — an append between the empty pass above and
+  // the registration would otherwise be missed until the next one. The
+  // check keys on the *healed* offsets: the raw client offset can sit below
+  // the retention horizon, where "end > offset" is forever true even though
+  // the pass above already proved there is nothing readable, and waiting on
+  // it would spin the whole budget away.
+  bool data_now = broker->closed() ||
+                  ctx_->stopping->load(std::memory_order_relaxed);
+  if (!data_now) {
+    for (const FetchRequest::Entry& entry : it->req.entries) {
+      auto log = broker->GetLog(entry.tp.topic, entry.tp.partition);
+      if (!log.ok() || (*log)->EndOffset() > healed[entry.tp]) {
+        data_now = true;
+        break;
+      }
+    }
+  }
+  if (data_now) {
+    FetchResponse now_resp;
+    std::map<ps::TopicPartition, std::int64_t> now_healed;
+    Status st = broker->closed()
+                    ? Status::Closed("broker closed")
+                    : FetchOnce(broker, it->req, &now_resp, &now_healed);
+    FinishParked(it, st, now_resp);
+  } else {
+    const std::uint64_t parked_id = it->id;
+    it->timer_id = loop_->AddTimer(it->deadline, [this, parked_id] {
+      // Timers are canceled on Close(), so `this` is alive here.
+      for (auto pit = parked_.begin(); pit != parked_.end(); ++pit) {
+        if (pit->id != parked_id) continue;
+        pit->timer_id = 0;  // firing now; nothing to cancel
+        FetchResponse resp;
+        std::map<ps::TopicPartition, std::int64_t> healed_positions;
+        Status st =
+            ctx_->broker->closed()
+                ? Status::Closed("broker closed")
+                : FetchOnce(ctx_->broker, pit->req, &resp, &healed_positions);
+        FinishParked(pit, st, resp);
+        break;
+      }
+    });
+  }
+  *parked = true;
+  return Status::Ok();
+}
+
+void ServerConnection::RetryParkedFetches() {
+  auto guard = wake_;
+  if (ctx_->fetch_wakeups != nullptr) ctx_->fetch_wakeups->Inc();
+  const auto now = std::chrono::steady_clock::now();
+  const bool stopping = ctx_->stopping->load(std::memory_order_relaxed);
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    auto next = std::next(it);
+    if (ctx_->broker->closed()) {
+      FinishParked(it, Status::Closed("broker closed"), FetchResponse{});
+    } else {
+      FetchResponse resp;
+      std::map<ps::TopicPartition, std::int64_t> healed;
+      Status st = FetchOnce(ctx_->broker, it->req, &resp, &healed);
+      if (!st.ok()) {
+        FinishParked(it, st, FetchResponse{});
+      } else if (!resp.empty() || now >= it->deadline || stopping) {
+        FinishParked(it, Status::Ok(), resp);
+      }
+    }
+    if (guard->conn == nullptr) return;
+    it = next;
+  }
+}
+
+void ServerConnection::FinishParked(std::list<ParkedFetch>::iterator it,
+                                    const Status& status,
+                                    const FetchResponse& resp) {
+  for (const auto& [shard, id] : it->waiters) {
+    ctx_->broker->RemoveDataWaiter(shard, id);
+  }
+  if (it->timer_id != 0) loop_->CancelTimer(it->timer_id);
+  std::string body;
+  if (status.ok()) EncodeFetchResponse(resp, &body);
+  std::string payload;
+  EncodeResponse(status, body, &payload);
+  const TraceContext trace = it->trace;
+  const std::optional<std::uint64_t> correlation = it->correlation;
+  const std::shared_ptr<Slot> slot = it->slot;
+  parked_.erase(it);
+  QueueResponse(payload, trace, correlation, slot);
+}
+
+void ServerConnection::CompleteAllParked() {
+  auto guard = wake_;
+  while (!parked_.empty()) {
+    auto it = parked_.begin();
+    FetchResponse resp;
+    std::map<ps::TopicPartition, std::int64_t> healed;
+    Status st = ctx_->broker->closed()
+                    ? Status::Closed("broker closed")
+                    : FetchOnce(ctx_->broker, it->req, &resp, &healed);
+    FinishParked(it, st, resp);
+    if (guard->conn == nullptr) return;
+  }
+}
+
+void ServerConnection::QueueResponse(
+    const std::string& payload, const TraceContext& trace,
+    const std::optional<std::uint64_t>& correlation,
+    const std::shared_ptr<Slot>& slot) {
+  // Echo the request's trace onto the response frame for v2+ peers, so the
+  // reply leg is attributable to the same trace; echo the correlation id so
+  // a pipelining client can match out-of-order completions.
+  const TraceContext* response_trace =
+      peer_version_ >= 2 && trace.sampled() ? &trace : nullptr;
+  const std::uint64_t* correlation_id =
+      correlation.has_value() ? &*correlation : nullptr;
+  std::string frame;
+  EncodeFrameEx(payload, response_trace, correlation_id, &frame);
+  if (ctx_->bytes_out != nullptr) {
+    ctx_->bytes_out->Inc(payload.size() + kFrameHeaderBytes);
+  }
+  if (slot != nullptr) {
+    slot->frame = std::move(frame);
+    slot->done = true;
+    FlushSlots();
+  } else {
+    wbuf_.append(frame);
+    StartWrite();
+  }
+}
+
+void ServerConnection::FlushSlots() {
+  bool appended = false;
+  while (!slots_.empty() && slots_.front()->done) {
+    wbuf_.append(slots_.front()->frame);
+    slots_.pop_front();
+    appended = true;
+  }
+  if (appended || severing_) StartWrite();
+}
+
+void ServerConnection::StartWrite() {
+  while (wpos_ < wbuf_.size()) {
+    auto n = socket_.WriteSome(std::string_view(wbuf_).substr(wpos_));
+    if (!n.ok()) {
+      ScheduleClose();
+      return;
+    }
+    if (*n == 0) break;  // kernel buffer full
+    wpos_ += *n;
+    last_write_progress_ = std::chrono::steady_clock::now();
+  }
+  if (wpos_ >= wbuf_.size()) {
+    wbuf_.clear();
+    wpos_ = 0;
+    ArmWrite(false);
+    // A severed connection closes once everything queued went out.
+    if (severing_ && slots_.empty()) ScheduleClose();
+  } else {
+    ArmWrite(true);
+    EnsureWriteStallTimer();
+  }
+}
+
+void ServerConnection::OnWritable() { StartWrite(); }
+
+void ServerConnection::ArmWrite(bool want) {
+  if (want == want_write_) return;
+  want_write_ = want;
+  std::uint32_t events = want ? EPOLLOUT : 0;
+  if (!severing_) events |= EPOLLIN;
+  (void)loop_->ModFd(socket_.fd(), events);
+}
+
+void ServerConnection::EnsureWriteStallTimer() {
+  if (write_stall_timer_ != 0) return;
+  const auto timeout = ctx_->options->write_timeout;
+  write_stall_timer_ =
+      loop_->AddTimer(last_write_progress_ + timeout, [this, timeout] {
+        write_stall_timer_ = 0;
+        if (!want_write_) return;  // drained in the meantime
+        const auto now = std::chrono::steady_clock::now();
+        if (now - last_write_progress_ >= timeout) {
+          LOG_WARN << "net: dropping connection: write stalled";
+          Close();
+          return;
+        }
+        EnsureWriteStallTimer();
+      });
+}
+
+void ServerConnection::Sever() {
+  if (severing_ || closed_) return;
+  severing_ = true;
+  // Stop reading (level-triggered epoll would spin on unread bytes).
+  (void)loop_->ModFd(socket_.fd(), want_write_ ? EPOLLOUT : 0);
+  auto guard = wake_;
+  // Earlier pipelined fetches still get answered — with whatever data
+  // exists right now — before the connection goes away.
+  CompleteAllParked();
+  if (guard->conn == nullptr) return;
+  FlushSlots();
+  if (guard->conn == nullptr) return;
+  if (wpos_ >= wbuf_.size() && slots_.empty()) ScheduleClose();
+}
+
+}  // namespace strata::net

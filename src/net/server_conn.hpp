@@ -1,0 +1,194 @@
+// Per-connection state machine for the BrokerServer's epoll reactor.
+//
+// A ServerConnection lives on exactly one EventLoop; every member is
+// touched only by that loop's thread, so there are no locks on the hot
+// path. The machine is: readable socket -> frame parser (incremental, see
+// net/frame.hpp) -> dispatch -> response queue -> writable socket.
+//
+// Pipelining: a client may send many requests without reading responses.
+// Uncorrelated requests (protocol v1/v2 peers) are answered strictly in
+// arrival order through a slot queue — a parked long-poll Fetch holds its
+// slot and later responses queue behind it. Requests tagged with a v3
+// correlation id skip the queue entirely: their responses are written the
+// moment they are ready (the id tells the client which request completed),
+// so a parked Fetch never delays a pipelined Produce.
+//
+// Long-poll Fetch never blocks a thread: when a fetch finds no data and has
+// wait budget, the connection registers a waiter callback on each broker
+// shard involved (ps::Broker::AddDataWaiter) and parks the request. An
+// append to any watched shard posts a retry onto the connection's loop; a
+// loop timer bounds the wait at the request's deadline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/trace_context.hpp"
+#include "net/protocol.hpp"
+#include "net/reactor.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "pubsub/broker.hpp"
+
+namespace strata::net {
+
+struct BrokerServerOptions;
+class ServerConnection;
+
+/// Server-wide state shared (read-only or internally synchronized) by every
+/// connection. Owned by the BrokerServer, which outlives all connections.
+struct ServerContext {
+  ps::Broker* broker = nullptr;
+  const BrokerServerOptions* options = nullptr;
+  std::atomic<bool>* stopping = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Gauge* connections_gauge = nullptr;
+  obs::Counter* bytes_in = nullptr;
+  obs::Counter* bytes_out = nullptr;
+  /// Parked long-poll fetch retries (one per shard wake-up that reached a
+  /// connection). Bounded per fetch when waits park on healed offsets; the
+  /// regression tests assert it stays small.
+  obs::Counter* fetch_wakeups = nullptr;
+  /// Invoked on the connection's loop thread as the connection's very last
+  /// act; must drop the owning reference (may destroy the connection).
+  std::function<void(ServerConnection*)> on_closed;
+};
+
+class ServerConnection {
+ public:
+  /// Takes ownership of the accepted socket. `ctx` and `loop` must outlive
+  /// the connection.
+  ServerConnection(ServerContext* ctx, EventLoop* loop, Socket socket);
+  ~ServerConnection();
+  ServerConnection(const ServerConnection&) = delete;
+  ServerConnection& operator=(const ServerConnection&) = delete;
+
+  /// Register the socket with the loop. Loop thread only.
+  [[nodiscard]] Status Register();
+
+  /// Tear down immediately: unregister broker waiters, cancel timers, leave
+  /// groups, close the socket, and hand the connection back through
+  /// ServerContext::on_closed. Loop thread only; idempotent.
+  void Close();
+
+  [[nodiscard]] EventLoop* loop() const noexcept { return loop_; }
+
+ private:
+  /// One queued response for an uncorrelated request: filled when the
+  /// request completes, flushed strictly in arrival order.
+  struct Slot {
+    bool done = false;
+    std::string frame;  // full wire frame, ready to send
+  };
+
+  /// A long-poll Fetch waiting for data: holds its response routing (slot
+  /// or correlation id), the broker waiters it registered, and its deadline
+  /// timer.
+  struct ParkedFetch {
+    std::uint64_t id = 0;
+    FetchRequest req;
+    Deadline deadline;
+    TraceContext trace;
+    std::optional<std::uint64_t> correlation;
+    std::shared_ptr<Slot> slot;  // null for correlated requests
+    std::vector<std::pair<std::size_t, ps::Broker::WaiterId>> waiters;
+    std::uint64_t timer_id = 0;
+  };
+
+  /// Bridge for broker waiter callbacks and deferred tasks, which can fire
+  /// from any thread and outlive the connection. `loop` is guarded by `mu`
+  /// and nulled when the connection closes; `conn` is loop-thread-only and
+  /// nulled at the same point, so a late callback or task degrades to a
+  /// no-op instead of a use-after-free.
+  struct WakeTarget {
+    std::mutex mu;
+    EventLoop* loop = nullptr;  // guarded by mu
+    ServerConnection* conn = nullptr;  // loop thread only
+    std::atomic<bool> retry_pending{false};
+  };
+
+  void OnIoEvent(std::uint32_t events);
+  void OnReadable();
+  void OnWritable();
+  /// Parse and dispatch every complete frame in the read buffer.
+  void ProcessBuffer();
+  void DispatchFrame(std::string_view payload, const TraceContext& trace,
+                     const std::optional<std::uint64_t>& correlation);
+
+  /// Decode, dispatch, and encode one request. The returned status is the
+  /// *transport* outcome; application errors travel inside the response.
+  /// Sets `*parked` (and leaves `*response` empty) when a Fetch parked.
+  [[nodiscard]] Status HandleRequest(
+      std::string_view payload, const TraceContext& trace,
+      const std::optional<std::uint64_t>& correlation,
+      const std::shared_ptr<Slot>& slot, std::string* response, bool* parked);
+  [[nodiscard]] Status HandleFetch(
+      std::string_view body, const TraceContext& trace,
+      const std::optional<std::uint64_t>& correlation,
+      const std::shared_ptr<Slot>& slot, std::string* out, bool* parked);
+
+  /// Re-run every parked fetch after a shard wake-up; completes the ready
+  /// ones.
+  void RetryParkedFetches();
+  /// Complete one parked fetch: unregister waiters, cancel its timer, and
+  /// queue the response.
+  void FinishParked(std::list<ParkedFetch>::iterator it, const Status& status,
+                    const FetchResponse& resp);
+  /// Complete every parked fetch with whatever data exists right now (used
+  /// when severing, so earlier pipelined fetches still get answered).
+  void CompleteAllParked();
+
+  /// Frame a response and route it: fill + flush the slot (uncorrelated) or
+  /// append straight to the write buffer (correlated).
+  void QueueResponse(const std::string& payload, const TraceContext& trace,
+                     const std::optional<std::uint64_t>& correlation,
+                     const std::shared_ptr<Slot>& slot);
+  void FlushSlots();
+  /// Push the write buffer out; arms EPOLLOUT when the socket backpressures
+  /// and schedules the close once a severed connection fully drains.
+  void StartWrite();
+  void ArmWrite(bool want);
+  void EnsureWriteStallTimer();
+
+  /// Stop reading, answer everything in flight, close once drained.
+  void Sever();
+  /// Post a Close() onto the loop (safe from inside list iteration).
+  void ScheduleClose();
+
+  ServerContext* ctx_;
+  EventLoop* loop_;
+  Socket socket_;
+  std::shared_ptr<WakeTarget> wake_;
+
+  std::string rbuf_;
+  std::size_t rpos_ = 0;
+  std::string wbuf_;
+  std::size_t wpos_ = 0;
+  bool want_write_ = false;
+  bool severing_ = false;
+  bool closed_ = false;
+  bool registered_ = false;
+
+  /// Negotiated protocol version (1 until the client sends Hello). Trace
+  /// blocks go only to v2+ peers; correlation ids are echoed per-frame.
+  std::uint32_t peer_version_ = 1;
+  /// Groups joined through this connection; auto-left on disconnect.
+  std::vector<std::pair<std::string, ps::MemberId>> memberships_;
+
+  std::deque<std::shared_ptr<Slot>> slots_;
+  std::list<ParkedFetch> parked_;
+  std::uint64_t next_parked_id_ = 1;
+
+  std::uint64_t write_stall_timer_ = 0;
+  std::chrono::steady_clock::time_point last_write_progress_{};
+};
+
+}  // namespace strata::net

@@ -178,6 +178,43 @@ Status Socket::WriteAll(std::string_view data, Deadline deadline) {
   return injected;
 }
 
+Result<std::size_t> Socket::ReadSome(void* buf, std::size_t n) {
+  STRATA_FAILPOINT("net.recv");
+  for (;;) {
+    const ssize_t rc = ::recv(fd_, buf, n, 0);
+    if (rc > 0) return static_cast<std::size_t>(rc);
+    if (rc == 0) return Status::Unavailable("connection closed by peer");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::size_t{0};
+    return Errno("recv");
+  }
+}
+
+Result<std::size_t> Socket::WriteSome(std::string_view data) {
+  Status injected = Status::Ok();
+  if (fault::AnyActive()) {
+    std::size_t limit = data.size();
+    injected = fault::InjectWrite("net.send", &limit);
+    data = data.substr(0, limit);
+  }
+  for (;;) {
+    const ssize_t rc = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (rc >= 0) {
+      if (!injected.ok()) return injected;
+      return static_cast<std::size_t>(rc);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!injected.ok()) return injected;
+      return std::size_t{0};
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return Status::Unavailable("connection closed by peer");
+    }
+    return Errno("send");
+  }
+}
+
 void Socket::Shutdown() noexcept {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }

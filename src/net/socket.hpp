@@ -50,6 +50,16 @@ class Socket {
   /// Write all of `data` (handles partial writes; SIGPIPE suppressed).
   [[nodiscard]] Status WriteAll(std::string_view data, Deadline deadline);
 
+  /// One non-blocking read of at most `n` bytes. Returns the byte count
+  /// (> 0), 0 when the socket would block, Unavailable on orderly peer
+  /// close. Shares the "net.recv" failpoint with ReadFully.
+  [[nodiscard]] Result<std::size_t> ReadSome(void* buf, std::size_t n);
+
+  /// One non-blocking write. Returns the bytes accepted (possibly 0 when
+  /// the socket would block); Unavailable once the peer is gone. Shares the
+  /// "net.send" failpoint (torn writes included) with WriteAll.
+  [[nodiscard]] Result<std::size_t> WriteSome(std::string_view data);
+
   /// Half-close both directions: unblocks any thread inside ReadFully.
   void Shutdown() noexcept;
   void Close() noexcept;
@@ -93,6 +103,7 @@ class ListenSocket {
   void Close() noexcept;
 
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
  private:

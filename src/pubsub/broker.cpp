@@ -20,6 +20,11 @@ std::uint32_t KeyHash(const std::string& key) {
 }  // namespace
 
 Broker::Broker(BrokerOptions options) : options_(std::move(options)) {
+  const std::size_t shard_count = std::max<std::size_t>(1, options_.shards);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
   if (!options_.data_dir.empty()) {
     if (Status s = strata::fs::CreateDirs(options_.data_dir); !s.ok()) {
       throw std::runtime_error("Broker: " + s.ToString());
@@ -40,8 +45,8 @@ Status Broker::CreateTopic(const std::string& name,
   if (config.partitions < 1) {
     return Status::InvalidArgument("topic needs >= 1 partition");
   }
-  std::lock_guard lock(mu_);
-  if (closed_) return Status::Closed("broker closed");
+  std::unique_lock lock(mu_);
+  if (closed()) return Status::Closed("broker closed");
   if (auto it = topics_.find(name); it != topics_.end()) {
     if (it->second.config.partitions == config.partitions) {
       return Status::Ok();  // idempotent re-create
@@ -65,15 +70,12 @@ Status Broker::CreateTopic(const std::string& name,
     log_options.disk_failure_policy = options_.disk_failure_policy;
     auto log = PartitionLog::Open(log_options);
     if (!log.ok()) return log.status();
-    // Wake consumers blocked across any of their partitions (WaitForAnyData)
-    // whenever this partition gets data. Installed before the log is shared.
-    log.value()->SetAppendListener([this] {
-      {
-        std::lock_guard dlock(data_mu_);
-        ++data_epoch_;
-      }
-      data_cv_.notify_all();
-    });
+    // Wake waiters parked on this partition's shard (WaitForAnyData and
+    // reactor long-polls) whenever it gets data. Installed before the log
+    // is shared; notifying only the owning shard is what keeps appends to
+    // disjoint partitions from waking each other's waiters.
+    Shard* shard = shards_[ShardOf(name, p)].get();
+    log.value()->SetAppendListener([this, shard] { NotifyShard(*shard); });
     topic.logs.push_back(std::move(log).value());
   }
   if (metrics_ != nullptr) {
@@ -85,19 +87,19 @@ Status Broker::CreateTopic(const std::string& name,
 }
 
 bool Broker::HasTopic(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   return topics_.contains(name);
 }
 
 Result<int> Broker::PartitionCount(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   const auto it = topics_.find(name);
   if (it == topics_.end()) return Status::NotFound("topic " + name);
   return it->second.config.partitions;
 }
 
 std::vector<std::string> Broker::ListTopics() const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   std::vector<std::string> names;
   names.reserve(topics_.size());
   for (const auto& [name, topic] : topics_) names.push_back(name);
@@ -108,7 +110,7 @@ Result<Broker::TopicStats> Broker::GetTopicStats(
     const std::string& name) const {
   std::vector<const PartitionLog*> logs;
   {
-    std::lock_guard lock(mu_);
+    std::shared_lock lock(mu_);
     const auto it = topics_.find(name);
     if (it == topics_.end()) return Status::NotFound("topic " + name);
     for (const auto& log : it->second.logs) logs.push_back(log.get());
@@ -128,7 +130,7 @@ Broker::BrokerStats Broker::Stats() const {
   std::vector<const PartitionLog*> logs;
   BrokerStats stats;
   {
-    std::lock_guard lock(mu_);
+    std::shared_lock lock(mu_);
     stats.topics = topics_.size();
     stats.groups = groups_.size();
     for (const auto& [name, topic] : topics_) {
@@ -149,15 +151,22 @@ Result<std::pair<int, std::int64_t>> Broker::Produce(const std::string& topic,
   obs::Counter* produced = nullptr;
   int partition = 0;
   {
-    std::lock_guard lock(mu_);
-    if (closed_) return Status::Closed("broker closed");
+    // Shared lock: concurrent produces to disjoint partitions resolve their
+    // logs without serializing on the broker; the append itself is guarded
+    // by the partition log's own lock.
+    std::shared_lock lock(mu_);
+    if (closed()) return Status::Closed("broker closed");
     const auto it = topics_.find(topic);
     if (it == topics_.end()) return Status::NotFound("topic " + topic);
     Topic& t = it->second;
     const int n = t.config.partitions;
-    partition = record.key.empty()
-                    ? static_cast<int>(t.round_robin++ % static_cast<std::uint64_t>(n))
-                    : static_cast<int>(KeyHash(record.key) % static_cast<std::uint32_t>(n));
+    partition =
+        record.key.empty()
+            ? static_cast<int>(t.round_robin.fetch_add(
+                                   1, std::memory_order_relaxed) %
+                               static_cast<std::uint64_t>(n))
+            : static_cast<int>(KeyHash(record.key) %
+                               static_cast<std::uint32_t>(n));
     log = t.logs[static_cast<std::size_t>(partition)].get();
     produced = t.produced;
   }
@@ -169,13 +178,52 @@ Result<std::pair<int, std::int64_t>> Broker::Produce(const std::string& topic,
 
 Result<PartitionLog*> Broker::GetLog(const std::string& topic,
                                      int partition) const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   const auto it = topics_.find(topic);
   if (it == topics_.end()) return Status::NotFound("topic " + topic);
   if (partition < 0 || partition >= it->second.config.partitions) {
     return Status::InvalidArgument("partition out of range");
   }
   return it->second.logs[static_cast<std::size_t>(partition)].get();
+}
+
+std::size_t Broker::ShardOf(const std::string& topic,
+                            int partition) const noexcept {
+  const std::uint32_t h =
+      Crc32c(topic, 0x517cc1b7) +
+      static_cast<std::uint32_t>(partition) * 0x9e3779b9u;
+  return h % shards_.size();
+}
+
+Broker::WaiterId Broker::AddDataWaiter(std::size_t shard,
+                                       std::function<void()> callback) const {
+  const WaiterId id = next_waiter_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = *shards_[shard % shards_.size()];
+  {
+    std::lock_guard lock(s.mu);
+    s.waiters.emplace(id, std::move(callback));
+  }
+  return id;
+}
+
+void Broker::RemoveDataWaiter(std::size_t shard, WaiterId id) const {
+  Shard& s = *shards_[shard % shards_.size()];
+  std::lock_guard lock(s.mu);
+  s.waiters.erase(id);
+}
+
+void Broker::NotifyShard(Shard& shard) const {
+  // Snapshot the callbacks under the shard lock, invoke them outside it: a
+  // callback may re-enter the broker (re-run a fetch, remove its waiter).
+  std::vector<std::function<void()>> callbacks;
+  {
+    std::lock_guard lock(shard.mu);
+    ++shard.epoch;
+    callbacks.reserve(shard.waiters.size());
+    for (const auto& [id, cb] : shard.waiters) callbacks.push_back(cb);
+  }
+  shard.cv.notify_all();
+  for (const auto& cb : callbacks) cb();
 }
 
 bool Broker::WaitForAnyData(
@@ -185,10 +233,11 @@ bool Broker::WaitForAnyData(
   // Resolve the logs to watch once; topics are never removed, so the
   // pointers stay valid for the broker's lifetime.
   std::vector<std::pair<const PartitionLog*, std::int64_t>> watch;
+  std::vector<std::size_t> involved;  // shard indices, deduplicated
   watch.reserve(partitions.size());
   {
-    std::lock_guard lock(mu_);
-    if (closed_) return true;
+    std::shared_lock lock(mu_);
+    if (closed()) return true;
     for (const TopicPartition& tp : partitions) {
       const auto tit = topics_.find(tp.topic);
       if (tit == topics_.end()) continue;
@@ -202,26 +251,66 @@ bool Broker::WaitForAnyData(
       watch.emplace_back(
           tit->second.logs[static_cast<std::size_t>(tp.partition)].get(),
           position);
+      const std::size_t shard = ShardOf(tp.topic, tp.partition);
+      if (std::find(involved.begin(), involved.end(), shard) ==
+          involved.end()) {
+        involved.push_back(shard);
+      }
     }
   }
 
-  // Lock order: data_mu_ then mu_ (nobody acquires them in the reverse
-  // order — append listeners and Close() release mu_ first).
-  std::unique_lock lock(data_mu_);
-  return data_cv_.wait_for(lock, timeout, [&] {
+  const auto has_data = [&watch] {
     for (const auto& [log, position] : watch) {
       if (log->EndOffset() > position) return true;
     }
-    std::lock_guard broker_lock(mu_);
-    return closed_;
-  });
+    return false;
+  };
+  if (has_data()) return true;
+
+  // Park one ephemeral waiter on each involved shard; they funnel into a
+  // local signal this thread waits on. Registration happens before the
+  // re-check inside wait_for's predicate, so an append racing us is never
+  // lost: either the predicate sees its data or the callback fires after.
+  struct LocalWait {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool fired = false;
+  };
+  auto local = std::make_shared<LocalWait>();
+  const auto wake = [local] {
+    {
+      std::lock_guard lock(local->mu);
+      local->fired = true;
+    }
+    local->cv.notify_all();
+  };
+  std::vector<std::pair<std::size_t, WaiterId>> registrations;
+  registrations.reserve(involved.size());
+  for (const std::size_t shard : involved) {
+    registrations.emplace_back(shard, AddDataWaiter(shard, wake));
+  }
+
+  bool result = false;
+  {
+    std::unique_lock lock(local->mu);
+    result = local->cv.wait_for(lock, timeout, [&] {
+      if (closed()) return true;
+      if (has_data()) return true;
+      // Shard-level wake for a position we are already past (or another
+      // waiter's partition): swallow it and keep waiting.
+      local->fired = false;
+      return false;
+    });
+  }
+  for (const auto& [shard, id] : registrations) RemoveDataWaiter(shard, id);
+  return result;
 }
 
 void Broker::BindMetrics(obs::MetricsRegistry* registry) {
   obs::MetricsRegistry* previous = nullptr;
   obs::MetricsRegistry::CallbackId previous_id = 0;
   {
-    std::lock_guard lock(mu_);
+    std::unique_lock lock(mu_);
     previous = metrics_;
     previous_id = metrics_callback_;
     metrics_ = registry;
@@ -236,7 +325,7 @@ void Broker::BindMetrics(obs::MetricsRegistry* registry) {
     if (registry != nullptr) {
       metrics_callback_ =
           registry->RegisterCallback([this](obs::MetricsSnapshot* snapshot) {
-            std::lock_guard lock(mu_);
+            std::shared_lock lock(mu_);
             AppendMetricsLocked(snapshot);
           });
     }
@@ -296,8 +385,8 @@ void Broker::AppendMetricsLocked(obs::MetricsSnapshot* snapshot) const {
 
 Result<MemberId> Broker::JoinGroup(const std::string& group,
                                    const std::string& topic) {
-  std::lock_guard lock(mu_);
-  if (closed_) return Status::Closed("broker closed");
+  std::unique_lock lock(mu_);
+  if (closed()) return Status::Closed("broker closed");
   if (!topics_.contains(topic)) return Status::NotFound("topic " + topic);
   Group& g = groups_[group];
   if (g.members.empty()) {
@@ -313,7 +402,7 @@ Result<MemberId> Broker::JoinGroup(const std::string& group,
 }
 
 void Broker::LeaveGroup(const std::string& group, MemberId member) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(mu_);
   const auto it = groups_.find(group);
   if (it == groups_.end()) return;
   auto& members = it->second.members;
@@ -327,7 +416,7 @@ void Broker::LeaveGroup(const std::string& group, MemberId member) {
 std::vector<TopicPartition> Broker::Assignment(
     const std::string& group, MemberId member,
     std::uint64_t* generation) const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   *generation = 0;
   std::vector<TopicPartition> assigned;
   const auto git = groups_.find(group);
@@ -353,7 +442,7 @@ std::vector<TopicPartition> Broker::Assignment(
 
 Status Broker::CommitOffset(const std::string& group,
                             const TopicPartition& tp, std::int64_t offset) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(mu_);
   groups_[group].offsets[tp] = offset;
   if (!options_.data_dir.empty()) return PersistOffsetsLocked();
   return Status::Ok();
@@ -361,7 +450,7 @@ Status Broker::CommitOffset(const std::string& group,
 
 Result<std::int64_t> Broker::CommittedOffset(const std::string& group,
                                              const TopicPartition& tp) const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   const auto git = groups_.find(group);
   if (git == groups_.end()) return Status::NotFound("group " + group);
   const auto oit = git->second.offsets.find(tp);
@@ -376,7 +465,7 @@ Result<std::int64_t> Broker::ConsumerLag(const std::string& group,
   const PartitionLog* log = nullptr;
   std::int64_t committed = -1;
   {
-    std::lock_guard lock(mu_);
+    std::shared_lock lock(mu_);
     const auto tit = topics_.find(tp.topic);
     if (tit == topics_.end()) return Status::NotFound("topic " + tp.topic);
     if (tp.partition < 0 || tp.partition >= tit->second.config.partitions) {
@@ -451,20 +540,15 @@ Status Broker::LoadOffsets() {
 
 void Broker::Close() {
   {
-    std::lock_guard lock(mu_);
-    if (closed_) return;
-    closed_ = true;
+    std::unique_lock lock(mu_);
+    if (closed_.exchange(true, std::memory_order_acq_rel)) return;
     for (auto& [name, topic] : topics_) {
       for (auto& log : topic.logs) log->Close();
     }
   }
-  // mu_ is released before signalling so WaitForAnyData's predicate (which
-  // acquires mu_ while holding data_mu_) cannot deadlock against us.
-  {
-    std::lock_guard dlock(data_mu_);
-    ++data_epoch_;
-  }
-  data_cv_.notify_all();
+  // mu_ is released before signalling so waiter callbacks re-entering the
+  // broker cannot deadlock against us.
+  for (const auto& shard : shards_) NotifyShard(*shard);
 }
 
 }  // namespace strata::ps

@@ -5,10 +5,13 @@
 // a remote implementation could be substituted).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -36,6 +39,10 @@ struct BrokerOptions {
   /// fail-stop (sticky produce errors) or degrade to memory-only serving
   /// with a sticky health flag. Surfaced via Stats() and Strata::Health().
   DiskFailurePolicy disk_failure_policy = DiskFailurePolicy::kFailStop;
+  /// Data-plane shards: every (topic, partition) hashes onto one shard,
+  /// each with its own lock, data-arrival signal, and waiter list, so
+  /// produce/fetch on disjoint partitions never contend. Clamped to >= 1.
+  std::size_t shards = 8;
 };
 
 /// Identifies a consumer group member.
@@ -100,11 +107,32 @@ class Broker {
   /// broker closes. Returns true when data is available somewhere. Unlike
   /// PartitionLog::WaitForData this wakes on appends to *any* partition, so
   /// a consumer never waits out its timeout on one partition while another
-  /// one has data.
+  /// one has data. Internally parks one ephemeral waiter on each involved
+  /// shard, so waits on disjoint partitions never contend on one signal.
   [[nodiscard]] bool WaitForAnyData(
       const std::vector<TopicPartition>& partitions,
       const std::map<TopicPartition, std::int64_t>& positions,
       std::chrono::microseconds timeout) const;
+
+  // --- Data-plane shards -----------------------------------------------------
+
+  /// Shard owning (topic, partition)'s data signal. Stable for the broker's
+  /// lifetime; in [0, shard_count()).
+  [[nodiscard]] std::size_t ShardOf(const std::string& topic,
+                                    int partition) const noexcept;
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  using WaiterId = std::uint64_t;
+  /// Register a callback invoked (outside any broker lock) after every
+  /// append to a partition owned by `shard`, and once on Close(). Callbacks
+  /// must be cheap and non-blocking — the net reactor uses them to park
+  /// long-poll fetches without a blocked thread. A callback may still be in
+  /// flight when RemoveDataWaiter returns; keep captured state alive via
+  /// shared ownership.
+  WaiterId AddDataWaiter(std::size_t shard, std::function<void()> callback) const;
+  void RemoveDataWaiter(std::size_t shard, WaiterId id) const;
 
   /// Expose broker metrics on `registry`: per-topic produce counters
   /// (pubsub.topic.produced{topic}), per-partition start/end offsets, and
@@ -144,17 +172,36 @@ class Broker {
   /// True once Close() ran (consumers use this to turn a wait wake-up into
   /// Status::Closed instead of spinning).
   [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mu_);
-    return closed_;
+    return closed_.load(std::memory_order_acquire);
   }
 
  private:
   struct Topic {
     TopicConfig config;
     std::vector<std::unique_ptr<PartitionLog>> logs;
-    std::uint64_t round_robin = 0;
+    /// Atomic so keyless produces pick partitions under the shared
+    /// (read-side) metadata lock without a data race.
+    std::atomic<std::uint64_t> round_robin{0};
     /// Registry-owned; non-null only while metrics are bound.
     obs::Counter* produced = nullptr;
+
+    Topic() = default;
+    /// Moved only inside CreateTopic, before the topic is shared.
+    Topic(Topic&& other) noexcept
+        : config(other.config),
+          logs(std::move(other.logs)),
+          round_robin(other.round_robin.load(std::memory_order_relaxed)),
+          produced(other.produced) {}
+  };
+
+  /// One data-plane shard: the arrival signal for every (topic, partition)
+  /// hashing here. Appends bump the epoch, wake the cv, and invoke the
+  /// registered waiter callbacks (outside the shard lock).
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t epoch = 0;                              // guarded by mu
+    std::map<WaiterId, std::function<void()>> waiters;    // guarded by mu
   };
 
   struct Group {
@@ -169,18 +216,25 @@ class Broker {
 
   void AppendMetricsLocked(obs::MetricsSnapshot* snapshot) const;  // REQUIRES mu_
 
+  /// Bump the shard's epoch, wake blocked waiters, and invoke registered
+  /// waiter callbacks (outside the shard lock).
+  void NotifyShard(Shard& shard) const;
+
   BrokerOptions options_;
-  mutable std::mutex mu_;
+  /// Control-plane lock over the topic/group maps: shared for lookups
+  /// (Produce/GetLog resolve logs under a shared lock, so disjoint
+  /// partitions never serialize), exclusive for topic/group mutation.
+  mutable std::shared_mutex mu_;
   std::map<std::string, Topic> topics_;
   std::map<std::string, Group> groups_;
   MemberId next_member_ = 1;
-  bool closed_ = false;
+  std::atomic<bool> closed_{false};
 
-  /// Broker-wide data arrival signal: every partition log's append listener
-  /// bumps the epoch, waking WaitForAnyData waiters.
-  mutable std::mutex data_mu_;
-  mutable std::condition_variable data_cv_;
-  std::uint64_t data_epoch_ = 0;
+  /// Data-plane shards (fixed size; see BrokerOptions::shards). Append
+  /// listeners notify only the owning shard, so waiters on disjoint
+  /// partitions never share a signal.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::atomic<WaiterId> next_waiter_{1};
 
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::MetricsRegistry::CallbackId metrics_callback_ = 0;

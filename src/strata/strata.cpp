@@ -25,6 +25,9 @@ Strata::Strata(StrataOptions options) : options_(std::move(options)) {
   if (options_.persistent_connectors) {
     broker_options.data_dir = options_.data_dir / "broker";
   }
+  if (options_.broker_shards > 0) {
+    broker_options.shards = options_.broker_shards;
+  }
   broker_ = std::make_unique<ps::Broker>(broker_options);
   if (options_.remote_broker.has_value()) {
     net::RemoteOptions remote = *options_.remote_broker;

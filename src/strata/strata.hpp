@@ -60,6 +60,11 @@ struct StrataOptions {
   /// source thread; 0 = disabled. STRATA_TRACE_SAMPLE overrides. Spans land
   /// in the process-wide obs::Tracer and are served at /tracez.
   std::uint32_t trace_sample_every = 0;
+  /// Data-plane shards of the in-process broker (ps::BrokerOptions::shards):
+  /// appends to partitions on different shards take different locks and wake
+  /// different long-poll waiter lists. Raise for many-partition pipelines
+  /// serving many networked consumers; 0 keeps the broker default.
+  std::size_t broker_shards = 0;
   kv::DbOptions kv;
   spe::QueryOptions query;
 };

@@ -1,0 +1,157 @@
+// Tests for the broker's sharded data plane: the (topic, partition) ->
+// shard mapping and the per-shard data-waiter registry the net reactor
+// parks long-poll fetches on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "pubsub/broker.hpp"
+
+namespace strata::ps {
+namespace {
+
+using namespace std::chrono_literals;
+
+Record MakeRecord(const std::string& key, const std::string& value) {
+  Record r;
+  r.key = key;
+  r.value = value;
+  return r;
+}
+
+TEST(BrokerShards, ShardOfIsStableAndInRange) {
+  BrokerOptions options;
+  options.shards = 4;
+  Broker broker(options);
+  EXPECT_EQ(broker.shard_count(), 4u);
+
+  std::set<std::size_t> seen;
+  for (int p = 0; p < 64; ++p) {
+    const std::size_t shard = broker.ShardOf("topic", p);
+    EXPECT_LT(shard, broker.shard_count());
+    EXPECT_EQ(shard, broker.ShardOf("topic", p));  // stable
+    seen.insert(shard);
+  }
+  // 64 partitions over 4 shards: the hash must actually spread them.
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(BrokerShards, ShardCountIsClampedToAtLeastOne) {
+  BrokerOptions options;
+  options.shards = 0;
+  Broker broker(options);
+  EXPECT_GE(broker.shard_count(), 1u);
+  EXPECT_LT(broker.ShardOf("t", 0), broker.shard_count());
+}
+
+TEST(BrokerShards, DataWaiterFiresOnAppendToOwnedShard) {
+  BrokerOptions options;
+  options.shards = 8;
+  Broker broker(options);
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 16}).ok());
+
+  const std::size_t shard = broker.ShardOf("t", 0);
+  // Find a partition owned by a different shard, to prove waiters are
+  // per-shard rather than global.
+  int other_partition = -1;
+  for (int p = 1; p < 16; ++p) {
+    if (broker.ShardOf("t", p) != shard) {
+      other_partition = p;
+      break;
+    }
+  }
+  ASSERT_GE(other_partition, 0);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int fires = 0;
+  const auto id = broker.AddDataWaiter(shard, [&] {
+    std::lock_guard lock(mu);
+    ++fires;
+    cv.notify_all();
+  });
+
+  // Append to the other shard's partition (the append listener installed
+  // by the broker routes it to that partition's shard): our waiter must
+  // stay silent.
+  ASSERT_TRUE(
+      (*broker.GetLog("t", other_partition))->Append(MakeRecord("", "x")).ok());
+  {
+    std::unique_lock lock(mu);
+    EXPECT_FALSE(cv.wait_for(lock, 100ms, [&] { return fires > 0; }));
+  }
+
+  // Append to the owned partition: exactly this append wakes us.
+  ASSERT_TRUE((*broker.GetLog("t", 0))->Append(MakeRecord("", "y")).ok());
+  {
+    std::unique_lock lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return fires > 0; }));
+  }
+  broker.RemoveDataWaiter(shard, id);
+}
+
+TEST(BrokerShards, RemovedWaiterStopsReceivingAppends) {
+  Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 1}).ok());
+  const std::size_t shard = broker.ShardOf("t", 0);
+
+  std::atomic<int> fires{0};
+  const auto id = broker.AddDataWaiter(shard, [&] { fires.fetch_add(1); });
+  ASSERT_TRUE(broker.Produce("t", MakeRecord("", "a")).ok());
+  broker.RemoveDataWaiter(shard, id);
+  const int before = fires.load();
+  EXPECT_GE(before, 1);
+
+  ASSERT_TRUE(broker.Produce("t", MakeRecord("", "b")).ok());
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(fires.load(), before);
+}
+
+TEST(BrokerShards, WaitersFireOnceOnClose) {
+  auto broker = std::make_unique<Broker>();
+  ASSERT_TRUE(broker->CreateTopic("t", {.partitions = 1}).ok());
+
+  // One waiter per shard: Close() must wake every shard so parked
+  // long-polls never outlive the broker.
+  std::atomic<int> fires{0};
+  const int shard_count = static_cast<int>(broker->shard_count());
+  for (std::size_t shard = 0; shard < broker->shard_count(); ++shard) {
+    broker->AddDataWaiter(shard, [&] { fires.fetch_add(1); });
+  }
+  broker.reset();  // destructor closes
+  EXPECT_EQ(fires.load(), shard_count);
+}
+
+TEST(BrokerShards, WaitForAnyDataWakesAcrossShards) {
+  BrokerOptions options;
+  options.shards = 8;
+  Broker broker(options);
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 8}).ok());
+
+  // Wait on every partition at once; a single append anywhere must wake it.
+  std::vector<TopicPartition> partitions;
+  for (int p = 0; p < 8; ++p) partitions.push_back({"t", p});
+
+  std::thread producer([&] {
+    std::this_thread::sleep_for(50ms);
+    ASSERT_TRUE((*broker.GetLog("t", 5))->Append(MakeRecord("", "v")).ok());
+  });
+  EXPECT_TRUE(broker.WaitForAnyData(partitions, {}, 5s));
+  producer.join();
+
+  // Positions at the end of every partition: the wait times out instead.
+  std::map<TopicPartition, std::int64_t> caught_up;
+  caught_up[{"t", 5}] = 1;
+  EXPECT_FALSE(broker.WaitForAnyData(partitions, caught_up, 50ms));
+}
+
+}  // namespace
+}  // namespace strata::ps
