@@ -11,6 +11,7 @@
 #include <sys/resource.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 
 #include "am/machine.hpp"
@@ -20,8 +21,10 @@
 #include "kvstore/db.hpp"
 #include "net/remote.hpp"
 #include "net/server.hpp"
+#include "net/socket.hpp"
 #include "pubsub/consumer.hpp"
 #include "pubsub/producer.hpp"
+#include "repl/manager.hpp"
 #include "spe/query.hpp"
 #include "spe/replay_source.hpp"
 #include "strata/transport.hpp"
@@ -249,6 +252,113 @@ BENCHMARK(BM_NetManyClients)
     ->Args({1024, 8})
     ->Iterations(3)
     ->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------- replicated acks modes
+
+namespace {
+
+/// Three-broker replicated cluster on loopback (the examples/net_replicated
+/// topology): broker 1 leads "bench", brokers 2 and 3 follow.
+struct ReplBench {
+  struct Node {
+    ps::Broker broker;
+    std::unique_ptr<repl::ReplicationManager> manager;
+    std::unique_ptr<net::BrokerServer> server;
+  };
+
+  ReplBench() {
+    {
+      std::vector<net::ListenSocket> probes;
+      for (int i = 0; i < 3; ++i) {
+        auto probe = net::ListenSocket::Listen("127.0.0.1", 0);
+        probe.status().OrDie();
+        endpoints.push_back(repl::BrokerEndpoint{
+            static_cast<std::uint32_t>(i + 1), "127.0.0.1", probe->port()});
+        probes.push_back(std::move(*probe));
+      }
+    }
+    for (int i = 0; i < 3; ++i) {
+      auto node = std::make_unique<Node>();
+      repl::ReplicaOptions repl;
+      repl.self = endpoints[static_cast<std::size_t>(i)];
+      repl.brokers = endpoints;
+      repl.fetch_interval = std::chrono::microseconds(200);
+      node->manager = std::make_unique<repl::ReplicationManager>(
+          &node->broker, repl);
+      net::BrokerServerOptions server_options;
+      server_options.host = "127.0.0.1";
+      server_options.port = endpoints[static_cast<std::size_t>(i)].port;
+      server_options.repl = node->manager.get();
+      node->server =
+          std::make_unique<net::BrokerServer>(&node->broker, server_options);
+      node->server->Start().OrDie();
+      node->manager->Start().OrDie();
+      nodes.push_back(std::move(node));
+    }
+    for (auto& node : nodes) {
+      node->manager->AddTopic("bench", {.partitions = 1}, /*leader=*/1)
+          .OrDie();
+    }
+  }
+
+  ~ReplBench() {
+    for (auto& node : nodes) {
+      node->manager->Stop();
+      node->server->Stop();
+      node->broker.Close();
+    }
+  }
+
+  [[nodiscard]] net::RemoteOptions Remote(net::ProduceAcks acks) const {
+    net::RemoteOptions remote;
+    for (const repl::BrokerEndpoint& endpoint : endpoints) {
+      remote.bootstrap.emplace_back(endpoint.host, endpoint.port);
+    }
+    remote.acks = acks;
+    return remote;
+  }
+
+  std::vector<repl::BrokerEndpoint> endpoints;
+  std::vector<std::unique_ptr<Node>> nodes;
+};
+
+}  // namespace
+
+// acks=leader vs acks=quorum on the same three-broker cluster: the cost of
+// holding each produce until a majority of brokers has appended the record.
+// Arg 0 = leader acks, Arg 1 = quorum acks.
+static void BM_NetReplicatedAcks(benchmark::State& state) {
+  const auto acks = state.range(0) == 0 ? net::ProduceAcks::kLeader
+                                        : net::ProduceAcks::kQuorum;
+  ReplBench cluster;
+  net::RemoteProducer producer(cluster.Remote(acks));
+  const std::string value(1024, 'x');
+  const auto start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    producer.Send("bench", "", value, 0).status().OrDie();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double per_sec = static_cast<double>(state.iterations()) / seconds;
+  state.counters["produce_per_sec"] = per_sec;
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(0) == 0 ? "acks=leader" : "acks=quorum");
+
+  strata::bench::JsonLinesWriter out("STRATA_BENCH_JSON", "BENCH_SPE.json");
+  out.Line(strata::bench::JsonObject()
+               .Str("bench", "bench_substrates")
+               .Str("scenario", "net_replicated_acks")
+               .Str("acks", state.range(0) == 0 ? "leader" : "quorum")
+               .Int("brokers", 3)
+               .Int("record_bytes", 1024)
+               .Num("produce_per_sec", per_sec));
+}
+BENCHMARK(BM_NetReplicatedAcks)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(2000)  // fixed: one JSON row per acks mode, no re-estimation
+    ->Unit(benchmark::kMicrosecond);
 
 // -------------------------------------------------------------------- spe
 

@@ -24,6 +24,12 @@ const char* StatusCodeName(StatusCode code) noexcept {
       return "ResourceExhausted";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kNotLeader:
+      return "NotLeader";
+    case StatusCode::kStorageDegraded:
+      return "StorageDegraded";
+    case StatusCode::kStorageFailed:
+      return "StorageFailed";
   }
   return "Unknown";
 }

@@ -25,6 +25,15 @@ enum class StatusCode : std::uint8_t {
   kTimeout,
   kResourceExhausted,
   kUnavailable,
+  /// The broker addressed is not the leader for the topic (replicated
+  /// clusters). Clients should refresh cluster metadata and re-route.
+  kNotLeader,
+  /// Broker storage degraded to memory-only (DiskFailurePolicy::kDegrade):
+  /// the write was accepted but is no longer disk-durable on that replica.
+  kStorageDegraded,
+  /// Broker storage fail-stopped (DiskFailurePolicy::kFailStop): writes are
+  /// rejected until the broker is replaced. Sticky — retrying cannot help.
+  kStorageFailed,
 };
 
 /// Human-readable name of a status code ("Ok", "NotFound", ...).
@@ -66,6 +75,15 @@ class Status {
   static Status Unavailable(std::string m) {
     return Status(StatusCode::kUnavailable, std::move(m));
   }
+  static Status NotLeader(std::string m) {
+    return Status(StatusCode::kNotLeader, std::move(m));
+  }
+  static Status StorageDegraded(std::string m) {
+    return Status(StatusCode::kStorageDegraded, std::move(m));
+  }
+  static Status StorageFailed(std::string m) {
+    return Status(StatusCode::kStorageFailed, std::move(m));
+  }
 
   [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
   [[nodiscard]] bool IsNotFound() const noexcept {
@@ -85,6 +103,15 @@ class Status {
   }
   [[nodiscard]] bool IsTimeout() const noexcept {
     return code_ == StatusCode::kTimeout;
+  }
+  [[nodiscard]] bool IsNotLeader() const noexcept {
+    return code_ == StatusCode::kNotLeader;
+  }
+  [[nodiscard]] bool IsStorageDegraded() const noexcept {
+    return code_ == StatusCode::kStorageDegraded;
+  }
+  [[nodiscard]] bool IsStorageFailed() const noexcept {
+    return code_ == StatusCode::kStorageFailed;
   }
   [[nodiscard]] StatusCode code() const noexcept { return code_; }
   [[nodiscard]] const std::string& message() const noexcept { return message_; }

@@ -62,6 +62,14 @@ const char* ApiKeyName(ApiKey api) noexcept {
       return "offset_fetch";
     case ApiKey::kHello:
       return "hello";
+    case ApiKey::kReplicaFetch:
+      return "replica_fetch";
+    case ApiKey::kReplicaAck:
+      return "replica_ack";
+    case ApiKey::kPromoteLeader:
+      return "promote_leader";
+    case ApiKey::kClusterMeta:
+      return "cluster_meta";
   }
   return "unknown";
 }
@@ -78,7 +86,7 @@ Status DecodeRequest(std::string_view payload, ApiKey* api,
   if (payload.empty()) return Truncated("request");
   const auto key = static_cast<std::uint8_t>(payload.front());
   if (key < static_cast<std::uint8_t>(ApiKey::kCreateTopic) ||
-      key > static_cast<std::uint8_t>(ApiKey::kHello)) {
+      key > static_cast<std::uint8_t>(ApiKey::kClusterMeta)) {
     return Status::Corruption("protocol: unknown api key " +
                               std::to_string(key));
   }
@@ -186,11 +194,27 @@ void EncodeProduceRequest(const ProduceRequest& req, std::string* out) {
   codec::PutVarint64Signed(out, req.record.timestamp);
 }
 
-Status DecodeProduceRequest(std::string_view in, ProduceRequest* out) {
+void EncodeProduceRequestV4(const ProduceRequest& req, std::string* out) {
+  EncodeProduceRequest(req, out);
+  out->push_back(static_cast<char>(req.acks));
+}
+
+Status DecodeProduceRequest(std::string_view in, ProduceRequest* out,
+                            bool accept_acks) {
   if (!GetString(&in, &out->topic) || !GetString(&in, &out->record.key) ||
       !GetString(&in, &out->record.value) ||
       !codec::GetVarint64Signed(&in, &out->record.timestamp)) {
     return Truncated("produce request");
+  }
+  out->acks = ProduceAcks::kLeader;
+  if (accept_acks && !in.empty()) {
+    const auto acks = static_cast<std::uint8_t>(in.front());
+    in.remove_prefix(1);
+    if (acks > static_cast<std::uint8_t>(ProduceAcks::kQuorum)) {
+      return Status::Corruption("protocol: unknown produce acks " +
+                                std::to_string(acks));
+    }
+    out->acks = static_cast<ProduceAcks>(acks);
   }
   return ExpectDrained(in);
 }
@@ -421,6 +445,306 @@ Status DecodeOffsetFetchResponse(std::string_view in,
       return Truncated("offset_fetch offset");
     }
     out->offsets.push_back(offset);
+  }
+  return ExpectDrained(in);
+}
+
+// --- replication (v4) -------------------------------------------------------
+
+void EncodeReplicaFetchRequest(const ReplicaFetchRequest& req,
+                               std::string* out) {
+  codec::PutVarint32(out, req.follower);
+  codec::PutVarint64(out, req.epoch);
+  codec::PutLengthPrefixed(out, req.topic);
+  codec::PutVarint32(out, static_cast<std::uint32_t>(req.entries.size()));
+  for (const ReplicaFetchRequest::Entry& entry : req.entries) {
+    codec::PutVarint32(out, entry.partition);
+    codec::PutVarint64Signed(out, entry.offset);
+    codec::PutVarint64(out, entry.max_records);
+  }
+}
+
+Status DecodeReplicaFetchRequest(std::string_view in,
+                                 ReplicaFetchRequest* out) {
+  std::uint32_t n = 0;
+  if (!codec::GetVarint32(&in, &out->follower) ||
+      !codec::GetVarint64(&in, &out->epoch) || !GetString(&in, &out->topic) ||
+      !codec::GetVarint32(&in, &n) || n > kMaxBatchEntries) {
+    return Truncated("replica_fetch request");
+  }
+  out->entries.clear();
+  out->entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ReplicaFetchRequest::Entry entry;
+    if (!codec::GetVarint32(&in, &entry.partition) ||
+        !codec::GetVarint64Signed(&in, &entry.offset) ||
+        !codec::GetVarint64(&in, &entry.max_records)) {
+      return Truncated("replica_fetch entry");
+    }
+    out->entries.push_back(entry);
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeReplicaFetchResponse(const ReplicaFetchResponse& resp,
+                                std::string* out) {
+  codec::PutVarint32(out, resp.leader);
+  codec::PutVarint64(out, resp.epoch);
+  codec::PutVarint32(out, static_cast<std::uint32_t>(resp.entries.size()));
+  for (const ReplicaFetchResponse::Entry& entry : resp.entries) {
+    codec::PutVarint32(out, entry.partition);
+    codec::PutVarint64Signed(out, entry.base_offset);
+    codec::PutVarint64Signed(out, entry.high_watermark);
+    codec::PutVarint64Signed(out, entry.log_end);
+    codec::PutVarint32(out, static_cast<std::uint32_t>(entry.records.size()));
+    for (const ps::Record& record : entry.records) {
+      codec::PutLengthPrefixed(out, record.key);
+      codec::PutLengthPrefixed(out, record.value);
+      codec::PutVarint64Signed(out, record.timestamp);
+    }
+  }
+}
+
+Status DecodeReplicaFetchResponse(std::string_view in,
+                                  ReplicaFetchResponse* out) {
+  std::uint32_t n = 0;
+  if (!codec::GetVarint32(&in, &out->leader) ||
+      !codec::GetVarint64(&in, &out->epoch) || !codec::GetVarint32(&in, &n) ||
+      n > kMaxBatchEntries) {
+    return Truncated("replica_fetch response");
+  }
+  out->entries.clear();
+  out->entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ReplicaFetchResponse::Entry entry;
+    std::uint32_t records = 0;
+    if (!codec::GetVarint32(&in, &entry.partition) ||
+        !codec::GetVarint64Signed(&in, &entry.base_offset) ||
+        !codec::GetVarint64Signed(&in, &entry.high_watermark) ||
+        !codec::GetVarint64Signed(&in, &entry.log_end) ||
+        !codec::GetVarint32(&in, &records) || records > kMaxBatchEntries) {
+      return Truncated("replica_fetch response entry");
+    }
+    entry.records.reserve(records);
+    for (std::uint32_t r = 0; r < records; ++r) {
+      ps::Record record;
+      if (!GetString(&in, &record.key) || !GetString(&in, &record.value) ||
+          !codec::GetVarint64Signed(&in, &record.timestamp)) {
+        return Truncated("replica_fetch record");
+      }
+      entry.records.push_back(std::move(record));
+    }
+    out->entries.push_back(std::move(entry));
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeReplicaAckRequest(const ReplicaAckRequest& req, std::string* out) {
+  codec::PutVarint32(out, req.follower);
+  codec::PutVarint64(out, req.epoch);
+  codec::PutLengthPrefixed(out, req.topic);
+  codec::PutVarint32(out, static_cast<std::uint32_t>(req.entries.size()));
+  for (const ReplicaAckRequest::Entry& entry : req.entries) {
+    codec::PutVarint32(out, entry.partition);
+    codec::PutVarint64Signed(out, entry.log_end);
+  }
+}
+
+Status DecodeReplicaAckRequest(std::string_view in, ReplicaAckRequest* out) {
+  std::uint32_t n = 0;
+  if (!codec::GetVarint32(&in, &out->follower) ||
+      !codec::GetVarint64(&in, &out->epoch) || !GetString(&in, &out->topic) ||
+      !codec::GetVarint32(&in, &n) || n > kMaxBatchEntries) {
+    return Truncated("replica_ack request");
+  }
+  out->entries.clear();
+  out->entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ReplicaAckRequest::Entry entry;
+    if (!codec::GetVarint32(&in, &entry.partition) ||
+        !codec::GetVarint64Signed(&in, &entry.log_end)) {
+      return Truncated("replica_ack entry");
+    }
+    out->entries.push_back(entry);
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeReplicaAckResponse(const ReplicaAckResponse& resp,
+                              std::string* out) {
+  codec::PutVarint32(out, static_cast<std::uint32_t>(resp.entries.size()));
+  for (const ReplicaAckResponse::Entry& entry : resp.entries) {
+    codec::PutVarint32(out, entry.partition);
+    codec::PutVarint64Signed(out, entry.high_watermark);
+  }
+}
+
+Status DecodeReplicaAckResponse(std::string_view in, ReplicaAckResponse* out) {
+  std::uint32_t n = 0;
+  if (!codec::GetVarint32(&in, &n) || n > kMaxBatchEntries) {
+    return Truncated("replica_ack response");
+  }
+  out->entries.clear();
+  out->entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ReplicaAckResponse::Entry entry;
+    if (!codec::GetVarint32(&in, &entry.partition) ||
+        !codec::GetVarint64Signed(&in, &entry.high_watermark)) {
+      return Truncated("replica_ack response entry");
+    }
+    out->entries.push_back(entry);
+  }
+  return ExpectDrained(in);
+}
+
+void EncodePromoteLeaderRequest(const PromoteLeaderRequest& req,
+                                std::string* out) {
+  codec::PutVarint32(out, req.leader);
+  codec::PutVarint64(out, req.epoch);
+  codec::PutLengthPrefixed(out, req.topic);
+  codec::PutVarint32(out, static_cast<std::uint32_t>(req.entries.size()));
+  for (const PromoteLeaderRequest::Entry& entry : req.entries) {
+    codec::PutVarint32(out, entry.partition);
+    codec::PutVarint64Signed(out, entry.log_end);
+  }
+}
+
+Status DecodePromoteLeaderRequest(std::string_view in,
+                                  PromoteLeaderRequest* out) {
+  std::uint32_t n = 0;
+  if (!codec::GetVarint32(&in, &out->leader) ||
+      !codec::GetVarint64(&in, &out->epoch) || !GetString(&in, &out->topic) ||
+      !codec::GetVarint32(&in, &n) || n > kMaxBatchEntries) {
+    return Truncated("promote_leader request");
+  }
+  out->entries.clear();
+  out->entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PromoteLeaderRequest::Entry entry;
+    if (!codec::GetVarint32(&in, &entry.partition) ||
+        !codec::GetVarint64Signed(&in, &entry.log_end)) {
+      return Truncated("promote_leader entry");
+    }
+    out->entries.push_back(entry);
+  }
+  return ExpectDrained(in);
+}
+
+void EncodePromoteLeaderResponse(const PromoteLeaderResponse& resp,
+                                 std::string* out) {
+  codec::PutVarint32(out, static_cast<std::uint32_t>(resp.entries.size()));
+  for (const PromoteLeaderResponse::Entry& entry : resp.entries) {
+    codec::PutVarint32(out, entry.partition);
+    codec::PutVarint64Signed(out, entry.log_end);
+  }
+}
+
+Status DecodePromoteLeaderResponse(std::string_view in,
+                                   PromoteLeaderResponse* out) {
+  std::uint32_t n = 0;
+  if (!codec::GetVarint32(&in, &n) || n > kMaxBatchEntries) {
+    return Truncated("promote_leader response");
+  }
+  out->entries.clear();
+  out->entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PromoteLeaderResponse::Entry entry;
+    if (!codec::GetVarint32(&in, &entry.partition) ||
+        !codec::GetVarint64Signed(&in, &entry.log_end)) {
+      return Truncated("promote_leader response entry");
+    }
+    out->entries.push_back(entry);
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeClusterMetaRequest(const ClusterMetaRequest& req, std::string* out) {
+  codec::PutLengthPrefixed(out, req.topic);
+}
+
+Status DecodeClusterMetaRequest(std::string_view in, ClusterMetaRequest* out) {
+  if (!GetString(&in, &out->topic)) return Truncated("cluster_meta request");
+  return ExpectDrained(in);
+}
+
+void EncodeClusterMetaResponse(const ClusterMetaResponse& resp,
+                               std::string* out) {
+  codec::PutVarint32(out, static_cast<std::uint32_t>(resp.brokers.size()));
+  for (const ClusterMetaResponse::BrokerInfo& broker : resp.brokers) {
+    codec::PutVarint32(out, broker.id);
+    codec::PutLengthPrefixed(out, broker.host);
+    codec::PutVarint32(out, broker.port);
+  }
+  codec::PutVarint32(out, resp.self);
+  codec::PutVarint32(out, static_cast<std::uint32_t>(resp.topics.size()));
+  for (const ClusterMetaResponse::Topic& topic : resp.topics) {
+    codec::PutLengthPrefixed(out, topic.topic);
+    codec::PutVarint32(out, topic.leader);
+    codec::PutVarint64(out, topic.epoch);
+    codec::PutVarint32(out, static_cast<std::uint32_t>(topic.isr.size()));
+    for (const std::uint32_t id : topic.isr) codec::PutVarint32(out, id);
+    codec::PutVarint32(out, static_cast<std::uint32_t>(topic.partitions.size()));
+    for (const ClusterMetaResponse::Partition& p : topic.partitions) {
+      codec::PutVarint64Signed(out, p.log_end);
+      codec::PutVarint64Signed(out, p.high_watermark);
+    }
+  }
+}
+
+Status DecodeClusterMetaResponse(std::string_view in,
+                                 ClusterMetaResponse* out) {
+  std::uint32_t brokers = 0;
+  if (!codec::GetVarint32(&in, &brokers) || brokers > kMaxBatchEntries) {
+    return Truncated("cluster_meta response");
+  }
+  out->brokers.clear();
+  out->brokers.reserve(brokers);
+  for (std::uint32_t i = 0; i < brokers; ++i) {
+    ClusterMetaResponse::BrokerInfo broker;
+    std::uint32_t port = 0;
+    if (!codec::GetVarint32(&in, &broker.id) || !GetString(&in, &broker.host) ||
+        !codec::GetVarint32(&in, &port) || port > 0xffff) {
+      return Truncated("cluster_meta broker");
+    }
+    broker.port = static_cast<std::uint16_t>(port);
+    out->brokers.push_back(std::move(broker));
+  }
+  std::uint32_t topics = 0;
+  if (!codec::GetVarint32(&in, &out->self) ||
+      !codec::GetVarint32(&in, &topics) || topics > kMaxBatchEntries) {
+    return Truncated("cluster_meta topics");
+  }
+  out->topics.clear();
+  out->topics.reserve(topics);
+  for (std::uint32_t i = 0; i < topics; ++i) {
+    ClusterMetaResponse::Topic topic;
+    std::uint32_t isr = 0;
+    if (!GetString(&in, &topic.topic) ||
+        !codec::GetVarint32(&in, &topic.leader) ||
+        !codec::GetVarint64(&in, &topic.epoch) ||
+        !codec::GetVarint32(&in, &isr) || isr > kMaxBatchEntries) {
+      return Truncated("cluster_meta topic");
+    }
+    topic.isr.reserve(isr);
+    for (std::uint32_t r = 0; r < isr; ++r) {
+      std::uint32_t id = 0;
+      if (!codec::GetVarint32(&in, &id)) return Truncated("cluster_meta isr");
+      topic.isr.push_back(id);
+    }
+    std::uint32_t parts = 0;
+    if (!codec::GetVarint32(&in, &parts) || parts > kMaxBatchEntries) {
+      return Truncated("cluster_meta partitions");
+    }
+    topic.partitions.reserve(parts);
+    for (std::uint32_t p = 0; p < parts; ++p) {
+      ClusterMetaResponse::Partition part;
+      if (!codec::GetVarint64Signed(&in, &part.log_end) ||
+          !codec::GetVarint64Signed(&in, &part.high_watermark)) {
+        return Truncated("cluster_meta offsets");
+      }
+      topic.partitions.push_back(part);
+    }
+    out->topics.push_back(std::move(topic));
   }
   return ExpectDrained(in);
 }

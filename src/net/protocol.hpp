@@ -31,13 +31,20 @@ enum class ApiKey : std::uint8_t {
   kCommitOffset = 8,
   kOffsetFetch = 9,
   kHello = 10,
+  // v4 (strata::repl): leader-based partition replication.
+  kReplicaFetch = 11,
+  kReplicaAck = 12,
+  kPromoteLeader = 13,
+  kClusterMeta = 14,
 };
 
 /// Highest protocol version this build speaks. v1: original framing.
 /// v2: frames may carry the optional trace-context block (frame.hpp).
 /// v3: frames may carry the optional correlation-id block, enabling request
 /// pipelining with out-of-order responses on one connection (frame.hpp).
-inline constexpr std::uint32_t kProtocolVersion = 3;
+/// v4: replication api keys (ReplicaFetch/ReplicaAck/PromoteLeader/
+/// ClusterMeta) and the optional trailing acks byte on Produce bodies.
+inline constexpr std::uint32_t kProtocolVersion = 4;
 
 /// Human-readable name for metrics labels and diagnostics.
 [[nodiscard]] const char* ApiKeyName(ApiKey api) noexcept;
@@ -53,9 +60,20 @@ struct MetadataRequest {
   std::string topic;  // empty = all topics
 };
 
+/// Produce durability requirement (v4). kLeader acks once the leader has
+/// appended; kQuorum holds the response until a majority of the replica set
+/// has the record (see src/repl/). Encoded as an optional trailing byte so
+/// v4 servers still accept pre-v4 bodies; clients must only send it to
+/// servers that negotiated version >= 4.
+enum class ProduceAcks : std::uint8_t {
+  kLeader = 0,
+  kQuorum = 1,
+};
+
 struct ProduceRequest {
   std::string topic;
   ps::Record record;
+  ProduceAcks acks = ProduceAcks::kLeader;
 };
 
 struct FetchRequest {
@@ -84,6 +102,115 @@ struct CommitOffsetRequest {
 struct OffsetFetchRequest {
   std::string group;
   std::vector<ps::TopicPartition> partitions;
+};
+
+/// Follower -> leader (v4): pull records for a topic's partitions starting
+/// at the follower's local log end. The fetch offset doubles as a cumulative
+/// ack ("everything below is appended here") and the request itself is the
+/// follower's heartbeat to the leader.
+struct ReplicaFetchRequest {
+  std::uint32_t follower = 0;  // follower broker id
+  std::uint64_t epoch = 0;     // follower's current leader epoch
+  std::string topic;
+  struct Entry {
+    std::uint32_t partition = 0;
+    std::int64_t offset = 0;  // follower log end = first offset it wants
+    std::uint64_t max_records = 512;
+  };
+  std::vector<Entry> entries;
+};
+
+struct ReplicaFetchResponse {
+  std::uint32_t leader = 0;  // leader broker id (as the leader believes)
+  std::uint64_t epoch = 0;   // leader epoch; followers adopt newer values
+  struct Entry {
+    std::uint32_t partition = 0;
+    /// First offset of `records`. When it differs from the requested offset
+    /// the leader no longer holds that range (retention) — the follower
+    /// cannot copy contiguously and must flag the gap.
+    std::int64_t base_offset = 0;
+    std::int64_t high_watermark = 0;  // quorum-committed end
+    std::int64_t log_end = 0;         // leader's local end (lag = end - offset)
+    std::vector<ps::Record> records;
+  };
+  std::vector<Entry> entries;
+};
+
+/// Follower -> leader (v4): explicit ack after appending fetched records, so
+/// the high watermark advances without waiting for the next fetch round.
+struct ReplicaAckRequest {
+  std::uint32_t follower = 0;
+  std::uint64_t epoch = 0;
+  std::string topic;
+  struct Entry {
+    std::uint32_t partition = 0;
+    std::int64_t log_end = 0;  // follower's local end after the append
+  };
+  std::vector<Entry> entries;
+};
+
+struct ReplicaAckResponse {
+  struct Entry {
+    std::uint32_t partition = 0;
+    std::int64_t high_watermark = 0;
+  };
+  std::vector<Entry> entries;
+};
+
+/// New leader -> everyone (v4): announce leadership for a topic at a higher
+/// epoch. Receivers with longer logs truncate to the new leader's ends
+/// (uncommitted tail of the failed leader) and resume fetching.
+struct PromoteLeaderRequest {
+  std::uint32_t leader = 0;  // the broker claiming leadership
+  std::uint64_t epoch = 0;   // must exceed the receiver's epoch to be adopted
+  std::string topic;
+  struct Entry {
+    std::uint32_t partition = 0;
+    std::int64_t log_end = 0;  // new leader's local end (truncation bound)
+  };
+  std::vector<Entry> entries;
+};
+
+struct PromoteLeaderResponse {
+  struct Entry {
+    std::uint32_t partition = 0;
+    std::int64_t log_end = 0;  // receiver's local end after any truncation
+  };
+  std::vector<Entry> entries;
+};
+
+/// Client or peer -> any broker (v4): the cluster metadata view — broker
+/// endpoints plus per-topic leader, epoch, in-sync replica set, and
+/// per-partition [end, high-watermark]. Producers/consumers use it to find
+/// the leader; brokers use it during elections to pick the most caught-up
+/// survivor.
+struct ClusterMetaRequest {
+  std::string topic;  // empty = all replicated topics
+};
+
+struct ClusterMetaResponse {
+  struct BrokerInfo {
+    std::uint32_t id = 0;
+    std::string host;
+    std::uint16_t port = 0;
+  };
+  std::vector<BrokerInfo> brokers;
+  std::uint32_t self = 0;  // id of the responding broker
+  struct Partition {
+    std::int64_t log_end = 0;        // responder's local end
+    std::int64_t high_watermark = 0;
+  };
+  struct Topic {
+    std::string topic;
+    std::uint32_t leader = 0;
+    std::uint64_t epoch = 0;
+    /// Leader's view of the in-sync replicas (itself included). Followers
+    /// answering this request report an empty set — only log_end/epoch from
+    /// them is meaningful.
+    std::vector<std::uint32_t> isr;
+    std::vector<Partition> partitions;
+  };
+  std::vector<Topic> topics;
 };
 
 /// Version negotiation, sent once per connection before other requests. A
@@ -174,9 +301,16 @@ void EncodeMetadataResponse(const MetadataResponse& resp, std::string* out);
 [[nodiscard]] Status DecodeMetadataResponse(std::string_view in,
                                             MetadataResponse* out);
 
+/// Pre-v4 body layout (no acks byte) — what v1..v3 peers expect.
 void EncodeProduceRequest(const ProduceRequest& req, std::string* out);
+/// v4 body layout: appends the acks byte. Only send to servers that
+/// negotiated version >= 4 (older ones reject the trailing byte).
+void EncodeProduceRequestV4(const ProduceRequest& req, std::string* out);
+/// Accepts both layouts; `accept_acks` = false emulates a pre-v4 server
+/// (strict: a trailing acks byte is Corruption, as it would be on the wire).
 [[nodiscard]] Status DecodeProduceRequest(std::string_view in,
-                                          ProduceRequest* out);
+                                          ProduceRequest* out,
+                                          bool accept_acks = true);
 void EncodeProduceResponse(const ProduceResponse& resp, std::string* out);
 [[nodiscard]] Status DecodeProduceResponse(std::string_view in,
                                            ProduceResponse* out);
@@ -210,6 +344,40 @@ void EncodeOffsetFetchResponse(const OffsetFetchResponse& resp,
                                std::string* out);
 [[nodiscard]] Status DecodeOffsetFetchResponse(std::string_view in,
                                                OffsetFetchResponse* out);
+
+void EncodeReplicaFetchRequest(const ReplicaFetchRequest& req,
+                               std::string* out);
+[[nodiscard]] Status DecodeReplicaFetchRequest(std::string_view in,
+                                               ReplicaFetchRequest* out);
+void EncodeReplicaFetchResponse(const ReplicaFetchResponse& resp,
+                                std::string* out);
+[[nodiscard]] Status DecodeReplicaFetchResponse(std::string_view in,
+                                                ReplicaFetchResponse* out);
+
+void EncodeReplicaAckRequest(const ReplicaAckRequest& req, std::string* out);
+[[nodiscard]] Status DecodeReplicaAckRequest(std::string_view in,
+                                             ReplicaAckRequest* out);
+void EncodeReplicaAckResponse(const ReplicaAckResponse& resp,
+                              std::string* out);
+[[nodiscard]] Status DecodeReplicaAckResponse(std::string_view in,
+                                              ReplicaAckResponse* out);
+
+void EncodePromoteLeaderRequest(const PromoteLeaderRequest& req,
+                                std::string* out);
+[[nodiscard]] Status DecodePromoteLeaderRequest(std::string_view in,
+                                                PromoteLeaderRequest* out);
+void EncodePromoteLeaderResponse(const PromoteLeaderResponse& resp,
+                                 std::string* out);
+[[nodiscard]] Status DecodePromoteLeaderResponse(std::string_view in,
+                                                 PromoteLeaderResponse* out);
+
+void EncodeClusterMetaRequest(const ClusterMetaRequest& req, std::string* out);
+[[nodiscard]] Status DecodeClusterMetaRequest(std::string_view in,
+                                              ClusterMetaRequest* out);
+void EncodeClusterMetaResponse(const ClusterMetaResponse& resp,
+                               std::string* out);
+[[nodiscard]] Status DecodeClusterMetaResponse(std::string_view in,
+                                               ClusterMetaResponse* out);
 
 void EncodeHelloRequest(const HelloRequest& req, std::string* out);
 [[nodiscard]] Status DecodeHelloRequest(std::string_view in,

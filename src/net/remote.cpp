@@ -29,6 +29,13 @@ bool IsTransportError(const Status& status) {
   }
 }
 
+/// True for errors the *server* answered with (they crossed the wire inside
+/// a response frame and carry the "server: " marker) — as opposed to
+/// transport faults of the connection itself.
+bool IsServerError(const Status& status) {
+  return !status.ok() && status.message().rfind("server: ", 0) == 0;
+}
+
 }  // namespace
 
 // --- ClientConnection -------------------------------------------------------
@@ -144,6 +151,18 @@ Status ClientConnection::Call(ApiKey api, std::string_view body,
                               std::string* response_body,
                               std::chrono::microseconds extra_wait,
                               bool retry) {
+  return Call(
+      api,
+      [body](std::uint32_t /*version*/, std::string* out) {
+        out->assign(body.data(), body.size());
+      },
+      response_body, extra_wait, retry);
+}
+
+Status ClientConnection::Call(ApiKey api, const BodyBuilder& make_body,
+                              std::string* response_body,
+                              std::chrono::microseconds extra_wait,
+                              bool retry) {
   {
     std::lock_guard lock(cancel_mu_);
     if (cancelled_) return Status::Closed("client connection cancelled");
@@ -165,10 +184,12 @@ Status ClientConnection::Call(ApiKey api, std::string_view body,
     last = EnsureConnected();
     if (!last.ok()) continue;  // connect failures are always retryable
 
+    // Built after Hello so the encoding can adapt to the peer's version.
+    std::string body;
+    make_body(server_version_, &body);
     last = RoundTrip(api, body, response_body, extra_wait);
     if (last.ok()) return last;
-    if (!IsTransportError(last) ||
-        (!last.message().empty() && last.message().rfind("server: ", 0) == 0)) {
+    if (!IsTransportError(last) || IsServerError(last)) {
       return last;  // application error from the server: never retry
     }
     // Transport fault: the stream cannot be trusted (a timeout may have left
@@ -180,6 +201,120 @@ Status ClientConnection::Call(ApiKey api, std::string_view body,
   return last;
 }
 
+void ClientConnection::SetEndpoint(const std::string& host,
+                                   std::uint16_t port) {
+  if (host == options_.host && port == options_.port) return;
+  socket_.Close();
+  options_.host = host;
+  options_.port = port;
+  server_version_ = 1;
+  assume_v1_ = false;  // the new peer negotiates from scratch
+}
+
+void ClientConnection::CountRetry() noexcept {
+  if (retries_ != nullptr) retries_->Inc();
+}
+
+// --- LeaderRouter -----------------------------------------------------------
+
+LeaderRouter::LeaderRouter(RemoteOptions options)
+    : options_(options), connection_(std::move(options)) {
+  for (const auto& endpoint : options_.bootstrap) {
+    if (std::find(endpoints_.begin(), endpoints_.end(), endpoint) ==
+        endpoints_.end()) {
+      endpoints_.push_back(endpoint);
+    }
+  }
+  const std::pair<std::string, std::uint16_t> primary{options_.host,
+                                                      options_.port};
+  if (primary.second != 0 &&
+      std::find(endpoints_.begin(), endpoints_.end(), primary) ==
+          endpoints_.end()) {
+    endpoints_.push_back(primary);
+  }
+  // Start on a seed, not on a possibly-zero RemoteOptions::port.
+  if (options_.port == 0 && !endpoints_.empty()) {
+    connection_.SetEndpoint(endpoints_.front().first,
+                            endpoints_.front().second);
+  }
+}
+
+void LeaderRouter::Refresh(const std::string& topic) {
+  if (endpoints_.empty()) return;  // single-endpoint client: nothing to probe
+  ClusterMetaRequest req;
+  req.topic = topic;
+  std::string body;
+  EncodeClusterMetaRequest(req, &body);
+
+  const std::vector<std::pair<std::string, std::uint16_t>> candidates =
+      endpoints_;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto& candidate =
+        candidates[(probe_from_ + i) % candidates.size()];
+    connection_.SetEndpoint(candidate.first, candidate.second);
+    std::string response;
+    const Status status = connection_.Call(ApiKey::kClusterMeta, body,
+                                           &response, {}, /*retry=*/false);
+    if (!status.ok() && !IsServerError(status)) continue;  // dead broker
+    probe_from_ = (probe_from_ + i) % candidates.size();
+    if (!status.ok()) {
+      // Live, but no cluster view (standalone / pre-repl broker answering
+      // InvalidArgument, or a pre-v4 build severing the probe): stay here.
+      return;
+    }
+    ClusterMetaResponse meta;
+    if (!DecodeClusterMetaResponse(response, &meta).ok()) return;
+    // Fold every advertised broker into the endpoint pool; failover may
+    // promote a broker that was never in the bootstrap list.
+    for (const auto& broker : meta.brokers) {
+      const std::pair<std::string, std::uint16_t> endpoint{broker.host,
+                                                           broker.port};
+      if (endpoint.second != 0 &&
+          std::find(endpoints_.begin(), endpoints_.end(), endpoint) ==
+              endpoints_.end()) {
+        endpoints_.push_back(endpoint);
+      }
+    }
+    for (const auto& t : meta.topics) {
+      if (t.topic != topic) continue;
+      for (const auto& broker : meta.brokers) {
+        if (broker.id == t.leader && broker.port != 0) {
+          LOG_DEBUG << "net: routing " << topic << " to leader " << t.leader
+                    << " at " << broker.host << ":" << broker.port;
+          connection_.SetEndpoint(broker.host, broker.port);
+          return;
+        }
+      }
+    }
+    return;  // topic unknown to the cluster: any live broker will do
+  }
+  ++probe_from_;  // everything dead: start the next sweep elsewhere
+}
+
+Status LeaderRouter::Call(ApiKey api, const std::string& topic,
+                          const ClientConnection::BodyBuilder& make_body,
+                          std::string* response_body,
+                          std::chrono::microseconds extra_wait) {
+  const int rounds = std::max(1, options_.cluster_refresh_rounds);
+  Status last = Status::Ok();
+  for (int round = 0; round < rounds; ++round) {
+    if (round > 0) {
+      // Give an in-flight election time to conclude before re-probing.
+      std::this_thread::sleep_for(options_.cluster_refresh_backoff);
+    }
+    if (round > 0) connection_.CountRetry();
+    last = connection_.Call(api, make_body, response_body, extra_wait,
+                            /*retry=*/endpoints_.empty());
+    if (last.ok() || last.IsClosed()) return last;
+    if (IsServerError(last) && !last.IsNotLeader()) {
+      return last;  // genuine application error: re-routing cannot help
+    }
+    // NotLeader or transport fault: chase the (possibly new) leader.
+    Refresh(topic);
+  }
+  return last;
+}
+
 // --- RemoteProducer ---------------------------------------------------------
 
 Result<std::pair<int, std::int64_t>> RemoteProducer::Send(
@@ -187,11 +322,21 @@ Result<std::pair<int, std::int64_t>> RemoteProducer::Send(
   ProduceRequest req;
   req.topic = topic;
   req.record = std::move(record);
-  std::string body;
-  EncodeProduceRequest(req, &body);
+  req.acks = options_.acks;
   std::string response;
-  STRATA_RETURN_IF_ERROR(
-      connection_.Call(ApiKey::kProduce, body, &response));
+  // Encoded per attempt: only a v4 peer understands the trailing acks byte,
+  // so against an older broker the request downgrades to the legacy layout
+  // (and therefore to leader acks) instead of being rejected.
+  STRATA_RETURN_IF_ERROR(router_.Call(
+      ApiKey::kProduce, topic,
+      [&req](std::uint32_t version, std::string* out) {
+        if (version >= 4) {
+          EncodeProduceRequestV4(req, out);
+        } else {
+          EncodeProduceRequest(req, out);
+        }
+      },
+      &response));
   ProduceResponse resp;
   STRATA_RETURN_IF_ERROR(DecodeProduceResponse(response, &resp));
   return std::pair<int, std::int64_t>{resp.partition, resp.offset};
@@ -204,20 +349,7 @@ Result<std::unique_ptr<RemoteConsumer>> RemoteConsumer::Create(
     ps::ConsumerOptions options) {
   std::unique_ptr<RemoteConsumer> consumer(
       new RemoteConsumer(std::move(remote), topic, std::move(options)));
-
-  GroupRequest join;
-  join.group = consumer->options_.group;
-  join.topic = topic;
-  std::string body;
-  EncodeGroupRequest(join, &body);
-  std::string response;
-  STRATA_RETURN_IF_ERROR(
-      consumer->connection_.Call(ApiKey::kJoinGroup, body, &response));
-  JoinGroupResponse joined;
-  STRATA_RETURN_IF_ERROR(DecodeJoinGroupResponse(response, &joined));
-  consumer->member_ = joined.member;
-  consumer->joined_ = true;
-
+  STRATA_RETURN_IF_ERROR(consumer->JoinOnCurrentLeader());
   STRATA_RETURN_IF_ERROR(consumer->RefreshAssignment());
   return consumer;
 }
@@ -232,8 +364,34 @@ RemoteConsumer::~RemoteConsumer() {
   std::string response;
   // Best effort, no retry: if the connection is gone the server's session
   // tracking already leaves the group for us.
-  (void)connection_.Call(ApiKey::kLeaveGroup, body, &response,
-                         std::chrono::microseconds{}, /*retry=*/false);
+  (void)router_.connection().Call(ApiKey::kLeaveGroup, body, &response,
+                                  std::chrono::microseconds{},
+                                  /*retry=*/false);
+}
+
+Status RemoteConsumer::Call(ApiKey api, const std::string& body,
+                            std::string* response,
+                            std::chrono::microseconds extra_wait) {
+  return router_.Call(
+      api, topic_,
+      [&body](std::uint32_t /*version*/, std::string* out) { *out = body; },
+      response, extra_wait);
+}
+
+Status RemoteConsumer::JoinOnCurrentLeader() {
+  GroupRequest join;
+  join.group = options_.group;
+  join.topic = topic_;
+  std::string body;
+  EncodeGroupRequest(join, &body);
+  std::string response;
+  STRATA_RETURN_IF_ERROR(Call(ApiKey::kJoinGroup, body, &response));
+  JoinGroupResponse joined;
+  STRATA_RETURN_IF_ERROR(DecodeJoinGroupResponse(response, &joined));
+  member_ = joined.member;
+  joined_ = true;
+  generation_ = 0;
+  return Status::Ok();
 }
 
 Status RemoteConsumer::RefreshAssignment() {
@@ -243,10 +401,24 @@ Status RemoteConsumer::RefreshAssignment() {
   std::string body;
   EncodeGroupRequest(heartbeat, &body);
   std::string response;
-  STRATA_RETURN_IF_ERROR(
-      connection_.Call(ApiKey::kHeartbeat, body, &response));
+  STRATA_RETURN_IF_ERROR(Call(ApiKey::kHeartbeat, body, &response));
   HeartbeatResponse resp;
   STRATA_RETURN_IF_ERROR(DecodeHeartbeatResponse(response, &resp));
+
+  if (resp.generation == 0 && joined_) {
+    // The broker answering us has no record of the group: leadership moved
+    // and group state is not replicated. Re-join on the new leader; the
+    // client-side positions_ map carries consumption forward, so nothing
+    // already consumed is replayed (beyond the usual at-least-once window).
+    LOG_DEBUG << "net: group " << options_.group
+              << " unknown on current broker, re-joining after failover";
+    STRATA_RETURN_IF_ERROR(JoinOnCurrentLeader());
+    heartbeat.member = member_;
+    body.clear();
+    EncodeGroupRequest(heartbeat, &body);
+    STRATA_RETURN_IF_ERROR(Call(ApiKey::kHeartbeat, body, &response));
+    STRATA_RETURN_IF_ERROR(DecodeHeartbeatResponse(response, &resp));
+  }
 
   if (resp.generation == generation_ && !assigned_.empty()) {
     return Status::Ok();
@@ -282,8 +454,7 @@ Status RemoteConsumer::RefreshAssignment() {
     req.partitions = fresh;
     body.clear();
     EncodeOffsetFetchRequest(req, &body);
-    STRATA_RETURN_IF_ERROR(
-        connection_.Call(ApiKey::kOffsetFetch, body, &response));
+    STRATA_RETURN_IF_ERROR(Call(ApiKey::kOffsetFetch, body, &response));
     OffsetFetchResponse offsets;
     STRATA_RETURN_IF_ERROR(DecodeOffsetFetchResponse(response, &offsets));
     if (offsets.offsets.size() != fresh.size()) {
@@ -302,8 +473,7 @@ Status RemoteConsumer::RefreshAssignment() {
         meta_req.topic = topic_;
         body.clear();
         EncodeMetadataRequest(meta_req, &body);
-        STRATA_RETURN_IF_ERROR(
-            connection_.Call(ApiKey::kMetadata, body, &response));
+        STRATA_RETURN_IF_ERROR(Call(ApiKey::kMetadata, body, &response));
         STRATA_RETURN_IF_ERROR(DecodeMetadataResponse(response, &metadata));
         have_metadata = true;
       }
@@ -362,8 +532,8 @@ Result<std::vector<ps::ConsumedRecord>> RemoteConsumer::Poll(
       std::string body;
       EncodeFetchRequest(req, &body);
       std::string response;
-      STRATA_RETURN_IF_ERROR(connection_.Call(
-          ApiKey::kFetch, body, &response, wait + std::chrono::seconds(1)));
+      STRATA_RETURN_IF_ERROR(Call(ApiKey::kFetch, body, &response,
+                                  wait + std::chrono::seconds(1)));
       FetchResponse resp;
       STRATA_RETURN_IF_ERROR(DecodeFetchResponse(response, &resp));
 
@@ -412,8 +582,7 @@ Status RemoteConsumer::Commit() {
   EncodeCommitOffsetRequest(req, &body);
   std::string response;
   // Committing the same offsets twice is idempotent, so retry is safe.
-  STRATA_RETURN_IF_ERROR(
-      connection_.Call(ApiKey::kCommitOffset, body, &response));
+  STRATA_RETURN_IF_ERROR(Call(ApiKey::kCommitOffset, body, &response));
   uncommitted_.clear();
   return Status::Ok();
 }
@@ -425,7 +594,7 @@ Status RemoteConsumer::SeekToEnd() {
   std::string body;
   EncodeMetadataRequest(req, &body);
   std::string response;
-  STRATA_RETURN_IF_ERROR(connection_.Call(ApiKey::kMetadata, body, &response));
+  STRATA_RETURN_IF_ERROR(Call(ApiKey::kMetadata, body, &response));
   MetadataResponse metadata;
   STRATA_RETURN_IF_ERROR(DecodeMetadataResponse(response, &metadata));
   if (metadata.topics.empty()) {

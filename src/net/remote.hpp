@@ -45,6 +45,27 @@ struct RemoteOptions {
   std::chrono::microseconds backoff_max = std::chrono::seconds(1);
   /// Optional registry for net.client.* metrics (retry/reconnect counters).
   obs::MetricsRegistry* metrics = nullptr;
+
+  // --- Replicated clusters --------------------------------------------------
+
+  /// Seed endpoints of a replicated cluster. When non-empty, producers and
+  /// consumers route through a LeaderRouter: they discover the per-topic
+  /// leader via ClusterMeta, re-route on NotLeader responses, and fail over
+  /// to surviving brokers when the leader dies. `host`/`port` above are
+  /// folded in as an extra seed when set. Empty = single-broker behavior.
+  std::vector<std::pair<std::string, std::uint16_t>> bootstrap;
+  /// Produce durability: kLeader acks once the leader appended, kQuorum
+  /// holds the ack until a majority of the cluster replicated the record.
+  /// Ignored (with a version-gated downgrade to leader acks) when the
+  /// negotiated protocol predates v4.
+  ProduceAcks acks = ProduceAcks::kLeader;
+  /// How many refresh-and-retry rounds a routed call may spend chasing the
+  /// leader across failovers before surfacing the last error.
+  int cluster_refresh_rounds = 8;
+  /// Pause between unsuccessful routing rounds (an election takes a few
+  /// leader_timeout ticks to conclude; hammering meanwhile helps nobody).
+  std::chrono::microseconds cluster_refresh_backoff =
+      std::chrono::milliseconds(200);
 };
 
 /// One framed request/response connection with reconnect-and-retry.
@@ -63,8 +84,37 @@ class ClientConnection {
                             std::chrono::microseconds extra_wait = {},
                             bool retry = true);
 
+  /// Builds one request body per attempt, *after* the connection (and its
+  /// Hello negotiation) is up, so the encoding can depend on the peer's
+  /// protocol version — a v4-aware producer downgrades its acks byte away
+  /// when talking to an older broker.
+  using BodyBuilder = std::function<void(std::uint32_t version, std::string*)>;
+  [[nodiscard]] Status Call(ApiKey api, const BodyBuilder& make_body,
+                            std::string* response_body,
+                            std::chrono::microseconds extra_wait = {},
+                            bool retry = true);
+
+  /// Re-point the connection at another broker: closes the socket and
+  /// forgets the negotiated version (the next Call reconnects + renegotiates
+  /// against the new peer).
+  void SetEndpoint(const std::string& host, std::uint16_t port);
+  [[nodiscard]] const std::string& host() const noexcept {
+    return options_.host;
+  }
+  [[nodiscard]] std::uint16_t port() const noexcept { return options_.port; }
+
+  /// Version negotiated for the current connection (1 until connected).
+  [[nodiscard]] std::uint32_t server_version() const noexcept {
+    return server_version_;
+  }
+
   /// Drop the connection; the next Call reconnects.
   void Disconnect() noexcept { socket_.Close(); }
+
+  /// Count one retry against net.client.retries. LeaderRouter runs its own
+  /// retry loop (with retry=false Calls) and uses this so router-level
+  /// re-routes stay visible under the same metric as connection-level ones.
+  void CountRetry() noexcept;
 
   /// Abort an in-progress retry backoff sleep and make every subsequent
   /// Call fail fast with Status::Closed. The one thread-safe entry point on
@@ -109,10 +159,47 @@ class ClientConnection {
   bool cancelled_ = false;
 };
 
+/// Leader-aware request routing for replicated clusters. Wraps one
+/// ClientConnection and re-points it when the cluster's leadership moves:
+/// a NotLeader response or a transport failure triggers a ClusterMeta
+/// refresh against the known endpoints (bootstrap seeds plus every broker
+/// learned from previous refreshes), and the call is retried against the
+/// discovered leader — bounded by RemoteOptions::cluster_refresh_rounds.
+/// Against a standalone or pre-repl broker the refresh degrades to a no-op
+/// (ClusterMeta is unknown there) and calls behave like a plain connection.
+/// Not thread-safe, same single-owner contract as ClientConnection.
+class LeaderRouter {
+ public:
+  explicit LeaderRouter(RemoteOptions options);
+
+  /// Round-trip with leader re-routing. `topic` scopes the leader lookup on
+  /// refresh (group traffic follows its topic's leader). The body builder
+  /// runs per attempt with the freshly negotiated version.
+  [[nodiscard]] Status Call(ApiKey api, const std::string& topic,
+                            const ClientConnection::BodyBuilder& make_body,
+                            std::string* response_body,
+                            std::chrono::microseconds extra_wait = {});
+
+  [[nodiscard]] ClientConnection& connection() noexcept { return connection_; }
+
+ private:
+  /// Probe the known endpoints for cluster metadata and re-point the
+  /// connection at `topic`'s leader (or at any live broker when the cluster
+  /// has no view of the topic / does not speak v4).
+  void Refresh(const std::string& topic);
+
+  RemoteOptions options_;
+  ClientConnection connection_;
+  /// Bootstrap seeds plus endpoints learned from ClusterMeta responses.
+  std::vector<std::pair<std::string, std::uint16_t>> endpoints_;
+  /// Where the next refresh starts probing (rotates past dead brokers).
+  std::size_t probe_from_ = 0;
+};
+
 class RemoteProducer final : public ps::ProducerClient {
  public:
   explicit RemoteProducer(RemoteOptions options)
-      : connection_(std::move(options)) {}
+      : options_(options), router_(std::move(options)) {}
 
   using ps::ProducerClient::Send;
   /// At-least-once: a retry after a lost ack may duplicate the record.
@@ -120,7 +207,8 @@ class RemoteProducer final : public ps::ProducerClient {
       const std::string& topic, ps::Record record) override;
 
  private:
-  ClientConnection connection_;
+  RemoteOptions options_;
+  LeaderRouter router_;
 };
 
 class RemoteConsumer final : public ps::ConsumerClient {
@@ -148,7 +236,7 @@ class RemoteConsumer final : public ps::ConsumerClient {
  private:
   RemoteConsumer(RemoteOptions remote, std::string topic,
                  ps::ConsumerOptions options)
-      : connection_(std::move(remote)),
+      : router_(std::move(remote)),
         topic_(std::move(topic)),
         options_(std::move(options)) {}
 
@@ -158,7 +246,16 @@ class RemoteConsumer final : public ps::ConsumerClient {
   /// revoked partitions.
   [[nodiscard]] Status RefreshAssignment();
 
-  ClientConnection connection_;
+  /// Join (or, after a failover wiped the group's server-side state,
+  /// re-join) the consumer group on whichever broker the router points at.
+  [[nodiscard]] Status JoinOnCurrentLeader();
+
+  /// Routed call bound to this consumer's topic.
+  [[nodiscard]] Status Call(ApiKey api, const std::string& body,
+                            std::string* response,
+                            std::chrono::microseconds extra_wait = {});
+
+  LeaderRouter router_;
   std::string topic_;
   ps::ConsumerOptions options_;
   ps::MemberId member_ = 0;

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/protocol.hpp"
 #include "net/reactor.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
@@ -38,6 +39,7 @@ namespace strata::net {
 
 struct ServerContext;
 class ServerConnection;
+class ReplicationHooks;
 
 struct BrokerServerOptions {
   std::string host = "127.0.0.1";
@@ -57,6 +59,22 @@ struct BrokerServerOptions {
   /// ps::BrokerOptions::shards — loops scale the front-end, shards scale
   /// the data plane behind it.
   std::size_t event_loop_workers = 2;
+  /// Replication hooks (a repl::ReplicationManager) gating produces on
+  /// leadership, clamping fetches to the high watermark, and serving the v4
+  /// replication api keys. Must outlive the server. nullptr = standalone
+  /// broker, pre-repl behavior.
+  ReplicationHooks* repl = nullptr;
+  /// How long an acks=quorum produce may wait for the majority before the
+  /// server answers Timeout (the append itself already happened, so clients
+  /// retrying on it get at-least-once semantics, like any lost response).
+  std::chrono::microseconds quorum_ack_timeout = std::chrono::seconds(5);
+  /// Highest protocol version admitted in Hello negotiation. Tests pin this
+  /// down to emulate older brokers (e.g. 2 = pre-correlation, 3 = pre-repl);
+  /// leave at kProtocolVersion otherwise. When < 4 the server also rejects
+  /// v4-only constructs outright — replication api keys sever without a
+  /// response and a trailing produce acks byte is Corruption — exactly as a
+  /// genuine older build would.
+  std::uint32_t max_protocol_version = kProtocolVersion;
 };
 
 class BrokerServer {

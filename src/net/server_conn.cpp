@@ -9,6 +9,7 @@
 #include "common/logging.hpp"
 #include "fault/failpoint.hpp"
 #include "net/frame.hpp"
+#include "net/repl_hooks.hpp"
 #include "net/server.hpp"
 #include "obs/trace.hpp"
 
@@ -29,15 +30,25 @@ std::int64_t NowUs() {
       .count();
 }
 
+/// Consumer-visible end of a partition: the local log end, clamped to the
+/// replication high watermark when the broker is replicated — consumers must
+/// never read records that a leader change could still truncate away.
+std::int64_t VisibleEndOf(const ServerContext* ctx,
+                          const ps::TopicPartition& tp, std::int64_t log_end) {
+  ReplicationHooks* repl = ctx->options->repl;
+  return repl != nullptr ? repl->VisibleEnd(tp, log_end) : log_end;
+}
+
 /// One non-blocking fetch pass over the request's partitions. Offsets below
 /// the retention horizon are healed upward, exactly like the embedded
 /// consumer does; `*healed` records the healed position per partition so
 /// the caller parks its wait on offsets the log can actually reach — a wait
 /// keyed on the raw client offset would see "data available" forever on a
 /// trimmed partition and spin out its whole budget.
-Status FetchOnce(ps::Broker* broker, const FetchRequest& req,
+Status FetchOnce(const ServerContext* ctx, const FetchRequest& req,
                  FetchResponse* resp,
                  std::map<ps::TopicPartition, std::int64_t>* healed) {
+  ps::Broker* broker = ctx->broker;
   resp->entries.clear();
   for (const FetchRequest::Entry& entry : req.entries) {
     auto log = broker->GetLog(entry.tp.topic, entry.tp.partition);
@@ -46,10 +57,16 @@ Status FetchOnce(ps::Broker* broker, const FetchRequest& req,
     result.tp = entry.tp;
     std::int64_t offset = std::max(entry.offset, (*log)->StartOffset());
     (*healed)[entry.tp] = offset;
+    const std::int64_t visible = VisibleEndOf(ctx, entry.tp, (*log)->EndOffset());
     std::vector<ps::Record> records;
     std::int64_t next = offset;
-    STRATA_RETURN_IF_ERROR((*log)->ReadFrom(
-        offset, static_cast<std::size_t>(entry.max_records), &records, &next));
+    const std::uint64_t budget = std::min<std::uint64_t>(
+        entry.max_records,
+        visible > offset ? static_cast<std::uint64_t>(visible - offset) : 0);
+    if (budget > 0) {
+      STRATA_RETURN_IF_ERROR((*log)->ReadFrom(
+          offset, static_cast<std::size_t>(budget), &records, &next));
+    }
     result.records.reserve(records.size());
     for (ps::Record& record : records) {
       ps::ConsumedRecord consumed;
@@ -106,6 +123,12 @@ void ServerConnection::Close() {
     if (parked.timer_id != 0) loop_->CancelTimer(parked.timer_id);
   }
   parked_.clear();
+  for (ParkedProduce& parked : parked_produce_) {
+    if (parked.timer_id != 0) loop_->CancelTimer(parked.timer_id);
+    // The client is gone; the commit still completes server-side.
+    ctx_->options->repl->CancelCommitWaiter(parked.waiter_id);
+  }
+  parked_produce_.clear();
   if (write_stall_timer_ != 0) {
     loop_->CancelTimer(write_stall_timer_);
     write_stall_timer_ = 0;
@@ -264,6 +287,17 @@ Status ServerConnection::HandleRequest(
   std::string_view body;
   Status decoded = DecodeRequest(payload, &api, &body);
   if (!decoded.ok()) return decoded;  // cannot even answer: drop connection
+  if (api >= ApiKey::kReplicaFetch &&
+      ctx_->options->max_protocol_version < 4) {
+    // Emulating a pre-repl build (tests pin max_protocol_version down): a
+    // genuine older server does not know these keys and severs without a
+    // response, exactly like the unknown-api-key path above.
+    return Status::Corruption("protocol: unknown api key " +
+                              std::to_string(static_cast<int>(api)) +
+                              " (server capped at v" +
+                              std::to_string(ctx_->options->max_protocol_version) +
+                              ")");
+  }
 
   ps::Broker* broker = ctx_->broker;
   obs::Counter* requests = nullptr;
@@ -310,13 +344,30 @@ Status ServerConnection::HandleRequest(
     }
     case ApiKey::kProduce: {
       ProduceRequest req;
-      status = DecodeProduceRequest(body, &req);
+      status = DecodeProduceRequest(body, &req,
+                                    ctx_->options->max_protocol_version >= 4);
+      ReplicationHooks* repl = ctx_->options->repl;
+      if (status.ok() && repl != nullptr) {
+        // Replicated topics only accept produces on the leader; the error
+        // names the current leader so clients refresh metadata and re-route.
+        status = repl->CheckProduce(req.topic);
+      }
       if (status.ok()) {
         auto appended = broker->Produce(req.topic, req.record);
         status = appended.status();
         if (status.ok()) {
-          EncodeProduceResponse(
-              ProduceResponse{appended->first, appended->second}, &out);
+          const ProduceResponse resp{appended->first, appended->second};
+          if (req.acks == ProduceAcks::kQuorum && repl != nullptr &&
+              repl->ManagesTopic(req.topic)) {
+            // The append succeeded locally; hold the response until a
+            // majority of the replica set confirms it (or the quorum
+            // timeout answers Timeout — the client retry is at-least-once).
+            ParkProduce(req.topic, resp, trace, correlation, slot);
+            *parked = true;
+            if (requests != nullptr) requests->Inc();
+            return Status::Ok();
+          }
+          EncodeProduceResponse(resp, &out);
         }
       }
       break;
@@ -398,8 +449,69 @@ Status ServerConnection::HandleRequest(
       HelloRequest req;
       status = DecodeHelloRequest(body, &req);
       if (status.ok()) {
-        peer_version_ = std::min(req.max_version, kProtocolVersion);
+        peer_version_ = std::min({req.max_version, kProtocolVersion,
+                                  ctx_->options->max_protocol_version});
         EncodeHelloResponse(HelloResponse{peer_version_}, &out);
+      }
+      break;
+    }
+    case ApiKey::kReplicaFetch: {
+      ReplicaFetchRequest req;
+      status = DecodeReplicaFetchRequest(body, &req);
+      if (status.ok()) {
+        ReplicationHooks* repl = ctx_->options->repl;
+        if (repl == nullptr) {
+          status = Status::InvalidArgument("replication not enabled");
+        } else {
+          ReplicaFetchResponse resp;
+          status = repl->HandleReplicaFetch(req, &resp);
+          if (status.ok()) EncodeReplicaFetchResponse(resp, &out);
+        }
+      }
+      break;
+    }
+    case ApiKey::kReplicaAck: {
+      ReplicaAckRequest req;
+      status = DecodeReplicaAckRequest(body, &req);
+      if (status.ok()) {
+        ReplicationHooks* repl = ctx_->options->repl;
+        if (repl == nullptr) {
+          status = Status::InvalidArgument("replication not enabled");
+        } else {
+          ReplicaAckResponse resp;
+          status = repl->HandleReplicaAck(req, &resp);
+          if (status.ok()) EncodeReplicaAckResponse(resp, &out);
+        }
+      }
+      break;
+    }
+    case ApiKey::kPromoteLeader: {
+      PromoteLeaderRequest req;
+      status = DecodePromoteLeaderRequest(body, &req);
+      if (status.ok()) {
+        ReplicationHooks* repl = ctx_->options->repl;
+        if (repl == nullptr) {
+          status = Status::InvalidArgument("replication not enabled");
+        } else {
+          PromoteLeaderResponse resp;
+          status = repl->HandlePromoteLeader(req, &resp);
+          if (status.ok()) EncodePromoteLeaderResponse(resp, &out);
+        }
+      }
+      break;
+    }
+    case ApiKey::kClusterMeta: {
+      ClusterMetaRequest req;
+      status = DecodeClusterMetaRequest(body, &req);
+      if (status.ok()) {
+        ReplicationHooks* repl = ctx_->options->repl;
+        if (repl == nullptr) {
+          status = Status::InvalidArgument("replication not enabled");
+        } else {
+          ClusterMetaResponse resp;
+          status = repl->HandleClusterMeta(req, &resp);
+          if (status.ok()) EncodeClusterMetaResponse(resp, &out);
+        }
       }
       break;
     }
@@ -429,7 +541,7 @@ Status ServerConnection::HandleFetch(
   ps::Broker* broker = ctx_->broker;
   FetchResponse resp;
   std::map<ps::TopicPartition, std::int64_t> healed;
-  STRATA_RETURN_IF_ERROR(FetchOnce(broker, req, &resp, &healed));
+  STRATA_RETURN_IF_ERROR(FetchOnce(ctx_, req, &resp, &healed));
   const bool stopping = ctx_->stopping->load(std::memory_order_relaxed);
   if (!resp.empty() || req.entries.empty() ||
       wait_budget <= std::chrono::microseconds::zero() || stopping ||
@@ -483,7 +595,11 @@ Status ServerConnection::HandleFetch(
   if (!data_now) {
     for (const FetchRequest::Entry& entry : it->req.entries) {
       auto log = broker->GetLog(entry.tp.topic, entry.tp.partition);
-      if (!log.ok() || (*log)->EndOffset() > healed[entry.tp]) {
+      // Like FetchOnce, "data available" means visible data: records above
+      // the replication high watermark wake us (the hooks notify on HW
+      // advance) but must not complete the long-poll early.
+      if (!log.ok() ||
+          VisibleEndOf(ctx_, entry.tp, (*log)->EndOffset()) > healed[entry.tp]) {
         data_now = true;
         break;
       }
@@ -494,7 +610,7 @@ Status ServerConnection::HandleFetch(
     std::map<ps::TopicPartition, std::int64_t> now_healed;
     Status st = broker->closed()
                     ? Status::Closed("broker closed")
-                    : FetchOnce(broker, it->req, &now_resp, &now_healed);
+                    : FetchOnce(ctx_, it->req, &now_resp, &now_healed);
     FinishParked(it, st, now_resp);
   } else {
     const std::uint64_t parked_id = it->id;
@@ -508,7 +624,7 @@ Status ServerConnection::HandleFetch(
         Status st =
             ctx_->broker->closed()
                 ? Status::Closed("broker closed")
-                : FetchOnce(ctx_->broker, pit->req, &resp, &healed_positions);
+                : FetchOnce(ctx_, pit->req, &resp, &healed_positions);
         FinishParked(pit, st, resp);
         break;
       }
@@ -530,7 +646,7 @@ void ServerConnection::RetryParkedFetches() {
     } else {
       FetchResponse resp;
       std::map<ps::TopicPartition, std::int64_t> healed;
-      Status st = FetchOnce(ctx_->broker, it->req, &resp, &healed);
+      Status st = FetchOnce(ctx_, it->req, &resp, &healed);
       if (!st.ok()) {
         FinishParked(it, st, FetchResponse{});
       } else if (!resp.empty() || now >= it->deadline || stopping) {
@@ -568,9 +684,75 @@ void ServerConnection::CompleteAllParked() {
     std::map<ps::TopicPartition, std::int64_t> healed;
     Status st = ctx_->broker->closed()
                     ? Status::Closed("broker closed")
-                    : FetchOnce(ctx_->broker, it->req, &resp, &healed);
+                    : FetchOnce(ctx_, it->req, &resp, &healed);
     FinishParked(it, st, resp);
     if (guard->conn == nullptr) return;
+  }
+}
+
+void ServerConnection::ParkProduce(
+    const std::string& topic, const ProduceResponse& resp,
+    const TraceContext& trace, const std::optional<std::uint64_t>& correlation,
+    const std::shared_ptr<Slot>& slot) {
+  ParkedProduce parked;
+  parked.id = next_parked_id_++;
+  parked.resp = resp;
+  parked.trace = trace;
+  parked.correlation = correlation;
+  parked.slot = slot;
+  parked_produce_.push_back(std::move(parked));
+  auto it = std::prev(parked_produce_.end());
+  const std::uint64_t parked_id = it->id;
+
+  // The commit callback may fire on any thread — inline included, when the
+  // quorum already covers the offset — so it only posts through the wake
+  // bridge; the posted task runs on this loop after the current dispatch.
+  auto wake = wake_;
+  it->waiter_id = ctx_->options->repl->AddCommitWaiter(
+      ps::TopicPartition{topic, resp.partition}, resp.offset,
+      [wake, parked_id](Status st) {
+        std::lock_guard lock(wake->mu);
+        if (wake->loop == nullptr) return;  // connection closed
+        wake->loop->Post([wake, parked_id, st = std::move(st)] {
+          if (wake->conn != nullptr) {
+            wake->conn->FinishParkedProduce(parked_id, st);
+          }
+        });
+      });
+  it->timer_id =
+      loop_->AddTimer(After(ctx_->options->quorum_ack_timeout), [this, parked_id] {
+        // Timers are canceled on Close(), so `this` is alive here.
+        for (auto pit = parked_produce_.begin(); pit != parked_produce_.end();
+             ++pit) {
+          if (pit->id != parked_id) continue;
+          pit->timer_id = 0;  // firing now; nothing to cancel
+          FinishParkedProduce(
+              parked_id,
+              Status::Timeout("quorum ack timeout: append applied on the "
+                              "leader but a majority has not confirmed it"));
+          break;
+        }
+      });
+}
+
+void ServerConnection::FinishParkedProduce(std::uint64_t id,
+                                           const Status& status) {
+  for (auto it = parked_produce_.begin(); it != parked_produce_.end(); ++it) {
+    if (it->id != id) continue;
+    if (it->timer_id != 0) loop_->CancelTimer(it->timer_id);
+    // No-op when the waiter already fired; required when the timer won the
+    // race so a late commit cannot resurrect the erased entry.
+    ctx_->options->repl->CancelCommitWaiter(it->waiter_id);
+    std::string body;
+    if (status.ok()) EncodeProduceResponse(it->resp, &body);
+    std::string payload;
+    EncodeResponse(status, body, &payload);
+    const TraceContext trace = it->trace;
+    const std::optional<std::uint64_t> correlation = it->correlation;
+    const std::shared_ptr<Slot> slot = it->slot;
+    parked_produce_.erase(it);
+    QueueResponse(payload, trace, correlation, slot);
+    return;
   }
 }
 

@@ -103,6 +103,20 @@ class ServerConnection {
     std::uint64_t timer_id = 0;
   };
 
+  /// An acks=quorum Produce whose append succeeded on the leader, parked
+  /// until the replication high watermark covers its offset (or the quorum
+  /// ack timeout fires). Mirrors ParkedFetch: holds its response routing
+  /// plus the repl commit waiter and the deadline timer.
+  struct ParkedProduce {
+    std::uint64_t id = 0;
+    ProduceResponse resp;
+    TraceContext trace;
+    std::optional<std::uint64_t> correlation;
+    std::shared_ptr<Slot> slot;  // null for correlated requests
+    std::uint64_t waiter_id = 0;
+    std::uint64_t timer_id = 0;
+  };
+
   /// Bridge for broker waiter callbacks and deferred tasks, which can fire
   /// from any thread and outlive the connection. `loop` is guarded by `mu`
   /// and nulled when the connection closes; `conn` is loop-thread-only and
@@ -146,6 +160,16 @@ class ServerConnection {
   /// when severing, so earlier pipelined fetches still get answered).
   void CompleteAllParked();
 
+  /// Park an applied acks=quorum produce on the replication hooks' commit
+  /// waiter; the response goes out when the quorum confirms (or Timeout).
+  void ParkProduce(const std::string& topic, const ProduceResponse& resp,
+                   const TraceContext& trace,
+                   const std::optional<std::uint64_t>& correlation,
+                   const std::shared_ptr<Slot>& slot);
+  /// Complete one parked produce by id (commit callback or timeout); no-op
+  /// when the other of the two already resolved it.
+  void FinishParkedProduce(std::uint64_t id, const Status& status);
+
   /// Frame a response and route it: fill + flush the slot (uncorrelated) or
   /// append straight to the write buffer (correlated).
   void QueueResponse(const std::string& payload, const TraceContext& trace,
@@ -185,6 +209,7 @@ class ServerConnection {
 
   std::deque<std::shared_ptr<Slot>> slots_;
   std::list<ParkedFetch> parked_;
+  std::list<ParkedProduce> parked_produce_;
   std::uint64_t next_parked_id_ = 1;
 
   std::uint64_t write_stall_timer_ = 0;

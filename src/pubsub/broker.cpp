@@ -127,20 +127,32 @@ Result<Broker::TopicStats> Broker::GetTopicStats(
 }
 
 Broker::BrokerStats Broker::Stats() const {
-  std::vector<const PartitionLog*> logs;
+  std::vector<std::pair<std::size_t, const PartitionLog*>> logs;
   BrokerStats stats;
   {
     std::shared_lock lock(mu_);
     stats.topics = topics_.size();
     stats.groups = groups_.size();
     for (const auto& [name, topic] : topics_) {
-      for (const auto& log : topic.logs) logs.push_back(log.get());
+      for (int p = 0; p < topic.config.partitions; ++p) {
+        logs.emplace_back(ShardOf(name, p),
+                          topic.logs[static_cast<std::size_t>(p)].get());
+      }
     }
   }
-  for (const PartitionLog* log : logs) {
-    stats.disk_append_errors += log->disk_errors();
-    stats.storage_degraded = stats.storage_degraded || log->degraded();
-    stats.fail_stopped = stats.fail_stopped || log->fail_stopped();
+  stats.shards.resize(shards_.size());
+  for (const auto& [shard, log] : logs) {
+    const std::uint64_t errors = log->disk_errors();
+    const bool degraded = log->degraded();
+    const bool fail_stopped = log->fail_stopped();
+    stats.disk_append_errors += errors;
+    stats.storage_degraded = stats.storage_degraded || degraded;
+    stats.fail_stopped = stats.fail_stopped || fail_stopped;
+    BrokerStats::ShardStats& s = stats.shards[shard];
+    ++s.partitions;
+    s.disk_errors += errors;
+    s.degraded = s.degraded || degraded;
+    s.fail_stopped = s.fail_stopped || fail_stopped;
   }
   return stats;
 }
@@ -171,7 +183,24 @@ Result<std::pair<int, std::int64_t>> Broker::Produce(const std::string& topic,
     produced = t.produced;
   }
   auto offset = log->Append(record);
-  if (!offset.ok()) return offset.status();
+  if (!offset.ok()) {
+    // Map storage failure modes onto distinct client-visible codes: a
+    // fail-stopped partition rejects everything until the broker is rebuilt
+    // (retrying cannot help), which is different from a transient IO error.
+    if (offset.status().IsIoError() && log->fail_stopped()) {
+      return Status::StorageFailed("partition " + std::to_string(partition) +
+                                   " fail-stopped: " +
+                                   offset.status().message());
+    }
+    if (offset.status().IsIoError() && log->degraded()) {
+      // Defensive: kDegrade normally absorbs disk errors and keeps acking
+      // from memory; only an error raised while already degraded lands here.
+      return Status::StorageDegraded("partition " + std::to_string(partition) +
+                                     " degraded: " +
+                                     offset.status().message());
+    }
+    return offset.status();
+  }
   if (produced != nullptr) produced->Inc();
   return std::make_pair(partition, *offset);
 }
@@ -210,6 +239,10 @@ void Broker::RemoveDataWaiter(std::size_t shard, WaiterId id) const {
   Shard& s = *shards_[shard % shards_.size()];
   std::lock_guard lock(s.mu);
   s.waiters.erase(id);
+}
+
+void Broker::NotifyPartition(const std::string& topic, int partition) const {
+  NotifyShard(*shards_[ShardOf(topic, partition)]);
 }
 
 void Broker::NotifyShard(Shard& shard) const {

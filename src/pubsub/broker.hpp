@@ -90,6 +90,16 @@ class Broker {
     bool storage_degraded = false;
     /// Some partition fail-stopped (DiskFailurePolicy::kFailStop).
     bool fail_stopped = false;
+    /// Per-shard storage health: which data-plane shards carry a degraded or
+    /// fail-stopped partition (health endpoints surface this so operators
+    /// can see *where* durability was lost, not just that it was).
+    struct ShardStats {
+      std::size_t partitions = 0;
+      std::uint64_t disk_errors = 0;
+      bool degraded = false;
+      bool fail_stopped = false;
+    };
+    std::vector<ShardStats> shards;
   };
   [[nodiscard]] BrokerStats Stats() const;
 
@@ -133,6 +143,12 @@ class Broker {
   /// shared ownership.
   WaiterId AddDataWaiter(std::size_t shard, std::function<void()> callback) const;
   void RemoveDataWaiter(std::size_t shard, WaiterId id) const;
+
+  /// Wake waiters parked on (topic, partition)'s shard without appending.
+  /// Replication uses this when the high watermark advances: records that
+  /// were already in the log become consumer-visible, so parked long-poll
+  /// fetches must re-check. No-op for unknown topics.
+  void NotifyPartition(const std::string& topic, int partition) const;
 
   /// Expose broker metrics on `registry`: per-topic produce counters
   /// (pubsub.topic.produced{topic}), per-partition start/end offsets, and

@@ -276,6 +276,68 @@ std::int64_t PartitionLog::StartOffset() const {
   return base_;
 }
 
+Status PartitionLog::TruncateTo(std::int64_t offset) {
+  std::lock_guard lock(mu_);
+  if (closed_) return Status::Closed("log closed");
+  if (offset < 0) return Status::InvalidArgument("negative truncate offset");
+  if (offset >= next_offset_) return Status::Ok();
+
+  if (offset > base_) {
+    records_.resize(static_cast<std::size_t>(offset - base_));
+  } else {
+    records_.clear();
+    base_ = offset;
+  }
+  next_offset_ = offset;
+
+  if (options_.dir.empty() || degraded_ || fail_stopped_) return Status::Ok();
+
+  // Rewrite the segments to the surviving prefix. Segment entries carry no
+  // offsets (names + order define them), so partial file truncation is only
+  // safe when we can rebuild from record 0; retention may have dropped that
+  // prefix from memory, in which case rewriting would renumber records.
+  if (segment_ != nullptr) {
+    std::fclose(segment_);
+    segment_ = nullptr;
+    segment_written_ = 0;
+  }
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.dir, ec)) {
+    if (entry.path().extension() != ".seg") continue;
+    std::error_code rm_ec;
+    std::filesystem::remove(entry.path(), rm_ec);
+    if (rm_ec) {
+      return HandleDiskErrorLocked(Status::IoError(
+          "truncate: segment remove failed: " + entry.path().string() + ": " +
+          rm_ec.message()));
+    }
+  }
+  if (base_ != 0) {
+    LOG_WARN << "pubsub log truncate to " << offset
+             << ": prefix below retention horizon " << base_
+             << " is gone; degrading to memory-only";
+    degraded_ = true;
+    ++disk_errors_;
+    return Status::Ok();
+  }
+  // Re-append the surviving records so segment naming (based on the offset
+  // at roll time) stays consistent with LoadSegments' renumbering.
+  const std::int64_t end = next_offset_;
+  next_offset_ = 0;
+  for (std::int64_t i = 0; i < end; ++i) {
+    Status disk =
+        AppendToSegmentLocked(records_[static_cast<std::size_t>(i)]);
+    ++next_offset_;
+    if (!disk.ok()) {
+      next_offset_ = end;
+      return HandleDiskErrorLocked(std::move(disk));
+    }
+  }
+  next_offset_ = end;
+  return Status::Ok();
+}
+
 bool PartitionLog::degraded() const {
   std::lock_guard lock(mu_);
   return degraded_;

@@ -77,6 +77,15 @@ class PartitionLog {
   /// Oldest offset still readable from memory.
   [[nodiscard]] std::int64_t StartOffset() const;
 
+  /// Discard every record at/after `offset` (replication uses this when a
+  /// freshly promoted leader's log is shorter than ours: the divergent tail
+  /// was never quorum-committed). No-op when offset >= EndOffset(). On a
+  /// persistent log the segments are rewritten to the surviving prefix when
+  /// that prefix is fully in memory; when retention already dropped part of
+  /// it the log degrades (sticky) to memory-only rather than persist a log
+  /// with a hole.
+  [[nodiscard]] Status TruncateTo(std::int64_t offset);
+
   /// Sticky: the log hit a disk failure under DiskFailurePolicy::kDegrade and
   /// now serves from memory only.
   [[nodiscard]] bool degraded() const;

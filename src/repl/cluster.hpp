@@ -1,0 +1,81 @@
+// Cluster topology types for strata::repl (see DESIGN.md, "Replication &
+// failover").
+//
+// A replicated cluster is a fixed, symmetric set of brokers, each running a
+// ps::Broker + net::BrokerServer + repl::ReplicationManager. Leadership is
+// per *topic*: one broker leads every partition of a topic (the broker, not
+// the client, picks partitions on produce, so finer-grained leadership
+// would buy nothing), the others pull-replicate its partition logs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace strata::repl {
+
+/// One broker of the replica set. Ids must be unique and stable across the
+/// cluster (they break election ties, lowest id wins).
+struct BrokerEndpoint {
+  std::uint32_t id = 0;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct ReplicaOptions {
+  /// This broker's identity. Must also appear in `brokers`.
+  BrokerEndpoint self;
+  /// The full replica set, self included. The commit quorum is a strict
+  /// majority of this list (size/2 + 1), so a 3-broker cluster commits on 2
+  /// copies and survives one failure.
+  std::vector<BrokerEndpoint> brokers;
+
+  /// Pause between follower fetch rounds. Fetches double as heartbeats to
+  /// the leader, so this also bounds failure-detection granularity.
+  std::chrono::microseconds fetch_interval = std::chrono::milliseconds(2);
+  /// A follower that cannot reach the leader for this long starts an
+  /// election. Must comfortably exceed fetch_interval plus peer timeouts.
+  std::chrono::microseconds leader_timeout = std::chrono::milliseconds(300);
+  /// A follower whose last fetch/ack is older than this drops out of the
+  /// leader's in-sync replica set (reported via ClusterMeta and /healthz;
+  /// the commit quorum itself is positional and unaffected).
+  std::chrono::microseconds isr_timeout = std::chrono::milliseconds(250);
+  /// Records per partition per fetch round.
+  std::uint64_t max_fetch_records = 512;
+
+  /// Transport budget for one peer RPC (fetch, ack, promote, meta probe).
+  /// Deliberately tight: a dead peer must not stall the whole fetch round.
+  std::chrono::microseconds peer_connect_timeout =
+      std::chrono::milliseconds(250);
+  std::chrono::microseconds peer_request_timeout = std::chrono::seconds(1);
+
+  /// Optional registry for repl.* metrics (fetch rounds, replicated
+  /// records, elections, plus per-topic hw/lag/epoch/leader gauges).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Point-in-time view of one replicated topic on one broker (tests and
+/// /healthz; the wire equivalent is ClusterMetaResponse::Topic).
+struct TopicView {
+  std::string topic;
+  std::uint32_t leader = 0;
+  std::uint64_t epoch = 0;
+  bool is_leader = false;
+  struct Partition {
+    std::int64_t log_end = 0;
+    std::int64_t high_watermark = 0;
+    /// Replication lag: on the leader, the most-behind follower's distance
+    /// from the local end; on a follower, the local distance from the
+    /// leader's last reported end.
+    std::int64_t lag = 0;
+  };
+  std::vector<Partition> partitions;
+  /// Leader only: brokers whose last fetch/ack is within isr_timeout (self
+  /// included). Empty on followers.
+  std::vector<std::uint32_t> isr;
+};
+
+}  // namespace strata::repl

@@ -29,9 +29,28 @@ Strata::Strata(StrataOptions options) : options_(std::move(options)) {
     broker_options.shards = options_.broker_shards;
   }
   broker_ = std::make_unique<ps::Broker>(broker_options);
+  if (!options_.remote_bootstrap.empty() && !options_.remote_broker) {
+    options_.remote_broker.emplace();
+  }
   if (options_.remote_broker.has_value()) {
     net::RemoteOptions remote = *options_.remote_broker;
     if (remote.metrics == nullptr) remote.metrics = &registry_;
+    for (const std::string& seed : options_.remote_bootstrap) {
+      const std::size_t colon = seed.rfind(':');
+      if (colon == std::string::npos) {
+        LOG_ERROR << "strata: remote_bootstrap seed '" << seed
+                  << "' is not host:port; skipped";
+        continue;
+      }
+      remote.bootstrap.emplace_back(
+          seed.substr(0, colon),
+          static_cast<std::uint16_t>(
+              std::strtol(seed.c_str() + colon + 1, nullptr, 10)));
+    }
+    if (remote.port == 0 && !remote.bootstrap.empty()) {
+      remote.host = remote.bootstrap.front().first;
+      remote.port = remote.bootstrap.front().second;
+    }
     client_ = std::make_unique<net::RemoteBroker>(std::move(remote));
   } else {
     client_ = std::make_unique<ps::EmbeddedBrokerClient>(broker_.get());
@@ -86,6 +105,11 @@ Strata::HealthReport Strata::Health() const {
                      " disk errors)";
   }
   return report;
+}
+
+void Strata::SetHealthzAugmenter(std::function<std::string()> augmenter) {
+  std::lock_guard lock(augmenter_mu_);
+  healthz_augmenter_ = std::move(augmenter);
 }
 
 void Strata::StartSampler(std::chrono::milliseconds period,
@@ -157,7 +181,27 @@ void Strata::StartAdminServer(const std::string& addr) {
                     (health.broker_storage_ok ? "true" : "false") +
                     ",\"detail\":\"";
     JsonEscapeTo(health.detail, &response.body);
-    response.body += "\"}\n";
+    response.body += "\",\"shards\":[";
+    const ps::Broker::BrokerStats stats = broker_->Stats();
+    for (std::size_t i = 0; i < stats.shards.size(); ++i) {
+      const auto& shard = stats.shards[i];
+      if (i != 0) response.body += ',';
+      response.body += "{\"shard\":" + std::to_string(i) +
+                       ",\"partitions\":" + std::to_string(shard.partitions) +
+                       ",\"degraded\":" + (shard.degraded ? "true" : "false") +
+                       ",\"fail_stopped\":" +
+                       (shard.fail_stopped ? "true" : "false") +
+                       ",\"disk_errors\":" + std::to_string(shard.disk_errors) +
+                       "}";
+    }
+    response.body += ']';
+    {
+      std::lock_guard lock(augmenter_mu_);
+      if (healthz_augmenter_) {
+        response.body += ",\"replication\":" + healthz_augmenter_();
+      }
+    }
+    response.body += "}\n";
     return response;
   });
   admin_->Route("/varz", [this](std::string_view) {

@@ -21,8 +21,11 @@
 #pragma once
 
 #include <filesystem>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/fs.hpp"
@@ -51,6 +54,11 @@ struct StrataOptions {
   /// embedded or networked (deployment topologies, DESIGN.md). The local
   /// broker still exists but carries no connector traffic.
   std::optional<net::RemoteOptions> remote_broker;
+  /// "host:port" seeds of a replicated broker cluster. Folded into
+  /// remote_broker's bootstrap list (creating a default remote_broker when
+  /// unset), so connector producers/consumers discover the leader and fail
+  /// over automatically. See DESIGN.md "Replication & failover".
+  std::vector<std::string> remote_bootstrap;
   /// "host:port" for the embedded HTTP admin endpoint (/metrics, /healthz,
   /// /varz, /tracez). Empty = disabled; the STRATA_ADMIN_ADDR environment
   /// variable overrides (and enables) it. Port 0 binds an ephemeral port —
@@ -182,6 +190,12 @@ class Strata {
   };
   [[nodiscard]] HealthReport Health() const;
 
+  /// Contribute an extra JSON fragment to /healthz under the "replication"
+  /// key (e.g. a repl::ReplicationManager's HealthJson). The callback runs
+  /// on the admin thread; it must be thread-safe and return a complete JSON
+  /// value. nullptr removes the augmenter.
+  void SetHealthzAugmenter(std::function<std::string()> augmenter);
+
   // --- observability ---------------------------------------------------------
 
   /// Process registry wired to all three substrates plus the SPE query.
@@ -237,6 +251,10 @@ class Strata {
   std::vector<std::shared_ptr<ConnectorSubscriber>> subscribers_;
   std::unique_ptr<obs::PeriodicSampler> sampler_;
   std::unique_ptr<net::AdminServer> admin_;
+  /// Extra /healthz JSON (replication state); guarded by augmenter_mu_
+  /// because the admin thread reads it while callers may swap it.
+  mutable std::mutex augmenter_mu_;
+  std::function<std::string()> healthz_augmenter_;
   bool deployed_ = false;
   bool shut_down_ = false;
 };

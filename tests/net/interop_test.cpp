@@ -1,0 +1,282 @@
+// Protocol-downgrade and failure-surface interop tests:
+//
+//   * a current (v4) client against brokers pinned to older protocol
+//     versions — v2 (pre-correlation) and v3 (pre-replication) — must
+//     round-trip cleanly, with the repl-aware knobs (bootstrap routing,
+//     acks=quorum) degrading instead of breaking;
+//   * pipelined correlated produces across a connection the server severs
+//     mid-stream (net.server.dispatch failpoint) must recover with
+//     at-least-once semantics and matching correlation ids;
+//   * broker disk failures must reach remote producers as *distinct*,
+//     non-retried application errors: fail-stop -> StorageFailed (sticky),
+//     degrade -> acks keep flowing with the shard flagged in BrokerStats.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/fs.hpp"
+#include "fault/failpoint.hpp"
+#include "net/frame.hpp"
+#include "net/remote.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "pubsub/broker.hpp"
+
+namespace strata::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+class InteropTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::DeactivateAll(); }
+};
+
+TEST_F(InteropTest, V4ClientRoundTripsAgainstV2Server) {
+  ps::Broker broker;
+  BrokerServerOptions options;
+  options.max_protocol_version = 2;  // emulate a pre-correlation build
+  BrokerServer server(&broker, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  RemoteOptions remote;
+  remote.port = server.port();
+  RemoteBroker client(remote);
+  ASSERT_TRUE(client.CreateTopic("events", {.partitions = 1}).ok());
+  auto producer = client.NewProducer();
+  ASSERT_TRUE(producer.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        (*producer)->Send("events", "k", "v" + std::to_string(i), 0).ok());
+  }
+  auto consumer = client.NewConsumer("events", {});
+  ASSERT_TRUE(consumer.ok());
+  auto records = (*consumer)->Poll(1s);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 5u);
+
+  // The negotiation really clamped: the connection speaks v2, not v4.
+  ClientConnection conn(remote);
+  std::string response;
+  MetadataRequest req;
+  req.topic = "events";
+  std::string body;
+  EncodeMetadataRequest(req, &body);
+  ASSERT_TRUE(conn.Call(ApiKey::kMetadata, body, &response).ok());
+  EXPECT_EQ(conn.server_version(), 2u);
+
+  server.Stop();
+}
+
+TEST_F(InteropTest, ReplAwareClientDegradesAgainstPreReplBroker) {
+  ps::Broker broker;
+  BrokerServerOptions options;
+  options.max_protocol_version = 3;  // pre-repl build: no v4, no repl keys
+  BrokerServer server(&broker, options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(broker.CreateTopic("events", {.partitions = 1}).ok());
+
+  // Fully repl-configured client: bootstrap list, quorum acks. Against a
+  // pre-repl broker the produce body downgrades to the legacy layout
+  // (leader acks) and the leader refresh degrades to "stay put".
+  RemoteOptions remote;
+  remote.bootstrap = {{"127.0.0.1", server.port()}};
+  remote.acks = ProduceAcks::kQuorum;
+  remote.cluster_refresh_backoff = 10ms;
+  RemoteProducer producer(remote);
+  for (int i = 0; i < 5; ++i) {
+    auto sent = producer.Send("events", "k", "v" + std::to_string(i), 0);
+    ASSERT_TRUE(sent.ok()) << sent.status().ToString();
+  }
+  auto log = broker.GetLog("events", 0);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->EndOffset(), 5);
+
+  // The consumer side of the same configuration also just works.
+  auto consumer = RemoteConsumer::Create(remote, "events");
+  ASSERT_TRUE(consumer.ok());
+  auto records = (*consumer)->Poll(1s);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 5u);
+
+  server.Stop();
+}
+
+TEST_F(InteropTest, PipelinedProducesSurviveMidStreamDisconnect) {
+  ps::Broker broker;
+  BrokerServer server(&broker);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(broker.CreateTopic("events", {.partitions = 1}).ok());
+
+  constexpr int kPipelined = 8;
+  const auto deadline = After(5s);
+
+  // Raw v4 connection with explicit correlation ids, so requests can be
+  // pipelined and responses matched out of band of the client library.
+  auto connect = [&]() -> Socket {
+    auto socket = Socket::Connect("127.0.0.1", server.port(), After(2s));
+    EXPECT_TRUE(socket.ok());
+    HelloRequest hello;
+    std::string body;
+    EncodeHelloRequest(hello, &body);
+    std::string payload;
+    EncodeRequest(ApiKey::kHello, body, &payload);
+    EXPECT_TRUE(WriteFrame(&*socket, payload, deadline).ok());
+    std::string response;
+    EXPECT_TRUE(ReadFrame(&*socket, &response, deadline).ok());
+    std::string_view out;
+    EXPECT_TRUE(DecodeResponse(response, &out).ok());
+    HelloResponse negotiated;
+    EXPECT_TRUE(DecodeHelloResponse(out, &negotiated).ok());
+    EXPECT_EQ(negotiated.version, kProtocolVersion);
+    return std::move(*socket);
+  };
+
+  auto frame_for = [](std::uint64_t correlation, int i) {
+    ProduceRequest req;
+    req.topic = "events";
+    req.record = ps::Record{"k", "v" + std::to_string(i), 0};
+    std::string body;
+    EncodeProduceRequest(req, &body);
+    std::string payload;
+    EncodeRequest(ApiKey::kProduce, body, &payload);
+    std::string frame;
+    EncodeFrameEx(payload, nullptr, &correlation, &frame);
+    return frame;
+  };
+
+  Socket socket = connect();
+  // Sever the connection at the first produce dispatch — after the append
+  // is applied, before its response is written (the at-least-once window).
+  fault::SeedRng(7);
+  fault::Activate("net.server.dispatch",
+                  fault::Action{fault::ActionKind::kDisconnect, 0, 1.0, 1});
+
+  std::string burst;
+  for (int i = 0; i < kPipelined; ++i) {
+    burst += frame_for(static_cast<std::uint64_t>(i) + 1, i);
+  }
+  ASSERT_TRUE(socket.WriteAll(burst, deadline).ok());
+
+  // The server drops the connection without answering anything.
+  std::string response;
+  EXPECT_FALSE(ReadFrame(&socket, &response, deadline).ok());
+
+  // A real client re-sends every unacknowledged request on a fresh
+  // connection; all of them must be answered with matching correlations.
+  socket = connect();
+  ASSERT_TRUE(socket.WriteAll(burst, deadline).ok());
+  std::set<std::uint64_t> answered;
+  for (int i = 0; i < kPipelined; ++i) {
+    std::optional<std::uint64_t> correlation;
+    ASSERT_TRUE(ReadFrame(&socket, &response, deadline, nullptr, &correlation)
+                    .ok());
+    std::string_view out;
+    ASSERT_TRUE(DecodeResponse(response, &out).ok());
+    ASSERT_TRUE(correlation.has_value());
+    answered.insert(*correlation);
+  }
+  EXPECT_EQ(answered.size(), static_cast<std::size_t>(kPipelined));
+
+  // At-least-once: every value present; the one applied before the sever
+  // was applied again on the retry, so exactly one duplicate.
+  auto log = broker.GetLog("events", 0);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->EndOffset(), kPipelined + 1);
+  std::vector<ps::Record> stored;
+  std::int64_t next = 0;
+  ASSERT_TRUE((*log)->ReadFrom(0, 64, &stored, &next).ok());
+  std::set<std::string> values;
+  for (const ps::Record& record : stored) values.insert(record.value);
+  for (int i = 0; i < kPipelined; ++i) {
+    EXPECT_TRUE(values.contains("v" + std::to_string(i)));
+  }
+
+  server.Stop();
+}
+
+TEST_F(InteropTest, FailStopDiskErrorReachesClientAsStorageFailed) {
+  strata::fs::ScopedTempDir dir("interop-failstop");
+  ps::BrokerOptions broker_options;
+  broker_options.data_dir = dir.path();
+  broker_options.disk_failure_policy = ps::DiskFailurePolicy::kFailStop;
+  ps::Broker broker(broker_options);
+  BrokerServer server(&broker);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(broker.CreateTopic("events", {.partitions = 1}).ok());
+
+  obs::MetricsRegistry registry;
+  RemoteOptions remote;
+  remote.port = server.port();
+  remote.metrics = &registry;
+  RemoteProducer producer(remote);
+  ASSERT_TRUE(producer.Send("events", "k", "healthy", 0).ok());
+
+  fault::Activate("segment.append",
+                  fault::Action{fault::ActionKind::kError, 0, 1.0, -1});
+  auto sent = producer.Send("events", "k", "doomed", 0);
+  ASSERT_FALSE(sent.ok());
+  EXPECT_TRUE(sent.status().IsStorageFailed()) << sent.status().ToString();
+
+  // Sticky: the disk error outlives the failpoint, and the distinct error
+  // keeps the client from burning retries on a dead partition.
+  fault::DeactivateAll();
+  auto again = producer.Send("events", "k", "still-doomed", 0);
+  ASSERT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsStorageFailed()) << again.status().ToString();
+  for (const auto& sample : registry.Snapshot().samples) {
+    if (sample.name == "net.client.retries") {
+      EXPECT_EQ(sample.value, 0) << "storage failure must not be retried";
+    }
+  }
+  auto stats = broker.Stats();
+  bool failed_shard = false;
+  for (const auto& shard : stats.shards) failed_shard |= shard.fail_stopped;
+  EXPECT_TRUE(failed_shard);
+
+  server.Stop();
+}
+
+TEST_F(InteropTest, DegradedDiskKeepsAckingAndFlagsTheShard) {
+  strata::fs::ScopedTempDir dir("interop-degrade");
+  ps::BrokerOptions broker_options;
+  broker_options.data_dir = dir.path();
+  broker_options.disk_failure_policy = ps::DiskFailurePolicy::kDegrade;
+  ps::Broker broker(broker_options);
+  BrokerServer server(&broker);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(broker.CreateTopic("events", {.partitions = 1}).ok());
+
+  RemoteOptions remote;
+  remote.port = server.port();
+  RemoteProducer producer(remote);
+  ASSERT_TRUE(producer.Send("events", "k", "on-disk", 0).ok());
+
+  fault::Activate("segment.append",
+                  fault::Action{fault::ActionKind::kError, 0, 1.0, -1});
+  // kDegrade absorbs the disk failure: produces keep acking from memory.
+  auto sent = producer.Send("events", "k", "memory-only", 0);
+  ASSERT_TRUE(sent.ok()) << sent.status().ToString();
+  fault::DeactivateAll();
+
+  auto stats = broker.Stats();
+  bool degraded_shard = false;
+  std::uint64_t disk_errors = 0;
+  for (const auto& shard : stats.shards) {
+    degraded_shard |= shard.degraded;
+    disk_errors += shard.disk_errors;
+  }
+  EXPECT_TRUE(degraded_shard);
+  EXPECT_GE(disk_errors, 1u);
+  EXPECT_EQ(stats.shards.size(), 8u);  // default shard count, all reported
+
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace strata::net

@@ -205,5 +205,68 @@ TEST(PartitionLog, AppendsContinueAfterReload) {
   EXPECT_EQ(records[1].value, "after");
 }
 
+TEST(PartitionLog, TruncateToDropsTailInMemory) {
+  auto log = std::move(PartitionLog::Open({})).value();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(log->Append(MakeRecord("", std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(log->TruncateTo(6).ok());
+  EXPECT_EQ(log->EndOffset(), 6);
+  std::vector<Record> records;
+  std::int64_t next = 0;
+  ASSERT_TRUE(log->ReadFrom(0, 20, &records, &next).ok());
+  ASSERT_EQ(records.size(), 6u);
+  EXPECT_EQ(records.back().value, "5");
+
+  // Appends renumber from the truncation point.
+  auto offset = log->Append(MakeRecord("", "new6"));
+  ASSERT_TRUE(offset.ok());
+  EXPECT_EQ(*offset, 6);
+
+  // At/after the end: no-op. Negative: rejected.
+  EXPECT_TRUE(log->TruncateTo(7).ok());
+  EXPECT_EQ(log->EndOffset(), 7);
+  EXPECT_FALSE(log->TruncateTo(-1).ok());
+}
+
+TEST(PartitionLog, TruncateToRewritesSegments) {
+  strata::fs::ScopedTempDir dir("pslog-trunc");
+  LogOptions options;
+  options.dir = dir.path() / "p0";
+  options.segment_bytes = 256;  // several segments, cut mid-segment
+  {
+    auto log = std::move(PartitionLog::Open(options)).value();
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(
+          log->Append(MakeRecord("", "v" + std::string(60, 'x'))).ok());
+    }
+    ASSERT_TRUE(log->TruncateTo(17).ok());
+    EXPECT_EQ(log->EndOffset(), 17);
+    EXPECT_FALSE(log->degraded());
+  }
+  // Reopen: the surviving prefix (and only it) comes back from disk.
+  auto log = std::move(PartitionLog::Open(options)).value();
+  EXPECT_EQ(log->EndOffset(), 17);
+  auto offset = log->Append(MakeRecord("", "after"));
+  ASSERT_TRUE(offset.ok());
+  EXPECT_EQ(*offset, 17);
+}
+
+TEST(PartitionLog, TruncateBelowRetainedPrefixDegrades) {
+  strata::fs::ScopedTempDir dir("pslog-trunc-ret");
+  LogOptions options;
+  options.dir = dir.path() / "p0";
+  options.retention_records = 5;  // memory holds only the last 5
+  auto log = std::move(PartitionLog::Open(options)).value();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(log->Append(MakeRecord("", std::to_string(i))).ok());
+  }
+  // The prefix [0, 15) is no longer in memory: a persistent rewrite would
+  // leave a hole, so the log stays correct but degrades to memory-only.
+  ASSERT_TRUE(log->TruncateTo(18).ok());
+  EXPECT_EQ(log->EndOffset(), 18);
+  EXPECT_TRUE(log->degraded());
+}
+
 }  // namespace
 }  // namespace strata::ps
