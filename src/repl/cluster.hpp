@@ -71,6 +71,11 @@ struct TopicView {
     /// from the local end; on a follower, the local distance from the
     /// leader's last reported end.
     std::int64_t lag = 0;
+    /// Follower only: the leader's retention horizon moved past our log end,
+    /// so the copy can no longer be extended contiguously. Sticky until the
+    /// gap closes (leadership moves, or the log is rebuilt); surfaced in
+    /// /healthz so an operator sees the sick follower before failover fires.
+    bool stalled = false;
   };
   std::vector<Partition> partitions;
   /// Leader only: brokers whose last fetch/ack is within isr_timeout (self

@@ -121,6 +121,7 @@ Status ReplicationManager::AddTopic(const std::string& topic,
   const auto partitions = static_cast<std::size_t>(config.partitions);
   state.hw.assign(partitions, 0);
   state.leader_end.assign(partitions, 0);
+  state.stalled.assign(partitions, false);
   if (leader == options_.self.id) {
     // Records already on disk predate replication; they were acked under
     // the old durability contract, so the initial leader keeps serving
@@ -204,6 +205,7 @@ std::vector<TopicView> ReplicationManager::ViewAll() const {
       } else {
         part.lag =
             std::max<std::int64_t>(0, state.leader_end[p] - part.log_end);
+        part.stalled = p < state.stalled.size() && state.stalled[p];
       }
       view.partitions.push_back(part);
     }
@@ -236,7 +238,9 @@ std::string ReplicationManager::HealthJson() const {
       out += "{\"log_end\":" + std::to_string(view.partitions[p].log_end) +
              ",\"high_watermark\":" +
              std::to_string(view.partitions[p].high_watermark) +
-             ",\"lag\":" + std::to_string(view.partitions[p].lag) + "}";
+             ",\"lag\":" + std::to_string(view.partitions[p].lag) +
+             ",\"stalled\":" +
+             (view.partitions[p].stalled ? "true" : "false") + "}";
     }
     out += "]}";
   }
@@ -318,6 +322,23 @@ void ReplicationManager::FailTopicWaitersLocked(const std::string& topic,
   }
 }
 
+void ReplicationManager::TruncateUncommittedLocked(const std::string& topic,
+                                                   TopicState& state) {
+  for (int p = 0; p < state.config.partitions; ++p) {
+    auto log = broker_->GetLog(topic, p);
+    if (!log.ok()) continue;
+    const std::int64_t end = (*log)->EndOffset();
+    const std::int64_t hw = state.hw[static_cast<std::size_t>(p)];
+    if (end <= hw) continue;
+    LOG_WARN << "repl: truncating " << topic << "/" << p << " from " << end
+             << " to hw " << hw << " (uncommitted tail across epoch change)";
+    if (truncations_ != nullptr) truncations_->Inc();
+    if (Status trunc = (*log)->TruncateTo(hw); !trunc.ok()) {
+      LOG_ERROR << "repl: truncate failed: " << trunc.ToString();
+    }
+  }
+}
+
 std::uint64_t ReplicationManager::AddCommitWaiter(
     const ps::TopicPartition& tp, std::int64_t offset,
     std::function<void(Status)> done) {
@@ -382,6 +403,14 @@ Status ReplicationManager::HandleReplicaFetch(
       status = Status::NotLeader("fetch carries epoch " +
                                  std::to_string(req.epoch) + " > local " +
                                  std::to_string(it->second.epoch));
+    } else if (req.epoch < it->second.epoch) {
+      // Stale follower (missed the promote announcement): answer with the
+      // current epoch and no records or ack credit. The follower adopts the
+      // epoch, drops its uncommitted tail, and refetches — serving records
+      // or crediting a fetch offset against a possibly-diverged log would
+      // let the high watermark advance on copies that do not match ours.
+      resp->leader = options_.self.id;
+      resp->epoch = it->second.epoch;
     } else {
       TopicState& state = it->second;
       resp->leader = options_.self.id;
@@ -408,18 +437,23 @@ Status ReplicationManager::HandleReplicaFetch(
         std::int64_t next = entry.offset;
         if (Status read = (*log)->ReadFrom(entry.offset, budget, &out.records,
                                            &next);
-            !read.ok()) {
+            read.ok()) {
+          // The fetch offset is a cumulative ack: everything below it is
+          // already appended on the follower — but never credit past our
+          // own end, or a diverged follower fetching beyond it would
+          // advance the high watermark on records we never served.
+          follower.acked[entry.partition] =
+              std::max(follower.acked[entry.partition],
+                       std::min(entry.offset, (*log)->EndOffset()));
+          RecomputeHwLocked(req.topic, state, entry.partition, &pending);
+        } else {
           // Offset below the retention horizon: the follower cannot copy
-          // contiguously from here. Report where our log starts; the
-          // follower flags the gap instead of mis-numbering records.
+          // contiguously from here (and earns no ack credit). Report where
+          // our log starts; the follower flags the gap instead of
+          // mis-numbering records.
           out.records.clear();
           out.base_offset = (*log)->StartOffset();
         }
-        // The fetch offset is a cumulative ack: everything below it is
-        // already appended on the follower.
-        follower.acked[entry.partition] =
-            std::max(follower.acked[entry.partition], entry.offset);
-        RecomputeHwLocked(req.topic, state, entry.partition, &pending);
         out.high_watermark = state.hw[entry.partition];
         resp->entries.push_back(std::move(out));
       }
@@ -440,9 +474,15 @@ Status ReplicationManager::HandleReplicaAck(const net::ReplicaAckRequest& req,
     if (it == topics_.end()) {
       status = Status::NotFound("topic " + req.topic + " not replicated");
     } else if (it->second.leader != options_.self.id ||
-               req.epoch > it->second.epoch) {
+               req.epoch != it->second.epoch) {
+      // A stale-epoch ack (req.epoch below ours) is refused just like a
+      // newer one: the follower's log may have diverged during the missed
+      // leadership interval, so its end is no ack until it re-fetches
+      // under the current epoch.
       status = Status::NotLeader("topic " + req.topic + " is led by broker " +
-                                 std::to_string(it->second.leader));
+                                 std::to_string(it->second.leader) +
+                                 " (epoch " +
+                                 std::to_string(it->second.epoch) + ")");
     } else {
       TopicState& state = it->second;
       Follower& follower = state.followers[req.follower];
@@ -505,17 +545,21 @@ Status ReplicationManager::HandlePromoteLeader(
                                        static_cast<int>(entry.partition));
             if (!log.ok()) continue;
             const std::int64_t local = (*log)->EndOffset();
-            if (local > entry.log_end) {
-              // Our tail past the new leader's end was never committed
-              // (hw <= leader end by the commit rule): drop it so the copy
-              // stays contiguous with the new leader's numbering.
+            // Our tail past the new leader's end was never committed
+            // (hw <= leader end when elections are safe): drop it so the
+            // copy stays contiguous with the new leader's numbering. Never
+            // cut below our own high watermark though — records at/below
+            // it are quorum-acked and possibly consumed; a winner that
+            // lacks them must not be able to undo the durability contract.
+            const std::int64_t floor =
+                std::max(entry.log_end, state.hw[entry.partition]);
+            if (local > floor) {
               LOG_WARN << "repl: truncating " << req.topic << "/"
                        << entry.partition << " from " << local << " to "
-                       << entry.log_end << " (uncommitted tail of epoch "
+                       << floor << " (uncommitted tail of epoch "
                        << state.epoch - 1 << ")";
               if (truncations_ != nullptr) truncations_->Inc();
-              if (Status trunc = (*log)->TruncateTo(entry.log_end);
-                  !trunc.ok()) {
+              if (Status trunc = (*log)->TruncateTo(floor); !trunc.ok()) {
                 LOG_ERROR << "repl: truncate failed: " << trunc.ToString();
               }
             }
@@ -691,6 +735,29 @@ bool ReplicationManager::FetchRound(const std::string& topic,
   net::ReplicaFetchResponse resp;
   if (!net::DecodeReplicaFetchResponse(response, &resp).ok()) return false;
 
+  // A response carrying a newer epoch means the leader was (re-)promoted
+  // while we fetched with a stale one — it answers such fetches with an
+  // epoch-only response (no records, no ack credit). Adopt the epoch and
+  // drop our uncommitted tail before fetching again: records above the hw
+  // may have diverged during the missed leadership interval.
+  {
+    std::lock_guard lock(mu_);
+    const auto it = topics_.find(topic);
+    if (it == topics_.end()) return true;
+    TopicState& state = it->second;
+    if (resp.epoch > state.epoch) {
+      if (resp.leader == leader && state.leader == leader) {
+        LOG_INFO << "repl: " << topic << " adopting epoch " << resp.epoch
+                 << " from leader " << leader << " (was epoch " << state.epoch
+                 << ")";
+        state.epoch = resp.epoch;
+        state.last_leader_contact = Clock::now();
+        TruncateUncommittedLocked(topic, state);
+      }
+      return true;  // refetch from the truncated ends next round
+    }
+  }
+
   // Append outside mu_: only this thread appends to topics we do not lead
   // (CheckProduce rejects client produces on followers), and holding the
   // manager lock across disk appends would stall the reactor's hooks.
@@ -699,6 +766,8 @@ bool ReplicationManager::FetchRound(const std::string& topic,
     std::int64_t leader_end;
     std::int64_t leader_hw;
     std::int64_t local_end;
+    bool stalled = false;
+    std::int64_t leader_start = 0;
   };
   std::vector<Applied> applied;
   std::uint64_t replicated = 0;
@@ -706,13 +775,18 @@ bool ReplicationManager::FetchRound(const std::string& topic,
     auto log = broker_->GetLog(topic, static_cast<int>(entry.partition));
     if (!log.ok()) continue;
     std::int64_t local = (*log)->EndOffset();
-    if (!entry.records.empty() && entry.base_offset != local) {
-      LOG_WARN << "repl: " << topic << "/" << entry.partition
-               << " gap: leader serves from " << entry.base_offset
-               << " but local end is " << local
-               << " (retention outran replication); partition stalls";
-      applied.push_back(
-          Applied{entry.partition, entry.log_end, entry.high_watermark, local});
+    if (entry.base_offset != local) {
+      // The leader cannot serve contiguously from our end: its retention
+      // horizon moved past it (base_offset > local, whether or not records
+      // came back), or a concurrent promotion truncated us mid-round.
+      // Apply nothing; the stalled-flag transition is logged and surfaced
+      // under mu_ below so the condition is visible even when the leader
+      // answers with an empty batch every round.
+      Applied gap{entry.partition, entry.log_end, entry.high_watermark,
+                  local};
+      gap.stalled = entry.base_offset > local;
+      gap.leader_start = entry.base_offset;
+      applied.push_back(gap);
       continue;
     }
     bool append_failed = false;
@@ -750,13 +824,22 @@ bool ReplicationManager::FetchRound(const std::string& topic,
     const auto it = topics_.find(topic);
     if (it == topics_.end()) return true;
     TopicState& state = it->second;
-    if (resp.epoch > state.epoch && resp.leader == leader) {
-      state.epoch = resp.epoch;
-    }
     for (const Applied& a : applied) {
       const auto p = static_cast<std::size_t>(a.partition);
       if (p >= state.hw.size()) continue;
       state.leader_end[p] = a.leader_end;
+      if (p < state.stalled.size() && state.stalled[p] != a.stalled) {
+        state.stalled[p] = a.stalled;
+        if (a.stalled) {
+          LOG_WARN << "repl: " << topic << "/" << a.partition
+                   << " stalled: leader log starts at " << a.leader_start
+                   << " but local end is " << a.local_end
+                   << " (retention outran replication)";
+        } else {
+          LOG_INFO << "repl: " << topic << "/" << a.partition
+                   << " replication resumed (gap closed)";
+        }
+      }
       // Never expose past what we physically hold.
       const std::int64_t hw = std::min(a.leader_hw, a.local_end);
       if (hw > state.hw[p]) {
@@ -770,38 +853,39 @@ bool ReplicationManager::FetchRound(const std::string& topic,
   }
   pending.Fire(broker_);
 
-  if (!ack.entries.empty()) {
-    body.clear();
-    net::EncodeReplicaAckRequest(ack, &body);
-    if (conn->Call(net::ApiKey::kReplicaAck, body, &response, {},
-                   /*retry=*/false)
-            .ok()) {
-      net::ReplicaAckResponse ack_resp;
-      if (net::DecodeReplicaAckResponse(response, &ack_resp).ok()) {
-        PendingWakeups ack_pending;
-        std::lock_guard lock(mu_);
-        const auto it = topics_.find(topic);
-        if (it != topics_.end()) {
-          TopicState& state = it->second;
-          for (const auto& entry : ack_resp.entries) {
-            const auto p = static_cast<std::size_t>(entry.partition);
-            if (p >= state.hw.size()) continue;
-            const std::int64_t hw = std::min(
-                entry.high_watermark,
-                LocalEnd(topic, entry.partition));
-            if (hw > state.hw[p]) {
-              state.hw[p] = hw;
-              ack_pending.advanced.push_back(ps::TopicPartition{
-                  topic, static_cast<int>(entry.partition)});
-            }
-          }
+  if (ack.entries.empty()) return true;
+  body.clear();
+  net::EncodeReplicaAckRequest(ack, &body);
+  if (!conn->Call(net::ApiKey::kReplicaAck, body, &response, {},
+                  /*retry=*/false)
+           .ok()) {
+    return true;
+  }
+  net::ReplicaAckResponse ack_resp;
+  if (!net::DecodeReplicaAckResponse(response, &ack_resp).ok()) return true;
+  // The ack answer can carry a fresher hw than the fetch did (our own ack
+  // may have completed the quorum); collected into its own PendingWakeups
+  // so the wakeups fired above never fire twice.
+  PendingWakeups ack_pending;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = topics_.find(topic);
+    if (it != topics_.end()) {
+      TopicState& state = it->second;
+      for (const auto& entry : ack_resp.entries) {
+        const auto p = static_cast<std::size_t>(entry.partition);
+        if (p >= state.hw.size()) continue;
+        const std::int64_t hw = std::min(entry.high_watermark,
+                                         LocalEnd(topic, entry.partition));
+        if (hw > state.hw[p]) {
+          state.hw[p] = hw;
+          ack_pending.advanced.push_back(
+              ps::TopicPartition{topic, static_cast<int>(entry.partition)});
         }
-        // NOTE: fired under no lock below.
-        pending = std::move(ack_pending);
       }
     }
   }
-  pending.Fire(broker_);
+  ack_pending.Fire(broker_);
   return true;
 }
 
@@ -818,7 +902,8 @@ void ReplicationManager::RunElection(const std::string& topic) {
     bool has_topic = false;
     std::uint32_t leader = 0;
     std::uint64_t epoch = 0;
-    std::int64_t total_end = 0;
+    std::vector<std::int64_t> ends;  // per-partition log ends
+    std::vector<std::int64_t> hw;    // per-partition high watermarks
   };
   std::vector<PeerView> reachable;
   for (const BrokerEndpoint& broker : options_.brokers) {
@@ -842,7 +927,8 @@ void ReplicationManager::RunElection(const std::string& topic) {
       view.leader = t.leader;
       view.epoch = t.epoch;
       for (const auto& partition : t.partitions) {
-        view.total_end += partition.log_end;
+        view.ends.push_back(partition.log_end);
+        view.hw.push_back(partition.high_watermark);
       }
     }
     reachable.push_back(view);
@@ -850,15 +936,17 @@ void ReplicationManager::RunElection(const std::string& topic) {
 
   std::uint64_t my_epoch = 0;
   std::uint32_t old_leader = 0;
-  std::int64_t my_total = 0;
+  std::vector<std::int64_t> my_ends;
+  std::vector<std::int64_t> my_hw;
   {
     std::lock_guard lock(mu_);
     const auto it = topics_.find(topic);
     if (it == topics_.end() || it->second.leader == options_.self.id) return;
     my_epoch = it->second.epoch;
     old_leader = it->second.leader;
+    my_hw = it->second.hw;
     for (int p = 0; p < it->second.config.partitions; ++p) {
-      my_total += LocalEnd(topic, static_cast<std::uint32_t>(p));
+      my_ends.push_back(LocalEnd(topic, static_cast<std::uint32_t>(p)));
     }
   }
 
@@ -883,6 +971,11 @@ void ReplicationManager::RunElection(const std::string& topic) {
       it->second.epoch = newer->epoch;
       it->second.followers.clear();
       it->second.last_leader_contact = Clock::now();
+      // We missed the (one-shot) PromoteLeader announcement, so no
+      // truncation bound arrived with the news: drop our uncommitted tail
+      // here, or the fetch loop would append the new leader's records
+      // after diverged ones and the divergence would become permanent.
+      TruncateUncommittedLocked(topic, it->second);
     }
     return;
   }
@@ -914,23 +1007,65 @@ void ReplicationManager::RunElection(const std::string& topic) {
     return;
   }
 
-  // Deterministic winner: most total log, ties to the lowest broker id.
-  std::uint32_t winner = options_.self.id;
-  std::int64_t winner_total = my_total;
+  // Committed floor: the highest high watermark any participant reports,
+  // per partition. The hw is only ever advanced by a real quorum, so a
+  // safe winner must hold every partition at least to this floor — electing
+  // on a total-records score alone could crown a candidate that is ahead
+  // overall yet behind the committed offset on one partition, and its
+  // promotion would truncate quorum-acked records on a more-caught-up
+  // survivor.
+  const std::size_t partitions = my_ends.size();
+  std::vector<std::int64_t> floor = my_hw;
+  floor.resize(partitions, 0);
   for (const PeerView& view : reachable) {
-    if (view.total_end > winner_total ||
-        (view.total_end == winner_total && view.id < winner)) {
-      winner = view.id;
-      winner_total = view.total_end;
+    if (!view.has_topic) continue;
+    for (std::size_t p = 0; p < partitions && p < view.hw.size(); ++p) {
+      floor[p] = std::max(floor[p], view.hw[p]);
     }
   }
-  if (winner != options_.self.id) {
-    LOG_INFO << "repl: " << topic << " election defers to broker " << winner
-             << " (" << winner_total << " >= " << my_total << " records)";
+  const auto eligible = [&](const std::vector<std::int64_t>& ends) {
+    for (std::size_t p = 0; p < partitions; ++p) {
+      if ((p < ends.size() ? ends[p] : 0) < floor[p]) return false;
+    }
+    return true;
+  };
+  const auto total = [](const std::vector<std::int64_t>& ends) {
+    std::int64_t sum = 0;
+    for (const std::int64_t end : ends) sum += end;
+    return sum;
+  };
+
+  // Deterministic winner among the eligible: most total log, ties to the
+  // lowest broker id.
+  bool found = false;
+  std::uint32_t winner = 0;
+  std::int64_t winner_total = 0;
+  const auto consider = [&](std::uint32_t id, std::int64_t candidate_total) {
+    if (!found || candidate_total > winner_total ||
+        (candidate_total == winner_total && id < winner)) {
+      found = true;
+      winner = id;
+      winner_total = candidate_total;
+    }
+  };
+  if (eligible(my_ends)) consider(options_.self.id, total(my_ends));
+  for (const PeerView& view : reachable) {
+    if (view.has_topic && eligible(view.ends)) consider(view.id,
+                                                        total(view.ends));
+  }
+  if (!found || winner != options_.self.id) {
+    if (!found) {
+      LOG_WARN << "repl: " << topic << " election blocked: no reachable "
+               << "candidate covers the committed floor on every partition";
+    } else {
+      LOG_INFO << "repl: " << topic << " election defers to broker " << winner
+               << " (" << winner_total << " >= " << total(my_ends)
+               << " records)";
+    }
     std::lock_guard lock(mu_);
     const auto it = topics_.find(topic);
     if (it != topics_.end()) {
-      it->second.last_leader_contact = Clock::now();  // give it a timeout
+      it->second.last_leader_contact = Clock::now();  // back off, retry later
     }
     return;
   }

@@ -23,10 +23,19 @@
 //
 // Failover: a follower that cannot reach the leader for leader_timeout
 // queries the surviving peers' ClusterMeta. If a quorum of the cluster is
-// reachable (split-brain guard) and this broker holds the most total log
-// (ties to the lowest id), it bumps the epoch, promotes itself, and
-// broadcasts PromoteLeader; receivers with longer logs truncate to the new
-// leader's ends. Epochs are monotonic — stale leaders are refused.
+// reachable (split-brain guard) and this broker is the best *eligible*
+// candidate, it bumps the epoch, promotes itself, and broadcasts
+// PromoteLeader; receivers with longer logs truncate to the new leader's
+// ends (never below their own high watermark). Eligibility is per
+// partition: a candidate must hold every partition at least to the
+// committed floor — the highest high watermark any reachable participant
+// reports — so promotion can never truncate quorum-committed records on a
+// more-caught-up survivor; among the eligible, most total log wins, ties
+// to the lowest id. Epochs are monotonic — stale leaders are refused, and
+// a replica that adopts a newer epoch without the PromoteLeader
+// announcement in hand (ClusterMeta, or a fetch response carrying a newer
+// epoch) first drops its own uncommitted tail: it is the only part of the
+// log that can have diverged.
 //
 // Threading: hook methods run on the server's reactor threads and only
 // touch state under mu_ (never block, never RPC). The repl thread owns the
@@ -127,6 +136,9 @@ class ReplicationManager final : public net::ReplicationHooks {
     /// Follower side: the leader's log end last reported per partition
     /// (drives the lag view while not leading).
     std::vector<std::int64_t> leader_end;
+    /// Follower side: per-partition retention-gap flag (the leader's log
+    /// starts past our end; see TopicView::Partition::stalled).
+    std::vector<bool> stalled;
     /// Leader side only.
     std::map<std::uint32_t, Follower> followers;
     /// Follower side: last successful contact with the leader; elections
@@ -157,6 +169,12 @@ class ReplicationManager final : public net::ReplicationHooks {
   /// leadership moved or the manager is stopping.
   void FailTopicWaitersLocked(const std::string& topic, const Status& status,
                               PendingWakeups* pending);
+  /// REQUIRES mu_. Drop every partition's tail above the quorum-committed
+  /// high watermark. Used when adopting a newer leader/epoch without a
+  /// PromoteLeader announcement in hand: the uncommitted tail may have
+  /// diverged during the missed leadership interval, while everything
+  /// at/below the hw is identical on whichever replica won.
+  void TruncateUncommittedLocked(const std::string& topic, TopicState& state);
   [[nodiscard]] std::int64_t LocalEnd(const std::string& topic,
                                       std::uint32_t partition) const;
   [[nodiscard]] std::size_t quorum() const noexcept {

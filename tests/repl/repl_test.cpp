@@ -335,6 +335,173 @@ TEST(ReplCluster, LeaderStopPromotesFollowerAndClientsResume) {
   EXPECT_EQ(values.back(), "post9");
 }
 
+TEST(ReplCluster, RetentionGapSurfacesStalledPartition) {
+  MiniCluster cluster(3);
+  // Tiny retention: the leader's in-memory log keeps only the last few
+  // records. With one follower down, produce past the window, then bring
+  // it back empty — the leader can no longer serve contiguously from the
+  // follower's end, and the follower must say so instead of stalling
+  // silently.
+  const ps::TopicConfig config{1, /*retention_records=*/4};
+  for (int i = 0; i < cluster.size(); ++i) {
+    ASSERT_TRUE(cluster.node(i).manager->AddTopic("events", config, 1).ok());
+  }
+  cluster.StopNode(2);
+  net::RemoteProducer producer(cluster.ClientOptions(net::ProduceAcks::kQuorum));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(producer.Send("events", "k", "v" + std::to_string(i), 0).ok());
+  }
+  cluster.StartNode(2);
+  ASSERT_TRUE(cluster.node(2).manager->AddTopic("events", config, 1).ok());
+  EXPECT_TRUE(Eventually([&] {
+    auto view = cluster.node(2).manager->View("events");
+    return view.ok() && view->partitions[0].stalled;
+  }));
+  // The flag reaches operators through the /healthz json.
+  EXPECT_NE(cluster.node(2).manager->HealthJson().find("\"stalled\":true"),
+            std::string::npos);
+  // The healthy copies never raise it.
+  auto view = cluster.node(1).manager->View("events");
+  ASSERT_TRUE(view.ok());
+  EXPECT_FALSE(view->partitions[0].stalled);
+}
+
+TEST(ReplManager, PhantomFetchAckDoesNotAdvanceHwPastLeaderEnd) {
+  // Followers fetching beyond the leader's end (a diverged log) must not
+  // earn ack credit for records the leader never served: the high
+  // watermark may only cover offsets a real quorum identically holds.
+  ps::Broker broker;
+  ReplicaOptions options;
+  options.self = BrokerEndpoint{1, "127.0.0.1", 1};
+  options.brokers = {BrokerEndpoint{1, "127.0.0.1", 1},
+                     BrokerEndpoint{2, "127.0.0.1", 2},
+                     BrokerEndpoint{3, "127.0.0.1", 3}};
+  ReplicationManager manager(&broker, options);
+  ASSERT_TRUE(manager.AddTopic("events", ps::TopicConfig{1}, 1).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(broker.Produce("events", ps::Record{"k", "v", 0}).ok());
+  }
+
+  for (const std::uint32_t follower : {2u, 3u}) {
+    net::ReplicaFetchRequest fetch;
+    fetch.follower = follower;
+    fetch.epoch = 1;
+    fetch.topic = "events";
+    fetch.entries.push_back(net::ReplicaFetchRequest::Entry{0, 100, 512});
+    net::ReplicaFetchResponse response;
+    ASSERT_TRUE(manager.HandleReplicaFetch(fetch, &response).ok());
+  }
+  auto view = manager.View("events");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->partitions[0].high_watermark, 5);  // clamped, not 100
+}
+
+TEST(ReplManager, PromoteNeverTruncatesBelowHighWatermark) {
+  // A promote announcement whose log end sits below our quorum-committed
+  // high watermark must not cut committed (possibly consumed) records.
+  ps::Broker broker;
+  ReplicaOptions options;
+  options.self = BrokerEndpoint{1, "127.0.0.1", 1};
+  options.brokers = {BrokerEndpoint{1, "127.0.0.1", 1},
+                     BrokerEndpoint{2, "127.0.0.1", 2},
+                     BrokerEndpoint{3, "127.0.0.1", 3}};
+  ReplicationManager manager(&broker, options);
+  ASSERT_TRUE(manager.AddTopic("events", ps::TopicConfig{1}, 1).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(broker.Produce("events", ps::Record{"k", "v", 0}).ok());
+  }
+  // Both followers catch up to the end: hw reaches 5.
+  for (const std::uint32_t follower : {2u, 3u}) {
+    net::ReplicaFetchRequest fetch;
+    fetch.follower = follower;
+    fetch.epoch = 1;
+    fetch.topic = "events";
+    fetch.entries.push_back(net::ReplicaFetchRequest::Entry{0, 5, 512});
+    net::ReplicaFetchResponse response;
+    ASSERT_TRUE(manager.HandleReplicaFetch(fetch, &response).ok());
+  }
+  auto view = manager.View("events");
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ(view->partitions[0].high_watermark, 5);
+
+  net::PromoteLeaderRequest promote;
+  promote.leader = 2;
+  promote.epoch = 2;
+  promote.topic = "events";
+  promote.entries.push_back(net::PromoteLeaderRequest::Entry{0, 2});
+  net::PromoteLeaderResponse response;
+  ASSERT_TRUE(manager.HandlePromoteLeader(promote, &response).ok());
+
+  auto log = broker.GetLog("events", 0);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->EndOffset(), 5);  // committed prefix survives
+  EXPECT_FALSE(manager.IsLeader("events"));
+}
+
+TEST(ReplManager, StaleEpochFetchEarnsNoCreditAndReturnsEpoch) {
+  // A fetch carrying an older epoch gets an epoch-only answer: no records,
+  // no ack credit. The follower adopts the epoch and refetches cleanly.
+  ps::Broker broker;
+  ReplicaOptions options;
+  options.self = BrokerEndpoint{1, "127.0.0.1", 1};
+  options.brokers = {BrokerEndpoint{1, "127.0.0.1", 1},
+                     BrokerEndpoint{2, "127.0.0.1", 2},
+                     BrokerEndpoint{3, "127.0.0.1", 3}};
+  ReplicationManager manager(&broker, options);
+  ASSERT_TRUE(manager.AddTopic("events", ps::TopicConfig{1}, 1).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(broker.Produce("events", ps::Record{"k", "v", 0}).ok());
+  }
+  // Re-promote self at a higher epoch (as after winning an election).
+  net::PromoteLeaderRequest promote;
+  promote.leader = 1;
+  promote.epoch = 3;
+  promote.topic = "events";
+  promote.entries.push_back(net::PromoteLeaderRequest::Entry{0, 5});
+  net::PromoteLeaderResponse promote_response;
+  ASSERT_TRUE(manager.HandlePromoteLeader(promote, &promote_response).ok());
+  ASSERT_TRUE(manager.IsLeader("events"));
+
+  for (const std::uint32_t follower : {2u, 3u}) {
+    net::ReplicaFetchRequest stale;
+    stale.follower = follower;
+    stale.epoch = 1;
+    stale.topic = "events";
+    stale.entries.push_back(net::ReplicaFetchRequest::Entry{0, 5, 512});
+    net::ReplicaFetchResponse response;
+    ASSERT_TRUE(manager.HandleReplicaFetch(stale, &response).ok());
+    EXPECT_EQ(response.epoch, 3u);
+    EXPECT_TRUE(response.entries.empty());
+  }
+  auto view = manager.View("events");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->partitions[0].high_watermark, 0);  // no phantom quorum
+
+  // The same fetch under the current epoch is served and credited.
+  for (const std::uint32_t follower : {2u, 3u}) {
+    net::ReplicaFetchRequest current;
+    current.follower = follower;
+    current.epoch = 3;
+    current.topic = "events";
+    current.entries.push_back(net::ReplicaFetchRequest::Entry{0, 5, 512});
+    net::ReplicaFetchResponse response;
+    ASSERT_TRUE(manager.HandleReplicaFetch(current, &response).ok());
+    ASSERT_EQ(response.entries.size(), 1u);
+  }
+  view = manager.View("events");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->partitions[0].high_watermark, 5);
+
+  // A stale-epoch explicit ack is refused the same way.
+  net::ReplicaAckRequest stale_ack;
+  stale_ack.follower = 2;
+  stale_ack.epoch = 1;
+  stale_ack.topic = "events";
+  stale_ack.entries.push_back(net::ReplicaAckRequest::Entry{0, 100});
+  net::ReplicaAckResponse ack_response;
+  EXPECT_TRUE(manager.HandleReplicaAck(stale_ack, &ack_response).IsNotLeader());
+}
+
 TEST(ReplManager, PromoteTruncatesDivergedTail) {
   // Single manager driven directly through the hook interface: a new
   // leader's announcement with a shorter log must truncate the local tail
