@@ -102,6 +102,8 @@ struct SweepPoint {
   double p95_latency_ms;
   double p99_latency_ms;  // tail guard for the batching linger
   double blocked_ms;  // back-pressure: total producer block time (spe.stream)
+  std::uint64_t epochs_completed = 0;  // checkpointing trials only
+  std::uint64_t epochs_failed = 0;
 };
 
 /// Per-stage tuples_out from the metrics registry (parallel shards summed,
@@ -129,8 +131,11 @@ void PrintStageMetrics(const obs::MetricsSnapshot& snap) {
 }
 
 SweepPoint RunReplayTrial(const FrameCache& cache, int cell_px, double rate,
-                          int images) {
-  Strata strata_rt;
+                          int images,
+                          std::int64_t checkpoint_interval_ms = 0) {
+  StrataOptions options;
+  options.checkpoint_interval_ms = checkpoint_interval_ms;
+  Strata strata_rt(options);
   UseCaseParams params;
   params.cell_px = cell_px;
   params.correlate_layers = 20;
@@ -169,12 +174,58 @@ SweepPoint RunReplayTrial(const FrameCache& cache, int cell_px, double rate,
       snap.Sum("spe.stream.blocked_us", "stream", "");
   PrintStageMetrics(snap);
   const Histogram latency = sink->LatencySnapshot();
-  return SweepPoint{rate, images / wall,
-                    cells_out / wall / 1000.0,
-                    MicrosToMillis(static_cast<Timestamp>(latency.mean())),
-                    MicrosToMillis(latency.Quantile(0.95)),
-                    MicrosToMillis(latency.Quantile(0.99)),
-                    blocked_us / 1000.0};
+  SweepPoint point{rate, images / wall,
+                   cells_out / wall / 1000.0,
+                   MicrosToMillis(static_cast<Timestamp>(latency.mean())),
+                   MicrosToMillis(latency.Quantile(0.95)),
+                   MicrosToMillis(latency.Quantile(0.99)),
+                   blocked_us / 1000.0};
+  if (checkpoint_interval_ms > 0) {
+    const spe::Checkpointer::Stats stats =
+        strata_rt.query().checkpointer()->stats();
+    point.epochs_completed = stats.epochs_completed;
+    point.epochs_failed = stats.epochs_failed;
+  }
+  return point;
+}
+
+/// Checkpointing on vs off at the default cadence: the same unthrottled
+/// replay, once without barriers and once with epoch-barrier checkpoints
+/// persisting to the kvstore. The delta is the steady-state cost of
+/// effectively-once (barrier alignment, operator snapshots, manifest
+/// writes); the acceptance bar is < 10% of fig7 throughput.
+void RunCheckpointOverhead(const FrameCache& cache, int image_px,
+                           JsonLinesWriter* out) {
+  constexpr std::int64_t kDefaultIntervalMs = 250;
+  const int cell_px = std::max(1, 20 * image_px / 2000);
+  const int images = 128;
+  std::printf("--- checkpoint overhead (cell 20x20, unthrottled, %lld ms "
+              "interval) ---\n",
+              static_cast<long long>(kDefaultIntervalMs));
+  const SweepPoint off =
+      RunReplayTrial(cache, cell_px, /*rate=*/0, images);
+  const SweepPoint on =
+      RunReplayTrial(cache, cell_px, /*rate=*/0, images, kDefaultIntervalMs);
+  const double overhead_pct =
+      off.kcells_s > 0 ? (off.kcells_s - on.kcells_s) / off.kcells_s * 100.0
+                       : 0.0;
+  std::printf("    off: %.1f kcells/s   on: %.1f kcells/s   overhead: %.1f%%"
+              "   epochs: %llu completed, %llu failed\n",
+              off.kcells_s, on.kcells_s, overhead_pct,
+              static_cast<unsigned long long>(on.epochs_completed),
+              static_cast<unsigned long long>(on.epochs_failed));
+  out->Line(JsonObject()
+                .Str("bench", "bench_fig7_throughput")
+                .Str("kind", "checkpoint_overhead")
+                .Int("image_px", image_px)
+                .Int("checkpoint_interval_ms", kDefaultIntervalMs)
+                .Num("kcells_s_off", off.kcells_s)
+                .Num("kcells_s_on", on.kcells_s)
+                .Num("overhead_pct", overhead_pct)
+                .Int("epochs_completed",
+                     static_cast<long long>(on.epochs_completed))
+                .Int("epochs_failed",
+                     static_cast<long long>(on.epochs_failed)));
 }
 
 /// One trial with sampling at 1/16: exports the spans as a Chrome trace for
@@ -281,6 +332,8 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+
+  RunCheckpointOverhead(cache, image_px, &out);
 
   if (trace_out != nullptr) RunTracedTrial(cache, image_px, trace_out, &out);
   return 0;

@@ -30,6 +30,8 @@ const char* StatusCodeName(StatusCode code) noexcept {
       return "StorageDegraded";
     case StatusCode::kStorageFailed:
       return "StorageFailed";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
   }
   return "Unknown";
 }

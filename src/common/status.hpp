@@ -34,6 +34,11 @@ enum class StatusCode : std::uint8_t {
   /// Broker storage fail-stopped (DiskFailurePolicy::kFailStop): writes are
   /// rejected until the broker is replaced. Sticky — retrying cannot help.
   kStorageFailed,
+  /// A requested position lies outside the valid range — e.g. a consumer
+  /// seek to an offset below the log's retention-truncated start or past
+  /// its end. Retrying the same position cannot help; the caller must pick
+  /// a valid one (SeekToEnd, or the reset policy).
+  kOutOfRange,
 };
 
 /// Human-readable name of a status code ("Ok", "NotFound", ...).
@@ -84,6 +89,9 @@ class Status {
   static Status StorageFailed(std::string m) {
     return Status(StatusCode::kStorageFailed, std::move(m));
   }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
 
   [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
   [[nodiscard]] bool IsNotFound() const noexcept {
@@ -112,6 +120,9 @@ class Status {
   }
   [[nodiscard]] bool IsStorageFailed() const noexcept {
     return code_ == StatusCode::kStorageFailed;
+  }
+  [[nodiscard]] bool IsOutOfRange() const noexcept {
+    return code_ == StatusCode::kOutOfRange;
   }
   [[nodiscard]] StatusCode code() const noexcept { return code_; }
   [[nodiscard]] const std::string& message() const noexcept { return message_; }

@@ -612,6 +612,50 @@ Status RemoteConsumer::SeekToEnd() {
   return Commit();
 }
 
+Status RemoteConsumer::Seek(const ps::TopicPartition& tp,
+                            std::int64_t offset) {
+  STRATA_RETURN_IF_ERROR(RefreshAssignment());
+  if (std::find(assigned_.begin(), assigned_.end(), tp) == assigned_.end()) {
+    return Status::InvalidArgument("Seek: partition not assigned: " +
+                                   tp.topic + "/" +
+                                   std::to_string(tp.partition));
+  }
+  MetadataRequest req;
+  req.topic = tp.topic;
+  std::string body;
+  EncodeMetadataRequest(req, &body);
+  std::string response;
+  STRATA_RETURN_IF_ERROR(Call(ApiKey::kMetadata, body, &response));
+  MetadataResponse metadata;
+  STRATA_RETURN_IF_ERROR(DecodeMetadataResponse(response, &metadata));
+  if (metadata.topics.empty()) {
+    return Status::NotFound("Seek: topic " + tp.topic);
+  }
+  const auto& partitions = metadata.topics.front().partitions;
+  if (static_cast<std::size_t>(tp.partition) >= partitions.size()) {
+    return Status::Corruption("metadata: missing partition " +
+                              std::to_string(tp.partition));
+  }
+  const auto& [start, end] = partitions[tp.partition];
+  if (offset < start) {
+    return Status::OutOfRange(
+        "Seek: offset " + std::to_string(offset) + " below retention start " +
+        std::to_string(start) + " for " + tp.topic + "/" +
+        std::to_string(tp.partition));
+  }
+  if (offset > end) {
+    return Status::OutOfRange("Seek: offset " + std::to_string(offset) +
+                              " past log end " + std::to_string(end) +
+                              " for " + tp.topic + "/" +
+                              std::to_string(tp.partition));
+  }
+  positions_[tp] = offset;
+  // The seek itself is not progress: nothing to commit until data is
+  // consumed from the new position.
+  uncommitted_.erase(tp);
+  return Status::Ok();
+}
+
 // --- RemoteBroker -----------------------------------------------------------
 
 Status RemoteBroker::CreateTopic(const std::string& name,

@@ -228,6 +228,13 @@ class RemoteConsumer final : public ps::ConsumerClient {
       std::chrono::microseconds timeout) override;
   [[nodiscard]] Status Commit() override;
   [[nodiscard]] Status SeekToEnd() override;
+  /// Reposition one assigned partition (see ps::ConsumerClient::Seek).
+  /// Validates the offset against the server's current [start, end) bounds
+  /// via a Metadata round-trip; a truncated or future offset returns
+  /// Status::OutOfRange rather than silently healing.
+  [[nodiscard]] Status Seek(const ps::TopicPartition& tp,
+                            std::int64_t offset) override;
+  using ps::ConsumerClient::Seek;
   [[nodiscard]] const std::vector<ps::TopicPartition>& assignment()
       const noexcept override {
     return assigned_;

@@ -58,6 +58,18 @@ class ConsumerClient {
       std::chrono::microseconds timeout) = 0;
   [[nodiscard]] virtual Status Commit() = 0;
   [[nodiscard]] virtual Status SeekToEnd() = 0;
+  /// Reposition one assigned partition so the next Poll fetches from
+  /// `offset` (checkpoint replay). Validated against the log's current
+  /// bounds: an offset below the retention-truncated start or above the end
+  /// returns Status::OutOfRange — a clean error, never a silent heal or a
+  /// spin. The seek is a client-side position change only; it is not
+  /// committed (Commit after the next Poll advances the group offset).
+  [[nodiscard]] virtual Status Seek(const TopicPartition& tp,
+                                    std::int64_t offset) = 0;
+  [[nodiscard]] Status Seek(const std::string& topic, int partition,
+                            std::int64_t offset) {
+    return Seek(TopicPartition{topic, partition}, offset);
+  }
   [[nodiscard]] virtual const std::vector<TopicPartition>& assignment()
       const noexcept = 0;
 };

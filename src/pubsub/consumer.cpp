@@ -129,6 +129,36 @@ Status Consumer::Commit() {
   return Status::Ok();
 }
 
+Status Consumer::Seek(const TopicPartition& tp, std::int64_t offset) {
+  RefreshAssignment();
+  if (std::find(assigned_.begin(), assigned_.end(), tp) == assigned_.end()) {
+    return Status::InvalidArgument("Seek: partition not assigned: " +
+                                   tp.topic + "/" +
+                                   std::to_string(tp.partition));
+  }
+  auto log = broker_->GetLog(tp.topic, tp.partition);
+  if (!log.ok()) return log.status();
+  const std::int64_t start = (*log)->StartOffset();
+  const std::int64_t end = (*log)->EndOffset();
+  if (offset < start) {
+    return Status::OutOfRange(
+        "Seek: offset " + std::to_string(offset) + " below retention start " +
+        std::to_string(start) + " for " + tp.topic + "/" +
+        std::to_string(tp.partition));
+  }
+  if (offset > end) {
+    return Status::OutOfRange("Seek: offset " + std::to_string(offset) +
+                              " past log end " + std::to_string(end) +
+                              " for " + tp.topic + "/" +
+                              std::to_string(tp.partition));
+  }
+  positions_[tp] = offset;
+  // The seek itself is not progress: nothing to commit until data is
+  // consumed from the new position.
+  uncommitted_.erase(tp);
+  return Status::Ok();
+}
+
 Status Consumer::SeekToEnd() {
   RefreshAssignment();
   for (const TopicPartition& tp : assigned_) {

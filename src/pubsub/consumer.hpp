@@ -46,6 +46,14 @@ class Consumer final : public ConsumerClient {
   /// (skip backlog).
   [[nodiscard]] Status SeekToEnd() override;
 
+  /// Reposition one assigned partition (see ConsumerClient::Seek). Unlike
+  /// Poll — which silently heals positions that fell below the retention
+  /// horizon — an explicit seek to a truncated or future offset is a caller
+  /// error and returns Status::OutOfRange.
+  [[nodiscard]] Status Seek(const TopicPartition& tp,
+                            std::int64_t offset) override;
+  using ConsumerClient::Seek;
+
   [[nodiscard]] const std::vector<TopicPartition>& assignment()
       const noexcept override {
     return assigned_;

@@ -1,8 +1,32 @@
 #include "spe/aggregates.hpp"
 
+#include "common/codec.hpp"
+
 namespace strata::spe {
 
 namespace internal {
+namespace {
+
+Status EncodeNumericAcc(const std::any& any_acc, std::string* out) {
+  const auto& acc = std::any_cast<const NumericAccumulator&>(any_acc);
+  codec::PutDouble(out, acc.sum);
+  codec::PutDouble(out, acc.min);
+  codec::PutDouble(out, acc.max);
+  codec::PutVarint64Signed(out, acc.count);
+  return Status::Ok();
+}
+
+Result<std::any> DecodeNumericAcc(std::string_view in) {
+  NumericAccumulator acc;
+  if (!codec::GetDouble(&in, &acc.sum) || !codec::GetDouble(&in, &acc.min) ||
+      !codec::GetDouble(&in, &acc.max) ||
+      !codec::GetVarint64Signed(&in, &acc.count) || !in.empty()) {
+    return Status::Corruption("numeric accumulator: bad snapshot");
+  }
+  return std::any(acc);
+}
+
+}  // namespace
 
 AggregateSpec NumericAggregate(
     WindowSpec window, KeyFn key, std::string attribute,
@@ -39,6 +63,8 @@ AggregateSpec NumericAggregate(
     out.payload.Set("window_end", window_end);
     return std::vector<Tuple>{out};
   };
+  spec.encode_acc = EncodeNumericAcc;
+  spec.decode_acc = DecodeNumericAcc;
   return spec;
 }
 
@@ -91,6 +117,17 @@ AggregateSpec CountAggregate(WindowSpec window, std::string output_key,
     out.payload.Set("window_start", window_start);
     out.payload.Set("window_end", window_end);
     return std::vector<Tuple>{out};
+  };
+  spec.encode_acc = [](const std::any& acc, std::string* out) {
+    codec::PutVarint64Signed(out, std::any_cast<std::int64_t>(acc));
+    return Status::Ok();
+  };
+  spec.decode_acc = [](std::string_view in) -> Result<std::any> {
+    std::int64_t count = 0;
+    if (!codec::GetVarint64Signed(&in, &count) || !in.empty()) {
+      return Status::Corruption("count accumulator: bad snapshot");
+    }
+    return std::any(count);
   };
   return spec;
 }

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "spe/batch.hpp"
 #include "spe/tuple.hpp"
 
@@ -71,6 +72,13 @@ struct AggregateSpec {
   std::function<std::vector<Tuple>(std::any&, Timestamp window_start,
                                    Timestamp window_end)>
       result;
+  /// Optional accumulator codec pair used by checkpointing: without them an
+  /// Aggregate cannot serialize its open windows and every checkpoint epoch
+  /// the operator participates in is reported failed (graceful degradation —
+  /// the query keeps running, recovery is just unavailable). The prebuilt
+  /// builders in aggregates.hpp provide both.
+  std::function<Status(const std::any&, std::string*)> encode_acc;
+  std::function<Result<std::any>(std::string_view)> decode_acc;
 };
 
 }  // namespace strata::spe

@@ -1,9 +1,12 @@
 #include "spe/operator.hpp"
 
 #include <functional>
+#include <iterator>
 
+#include "common/codec.hpp"
 #include "common/logging.hpp"
 #include "obs/trace.hpp"
+#include "spe/checkpoint.hpp"
 
 namespace strata::spe {
 
@@ -66,13 +69,89 @@ void TraceSourceBatch(const std::string& name, std::int64_t t0,
     }
   }
 }
+
+/// Shared alignment-resolution loop for multi-input operators: completes
+/// aligned epochs and replays tuples held behind barriers — which may
+/// themselves contain the next barrier, hence the loop. `complete` must run
+/// before the replay: held tuples sit after the barrier and belong to the
+/// next epoch, so they must not be processed before the snapshot.
+template <typename Ingest, typename Complete>
+void SettleBarriers(BarrierAligner* aligner, std::size_t inputs,
+                    const bool& open, Ingest&& ingest, Complete&& complete) {
+  for (;;) {
+    const std::uint64_t epoch = aligner->TryComplete();
+    if (epoch != 0) complete(epoch);
+    bool replayed = false;
+    for (std::size_t i = 0; i < inputs && open; ++i) {
+      if (aligner->blocked(i)) continue;
+      TupleBatch held = aligner->TakeHeld(i);
+      if (!held.empty()) {
+        ingest(i, std::move(held));
+        replayed = true;
+      }
+    }
+    if (!open || (epoch == 0 && !replayed)) return;
+  }
+}
+
+/// Splits off everything behind position `k` in `batch` (exclusive) — the
+/// tuples a multi-input operator must hold back behind a barrier.
+TupleBatch SplitHeld(TupleBatch* batch, std::size_t k) {
+  TupleBatch held(std::make_move_iterator(batch->begin() + static_cast<std::ptrdiff_t>(k)),
+                  std::make_move_iterator(batch->end()));
+  return held;
+}
 }  // namespace
 
-// ------------------------------------------------------------------ Source
+// ---------------------------------------------------------------- Operator
 
 void Operator::LogUserError(const char* what) {
   LOG_ERROR << "operator '" << name() << "': user function threw: " << what;
 }
+
+void Operator::NotifyFinished() {
+  if (checkpointer_ != nullptr) checkpointer_->OnOperatorFinished(name());
+}
+
+Status Operator::SnapshotState(std::uint64_t epoch, std::string* out) {
+  if (snapshot_hook_) return snapshot_hook_(epoch, out);
+  return Status::Ok();  // stateless: empty blob
+}
+
+Status Operator::RestoreState(std::string_view blob) {
+  if (blob.empty()) return Status::Ok();  // fresh state, nothing to do
+  if (restore_hook_) return restore_hook_(blob);
+  return Status::InvalidArgument("operator '" + name() +
+                                 "': non-empty snapshot but no restore path");
+}
+
+void Operator::CompleteBarrier(std::uint64_t epoch) {
+  FlushEmit();  // no partial batch may straddle the epoch boundary
+  if (checkpointer_ != nullptr) {
+    std::string blob;
+    const Status snapshot = SnapshotState(epoch, &blob);
+    if (snapshot.ok()) {
+      checkpointer_->ReportSnapshot(name(), epoch, std::move(blob));
+    } else {
+      checkpointer_->ReportSnapshotFailure(name(), epoch, snapshot);
+    }
+  }
+  ForwardBarrier(epoch);
+}
+
+void Operator::ForwardBarrier(std::uint64_t epoch) {
+  if (outputs_.empty()) return;
+  EnsureEmitState();
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    if (output_closed_[i]) continue;
+    if (!outputs_[i]->Push(Tuple::Barrier(epoch)).ok()) {
+      output_closed_[i] = 1;
+      --open_outputs_;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ Source
 
 void SourceOperator::Run() {
   if (batch_fn_) {
@@ -83,6 +162,19 @@ void SourceOperator::Run() {
   CloseOutputs();
 }
 
+void SourceOperator::MaybeInjectBarrier() {
+  Checkpointer* cp = checkpointer();
+  if (cp == nullptr) return;
+  const std::uint64_t pending = cp->PendingEpoch();
+  if (pending > last_injected_epoch_) {
+    // Injection latency is bounded by how long the source function blocks
+    // per call (connector polls are a few ms); the coordinator's epoch
+    // timeout covers a source stuck in a long produce call.
+    last_injected_epoch_ = pending;
+    CompleteBarrier(pending);
+  }
+}
+
 void SourceOperator::RunTupleLoop() {
   // A source cannot flush while blocked inside fn_, so the flush policy
   // keys off the arrival gap: a source slower than the linger flushes every
@@ -90,6 +182,7 @@ void SourceOperator::RunTupleLoop() {
   // up to batch_size / linger_us like any other operator.
   Timestamp last_arrival = 0;
   while (!StopRequested()) {
+    MaybeInjectBarrier();
     const std::int64_t trace_t0 =
         obs::TracingEnabled() ? obs::TraceNowUs() : 0;
     auto guarded = Guarded([&] { return fn_(); });
@@ -131,6 +224,7 @@ void SourceOperator::RunBatchLoop() {
   // and flushed as a unit: upstream batch boundaries are natural flush
   // points.
   while (!StopRequested()) {
+    MaybeInjectBarrier();
     const std::int64_t trace_t0 =
         obs::TracingEnabled() ? obs::TraceNowUs() : 0;
     auto guarded = Guarded([&] { return batch_fn_(); });
@@ -160,6 +254,10 @@ void FlatMapOperator::Run() {
     CountIn(batch->size());
     obs::SpanScope span = BatchSpan("spe.flatmap", name(), *batch);
     for (Tuple& tuple : *batch) {
+      if (tuple.IsBarrier()) {
+        CompleteBarrier(tuple.barrier_epoch);
+        continue;
+      }
       auto results = Guarded([&] { return fn_(tuple); });
       if (!results.has_value()) continue;  // user error: drop this tuple
       for (Tuple& out : *results) {
@@ -185,6 +283,10 @@ void FilterOperator::Run() {
     CountIn(batch->size());
     obs::SpanScope span = BatchSpan("spe.filter", name(), *batch);
     for (Tuple& tuple : *batch) {
+      if (tuple.IsBarrier()) {
+        CompleteBarrier(tuple.barrier_epoch);
+        continue;
+      }
       const auto keep = Guarded([&] { return fn_(tuple); });
       if (!keep.value_or(false)) continue;
       if (span.active()) tuple.trace = span.EmitContext();
@@ -208,6 +310,11 @@ void RouterOperator::Run() {
     CountIn(batch->size());
     obs::SpanScope span = BatchSpan("spe.router", name(), *batch);
     for (Tuple& tuple : *batch) {
+      if (tuple.IsBarrier()) {
+        // Barriers broadcast to every parallel instance, not to one shard.
+        CompleteBarrier(tuple.barrier_epoch);
+        continue;
+      }
       const auto key = Guarded([&] { return key_(tuple); });
       if (!key.has_value()) continue;
       if (span.active()) tuple.trace = span.EmitContext();
@@ -222,52 +329,69 @@ void RouterOperator::Run() {
 // ------------------------------------------------------------------- Union
 
 void UnionOperator::Run() {
-  std::vector<bool> done(inputs_.size(), false);
-  std::size_t remaining = inputs_.size();
+  const std::size_t n = inputs_.size();
+  BarrierAligner aligner(n);
   bool open = true;
-  while (remaining > 0 && open) {
-    bool progressed = false;
-    for (std::size_t i = 0; i < inputs_.size() && open; ++i) {
-      if (done[i]) continue;
-      // Drain whatever is immediately available from this input.
-      while (auto batch = inputs_[i]->TryPopBatch(batch_size())) {
-        CountIn(batch->size());
-        obs::SpanScope span = BatchSpan("spe.union", name(), *batch);
-        for (Tuple& tuple : *batch) {
-          if (span.active()) tuple.trace = span.EmitContext();
-          if (!(open = Emit(std::move(tuple)))) break;
-        }
-        progressed = true;
-        if (!open) break;
+
+  // Processes one drained batch from input `i`, stopping at a barrier: the
+  // epoch and the tuples behind it go to the aligner, and the input is
+  // blocked (not polled) until every live input aligns.
+  auto ingest = [&](std::size_t i, TupleBatch batch) {
+    obs::SpanScope span = BatchSpan("spe.union", name(), batch);
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      Tuple& tuple = batch[k];
+      if (tuple.IsBarrier()) {
+        const std::uint64_t epoch = tuple.barrier_epoch;
+        aligner.Arrive(i, epoch, SplitHeld(&batch, k + 1));
+        return;
       }
-      if (inputs_[i]->drained()) {
-        done[i] = true;
-        --remaining;
+      if (span.active()) tuple.trace = span.EmitContext();
+      if (!(open = Emit(std::move(tuple)))) return;
+    }
+  };
+  auto settle = [&] {
+    SettleBarriers(&aligner, n, open, ingest,
+                   [&](std::uint64_t epoch) { CompleteBarrier(epoch); });
+  };
+
+  while (!aligner.AllDone() && open) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < n && open; ++i) {
+      if (aligner.done(i) || aligner.blocked(i)) continue;
+      // Drain whatever is immediately available from this input.
+      while (open && !aligner.blocked(i)) {
+        auto batch = inputs_[i]->TryPopBatch(batch_size());
+        if (!batch.has_value()) break;
+        CountIn(batch->size());
+        ingest(i, std::move(*batch));
+        progressed = true;
+      }
+      if (!aligner.blocked(i) && inputs_[i]->drained()) {
+        // A blocked input is never marked done here: its barrier still
+        // gates alignment, and it is re-examined once unblocked.
+        aligner.MarkDone(i);
         progressed = true;
       }
     }
-    if (!open) break;
+    settle();
+    if (!open || aligner.AllDone()) break;
     if (progressed) {
       MaybeFlush(/*input_idle=*/false);
       continue;
     }
-    if (remaining > 0) {
-      // Nothing available anywhere: flush what we buffered (don't sit on
-      // tuples while parked), then block briefly on the first live input.
-      FlushEmit();
-      for (std::size_t i = 0; i < inputs_.size(); ++i) {
-        if (!done[i]) {
-          if (auto batch = inputs_[i]->PopBatchFor(kPollInterval, batch_size())) {
-            CountIn(batch->size());
-            obs::SpanScope span = BatchSpan("spe.union", name(), *batch);
-            for (Tuple& tuple : *batch) {
-              if (span.active()) tuple.trace = span.EmitContext();
-              if (!(open = Emit(std::move(tuple)))) break;
-            }
-          }
-          break;
-        }
+    // Nothing available anywhere: flush what we buffered (don't sit on
+    // tuples while parked), then block briefly on the first live, unblocked
+    // input. One exists — were every live input blocked, settle() would
+    // have completed or skew-unblocked the alignment.
+    FlushEmit();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (aligner.done(i) || aligner.blocked(i)) continue;
+      if (auto batch = inputs_[i]->PopBatchFor(kPollInterval, batch_size())) {
+        CountIn(batch->size());
+        ingest(i, std::move(*batch));
+        settle();
       }
+      break;
     }
   }
   if (!open) CloseInputs();
@@ -283,6 +407,10 @@ void SinkOperator::Run() {
     // store() calls and log lines inside fn_ attach to this trace.
     obs::SpanScope span = BatchSpan("spe.sink", name(), *batch);
     for (Tuple& tuple : *batch) {
+      if (tuple.IsBarrier()) {
+        CompleteBarrier(tuple.barrier_epoch);
+        continue;
+      }
       latency_.Record(Now() - tuple.stimulus);
       if (fn_) {
         (void)Guarded([&] {
@@ -391,6 +519,10 @@ void AggregateOperator::Run() {
     CountIn(batch->size());
     obs::SpanScope span = BatchSpan("spe.aggregate", name(), *batch);
     for (const Tuple& tuple : *batch) {
+      if (tuple.IsBarrier()) {
+        CompleteBarrier(tuple.barrier_epoch);
+        continue;
+      }
       (void)Guarded([&] {
         Process(tuple);
         return true;
@@ -409,6 +541,68 @@ void AggregateOperator::Run() {
     CloseInputs();  // nobody downstream: skip the final flush
   }
   CloseOutputs();
+}
+
+Status AggregateOperator::SnapshotState(std::uint64_t /*epoch*/,
+                                        std::string* out) {
+  if (!spec_.encode_acc || !spec_.decode_acc) {
+    return Status::InvalidArgument(
+        "aggregate '" + name() +
+        "': AggregateSpec has no accumulator codec (set encode_acc/"
+        "decode_acc to make this operator checkpointable)");
+  }
+  codec::PutVarint64Signed(out, closed_horizon_);
+  codec::PutVarint64(out, windows_.size());
+  for (const auto& [key, window] : windows_) {
+    codec::PutVarint64Signed(out, key.first);
+    codec::PutLengthPrefixed(out, key.second);
+    codec::PutVarint64Signed(out, window.max_stimulus);
+    codec::PutVarint64Signed(out, window.max_event_time);
+    std::string acc;
+    STRATA_RETURN_IF_ERROR(spec_.encode_acc(window.accumulator, &acc));
+    codec::PutLengthPrefixed(out, acc);
+  }
+  return Status::Ok();
+}
+
+Status AggregateOperator::RestoreState(std::string_view blob) {
+  if (blob.empty()) return Status::Ok();
+  if (!spec_.decode_acc) {
+    return Status::InvalidArgument("aggregate '" + name() +
+                                   "': snapshot present but no decode_acc");
+  }
+  std::string_view in = blob;
+  Timestamp horizon = 0;
+  std::uint64_t count = 0;
+  if (!codec::GetVarint64Signed(&in, &horizon) ||
+      !codec::GetVarint64(&in, &count)) {
+    return Status::Corruption("aggregate snapshot: truncated header");
+  }
+  std::map<std::pair<Timestamp, std::string>, Window> windows;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Timestamp start = 0;
+    std::string_view key;
+    Window window;
+    std::string_view acc;
+    if (!codec::GetVarint64Signed(&in, &start) ||
+        !codec::GetLengthPrefixed(&in, &key) ||
+        !codec::GetVarint64Signed(&in, &window.max_stimulus) ||
+        !codec::GetVarint64Signed(&in, &window.max_event_time) ||
+        !codec::GetLengthPrefixed(&in, &acc)) {
+      return Status::Corruption("aggregate snapshot: truncated window");
+    }
+    auto decoded = spec_.decode_acc(acc);
+    if (!decoded.ok()) return decoded.status();
+    window.accumulator = std::move(*decoded);
+    windows.emplace(std::make_pair(start, std::string(key)),
+                    std::move(window));
+  }
+  if (!in.empty()) {
+    return Status::Corruption("aggregate snapshot: trailing bytes");
+  }
+  windows_ = std::move(windows);
+  closed_horizon_ = horizon;
+  return Status::Ok();
 }
 
 // -------------------------------------------------------------------- Join
@@ -493,45 +687,108 @@ void JoinOperator::ProcessFrom(std::size_t side, Tuple tuple) {
 }
 
 void JoinOperator::Run() {
-  bool done[2] = {false, false};
+  BarrierAligner aligner(2);
   bool open = true;
-  while ((!done[0] || !done[1]) && open) {
+
+  auto ingest = [&](std::size_t side, TupleBatch batch) {
+    obs::SpanScope span = BatchSpan("spe.join", name(), batch);
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      if (batch[k].IsBarrier()) {
+        const std::uint64_t epoch = batch[k].barrier_epoch;
+        aligner.Arrive(side, epoch, SplitHeld(&batch, k + 1));
+        return;
+      }
+      ProcessFrom(side, std::move(batch[k]));
+    }
+    if (AllOutputsClosed()) open = false;
+  };
+  auto settle = [&] {
+    SettleBarriers(&aligner, 2, open, ingest,
+                   [&](std::uint64_t epoch) { CompleteBarrier(epoch); });
+  };
+
+  while (!aligner.AllDone() && open) {
     bool progressed = false;
     for (std::size_t side = 0; side < 2 && open; ++side) {
-      if (done[side]) continue;
-      while (auto batch = inputs_[side]->TryPopBatch(batch_size())) {
+      if (aligner.done(side) || aligner.blocked(side)) continue;
+      while (open && !aligner.blocked(side)) {
+        auto batch = inputs_[side]->TryPopBatch(batch_size());
+        if (!batch.has_value()) break;
         CountIn(batch->size());
-        obs::SpanScope span = BatchSpan("spe.join", name(), *batch);
-        for (Tuple& tuple : *batch) ProcessFrom(side, std::move(tuple));
+        ingest(side, std::move(*batch));
         progressed = true;
-        if (AllOutputsClosed()) {
-          open = false;
-          break;
-        }
       }
-      if (inputs_[side]->drained()) {
-        done[side] = true;
+      if (!aligner.blocked(side) && inputs_[side]->drained()) {
+        aligner.MarkDone(side);
         progressed = true;
       }
     }
-    if (!open) break;
+    settle();
+    if (!open || aligner.AllDone()) break;
     if (progressed) {
       MaybeFlush(/*input_idle=*/false);
       continue;
     }
     // Neither side had data: flush buffered output, then block briefly on
-    // whichever side is still live.
+    // a side that is still live and not parked behind a barrier.
     FlushEmit();
-    const std::size_t side = done[0] ? 1 : 0;
-    if (auto batch = inputs_[side]->PopBatchFor(kPollInterval, batch_size())) {
-      CountIn(batch->size());
-      obs::SpanScope span = BatchSpan("spe.join", name(), *batch);
-      for (Tuple& tuple : *batch) ProcessFrom(side, std::move(tuple));
-      if (AllOutputsClosed()) open = false;
+    for (std::size_t side = 0; side < 2; ++side) {
+      if (aligner.done(side) || aligner.blocked(side)) continue;
+      if (auto batch = inputs_[side]->PopBatchFor(kPollInterval, batch_size())) {
+        CountIn(batch->size());
+        ingest(side, std::move(*batch));
+        settle();
+      }
+      break;
     }
   }
   if (!open) CloseInputs();
   CloseOutputs();
+}
+
+Status JoinOperator::SnapshotState(std::uint64_t /*epoch*/, std::string* out) {
+  for (std::size_t side = 0; side < 2; ++side) {
+    codec::PutVarint64(out, buffers_[side].size());
+    for (const auto& [key, tuple] : buffers_[side]) {
+      codec::PutLengthPrefixed(out, key);
+      STRATA_RETURN_IF_ERROR(EncodeTupleSnapshot(tuple, out));
+    }
+  }
+  codec::PutVarint64Signed(out, max_time_[0]);
+  codec::PutVarint64Signed(out, max_time_[1]);
+  return Status::Ok();
+}
+
+Status JoinOperator::RestoreState(std::string_view blob) {
+  if (blob.empty()) return Status::Ok();
+  std::string_view in = blob;
+  std::vector<std::deque<std::pair<std::string, Tuple>>> buffers(2);
+  for (std::size_t side = 0; side < 2; ++side) {
+    std::uint64_t count = 0;
+    if (!codec::GetVarint64(&in, &count)) {
+      return Status::Corruption("join snapshot: truncated buffer count");
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::string_view key;
+      if (!codec::GetLengthPrefixed(&in, &key)) {
+        return Status::Corruption("join snapshot: truncated key");
+      }
+      Tuple tuple;
+      STRATA_RETURN_IF_ERROR(DecodeTupleSnapshot(&in, &tuple));
+      buffers[side].emplace_back(std::string(key), std::move(tuple));
+    }
+  }
+  Timestamp left_max = 0;
+  Timestamp right_max = 0;
+  if (!codec::GetVarint64Signed(&in, &left_max) ||
+      !codec::GetVarint64Signed(&in, &right_max)) {
+    return Status::Corruption("join snapshot: truncated watermarks");
+  }
+  if (!in.empty()) return Status::Corruption("join snapshot: trailing bytes");
+  buffers_ = std::move(buffers);
+  max_time_[0] = left_max;
+  max_time_[1] = right_max;
+  return Status::Ok();
 }
 
 }  // namespace strata::spe

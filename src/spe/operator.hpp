@@ -34,6 +34,15 @@
 
 namespace strata::spe {
 
+class Checkpointer;
+
+/// Optional per-operator state codec hooks for operators whose state lives
+/// outside the operator object (source positions, connector publisher
+/// sequence counters). Installed via Operator::SetStateHooks; the base
+/// SnapshotState/RestoreState delegate to them.
+using SnapshotFn = std::function<Status(std::uint64_t epoch, std::string* out)>;
+using RestoreFn = std::function<Status(std::string_view blob)>;
+
 struct OperatorStats {
   std::string name;
   /// Operator class ("source", "flatmap", "router", ...), so consumers can
@@ -83,6 +92,33 @@ class Operator {
     batch_size_ = policy.batch_size == 0 ? 1 : policy.batch_size;
     linger_us_ = policy.linger_us;
   }
+
+  /// Wire the query's checkpoint coordinator into this operator (Query::Start
+  /// when checkpointing is enabled; before the operator thread spawns).
+  /// Sources additionally poll it for pending epochs to inject barriers.
+  void SetCheckpointer(Checkpointer* checkpointer) {
+    checkpointer_ = checkpointer;
+  }
+
+  /// Install external state codec hooks (see SnapshotFn/RestoreFn). Must be
+  /// set before Query::Start / Query::Recover.
+  void SetStateHooks(SnapshotFn snapshot, RestoreFn restore) {
+    snapshot_hook_ = std::move(snapshot);
+    restore_hook_ = std::move(restore);
+  }
+
+  /// Serialize this operator's state for checkpoint `epoch` into *out
+  /// (called on the operator's own thread as a barrier drains past it).
+  /// The base implementation delegates to the snapshot hook when installed
+  /// and otherwise reports empty state — correct for stateless operators.
+  /// A returned error fails the epoch, never the query.
+  [[nodiscard]] virtual Status SnapshotState(std::uint64_t epoch,
+                                             std::string* out);
+
+  /// Restore state serialized by SnapshotState (called by Query::Recover
+  /// before any thread spawns). An empty blob always means "fresh state"
+  /// and is accepted without consulting the hook.
+  [[nodiscard]] virtual Status RestoreState(std::string_view blob);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] virtual const char* kind() const noexcept { return "operator"; }
@@ -188,11 +224,27 @@ class Operator {
   }
 
   /// Flushes any buffered tuples, then closes every output (close-then-drain:
-  /// downstream consumers still drain what was flushed).
+  /// downstream consumers still drain what was flushed). Also tells the
+  /// checkpointer this operator is finished: every Run() body ends with
+  /// exactly one CloseOutputs, so in-flight and future epochs stop waiting
+  /// for it.
   void CloseOutputs() {
     FlushEmit();
     for (const auto& out : outputs_) out->Close();
+    NotifyFinished();
   }
+
+  /// A barrier for `epoch` has drained past this operator: flush the emit
+  /// buffers (no partial batch may straddle an epoch), snapshot state,
+  /// report to the checkpointer, and forward the barrier to every open
+  /// output. No-op data-plane-wise when no checkpointer is wired (the
+  /// barrier is still forwarded so downstream operators see it).
+  void CompleteBarrier(std::uint64_t epoch);
+
+  /// Broadcast Tuple::Barrier(epoch) to every open output — including all
+  /// of a Router's outputs, since each parallel instance must observe every
+  /// barrier. Bypasses the emit buffers (CompleteBarrier flushed them).
+  void ForwardBarrier(std::uint64_t epoch);
 
   void CountIn() { in_count_.fetch_add(1, std::memory_order_relaxed); }
   void CountIn(std::size_t n) {
@@ -223,11 +275,16 @@ class Operator {
   [[nodiscard]] std::size_t batch_size() const noexcept { return batch_size_; }
   [[nodiscard]] std::int64_t linger_us() const noexcept { return linger_us_; }
 
+  [[nodiscard]] Checkpointer* checkpointer() const noexcept {
+    return checkpointer_;
+  }
+
   std::vector<StreamPtr> inputs_;
   std::vector<StreamPtr> outputs_;
 
  private:
   void LogUserError(const char* what);
+  void NotifyFinished();
 
   void EnsureEmitState() {
     if (emit_ready_) return;
@@ -271,6 +328,9 @@ class Operator {
 
   std::string name_;
   const Clock* clock_;
+  Checkpointer* checkpointer_ = nullptr;
+  SnapshotFn snapshot_hook_;
+  RestoreFn restore_hook_;
   std::atomic<bool> stop_requested_{false};
   std::atomic<std::uint64_t> in_count_{0};
   std::atomic<std::uint64_t> out_count_{0};
@@ -287,6 +347,76 @@ class Operator {
   std::vector<Timestamp> buffered_since_;  ///< Now() when buffer became non-empty
   std::vector<char> output_closed_;        ///< sticky per-output closed flags
   std::size_t open_outputs_ = 0;
+};
+
+/// Aligns epoch barriers across a multi-input operator's inputs (the
+/// Chandy–Lamport / Flink alignment rule): an input that delivered its
+/// barrier is *blocked* — the operator must not consume from it, and tuples
+/// already drained behind the barrier are held here — until every other
+/// live input delivers the same epoch, so the snapshot taken at completion
+/// is a consistent cut. Single-threaded: lives on the operator's stack.
+///
+/// Epoch skew (a slow source skipped a timed-out epoch, so inputs deliver
+/// different epoch numbers) resolves toward the highest epoch: lower-epoch
+/// inputs are unblocked to catch up, and the skipped epoch — which can
+/// never complete — is left to the coordinator's timeout.
+class BarrierAligner {
+ public:
+  explicit BarrierAligner(std::size_t inputs)
+      : pending_(inputs, 0), held_(inputs), done_(inputs, 0) {}
+
+  /// Input `i` delivered a barrier for `epoch`; `held` is whatever followed
+  /// the barrier in the same drained batch (replayed after alignment).
+  void Arrive(std::size_t i, std::uint64_t epoch, TupleBatch held) {
+    pending_[i] = epoch;
+    held_[i] = std::move(held);
+  }
+
+  /// Input `i` closed and fully drained: it no longer gates alignment.
+  void MarkDone(std::size_t i) { done_[i] = 1; }
+
+  [[nodiscard]] bool blocked(std::size_t i) const { return pending_[i] != 0; }
+  [[nodiscard]] bool done(std::size_t i) const { return done_[i] != 0; }
+  [[nodiscard]] bool AllDone() const {
+    for (const char d : done_) {
+      if (d == 0) return false;
+    }
+    return true;
+  }
+
+  /// Takes (and clears) the tuples held behind input `i`'s barrier. Call
+  /// only while the input is unblocked, before polling its stream again.
+  [[nodiscard]] TupleBatch TakeHeld(std::size_t i) {
+    TupleBatch out = std::move(held_[i]);
+    held_[i] = TupleBatch{};
+    return out;
+  }
+
+  /// When every live input has a pending barrier: all equal -> clears them
+  /// and returns the epoch (snapshot now); skewed -> unblocks the
+  /// lower-epoch inputs so they can catch up and returns 0. Returns 0 while
+  /// any live input has yet to deliver, or when no live inputs remain.
+  [[nodiscard]] std::uint64_t TryComplete() {
+    std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t hi = 0;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (done_[i] != 0) continue;
+      if (pending_[i] == 0) return 0;
+      lo = std::min(lo, pending_[i]);
+      hi = std::max(hi, pending_[i]);
+    }
+    if (hi == 0) return 0;  // no live inputs
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (done_[i] != 0) continue;
+      if (lo == hi || pending_[i] < hi) pending_[i] = 0;
+    }
+    return lo == hi ? hi : 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> pending_;  ///< delivered epoch; 0 = none
+  std::vector<TupleBatch> held_;        ///< tuples parked behind the barrier
+  std::vector<char> done_;
 };
 
 // --------------------------------------------------------------- stateless
@@ -307,9 +437,13 @@ class SourceOperator final : public Operator {
  private:
   void RunTupleLoop();
   void RunBatchLoop();
+  /// Polled between produce calls: when the checkpointer published a new
+  /// pending epoch, snapshot (via the state hooks) and inject the barrier.
+  void MaybeInjectBarrier();
 
   SourceFn fn_;
   BatchSourceFn batch_fn_;
+  std::uint64_t last_injected_epoch_ = 0;
 };
 
 class FlatMapOperator final : public Operator {
@@ -403,6 +537,14 @@ class AggregateOperator final : public Operator {
   AggregateOperator(std::string name, const Clock* clock, AggregateSpec spec);
   void Run() override;
 
+  /// Serializes every open window (accumulators via spec_.encode_acc) plus
+  /// the closed horizon. Fails — failing the epoch, not the query — when the
+  /// spec lacks the accumulator codec pair. Window trace context is
+  /// transient and not preserved.
+  [[nodiscard]] Status SnapshotState(std::uint64_t epoch,
+                                     std::string* out) override;
+  [[nodiscard]] Status RestoreState(std::string_view blob) override;
+
  private:
   struct Window {
     std::any accumulator;
@@ -442,6 +584,12 @@ class JoinOperator final : public Operator {
   }
   JoinOperator(std::string name, const Clock* clock, JoinSpec spec);
   void Run() override;
+
+  /// Serializes both side buffers (scalar payloads only — opaque payloads
+  /// fail the epoch) and the per-side watermarks.
+  [[nodiscard]] Status SnapshotState(std::uint64_t epoch,
+                                     std::string* out) override;
+  [[nodiscard]] Status RestoreState(std::string_view blob) override;
 
  private:
   void ProcessFrom(std::size_t side, Tuple tuple);

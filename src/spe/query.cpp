@@ -173,16 +173,72 @@ SinkOperator* Query::AddSink(const std::string& name, StreamPtr in,
   return op;
 }
 
+void Query::EnableCheckpointing(CheckpointStore* store,
+                                CheckpointerOptions options) {
+  if (started_) {
+    throw std::logic_error("Query: EnableCheckpointing after Start");
+  }
+  checkpointer_ = std::make_unique<Checkpointer>(store, options);
+}
+
+Status Query::Recover() {
+  if (started_) throw std::logic_error("Query: Recover after Start");
+  if (!checkpointer_) {
+    throw std::logic_error("Query: Recover without EnableCheckpointing");
+  }
+  auto manifest = checkpointer_->LoadLatest();
+  if (!manifest.ok()) {
+    if (manifest.status().IsNotFound()) return Status::Ok();  // fresh start
+    return manifest.status();
+  }
+  std::lock_guard lock(build_mu_);
+  for (const OperatorSnapshot& snapshot : manifest->operators) {
+    Operator* op = nullptr;
+    for (const auto& candidate : operators_) {
+      if (candidate->name() == snapshot.name) {
+        op = candidate.get();
+        break;
+      }
+    }
+    if (op == nullptr) {
+      LOG_WARN << "checkpoint epoch " << manifest->epoch
+               << ": no operator named '" << snapshot.name
+               << "' in the rebuilt query; its state is dropped";
+      continue;
+    }
+    STRATA_RETURN_IF_ERROR(op->RestoreState(snapshot.blob));
+  }
+  checkpointer_->SetBaseEpoch(manifest->epoch);
+  recovered_epoch_ = manifest->epoch;
+  LOG_INFO << "query recovered from checkpoint epoch " << manifest->epoch;
+  return Status::Ok();
+}
+
+Operator* Query::FindOperator(const std::string& name) {
+  std::lock_guard lock(build_mu_);
+  for (const auto& op : operators_) {
+    if (op->name() == name) return op.get();
+  }
+  return nullptr;
+}
+
 void Query::Start() {
   if (started_) throw std::logic_error("Query: already started");
   started_ = true;
   const BatchPolicy policy{options_.batch_size, options_.batch_linger_us};
   for (auto& op : operators_) op->ConfigureBatching(policy);
+  if (checkpointer_) {
+    for (auto& op : operators_) {
+      checkpointer_->RegisterOperator(op->name());  // throws on duplicates
+      op->SetCheckpointer(checkpointer_.get());
+    }
+  }
   if (options_.enable_spsc) EnableSpscFastPaths();
   threads_.reserve(operators_.size());
   for (auto& op : operators_) {
     threads_.emplace_back([raw = op.get()] { raw->Run(); });
   }
+  if (checkpointer_) checkpointer_->Start();
 }
 
 void Query::EnableSpscFastPaths() {
@@ -225,6 +281,7 @@ void Query::Join() {
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
+  if (checkpointer_) checkpointer_->Stop();
   joined_ = true;
 }
 
@@ -297,6 +354,20 @@ void Query::BindMetrics(obs::MetricsRegistry* registry) {
         snap->AddHistogram("spe.stream.batch_size", labels,
                            batch_sizes.Boxplot());
       }
+    }
+    if (checkpointer_) {
+      const Checkpointer::Stats cs = checkpointer_->stats();
+      snap->AddCounter("spe.checkpoint.epochs", {}, cs.epochs_completed);
+      snap->AddCounter("spe.checkpoint.failures", {}, cs.epochs_failed);
+      snap->AddCounter("spe.checkpoint.bytes", {}, cs.bytes_persisted);
+      snap->AddGauge("spe.checkpoint.duration_us", {}, cs.last_duration_us);
+      snap->AddGauge("spe.checkpoint.last_epoch", {},
+                     static_cast<std::int64_t>(cs.last_completed_epoch));
+      snap->AddGauge("spe.checkpoint.age_us", {}, cs.last_completed_age_us);
+      snap->AddGauge(
+          "spe.checkpoint.consecutive_failures", {},
+          static_cast<std::int64_t>(cs.consecutive_failures));
+      snap->AddGauge("spe.checkpoint.degraded", {}, cs.degraded ? 1 : 0);
     }
   });
 }

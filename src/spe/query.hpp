@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "spe/checkpoint.hpp"
 #include "spe/operator.hpp"
 
 namespace strata::spe {
@@ -81,6 +82,37 @@ class Query {
   /// histogram; the Query keeps ownership.
   SinkOperator* AddSink(const std::string& name, StreamPtr in, SinkFn fn);
 
+  // ----- checkpointing (call before Start) -----
+
+  /// Enable epoch-barrier checkpointing against `store` (caller keeps
+  /// ownership; must outlive the query). Start() then registers every
+  /// operator with the coordinator — which requires operator names to be
+  /// unique — and runs the epoch timer for the life of the query.
+  void EnableCheckpointing(CheckpointStore* store,
+                           CheckpointerOptions options = {});
+
+  /// Restore the latest complete checkpoint into the rebuilt DAG: each
+  /// manifest blob is matched to an operator by name and fed to its
+  /// RestoreState; blobs naming operators absent from this build are warned
+  /// about and dropped. NotFound in the store (no checkpoint yet) is a
+  /// normal fresh start, not an error. Epoch numbering resumes after the
+  /// recovered epoch. Call after building the DAG, before Start().
+  [[nodiscard]] Status Recover();
+
+  /// Epoch restored by the last successful Recover(); 0 = fresh start.
+  [[nodiscard]] std::uint64_t recovered_epoch() const noexcept {
+    return recovered_epoch_;
+  }
+
+  /// The operator registered under `name`, or nullptr. Used by the strata
+  /// facade (and tests) to install state hooks on connector endpoints.
+  [[nodiscard]] Operator* FindOperator(const std::string& name);
+
+  /// The checkpoint coordinator, or nullptr when checkpointing is off.
+  [[nodiscard]] Checkpointer* checkpointer() noexcept {
+    return checkpointer_.get();
+  }
+
   // ----- lifecycle -----
 
   void Start();
@@ -127,6 +159,8 @@ class Query {
   std::vector<StreamPtr> streams_;
   std::unordered_set<Stream*> consumed_;
   std::vector<std::thread> threads_;
+  std::unique_ptr<Checkpointer> checkpointer_;
+  std::uint64_t recovered_epoch_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::MetricsRegistry::CallbackId metrics_callback_ = 0;
   bool started_ = false;

@@ -35,13 +35,32 @@ struct Tuple {
   // batches are re-formed at every queue hop while tuples survive them; a
   // batch's trace is the context of its first sampled tuple (obs/trace.hpp).
   TraceContext trace;
+  /// Non-zero marks this tuple as an epoch-barrier marker (Chandy–Lamport /
+  /// Flink style): it carries no data, flows through the data plane like any
+  /// other tuple (both the MPMC queue and the SPSC ring transport it), and
+  /// triggers a state snapshot as it drains past each operator. Zero — the
+  /// default and the only value data tuples ever carry — costs one branch
+  /// per tuple in the operator loops.
+  std::uint64_t barrier_epoch = 0;
   Payload payload;
+
+  [[nodiscard]] bool IsBarrier() const noexcept { return barrier_epoch != 0; }
+
+  /// A barrier marker for checkpoint epoch `epoch` (must be >= 1).
+  [[nodiscard]] static Tuple Barrier(std::uint64_t epoch) {
+    Tuple t;
+    t.barrier_epoch = epoch;
+    return t;
+  }
 
   [[nodiscard]] std::size_t ApproxBytes() const noexcept {
     return sizeof(Tuple) + payload.ApproxBytes();
   }
 
   [[nodiscard]] std::string ToString() const {
+    if (IsBarrier()) {
+      return "<barrier epoch=" + std::to_string(barrier_epoch) + ">";
+    }
     std::string out = "<t=" + std::to_string(event_time);
     out += " job=" + std::to_string(job);
     out += " layer=" + std::to_string(layer);

@@ -1,0 +1,82 @@
+#include "strata/checkpoint_store.hpp"
+
+#include <charconv>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace strata::core {
+
+namespace {
+
+/// How many committed epochs survive garbage collection.
+constexpr std::size_t kKeepEpochs = 2;
+
+}  // namespace
+
+KvCheckpointStore::KvCheckpointStore(kv::DB* db, std::string prefix)
+    : db_(db), prefix_(std::move(prefix)) {
+  if (db_ == nullptr) {
+    throw std::invalid_argument("KvCheckpointStore: null db");
+  }
+}
+
+std::string KvCheckpointStore::EpochKey(std::uint64_t epoch) const {
+  // Zero-padded so iteration order over the key prefix is epoch order.
+  std::string digits = std::to_string(epoch);
+  return prefix_ + "epoch/" + std::string(20 - digits.size(), '0') + digits;
+}
+
+Status KvCheckpointStore::Put(std::uint64_t epoch, std::string blob) {
+  return db_->Put(EpochKey(epoch), blob);
+}
+
+Status KvCheckpointStore::Commit(std::uint64_t epoch) {
+  STRATA_RETURN_IF_ERROR(db_->Put(prefix_ + "latest", std::to_string(epoch)));
+
+  // GC: keep the newest kKeepEpochs manifests at or below the committed
+  // epoch. A GC failure is not a checkpoint failure — the commit already
+  // landed; stale manifests only cost space.
+  std::vector<std::string> stale;
+  const std::string epoch_prefix = prefix_ + "epoch/";
+  auto it = db_->NewIterator();
+  std::vector<std::string> kept;
+  for (it->Seek(epoch_prefix); it->Valid(); it->Next()) {
+    const std::string_view key = it->key();
+    if (key.substr(0, epoch_prefix.size()) != epoch_prefix) break;
+    std::uint64_t found = 0;
+    const std::string_view digits = key.substr(epoch_prefix.size());
+    std::from_chars(digits.data(), digits.data() + digits.size(), found);
+    if (found <= epoch) kept.emplace_back(key);
+  }
+  while (kept.size() > kKeepEpochs) {
+    stale.push_back(std::move(kept.front()));
+    kept.erase(kept.begin());
+  }
+  for (const std::string& key : stale) {
+    if (Status s = db_->Delete(key); !s.ok()) {
+      LOG_WARN << "checkpoint gc failed for " << key << ": " << s.ToString();
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::uint64_t> KvCheckpointStore::LatestEpoch() {
+  auto latest = db_->Get(prefix_ + "latest");
+  if (!latest.ok()) return latest.status();  // NotFound on a fresh store
+  std::uint64_t epoch = 0;
+  const auto [ptr, ec] = std::from_chars(
+      latest->data(), latest->data() + latest->size(), epoch);
+  if (ec != std::errc() || ptr != latest->data() + latest->size() ||
+      epoch == 0) {
+    return Status::Corruption("checkpoint latest pointer unparsable: " +
+                              *latest);
+  }
+  return epoch;
+}
+
+Result<std::string> KvCheckpointStore::Get(std::uint64_t epoch) {
+  return db_->Get(EpochKey(epoch));
+}
+
+}  // namespace strata::core

@@ -1,0 +1,38 @@
+// Durable checkpoint store on top of the kv substrate.
+//
+// Manifests land under "<prefix>epoch/<epoch>" and the latest-complete
+// pointer under "<prefix>latest". Both writes ride the kv WAL, so the
+// write-then-commit discipline of spe::CheckpointStore holds across crashes:
+// a manifest whose pointer write never landed is invisible to recovery, and
+// the previous committed epoch remains the recovery point. Commit also
+// garbage-collects manifests older than the last two committed epochs (the
+// newly committed one plus one predecessor as a fallback against a corrupt
+// read).
+#pragma once
+
+#include <string>
+
+#include "kvstore/db.hpp"
+#include "spe/checkpoint.hpp"
+
+namespace strata::core {
+
+class KvCheckpointStore final : public spe::CheckpointStore {
+ public:
+  /// `db` must outlive the store. `prefix` namespaces the checkpoint keys so
+  /// the store can share a DB with application data.
+  explicit KvCheckpointStore(kv::DB* db, std::string prefix = "ckpt/");
+
+  [[nodiscard]] Status Put(std::uint64_t epoch, std::string blob) override;
+  [[nodiscard]] Status Commit(std::uint64_t epoch) override;
+  [[nodiscard]] Result<std::uint64_t> LatestEpoch() override;
+  [[nodiscard]] Result<std::string> Get(std::uint64_t epoch) override;
+
+ private:
+  [[nodiscard]] std::string EpochKey(std::uint64_t epoch) const;
+
+  kv::DB* db_;
+  std::string prefix_;
+};
+
+}  // namespace strata::core

@@ -1,5 +1,8 @@
 #include "strata/connector.hpp"
 
+#include <algorithm>
+
+#include "common/codec.hpp"
 #include "common/logging.hpp"
 #include "obs/trace.hpp"
 #include "strata/api.hpp"
@@ -13,11 +16,17 @@ constexpr auto kPollTimeout = std::chrono::microseconds(2000);
 spe::SinkFn ConnectorPublisher::AsSinkFn() {
   return [this](const spe::Tuple& tuple) {
     std::string encoded;
-    if (Status s = EncodeTuple(tuple, &encoded); !s.ok()) {
+    Status encoded_status =
+        tagging_
+            ? EncodeTaggedTuple(TransportTag{epoch_, seq_ + 1}, tuple,
+                                &encoded)
+            : EncodeTuple(tuple, &encoded);
+    if (Status s = encoded_status; !s.ok()) {
       LOG_ERROR << "connector publish encode failed on topic " << topic_
                 << ": " << s.ToString();
       return;
     }
+    if (tagging_) ++seq_;
     // Produce-hop span for sampled tuples; while live it also sets the
     // thread's trace slot, so a remote producer tags the wire frame with the
     // same trace. Parent under the enclosing sink span when there is one.
@@ -46,6 +55,32 @@ std::function<void()> ConnectorPublisher::AsFinishHook() {
     std::string encoded;
     if (Status s = EncodeTuple(eos, &encoded); !s.ok()) return;
     (void)producer_->Send(topic_, "", std::move(encoded), 0);
+  };
+}
+
+spe::SnapshotFn ConnectorPublisher::AsSnapshotFn() {
+  return [this](std::uint64_t epoch, std::string* out) {
+    epoch_ = epoch;  // records published after this barrier carry `epoch`
+    codec::PutVarint64(out, epoch_);
+    codec::PutVarint64(out, seq_);
+    return Status::Ok();
+  };
+}
+
+spe::RestoreFn ConnectorPublisher::AsRestoreFn() {
+  return [this](std::string_view blob) {
+    std::uint64_t epoch = 0;
+    std::uint64_t seq = 0;
+    if (!codec::GetVarint64(&blob, &epoch) ||
+        !codec::GetVarint64(&blob, &seq) || !blob.empty()) {
+      return Status::Corruption("publisher snapshot unparsable for topic " +
+                                topic_);
+    }
+    // Replayed tuples are re-tagged with the sequence numbers they carried
+    // before the crash, which is what lets subscribers drop them.
+    epoch_ = epoch;
+    seq_ = seq;
+    return Status::Ok();
   };
 }
 
@@ -103,19 +138,37 @@ bool ConnectorSubscriber::FillBuffer() {
     }
     TraceContext sampled;  // first sampled tuple this poll delivered
     for (const ps::ConsumedRecord& record : *batch) {
-      auto tuple = DecodeTuple(record.value);
+      TransportTag tag;
+      auto tuple = DecodeMaybeTagged(record.value, &tag);
       if (!tuple.ok()) {
         LOG_ERROR << "connector decode failed: " << tuple.status().ToString();
         continue;
       }
+      poll_next_[record.partition] = record.offset + 1;
       if (tuple->payload.Has(kEosKey)) {
         eos_seen_ = true;
         continue;  // sentinel is not delivered downstream
       }
+      if (tag.seq != 0) {
+        // Tagged record: sequence numbers are monotonic within a partition
+        // (per-key ordering), so anything at or below the floor is a replay
+        // of a record already seen before the publisher recovered.
+        std::uint64_t& floor = seen_floor_[record.partition];
+        if (tag.seq <= floor) {
+          duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        floor = tag.seq;
+      }
       if (!sampled.sampled() && tuple->trace.sampled()) {
         sampled = tuple->trace;
       }
-      buffered_.push_back(std::move(tuple).value());
+      Buffered entry;
+      entry.tuple = std::move(tuple).value();
+      entry.partition = record.partition;
+      entry.offset = record.offset;
+      entry.seq = tag.seq;
+      buffered_.push_back(std::move(entry));
     }
     if (poll_t0 != 0 && sampled.sampled()) {
       // Fetch-hop span: dur covers the poll. Broker + wire transit time is
@@ -137,19 +190,89 @@ bool ConnectorSubscriber::FillBuffer() {
   return true;
 }
 
+void ConnectorSubscriber::NoteDelivered(const Buffered& entry) {
+  if (entry.seq == 0) return;
+  std::uint64_t& floor = deliv_floor_[entry.partition];
+  floor = std::max(floor, entry.seq);
+}
+
 std::optional<spe::Tuple> ConnectorSubscriber::Next() {
   if (!FillBuffer()) return std::nullopt;
-  spe::Tuple tuple = std::move(buffered_.front());
+  Buffered entry = std::move(buffered_.front());
   buffered_.pop_front();
-  return tuple;
+  NoteDelivered(entry);
+  return std::move(entry.tuple);
 }
 
 std::optional<spe::TupleBatch> ConnectorSubscriber::NextBatch() {
   if (!FillBuffer()) return std::nullopt;
-  spe::TupleBatch out(std::make_move_iterator(buffered_.begin()),
-                      std::make_move_iterator(buffered_.end()));
+  spe::TupleBatch out;
+  out.reserve(buffered_.size());
+  for (Buffered& entry : buffered_) {
+    NoteDelivered(entry);
+    out.push_back(std::move(entry.tuple));
+  }
   buffered_.clear();
   return out;
+}
+
+spe::SnapshotFn ConnectorSubscriber::AsSnapshotFn() {
+  return [this](std::uint64_t, std::string* out) {
+    // Replay cursor per partition: the first buffered-but-undelivered
+    // offset, else the next un-polled one. Tuples already delivered into the
+    // SPE are covered by downstream snapshots of the same epoch; everything
+    // at or after the cursor is re-polled on recovery.
+    std::map<int, std::int64_t> resume = poll_next_;
+    for (const Buffered& entry : buffered_) {
+      std::int64_t& offset = resume[entry.partition];
+      offset = std::min(offset, entry.offset);
+    }
+    codec::PutVarint64(out, resume.size());
+    for (const auto& [partition, offset] : resume) {
+      codec::PutVarint64(out, static_cast<std::uint64_t>(partition));
+      codec::PutVarint64Signed(out, offset);
+      const auto floor = deliv_floor_.find(partition);
+      codec::PutVarint64(out,
+                         floor == deliv_floor_.end() ? 0 : floor->second);
+    }
+    return Status::Ok();
+  };
+}
+
+spe::RestoreFn ConnectorSubscriber::AsRestoreFn() {
+  return [this](std::string_view blob) {
+    std::uint64_t count = 0;
+    if (!codec::GetVarint64(&blob, &count)) {
+      return Status::Corruption("subscriber snapshot unparsable for topic " +
+                                topic_);
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint64_t partition = 0;
+      std::int64_t offset = 0;
+      std::uint64_t floor = 0;
+      if (!codec::GetVarint64(&blob, &partition) ||
+          !codec::GetVarint64Signed(&blob, &offset) ||
+          !codec::GetVarint64(&blob, &floor)) {
+        return Status::Corruption(
+            "subscriber snapshot truncated for topic " + topic_);
+      }
+      // Strict seek: a cursor that fell below the retention horizon (or past
+      // the end after a broker tail loss) is surfaced, never healed —
+      // silently skipping data would break the recovery guarantee.
+      STRATA_RETURN_IF_ERROR(
+          consumer_->Seek(topic_, static_cast<int>(partition), offset));
+      poll_next_[static_cast<int>(partition)] = offset;
+      seen_floor_[static_cast<int>(partition)] = floor;
+      deliv_floor_[static_cast<int>(partition)] = floor;
+    }
+    if (!blob.empty()) {
+      return Status::Corruption("subscriber snapshot trailing bytes for " +
+                                topic_);
+    }
+    buffered_.clear();
+    eos_seen_ = false;
+    return Status::Ok();
+  };
 }
 
 }  // namespace strata::core

@@ -12,13 +12,16 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 
 #include "pubsub/client.hpp"
 #include "pubsub/consumer.hpp"
 #include "pubsub/producer.hpp"
 #include "spe/functions.hpp"
+#include "spe/operator.hpp"
 #include "strata/transport.hpp"
 
 namespace strata::core {
@@ -43,13 +46,30 @@ class ConnectorPublisher {
 
   /// SinkFn publishing each tuple.
   [[nodiscard]] spe::SinkFn AsSinkFn();
-  /// Finish hook publishing the EOS sentinel.
+  /// Finish hook publishing the EOS sentinel (always untagged).
   [[nodiscard]] std::function<void()> AsFinishHook();
+
+  /// Tag every published record with (epoch, seq) for effectively-once
+  /// consumption (checkpointing deployments). Call before the query starts.
+  void EnableTagging() { tagging_ = true; }
+
+  /// Checkpoint hooks for the publishing sink operator: the snapshot records
+  /// the sequence counter at the epoch boundary, so a recovered publisher
+  /// re-tags replayed tuples with their original sequence numbers and
+  /// subscribers drop them as duplicates.
+  [[nodiscard]] spe::SnapshotFn AsSnapshotFn();
+  [[nodiscard]] spe::RestoreFn AsRestoreFn();
 
  private:
   std::unique_ptr<ps::ProducerClient> producer_;
   std::string topic_;
   PartitionKeyFn key_fn_;
+  bool tagging_ = false;
+  // Tag state. Touched only on the sink operator's thread: the SinkFn and
+  // the snapshot hook both run there, and the restore hook runs before the
+  // query starts.
+  std::uint64_t epoch_ = 0;
+  std::uint64_t seq_ = 0;  ///< last assigned sequence number (first tag is 1)
 };
 
 class ConnectorSubscriber {
@@ -73,7 +93,29 @@ class ConnectorSubscriber {
 
   void Stop() { stopped_.store(true, std::memory_order_release); }
 
+  /// Checkpoint hooks for the subscribing source operator. The snapshot is
+  /// the per-partition replay cursor (the offset of the first record not yet
+  /// delivered into the SPE) plus the per-partition delivered sequence
+  /// floor. Restore seeks the consumer back to those offsets — a truncated
+  /// offset surfaces the broker's OutOfRange instead of silently skipping
+  /// data — and re-seeds the floors so replayed records dedupe.
+  [[nodiscard]] spe::SnapshotFn AsSnapshotFn();
+  [[nodiscard]] spe::RestoreFn AsRestoreFn();
+
+  /// Tagged records dropped as already-delivered duplicates (replay).
+  [[nodiscard]] std::uint64_t duplicates_dropped() const noexcept {
+    return duplicates_dropped_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// One polled record awaiting delivery into the SPE.
+  struct Buffered {
+    spe::Tuple tuple;
+    int partition = 0;
+    std::int64_t offset = 0;
+    std::uint64_t seq = 0;  ///< 0 = untagged
+  };
+
   ConnectorSubscriber(std::unique_ptr<ps::ConsumerClient> consumer,
                       std::string topic)
       : consumer_(std::move(consumer)), topic_(std::move(topic)) {}
@@ -82,12 +124,19 @@ class ConnectorSubscriber {
   [[nodiscard]] bool FillBuffer();
   [[nodiscard]] std::optional<spe::Tuple> Next();
   [[nodiscard]] std::optional<spe::TupleBatch> NextBatch();
+  void NoteDelivered(const Buffered& entry);
 
   std::unique_ptr<ps::ConsumerClient> consumer_;
   std::string topic_;  ///< span naming only
-  std::deque<spe::Tuple> buffered_;
+  std::deque<Buffered> buffered_;
   std::atomic<bool> stopped_{false};
   bool eos_seen_ = false;
+  // Replay/dedupe state, touched only on the source operator's thread (the
+  // restore hook runs before the query starts).
+  std::map<int, std::int64_t> poll_next_;     ///< next un-polled offset
+  std::map<int, std::uint64_t> seen_floor_;   ///< max seq polled (dedupe gate)
+  std::map<int, std::uint64_t> deliv_floor_;  ///< max seq delivered to SPE
+  std::atomic<std::uint64_t> duplicates_dropped_{0};
 };
 
 }  // namespace strata::core

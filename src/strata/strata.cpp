@@ -1,5 +1,6 @@
 #include "strata/strata.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -56,6 +57,20 @@ Strata::Strata(StrataOptions options) : options_(std::move(options)) {
     client_ = std::make_unique<ps::EmbeddedBrokerClient>(broker_.get());
   }
   query_ = std::make_unique<spe::Query>(options_.query);
+
+  if (options_.checkpoint_interval_ms > 0) {
+    kv::DB* checkpoint_db = kv_.get();
+    if (!options_.checkpoint_path.empty()) {
+      auto ckpt = kv::DB::Open(options_.checkpoint_path, {});
+      ckpt.status().OrDie();
+      checkpoint_db_ = std::move(ckpt).value();
+      checkpoint_db = checkpoint_db_.get();
+    }
+    checkpoint_store_ = std::make_unique<KvCheckpointStore>(checkpoint_db);
+    spe::CheckpointerOptions checkpoint_options;
+    checkpoint_options.interval_ms = options_.checkpoint_interval_ms;
+    query_->EnableCheckpointing(checkpoint_store_.get(), checkpoint_options);
+  }
 
   kv_->BindMetrics(&registry_);
   broker_->BindMetrics(&registry_);
@@ -278,6 +293,10 @@ spe::SinkOperator* Strata::PublishTo(const std::string& topic,
   spe::SinkOperator* sink =
       query_->AddSink(topic + ".pub", std::move(in), publisher->AsSinkFn());
   sink->SetFinishHook(publisher->AsFinishHook());
+  if (options_.checkpoint_interval_ms > 0) {
+    publisher->EnableTagging();
+    sink->SetStateHooks(publisher->AsSnapshotFn(), publisher->AsRestoreFn());
+  }
   publishers_.push_back(std::move(publisher));
   return sink;
 }
@@ -292,8 +311,14 @@ spe::StreamPtr Strata::SubscribeTo(const std::string& topic) {
   subscriber.status().OrDie();
   subscribers_.push_back(*subscriber);
   // Batch source: each broker poll enters the SPE as one data-plane batch.
-  return query_->AddBatchSource(topic + ".sub",
-                                (*subscriber)->AsBatchSourceFn());
+  spe::StreamPtr out = query_->AddBatchSource(topic + ".sub",
+                                              (*subscriber)->AsBatchSourceFn());
+  if (options_.checkpoint_interval_ms > 0) {
+    spe::Operator* source = query_->FindOperator(topic + ".sub");
+    source->SetStateHooks((*subscriber)->AsSnapshotFn(),
+                          (*subscriber)->AsRestoreFn());
+  }
+  return out;
 }
 
 spe::StreamPtr Strata::ThroughConnector(const std::string& topic,
@@ -483,6 +508,40 @@ spe::SinkOperator* Strata::Deliver(const std::string& name, spe::StreamPtr in,
   return query_->AddSink(name, std::move(in), std::move(fn));
 }
 
+spe::SinkOperator* Strata::DeliverDurable(
+    const std::string& name, spe::StreamPtr in, std::string key_prefix,
+    std::function<std::string(const spe::Tuple&)> key_fn) {
+  if (!key_fn) throw std::invalid_argument("DeliverDurable: null key_fn");
+  auto duplicates = std::make_shared<std::atomic<std::uint64_t>>(0);
+  registry_.RegisterCallback([name, duplicates](obs::MetricsSnapshot* s) {
+    s->AddCounter("strata.deliver_durable.duplicates", {{"sink", name}},
+                  duplicates->load(std::memory_order_relaxed));
+  });
+  kv::DB* db = kv_.get();
+  spe::SinkFn fn = [db, prefix = std::move(key_prefix),
+                    key_fn = std::move(key_fn),
+                    duplicates](const spe::Tuple& tuple) {
+    const std::string key = prefix + key_fn(tuple);
+    // Existence check before write: a replayed tuple maps to the same key,
+    // so the first delivery wins and the replay is a counted no-op.
+    if (db->Get(key).ok()) {
+      duplicates->fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::string encoded;
+    if (Status s = EncodeTuple(tuple, &encoded); !s.ok()) {
+      LOG_ERROR << "DeliverDurable encode failed for " << key << ": "
+                << s.ToString();
+      return;
+    }
+    if (Status s = db->Put(key, encoded); !s.ok()) {
+      LOG_ERROR << "DeliverDurable write failed for " << key << ": "
+                << s.ToString();
+    }
+  };
+  return query_->AddSink(name, std::move(in), std::move(fn));
+}
+
 std::vector<spe::StreamPtr> Strata::Split(const std::string& name,
                                           spe::StreamPtr in, int n) {
   return query_->AddSplit(name, std::move(in), n);
@@ -491,6 +550,12 @@ std::vector<spe::StreamPtr> Strata::Split(const std::string& name,
 void Strata::Deploy() {
   if (deployed_) throw std::logic_error("Strata: already deployed");
   deployed_ = true;
+  // Recovery before start: restore operator state and seek the connector
+  // subscribers back to their replay cursors while the DAG is still quiet.
+  // A fresh store is a clean no-op; an unrecoverable checkpoint (manifest
+  // corrupt, replay offsets truncated away) dies loudly rather than silently
+  // dropping the build's history.
+  if (options_.checkpoint_interval_ms > 0) query_->Recover().OrDie();
   query_->Start();
 }
 

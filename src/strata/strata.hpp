@@ -38,6 +38,7 @@
 #include "pubsub/client.hpp"
 #include "spe/query.hpp"
 #include "strata/api.hpp"
+#include "strata/checkpoint_store.hpp"
 #include "strata/connector.hpp"
 
 namespace strata::core {
@@ -73,6 +74,18 @@ struct StrataOptions {
   /// different long-poll waiter lists. Raise for many-partition pipelines
   /// serving many networked consumers; 0 keeps the broker default.
   std::size_t broker_shards = 0;
+  /// Epoch-barrier checkpoint cadence for the deployed query, in
+  /// milliseconds; 0 disables checkpointing. When enabled, Deploy() first
+  /// recovers operator state and broker replay cursors from the latest
+  /// completed checkpoint, and connector publishers tag records with
+  /// (epoch, seq) so subscribers drop replayed duplicates — effectively-once
+  /// across a crash (see DESIGN.md "Checkpoint & recovery"). Pair with
+  /// persistent_connectors and a fixed data_dir so the replayed topics and
+  /// the checkpoints survive the process.
+  std::int64_t checkpoint_interval_ms = 0;
+  /// Directory of a dedicated checkpoint kvstore. Empty = checkpoint
+  /// manifests live in the main kv store under "ckpt/".
+  std::filesystem::path checkpoint_path;
   kv::DbOptions kv;
   spe::QueryOptions query;
 };
@@ -152,6 +165,16 @@ class Strata {
   /// latency histogram implements the paper's latency metric.
   spe::SinkOperator* Deliver(const std::string& name, spe::StreamPtr in,
                              spe::SinkFn fn);
+
+  /// Deliver with effectively-once semantics: each tuple is written to the
+  /// kv store at `key_prefix + key_fn(tuple)` (transport-encoded) only when
+  /// that key is absent, so checkpoint replay after a crash cannot
+  /// double-deliver a report. `key_fn` must be deterministic in the tuple
+  /// and unique per logical result. Skipped duplicates are counted under
+  /// the strata.deliver_durable.duplicates metric.
+  spe::SinkOperator* DeliverDurable(
+      const std::string& name, spe::StreamPtr in, std::string key_prefix,
+      std::function<std::string(const spe::Tuple&)> key_fn);
 
   /// Duplicate a stream so several pipelines (possibly from different
   /// experts) can consume it.
@@ -243,6 +266,10 @@ class Strata {
   std::unique_ptr<strata::fs::ScopedTempDir> temp_dir_;  // when data_dir empty
   std::unique_ptr<kv::DB> kv_;
   std::unique_ptr<ps::Broker> broker_;
+  /// Dedicated checkpoint DB when options_.checkpoint_path is set; the
+  /// store otherwise shares kv_.
+  std::unique_ptr<kv::DB> checkpoint_db_;
+  std::unique_ptr<KvCheckpointStore> checkpoint_store_;
   /// Connector transport: EmbeddedBrokerClient over broker_, or a
   /// net::RemoteBroker when options_.remote_broker is set.
   std::unique_ptr<ps::BrokerClient> client_;

@@ -13,6 +13,8 @@ constexpr char kImageMarker = 'I';
 // the unsampled common case pays zero bytes). Decoders accept either form;
 // tuples encoded by older builds simply have no trace.
 constexpr char kTraceMarker = 'T';
+// Leading byte of a tagged record (epoch + seq frame before the tuple body).
+constexpr char kTagMarker = 'E';
 }  // namespace
 
 Status EncodeTuple(const spe::Tuple& tuple, std::string* out) {
@@ -114,6 +116,35 @@ Result<spe::Tuple> DecodeTuple(std::string_view data) {
   }
   if (!data.empty()) return Status::Corruption("DecodeTuple: trailing bytes");
   return tuple;
+}
+
+Status EncodeTaggedTuple(const TransportTag& tag, const spe::Tuple& tuple,
+                         std::string* out) {
+  out->push_back(kTagMarker);
+  codec::PutVarint64(out, tag.epoch);
+  codec::PutVarint64(out, tag.seq);
+  return EncodeTuple(tuple, out);
+}
+
+Result<spe::Tuple> DecodeMaybeTagged(std::string_view data,
+                                     TransportTag* tag) {
+  *tag = TransportTag{};
+  if (!data.empty() && data.front() == kTagMarker) {
+    std::string_view rest = data.substr(1);
+    TransportTag parsed;
+    if (codec::GetVarint64(&rest, &parsed.epoch) &&
+        codec::GetVarint64(&rest, &parsed.seq)) {
+      auto tuple = DecodeTuple(rest);
+      if (tuple.ok()) {
+        *tag = parsed;
+        return tuple;
+      }
+      // A plain frame can legitimately start with the marker byte (it is a
+      // varint-encoded event_time prefix): fall through and let the body's
+      // CRC decide.
+    }
+  }
+  return DecodeTuple(data);
 }
 
 std::string RawDataKey(const spe::Tuple& tuple) {

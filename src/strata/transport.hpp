@@ -5,6 +5,8 @@
 // the consuming side.
 #pragma once
 
+#include <cstdint>
+
 #include "am/image.hpp"
 #include "common/status.hpp"
 #include "spe/tuple.hpp"
@@ -16,6 +18,29 @@ namespace strata::core {
 [[nodiscard]] Status EncodeTuple(const spe::Tuple& tuple, std::string* out);
 
 [[nodiscard]] Result<spe::Tuple> DecodeTuple(std::string_view data);
+
+/// Effectively-once transport tag: the publisher's checkpoint epoch and a
+/// per-publisher monotonic sequence number. A checkpoint-recovered publisher
+/// replays tuples with their original tags, so a subscriber can drop
+/// duplicates by per-partition sequence floor (per-key ordering keeps the
+/// sequence monotonic within each partition).
+struct TransportTag {
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;
+};
+
+/// EncodeTuple preceded by a tag frame.
+[[nodiscard]] Status EncodeTaggedTuple(const TransportTag& tag,
+                                       const spe::Tuple& tuple,
+                                       std::string* out);
+
+/// Decode a connector record that may or may not carry a tag (EOS sentinels
+/// and non-checkpointing deployments publish plain EncodeTuple frames).
+/// `*tag` is set to {0, 0} when the record is untagged. The tuple body's
+/// CRC disambiguates a genuine tag frame from a plain frame whose first
+/// byte happens to collide with the tag marker.
+[[nodiscard]] Result<spe::Tuple> DecodeMaybeTagged(std::string_view data,
+                                                   TransportTag* tag);
 
 /// Partitioning key that keeps per-entity ordering through a topic:
 /// job|layer for raw data, job|specimen for events.

@@ -1,0 +1,251 @@
+// End-to-end crash-recovery torture for checkpointed stream queries
+// (chaos label).
+//
+// A reference run computes the exact report set an uninterrupted pipeline
+// delivers. Then each scenario runs the same pipeline in a forked child
+// over a persistent data dir and SIGKILLs it at a random point mid-stream;
+// the next child recovers from the latest complete epoch, replays the
+// broker-backed connectors from their checkpointed offsets, and keeps
+// going. Checkpoint-persistence failpoints (checkpoint.write /
+// checkpoint.rename) are armed with a small error probability so some
+// epochs fail and recovery has to fall back to an older complete one.
+//
+// When a child finally runs to completion, the invariant is exact:
+// the durable report set (keys AND encoded values) must equal the
+// uninterrupted reference — no lost reports, no duplicates, no reports
+// built from replayed-but-different tuples. That is effectively-once,
+// end to end, under kill -9.
+//
+// Iterations default to 50; override with STRATA_TORTURE_ITERS.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/codec.hpp"
+#include "common/fs.hpp"
+#include "fault/failpoint.hpp"
+#include "kvstore/db.hpp"
+#include "strata/strata.hpp"
+
+namespace strata::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+int TortureIterations() {
+  if (const char* env = std::getenv("STRATA_TORTURE_ITERS"); env != nullptr) {
+    return std::max(1, std::atoi(env));
+  }
+  return 50;
+}
+
+constexpr int kChildDone = 0;
+constexpr int kChildFailed = 3;
+
+/// Tuples the generator emits per scenario. At ~1ms each the child needs
+/// roughly half a second of steady progress, so the 50-450ms kill window
+/// below always lands mid-stream on a fresh directory.
+constexpr std::int64_t kTotalTuples = 400;
+
+/// Build the checkpointed pipeline on `strata`. Deterministic in the
+/// generator position, so every (partial or complete) run delivers a
+/// prefix-consistent subset of the same report set. `emit_delay` stretches
+/// the run so the parent's kill lands mid-stream; zero for the reference.
+void BuildPipeline(Strata* strata, std::chrono::microseconds emit_delay) {
+  auto position = std::make_shared<std::int64_t>(0);
+  auto stream = strata->AddSource(
+      "gen", [position, emit_delay]() -> std::optional<spe::Tuple> {
+        if (*position >= kTotalTuples) return std::nullopt;
+        if (emit_delay.count() > 0) std::this_thread::sleep_for(emit_delay);
+        spe::Tuple t;
+        t.job = 1;
+        t.layer = *position;
+        t.event_time = *position + 1;
+        // Nonzero so the source does not stamp wall-clock arrival time:
+        // report values must be bit-identical across replays.
+        t.stimulus = *position + 1;
+        t.payload.Set("reading", *position * 3);
+        ++*position;
+        return t;
+      });
+  auto detected = strata->DetectEvent(
+      "detect", std::move(stream), [](const spe::Tuple& t) {
+        spe::Tuple out;
+        out.payload.Set("severity",
+                        t.payload.Get("reading").AsInt() % 7);
+        return std::vector<spe::Tuple>{out};
+      });
+  strata->DeliverDurable("reports", std::move(detected), "reports/",
+                         [](const spe::Tuple& t) {
+                           return std::to_string(t.layer);
+                         });
+  // The generator's only state is its position; checkpointing it is what
+  // lets a recovered run resume mid-stream instead of starting over.
+  strata->query().FindOperator("gen")->SetStateHooks(
+      [position](std::uint64_t, std::string* out) {
+        codec::PutVarint64(out, static_cast<std::uint64_t>(*position));
+        return Status::Ok();
+      },
+      [position](std::string_view blob) {
+        std::uint64_t value = 0;
+        if (!codec::GetVarint64(&blob, &value)) {
+          return Status::Corruption("gen snapshot");
+        }
+        *position = static_cast<std::int64_t>(value);
+        return Status::Ok();
+      });
+}
+
+StrataOptions ScenarioOptions(const std::filesystem::path& dir) {
+  StrataOptions options;
+  options.data_dir = dir;
+  options.persistent_connectors = true;
+  options.connector_partitions = 1;
+  options.checkpoint_interval_ms = 50;
+  return options;
+}
+
+/// The durable report set at `dir`, read straight from the on-disk kv
+/// store (no Strata instance: this is what an operator would see after
+/// the process is gone).
+std::map<std::string, std::string> ReadReports(
+    const std::filesystem::path& dir) {
+  auto db = kv::DB::Open(dir / "kv", {});
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  if (!db.ok()) return {};
+  std::map<std::string, std::string> reports;
+  auto it = (*db)->NewIterator();
+  for (it->Seek("reports/"); it->Valid(); it->Next()) {
+    const std::string_view key = it->key();
+    if (key.substr(0, 8) != "reports/") break;
+    reports.emplace(std::string(key), std::string(it->value()));
+  }
+  EXPECT_TRUE(it->status().ok()) << it->status().ToString();
+  return reports;
+}
+
+/// Run the pipeline to completion in a forked child. With checkpoint
+/// failpoints armed, some epochs fail to persist (recovery then falls
+/// back); the SIGKILL comes from the parent, not from in here.
+pid_t SpawnChild(const std::filesystem::path& dir, int iteration,
+                 bool arm_failpoints) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  {
+    Strata strata(ScenarioOptions(dir));
+    BuildPipeline(&strata, /*emit_delay=*/1000us);
+    if (arm_failpoints) {
+      fault::SeedRng(static_cast<std::uint64_t>(iteration) * 7919u + 1u);
+      fault::Activate("checkpoint.write",
+                      fault::Action{fault::ActionKind::kError, 0, 0.1, -1});
+      fault::Activate("checkpoint.rename",
+                      fault::Action{fault::ActionKind::kError, 0, 0.1, -1});
+    }
+    strata.Deploy();  // recovers from the latest complete epoch first
+    strata.WaitForCompletion();
+    strata.Shutdown();
+  }
+  std::_Exit(kChildDone);
+}
+
+TEST(QueryTortureTest, RecoveredQueryDeliversExactlyTheReferenceReports) {
+  const int iterations = TortureIterations();
+
+  // ---- reference: the same pipeline, uninterrupted, pristine dir ----
+  std::map<std::string, std::string> reference;
+  {
+    strata::fs::ScopedTempDir ref_dir("query-torture-ref");
+    {
+      Strata strata(ScenarioOptions(ref_dir.path()));
+      BuildPipeline(&strata, /*emit_delay=*/0us);
+      strata.Deploy();
+      strata.WaitForCompletion();
+      strata.Shutdown();
+    }
+    reference = ReadReports(ref_dir.path());
+  }
+  ASSERT_EQ(reference.size(), static_cast<std::size_t>(kTotalTuples));
+
+  // ---- scenarios: kill, recover, kill again ... until a clean finish ----
+  auto dir = std::make_unique<strata::fs::ScopedTempDir>("query-torture");
+  int kills = 0;
+  int completed_scenarios = 0;
+  int lives = 0;  // child launches in the current scenario
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next = [&rng]() {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return rng >> 33;
+  };
+
+  auto finish_scenario = [&](int iteration) {
+    EXPECT_EQ(ReadReports(dir->path()), reference)
+        << "iteration " << iteration << ": recovered run (" << lives
+        << " lives) diverged from the uninterrupted reference";
+    ++completed_scenarios;
+    lives = 0;
+    dir = std::make_unique<strata::fs::ScopedTempDir>("query-torture");
+  };
+
+  for (int iteration = 0; iteration < iterations; ++iteration) {
+    const pid_t pid = SpawnChild(dir->path(), iteration,
+                                 /*arm_failpoints=*/true);
+    ASSERT_GE(pid, 0) << "fork failed";
+    ++lives;
+
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(50 + next() % 400));
+    int status = 0;
+    pid_t reaped = ::waitpid(pid, &status, WNOHANG);
+    if (reaped == 0) {
+      ASSERT_EQ(::kill(pid, SIGKILL), 0);
+      reaped = ::waitpid(pid, &status, 0);
+    }
+    ASSERT_EQ(reaped, pid);
+
+    if (WIFSIGNALED(status)) {
+      // Only our own SIGKILL is an acceptable violent death; an abort or
+      // segfault inside recovery is exactly the kind of bug this hunts.
+      ASSERT_EQ(WTERMSIG(status), SIGKILL)
+          << "iteration " << iteration << ": child died of signal "
+          << WTERMSIG(status);
+      ++kills;
+      continue;  // next iteration recovers from this directory
+    }
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == kChildDone)
+        << "iteration " << iteration << ": child exited with "
+        << WEXITSTATUS(status);
+    finish_scenario(iteration);
+  }
+
+  // The last scenario may still be mid-flight; force one uninterrupted
+  // run (no failpoints) so its directory also reaches the invariant.
+  if (lives > 0) {
+    const pid_t pid = SpawnChild(dir->path(), iterations,
+                                 /*arm_failpoints=*/false);
+    ASSERT_GE(pid, 0) << "fork failed";
+    ++lives;
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == kChildDone)
+        << "final run exited with status " << status;
+    finish_scenario(iterations);
+  }
+
+  RecordProperty("kills", kills);
+  RecordProperty("completed_scenarios", completed_scenarios);
+  EXPECT_GT(kills, 0) << "no child was ever killed mid-run; timing inert?";
+  EXPECT_GT(completed_scenarios, 0)
+      << "no scenario ever completed; recovery may not be making progress";
+}
+
+}  // namespace
+}  // namespace strata::core

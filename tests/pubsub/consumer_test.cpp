@@ -381,6 +381,115 @@ TEST_F(ConsumerTest, RebalanceUnderLoadLosesNoRecords) {
   }
 }
 
+// ----- Seek (checkpoint replay): explicit repositioning of one partition ---
+
+TEST_F(ConsumerTest, SeekBackReplaysRecords) {
+  ASSERT_TRUE(broker_.CreateTopic("seek", {.partitions = 1}).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(producer_.Send("seek", "k", "v" + std::to_string(i), i).ok());
+  }
+  auto consumer = std::move(Consumer::Create(&broker_, "seek")).value();
+  std::size_t consumed = 0;
+  while (consumed < 10) {
+    auto batch = consumer->Poll(kLongTimeout);
+    ASSERT_TRUE(batch.ok());
+    consumed += batch->size();
+  }
+
+  ASSERT_TRUE(consumer->Seek("seek", 0, 3).ok());
+  std::vector<ConsumedRecord> replayed;
+  while (replayed.size() < 7) {
+    auto batch = consumer->Poll(kLongTimeout);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_FALSE(batch->empty()) << "replay stalled";
+    for (auto& record : *batch) replayed.push_back(std::move(record));
+  }
+  ASSERT_EQ(replayed.size(), 7u);
+  EXPECT_EQ(replayed.front().offset, 3);
+  EXPECT_EQ(replayed.front().value, "v3");
+  EXPECT_EQ(replayed.back().offset, 9);
+}
+
+TEST_F(ConsumerTest, SeekToLogEndIsValidAndYieldsNothing) {
+  ASSERT_TRUE(broker_.CreateTopic("seek", {.partitions = 1}).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(producer_.Send("seek", "k", "v", i).ok());
+  }
+  auto consumer = std::move(Consumer::Create(&broker_, "seek")).value();
+  ASSERT_TRUE(consumer->Seek("seek", 0, 5).ok());  // end is a valid position
+  auto batch = consumer->Poll(kShortTimeout);
+  EXPECT_TRUE(batch.status().IsTimeout());
+}
+
+TEST_F(ConsumerTest, SeekBelowRetentionStartIsCleanError) {
+  // A 5-record retention window on 8 appends truncates offsets 0..2 away.
+  ASSERT_TRUE(
+      broker_
+          .CreateTopic("trunc", {.partitions = 1, .retention_records = 5})
+          .ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(producer_.Send("trunc", "k", "v" + std::to_string(i), i).ok());
+  }
+  auto consumer = std::move(Consumer::Create(&broker_, "trunc")).value();
+
+  // Replaying from a truncated offset must fail loudly — the caller (query
+  // recovery) needs to know the checkpoint outlived retention; a silent
+  // heal would hide the gap and a retry loop would spin forever.
+  const Status truncated = consumer->Seek("trunc", 0, 1);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_TRUE(truncated.IsOutOfRange()) << truncated.ToString();
+
+  // The failed seek moved nothing: the surviving range still reads fine.
+  ASSERT_TRUE(consumer->Seek("trunc", 0, 3).ok());
+  auto batch = consumer->Poll(kLongTimeout);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_FALSE(batch->empty());
+  EXPECT_EQ(batch->front().offset, 3);
+  EXPECT_EQ(batch->front().value, "v3");
+}
+
+TEST_F(ConsumerTest, SeekPastEndAndUnassignedAreErrors) {
+  ASSERT_TRUE(broker_.CreateTopic("seek", {.partitions = 1}).ok());
+  ASSERT_TRUE(producer_.Send("seek", "k", "v", 0).ok());
+  auto consumer = std::move(Consumer::Create(&broker_, "seek")).value();
+
+  const Status future = consumer->Seek("seek", 0, 100);
+  ASSERT_FALSE(future.ok());
+  EXPECT_TRUE(future.IsOutOfRange());
+
+  // Partition 7 does not exist, and topic "t" is not this consumer's.
+  EXPECT_FALSE(consumer->Seek("seek", 7, 0).ok());
+  EXPECT_FALSE(consumer->Seek("t", 0, 0).ok());
+}
+
+TEST_F(ConsumerTest, SeekAloneCommitsNothing) {
+  ASSERT_TRUE(broker_.CreateTopic("seek", {.partitions = 1}).ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(producer_.Send("seek", "k", "v", i).ok());
+  }
+  ConsumerOptions options;
+  options.group = "g";
+  options.auto_commit = false;
+  {
+    auto consumer =
+        std::move(Consumer::Create(&broker_, "seek", options)).value();
+    std::size_t consumed = 0;
+    while (consumed < 6) {
+      auto batch = consumer->Poll(kLongTimeout);
+      ASSERT_TRUE(batch.ok());
+      consumed += batch->size();
+    }
+    ASSERT_TRUE(consumer->Commit().ok());  // group offset now 6
+    // Seeking back and committing without polling must not rewind the
+    // group: a seek is a position change, not consumption.
+    ASSERT_TRUE(consumer->Seek("seek", 0, 0).ok());
+    ASSERT_TRUE(consumer->Commit().ok());
+  }
+  auto resumed = std::move(Consumer::Create(&broker_, "seek", options)).value();
+  auto batch = resumed->Poll(kShortTimeout);
+  EXPECT_TRUE(batch.status().IsTimeout()) << "group offset was rewound";
+}
+
 TEST_F(ConsumerTest, EndToEndThroughputManyRecords) {
   constexpr int kCount = 20'000;
   std::thread producer_thread([&] {

@@ -202,6 +202,82 @@ TEST_P(StreamTransportEquivalence, SeededStressSameObservableBehavior) {
   EXPECT_TRUE(stream.drained());
 }
 
+// Same seeded workload with checkpoint barriers interleaved: both transports
+// must deliver barriers in exactly the position the producer wove them into
+// the stream (a reordered or dropped barrier would corrupt the epoch cut).
+TEST_P(StreamTransportEquivalence, SeededBarrierStreamSameObservableBehavior) {
+  constexpr int kTotal = 20'000;
+  Stream stream("s", 16);
+  if (GetParam()) ASSERT_TRUE(stream.TryEnableSpsc());
+  ASSERT_EQ(stream.spsc(), GetParam());
+
+  std::thread producer([&] {
+    Rng rng(42);
+    int next = 0;
+    std::uint64_t epoch = 0;
+    while (next < kTotal) {
+      const std::uint64_t roll = rng.UniformInt(0, 9);
+      if (roll == 0) {
+        // Inject a barrier; data tuples record which epoch they follow.
+        ASSERT_TRUE(stream.Push(Tuple::Barrier(++epoch)).ok());
+      } else if (roll <= 5) {
+        Tuple t = TupleAt(next++);
+        t.job = static_cast<std::int64_t>(epoch);
+        ASSERT_TRUE(stream.Push(std::move(t)).ok());
+      } else {
+        const int n = static_cast<int>(rng.UniformInt(1, 40));
+        TupleBatch batch;
+        for (int i = 0; i < n && next < kTotal; ++i) {
+          Tuple t = TupleAt(next++);
+          t.job = static_cast<std::int64_t>(epoch);
+          batch.push_back(std::move(t));
+        }
+        ASSERT_TRUE(stream.PushBatch(&batch).ok());
+      }
+    }
+    stream.Close();
+  });
+
+  Rng rng(7);
+  Timestamp expected = 0;
+  std::uint64_t current_epoch = 0;
+  std::uint64_t barriers_seen = 0;
+  auto consume = [&](const Tuple& t) {
+    if (t.IsBarrier()) {
+      // Epochs arrive strictly ascending, never skipped, never duplicated.
+      ASSERT_EQ(t.barrier_epoch, current_epoch + 1);
+      current_epoch = t.barrier_epoch;
+      ++barriers_seen;
+      return;
+    }
+    ASSERT_EQ(t.event_time, expected++);
+    // Position is preserved: a data tuple still belongs to the epoch the
+    // producer emitted it under.
+    ASSERT_EQ(static_cast<std::uint64_t>(t.job), current_epoch);
+  };
+  while (true) {
+    if (rng.UniformInt(0, 1) == 0) {
+      auto t = stream.Pop();
+      if (!t.has_value()) break;
+      consume(*t);
+    } else {
+      auto batch =
+          stream.PopBatch(static_cast<std::size_t>(rng.UniformInt(1, 64)));
+      if (!batch.has_value()) break;
+      for (const Tuple& t : *batch) consume(t);
+    }
+  }
+  producer.join();
+  EXPECT_EQ(expected, kTotal);
+  EXPECT_GT(barriers_seen, 0u);
+  EXPECT_EQ(barriers_seen, current_epoch);
+  EXPECT_EQ(stream.pushed(),
+            static_cast<std::uint64_t>(kTotal) + barriers_seen);
+  EXPECT_EQ(stream.popped(), stream.pushed());
+  EXPECT_EQ(stream.discarded(), 0u);
+  EXPECT_TRUE(stream.drained());
+}
+
 INSTANTIATE_TEST_SUITE_P(MpmcAndSpsc, StreamTransportEquivalence,
                          ::testing::Values(false, true),
                          [](const ::testing::TestParamInfo<bool>& info) {

@@ -150,6 +150,62 @@ TEST(TupleTransport, RandomMutationsAreRejected) {
   }
 }
 
+// ----- (epoch, seq) tagging: the effectively-once wire format -----
+
+TEST(TaggedTransport, TaggedRoundTripCarriesEpochAndSeq) {
+  const spe::Tuple original = FullTuple();
+  std::string encoded;
+  ASSERT_TRUE(
+      EncodeTaggedTuple(TransportTag{3, 17}, original, &encoded).ok());
+
+  TransportTag tag;
+  auto decoded = DecodeMaybeTagged(encoded, &tag);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(tag.epoch, 3u);
+  EXPECT_EQ(tag.seq, 17u);
+  EXPECT_EQ(decoded->event_time, original.event_time);
+  EXPECT_EQ(decoded->payload, original.payload);
+}
+
+TEST(TaggedTransport, UntaggedRecordsDecodeWithZeroTag) {
+  std::string encoded;
+  ASSERT_TRUE(EncodeTuple(FullTuple(), &encoded).ok());
+  TransportTag tag{99, 99};
+  auto decoded = DecodeMaybeTagged(encoded, &tag);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(tag.epoch, 0u) << "untagged record must zero the tag";
+  EXPECT_EQ(tag.seq, 0u);
+  EXPECT_EQ(decoded->payload, FullTuple().payload);
+}
+
+TEST(TaggedTransport, PlainDecoderRejectsTaggedRecords) {
+  // A non-checkpointing reader pointed at a tagged topic must get a clean
+  // error, not a tuple with scrambled fields.
+  std::string encoded;
+  ASSERT_TRUE(EncodeTaggedTuple(TransportTag{1, 1}, FullTuple(), &encoded).ok());
+  EXPECT_FALSE(DecodeTuple(encoded).ok());
+}
+
+TEST(TaggedTransport, AnySingleBitFlipIsRejected) {
+  std::string encoded;
+  ASSERT_TRUE(
+      EncodeTaggedTuple(TransportTag{7, 123456}, FullTuple(), &encoded).ok());
+  for (std::size_t byte = 0; byte < encoded.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = encoded;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      TransportTag tag;
+      // Either rejected outright, or (a flip in the tag varints) decoded
+      // with a different tag — but never a silently different tuple.
+      auto decoded = DecodeMaybeTagged(mutated, &tag);
+      if (decoded.ok()) {
+        EXPECT_EQ(decoded->payload, FullTuple().payload)
+            << "bit " << bit << " of byte " << byte << " corrupted the tuple";
+      }
+    }
+  }
+}
+
 TEST(PartitionKeys, RawKeyGroupsByJobAndLayer) {
   spe::Tuple t;
   t.job = 3;
