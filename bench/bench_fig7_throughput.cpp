@@ -21,6 +21,7 @@
 // per-stage latency breakdown appended to the bench artifact.
 #include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "bench_json.hpp"
 #include "figure_common.hpp"
@@ -132,15 +133,17 @@ void PrintStageMetrics(const obs::MetricsSnapshot& snap) {
 
 SweepPoint RunReplayTrial(const FrameCache& cache, int cell_px, double rate,
                           int images,
-                          std::int64_t checkpoint_interval_ms = 0) {
+                          std::int64_t checkpoint_interval_ms = 0,
+                          bool fusion = false, int parallelism = 2) {
   StrataOptions options;
   options.checkpoint_interval_ms = checkpoint_interval_ms;
+  options.query.enable_fusion = fusion;
   Strata strata_rt(options);
   UseCaseParams params;
   params.cell_px = cell_px;
   params.correlate_layers = 20;
-  params.partition_parallelism = 2;
-  params.detect_parallelism = 2;
+  params.partition_parallelism = parallelism;
+  params.detect_parallelism = parallelism;
   ComputeAndStoreThresholds(&strata_rt, params.machine_id, cache.job,
                             /*history_layers=*/2, cell_px)
       .OrDie();
@@ -189,43 +192,181 @@ SweepPoint RunReplayTrial(const FrameCache& cache, int cell_px, double rate,
   return point;
 }
 
-/// Checkpointing on vs off at the default cadence: the same unthrottled
-/// replay, once without barriers and once with epoch-barrier checkpoints
-/// persisting to the kvstore. The delta is the steady-state cost of
-/// effectively-once (barrier alignment, operator snapshots, manifest
-/// writes); the acceptance bar is < 10% of fig7 throughput.
+/// Checkpointing on vs off: the same unthrottled replay, once without
+/// barriers and once with epoch-barrier checkpoints persisting to the
+/// kvstore. The delta is the steady-state cost of effectively-once
+/// (barrier alignment, operator snapshots, manifest writes); the
+/// acceptance bar is < 10% of fig7 throughput. The epoch cadence is
+/// scaled to the off-trial's wall time so every measurement averages
+/// over at least kMinEpochs completed epochs instead of a single
+/// noise-dominated one.
 void RunCheckpointOverhead(const FrameCache& cache, int image_px,
                            JsonLinesWriter* out) {
-  constexpr std::int64_t kDefaultIntervalMs = 250;
+  constexpr std::uint64_t kMinEpochs = 5;
   const int cell_px = std::max(1, 20 * image_px / 2000);
   const int images = 128;
+  SweepPoint off =
+      RunReplayTrial(cache, cell_px, /*rate=*/0, images);
+  const double off_wall_ms =
+      off.achieved_images_s > 0 ? images / off.achieved_images_s * 1000.0
+                                : 1000.0;
+  std::int64_t interval_ms = static_cast<std::int64_t>(
+      std::clamp(off_wall_ms / (kMinEpochs + 3.0), 25.0, 250.0));
   std::printf("--- checkpoint overhead (cell 20x20, unthrottled, %lld ms "
               "interval) ---\n",
-              static_cast<long long>(kDefaultIntervalMs));
-  const SweepPoint off =
-      RunReplayTrial(cache, cell_px, /*rate=*/0, images);
-  const SweepPoint on =
-      RunReplayTrial(cache, cell_px, /*rate=*/0, images, kDefaultIntervalMs);
+              static_cast<long long>(interval_ms));
+  SweepPoint on =
+      RunReplayTrial(cache, cell_px, /*rate=*/0, images, interval_ms);
+  int trial_images = images;
+  // Near saturation the epoch rate is limited by barrier traversal of the
+  // backlogged pipeline, not by the cadence, so a tighter interval alone
+  // does not help: lengthen the run until the mean covers enough epochs,
+  // then re-measure the off baseline once at the same length.
+  for (int attempt = 0;
+       attempt < 2 && on.epochs_completed < kMinEpochs; ++attempt) {
+    interval_ms = std::max<std::int64_t>(25, interval_ms / 4);
+    trial_images *= 4;
+    std::printf("    only %llu epochs; retrying with %d images at %lld ms\n",
+                static_cast<unsigned long long>(on.epochs_completed),
+                trial_images, static_cast<long long>(interval_ms));
+    on = RunReplayTrial(cache, cell_px, /*rate=*/0, trial_images,
+                        interval_ms);
+  }
+  if (trial_images != images) {
+    off = RunReplayTrial(cache, cell_px, /*rate=*/0, trial_images);
+  }
+  const double on_wall_ms =
+      on.achieved_images_s > 0 ? trial_images / on.achieved_images_s * 1000.0
+                               : 0.0;
+  const double epoch_mean_ms =
+      on.epochs_completed > 0 ? on_wall_ms / on.epochs_completed : 0.0;
   const double overhead_pct =
       off.kcells_s > 0 ? (off.kcells_s - on.kcells_s) / off.kcells_s * 100.0
                        : 0.0;
   std::printf("    off: %.1f kcells/s   on: %.1f kcells/s   overhead: %.1f%%"
-              "   epochs: %llu completed, %llu failed\n",
+              "   epochs: %llu completed (mean %.1f ms), %llu failed\n",
               off.kcells_s, on.kcells_s, overhead_pct,
               static_cast<unsigned long long>(on.epochs_completed),
+              epoch_mean_ms,
               static_cast<unsigned long long>(on.epochs_failed));
   out->Line(JsonObject()
                 .Str("bench", "bench_fig7_throughput")
                 .Str("kind", "checkpoint_overhead")
                 .Int("image_px", image_px)
-                .Int("checkpoint_interval_ms", kDefaultIntervalMs)
+                .Int("checkpoint_interval_ms", interval_ms)
                 .Num("kcells_s_off", off.kcells_s)
                 .Num("kcells_s_on", on.kcells_s)
                 .Num("overhead_pct", overhead_pct)
                 .Int("epochs_completed",
                      static_cast<long long>(on.epochs_completed))
+                .Num("epoch_mean_ms", epoch_mean_ms)
                 .Int("epochs_failed",
                      static_cast<long long>(on.epochs_failed)));
+}
+
+/// Fused vs unfused at saturation: the unthrottled replay at the 10x10
+/// paper cell (the cell-bound regime), both runs at parallelism 1 so the
+/// spec -> cell -> label stages form one fusable stateless chain. The
+/// fused row should saturate higher: three queue hops collapse into one
+/// in-loop chain.
+void RunFusionComparison(const FrameCache& cache, int image_px,
+                         JsonLinesWriter* out) {
+  const int cell_px = std::max(1, 10 * image_px / 2000);
+  const int images = 128;
+  std::printf(
+      "--- operator fusion (cell 10x10, unthrottled, parallelism 1) ---\n");
+  SweepPoint points[2];
+  for (int fusion = 0; fusion < 2; ++fusion) {
+    points[fusion] =
+        RunReplayTrial(cache, cell_px, /*rate=*/0, images,
+                       /*checkpoint_interval_ms=*/0, fusion == 1,
+                       /*parallelism=*/1);
+    std::printf("    fusion=%d: %.1f img/s, %.1f kcells/s, p95 %.2f ms\n",
+                fusion, points[fusion].achieved_images_s,
+                points[fusion].kcells_s, points[fusion].p95_latency_ms);
+    out->Line(JsonObject()
+                  .Str("bench", "bench_fig7_throughput")
+                  .Str("kind", "fused")
+                  .Int("paper_cell", 10)
+                  .Int("image_px", image_px)
+                  .Int("fusion", fusion)
+                  .Num("achieved_images_s", points[fusion].achieved_images_s)
+                  .Num("kcells_s", points[fusion].kcells_s)
+                  .Num("p95_latency_ms", points[fusion].p95_latency_ms));
+  }
+  if (points[0].kcells_s > 0) {
+    std::printf("    fusion speedup: %.2fx\n",
+                points[1].kcells_s / points[0].kcells_s);
+  }
+}
+
+/// Keyed-shard scaling on a synthetic CPU-heavy keyed aggregate (the fig7
+/// pipeline is cell-bound, not aggregate-bound, so this isolates the
+/// router/shard/union path): one source, a keyed aggregate whose add()
+/// burns a few microseconds per tuple, shards 1/2/4. The speedup column
+/// tracks available cores — on a single-core runner it stays ~1.0x by
+/// construction, so the row records hardware_concurrency alongside.
+void RunKeyedShardScaling(JsonLinesWriter* out) {
+  constexpr std::int64_t kTuples = 40'000;
+  constexpr std::int64_t kKeys = 16;
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::printf(
+      "--- keyed shard scaling (CPU-heavy keyed aggregate, %u cores) ---\n",
+      cores);
+  double base_ktuples_s = 0;
+  for (const int shards : {1, 2, 4}) {
+    spe::Query query;
+    auto pos = std::make_shared<std::int64_t>(0);
+    auto src = query.AddSource(
+        "gen", [pos]() -> std::optional<spe::Tuple> {
+          if (*pos >= kTuples) return std::nullopt;
+          spe::Tuple t;
+          t.event_time = *pos + 1;
+          t.stimulus = *pos + 1;
+          t.job = *pos % kKeys;
+          ++*pos;
+          return t;
+        });
+    spe::AggregateSpec spec;
+    spec.window = {kTuples + 1, kTuples + 1};  // one window: state stays hot
+    spec.key = [](const spe::Tuple& t) { return std::to_string(t.job); };
+    spec.init = [] { return std::any(std::uint64_t{0}); };
+    spec.add = [](std::any& acc, const spe::Tuple& t) {
+      std::uint64_t x = static_cast<std::uint64_t>(t.event_time);
+      for (int i = 0; i < 2000; ++i) {
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      }
+      std::any_cast<std::uint64_t&>(acc) += x;
+    };
+    spec.result = [](std::any& acc, Timestamp /*start*/,
+                     Timestamp /*end*/) -> std::vector<spe::Tuple> {
+      spe::Tuple t;
+      t.payload.Set("digest",
+                    static_cast<std::int64_t>(
+                        std::any_cast<std::uint64_t>(acc) >> 1));
+      return {t};
+    };
+    auto heavy =
+        query.AddAggregate("heavy", std::move(src), std::move(spec), shards);
+    query.AddSink("sink", std::move(heavy), [](const spe::Tuple&) {});
+    const Timestamp start = Clock::System().Now();
+    query.Run();
+    const double wall = MicrosToSeconds(Clock::System().Now() - start);
+    const double ktuples_s = kTuples / wall / 1000.0;
+    if (shards == 1) base_ktuples_s = ktuples_s;
+    const double speedup =
+        base_ktuples_s > 0 ? ktuples_s / base_ktuples_s : 1.0;
+    std::printf("    shards=%d: %8.0f ktuples/s  (%.2fx)\n", shards,
+                ktuples_s, speedup);
+    out->Line(JsonObject()
+                  .Str("bench", "bench_fig7_throughput")
+                  .Str("kind", "keyed_shards")
+                  .Int("shards", shards)
+                  .Int("cores", static_cast<long long>(cores))
+                  .Num("ktuples_s", ktuples_s)
+                  .Num("speedup", speedup));
+  }
 }
 
 /// One trial with sampling at 1/16: exports the spans as a Chrome trace for
@@ -333,6 +474,8 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
+  RunFusionComparison(cache, image_px, &out);
+  RunKeyedShardScaling(&out);
   RunCheckpointOverhead(cache, image_px, &out);
 
   if (trace_out != nullptr) RunTracedTrial(cache, image_px, trace_out, &out);

@@ -134,6 +134,20 @@ class Operator {
     return s;
   }
 
+  /// Fold externally-executed work into this operator's counters. Used by
+  /// the fusion pass: a fused worker runs an absorbed operator's function
+  /// and attributes the per-stage counts here, so Stats()/metrics keep
+  /// per-stage identity even though the operator's own thread never runs.
+  void AccumulateStageCounts(std::uint64_t in, std::uint64_t out,
+                             std::uint64_t errors, std::uint64_t discarded) {
+    if (in != 0) in_count_.fetch_add(in, std::memory_order_relaxed);
+    if (out != 0) out_count_.fetch_add(out, std::memory_order_relaxed);
+    if (errors != 0) user_errors_.fetch_add(errors, std::memory_order_relaxed);
+    if (discarded != 0) {
+      discarded_.fetch_add(discarded, std::memory_order_relaxed);
+    }
+  }
+
  protected:
   [[nodiscard]] bool StopRequested() const {
     return stop_requested_.load(std::memory_order_acquire);
@@ -284,7 +298,10 @@ class Operator {
 
  private:
   void LogUserError(const char* what);
-  void NotifyFinished();
+  /// Called exactly once from CloseOutputs as the Run() body exits. The
+  /// default reports this operator finished to the checkpointer; a fused
+  /// worker overrides it to report its absorbed constituents instead.
+  virtual void NotifyFinished();
 
   void EnsureEmitState() {
     if (emit_ready_) return;
@@ -455,6 +472,10 @@ class FlatMapOperator final : public Operator {
       : Operator(std::move(name), clock), fn_(std::move(fn)) {}
   void Run() override;
 
+  /// The user function, borrowed by the fusion pass (plan_rewrite) so a
+  /// fused worker can run this stage without the operator's thread.
+  [[nodiscard]] const FlatMapFn& fn() const noexcept { return fn_; }
+
  private:
   FlatMapFn fn_;
 };
@@ -467,6 +488,9 @@ class FilterOperator final : public Operator {
   FilterOperator(std::string name, const Clock* clock, FilterFn fn)
       : Operator(std::move(name), clock), fn_(std::move(fn)) {}
   void Run() override;
+
+  /// The user predicate, borrowed by the fusion pass (see FlatMapOperator).
+  [[nodiscard]] const FilterFn& fn() const noexcept { return fn_; }
 
  private:
   FilterFn fn_;

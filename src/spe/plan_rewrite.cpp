@@ -1,0 +1,429 @@
+#include "spe/plan_rewrite.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/codec.hpp"
+#include "common/logging.hpp"
+#include "obs/trace.hpp"
+#include "spe/checkpoint.hpp"
+
+namespace strata::spe {
+
+namespace {
+
+/// Span covering one drained batch through the whole fused chain. The span
+/// NAME is the fused operator's name — the constituent operator names joined
+/// with '+' — so /tracez shows which logical stages ran, not an opaque node.
+obs::SpanScope FusedBatchSpan(const std::string& name,
+                              const TupleBatch& batch) {
+  if (!obs::TracingEnabled()) return {};
+  for (const Tuple& tuple : batch) {
+    if (tuple.trace.sampled()) {
+      return obs::SpanScope(name.c_str(), "spe.fused", tuple.trace,
+                            batch.size());
+    }
+  }
+  return {};
+}
+
+/// Per-stage counters accumulated locally while a batch runs the chain and
+/// flushed into the constituent operators' atomics once per drained batch.
+struct StageCounts {
+  std::uint64_t in = 0;
+  std::uint64_t out = 0;
+  std::uint64_t errors = 0;
+};
+
+}  // namespace
+
+// ----------------------------------------------------------- FusedOperator
+
+FusedOperator::FusedOperator(std::string name, const Clock* clock,
+                             std::vector<Stage> stages)
+    : Operator(std::move(name), clock), stages_(std::move(stages)) {}
+
+void FusedOperator::Run() {
+  std::vector<StageCounts> counts(stages_.size());
+  std::uint64_t last_discarded = stats().discarded;
+  // Flush the locally-accumulated per-stage counts into the absorbed
+  // operators so Stats()/metrics keep per-stage identity. Output discards
+  // (closed downstream) happen at the chain's Emit, so the delta in this
+  // operator's own counter is attributed to the tail stage.
+  auto flush_counts = [&] {
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+      if (counts[s].in == 0 && counts[s].out == 0 && counts[s].errors == 0) {
+        continue;
+      }
+      stages_[s].op->AccumulateStageCounts(counts[s].in, counts[s].out,
+                                           counts[s].errors, 0);
+      counts[s] = StageCounts{};
+    }
+    const std::uint64_t discarded = stats().discarded;
+    if (discarded != last_discarded) {
+      stages_.back().op->AccumulateStageCounts(0, 0, 0,
+                                               discarded - last_discarded);
+      last_discarded = discarded;
+    }
+  };
+
+  TupleBatch cur;
+  TupleBatch next;
+  bool open = true;
+  while (open) {
+    auto batch = inputs_[0]->PopBatch(batch_size());
+    if (!batch.has_value()) break;  // input closed and drained
+    obs::SpanScope span = FusedBatchSpan(name(), *batch);
+    for (Tuple& tuple : *batch) {
+      if (tuple.IsBarrier()) {
+        CompleteChainBarrier(tuple.barrier_epoch);
+        continue;
+      }
+      cur.clear();
+      cur.push_back(std::move(tuple));
+      for (std::size_t s = 0; s < stages_.size() && !cur.empty(); ++s) {
+        const Stage& stage = stages_[s];
+        counts[s].in += cur.size();
+        next.clear();
+        for (Tuple& t : cur) {
+          if (stage.flatmap != nullptr) {
+            try {
+              std::vector<Tuple> results = (*stage.flatmap)(t);
+              for (Tuple& out : results) {
+                if (out.stimulus == 0) out.stimulus = t.stimulus;
+                next.push_back(std::move(out));
+              }
+            } catch (const std::exception& e) {
+              ++counts[s].errors;
+              LOG_ERROR << "operator '" << stage.op->name()
+                        << "' (fused): user function threw: " << e.what();
+            }
+          } else {
+            bool keep = false;
+            try {
+              keep = (*stage.filter)(t);
+            } catch (const std::exception& e) {
+              ++counts[s].errors;
+              LOG_ERROR << "operator '" << stage.op->name()
+                        << "' (fused): user function threw: " << e.what();
+            }
+            if (keep) next.push_back(std::move(t));
+          }
+        }
+        counts[s].out += next.size();
+        cur.swap(next);
+      }
+      for (Tuple& out : cur) {
+        if (span.active()) out.trace = span.EmitContext();
+        if (!(open = Emit(std::move(out)))) break;
+      }
+      if (!open) break;
+    }
+    flush_counts();
+    if (open) MaybeFlush(inputs_[0]->depth() == 0);
+  }
+  if (!open) CloseInputs();  // early exit: downstream consumers are gone
+  CloseOutputs();
+}
+
+void FusedOperator::CompleteChainBarrier(std::uint64_t epoch) {
+  FlushEmit();  // no partial batch may straddle the epoch boundary
+  if (Checkpointer* cp = checkpointer(); cp != nullptr) {
+    // One snapshot per constituent, under its registered name — a manifest
+    // written by a fused plan restores into an unfused one and vice versa.
+    for (const Stage& stage : stages_) {
+      std::string blob;
+      const Status snapshot = stage.op->SnapshotState(epoch, &blob);
+      if (snapshot.ok()) {
+        cp->ReportSnapshot(stage.op->name(), epoch, std::move(blob));
+      } else {
+        cp->ReportSnapshotFailure(stage.op->name(), epoch, snapshot);
+      }
+    }
+  }
+  ForwardBarrier(epoch);
+}
+
+void FusedOperator::NotifyFinished() {
+  // The constituents are what the checkpointer knows about; the fused
+  // worker itself is never registered.
+  if (Checkpointer* cp = checkpointer(); cp != nullptr) {
+    for (const Stage& stage : stages_) {
+      cp->OnOperatorFinished(stage.op->name());
+    }
+  }
+}
+
+// ------------------------------------------------------ FuseStatelessChains
+
+FusionPlan FuseStatelessChains(
+    const std::vector<std::unique_ptr<Operator>>& operators,
+    const Clock* clock) {
+  // Endpoint census over the whole plan: a fusable link must be a private
+  // stream (exactly one registered producer and consumer). Streams pushed
+  // from outside the query have an unregistered endpoint the census cannot
+  // see — same assumption the SPSC fast-path pass already makes.
+  std::map<const Stream*, std::pair<int, int>> endpoint_count;
+  for (const auto& op : operators) {
+    for (const StreamPtr& out : op->outputs()) {
+      ++endpoint_count[out.get()].first;
+    }
+    for (const StreamPtr& in : op->inputs()) {
+      ++endpoint_count[in.get()].second;
+    }
+  }
+
+  // Eligible members: stateless 1-input/1-output operators. (A Split is a
+  // FlatMap with N outputs and drops out on the output-count rule.)
+  auto eligible = [](Operator* op) -> FusedOperator::Stage {
+    FusedOperator::Stage stage;
+    if (op->inputs().size() != 1 || op->outputs().size() != 1) return stage;
+    if (auto* fm = dynamic_cast<FlatMapOperator*>(op)) {
+      stage.op = op;
+      stage.flatmap = &fm->fn();
+    } else if (auto* f = dynamic_cast<FilterOperator*>(op)) {
+      stage.op = op;
+      stage.filter = &f->fn();
+    }
+    return stage;
+  };
+
+  std::unordered_map<Operator*, FusedOperator::Stage> members;
+  std::unordered_map<const Stream*, Operator*> consumer_of;
+  for (const auto& op : operators) {
+    FusedOperator::Stage stage = eligible(op.get());
+    if (stage.op == nullptr) continue;
+    members.emplace(op.get(), stage);
+    consumer_of.emplace(op->inputs()[0].get(), op.get());
+  }
+
+  // Link a -> b when a's output stream is b's input stream and the stream is
+  // private to the pair.
+  std::unordered_map<Operator*, Operator*> next;
+  std::unordered_set<Operator*> has_prev;
+  for (const auto& [op, stage] : members) {
+    const Stream* out = op->outputs()[0].get();
+    const auto count = endpoint_count[out];
+    if (count.first != 1 || count.second != 1) continue;
+    const auto it = consumer_of.find(out);
+    if (it == consumer_of.end() || it->second == op) continue;
+    next[op] = it->second;
+    has_prev.insert(it->second);
+  }
+
+  // Greedy maximal chains, walked in plan order so fused names and thread
+  // layout are deterministic. Chains of one stay as plain operators.
+  FusionPlan plan;
+  for (const auto& op : operators) {
+    Operator* head = op.get();
+    if (members.find(head) == members.end()) continue;
+    if (has_prev.find(head) != has_prev.end()) continue;
+    std::vector<FusedOperator::Stage> stages;
+    std::string name;
+    for (Operator* cur = head; cur != nullptr;) {
+      stages.push_back(members.at(cur));
+      if (!name.empty()) name += '+';
+      name += cur->name();
+      const auto it = next.find(cur);
+      cur = it == next.end() ? nullptr : it->second;
+    }
+    if (stages.size() < 2) continue;
+    Operator* tail = stages.back().op;
+    auto fused = std::make_unique<FusedOperator>(std::move(name), clock,
+                                                 std::move(stages));
+    fused->AddInput(head->inputs()[0]);
+    fused->AddOutput(tail->outputs()[0]);
+    for (const FusedOperator::Stage& stage : fused->stages()) {
+      plan.absorbed.push_back(stage.op);
+    }
+    plan.fused.push_back(std::move(fused));
+  }
+  return plan;
+}
+
+// -------------------------------------------------------- shard re-hashing
+
+namespace {
+
+/// One open window lifted out of an aggregate snapshot; the accumulator
+/// stays opaque bytes, so re-sharding needs no user codec.
+struct WindowRecord {
+  Timestamp max_stimulus = 0;
+  Timestamp max_event_time = 0;
+  std::string acc;
+};
+
+}  // namespace
+
+Status ReshardAggregateSnapshots(const std::vector<std::string>& old_blobs,
+                                 std::size_t new_shards,
+                                 std::vector<std::string>* new_blobs) {
+  if (new_shards == 0) {
+    return Status::InvalidArgument("reshard: new_shards must be > 0");
+  }
+  // Merge every window into one canonically-ordered map. A (start, key)
+  // pair living in two old blobs means the old shards disagreed about key
+  // ownership — corruption, not something to paper over.
+  std::map<std::pair<Timestamp, std::string>, WindowRecord> merged;
+  Timestamp horizon = std::numeric_limits<Timestamp>::min();
+  bool any_state = false;
+  for (const std::string& blob : old_blobs) {
+    if (blob.empty()) continue;  // fresh shard: nothing to merge
+    std::string_view in = blob;
+    Timestamp blob_horizon = 0;
+    std::uint64_t count = 0;
+    if (!codec::GetVarint64Signed(&in, &blob_horizon) ||
+        !codec::GetVarint64(&in, &count)) {
+      return Status::Corruption("reshard: truncated aggregate header");
+    }
+    any_state = true;
+    // Max over shards: re-opening a window some shard already closed and
+    // emitted would double-report; the max horizon trades bounded-lateness
+    // drops for no duplicates.
+    horizon = std::max(horizon, blob_horizon);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Timestamp start = 0;
+      std::string_view key;
+      WindowRecord window;
+      std::string_view acc;
+      if (!codec::GetVarint64Signed(&in, &start) ||
+          !codec::GetLengthPrefixed(&in, &key) ||
+          !codec::GetVarint64Signed(&in, &window.max_stimulus) ||
+          !codec::GetVarint64Signed(&in, &window.max_event_time) ||
+          !codec::GetLengthPrefixed(&in, &acc)) {
+        return Status::Corruption("reshard: truncated aggregate window");
+      }
+      window.acc = std::string(acc);
+      const auto [it, inserted] = merged.emplace(
+          std::make_pair(start, std::string(key)), std::move(window));
+      if (!inserted) {
+        return Status::Corruption("reshard: window (" +
+                                  std::to_string(start) + ", '" +
+                                  std::string(key) +
+                                  "') present in two shard snapshots");
+      }
+    }
+    if (!in.empty()) {
+      return Status::Corruption("reshard: trailing aggregate bytes");
+    }
+  }
+
+  new_blobs->assign(new_shards, std::string());
+  if (!any_state) return Status::Ok();  // all-fresh in, all-fresh out
+
+  // Re-bucket with the router's hash so every window lands on the shard
+  // that will receive its key's future tuples.
+  std::hash<std::string> hasher;
+  std::vector<std::uint64_t> shard_counts(new_shards, 0);
+  for (const auto& [key, window] : merged) {
+    ++shard_counts[hasher(key.second) % new_shards];
+  }
+  for (std::size_t s = 0; s < new_shards; ++s) {
+    std::string* out = &(*new_blobs)[s];
+    codec::PutVarint64Signed(out, horizon);  // every shard gets the horizon
+    codec::PutVarint64(out, shard_counts[s]);
+  }
+  for (const auto& [key, window] : merged) {
+    std::string* out = &(*new_blobs)[hasher(key.second) % new_shards];
+    codec::PutVarint64Signed(out, key.first);
+    codec::PutLengthPrefixed(out, key.second);
+    codec::PutVarint64Signed(out, window.max_stimulus);
+    codec::PutVarint64Signed(out, window.max_event_time);
+    codec::PutLengthPrefixed(out, window.acc);
+  }
+  return Status::Ok();
+}
+
+Status ReshardJoinSnapshots(const std::vector<std::string>& old_blobs,
+                            std::size_t new_shards,
+                            std::vector<std::string>* new_blobs) {
+  if (new_shards == 0) {
+    return Status::InvalidArgument("reshard: new_shards must be > 0");
+  }
+  struct Entry {
+    std::string key;
+    Tuple tuple;
+  };
+  std::vector<Entry> sides[2];
+  Timestamp max_time[2] = {std::numeric_limits<Timestamp>::max(),
+                           std::numeric_limits<Timestamp>::max()};
+  bool any_state = false;
+  for (const std::string& blob : old_blobs) {
+    if (blob.empty()) continue;
+    std::string_view in = blob;
+    for (std::size_t side = 0; side < 2; ++side) {
+      std::uint64_t count = 0;
+      if (!codec::GetVarint64(&in, &count)) {
+        return Status::Corruption("reshard: truncated join buffer count");
+      }
+      for (std::uint64_t i = 0; i < count; ++i) {
+        std::string_view key;
+        if (!codec::GetLengthPrefixed(&in, &key)) {
+          return Status::Corruption("reshard: truncated join key");
+        }
+        Entry entry;
+        entry.key = std::string(key);
+        STRATA_RETURN_IF_ERROR(DecodeTupleSnapshot(&in, &entry.tuple));
+        sides[side].push_back(std::move(entry));
+      }
+    }
+    Timestamp blob_max[2] = {0, 0};
+    if (!codec::GetVarint64Signed(&in, &blob_max[0]) ||
+        !codec::GetVarint64Signed(&in, &blob_max[1])) {
+      return Status::Corruption("reshard: truncated join watermarks");
+    }
+    if (!in.empty()) {
+      return Status::Corruption("reshard: trailing join bytes");
+    }
+    // Min over shards: the watermark only drives eviction, and eviction is
+    // an optimization — the |τL-τR| <= window predicate still rejects stale
+    // pairs — so the conservative bound can never drop a matchable pair.
+    max_time[0] = std::min(max_time[0], blob_max[0]);
+    max_time[1] = std::min(max_time[1], blob_max[1]);
+    any_state = true;
+  }
+
+  new_blobs->assign(new_shards, std::string());
+  if (!any_state) return Status::Ok();
+
+  // Restore the deque's front-oldest invariant (Evict pops from the front).
+  // Stable: a key's entries all lived on one old shard, so ties keep their
+  // original relative order and per-key order survives the merge.
+  for (auto& side : sides) {
+    std::stable_sort(side.begin(), side.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.tuple.event_time < b.tuple.event_time;
+                     });
+  }
+
+  std::hash<std::string> hasher;
+  std::vector<std::string> bodies[2];
+  std::vector<std::uint64_t> counts[2];
+  for (std::size_t side = 0; side < 2; ++side) {
+    bodies[side].assign(new_shards, std::string());
+    counts[side].assign(new_shards, 0);
+    for (const Entry& entry : sides[side]) {
+      const std::size_t s = hasher(entry.key) % new_shards;
+      std::string* out = &bodies[side][s];
+      codec::PutLengthPrefixed(out, entry.key);
+      STRATA_RETURN_IF_ERROR(EncodeTupleSnapshot(entry.tuple, out));
+      ++counts[side][s];
+    }
+  }
+  for (std::size_t s = 0; s < new_shards; ++s) {
+    std::string* out = &(*new_blobs)[s];
+    for (std::size_t side = 0; side < 2; ++side) {
+      codec::PutVarint64(out, counts[side][s]);
+      out->append(bodies[side][s]);
+    }
+    codec::PutVarint64Signed(out, max_time[0]);
+    codec::PutVarint64Signed(out, max_time[1]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace strata::spe

@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "common/logging.hpp"
+#include "spe/plan_rewrite.hpp"
 
 namespace strata::spe {
 
@@ -111,25 +112,100 @@ StreamPtr Query::AddFilter(const std::string& name, StreamPtr in,
 }
 
 StreamPtr Query::AddAggregate(const std::string& name, StreamPtr in,
-                              AggregateSpec spec) {
+                              AggregateSpec spec, int shards) {
+  if (shards < 1) throw std::invalid_argument("Query: shards must be >= 1");
   Consume(in);
-  auto* op =
-      NewOperator<AggregateOperator>(name, options_.clock, std::move(spec));
-  op->AddInput(std::move(in));
+  {
+    std::lock_guard lock(build_mu_);
+    shard_groups_.push_back({name, /*is_join=*/false, shards});
+  }
+  if (shards == 1) {
+    auto* op =
+        NewOperator<AggregateOperator>(name, options_.clock, std::move(spec));
+    op->AddInput(std::move(in));
+    StreamPtr out = NewStream(name + ".out");
+    op->AddOutput(out);
+    return out;
+  }
+
+  if (!spec.key) {
+    throw std::invalid_argument(
+        "Query: sharded Aggregate requires a group-by key");
+  }
+  auto* router = NewOperator<RouterOperator>(name + ".router", options_.clock,
+                                             spec.key);
+  router->AddInput(std::move(in));
+  auto* merger = NewOperator<UnionOperator>(name + ".union", options_.clock);
+  for (int i = 0; i < shards; ++i) {
+    StreamPtr shard_in = NewStream(name + ".shard" + std::to_string(i));
+    router->AddOutput(shard_in);
+    auto* worker = NewOperator<AggregateOperator>(
+        name + "[" + std::to_string(i) + "]", options_.clock, spec);
+    worker->AddInput(shard_in);
+    consumed_.insert(shard_in.get());
+    StreamPtr shard_out =
+        NewStream(name + ".shard" + std::to_string(i) + ".out");
+    worker->AddOutput(shard_out);
+    merger->AddInput(shard_out);
+    consumed_.insert(shard_out.get());
+  }
   StreamPtr out = NewStream(name + ".out");
-  op->AddOutput(out);
+  merger->AddOutput(out);
   return out;
 }
 
 StreamPtr Query::AddJoin(const std::string& name, StreamPtr left,
-                         StreamPtr right, JoinSpec spec) {
+                         StreamPtr right, JoinSpec spec, int shards) {
+  if (shards < 1) throw std::invalid_argument("Query: shards must be >= 1");
   Consume(left);
   Consume(right);
-  auto* op = NewOperator<JoinOperator>(name, options_.clock, std::move(spec));
-  op->AddInput(std::move(left));
-  op->AddInput(std::move(right));
+  {
+    std::lock_guard lock(build_mu_);
+    shard_groups_.push_back({name, /*is_join=*/true, shards});
+  }
+  if (shards == 1) {
+    auto* op = NewOperator<JoinOperator>(name, options_.clock, std::move(spec));
+    op->AddInput(std::move(left));
+    op->AddInput(std::move(right));
+    StreamPtr out = NewStream(name + ".out");
+    op->AddOutput(out);
+    return out;
+  }
+
+  if (!spec.key_left || !spec.key_right) {
+    throw std::invalid_argument(
+        "Query: sharded Join requires key_left and key_right");
+  }
+  // Each side gets its own router keyed by its side's group-by key, so a
+  // matching pair (which must agree on key) lands on the same shard.
+  auto* left_router = NewOperator<RouterOperator>(name + ".router.left",
+                                                  options_.clock,
+                                                  spec.key_left);
+  left_router->AddInput(std::move(left));
+  auto* right_router = NewOperator<RouterOperator>(name + ".router.right",
+                                                   options_.clock,
+                                                   spec.key_right);
+  right_router->AddInput(std::move(right));
+  auto* merger = NewOperator<UnionOperator>(name + ".union", options_.clock);
+  for (int i = 0; i < shards; ++i) {
+    StreamPtr left_in = NewStream(name + ".left" + std::to_string(i));
+    left_router->AddOutput(left_in);
+    StreamPtr right_in = NewStream(name + ".right" + std::to_string(i));
+    right_router->AddOutput(right_in);
+    auto* worker = NewOperator<JoinOperator>(
+        name + "[" + std::to_string(i) + "]", options_.clock, spec);
+    worker->AddInput(left_in);  // input order is the [L, R] side order
+    worker->AddInput(right_in);
+    consumed_.insert(left_in.get());
+    consumed_.insert(right_in.get());
+    StreamPtr shard_out =
+        NewStream(name + ".shard" + std::to_string(i) + ".out");
+    worker->AddOutput(shard_out);
+    merger->AddInput(shard_out);
+    consumed_.insert(shard_out.get());
+  }
   StreamPtr out = NewStream(name + ".out");
-  op->AddOutput(out);
+  merger->AddOutput(out);
   return out;
 }
 
@@ -192,7 +268,15 @@ Status Query::Recover() {
     return manifest.status();
   }
   std::lock_guard lock(build_mu_);
+  // Keyed-parallel groups first: a manifest written under a different shard
+  // count is re-hashed onto this plan's shape, and the blob names it used
+  // are excluded from the plain by-name restore below.
+  std::unordered_set<std::string> resharded;
+  for (const ShardGroup& group : shard_groups_) {
+    STRATA_RETURN_IF_ERROR(RestoreShardGroup(group, *manifest, &resharded));
+  }
   for (const OperatorSnapshot& snapshot : manifest->operators) {
+    if (resharded.find(snapshot.name) != resharded.end()) continue;
     Operator* op = nullptr;
     for (const auto& candidate : operators_) {
       if (candidate->name() == snapshot.name) {
@@ -214,6 +298,93 @@ Status Query::Recover() {
   return Status::Ok();
 }
 
+namespace {
+/// True when `name` belongs to shard group `base`: exactly `base`, or
+/// `base[i]` for a numeric i.
+bool InShardGroup(const std::string& name, const std::string& base) {
+  if (name == base) return true;
+  if (name.size() < base.size() + 3 ||
+      name.compare(0, base.size(), base) != 0 ||
+      name[base.size()] != '[' || name.back() != ']') {
+    return false;
+  }
+  for (std::size_t i = base.size() + 1; i + 1 < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+  }
+  return true;
+}
+}  // namespace
+
+Status Query::RestoreShardGroup(const ShardGroup& group,
+                                const CheckpointManifest& manifest,
+                                std::unordered_set<std::string>* consumed) {
+  std::vector<const OperatorSnapshot*> found;
+  for (const OperatorSnapshot& snapshot : manifest.operators) {
+    if (InShardGroup(snapshot.name, group.base)) found.push_back(&snapshot);
+  }
+  if (found.empty()) return Status::Ok();  // no state for this group
+
+  // Shape match: every blob names an instance of the current plan, one blob
+  // per instance. The plain by-name loop handles that exactly; the re-hash
+  // path is only for mismatched shard counts.
+  std::unordered_set<std::string> expected;
+  if (group.shards == 1) {
+    expected.insert(group.base);
+  } else {
+    for (int i = 0; i < group.shards; ++i) {
+      expected.insert(group.base + "[" + std::to_string(i) + "]");
+    }
+  }
+  if (found.size() == expected.size()) {
+    bool exact = true;
+    for (const OperatorSnapshot* snapshot : found) {
+      if (expected.find(snapshot->name) == expected.end()) {
+        exact = false;
+        break;
+      }
+    }
+    if (exact) return Status::Ok();
+  }
+
+  std::vector<std::string> old_blobs;
+  old_blobs.reserve(found.size());
+  for (const OperatorSnapshot* snapshot : found) {
+    old_blobs.push_back(snapshot->blob);
+    consumed->insert(snapshot->name);
+  }
+  std::vector<std::string> new_blobs;
+  const Status resharded =
+      group.is_join
+          ? ReshardJoinSnapshots(old_blobs, static_cast<std::size_t>(group.shards),
+                                 &new_blobs)
+          : ReshardAggregateSnapshots(
+                old_blobs, static_cast<std::size_t>(group.shards), &new_blobs);
+  if (!resharded.ok()) {
+    return Status(resharded.code(),
+                  "shard group '" + group.base + "': " + resharded.message());
+  }
+  for (int i = 0; i < group.shards; ++i) {
+    const std::string name =
+        group.shards == 1 ? group.base
+                          : group.base + "[" + std::to_string(i) + "]";
+    Operator* op = nullptr;
+    for (const auto& candidate : operators_) {
+      if (candidate->name() == name) {
+        op = candidate.get();
+        break;
+      }
+    }
+    if (op == nullptr) {
+      return Status::InvalidArgument("shard group '" + group.base +
+                                     "': missing instance '" + name + "'");
+    }
+    STRATA_RETURN_IF_ERROR(op->RestoreState(new_blobs[static_cast<std::size_t>(i)]));
+  }
+  LOG_INFO << "shard group '" << group.base << "': re-hashed " << found.size()
+           << " snapshot(s) onto " << group.shards << " shard(s)";
+  return Status::Ok();
+}
+
 Operator* Query::FindOperator(const std::string& name) {
   std::lock_guard lock(build_mu_);
   for (const auto& op : operators_) {
@@ -228,14 +399,33 @@ void Query::Start() {
   const BatchPolicy policy{options_.batch_size, options_.batch_linger_us};
   for (auto& op : operators_) op->ConfigureBatching(policy);
   if (checkpointer_) {
+    // Registration stays in terms of logical operators: a fused worker
+    // reports one snapshot per absorbed constituent under its own name.
     for (auto& op : operators_) {
       checkpointer_->RegisterOperator(op->name());  // throws on duplicates
       op->SetCheckpointer(checkpointer_.get());
     }
   }
+  // Plan rewrite: collapse stateless chains into fused workers. Absorbed
+  // operators keep their place in operators_ (stats, checkpoint names,
+  // ToDot) but never get a thread; the fused worker runs their functions.
+  std::unordered_set<const Operator*> absorbed;
+  if (options_.enable_fusion) {
+    FusionPlan plan = FuseStatelessChains(operators_, options_.clock);
+    absorbed.insert(plan.absorbed.begin(), plan.absorbed.end());
+    fused_ = std::move(plan.fused);
+    for (auto& op : fused_) {
+      op->ConfigureBatching(policy);
+      if (checkpointer_) op->SetCheckpointer(checkpointer_.get());
+    }
+  }
   if (options_.enable_spsc) EnableSpscFastPaths();
-  threads_.reserve(operators_.size());
+  threads_.reserve(operators_.size() + fused_.size());
   for (auto& op : operators_) {
+    if (absorbed.find(op.get()) != absorbed.end()) continue;
+    threads_.emplace_back([raw = op.get()] { raw->Run(); });
+  }
+  for (auto& op : fused_) {
     threads_.emplace_back([raw = op.get()] { raw->Run(); });
   }
   if (checkpointer_) checkpointer_->Start();
@@ -274,6 +464,7 @@ void Query::EnableSpscFastPaths() {
 
 void Query::Stop() {
   for (auto& op : operators_) op->RequestStop();
+  for (auto& op : fused_) op->RequestStop();
 }
 
 void Query::Join() {

@@ -24,6 +24,8 @@
 
 namespace strata::spe {
 
+class FusedOperator;
+
 struct QueryOptions {
   std::size_t queue_capacity = 1024;
   const Clock* clock = &Clock::System();
@@ -37,6 +39,13 @@ struct QueryOptions {
   /// Allow Start() to switch 1-producer/1-consumer streams to the lock-free
   /// SPSC ring (Router/Union endpoints always keep the MPMC queue).
   bool enable_spsc = true;
+  /// Allow Start() to fuse adjacent stateless operators (FlatMap/Filter
+  /// chains on private streams) into single fused workers with no
+  /// intermediate queue (see plan_rewrite.hpp). Off by default: the fused
+  /// plan is output-equivalent but runs a chain per thread instead of an
+  /// operator per thread. Per-operator stats/metrics keep per-stage
+  /// identity either way.
+  bool enable_fusion = false;
 };
 
 class Query {
@@ -65,11 +74,21 @@ class Query {
   [[nodiscard]] StreamPtr AddFilter(const std::string& name, StreamPtr in,
                                     FilterFn fn);
 
+  /// Windowed aggregate. With shards > 1 the stage is keyed-data-parallel:
+  /// a hash router partitions tuples by `spec.key` (required) across
+  /// `shards` instances named `name[i]` whose outputs are unioned
+  /// (per-key order preserved; cross-key order not). Checkpoint state is
+  /// per shard; Recover() re-hashes it onto a different shard count.
   [[nodiscard]] StreamPtr AddAggregate(const std::string& name, StreamPtr in,
-                                       AggregateSpec spec);
+                                       AggregateSpec spec, int shards = 1);
 
+  /// Time-bound join. With shards > 1 both sides are hash-routed by their
+  /// respective group-by keys (`spec.key_left`/`spec.key_right`, required)
+  /// across `shards` join instances; matching pairs agree on key and so
+  /// land on the same shard. Same checkpoint/re-hash story as AddAggregate.
   [[nodiscard]] StreamPtr AddJoin(const std::string& name, StreamPtr left,
-                                  StreamPtr right, JoinSpec spec);
+                                  StreamPtr right, JoinSpec spec,
+                                  int shards = 1);
 
   [[nodiscard]] StreamPtr AddUnion(const std::string& name,
                                    std::vector<StreamPtr> ins);
@@ -143,11 +162,26 @@ class Query {
   [[nodiscard]] std::string ToDot() const;
 
  private:
+  /// A keyed-parallel Aggregate/Join built by the shards argument; recorded
+  /// even at shards == 1 so Recover() can re-hash a manifest written under
+  /// a different shard count onto this plan's shape.
+  struct ShardGroup {
+    std::string base;
+    bool is_join = false;
+    int shards = 1;
+  };
+
   StreamPtr NewStream(const std::string& name);
   void Consume(const StreamPtr& stream);  // enforce single consumer
   /// Switch eligible streams (one producer op, one consumer op, no
   /// router/union endpoint) to the lock-free SPSC transport.
   void EnableSpscFastPaths();
+  /// Re-hash `group`'s manifest blobs onto its current shard count; blob
+  /// names consumed here are added to `consumed` and skipped by the plain
+  /// by-name restore loop. No-op when the manifest's shape already matches.
+  [[nodiscard]] Status RestoreShardGroup(
+      const ShardGroup& group, const CheckpointManifest& manifest,
+      std::unordered_set<std::string>* consumed);
   template <typename Op, typename... Args>
   Op* NewOperator(Args&&... args);
 
@@ -156,6 +190,11 @@ class Query {
   /// metrics snapshot callback (which may run on a sampler thread).
   mutable std::mutex build_mu_;
   std::vector<std::unique_ptr<Operator>> operators_;
+  /// Fused workers built by Start()'s rewrite pass. Kept out of operators_:
+  /// they are an execution detail, and stats/metrics/checkpoint registration
+  /// stay in terms of the logical operators they absorbed.
+  std::vector<std::unique_ptr<FusedOperator>> fused_;
+  std::vector<ShardGroup> shard_groups_;
   std::vector<StreamPtr> streams_;
   std::unordered_set<Stream*> consumed_;
   std::vector<std::thread> threads_;

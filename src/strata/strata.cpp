@@ -354,7 +354,7 @@ spe::StreamPtr Strata::ImportSource(const std::string& name) {
 spe::StreamPtr Strata::Fuse(const std::string& name, spe::StreamPtr s1,
                             spe::StreamPtr s2,
                             std::optional<spe::WindowSpec> window,
-                            std::vector<std::string> group_by) {
+                            std::vector<std::string> group_by, int shards) {
   spe::JoinSpec spec;
   spec.window = window.has_value() ? window->size : 0;
   auto key_fn = [group_by](const spe::Tuple& t) {
@@ -367,7 +367,8 @@ spe::StreamPtr Strata::Fuse(const std::string& name, spe::StreamPtr s1,
   };
   spec.key_left = key_fn;
   spec.key_right = key_fn;
-  return query_->AddJoin(name, std::move(s1), std::move(s2), std::move(spec));
+  return query_->AddJoin(name, std::move(s1), std::move(s2), std::move(spec),
+                         shards);
 }
 
 namespace {

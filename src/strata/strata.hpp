@@ -132,10 +132,13 @@ class Strata {
   /// only τ-equal tuples fuse; with one, tuples within WS of each other fuse
   /// (windowed join). Output payloads concatenate the inputs' payloads; the
   /// method assumes keys are unique across fused tuples (violations drop).
+  /// shards > 1 makes the join keyed-data-parallel: both sides hash-route
+  /// on the fuse key across `shards` join instances (per-key order
+  /// preserved; see Query::AddJoin).
   [[nodiscard]] spe::StreamPtr Fuse(
       const std::string& name, spe::StreamPtr s1, spe::StreamPtr s2,
       std::optional<spe::WindowSpec> window = std::nullopt,
-      std::vector<std::string> group_by = {});
+      std::vector<std::string> group_by = {}, int shards = 1);
 
   /// partition(s_in, s_out, F): splits tuples into independently-processable
   /// units (specimens, cells); F sets specimen/portion. Null F = identity

@@ -56,10 +56,61 @@ constexpr int kChildFailed = 3;
 /// below always lands mid-stream on a fresh directory.
 constexpr std::int64_t kTotalTuples = 400;
 
+/// Keyed per-window severity count with snapshot codecs, so the sharded
+/// aggregate's state rides the epoch checkpoints and survives re-hashing.
+spe::AggregateSpec SeverityCountSpec() {
+  using Acc = std::pair<std::string, std::int64_t>;  // (severity, count)
+  spe::AggregateSpec spec;
+  spec.window = {100, 100};
+  spec.key = [](const spe::Tuple& t) {
+    return std::to_string(t.payload.Get("severity").AsInt());
+  };
+  spec.init = [] { return std::any(Acc{}); };
+  spec.add = [](std::any& acc, const spe::Tuple& t) {
+    auto& a = std::any_cast<Acc&>(acc);
+    a.first = std::to_string(t.payload.Get("severity").AsInt());
+    ++a.second;
+  };
+  spec.result = [](std::any& acc, Timestamp start,
+                   Timestamp /*end*/) -> std::vector<spe::Tuple> {
+    const auto& a = std::any_cast<const Acc&>(acc);
+    spe::Tuple out;
+    out.payload.Set("group", a.first);
+    out.payload.Set("count", a.second);
+    out.payload.Set("window_start", start);
+    return {out};
+  };
+  spec.encode_acc = [](const std::any& acc, std::string* out) {
+    const auto& a = std::any_cast<const Acc&>(acc);
+    codec::PutLengthPrefixed(out, a.first);
+    codec::PutVarint64Signed(out, a.second);
+    return Status::Ok();
+  };
+  spec.decode_acc = [](std::string_view in) -> Result<std::any> {
+    Acc a;
+    std::string_view group;
+    std::int64_t count = 0;
+    if (!codec::GetLengthPrefixed(&in, &group) ||
+        !codec::GetVarint64Signed(&in, &count) || !in.empty()) {
+      return Status::Corruption("severity count accumulator");
+    }
+    a.first = std::string(group);
+    a.second = count;
+    return std::any(a);
+  };
+  return spec;
+}
+
 /// Build the checkpointed pipeline on `strata`. Deterministic in the
 /// generator position, so every (partial or complete) run delivers a
 /// prefix-consistent subset of the same report set. `emit_delay` stretches
 /// the run so the parent's kill lands mid-stream; zero for the reference.
+///
+/// Shape: gen -> detect -> enrich (a fusable stateless chain) -> tee;
+/// one branch delivers per-tuple reports, the other runs a keyed
+/// 2-shard severity-count aggregate delivered under "counts/". With
+/// enable_fusion on (ScenarioOptions) this exercises fused barriers and
+/// per-shard snapshot replay under kill -9.
 void BuildPipeline(Strata* strata, std::chrono::microseconds emit_delay) {
   auto position = std::make_shared<std::int64_t>(0);
   auto stream = strata->AddSource(
@@ -84,10 +135,24 @@ void BuildPipeline(Strata* strata, std::chrono::microseconds emit_delay) {
                         t.payload.Get("reading").AsInt() % 7);
         return std::vector<spe::Tuple>{out};
       });
-  strata->DeliverDurable("reports", std::move(detected), "reports/",
+  auto enriched = strata->DetectEvent(
+      "enrich", std::move(detected), [](const spe::Tuple& t) {
+        spe::Tuple out = t;
+        out.payload.Set("flag", t.payload.Get("severity").AsInt() % 2);
+        return std::vector<spe::Tuple>{out};
+      });
+  auto branches = strata->Split("tee", std::move(enriched), 2);
+  strata->DeliverDurable("reports", std::move(branches[0]), "reports/",
                          [](const spe::Tuple& t) {
                            return std::to_string(t.layer);
                          });
+  auto counted = strata->query().AddAggregate(
+      "sevcount", std::move(branches[1]), SeverityCountSpec(), /*shards=*/2);
+  strata->DeliverDurable(
+      "counts", std::move(counted), "counts/", [](const spe::Tuple& t) {
+        return t.payload.Get("group").AsString() + "/" +
+               std::to_string(t.payload.Get("window_start").AsInt());
+      });
   // The generator's only state is its position; checkpointing it is what
   // lets a recovered run resume mid-stream instead of starting over.
   strata->query().FindOperator("gen")->SetStateHooks(
@@ -111,6 +176,9 @@ StrataOptions ScenarioOptions(const std::filesystem::path& dir) {
   options.persistent_connectors = true;
   options.connector_partitions = 1;
   options.checkpoint_interval_ms = 50;
+  // Fuse the detect->enrich chain: recovery must also be exact when
+  // barriers are forwarded by fused workers.
+  options.query.enable_fusion = true;
   return options;
 }
 
@@ -124,10 +192,12 @@ std::map<std::string, std::string> ReadReports(
   if (!db.ok()) return {};
   std::map<std::string, std::string> reports;
   auto it = (*db)->NewIterator();
-  for (it->Seek("reports/"); it->Valid(); it->Next()) {
-    const std::string_view key = it->key();
-    if (key.substr(0, 8) != "reports/") break;
-    reports.emplace(std::string(key), std::string(it->value()));
+  for (const std::string_view prefix : {"counts/", "reports/"}) {
+    for (it->Seek(prefix); it->Valid(); it->Next()) {
+      const std::string_view key = it->key();
+      if (key.substr(0, prefix.size()) != prefix) break;
+      reports.emplace(std::string(key), std::string(it->value()));
+    }
   }
   EXPECT_TRUE(it->status().ok()) << it->status().ToString();
   return reports;
@@ -173,7 +243,8 @@ TEST(QueryTortureTest, RecoveredQueryDeliversExactlyTheReferenceReports) {
     }
     reference = ReadReports(ref_dir.path());
   }
-  ASSERT_EQ(reference.size(), static_cast<std::size_t>(kTotalTuples));
+  // 400 per-tuple reports plus at least one count window per severity.
+  ASSERT_GT(reference.size(), static_cast<std::size_t>(kTotalTuples) + 6);
 
   // ---- scenarios: kill, recover, kill again ... until a clean finish ----
   auto dir = std::make_unique<strata::fs::ScopedTempDir>("query-torture");

@@ -38,12 +38,13 @@ class Fused {
  public:
   explicit Fused(Strata* strata, SourceSpec left, SourceSpec right,
                  int layers, std::optional<spe::WindowSpec> window,
-                 std::vector<std::string> group_by = {}) {
+                 std::vector<std::string> group_by = {}, int shards = 1) {
     left.value_key = "left";
     right.value_key = "right";
     auto l = strata->AddSource("L", LayerSource(left, layers));
     auto r = strata->AddSource("R", LayerSource(right, layers));
-    auto fused = strata->Fuse("fuse", l, r, window, std::move(group_by));
+    auto fused = strata->Fuse("fuse", l, r, window, std::move(group_by),
+                              shards);
     strata->Deliver("sink", fused, [this](const spe::Tuple& t) {
       std::lock_guard lock(mu_);
       tuples_.push_back(t);
@@ -104,6 +105,29 @@ TEST(Fuse, FusedPayloadConcatenatesBothSides) {
     EXPECT_EQ(t.payload.Get("left").AsInt(), t.payload.Get("right").AsInt());
     EXPECT_EQ(t.payload.Get("left").AsInt(), t.layer);
   }
+}
+
+TEST(Fuse, KeyedShardsMatchSingleInstance) {
+  // Same skewed windowed fuse, 1-way vs 3-way keyed-parallel: the sharded
+  // plan routes both sides by the fuse key, so the matched pairs (and each
+  // pair's payload) are identical.
+  auto run = [](int shards) {
+    Strata strata;
+    SourceSpec skewed;
+    skewed.skew = 500;
+    Fused fused(&strata, {}, skewed, 30,
+                spe::WindowSpec{/*size=*/10'000, /*advance=*/10'000}, {},
+                shards);
+    std::map<std::int64_t, std::pair<std::int64_t, std::int64_t>> pairs;
+    for (const spe::Tuple& t : fused.tuples()) {
+      pairs[t.layer] = {t.payload.Get("left").AsInt(),
+                        t.payload.Get("right").AsInt()};
+    }
+    return pairs;
+  };
+  const auto unsharded = run(1);
+  ASSERT_EQ(unsharded.size(), 30u);
+  EXPECT_EQ(run(3), unsharded);
 }
 
 TEST(Fuse, GroupByAttributeMustAgree) {
